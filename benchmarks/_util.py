@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a reproduced table/figure block (shown with pytest -s)."""
+    banner = f"== {title} =="
+    print(f"\n{banner}")
+    for line in lines:
+        print(line)

@@ -1,0 +1,53 @@
+"""Ablation: Mozilla-style scoped trust vs Android's trust-everything.
+
+§2/§8: Android "does not support specifying trust levels for different
+CA certificates: they can be used for any operation from TLS server
+verification to code signing". This ablation quantifies the attack
+surface that scoping removes: under Mozilla's policy, how many roots
+can vouch for each usage, versus all of them under Android's.
+"""
+
+from _util import emit
+
+from repro.rootstore.store import TrustFlags
+
+
+def test_scoped_trust_ablation(benchmark, platform_stores):
+    mozilla = platform_stores.mozilla
+    aosp = platform_stores.aosp["4.4"]
+
+    def run():
+        usable = {"server_auth": 0, "email": 0, "code_signing": 0}
+        for entry in mozilla.entries():
+            for usage in usable:
+                if getattr(entry.trust, usage):
+                    usable[usage] += 1
+        android = {
+            usage: sum(
+                1 for _ in aosp.certificates(include_disabled=True)
+            )
+            for usage in usable
+        }
+        return usable, android
+
+    mozilla_usable, android_usable = benchmark(run)
+
+    emit(
+        "Ablation: roots usable per purpose under each trust policy",
+        [
+            f"{usage:<14} Mozilla(scoped)={mozilla_usable[usage]:>4}   "
+            f"Android(flat)={android_usable[usage]:>4}"
+            for usage in mozilla_usable
+        ]
+        + [
+            "code-signing surface reduction under scoping: "
+            f"{1 - mozilla_usable['code_signing'] / android_usable['code_signing']:.0%}"
+        ],
+    )
+
+    # Every root is a server-auth root either way...
+    assert mozilla_usable["server_auth"] == len(mozilla)
+    # ...but scoping strips code-signing from the public TLS CAs.
+    assert mozilla_usable["code_signing"] < len(mozilla) * 0.25
+    # Android's flat policy leaves the full store usable for everything.
+    assert android_usable["code_signing"] == len(aosp)

@@ -1,0 +1,111 @@
+"""Extension bench: the broken-app-validation attack matrix (§2/§3).
+
+Reproduces the Fahl/Georgiev-style exposure table: which validation
+profiles fall to which MITM attacks, on a stock AOSP 4.4 store. The
+asserted shape: accept-all falls to everything, each single-bug profile
+falls to exactly its bug plus the store-resident MITM, and only pinning
+survives the store-resident MITM.
+"""
+
+from _util import emit
+
+from repro.android.appsec import (
+    ATTACKS,
+    AppTlsStack,
+    ValidationProfile,
+    exposure_summary,
+    run_attack_matrix,
+)
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.tlssim import TlsServer, TlsTrafficGenerator
+from repro.tlssim.pinning import PinStore
+from repro.tlssim.traffic import ServerIdentity
+from repro.x509 import CertificateBuilder, Name
+
+HOST = "api.bank.example"
+
+
+def _attack_servers(factory, catalog, store):
+    import datetime
+
+    traffic = TlsTrafficGenerator(factory, catalog)
+    issuing = "Entrust Root CA"
+    legit = traffic.server_identity(HOST, issuing)
+
+    kp = generate_keypair(DeterministicRandom("bench-appsec-ss"))
+    self_signed = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .public_key(kp.public)
+        .tls_server(HOST)
+        .self_sign(kp.private)
+    )
+    wrong = traffic.server_identity("www.other.example", issuing)
+    ca_profile = catalog.by_name(issuing)
+    ca_kp = factory.keypair_for(issuing)
+    exp_kp = generate_keypair(DeterministicRandom("bench-appsec-exp"))
+    expired = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .issuer(factory.subject_for(ca_profile))
+        .public_key(exp_kp.public)
+        .serial_number(31337)
+        .validity(datetime.datetime(2010, 1, 1), datetime.datetime(2012, 1, 1))
+        .tls_server(HOST)
+        .sign(ca_kp.private, issuer_public_key=ca_kp.public)
+    )
+    mitm_kp = generate_keypair(DeterministicRandom("bench-appsec-mitm"))
+    mitm_root = (
+        CertificateBuilder()
+        .subject(Name.build(CN="Bench MITM Root"))
+        .public_key(mitm_kp.public)
+        .ca(True)
+        .self_sign(mitm_kp.private)
+    )
+    store.add(mitm_root, system=True, source="app:Freedom")
+    forged = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .issuer(mitm_root.subject)
+        .public_key(exp_kp.public)
+        .serial_number(31338)
+        .tls_server(HOST)
+        .sign(mitm_kp.private, issuer_public_key=mitm_kp.public)
+    )
+    return {
+        "self_signed": TlsServer(HOST, 443, ServerIdentity((self_signed,), kp)),
+        "wrong_host": TlsServer(HOST, 443, wrong),
+        "expired": TlsServer(
+            HOST, 443, ServerIdentity((expired, factory.root_certificate(ca_profile)), exp_kp)
+        ),
+        "trusted_mitm": TlsServer(HOST, 443, ServerIdentity((forged, mitm_root), exp_kp)),
+    }, legit
+
+
+def test_appsec_attack_matrix(benchmark, factory, catalog, platform_stores):
+    store = platform_stores.aosp["4.4"].copy("bench-appsec", read_only=False)
+    servers, legit = _attack_servers(factory, catalog, store)
+    pins = PinStore()
+    pins.pin(HOST, legit.chain[-1])
+    stacks = {
+        profile: AppTlsStack(profile=profile, store=store, pins=pins)
+        for profile in ValidationProfile
+    }
+
+    outcomes = benchmark(run_attack_matrix, stacks, servers)
+    summary = exposure_summary(outcomes)
+
+    emit(
+        "Extension: app-validation attack matrix (attacks accepted of 4)",
+        [
+            f"{profile.value:<20} {count}/4"
+            for profile, count in sorted(summary.items(), key=lambda i: -i[1])
+        ],
+    )
+
+    assert summary[ValidationProfile.ACCEPT_ALL] == 4
+    assert summary[ValidationProfile.NO_HOSTNAME] == 2
+    assert summary[ValidationProfile.ACCEPT_EXPIRED] == 2
+    assert summary[ValidationProfile.ACCEPT_SELF_SIGNED] == 2
+    assert summary[ValidationProfile.CORRECT] == 1  # falls to trusted MITM
+    assert summary[ValidationProfile.PINNED] == 0  # survives everything

@@ -1,0 +1,52 @@
+"""Extension bench: Certificate-Transparency substrate throughput.
+
+Measures the Merkle-tree operations (append, inclusion proof,
+verification) and monitor polling over a log of real certificates — the
+operational cost of §8-grade auditability.
+"""
+
+from _util import emit
+
+from repro.ctlog import CertificateLog, MerkleTree, verify_inclusion
+
+
+def test_merkle_throughput(benchmark):
+    leaves = [index.to_bytes(8, "big") for index in range(2_000)]
+
+    def run():
+        tree = MerkleTree()
+        for leaf in leaves:
+            tree.append(leaf)
+        root = tree.root_hash()
+        verified = 0
+        for index in range(0, len(leaves), 50):
+            proof = tree.inclusion_proof(index)
+            assert verify_inclusion(leaves[index], index, len(leaves), proof, root)
+            verified += 1
+        return verified
+
+    verified = benchmark(run)
+    emit(
+        "Extension: Merkle tree throughput",
+        [f"appended {len(leaves):,} leaves; verified {verified} inclusion proofs"],
+    )
+    assert verified == 40
+
+
+def test_log_submission_and_sth(benchmark, factory, catalog):
+    certificates = [factory.root_certificate(p) for p in catalog.core[:40]]
+
+    def run():
+        log = CertificateLog("bench-log", seed="bench-ct")
+        for certificate in certificates:
+            log.submit(certificate)
+        sth = log.signed_tree_head()
+        sth.verify(log.public_key)
+        return sth.tree_size
+
+    size = benchmark(run)
+    emit(
+        "Extension: log submission + signed tree head",
+        [f"logged {size} certificates and issued a verified STH"],
+    )
+    assert size == 40

@@ -1,0 +1,50 @@
+"""Figure 1: AOSP-count vs additional-count scatter per manufacturer/version.
+
+Paper: 39 % of sessions carry additional certificates; only 5 handsets
+miss any; >10 % of 4.1/4.2 sessions (HTC, Motorola, LG, plus Samsung
+4.4) add more than 40 certificates; Motorola 4.3/4.4, Huawei, Sony and
+Asus stay within 10 additions of stock.
+"""
+
+from _util import emit
+
+from repro.analysis.figures import figure1_scatter
+from repro.analysis.sessions import extended_fraction, handsets_missing_certificates
+
+
+def test_figure1_scatter(benchmark, diffs):
+    points = benchmark(figure1_scatter, diffs)
+
+    total_sessions = sum(p.session_count for p in points)
+    extended = extended_fraction(diffs)
+    missing = handsets_missing_certificates(diffs)
+    old = [p for p in points if p.os_version in ("4.1", "4.2")]
+    old_heavy = sum(p.session_count for p in old if p.additional_count > 40)
+    old_total = sum(p.session_count for p in old)
+
+    per_group: dict[tuple[str, str], int] = {}
+    for point in points:
+        key = (point.manufacturer, point.os_version)
+        per_group[key] = max(per_group.get(key, 0), point.additional_count)
+
+    lines = [
+        f"scatter markers: {len(points)} over {total_sessions:,} sessions",
+        f"extended sessions: {extended:.1%} (paper 39%)",
+        f"handsets missing certs: {missing} (paper 5)",
+        f">40 additions on 4.1/4.2: {old_heavy / old_total:.1%} (paper >10%)",
+        "max additions per (manufacturer, version):",
+    ]
+    for (manufacturer, version), peak in sorted(per_group.items()):
+        if manufacturer in ("HTC", "SAMSUNG", "MOTOROLA", "SONY", "LG", "ASUS", "HUAWEI"):
+            lines.append(f"  {manufacturer:<10} {version}: +{peak}")
+    emit("Figure 1: AOSP vs additional certificates", lines)
+
+    assert 0.35 <= extended <= 0.43
+    assert missing == 5
+    assert old_heavy / old_total > 0.10
+    # Near-stock vendors stay small (paper: fewer than 10 additions).
+    assert per_group.get(("HUAWEI", "4.4"), 0) <= 10
+    assert per_group.get(("MOTOROLA", "4.4"), 0) <= 10
+    # Heavy extenders exceed 40.
+    assert per_group[("HTC", "4.1")] > 40
+    assert per_group[("SAMSUNG", "4.4")] > 40

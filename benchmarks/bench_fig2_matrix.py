@@ -1,0 +1,63 @@
+"""Figure 2: additional-certificate frequencies per manufacturer/operator.
+
+Paper: presence-class mix over the additions is 6.7 % Mozilla+iOS7,
+16.2 % iOS7-only, 37.1 % Android-only, 40.0 % unrecorded; CertiSign and
+ptt-post.nl sit on 60-70 % of Motorola 4.1 (Verizon) devices; HTC and
+Samsung share the AddTrust/Deutsche Telekom/Sonera/DoD block; groups
+with fewer than 10 modified sessions are dropped.
+"""
+
+from _util import emit
+
+from repro.analysis.figures import figure2_matrix
+from repro.rootstore.catalog import StorePresence
+
+PAPER_CLASSES = {
+    StorePresence.MOZILLA_AND_IOS7: 0.067,
+    StorePresence.IOS7_ONLY: 0.162,
+    StorePresence.ANDROID_ONLY: 0.371,
+    StorePresence.NOT_RECORDED: 0.400,
+}
+
+
+def test_figure2_matrix(benchmark, diffs, classifier):
+    matrix = benchmark(figure2_matrix, diffs, classifier)
+
+    lines = ["presence classes over distinct additional certs:"]
+    for presence, paper in PAPER_CLASSES.items():
+        measured = matrix.class_fractions[presence]
+        lines.append(f"  {presence.value:<18} measured={measured:.1%} paper={paper:.1%}")
+    lines.append(f"groups plotted: {len(matrix.groups())}")
+    certisign = [
+        cell
+        for cell in matrix.cells
+        if cell.group == "MOTOROLA 4.1" and cell.cert_label.startswith("Certisign")
+    ]
+    for cell in certisign:
+        lines.append(
+            f"  Certisign on MOTOROLA 4.1: freq={cell.frequency:.0%} (paper 60-70%)"
+        )
+    emit("Figure 2: certificate x manufacturer/operator matrix", lines)
+
+    # Shape: class ordering and rough levels.
+    fractions = matrix.class_fractions
+    assert (
+        fractions[StorePresence.NOT_RECORDED]
+        > fractions[StorePresence.ANDROID_ONLY]
+        > fractions[StorePresence.IOS7_ONLY]
+        > fractions[StorePresence.MOZILLA_AND_IOS7]
+    )
+    for presence, paper in PAPER_CLASSES.items():
+        assert abs(fractions[presence] - paper) < 0.07
+
+    # §5.1's anchor observations.
+    assert certisign, "CertiSign must appear on the Motorola 4.1 row"
+    assert all(0.3 <= cell.frequency <= 0.95 for cell in certisign)
+    shared = {"HTC", "SAMSUNG"}
+    for label in ("AddTrust Class 1 CA Root", "Deutsche Telekom Root CA 1"):
+        carriers = {
+            cell.group.split(" ")[0]
+            for cell in matrix.cells
+            if cell.cert_label == label and cell.group_kind == "manufacturer"
+        }
+        assert shared <= carriers

@@ -1,0 +1,68 @@
+"""Figure 3: ECDFs of per-root Notary-validation counts per category.
+
+Paper: the y-offsets (fraction of roots validating nothing) are 23 %
+for AOSP 4.4 and 72 % for the extra Android certs outside AOSP and
+Mozilla; the AOSP∩Mozilla subset validates most TLS sessions; the
+aggregated Android set behaves like iOS7 (the largest store).
+"""
+
+from _util import emit
+
+from repro.analysis.ecdf import cumulative_coverage, knee_index
+from repro.analysis.figures import figure3_ecdf, store_categories
+from repro.notary.validation import validation_counts_by_root
+
+PAPER_OFFSETS = {
+    "Non AOSP and non Mozilla Android certs": 0.72,
+    "Non AOSP root certs found on Mozilla's": 0.38,
+    "AOSP 4.4 and Mozilla root certs": 0.15,
+    "AOSP 4.1": 0.22,
+    "AOSP 4.4": 0.23,
+    "Aggregated Android root certs": 0.40,
+    "Mozilla": 0.22,
+    "iOS7": 0.41,
+}
+
+
+def test_figure3_ecdf(benchmark, platform_stores, notary, extra_certificates):
+    categories = store_categories(
+        platform_stores.aosp,
+        platform_stores.mozilla,
+        platform_stores.ios7,
+        extra_certificates,
+    )
+    series = benchmark(figure3_ecdf, categories, notary)
+    by_label = {s.label: s for s in series}
+
+    lines = []
+    for label, paper in PAPER_OFFSETS.items():
+        measured = by_label[label].zero_fraction
+        maximum = by_label[label].points[-1][0]
+        lines.append(
+            f"{label:<42} offset={measured:.0%} (paper {paper:.0%}) "
+            f"max-per-root={maximum:,}"
+        )
+    core_counts = validation_counts_by_root(
+        notary, categories["AOSP 4.4 and Mozilla root certs"]
+    )
+    knee = knee_index(cumulative_coverage(core_counts), threshold=0.95)
+    lines.append(
+        f"95% of core-validated traffic covered by top {knee} roots "
+        f"of {len(core_counts)}"
+    )
+    emit("Figure 3: per-root validation-count ECDFs", lines)
+
+    for label, paper in PAPER_OFFSETS.items():
+        assert abs(by_label[label].zero_fraction - paper) < 0.07, label
+    # §5.3: the aggregated Android set behaves like iOS7.
+    assert (
+        abs(
+            by_label["Aggregated Android root certs"].zero_fraction
+            - by_label["iOS7"].zero_fraction
+        )
+        < 0.05
+    )
+    # The curves are valid ECDFs.
+    for s in series:
+        ys = [y for _, y in s.points]
+        assert ys == sorted(ys) and ys[-1] == 1.0

@@ -1,0 +1,35 @@
+"""Table 1: root-store sizes per platform.
+
+Paper: AOSP 4.1/4.2/4.3/4.4 = 139/140/146/150, iOS7 = 227, Mozilla = 153.
+The benchmark measures full store construction from the catalog.
+"""
+
+from _util import emit
+
+from repro.analysis.tables import table1_store_sizes
+from repro.rootstore import build_platform_stores
+
+PAPER = {
+    "AOSP 4.1": 139,
+    "AOSP 4.2": 140,
+    "AOSP 4.3": 146,
+    "AOSP 4.4": 150,
+    "iOS7": 227,
+    "Mozilla": 153,
+}
+
+
+def test_table1_store_sizes(benchmark, factory, catalog):
+    def build_and_size():
+        # Re-build from the warm factory: measures store assembly from
+        # cached certificates, not RSA key generation.
+        stores = build_platform_stores(factory, catalog)
+        return table1_store_sizes(stores)
+
+    rows = benchmark(build_and_size)
+
+    emit(
+        "Table 1: Number of certificates in different root stores",
+        [f"{name:<10} measured={size:>4}  paper={PAPER[name]:>4}" for name, size in rows],
+    )
+    assert dict(rows) == PAPER  # sizes are structural: must match exactly

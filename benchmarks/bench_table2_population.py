@@ -1,0 +1,56 @@
+"""Table 2: top-5 devices and manufacturers by session count.
+
+Paper: Galaxy SIV 2,762 / Galaxy SIII 2,108 / Nexus 4 1,331 /
+Nexus 5 1,010 / Nexus 7 832; Samsung 7,709 / LG 2,908 / ASUS 1,876 /
+HTC 963 / Motorola 837. The benchmark measures the Table 2 aggregation
+over the full 16k-session dataset.
+"""
+
+from _util import emit
+
+from repro.analysis.tables import table2_top_devices
+
+PAPER_DEVICES = [
+    ("SAMSUNG Galaxy SIV", 2762),
+    ("SAMSUNG Galaxy SIII", 2108),
+    ("LG Nexus 4", 1331),
+    ("LG Nexus 5", 1010),
+    ("ASUS Nexus 7", 832),
+]
+PAPER_MANUFACTURERS = [
+    ("SAMSUNG", 7709),
+    ("LG", 2908),
+    ("ASUS", 1876),
+    ("HTC", 963),
+    ("MOTOROLA", 837),
+]
+
+
+def test_table2_top_devices(benchmark, dataset):
+    table = benchmark(table2_top_devices, dataset)
+
+    lines = ["Devices:"]
+    for (name, count), (paper_name, paper_count) in zip(
+        table.top_devices, PAPER_DEVICES
+    ):
+        lines.append(
+            f"  {name:<24} measured={count:>6,}  paper[{paper_name}]={paper_count:,}"
+        )
+    lines.append("Manufacturers:")
+    for (name, count), (paper_name, paper_count) in zip(
+        table.top_manufacturers, PAPER_MANUFACTURERS
+    ):
+        lines.append(
+            f"  {name:<24} measured={count:>6,}  paper[{paper_name}]={paper_count:,}"
+        )
+    emit("Table 2: Top 5 mobile devices and manufacturers", lines)
+
+    # Shape: same top-5 sets and same leaders, counts within ~20%.
+    assert [name for name, _ in table.top_manufacturers] == [
+        name for name, _ in PAPER_MANUFACTURERS
+    ]
+    assert {name for name, _ in table.top_devices} == {
+        name for name, _ in PAPER_DEVICES
+    }
+    for (name, count), (_, paper_count) in zip(table.top_devices, PAPER_DEVICES):
+        assert abs(count - paper_count) / paper_count < 0.25

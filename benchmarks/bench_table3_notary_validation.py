@@ -1,0 +1,45 @@
+"""Table 3: Notary certificates validated by each root store.
+
+Paper (over ~1M non-expired Notary certs): Mozilla 744,069;
+iOS 7 745,736; AOSP 4.1/4.2 744,350; 4.3 744,384; 4.4 744,398.
+Our Notary runs at 1/50 of the paper's leaf volume; the invariants are
+the *ordering* (iOS7 > AOSP 4.4 > 4.3 > 4.2 = 4.1 > Mozilla), the
+4.1/4.2 tie, and the "practically equivalent" <1 % spread.
+"""
+
+from _util import emit
+
+from repro.analysis.tables import table3_validated_counts
+
+PAPER = {
+    "Mozilla": 744_069,
+    "iOS 7": 745_736,
+    "AOSP 4.1": 744_350,
+    "AOSP 4.2": 744_350,
+    "AOSP 4.3": 744_384,
+    "AOSP 4.4": 744_398,
+}
+
+
+def test_table3_validated_counts(benchmark, platform_stores, notary):
+    rows = benchmark(table3_validated_counts, platform_stores, notary)
+
+    emit(
+        "Table 3: Number of certificates validated by each root store",
+        [
+            f"{name:<10} measured={count:>7,}  paper={PAPER[name]:>8,} "
+            f"(coverage {count / notary.current_certificates:.1%} vs paper 74.4%)"
+            for name, count in rows
+        ],
+    )
+
+    counts = dict(rows)
+    assert counts["iOS 7"] > counts["AOSP 4.4"]
+    assert counts["AOSP 4.4"] > counts["AOSP 4.3"]
+    assert counts["AOSP 4.3"] > counts["AOSP 4.2"]
+    assert counts["AOSP 4.2"] == counts["AOSP 4.1"]
+    assert counts["AOSP 4.1"] > counts["Mozilla"]
+    spread = max(counts.values()) - min(counts.values())
+    assert spread / max(counts.values()) < 0.01  # "few practical differences"
+    coverage = counts["Mozilla"] / notary.current_certificates
+    assert abs(coverage - 0.744) < 0.03

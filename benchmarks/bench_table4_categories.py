@@ -1,0 +1,52 @@
+"""Table 4: per-category root counts and validate-nothing fractions.
+
+Paper: non-AOSP/non-Mozilla 85 roots, 72 %; non-AOSP-in-Mozilla 16,
+38 %; AOSP4.4∩Mozilla 130, 15 %; AOSP 4.1 139, 22 %; AOSP 4.4 150,
+23 %; aggregated Android 235, 40 %; Mozilla 153, 22 %; iOS7 227, 41 %.
+"""
+
+from _util import emit
+
+from repro.analysis.figures import store_categories
+from repro.analysis.tables import table4_category_offsets
+
+PAPER = {
+    "Non AOSP and non Mozilla Android certs": (85, 0.72),
+    "Non AOSP root certs found on Mozilla's": (16, 0.38),
+    "AOSP 4.4 and Mozilla root certs": (130, 0.15),
+    "AOSP 4.1": (139, 0.22),
+    "AOSP 4.4": (150, 0.23),
+    "Aggregated Android root certs": (235, 0.40),
+    "Mozilla": (153, 0.22),
+    "iOS7": (227, 0.41),
+}
+
+
+def test_table4_category_offsets(
+    benchmark, platform_stores, notary, extra_certificates
+):
+    def run():
+        categories = store_categories(
+            platform_stores.aosp,
+            platform_stores.mozilla,
+            platform_stores.ios7,
+            extra_certificates,
+        )
+        return table4_category_offsets(categories, notary)
+
+    rows = benchmark(run)
+
+    emit(
+        "Table 4: root certs per category / fraction validating nothing",
+        [
+            f"{row.category:<42} measured={row.total_roots:>4} "
+            f"{row.fraction_validating_nothing:>4.0%}  "
+            f"paper={PAPER[row.category][0]:>4} {PAPER[row.category][1]:.0%}"
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        paper_total, paper_fraction = PAPER[row.category]
+        assert abs(row.total_roots - paper_total) <= max(4, paper_total * 0.05)
+        assert abs(row.fraction_validating_nothing - paper_fraction) < 0.07

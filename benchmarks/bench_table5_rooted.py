@@ -1,0 +1,43 @@
+"""Table 5: CAs found exclusively on rooted devices.
+
+Paper: CRAZY HOUSE on 70 devices; MIND OVERFLOW, USER_X,
+CDA/EMAILADDRESS and CIRRUS, PRIVATE on one device each; 24 % of
+sessions rooted, ~6 % of rooted sessions carrying such certs
+(~1.5 % of all).
+"""
+
+from _util import emit
+
+from repro.analysis.rooted import RootedDeviceAnalysis
+from repro.analysis.tables import table5_rooted_cas
+
+PAPER_TOP = {"CRAZY HOUSE": 70, "MIND OVERFLOW": 1, "USER_X": 1,
+             "CDA/EMAILADDRESS": 1, "CIRRUS, PRIVATE": 1}
+
+
+def test_table5_rooted_cas(benchmark, diffs, notary):
+    analysis = benchmark(RootedDeviceAnalysis.run, diffs, notary)
+    rows = table5_rooted_cas(analysis, limit=8)
+
+    emit(
+        "Table 5: CAs found exclusively on rooted devices",
+        [
+            f"{label:<32} measured={count:>3} devices"
+            + (f"  paper={PAPER_TOP[label]}" if label in PAPER_TOP else "")
+            for label, count in rows
+        ]
+        + [
+            f"rooted sessions: {analysis.rooted_session_fraction:.0%} (paper 24%)",
+            f"rooted-exclusive: {analysis.exclusive_session_fraction_of_rooted:.1%} "
+            "of rooted (paper ~6%), "
+            f"{analysis.exclusive_session_fraction_of_all:.1%} of all (paper ~1.5%)",
+        ],
+    )
+
+    assert rows[0][0] == "CRAZY HOUSE"
+    assert 40 <= rows[0][1] <= 80  # paper: 70 devices
+    labels = {label for label, _ in rows}
+    assert {"MIND OVERFLOW", "CDA/EMAILADDRESS", "CIRRUS, PRIVATE"} <= labels
+    assert 0.20 <= analysis.rooted_session_fraction <= 0.28
+    assert 0.03 <= analysis.exclusive_session_fraction_of_rooted <= 0.10
+    assert 0.008 <= analysis.exclusive_session_fraction_of_all <= 0.025

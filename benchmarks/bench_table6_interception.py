@@ -1,0 +1,44 @@
+"""Table 6: the TLS-interception case study's domain lists.
+
+Paper: exactly one proxied session (a Nexus 7 on 4.4); 12 intercepted
+domains, 9 whitelisted; the proxy whitelists pinned apps (Facebook,
+Twitter, Google) and the SUPL/MQTT special ports.
+"""
+
+from _util import emit
+
+from repro.analysis.interception import detect_interception
+from repro.analysis.tables import table6_interception_domains
+
+PAPER_INTERCEPTED = [
+    "gmail.com:443", "mail.google.com:443", "mail.yahoo.com:443",
+    "orcart.facebook.com:443", "www.bankofamerica.com:443",
+    "www.chase.com:443", "www.hsbc.com:443", "www.icsi.berkeley.edu:443",
+    "www.outlook.com:443", "www.skype.com:443", "www.viber.com:443",
+    "www.yahoo.com:443",
+]
+PAPER_WHITELISTED = [
+    "google-analytics.com:443", "maps.google.com:443",
+    "orcart.facebook.com:8883", "play.google.com:443",
+    "supl.google.com:7275", "www.facebook.com:443",
+    "www.google.co.uk:443", "www.google.com:443", "www.twitter.com:443",
+]
+
+
+def test_table6_interception(benchmark, dataset, classifier):
+    findings = benchmark(detect_interception, dataset.sessions, classifier)
+    table = table6_interception_domains(findings)
+
+    emit(
+        "Table 6: domains intercepted / whitelisted by the HTTPS proxy",
+        [f"interceptor: {table.interceptor}", "intercepted:"]
+        + [f"  {domain}" for domain in table.intercepted]
+        + ["whitelisted:"]
+        + [f"  {domain}" for domain in table.whitelisted],
+    )
+
+    assert len(findings) == 1
+    assert findings[0].session.model == "Nexus 7"
+    assert table.interceptor == "Reality Mine"
+    assert table.intercepted == PAPER_INTERCEPTED
+    assert table.whitelisted == PAPER_WHITELISTED

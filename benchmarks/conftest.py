@@ -1,0 +1,73 @@
+"""Shared full-fidelity fixtures for the benchmark harness.
+
+Benchmarks run against the *full-scale* study (15,970-session
+population, full Notary traffic) so the printed rows are directly
+comparable to the paper's. The expensive universe is built once per
+benchmark session.
+"""
+
+import pytest
+
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.sessions import SessionDiffer
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.netalyzr.collector import collect_dataset
+from repro.notary import build_notary
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+from repro.x509.fingerprint import identity_key
+
+
+@pytest.fixture(scope="session")
+def factory():
+    return CertificateFactory(seed="bench-universe")
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def platform_stores(factory, catalog):
+    return build_platform_stores(factory, catalog)
+
+
+@pytest.fixture(scope="session")
+def population(factory, catalog):
+    config = PopulationConfig(seed="bench-universe", scale=1.0)
+    return PopulationGenerator(config, factory, catalog).generate()
+
+
+@pytest.fixture(scope="session")
+def dataset(population, factory, catalog):
+    return collect_dataset(population, factory, catalog)
+
+
+@pytest.fixture(scope="session")
+def notary(factory, catalog):
+    return build_notary(factory, catalog, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def diffs(platform_stores, dataset):
+    return SessionDiffer(platform_stores.aosp).diff_all(dataset)
+
+
+@pytest.fixture(scope="session")
+def classifier(platform_stores, notary):
+    return PresenceClassifier(
+        platform_stores.mozilla, platform_stores.ios7, notary
+    )
+
+
+@pytest.fixture(scope="session")
+def extra_certificates(diffs):
+    """Deduplicated non-AOSP additions from non-rooted sessions."""
+    extras = {}
+    for diff in diffs:
+        if diff.session.rooted:
+            continue
+        for certificate in diff.additional:
+            extras.setdefault(identity_key(certificate), certificate)
+    return list(extras.values())

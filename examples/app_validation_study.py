@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Quantify broken app-level TLS validation (the §2/§3 motivation).
+
+Builds the attack matrix of Fahl et al. / Georgiev et al. — self-signed
+certs, wrong-host certs, expired certs, and a store-resident MITM root —
+and runs it against the six validation profiles found in real app
+corpora, on a stock Android 4.4 store.
+
+    python examples/app_validation_study.py
+"""
+
+import datetime
+
+from repro.android.appsec import (
+    ATTACKS,
+    AppTlsStack,
+    ValidationProfile,
+    exposure_summary,
+    run_attack_matrix,
+)
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+from repro.tlssim import TlsServer, TlsTrafficGenerator
+from repro.tlssim.pinning import PinStore
+from repro.tlssim.traffic import ServerIdentity
+from repro.x509 import CertificateBuilder, Name
+
+HOST = "api.bank.example"
+
+
+def build_attack_servers(factory, catalog, store):
+    """One server per attack, each presenting that attack's chain."""
+    traffic = TlsTrafficGenerator(factory, catalog)
+    issuing_ca = "Entrust Root CA"
+    legit = traffic.server_identity(HOST, issuing_ca)
+
+    # self-signed cert claiming the host
+    kp = generate_keypair(DeterministicRandom("appsec-selfsigned"))
+    self_signed = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .public_key(kp.public)
+        .tls_server(HOST)
+        .self_sign(kp.private)
+    )
+
+    # valid chain... for a different host
+    wrong_host = traffic.server_identity("www.other.example", issuing_ca)
+
+    # correctly chained but expired
+    ca_profile = catalog.by_name(issuing_ca)
+    ca_kp = factory.keypair_for(issuing_ca)
+    expired_kp = generate_keypair(DeterministicRandom("appsec-expired"))
+    expired = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .issuer(factory.subject_for(ca_profile))
+        .public_key(expired_kp.public)
+        .serial_number(999)
+        .validity(datetime.datetime(2010, 1, 1), datetime.datetime(2012, 1, 1))
+        .tls_server(HOST)
+        .sign(ca_kp.private, issuer_public_key=ca_kp.public)
+    )
+
+    # a MITM whose root sits in the device store (the §6 scenario)
+    mitm_kp = generate_keypair(DeterministicRandom("appsec-mitm"))
+    mitm_root = (
+        CertificateBuilder()
+        .subject(Name.build(CN="Injected MITM Root"))
+        .public_key(mitm_kp.public)
+        .ca(True)
+        .self_sign(mitm_kp.private)
+    )
+    store.add(mitm_root, system=True, source="app:Freedom")
+    mitm_leaf = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .issuer(mitm_root.subject)
+        .public_key(expired_kp.public)
+        .serial_number(1000)
+        .tls_server(HOST)
+        .sign(mitm_kp.private, issuer_public_key=mitm_kp.public)
+    )
+
+    def server(chain, keypair):
+        return TlsServer(HOST, 443, ServerIdentity(chain=chain, keypair=keypair))
+
+    return {
+        "self_signed": server((self_signed,), kp),
+        "wrong_host": TlsServer(
+            HOST, 443, ServerIdentity(chain=wrong_host.chain, keypair=wrong_host.keypair)
+        ),
+        "expired": server((expired, factory.root_certificate(ca_profile)), expired_kp),
+        "trusted_mitm": server(
+            (mitm_leaf, mitm_root), expired_kp
+        ),
+    }, legit
+
+
+def main() -> None:
+    factory = CertificateFactory(seed="appsec-study")
+    catalog = default_catalog()
+    stores = build_platform_stores(factory, catalog)
+    store = stores.aosp["4.4"].copy("appsec-device", read_only=False)
+
+    servers, legit = build_attack_servers(factory, catalog, store)
+    pins = PinStore()
+    pins.pin(HOST, legit.chain[-1])
+
+    stacks = {
+        profile: AppTlsStack(profile=profile, store=store, pins=pins)
+        for profile in ValidationProfile
+    }
+    outcomes = run_attack_matrix(stacks, servers)
+
+    print(f"{'validation profile':<22}" + "".join(f"{a:<16}" for a in ATTACKS))
+    for profile in ValidationProfile:
+        row = [o for o in outcomes if o.profile is profile]
+        cells = {o.attack: "ACCEPTED" if o.connection_accepted else "rejected"
+                 for o in row}
+        print(
+            f"{profile.value:<22}"
+            + "".join(f"{cells.get(a, '-'):<16}" for a in ATTACKS)
+        )
+
+    print("\nattacks accepted per profile:")
+    for profile, count in sorted(
+        exposure_summary(outcomes).items(), key=lambda item: -item[1]
+    ):
+        print(f"  {profile.value:<20} {count}/{len(ATTACKS)}")
+    print(
+        "\nonly pinning survives a store-resident MITM root — the paper's "
+        "§6/§8 argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A device's trust lifecycle, end to end.
+
+Walks one handset through the paper's whole narrative: branded
+provisioning (§5.1 additions) → audit → rooting and silent CA injection
+(§6) → audit catches it → OTA update wipes the injected root but keeps
+the user's VPN cert → final audit. Shows the audit verdicts and user
+signals at every step.
+
+    python examples/device_lifecycle.py
+"""
+
+from repro.analysis.classify import PresenceClassifier
+from repro.android import DeviceSpec, FirmwareBuilder, FreedomLikeApp, OtaUpdater
+from repro.android.settings import SecuritySettings
+from repro.audit import Severity, StoreAuditor
+from repro.notary import build_notary
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+
+
+def main() -> None:
+    factory = CertificateFactory(seed="lifecycle")
+    catalog = default_catalog()
+    stores = build_platform_stores(factory, catalog)
+    notary = build_notary(factory, catalog, scale=0.2)
+    classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+    firmware = FirmwareBuilder(factory, catalog)
+    updater = OtaUpdater(firmware)
+
+    def audit(device, stage):
+        auditor = StoreAuditor(
+            stores.aosp[device.spec.os_version],
+            classifier=classifier,
+            notary=notary,
+        )
+        report = auditor.audit(device.store)
+        print(f"\n== {stage} ==")
+        print(report.render(min_severity=Severity.LOW))
+
+    # 1. Branded Samsung on 4.1 (vendor additions, §5.1).
+    device = firmware.provision(
+        DeviceSpec("SAMSUNG", "Galaxy SIII", "4.1", "T-MOBILE(US)"),
+        branded=True,
+        rooted=False,
+        device_id="lifecycle-01",
+    )
+    settings = SecuritySettings(device)
+    audit(device, "factory state (branded 4.1 firmware)")
+
+    # 2. The user installs a VPN certificate through Settings.
+    vpn_cert = factory.root_certificate(catalog.by_name("Self-Signed VPN Root 1"))
+    settings.install_certificate(vpn_cert, "Office VPN")
+    print("\nuser signals so far:")
+    for event in settings.events:
+        print(f"  [{event.kind.value}] {event.message}")
+
+    # 3. The user roots the handset; Freedom injects its CA silently (§6).
+    device.rooted = True
+    crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+    device.install_app(FreedomLikeApp(ca_certificate=crazy))
+    silent = settings.reconcile()
+    print("\nafter rooting + Freedom install:")
+    for event in silent:
+        print(f"  [{event.kind.value}] {event.message}")
+    audit(device, "rooted, Freedom CA injected")
+
+    # 4. OTA to 4.4: system store replaced, app CA wiped, root lost.
+    result = updater.update(device, "4.4", branded=True)
+    print(
+        f"\nOTA {result.from_version} -> {result.to_version}: "
+        f"+{result.system_roots_added} system roots, "
+        f"wiped {len(result.wiped_app_certs)} app-injected root(s), "
+        f"kept {len(result.preserved_user_certs)} user cert(s), "
+        f"root access lost: {result.unrooted}"
+    )
+    audit(device, "after OTA to 4.4")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the whole paper: every table and figure in one run.
+
+    python examples/full_study.py [--scale 0.25] [--notary-scale 0.5]
+
+At the default reduced scale the run takes well under a minute; with
+``--scale 1 --notary-scale 1`` it reproduces the full 15,970-session /
+~23k-leaf study (a couple of minutes).
+"""
+
+import argparse
+
+from repro.analysis import StudyConfig, render_study_report, run_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="population scale factor"
+    )
+    parser.add_argument(
+        "--notary-scale", type=float, default=0.5, help="Notary traffic scale factor"
+    )
+    parser.add_argument("--seed", default="tangled-mass", help="study seed")
+    args = parser.parse_args()
+
+    config = StudyConfig(
+        seed=args.seed,
+        population_scale=args.scale,
+        notary_scale=args.notary_scale,
+    )
+    print(
+        f"running study: seed={config.seed!r} "
+        f"population x{config.population_scale} notary x{config.notary_scale} ..."
+    )
+    result = run_study(config)
+    print(render_study_report(result))
+
+
+if __name__ == "__main__":
+    main()

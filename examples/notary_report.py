@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Query the simulated ICSI Notary like its operators do.
+
+Prints the ecosystem report (issuer concentration, chain shapes,
+validity periods) plus the per-store validation counts of Table 3.
+
+    python examples/notary_report.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.notary import build_notary, ecosystem_report, store_validation_count
+from repro.rootstore import CertificateFactory, build_platform_stores
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    factory = CertificateFactory(seed="notary-report")
+    stores = build_platform_stores(factory)
+    notary = build_notary(factory, scale=args.scale)
+
+    print(ecosystem_report(notary).render())
+
+    print("\nTable 3 (validated certificates per store):")
+    for name, store in [
+        ("Mozilla", stores.mozilla),
+        ("iOS 7", stores.ios7),
+        *((f"AOSP {v}", s) for v, s in sorted(stores.aosp.items())),
+    ]:
+        count = store_validation_count(notary, store)
+        sessions = notary.sessions_validated_by_store(store)
+        print(
+            f"  {name:<10} {count:>7,} certs "
+            f"({count / notary.current_certificates:.1%}); "
+            f"{sessions / notary.current_sessions:.1%} of sessions"
+        )
+
+
+if __name__ == "__main__":
+    main()

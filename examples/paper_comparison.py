@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Run the study and grade it against every published number.
+
+    python examples/paper_comparison.py [--scale 0.25] [--notary-scale 0.5]
+
+Prints a claim-by-claim verdict (paper value -> measured value) covering
+Tables 1-6, Figure 2's class mix, and the headline scalars.
+"""
+
+import argparse
+
+from repro.analysis import StudyConfig, run_study
+from repro.analysis.paper import compare_study, render_claims
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--notary-scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    result = run_study(
+        StudyConfig(population_scale=args.scale, notary_scale=args.notary_scale)
+    )
+    claims = compare_study(result)
+    print(render_claims(claims))
+    failed = [claim for claim in claims if not claim.holds]
+    if failed:
+        print("\nclaims not holding at this scale:")
+        for claim in failed:
+            print(f"  {claim.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build root stores, diff a device, validate a TLS chain.
+
+Runs in a few seconds and touches every layer of the public API:
+platform stores, firmware provisioning, store diffing, and chain
+validation with the simulated TLS world.
+
+    python examples/quickstart.py
+"""
+
+from repro.android import DeviceSpec, FirmwareBuilder
+from repro.rootstore import CertificateFactory, build_platform_stores, diff_stores
+from repro.rootstore.catalog import default_catalog
+from repro.rootstore.diff import overlap_count
+from repro.tlssim import TlsClient, TlsServer, TlsTrafficGenerator
+
+
+def main() -> None:
+    # One factory = one deterministic PKI universe.
+    factory = CertificateFactory(seed="quickstart")
+    catalog = default_catalog()
+
+    # 1. The official platform stores (Table 1).
+    stores = build_platform_stores(factory, catalog)
+    print("Official root store sizes:")
+    for name, size in sorted(stores.table1_sizes().items()):
+        print(f"  {name:<10} {size}")
+    print(
+        "AOSP 4.4 roots also in Mozilla:",
+        overlap_count(stores.aosp["4.4"], stores.mozilla),
+        "identical /",
+        overlap_count(stores.aosp["4.4"], stores.mozilla, use_equivalence=True),
+        "equivalent",
+    )
+
+    # 2. Provision a vendor-branded handset and diff it against AOSP.
+    firmware = FirmwareBuilder(factory, catalog)
+    spec = DeviceSpec(
+        manufacturer="HTC",
+        model="One X",
+        os_version="4.1",
+        operator="AT&T(US)",
+    )
+    device = firmware.provision(spec, branded=True)
+    diff = diff_stores(device.store, stores.aosp["4.1"])
+    print(f"\n{spec.manufacturer} {spec.model} ({spec.operator}): {diff.summary()}")
+    print("First five vendor additions:")
+    for certificate in diff.added[:5]:
+        print(f"  + {certificate.subject}")
+
+    # 3. Validate a TLS connection against the device's store.
+    traffic = TlsTrafficGenerator(factory, catalog)
+    identity = traffic.server_identity("www.example.com", "VeriSign Class 3 Root")
+    server = TlsServer("www.example.com", 443, identity)
+    result = TlsClient(device.store).connect(server)
+    print(f"\nTLS to {server.host}: trusted={result.trusted}")
+    print(f"  anchor: {result.validation.anchor.subject}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Audit a rooted handset the way §6 does.
+
+Provisions a rooted Samsung, lets a Freedom-style app silently inject
+its CA through the remounted system partition, then audits the on-disk
+cacerts directory against the official AOSP store and shows the
+man-in-the-middle this enables.
+
+    python examples/rooted_device_audit.py
+"""
+
+import tempfile
+
+from repro.android import DeviceSpec, FirmwareBuilder, FreedomLikeApp
+from repro.rootstore import CacertsDirectory, CertificateFactory, diff_stores
+from repro.rootstore.catalog import default_catalog
+from repro.tlssim import InterceptionProxy, TlsClient, TlsServer, TlsTrafficGenerator
+
+
+def main() -> None:
+    factory = CertificateFactory(seed="rooted-audit")
+    catalog = default_catalog()
+    firmware = FirmwareBuilder(factory, catalog)
+
+    device = firmware.provision(
+        DeviceSpec("SAMSUNG", "Galaxy SIII", "4.1", "T-MOBILE(US)"),
+        branded=False,
+        rooted=True,
+    )
+    print(f"device: {device!r}")
+
+    # Materialize the store as Android's real on-disk layout.
+    with tempfile.TemporaryDirectory() as sandbox:
+        cacerts = CacertsDirectory(sandbox, rooted=True)
+        cacerts.populate(device.store)
+        print(f"cacerts files on /system: {len(cacerts.list_files())}")
+
+        # The Freedom-style app: root -> remount -> inject -> remount ro.
+        crazy_house = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.install_app(FreedomLikeApp(ca_certificate=crazy_house))
+        cacerts.remount_rw()
+        cacerts.install(crazy_house)
+        cacerts.remount_ro()
+        print("Freedom app installed its CA; no user dialog was shown.")
+
+        # The audit: reload from disk, diff against official AOSP.
+        on_disk = cacerts.load_store("audited-device")
+        reference = firmware.aosp.store_for(device.spec.os_version)
+        diff = diff_stores(on_disk, reference)
+        print(f"\naudit: {diff.summary()}")
+        for certificate in diff.added:
+            print(f"  suspicious root: {certificate.subject}")
+
+    # What the injected root enables: silent interception of any domain.
+    traffic = TlsTrafficGenerator(factory, catalog)
+    upstream = traffic.server_identity("www.bankofamerica.com", "Entrust Root CA")
+    mitm = InterceptionProxy(
+        operator_name="CRAZY HOUSE", seed="crazy-house-mitm"
+    )
+    # The attacker reuses the injected CA's key; here we simulate by
+    # trusting the proxy root the same way the app injected its CA.
+    device.app_add_certificate(mitm.root_certificate, "Freedom")
+    client = TlsClient(device.store, proxy=mitm)
+    result = client.connect(TlsServer("www.bankofamerica.com", 443, upstream))
+    print(
+        f"\nMITM against www.bankofamerica.com: intercepted={result.intercepted}, "
+        f"yet the client saw trusted={result.trusted}"
+    )
+    print("the audited-vs-official diff is the only observable signal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The §5.3 / Perl-et-al. removal experiment: how small could the store be?
+
+Uses the Notary's per-root validation counts to rank AOSP 4.4's roots
+by usefulness, then shows how many roots cover 95/99/100 % of observed
+TLS traffic — the quantitative basis for the paper's claim that one
+"could seemingly disable these certificates with little negative
+effect".
+
+    python examples/store_minimization.py [--notary-scale 0.5]
+"""
+
+import argparse
+
+from repro.analysis.ecdf import cumulative_coverage, knee_index
+from repro.notary import build_notary, validation_counts_by_root
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--notary-scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    factory = CertificateFactory(seed="minimization")
+    catalog = default_catalog()
+    stores = build_platform_stores(factory, catalog)
+    notary = build_notary(factory, catalog, scale=args.notary_scale)
+
+    store = stores.aosp["4.4"]
+    roots = store.certificates()
+    counts = validation_counts_by_root(notary, roots)
+    total_validated = sum(counts)
+    useless = sum(1 for count in counts if count == 0)
+    print(f"AOSP 4.4: {len(roots)} roots; {useless} validate nothing "
+          f"({useless / len(roots):.0%}, paper: 23%)")
+
+    ranked = sorted(zip(counts, roots), key=lambda pair: -pair[0])
+    coverage = cumulative_coverage(counts, greedy=True)
+    for threshold in (0.95, 0.99, 1.0):
+        needed = knee_index(coverage, threshold)
+        print(
+            f"  {threshold:.0%} of validated traffic covered by the top "
+            f"{needed} roots ({needed / len(roots):.0%} of the store)"
+        )
+
+    print("\ntop 10 roots by validated leaves:")
+    for count, root in ranked[:10]:
+        print(f"  {count:>6,}  {root.subject.common_name}")
+
+    print("\nsample of removable roots (validate nothing):")
+    for count, root in [pair for pair in ranked if pair[0] == 0][:10]:
+        print(f"  {root.subject.common_name}")
+
+
+if __name__ == "__main__":
+    main()

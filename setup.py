@@ -1,0 +1,5 @@
+"""Legacy setup shim: allows `pip install -e .` without the wheel package."""
+
+from setuptools import setup
+
+setup()

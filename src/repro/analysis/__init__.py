@@ -1,0 +1,70 @@
+"""The paper's analysis pipeline.
+
+Consumes a Netalyzr dataset, the platform stores and the Notary, and
+regenerates every table and figure of the evaluation:
+
+=========  =====================================================  ==================
+Artifact   Content                                                Module
+=========  =====================================================  ==================
+Table 1    root-store sizes                                       :mod:`.tables`
+Table 2    top devices / manufacturers                            :mod:`.tables`
+Table 3    Notary certs validated per store                       :mod:`.tables`
+Table 4    per-category validate-nothing offsets                  :mod:`.tables`
+Table 5    rooted-device CAs                                      :mod:`.rooted`
+Table 6    intercepted / whitelisted domains                      :mod:`.interception`
+Figure 1   AOSP-vs-additional scatter                             :mod:`.figures`
+Figure 2   cert × manufacturer/operator matrix                    :mod:`.figures`
+Figure 3   per-root validation ECDFs                              :mod:`.ecdf`
+=========  =====================================================  ==================
+"""
+
+from repro.analysis.sessions import SessionDiff, SessionDiffer
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.ecdf import cumulative_coverage, ecdf_points
+from repro.analysis.rooted import RootedDeviceAnalysis
+from repro.analysis.interception import InterceptionFinding, detect_interception
+from repro.analysis.figures import figure1_scatter, figure2_matrix, figure3_ecdf
+from repro.analysis import tables
+from repro.analysis.report import render_study_report
+from repro.analysis.study import StudyConfig, StudyResult, run_study
+from repro.analysis.evolution import classify_additions, store_changelog
+from repro.analysis.stats import (
+    Estimate,
+    bootstrap_fraction,
+    session_fraction_estimate,
+    wilson_interval,
+)
+from repro.analysis.paper import compare_study, render_claims
+from repro.analysis.geography import (
+    certificate_footprints,
+    detect_roaming,
+)
+
+__all__ = [
+    "SessionDiff",
+    "SessionDiffer",
+    "PresenceClassifier",
+    "ecdf_points",
+    "cumulative_coverage",
+    "RootedDeviceAnalysis",
+    "InterceptionFinding",
+    "detect_interception",
+    "figure1_scatter",
+    "figure2_matrix",
+    "figure3_ecdf",
+    "tables",
+    "render_study_report",
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    "store_changelog",
+    "classify_additions",
+    "Estimate",
+    "wilson_interval",
+    "bootstrap_fraction",
+    "session_fraction_estimate",
+    "compare_study",
+    "render_claims",
+    "certificate_footprints",
+    "detect_roaming",
+]

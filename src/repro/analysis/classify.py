@@ -1,0 +1,97 @@
+"""Cross-store presence classification of additional certificates.
+
+For each additional certificate, the paper asks: is it also in the
+Mozilla and/or iOS7 stores, and does the Notary know it at all? This
+module recovers Figure 2's four presence classes *mechanistically* —
+from the stores and the Notary, not from the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.notary.database import NotaryDatabase
+from repro.rootstore.catalog import StorePresence
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+@dataclass(frozen=True)
+class ClassifiedCertificate:
+    """One additional certificate with its recovered presence class."""
+
+    certificate: Certificate
+    presence: StorePresence
+    in_mozilla: bool
+    in_ios7: bool
+    recorded_by_notary: bool
+
+
+class PresenceClassifier:
+    """Classifies certificates by §4.2 equivalence against the stores."""
+
+    def __init__(
+        self,
+        mozilla: RootStore,
+        ios7: RootStore,
+        notary: NotaryDatabase | None = None,
+    ):
+        self._mozilla = frozenset(
+            equivalence_key(c) for c in mozilla.certificates(include_disabled=True)
+        )
+        self._ios7 = frozenset(
+            equivalence_key(c) for c in ios7.certificates(include_disabled=True)
+        )
+        self.notary = notary
+
+    def classify(self, certificate: Certificate) -> ClassifiedCertificate:
+        """Classify one certificate."""
+        key = equivalence_key(certificate)
+        in_mozilla = key in self._mozilla
+        in_ios7 = key in self._ios7
+        recorded = (
+            self.notary.seen_in_traffic(certificate)
+            if self.notary is not None
+            else False
+        )
+        if in_mozilla and in_ios7:
+            presence = StorePresence.MOZILLA_AND_IOS7
+        elif in_mozilla:
+            presence = StorePresence.MOZILLA_ONLY
+        elif in_ios7:
+            presence = StorePresence.IOS7_ONLY
+        elif recorded:
+            presence = StorePresence.ANDROID_ONLY
+        else:
+            presence = StorePresence.NOT_RECORDED
+        return ClassifiedCertificate(
+            certificate=certificate,
+            presence=presence,
+            in_mozilla=in_mozilla,
+            in_ios7=in_ios7,
+            recorded_by_notary=recorded,
+        )
+
+    def classify_unique(
+        self, certificates: list[Certificate]
+    ) -> dict[tuple[int, bytes], ClassifiedCertificate]:
+        """Classify a certificate collection, deduplicated by identity."""
+        out: dict[tuple[int, bytes], ClassifiedCertificate] = {}
+        for certificate in certificates:
+            key = identity_key(certificate)
+            if key not in out:
+                out[key] = self.classify(certificate)
+        return out
+
+    def presence_distribution(
+        self, certificates: list[Certificate]
+    ) -> dict[StorePresence, float]:
+        """Figure 2's class fractions over distinct certificates."""
+        classified = self.classify_unique(certificates)
+        if not classified:
+            return {}
+        counts = Counter(item.presence for item in classified.values())
+        total = len(classified)
+        return {presence: counts.get(presence, 0) / total for presence in StorePresence}

@@ -1,0 +1,94 @@
+"""Root-store evolution analysis: the version-over-version changelog.
+
+§2 tracks AOSP's growth release by release (139 → 140 → 146 → 150) and
+§5.1 notes certificates "added which [are] also present in newer AOSP
+versions". This module derives the changelog between store versions and
+classifies a device's additions as *backports* (official roots of a
+newer version) versus genuinely foreign roots — sharpening Figure 1's
+"additional certificates" measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+@dataclass(frozen=True)
+class VersionDelta:
+    """The changelog between two consecutive store versions."""
+
+    from_name: str
+    to_name: str
+    added: tuple[Certificate, ...]
+    removed: tuple[Certificate, ...]
+
+    @property
+    def net_growth(self) -> int:
+        """Net certificate count change."""
+        return len(self.added) - len(self.removed)
+
+
+def store_changelog(stores: dict[str, RootStore]) -> list[VersionDelta]:
+    """Deltas between consecutive versions (sorted by version key)."""
+    versions = sorted(stores)
+    deltas = []
+    for older, newer in zip(versions, versions[1:]):
+        old_ids = {
+            identity_key(c): c
+            for c in stores[older].certificates(include_disabled=True)
+        }
+        new_ids = {
+            identity_key(c): c
+            for c in stores[newer].certificates(include_disabled=True)
+        }
+        deltas.append(
+            VersionDelta(
+                from_name=stores[older].name,
+                to_name=stores[newer].name,
+                added=tuple(c for k, c in new_ids.items() if k not in old_ids),
+                removed=tuple(c for k, c in old_ids.items() if k not in new_ids),
+            )
+        )
+    return deltas
+
+
+@dataclass(frozen=True)
+class AdditionProvenance:
+    """A device's additions split by where they could have come from."""
+
+    backports: tuple[Certificate, ...]  # official roots of a newer AOSP
+    foreign: tuple[Certificate, ...]  # not in any AOSP version
+
+    @property
+    def backport_count(self) -> int:
+        """Number of newer-AOSP backports among the additions."""
+        return len(self.backports)
+
+
+def classify_additions(
+    additions: tuple[Certificate, ...] | list[Certificate],
+    device_version: str,
+    aosp_stores: dict[str, RootStore],
+) -> AdditionProvenance:
+    """Split a device's additions into newer-AOSP backports vs foreign.
+
+    Uses §4.2 equivalence, so a backported root re-issued with new
+    dates still counts as a backport.
+    """
+    newer_keys: set[object] = set()
+    for version, store in aosp_stores.items():
+        if version <= device_version:
+            continue
+        for certificate in store.certificates(include_disabled=True):
+            newer_keys.add(equivalence_key(certificate))
+    backports = tuple(
+        c for c in additions if equivalence_key(c) in newer_keys
+    )
+    foreign = tuple(
+        c for c in additions if equivalence_key(c) not in newer_keys
+    )
+    return AdditionProvenance(backports=backports, foreign=foreign)

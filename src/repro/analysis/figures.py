@@ -1,0 +1,241 @@
+"""Data series for the paper's three figures."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.ecdf import ecdf_points, fraction_zero
+from repro.analysis.sessions import SessionDiff
+from repro.notary.database import NotaryDatabase
+from repro.notary.validation import validation_counts_by_root
+from repro.rootstore.catalog import StorePresence
+from repro.rootstore.store import RootStore
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 -- scatter of AOSP vs additional certificates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One marker: a (manufacturer, version, aosp, additional) bucket."""
+
+    manufacturer: str
+    os_version: str
+    aosp_count: int
+    additional_count: int
+    session_count: int
+
+
+def figure1_scatter(diffs: list[SessionDiff]) -> list[Figure1Point]:
+    """Group sessions into Figure 1's scatter markers."""
+    buckets: Counter = Counter()
+    for diff in diffs:
+        buckets[
+            (
+                diff.session.manufacturer,
+                diff.session.os_version,
+                diff.aosp_count,
+                diff.additional_count,
+            )
+        ] += 1
+    return [
+        Figure1Point(
+            manufacturer=manufacturer,
+            os_version=version,
+            aosp_count=aosp,
+            additional_count=additional,
+            session_count=count,
+        )
+        for (manufacturer, version, aosp, additional), count in sorted(
+            buckets.items()
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- certificate × (manufacturer / operator) frequency matrix
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure2Cell:
+    """One marker: an additional cert seen in a device group."""
+
+    group: str  # "SAMSUNG 4.1" or "VERIZON(US)"
+    group_kind: str  # "manufacturer" or "operator"
+    cert_label: str
+    cert_short_id: str
+    frequency: float  # sessions with this cert / modified sessions in group
+    presence: StorePresence
+
+
+@dataclass
+class Figure2Matrix:
+    """The full Figure 2 dataset."""
+
+    cells: list[Figure2Cell] = field(default_factory=list)
+    class_fractions: dict[StorePresence, float] = field(default_factory=dict)
+    min_group_sessions: int = 10
+
+    def groups(self) -> list[str]:
+        """All group labels with data."""
+        return sorted({cell.group for cell in self.cells})
+
+    def cells_for_group(self, group: str) -> list[Figure2Cell]:
+        """The cells in one row."""
+        return [cell for cell in self.cells if cell.group == group]
+
+
+def figure2_matrix(
+    diffs: list[SessionDiff],
+    classifier: PresenceClassifier,
+    *,
+    min_group_sessions: int = 10,
+) -> Figure2Matrix:
+    """Build Figure 2: per-group frequencies of each additional cert.
+
+    Groups with fewer than *min_group_sessions* modified sessions are
+    omitted, as in the paper. Only non-rooted sessions participate
+    (rooted handsets are analyzed separately, §4.1).
+    """
+    modified = [d for d in diffs if d.is_extended and not d.session.rooted]
+
+    group_sessions: dict[tuple[str, str], int] = Counter()
+    cert_sessions: dict[tuple[str, str], Counter] = defaultdict(Counter)
+    examples: dict[tuple[int, bytes], object] = {}
+
+    for diff in modified:
+        session = diff.session
+        groups = [
+            ("manufacturer", f"{session.manufacturer} {session.os_version}"),
+            ("operator", session.operator),
+        ]
+        for kind, group in groups:
+            if group == "WIFI":
+                continue
+            group_sessions[(kind, group)] += 1
+            for certificate in diff.additional:
+                key = identity_key(certificate)
+                examples.setdefault(key, certificate)
+                cert_sessions[(kind, group)][key] += 1
+
+    classified = {
+        key: classifier.classify(certificate)
+        for key, certificate in examples.items()
+    }
+
+    cells: list[Figure2Cell] = []
+    for (kind, group), total in group_sessions.items():
+        if total < min_group_sessions:
+            continue
+        for key, count in cert_sessions[(kind, group)].items():
+            certificate = examples[key]
+            from repro.x509.fingerprint import CertificateIdentity
+
+            cells.append(
+                Figure2Cell(
+                    group=group,
+                    group_kind=kind,
+                    cert_label=certificate.subject.common_name
+                    or str(certificate.subject),
+                    cert_short_id=CertificateIdentity.of(certificate).short,
+                    frequency=count / total,
+                    presence=classified[key].presence,
+                )
+            )
+
+    class_counts = Counter(item.presence for item in classified.values())
+    total_certs = len(classified) or 1
+    fractions = {
+        presence: class_counts.get(presence, 0) / total_certs
+        for presence in StorePresence
+    }
+    return Figure2Matrix(
+        cells=sorted(cells, key=lambda c: (c.group_kind, c.group, c.cert_label)),
+        class_fractions=fractions,
+        min_group_sessions=min_group_sessions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- ECDFs of per-root validation counts per category
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure3Series:
+    """One ECDF curve."""
+
+    label: str
+    root_count: int
+    points: tuple[tuple[int, float], ...]
+    zero_fraction: float
+
+
+def figure3_ecdf(
+    categories: dict[str, list],
+    notary: NotaryDatabase,
+) -> list[Figure3Series]:
+    """Compute one ECDF per root-store category.
+
+    ``categories`` maps a label to the certificates in that category
+    (see :func:`store_categories` for the paper's grouping).
+    """
+    series = []
+    for label, roots in categories.items():
+        counts = validation_counts_by_root(notary, roots)
+        series.append(
+            Figure3Series(
+                label=label,
+                root_count=len(roots),
+                points=tuple(ecdf_points(counts)),
+                zero_fraction=fraction_zero(counts),
+            )
+        )
+    return series
+
+
+def store_categories(
+    aosp: dict[str, RootStore],
+    mozilla: RootStore,
+    ios7: RootStore,
+    extra_certificates: list,
+) -> dict[str, list]:
+    """The paper's Figure 3 / Table 4 category grouping.
+
+    ``extra_certificates`` is the deduplicated list of non-AOSP
+    additions recovered from the dataset (non-rooted sessions).
+    """
+    mozilla_keys = frozenset(
+        equivalence_key(c) for c in mozilla.certificates(include_disabled=True)
+    )
+    aosp44 = aosp["4.4"].certificates(include_disabled=True)
+    aosp41 = aosp["4.1"].certificates(include_disabled=True)
+
+    extras_in_mozilla = [
+        c for c in extra_certificates if equivalence_key(c) in mozilla_keys
+    ]
+    extras_outside_mozilla = [
+        c for c in extra_certificates if equivalence_key(c) not in mozilla_keys
+    ]
+    aosp44_and_mozilla = [
+        c for c in aosp44 if equivalence_key(c) in mozilla_keys
+    ]
+    aggregated = list(aosp44) + extras_outside_mozilla
+
+    return {
+        "Non AOSP and non Mozilla Android certs": extras_outside_mozilla,
+        "Non AOSP root certs found on Mozilla's": extras_in_mozilla,
+        "AOSP 4.4 and Mozilla root certs": aosp44_and_mozilla,
+        "AOSP 4.1": list(aosp41),
+        "AOSP 4.4": list(aosp44),
+        "Aggregated Android root certs": aggregated,
+        "Mozilla": mozilla.certificates(include_disabled=True),
+        "iOS7": ios7.certificates(include_disabled=True),
+        "Non AOSP Android certs": list(extra_certificates),
+    }

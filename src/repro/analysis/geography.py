@@ -1,0 +1,122 @@
+"""Geographic and operator provenance of additional certificates (§5.2).
+
+The paper's "additional observations" reason about *where* unusual
+certificates turn up: Meditel (a Moroccan ISP) roots on devices in
+Bermuda, Telefonica roots on devices attached to Claro networks, CFCA
+roots across a dozen countries. This module recovers those signals:
+
+* per-certificate country/operator spread, and
+* *roaming findings* — an operator-issued root observed on a session
+  attached to a different operator's network, "suggest[ing] a user
+  roaming or traveling abroad".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.sessions import SessionDiff
+from repro.rootstore.catalog import CaCatalog, CaKind, default_catalog
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import identity_key
+
+
+@dataclass(frozen=True)
+class CertFootprint:
+    """Where one additional certificate was observed."""
+
+    label: str
+    certificate: Certificate
+    countries: frozenset[str]
+    attached_operators: frozenset[str]
+    session_count: int
+
+    @property
+    def country_spread(self) -> int:
+        """Number of distinct countries (the CFCA signal)."""
+        return len(self.countries)
+
+
+@dataclass(frozen=True)
+class RoamingFinding:
+    """An operator root seen under a different operator's network."""
+
+    cert_label: str
+    issuing_operator: str  # operator the deployment table attributes it to
+    attached_operator: str  # network the session was actually on
+    session_count: int
+
+
+def certificate_footprints(
+    diffs: list[SessionDiff], *, min_sessions: int = 1
+) -> list[CertFootprint]:
+    """Country/operator spread for each additional certificate."""
+    sessions: dict[tuple[int, bytes], list] = defaultdict(list)
+    examples: dict[tuple[int, bytes], Certificate] = {}
+    for diff in diffs:
+        for certificate in diff.additional:
+            key = identity_key(certificate)
+            sessions[key].append(diff.session)
+            examples.setdefault(key, certificate)
+    footprints = []
+    for key, session_list in sessions.items():
+        if len(session_list) < min_sessions:
+            continue
+        certificate = examples[key]
+        footprints.append(
+            CertFootprint(
+                label=certificate.subject.common_name or str(certificate.subject),
+                certificate=certificate,
+                countries=frozenset(
+                    s.attached_country or s.country for s in session_list
+                ),
+                attached_operators=frozenset(
+                    s.attached_operator or s.operator for s in session_list
+                ),
+                session_count=len(session_list),
+            )
+        )
+    footprints.sort(key=lambda f: (-f.country_spread, f.label))
+    return footprints
+
+
+def detect_roaming(
+    diffs: list[SessionDiff],
+    catalog: CaCatalog | None = None,
+) -> list[RoamingFinding]:
+    """§5.2's inference: operator roots under foreign networks.
+
+    A certificate attributed (by the deployment table) exclusively to
+    operator O, carried by a session attached to operator N != O,
+    suggests a subscriber of O roaming on N.
+    """
+    catalog = catalog or default_catalog()
+    operator_for_cert: dict[str, str] = {}
+    for deployment in catalog.deployments:
+        profile = catalog.by_name(deployment.cert_name)
+        if profile.kind is not CaKind.OPERATOR or deployment.operator is None:
+            continue
+        operator_for_cert[deployment.cert_name] = deployment.operator
+
+    counts: dict[tuple[str, str, str], int] = defaultdict(int)
+    for diff in diffs:
+        attached = diff.session.attached_operator or diff.session.operator
+        for certificate in diff.additional:
+            label = certificate.subject.common_name or ""
+            issuing = operator_for_cert.get(label)
+            if issuing is None or attached in ("WIFI", issuing):
+                continue
+            counts[(label, issuing, attached)] += 1
+
+    findings = [
+        RoamingFinding(
+            cert_label=label,
+            issuing_operator=issuing,
+            attached_operator=attached,
+            session_count=count,
+        )
+        for (label, issuing, attached), count in counts.items()
+    ]
+    findings.sort(key=lambda f: (-f.session_count, f.cert_label))
+    return findings

@@ -1,0 +1,117 @@
+"""A single-file HTML report: all tables, figures and claims.
+
+Bundles the text tables, the three SVG figures (inline) and the
+paper-claims grading into one self-contained document — the artifact a
+reproduction reviewer actually opens.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.analysis.paper import compare_study
+from repro.analysis.report import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_geography,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.analysis.study import StudyResult
+from repro.analysis.svg import (
+    render_figure1_svg,
+    render_figure2_svg,
+    render_figure3_svg,
+)
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 1100px; color: #222; }
+h1 { border-bottom: 2px solid #4477aa; padding-bottom: 0.2em; }
+h2 { color: #4477aa; margin-top: 1.6em; }
+pre { background: #f7f7f8; border: 1px solid #e0e0e3; border-radius: 4px;
+      padding: 0.8em; overflow-x: auto; font-size: 12px; }
+.claim-ok { color: #228833; }
+.claim-fail { color: #ee6677; font-weight: bold; }
+table.claims { border-collapse: collapse; font-size: 13px; }
+table.claims td, table.claims th { border: 1px solid #ddd; padding: 3px 8px; }
+.figure { overflow-x: auto; border: 1px solid #eee; margin: 1em 0; }
+"""
+
+
+def render_html_report(result: StudyResult, *, include_figures: bool = True) -> str:
+    """The full study as one self-contained HTML document."""
+    sections: list[str] = []
+
+    def text_section(title: str, body: str) -> None:
+        sections.append(f"<h2>{escape(title)}</h2>\n<pre>{escape(body)}</pre>")
+
+    headline = (
+        f"sessions={result.dataset.session_count:,}  "
+        f"devices&ge;{result.estimated_devices:,}  "
+        f"models={result.dataset.distinct_models()}  "
+        f"unique certs={result.unique_certificates}  "
+        f"extended={result.extended_fraction:.0%}  "
+        f"rooted={result.rooted.rooted_session_fraction:.0%}"
+    )
+    sections.append(f"<p><b>{headline}</b></p>")
+
+    for title, renderer in (
+        ("Table 1 — root-store sizes", render_table1),
+        ("Table 2 — top devices and manufacturers", render_table2),
+        ("Table 3 — Notary certificates validated per store", render_table3),
+        ("Table 4 — validate-nothing offsets per category", render_table4),
+        ("Table 5 — rooted-device CAs", render_table5),
+        ("Table 6 — interception domains", render_table6),
+    ):
+        text_section(title, renderer(result))
+
+    if include_figures:
+        for title, svg in (
+            ("Figure 1 — AOSP vs additional certificates", render_figure1_svg(result.figure1)),
+            ("Figure 2 — certificate × manufacturer/operator", render_figure2_svg(result.figure2)),
+            ("Figure 3 — per-root validation ECDFs", render_figure3_svg(result.figure3)),
+        ):
+            sections.append(
+                f"<h2>{escape(title)}</h2>\n<div class='figure'>{svg}</div>"
+            )
+    for title, renderer in (
+        ("Figure 1 aggregates", render_figure1),
+        ("Figure 2 aggregates", render_figure2),
+        ("Figure 3 aggregates", render_figure3),
+        ("Additional observations (§5.2)", render_geography),
+    ):
+        text_section(title, renderer(result))
+
+    claims = compare_study(result)
+    rows = []
+    for claim in claims:
+        css = "claim-ok" if claim.holds else "claim-fail"
+        status = "OK" if claim.holds else "FAIL"
+        rows.append(
+            f"<tr><td>{escape(claim.name)}</td>"
+            f"<td class='{css}'>{status}</td>"
+            f"<td>{escape(repr(claim.paper))}</td>"
+            f"<td>{escape(repr(claim.measured))}</td></tr>"
+        )
+    holding = sum(1 for claim in claims if claim.holds)
+    sections.append(
+        f"<h2>Paper claims ({holding}/{len(claims)} hold)</h2>\n"
+        "<table class='claims'><tr><th>claim</th><th>status</th>"
+        "<th>paper</th><th>measured</th></tr>\n" + "\n".join(rows) + "</table>"
+    )
+
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>A Tangled Mass — reproduction report</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>A Tangled Mass: The Android Root Certificate Stores — "
+        "reproduction report</h1>"
+        f"{body}</body></html>\n"
+    )

@@ -1,0 +1,77 @@
+"""TLS-interception detection from probed trust chains (§7, Table 6).
+
+Netalyzr's detection signal is the probed chain itself: a domain whose
+chain terminates in a root that is neither the expected public CA nor
+any official store member is being intercepted on-path. The analysis
+groups each suspicious session's probes into intercepted and untouched
+domains — reproducing Table 6 — and extracts the interceptor identity
+from the forged root's subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import PresenceClassifier
+from repro.netalyzr.session import MeasurementSession
+from repro.rootstore.catalog import StorePresence
+
+
+@dataclass
+class InterceptionFinding:
+    """One session observed behind an interception proxy."""
+
+    session: MeasurementSession
+    interceptor_subject: str
+    intercepted_domains: list[str] = field(default_factory=list)
+    untouched_domains: list[str] = field(default_factory=list)
+
+    @property
+    def interceptor_organization(self) -> str:
+        """The O= component of the forged root subject, if present."""
+        for part in self.interceptor_subject.split(","):
+            if part.startswith("O="):
+                return part[2:]
+        return self.interceptor_subject
+
+
+def detect_interception(
+    sessions: list[MeasurementSession],
+    classifier: PresenceClassifier,
+) -> list[InterceptionFinding]:
+    """Scan probed sessions for on-path TLS interception.
+
+    A probe counts as intercepted when its chain's root is absent from
+    every official store and unknown to the Notary — i.e. a
+    :data:`StorePresence.NOT_RECORDED` root vouching for a major public
+    domain. (A benign chain for these probe targets always terminates
+    in a well-known public CA.)
+    """
+    findings: list[InterceptionFinding] = []
+    for session in sessions:
+        if not session.probes:
+            continue
+        intercepted: list[str] = []
+        untouched: list[str] = []
+        interceptor_subject = ""
+        for probe in session.probes:
+            if not probe.chain:
+                continue
+            root = probe.chain[-1]
+            classified = classifier.classify(root)
+            is_public = classified.presence is not StorePresence.NOT_RECORDED
+            if is_public:
+                untouched.append(probe.hostport)
+            else:
+                intercepted.append(probe.hostport)
+                interceptor_subject = str(root.subject)
+        if intercepted:
+            findings.append(
+                InterceptionFinding(
+                    session=session,
+                    interceptor_subject=interceptor_subject,
+                    intercepted_domains=sorted(intercepted),
+                    untouched_domains=sorted(untouched),
+                )
+            )
+    return findings

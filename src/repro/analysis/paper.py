@@ -1,0 +1,267 @@
+"""The paper's published values, and comparison against a study run.
+
+One structured source of truth for every number the paper reports,
+consumed by the benchmarks, by ``examples/paper_comparison.py`` and by
+EXPERIMENTS.md. ``compare_study`` evaluates a :class:`StudyResult`
+against all of them and reports which reproduction claims hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import StudyResult
+
+# -- published values ----------------------------------------------------------
+
+TABLE1_SIZES = {
+    "AOSP 4.1": 139, "AOSP 4.2": 140, "AOSP 4.3": 146, "AOSP 4.4": 150,
+    "iOS7": 227, "Mozilla": 153,
+}
+
+TABLE2_DEVICES = {
+    "SAMSUNG Galaxy SIV": 2762, "SAMSUNG Galaxy SIII": 2108,
+    "LG Nexus 4": 1331, "LG Nexus 5": 1010, "ASUS Nexus 7": 832,
+}
+TABLE2_MANUFACTURERS = {
+    "SAMSUNG": 7709, "LG": 2908, "ASUS": 1876, "HTC": 963, "MOTOROLA": 837,
+}
+
+TABLE3_COUNTS = {
+    "Mozilla": 744_069, "iOS 7": 745_736, "AOSP 4.1": 744_350,
+    "AOSP 4.2": 744_350, "AOSP 4.3": 744_384, "AOSP 4.4": 744_398,
+}
+TABLE3_TOTAL_CURRENT = 1_000_000  # "one million have not expired"
+
+TABLE4_ROWS = {
+    "Non AOSP and non Mozilla Android certs": (85, 0.72),
+    "Non AOSP root certs found on Mozilla's": (16, 0.38),
+    "AOSP 4.4 and Mozilla root certs": (130, 0.15),
+    "AOSP 4.1": (139, 0.22),
+    "AOSP 4.4": (150, 0.23),
+    "Aggregated Android root certs": (235, 0.40),
+    "Mozilla": (153, 0.22),
+    "iOS7": (227, 0.41),
+}
+
+TABLE5_DEVICES = {
+    "CRAZY HOUSE": 70, "MIND OVERFLOW": 1, "USER_X": 1,
+    "CDA/EMAILADDRESS": 1, "CIRRUS, PRIVATE": 1,
+}
+
+TABLE6_INTERCEPTED = (
+    "gmail.com:443", "mail.google.com:443", "mail.yahoo.com:443",
+    "orcart.facebook.com:443", "www.bankofamerica.com:443",
+    "www.chase.com:443", "www.hsbc.com:443", "www.icsi.berkeley.edu:443",
+    "www.outlook.com:443", "www.skype.com:443", "www.viber.com:443",
+    "www.yahoo.com:443",
+)
+TABLE6_WHITELISTED = (
+    "google-analytics.com:443", "maps.google.com:443",
+    "orcart.facebook.com:8883", "play.google.com:443",
+    "supl.google.com:7275", "www.facebook.com:443",
+    "www.google.co.uk:443", "www.google.com:443", "www.twitter.com:443",
+)
+
+FIGURE2_CLASSES = {
+    "mozilla_and_ios7": 0.067, "ios7_only": 0.162,
+    "android_only": 0.371, "not_recorded": 0.400,
+}
+
+HEADLINES = {
+    "sessions": 15_970,
+    "estimated_devices": 3_835,
+    "device_models": 435,
+    "unique_certificates": 314,
+    "extended_fraction": 0.39,
+    "rooted_fraction": 0.24,
+    "rooted_exclusive_of_rooted": 0.06,
+    "rooted_exclusive_of_all": 0.015,
+    "missing_cert_handsets": 5,
+    "aosp44_in_mozilla_identical": 117,
+    "aosp44_in_mozilla_equivalent": 130,
+    "intercepted_sessions": 1,
+}
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One reproduction claim evaluated against a study."""
+
+    name: str
+    paper: object
+    measured: object
+    holds: bool
+    note: str = ""
+
+
+def _relative_close(measured: float, paper: float, tolerance: float) -> bool:
+    if paper == 0:
+        return measured == 0
+    return abs(measured - paper) / abs(paper) <= tolerance
+
+
+def compare_study(result: StudyResult) -> list[Claim]:
+    """Evaluate the full claim list against a study result.
+
+    Absolute session/device counts scale with
+    ``result.config.population_scale``; fraction and structural claims
+    are scale-independent.
+    """
+    scale = result.config.population_scale
+    claims: list[Claim] = []
+
+    def claim(name, paper, measured, holds, note=""):
+        claims.append(Claim(name, paper, measured, bool(holds), note))
+
+    # Table 1: exact.
+    measured_sizes = dict(result.table1)
+    claim("table1.sizes", TABLE1_SIZES, measured_sizes,
+          measured_sizes == TABLE1_SIZES, "structural: must match exactly")
+
+    # Table 2: same sets, leader order, counts within 25% (scaled).
+    devices = dict(result.table2.top_devices)
+    claim(
+        "table2.device_set",
+        sorted(TABLE2_DEVICES),
+        sorted(devices),
+        set(devices) == set(TABLE2_DEVICES),
+    )
+    for name, paper_count in TABLE2_MANUFACTURERS.items():
+        measured = dict(result.table2.top_manufacturers).get(name, 0)
+        claim(
+            f"table2.manufacturer.{name}",
+            paper_count,
+            measured,
+            _relative_close(measured, paper_count * scale, 0.25),
+            f"scaled x{scale}",
+        )
+
+    # Table 3: ordering + near-equality.
+    counts = dict(result.table3)
+    claim(
+        "table3.ordering",
+        "iOS7 > AOSP4.4 > 4.3 > 4.2 = 4.1 > Mozilla",
+        " > ".join(sorted(counts, key=counts.get, reverse=True)),
+        counts["iOS 7"] > counts["AOSP 4.4"] >= counts["AOSP 4.3"]
+        and counts["AOSP 4.3"] >= counts["AOSP 4.2"]
+        and counts["AOSP 4.2"] == counts["AOSP 4.1"]
+        and counts["AOSP 4.1"] > counts["Mozilla"],
+    )
+    spread = (max(counts.values()) - min(counts.values())) / max(counts.values())
+    claim("table3.near_equality", "<1% spread", f"{spread:.2%}", spread < 0.01)
+
+    # Table 4 offsets.
+    for row in result.table4:
+        paper_total, paper_fraction = TABLE4_ROWS[row.category]
+        claim(
+            f"table4.{row.category}",
+            (paper_total, paper_fraction),
+            (row.total_roots, round(row.fraction_validating_nothing, 2)),
+            abs(row.total_roots - paper_total) <= max(4, paper_total * 0.05)
+            and abs(row.fraction_validating_nothing - paper_fraction) <= 0.07,
+        )
+
+    # Table 5.
+    top = dict(result.table5)
+    crazy = top.get("CRAZY HOUSE", 0)
+    claim(
+        "table5.crazy_house",
+        TABLE5_DEVICES["CRAZY HOUSE"],
+        crazy,
+        _relative_close(crazy, TABLE5_DEVICES["CRAZY HOUSE"] * scale, 0.3),
+        f"scaled x{scale}",
+    )
+
+    # Table 6: exact lists.
+    if result.table6 is not None:
+        claim(
+            "table6.intercepted",
+            list(TABLE6_INTERCEPTED),
+            result.table6.intercepted,
+            tuple(result.table6.intercepted) == TABLE6_INTERCEPTED,
+        )
+        claim(
+            "table6.whitelisted",
+            list(TABLE6_WHITELISTED),
+            result.table6.whitelisted,
+            tuple(result.table6.whitelisted) == TABLE6_WHITELISTED,
+        )
+    else:
+        claim("table6", "one finding", "none", False)
+
+    # Figure 2 class mix.
+    for key, paper_fraction in FIGURE2_CLASSES.items():
+        from repro.rootstore.catalog import StorePresence
+
+        measured = result.figure2.class_fractions[StorePresence(key)]
+        claim(
+            f"figure2.{key}",
+            paper_fraction,
+            round(measured, 3),
+            abs(measured - paper_fraction) <= 0.07,
+        )
+
+    # Headline scalars.
+    claim(
+        "headline.sessions",
+        HEADLINES["sessions"],
+        result.dataset.session_count,
+        _relative_close(
+            result.dataset.session_count, HEADLINES["sessions"] * scale, 0.15
+        ),
+        f"scaled x{scale}",
+    )
+    claim(
+        "headline.extended_fraction",
+        HEADLINES["extended_fraction"],
+        round(result.extended_fraction, 3),
+        abs(result.extended_fraction - HEADLINES["extended_fraction"]) <= 0.05,
+    )
+    claim(
+        "headline.rooted_fraction",
+        HEADLINES["rooted_fraction"],
+        round(result.rooted.rooted_session_fraction, 3),
+        abs(result.rooted.rooted_session_fraction - HEADLINES["rooted_fraction"])
+        <= 0.05,
+    )
+    claim(
+        "headline.rooted_exclusive",
+        HEADLINES["rooted_exclusive_of_rooted"],
+        round(result.rooted.exclusive_session_fraction_of_rooted, 3),
+        abs(
+            result.rooted.exclusive_session_fraction_of_rooted
+            - HEADLINES["rooted_exclusive_of_rooted"]
+        )
+        <= 0.05,
+    )
+    claim(
+        "headline.missing_handsets",
+        HEADLINES["missing_cert_handsets"],
+        result.missing_cert_handsets,
+        result.missing_cert_handsets == HEADLINES["missing_cert_handsets"],
+    )
+    claim(
+        "headline.interceptions",
+        HEADLINES["intercepted_sessions"],
+        len(result.interceptions),
+        len(result.interceptions) == HEADLINES["intercepted_sessions"],
+    )
+    return claims
+
+
+def render_claims(claims: list[Claim]) -> str:
+    """Render a claims table."""
+    lines = [f"{'claim':<48} {'status':<6} paper -> measured"]
+    for claim in claims:
+        status = "OK" if claim.holds else "FAIL"
+        lines.append(
+            f"{claim.name:<48} {status:<6} {claim.paper!r} -> {claim.measured!r}"
+            + (f"  ({claim.note})" if claim.note else "")
+        )
+    holding = sum(1 for c in claims if c.holds)
+    lines.append(f"{holding}/{len(claims)} claims hold")
+    return "\n".join(lines)

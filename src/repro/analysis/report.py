@@ -1,0 +1,207 @@
+"""Plain-text rendering of the study's tables and figures."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.analysis.study import StudyResult
+from repro.rootstore.catalog import StorePresence
+
+_PRESENCE_LABELS = {
+    StorePresence.MOZILLA_AND_IOS7: "Mozilla and iOS7",
+    StorePresence.MOZILLA_ONLY: "Mozilla only",
+    StorePresence.IOS7_ONLY: "iOS7 only",
+    StorePresence.ANDROID_ONLY: "Only Android",
+    StorePresence.NOT_RECORDED: "Not recorded by Notary",
+}
+
+
+def _rule(out: StringIO, title: str) -> None:
+    out.write(f"\n{title}\n{'-' * len(title)}\n")
+
+
+def render_table1(result: StudyResult) -> str:
+    """Table 1 as text."""
+    out = StringIO()
+    _rule(out, "Table 1: Number of certificates in different root stores")
+    for name, size in result.table1:
+        out.write(f"  {name:<12} {size:>4}\n")
+    return out.getvalue()
+
+
+def render_table2(result: StudyResult) -> str:
+    """Table 2 as text."""
+    out = StringIO()
+    _rule(out, "Table 2: Top 5 mobile devices and manufacturers")
+    out.write("  Devices:\n")
+    for name, count in result.table2.top_devices:
+        out.write(f"    {name:<28} {count:>6,}\n")
+    out.write("  Manufacturers:\n")
+    for name, count in result.table2.top_manufacturers:
+        out.write(f"    {name:<28} {count:>6,}\n")
+    return out.getvalue()
+
+
+def render_table3(result: StudyResult) -> str:
+    """Table 3 as text."""
+    out = StringIO()
+    _rule(out, "Table 3: Number of certificates validated by each root store")
+    for name, count in result.table3:
+        out.write(f"  {name:<12} {count:>8,}\n")
+    return out.getvalue()
+
+
+def render_table4(result: StudyResult) -> str:
+    """Table 4 as text."""
+    out = StringIO()
+    _rule(out, "Table 4: Root certificates per category / % validating nothing")
+    for row in result.table4:
+        out.write(
+            f"  {row.category:<44} {row.total_roots:>4} "
+            f"{row.fraction_validating_nothing:>6.0%}\n"
+        )
+    return out.getvalue()
+
+
+def render_table5(result: StudyResult) -> str:
+    """Table 5 as text."""
+    out = StringIO()
+    _rule(out, "Table 5: CAs found exclusively on rooted devices")
+    for label, devices in result.table5:
+        out.write(f"  {label:<36} {devices:>4} devices\n")
+    return out.getvalue()
+
+
+def render_table6(result: StudyResult) -> str:
+    """Table 6 as text."""
+    out = StringIO()
+    _rule(out, "Table 6: Domains intercepted / whitelisted by the HTTPS proxy")
+    if result.table6 is None:
+        out.write("  (no interception observed)\n")
+        return out.getvalue()
+    out.write(f"  Interceptor: {result.table6.interceptor}\n")
+    out.write("  Intercepted:\n")
+    for domain in result.table6.intercepted:
+        out.write(f"    {domain}\n")
+    out.write("  Whitelisted:\n")
+    for domain in result.table6.whitelisted:
+        out.write(f"    {domain}\n")
+    return out.getvalue()
+
+
+def render_figure1(result: StudyResult, max_rows: int = 12) -> str:
+    """Figure 1's headline aggregates as text."""
+    out = StringIO()
+    _rule(out, "Figure 1: AOSP vs additional certificates (aggregates)")
+    out.write(f"  sessions with extended stores: {result.extended_fraction:.0%}\n")
+    out.write(f"  handsets missing AOSP certs:   {result.missing_cert_handsets}\n")
+    heavy = [p for p in result.figure1 if p.additional_count > 40]
+    heavy_sessions = sum(p.session_count for p in heavy)
+    total_sessions = sum(p.session_count for p in result.figure1)
+    out.write(
+        f"  sessions with >40 additions:   {heavy_sessions} "
+        f"({heavy_sessions / total_sessions:.1%})\n"
+    )
+    biggest = sorted(
+        result.figure1, key=lambda p: p.additional_count, reverse=True
+    )[:max_rows]
+    out.write("  largest extensions (manufacturer/version -> +certs):\n")
+    for point in biggest:
+        out.write(
+            f"    {point.manufacturer} {point.os_version}: "
+            f"{point.aosp_count} AOSP + {point.additional_count} extra "
+            f"({point.session_count} sessions)\n"
+        )
+    return out.getvalue()
+
+
+def render_figure2(result: StudyResult, max_rows: int = 20) -> str:
+    """Figure 2's class mix and densest rows as text."""
+    out = StringIO()
+    _rule(out, "Figure 2: additional certificates by manufacturer/operator")
+    out.write("  presence classes over distinct additional certs:\n")
+    for presence, fraction in result.figure2.class_fractions.items():
+        out.write(f"    {_PRESENCE_LABELS[presence]:<24} {fraction:>6.1%}\n")
+    groups = result.figure2.groups()
+    out.write(f"  groups with >=10 modified sessions: {len(groups)}\n")
+    for group in groups[:max_rows]:
+        cells = result.figure2.cells_for_group(group)
+        top = sorted(cells, key=lambda c: c.frequency, reverse=True)[:3]
+        rendered = ", ".join(
+            f"{cell.cert_label} ({cell.frequency:.0%})" for cell in top
+        )
+        out.write(f"    {group:<18} {len(cells):>3} certs; top: {rendered}\n")
+    return out.getvalue()
+
+
+def render_figure3(result: StudyResult) -> str:
+    """Figure 3's per-category offsets and maxima as text."""
+    out = StringIO()
+    _rule(out, "Figure 3: ECDF of per-root validation counts")
+    out.write(
+        f"  {'category':<44} {'roots':>5} {'0-frac':>7} {'max':>7}\n"
+    )
+    for series in result.figure3:
+        maximum = series.points[-1][0] if series.points else 0
+        out.write(
+            f"  {series.label:<44} {series.root_count:>5} "
+            f"{series.zero_fraction:>6.0%} {maximum:>7,}\n"
+        )
+    return out.getvalue()
+
+
+def render_geography(result: StudyResult, max_rows: int = 6) -> str:
+    """§5.2's additional observations as text."""
+    out = StringIO()
+    _rule(out, "Additional observations (§5.2): geography and roaming")
+    widest = sorted(
+        result.footprints, key=lambda f: -f.country_spread
+    )[:max_rows]
+    out.write("  widest country spread:\n")
+    for footprint in widest:
+        out.write(
+            f"    {footprint.label:<40} {footprint.country_spread} countries, "
+            f"{footprint.session_count} sessions\n"
+        )
+    if result.roaming:
+        out.write("  operator roots on foreign networks (roaming users):\n")
+        for finding in result.roaming[:max_rows]:
+            out.write(
+                f"    {finding.cert_label:<40} issued for "
+                f"{finding.issuing_operator}, seen on {finding.attached_operator} "
+                f"({finding.session_count} sessions)\n"
+            )
+    return out.getvalue()
+
+
+def render_study_report(result: StudyResult) -> str:
+    """The full study report."""
+    out = StringIO()
+    out.write("A Tangled Mass: reproduction study report\n")
+    out.write("==========================================\n")
+    out.write(
+        f"sessions={result.dataset.session_count:,} "
+        f"devices>={result.estimated_devices:,} "
+        f"models={result.dataset.distinct_models()} "
+        f"unique certs={result.unique_certificates}\n"
+    )
+    out.write(
+        f"rooted sessions={result.rooted.rooted_session_fraction:.0%} "
+        f"rooted-exclusive={result.rooted.exclusive_session_fraction_of_rooted:.1%}"
+        f" of rooted "
+        f"({result.rooted.exclusive_session_fraction_of_all:.1%} of all)\n"
+    )
+    for renderer in (
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+        render_table5,
+        render_table6,
+        render_figure1,
+        render_figure2,
+        render_figure3,
+        render_geography,
+    ):
+        out.write(renderer(result))
+    return out.getvalue()

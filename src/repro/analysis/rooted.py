@@ -1,0 +1,103 @@
+"""Rooted-handset analysis (§6, Table 5).
+
+The paper analyzes rooted handsets separately "to avoid any bias, as
+users and third-party apps have permissions to modify the root store",
+then asks which certificates appear *exclusively* on rooted devices and
+how many devices carry each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sessions import SessionDiff
+from repro.notary.database import NotaryDatabase
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import identity_key
+
+
+@dataclass(frozen=True)
+class RootedCaFinding:
+    """One Table 5 row: a CA found only on rooted handsets."""
+
+    ca_label: str
+    certificate: Certificate
+    device_count: int
+    in_notary_traffic: bool
+
+
+@dataclass
+class RootedDeviceAnalysis:
+    """§6's statistics over a diffed session corpus."""
+
+    rooted_session_fraction: float
+    exclusive_session_fraction_of_rooted: float
+    exclusive_session_fraction_of_all: float
+    findings: list[RootedCaFinding]
+
+    @classmethod
+    def run(
+        cls,
+        diffs: list[SessionDiff],
+        notary: NotaryDatabase | None = None,
+    ) -> "RootedDeviceAnalysis":
+        """Compute the full rooted-device analysis."""
+        if not diffs:
+            raise ValueError("no session diffs")
+        rooted = [d for d in diffs if d.session.rooted]
+        non_rooted = [d for d in diffs if not d.session.rooted]
+
+        # Identity sets of additional certs per side.
+        non_rooted_ids = {
+            identity_key(c) for d in non_rooted for c in d.additional
+        }
+        # certs -> the rooted device tuples carrying them.
+        carriers: dict[tuple[int, bytes], set] = {}
+        examples: dict[tuple[int, bytes], Certificate] = {}
+        for diff in rooted:
+            for certificate in diff.additional:
+                key = identity_key(certificate)
+                if key in non_rooted_ids:
+                    continue  # not exclusive to rooted handsets
+                carriers.setdefault(key, set()).add(diff.session.device_tuple)
+                examples.setdefault(key, certificate)
+
+        exclusive_keys = set(carriers)
+        exclusive_sessions = [
+            diff
+            for diff in rooted
+            if any(identity_key(c) in exclusive_keys for c in diff.additional)
+        ]
+
+        findings = [
+            RootedCaFinding(
+                ca_label=_label(examples[key]),
+                certificate=examples[key],
+                device_count=len(devices),
+                in_notary_traffic=(
+                    notary.seen_in_traffic(examples[key])
+                    if notary is not None
+                    else False
+                ),
+            )
+            for key, devices in carriers.items()
+        ]
+        findings.sort(key=lambda f: (-f.device_count, f.ca_label))
+
+        return cls(
+            rooted_session_fraction=len(rooted) / len(diffs),
+            exclusive_session_fraction_of_rooted=(
+                len(exclusive_sessions) / len(rooted) if rooted else 0.0
+            ),
+            exclusive_session_fraction_of_all=len(exclusive_sessions) / len(diffs),
+            findings=findings,
+        )
+
+    def top_findings(self, limit: int = 5) -> list[RootedCaFinding]:
+        """Table 5's rows (most devices first)."""
+        return self.findings[:limit]
+
+
+def _label(certificate: Certificate) -> str:
+    """The CA label as Table 5 prints it (issuer CN, uppercased style)."""
+    return certificate.subject.common_name or str(certificate.subject)

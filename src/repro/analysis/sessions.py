@@ -1,0 +1,102 @@
+"""Per-session store diffing — step one of the paper's methodology.
+
+Each session's collected certificates are compared against the official
+AOSP store for the session's Android version (§4.1), yielding the AOSP
+count, the additional certificates and any missing ones. All downstream
+analyses (Figures 1-2, §5's 39 % statistic, the rooted study) consume
+these per-session diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.netalyzr.session import MeasurementSession
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+@dataclass(frozen=True)
+class SessionDiff:
+    """A session's store relative to its reference AOSP distribution."""
+
+    session: MeasurementSession
+    aosp_count: int
+    additional: tuple[Certificate, ...]
+    missing_count: int
+
+    @property
+    def is_extended(self) -> bool:
+        """True if the session carries certificates beyond AOSP."""
+        return bool(self.additional)
+
+    @property
+    def additional_count(self) -> int:
+        """Number of additional certificates."""
+        return len(self.additional)
+
+
+class SessionDiffer:
+    """Diffs sessions against the per-version AOSP references.
+
+    Reference identity sets are precomputed once per version; a diff is
+    then two set lookups per certificate, which keeps 16k-session
+    corpora fast.
+    """
+
+    def __init__(self, aosp_stores: dict[str, RootStore]):
+        self._strict: dict[str, frozenset] = {}
+        self._equivalent: dict[str, frozenset] = {}
+        self._sizes: dict[str, int] = {}
+        for version, store in aosp_stores.items():
+            certificates = store.certificates(include_disabled=True)
+            self._strict[version] = frozenset(identity_key(c) for c in certificates)
+            self._equivalent[version] = frozenset(
+                equivalence_key(c) for c in certificates
+            )
+            self._sizes[version] = len(certificates)
+
+    def diff(self, session: MeasurementSession) -> SessionDiff:
+        """Diff one session against its version's AOSP store."""
+        version = session.os_version
+        if version not in self._strict:
+            raise KeyError(f"no AOSP reference for version {version!r}")
+        strict = self._strict[version]
+        equivalent = self._equivalent[version]
+        additional: list[Certificate] = []
+        aosp_count = 0
+        for certificate in session.root_certificates:
+            if identity_key(certificate) in strict:
+                aosp_count += 1
+            elif equivalence_key(certificate) in equivalent:
+                aosp_count += 1  # §4.2: re-issued AOSP root, still "AOSP"
+            else:
+                additional.append(certificate)
+        missing = self._sizes[version] - aosp_count
+        return SessionDiff(
+            session=session,
+            aosp_count=aosp_count,
+            additional=tuple(additional),
+            missing_count=max(missing, 0),
+        )
+
+    def diff_all(self, dataset: NetalyzrDataset) -> list[SessionDiff]:
+        """Diff every session in a dataset."""
+        return [self.diff(session) for session in dataset.sessions]
+
+
+def extended_fraction(diffs: list[SessionDiff]) -> float:
+    """§5's headline: fraction of sessions with additional certificates."""
+    if not diffs:
+        raise ValueError("no session diffs")
+    return sum(1 for diff in diffs if diff.is_extended) / len(diffs)
+
+
+def handsets_missing_certificates(diffs: list[SessionDiff]) -> int:
+    """§5: number of distinct handsets missing AOSP certificates."""
+    tuples = {
+        diff.session.device_tuple for diff in diffs if diff.missing_count > 0
+    }
+    return len(tuples)

@@ -1,0 +1,117 @@
+"""Statistical helpers for measurement fractions.
+
+The paper reports point estimates (39 % extended, 24 % rooted, ...).
+For a measurement library, every such fraction should carry an
+uncertainty estimate; this module provides Wilson score intervals and
+cluster-aware bootstrap resampling (sessions cluster by handset, so
+naive binomial intervals understate variance).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: z value for 95% intervals.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a confidence interval."""
+
+    value: float
+    low: float
+    high: float
+    confidence: float = 0.95
+
+    def __contains__(self, other: float) -> bool:
+        return self.low <= other <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.value:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def wilson_interval(successes: int, total: int, *, z: float = _Z95) -> Estimate:
+    """The Wilson score interval for a binomial proportion."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    p = successes / total
+    denominator = 1 + z * z / total
+    center = (p + z * z / (2 * total)) / denominator
+    spread = (
+        z
+        * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total))
+        / denominator
+    )
+    return Estimate(value=p, low=max(0.0, center - spread), high=min(1.0, center + spread))
+
+
+def bootstrap_fraction(
+    clusters: Sequence[tuple[int, int]],
+    *,
+    rounds: int = 1000,
+    seed: int = 7,
+    confidence: float = 0.95,
+) -> Estimate:
+    """Cluster bootstrap for a fraction.
+
+    ``clusters`` holds per-cluster (successes, total) pairs — e.g. per
+    handset (extended sessions, total sessions). Clusters are resampled
+    with replacement; the interval is the percentile interval of the
+    resampled fractions.
+    """
+    if not clusters:
+        raise ValueError("no clusters")
+    total_successes = sum(s for s, _ in clusters)
+    grand_total = sum(t for _, t in clusters)
+    if grand_total == 0:
+        raise ValueError("clusters contain no observations")
+    rng = random.Random(seed)
+    samples = []
+    n = len(clusters)
+    for _ in range(rounds):
+        successes = 0
+        total = 0
+        for _ in range(n):
+            s, t = clusters[rng.randrange(n)]
+            successes += s
+            total += t
+        if total:
+            samples.append(successes / total)
+    samples.sort()
+    alpha = (1 - confidence) / 2
+    low_index = int(alpha * len(samples))
+    high_index = min(len(samples) - 1, int((1 - alpha) * len(samples)))
+    return Estimate(
+        value=total_successes / grand_total,
+        low=samples[low_index],
+        high=samples[high_index],
+        confidence=confidence,
+    )
+
+
+def session_fraction_estimate(
+    diffs,
+    predicate: Callable,
+    *,
+    rounds: int = 1000,
+    seed: int = 7,
+) -> Estimate:
+    """Cluster-bootstrap a per-session fraction, clustering by handset.
+
+    ``predicate`` maps a SessionDiff to bool (e.g. ``lambda d:
+    d.is_extended``); clustering uses the privacy-preserving device
+    tuple, exactly as the paper's device estimation does.
+    """
+    clusters: dict[object, list[bool]] = {}
+    for diff in diffs:
+        clusters.setdefault(diff.session.device_tuple, []).append(
+            bool(predicate(diff))
+        )
+    pairs = [(sum(values), len(values)) for values in clusters.values()]
+    return bootstrap_fraction(pairs, rounds=rounds, seed=seed)

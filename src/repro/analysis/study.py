@@ -1,0 +1,161 @@
+"""End-to-end orchestration: regenerate the whole paper in one call.
+
+``run_study()`` wires the substrates together — catalog → stores →
+population → Netalyzr collection → Notary → analyses — and returns a
+:class:`StudyResult` holding every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import tables as tables_mod
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.figures import (
+    Figure1Point,
+    Figure2Matrix,
+    Figure3Series,
+    figure1_scatter,
+    figure2_matrix,
+    figure3_ecdf,
+    store_categories,
+)
+from repro.analysis.interception import InterceptionFinding, detect_interception
+from repro.analysis.rooted import RootedDeviceAnalysis
+from repro.analysis.sessions import (
+    SessionDiff,
+    SessionDiffer,
+    extended_fraction,
+    handsets_missing_certificates,
+)
+from repro.android.population import Population, PopulationConfig, PopulationGenerator
+from repro.netalyzr.collector import collect_dataset
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.notary.database import NotaryDatabase, build_notary
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.vendors import PlatformStores, build_platform_stores
+from repro.x509.fingerprint import identity_key
+
+
+@dataclass
+class StudyConfig:
+    """Knobs for one study run."""
+
+    seed: str = "tangled-mass"
+    population_scale: float = 1.0
+    notary_scale: float = 1.0
+    key_bits: int = 512
+
+
+@dataclass
+class StudyResult:
+    """Everything the study produces."""
+
+    config: StudyConfig
+    stores: PlatformStores
+    population: Population
+    dataset: NetalyzrDataset
+    notary: NotaryDatabase
+    diffs: list[SessionDiff]
+
+    # headline scalars (§4-§7 text)
+    extended_fraction: float = 0.0
+    missing_cert_handsets: int = 0
+    unique_certificates: int = 0
+    estimated_devices: int = 0
+
+    # tables
+    table1: list = field(default_factory=list)
+    table2: object = None
+    table3: list = field(default_factory=list)
+    table4: list = field(default_factory=list)
+    table5: list = field(default_factory=list)
+    table6: object = None
+
+    # figures
+    figure1: list[Figure1Point] = field(default_factory=list)
+    figure2: Figure2Matrix | None = None
+    figure3: list[Figure3Series] = field(default_factory=list)
+
+    # sub-analyses
+    rooted: RootedDeviceAnalysis | None = None
+    interceptions: list[InterceptionFinding] = field(default_factory=list)
+    footprints: list = field(default_factory=list)
+    roaming: list = field(default_factory=list)
+
+
+def run_study(config: StudyConfig | None = None) -> StudyResult:
+    """Run the full reproduction pipeline."""
+    config = config or StudyConfig()
+    factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
+    catalog = default_catalog()
+
+    stores = build_platform_stores(factory, catalog)
+    population = PopulationGenerator(
+        PopulationConfig(seed=config.seed, scale=config.population_scale),
+        factory,
+        catalog,
+    ).generate()
+    dataset = collect_dataset(population, factory, catalog)
+    notary = build_notary(factory, catalog, scale=config.notary_scale)
+
+    result = StudyResult(
+        config=config,
+        stores=stores,
+        population=population,
+        dataset=dataset,
+        notary=notary,
+        diffs=[],
+    )
+    analyze(result, catalog)
+    return result
+
+
+def analyze(result: StudyResult, catalog: CaCatalog | None = None) -> None:
+    """Run every analysis stage over an assembled StudyResult in place."""
+    stores, dataset, notary = result.stores, result.dataset, result.notary
+
+    differ = SessionDiffer(stores.aosp)
+    result.diffs = differ.diff_all(dataset)
+    classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+
+    # headline scalars
+    result.extended_fraction = extended_fraction(result.diffs)
+    result.missing_cert_handsets = handsets_missing_certificates(result.diffs)
+    result.unique_certificates = len(dataset.unique_certificates())
+    result.estimated_devices = dataset.estimated_devices()
+
+    # the deduplicated extras from non-rooted sessions (the §5 universe)
+    extras: dict[tuple[int, bytes], object] = {}
+    for diff in result.diffs:
+        if diff.session.rooted:
+            continue
+        for certificate in diff.additional:
+            extras.setdefault(identity_key(certificate), certificate)
+    extra_certificates = list(extras.values())
+
+    categories = store_categories(
+        stores.aosp, stores.mozilla, stores.ios7, extra_certificates
+    )
+
+    # tables
+    result.table1 = tables_mod.table1_store_sizes(stores)
+    result.table2 = tables_mod.table2_top_devices(dataset)
+    result.table3 = tables_mod.table3_validated_counts(stores, notary)
+    result.table4 = tables_mod.table4_category_offsets(categories, notary)
+    result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
+    result.table5 = tables_mod.table5_rooted_cas(result.rooted)
+    result.interceptions = detect_interception(dataset.sessions, classifier)
+    result.table6 = tables_mod.table6_interception_domains(result.interceptions)
+
+    # figures
+    result.figure1 = figure1_scatter(result.diffs)
+    result.figure2 = figure2_matrix(result.diffs, classifier)
+    result.figure3 = figure3_ecdf(categories, notary)
+
+    # §5.2 geography
+    from repro.analysis.geography import certificate_footprints, detect_roaming
+
+    result.footprints = certificate_footprints(result.diffs)
+    result.roaming = detect_roaming(result.diffs, catalog)

@@ -1,0 +1,258 @@
+"""Render the paper's figures as standalone SVG documents.
+
+Pure-stdlib SVG generation (no plotting dependency): Figure 1's
+four-panel scatter, Figure 2's dot matrix and Figure 3's ECDF curves,
+each styled after the originals closely enough to compare side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+from repro.analysis.figures import Figure1Point, Figure2Matrix, Figure3Series
+from repro.rootstore.catalog import AOSP_SIZES, StorePresence
+
+#: Categorical palette (colorblind-safe-ish).
+PALETTE = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#222255", "#225555",
+)
+
+_PRESENCE_COLORS = {
+    StorePresence.MOZILLA_AND_IOS7: "#228833",
+    StorePresence.MOZILLA_ONLY: "#88cc66",
+    StorePresence.IOS7_ONLY: "#ccbb44",
+    StorePresence.ANDROID_ONLY: "#4477aa",
+    StorePresence.NOT_RECORDED: "#ee6677",
+}
+
+
+@dataclass
+class SvgCanvas:
+    """A tiny retained-mode SVG builder."""
+
+    width: int
+    height: int
+    elements: list[str] = field(default_factory=list)
+
+    def line(self, x1, y1, x2, y2, *, stroke="#333", width=1.0, dash=None):
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def circle(self, cx, cy, r, *, fill="#4477aa", opacity=0.75, title=None):
+        body = (
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.2f}" fill="{fill}" '
+            f'fill-opacity="{opacity}">'
+        )
+        if title:
+            body += f"<title>{escape(title)}</title>"
+        body += "</circle>"
+        self.elements.append(body)
+
+    def text(self, x, y, content, *, size=11, anchor="start", rotate=None, fill="#222"):
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" fill="{fill}" '
+            f'text-anchor="{anchor}" font-family="Helvetica, sans-serif"'
+            f"{transform}>{escape(str(content))}</text>"
+        )
+
+    def polyline(self, points, *, stroke="#4477aa", width=1.5):
+        body = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{body}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def rect(self, x, y, w, h, *, fill="none", stroke="#999"):
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+
+def render_figure1_svg(points: list[Figure1Point]) -> str:
+    """Figure 1: four version panels of the AOSP-vs-additional scatter."""
+    versions = ("4.1", "4.2", "4.3", "4.4")
+    manufacturers = sorted({p.manufacturer for p in points})
+    colors = {m: PALETTE[i % len(PALETTE)] for i, m in enumerate(manufacturers)}
+
+    panel_w, panel_h = 260, 300
+    margin = 60
+    canvas = SvgCanvas(margin * 2 + panel_w * 4, panel_h + 130)
+
+    x_min, x_max = 75, 160
+    max_extra = max((p.additional_count for p in points), default=1)
+    y_max = math.sqrt(max(max_extra, 50))
+
+    def x_pos(panel, aosp):
+        frac = (aosp - x_min) / (x_max - x_min)
+        return margin + panel * panel_w + frac * (panel_w - 20)
+
+    def y_pos(extra):
+        return 40 + (1 - math.sqrt(extra) / y_max) * (panel_h - 40)
+
+    for index, version in enumerate(versions):
+        left = margin + index * panel_w
+        canvas.rect(left, 40, panel_w - 20, panel_h - 40)
+        canvas.text(left + (panel_w - 20) / 2, 30, version, anchor="middle", size=13)
+        # official AOSP size marker (the dashed vertical line).
+        official = AOSP_SIZES[version]
+        canvas.line(
+            x_pos(index, official), 40, x_pos(index, official), panel_h,
+            stroke="#888", dash="4,3",
+        )
+        for tick in (80, 100, 120, 140):
+            canvas.text(x_pos(index, tick), panel_h + 16, tick, anchor="middle", size=9)
+    for tick in (1, 5, 10, 20, 40, 60):
+        if math.sqrt(tick) <= y_max:
+            canvas.text(margin - 8, y_pos(tick) + 3, tick, anchor="end", size=9)
+    canvas.text(
+        margin - 35, panel_h / 2 + 40, "Number of additional certificates (sqrt scale)",
+        rotate=-90, anchor="middle", size=11,
+    )
+    canvas.text(
+        margin + panel_w * 2, panel_h + 40, "Number of AOSP certificates",
+        anchor="middle", size=11,
+    )
+
+    for point in points:
+        if point.os_version not in versions:
+            continue
+        panel = versions.index(point.os_version)
+        radius = 2 + math.log2(point.session_count + 1)
+        canvas.circle(
+            x_pos(panel, point.aosp_count),
+            y_pos(point.additional_count),
+            radius,
+            fill=colors[point.manufacturer],
+            title=f"{point.manufacturer} {point.os_version}: "
+            f"{point.aosp_count}+{point.additional_count} "
+            f"({point.session_count} sessions)",
+        )
+
+    legend_y = panel_h + 60
+    for index, manufacturer in enumerate(manufacturers[:9]):
+        x = margin + index * 120
+        canvas.circle(x, legend_y, 5, fill=colors[manufacturer])
+        canvas.text(x + 10, legend_y + 4, manufacturer, size=10)
+    return canvas.render()
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+
+def render_figure2_svg(matrix: Figure2Matrix, *, max_certs: int = 110) -> str:
+    """Figure 2: the certificate x group dot matrix."""
+    groups = matrix.groups()
+    cert_labels = sorted({cell.cert_label for cell in matrix.cells})[:max_certs]
+    label_index = {label: i for i, label in enumerate(cert_labels)}
+
+    cell = 14
+    left, top = 170, 260
+    canvas = SvgCanvas(left + cell * len(cert_labels) + 40, top + cell * len(groups) + 60)
+
+    for i, label in enumerate(cert_labels):
+        canvas.text(
+            left + i * cell + cell / 2, top - 6, label[:38],
+            size=7, rotate=-60, anchor="start",
+        )
+    for j, group in enumerate(groups):
+        canvas.text(left - 6, top + j * cell + cell * 0.7, group, size=9, anchor="end")
+        canvas.line(left, top + j * cell, left + cell * len(cert_labels),
+                    top + j * cell, stroke="#eee", width=0.5)
+
+    for item in matrix.cells:
+        if item.cert_label not in label_index:
+            continue
+        i = label_index[item.cert_label]
+        j = groups.index(item.group)
+        canvas.circle(
+            left + i * cell + cell / 2,
+            top + j * cell + cell / 2,
+            1.5 + 4.5 * item.frequency,
+            fill=_PRESENCE_COLORS[item.presence],
+            title=f"{item.group} / {item.cert_label}: {item.frequency:.0%}",
+        )
+
+    legend_y = top + cell * len(groups) + 30
+    x = left
+    for presence, color in _PRESENCE_COLORS.items():
+        canvas.circle(x, legend_y, 5, fill=color)
+        canvas.text(x + 10, legend_y + 4, presence.value, size=9)
+        x += 170
+    return canvas.render()
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+
+def render_figure3_svg(series: list[Figure3Series]) -> str:
+    """Figure 3: ECDF curves on a log-x axis."""
+    width, height = 720, 440
+    left, right, top, bottom = 70, 250, 30, 50
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    canvas = SvgCanvas(width, height)
+    canvas.rect(left, top, plot_w, plot_h)
+
+    max_x = max((s.points[-1][0] for s in series if s.points), default=10)
+    log_max = math.log10(max(max_x, 10))
+
+    def x_pos(count):
+        value = math.log10(max(count, 0.8))  # 0 plotted just left of 10^0
+        return left + (value / log_max) * plot_w
+
+    def y_pos(fraction):
+        return top + (1 - fraction) * plot_h
+
+    for exponent in range(0, int(log_max) + 1):
+        x = x_pos(10**exponent)
+        canvas.line(x, top, x, top + plot_h, stroke="#eee", width=0.5)
+        canvas.text(x, top + plot_h + 16, f"1e{exponent}", anchor="middle", size=9)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        canvas.line(left, y_pos(frac), left + plot_w, y_pos(frac),
+                    stroke="#eee", width=0.5)
+        canvas.text(left - 8, y_pos(frac) + 3, f"{frac:.2f}", anchor="end", size=9)
+
+    for index, item in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        points = [(x_pos(0), y_pos(item.zero_fraction))]
+        for count, fraction in item.points:
+            if count == 0:
+                continue
+            points.append((x_pos(count), points[-1][1]))
+            points.append((x_pos(count), y_pos(fraction)))
+        canvas.polyline(points, stroke=color)
+        legend_y = top + 14 + index * 16
+        canvas.line(width - right + 10, legend_y - 4, width - right + 30,
+                    legend_y - 4, stroke=color, width=2)
+        canvas.text(width - right + 35, legend_y, item.label[:34], size=9)
+
+    canvas.text(left + plot_w / 2, height - 10,
+                "Number of Notary certificates validated", anchor="middle", size=11)
+    canvas.text(20, top + plot_h / 2, "ECDF", rotate=-90, anchor="middle", size=11)
+    return canvas.render()

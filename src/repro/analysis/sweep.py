@@ -1,0 +1,97 @@
+"""Parameter sweeps over the population model.
+
+The reproduction's population is calibrated to one set of marginals;
+these sweeps vary the generation parameters and re-run the measurement
+pipeline at each point, checking that the paper's *findings* (not just
+its numbers) are robust to the calibration:
+
+* :func:`rooted_fraction_sweep` — §6's rooted-exclusive detection as
+  the rooting rate varies;
+* :func:`scale_sweep` — stability of the §5 extended-store fraction
+  across corpus sizes (sampling robustness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.analysis.sessions import SessionDiffer, extended_fraction
+from repro.analysis.rooted import RootedDeviceAnalysis
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.netalyzr.collector import collect_dataset
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.vendors import PlatformStores, build_platform_stores
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep evaluation: the parameter value and its metrics."""
+
+    value: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class PopulationSweep:
+    """Re-runs generation + collection + diffing per parameter value."""
+
+    def __init__(
+        self,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+        stores: PlatformStores | None = None,
+        *,
+        base_config: PopulationConfig | None = None,
+    ):
+        self.factory = factory or CertificateFactory()
+        self.catalog = catalog or default_catalog()
+        self.stores = stores or build_platform_stores(self.factory, self.catalog)
+        self.base_config = base_config or PopulationConfig(scale=0.08)
+
+    def run_point(self, config: PopulationConfig) -> dict:
+        """One full pipeline pass for one configuration."""
+        population = PopulationGenerator(config, self.factory, self.catalog).generate()
+        dataset = collect_dataset(population, self.factory, self.catalog)
+        diffs = SessionDiffer(self.stores.aosp).diff_all(dataset)
+        rooted = RootedDeviceAnalysis.run(diffs)
+        return {
+            "sessions": float(dataset.session_count),
+            "extended_fraction": extended_fraction(diffs),
+            "rooted_fraction": rooted.rooted_session_fraction,
+            "exclusive_of_rooted": rooted.exclusive_session_fraction_of_rooted,
+            "unique_certs": float(len(dataset.unique_certificates())),
+        }
+
+    def sweep(
+        self,
+        values: Sequence[float],
+        configure: Callable[[PopulationConfig, float], PopulationConfig],
+    ) -> list[SweepPoint]:
+        """Evaluate the pipeline at each parameter value."""
+        points = []
+        for value in values:
+            config = configure(self.base_config, value)
+            config = replace(config, seed=f"{config.seed}/sweep-{value}")
+            points.append(SweepPoint(value=value, metrics=self.run_point(config)))
+        return points
+
+
+def rooted_fraction_sweep(
+    sweep: PopulationSweep, values: Sequence[float] = (0.05, 0.15, 0.24, 0.40)
+) -> list[SweepPoint]:
+    """§6 robustness: vary the rooting rate."""
+    return sweep.sweep(
+        values,
+        lambda config, value: replace(config, rooted_fraction=value),
+    )
+
+
+def scale_sweep(
+    sweep: PopulationSweep, values: Sequence[float] = (0.04, 0.08, 0.16)
+) -> list[SweepPoint]:
+    """Sampling robustness: vary the corpus size."""
+    return sweep.sweep(
+        values,
+        lambda config, value: replace(config, scale=value),
+    )

@@ -1,0 +1,149 @@
+"""Row generators for the paper's six tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ecdf import fraction_zero
+from repro.analysis.interception import InterceptionFinding
+from repro.analysis.rooted import RootedDeviceAnalysis
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.notary.database import NotaryDatabase
+from repro.notary.validation import (
+    store_validation_count,
+    validation_counts_by_root,
+)
+from repro.rootstore.vendors import PlatformStores
+
+
+# -- Table 1 -----------------------------------------------------------------
+
+
+def table1_store_sizes(stores: PlatformStores) -> list[tuple[str, int]]:
+    """Table 1: number of certificates in each official root store."""
+    sizes = stores.table1_sizes()
+    order = ["AOSP 4.1", "AOSP 4.2", "AOSP 4.3", "AOSP 4.4", "iOS7", "Mozilla"]
+    return [(name, sizes[name]) for name in order]
+
+
+# -- Table 2 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2:
+    """Top devices and manufacturers by session count."""
+
+    top_devices: list[tuple[str, int]]
+    top_manufacturers: list[tuple[str, int]]
+
+
+def table2_top_devices(dataset: NetalyzrDataset, limit: int = 5) -> Table2:
+    """Table 2: the five most-seen models and manufacturers."""
+    models = dataset.sessions_by_model().most_common(limit)
+    manufacturers = dataset.sessions_by_manufacturer().most_common(limit)
+    return Table2(
+        top_devices=[
+            (f"{manufacturer} {model}", count)
+            for (manufacturer, model), count in models
+        ],
+        top_manufacturers=list(manufacturers),
+    )
+
+
+# -- Table 3 -----------------------------------------------------------------
+
+
+def table3_validated_counts(
+    stores: PlatformStores, notary: NotaryDatabase
+) -> list[tuple[str, int]]:
+    """Table 3: Notary certificates validated by each root store."""
+    rows = [
+        ("Mozilla", store_validation_count(notary, stores.mozilla)),
+        ("iOS 7", store_validation_count(notary, stores.ios7)),
+    ]
+    for version in sorted(stores.aosp):
+        rows.append(
+            (f"AOSP {version}", store_validation_count(notary, stores.aosp[version]))
+        )
+    return rows
+
+
+# -- Table 4 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One Table 4 row: a category with its validate-nothing fraction."""
+
+    category: str
+    total_roots: int
+    fraction_validating_nothing: float
+
+
+def table4_category_offsets(
+    categories: dict[str, list], notary: NotaryDatabase
+) -> list[Table4Row]:
+    """Table 4: per-category root counts and validate-nothing fractions.
+
+    ``categories`` comes from
+    :func:`repro.analysis.figures.store_categories`.
+    """
+    order = [
+        "Non AOSP and non Mozilla Android certs",
+        "Non AOSP root certs found on Mozilla's",
+        "AOSP 4.4 and Mozilla root certs",
+        "AOSP 4.1",
+        "AOSP 4.4",
+        "Aggregated Android root certs",
+        "Mozilla",
+        "iOS7",
+    ]
+    rows = []
+    for label in order:
+        roots = categories[label]
+        counts = validation_counts_by_root(notary, roots)
+        rows.append(
+            Table4Row(
+                category=label,
+                total_roots=len(roots),
+                fraction_validating_nothing=fraction_zero(counts) if counts else 0.0,
+            )
+        )
+    return rows
+
+
+# -- Table 5 -----------------------------------------------------------------
+
+
+def table5_rooted_cas(
+    analysis: RootedDeviceAnalysis, limit: int = 5
+) -> list[tuple[str, int]]:
+    """Table 5: CAs found exclusively on rooted devices, by device count."""
+    return [
+        (finding.ca_label, finding.device_count)
+        for finding in analysis.top_findings(limit)
+    ]
+
+
+# -- Table 6 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table6:
+    """The interception case study's domain lists."""
+
+    interceptor: str
+    intercepted: list[str]
+    whitelisted: list[str]
+
+
+def table6_interception_domains(findings: list[InterceptionFinding]) -> Table6 | None:
+    """Table 6: intercepted vs whitelisted domains of the first finding."""
+    if not findings:
+        return None
+    finding = findings[0]
+    return Table6(
+        interceptor=finding.interceptor_organization,
+        intercepted=finding.intercepted_domains,
+        whitelisted=finding.untouched_domains,
+    )

@@ -1,0 +1,31 @@
+"""The Android device substrate: devices, firmware, apps, populations.
+
+Models the parts of Android the paper's measurements touch: the
+system-wide read-only root store and its settings API, vendor/operator
+firmware customization, rooting, and the two app behaviours the paper
+documents (root-store injection by root-privileged apps, and VPN-based
+traffic interception).
+"""
+
+from repro.android.device import AndroidDevice, DeviceSpec
+from repro.android.firmware import FirmwareBuilder, FirmwareImage
+from repro.android.apps import App, FreedomLikeApp, VpnInterceptorApp
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.android.ota import OtaResult, OtaUpdater
+from repro.android.appsec import AppTlsStack, ValidationProfile
+
+__all__ = [
+    "AndroidDevice",
+    "DeviceSpec",
+    "FirmwareBuilder",
+    "FirmwareImage",
+    "App",
+    "FreedomLikeApp",
+    "VpnInterceptorApp",
+    "PopulationConfig",
+    "PopulationGenerator",
+    "OtaResult",
+    "OtaUpdater",
+    "AppTlsStack",
+    "ValidationProfile",
+]

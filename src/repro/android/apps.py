@@ -1,0 +1,106 @@
+"""App models: permissions and the two behaviours the paper documents.
+
+* :class:`FreedomLikeApp` — §6's case study: a root-requiring app (the
+  "Freedom" in-app-purchase bypasser) that silently installs its own CA
+  ("CRAZY HOUSE") into the system store.
+* :class:`VpnInterceptorApp` — §7's case study: a Reality Mine-style
+  market-research app that requests the VPN permission, routes all
+  traffic through a tun interface to an HTTPS interception proxy, and
+  needs *no* root-store change at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice
+from repro.tlssim.proxy import InterceptionProxy
+from repro.x509.certificate import Certificate
+
+#: Android permission strings used by the modeled apps.
+PERM_INTERNET = "android.permission.INTERNET"
+PERM_VPN = "android.permission.BIND_VPN_SERVICE"
+PERM_NETWORK_SETTINGS = "android.permission.WRITE_SETTINGS"
+PERM_ACCOUNTS = "android.permission.GET_ACCOUNTS"
+PERM_PHONE_STATE = "android.permission.READ_PHONE_STATE"
+PERM_CONTACTS = "android.permission.READ_CONTACTS"
+PERM_SMS = "android.permission.READ_SMS"
+PERM_LOCATION = "android.permission.ACCESS_FINE_LOCATION"
+PERM_LOGS = "android.permission.READ_LOGS"
+PERM_HISTORY = "com.android.browser.permission.READ_HISTORY_BOOKMARKS"
+
+
+@dataclass
+class App:
+    """A generic installed application."""
+
+    name: str
+    permissions: frozenset[str] = frozenset({PERM_INTERNET})
+    requires_root: bool = False
+
+    def on_install(self, device: AndroidDevice) -> None:
+        """Hook run at install time; benign apps do nothing."""
+
+
+@dataclass
+class FreedomLikeApp(App):
+    """Root-requiring app that injects a CA into the system store (§6).
+
+    The paper's instance compels the user to grant "egregious
+    permissions" and installs the Madkit/CRAZY HOUSE certificate on 70
+    observed handsets.
+    """
+
+    name: str = "Freedom"
+    permissions: frozenset[str] = frozenset(
+        {PERM_INTERNET, PERM_ACCOUNTS, PERM_PHONE_STATE, PERM_NETWORK_SETTINGS}
+    )
+    requires_root: bool = True
+    ca_certificate: Certificate | None = None
+
+    def on_install(self, device: AndroidDevice) -> None:
+        """Silently add the app's CA -- no user dialog involved."""
+        if self.ca_certificate is None:
+            raise ValueError("FreedomLikeApp needs its CA certificate configured")
+        device.app_add_certificate(self.ca_certificate, self.name)
+
+
+@dataclass
+class VpnInterceptorApp(App):
+    """A traffic-profiling app using the VPN permission (§7).
+
+    The permission set mirrors the Play-store listing the paper quotes:
+    network-configuration change + traffic interception + extensive data
+    access. The app points the device's network path at the operator's
+    interception proxy; note it requires *no* root and installs *no*
+    certificate.
+    """
+
+    name: str = "AnalyzeMe"
+    permissions: frozenset[str] = frozenset(
+        {
+            PERM_INTERNET,
+            PERM_VPN,
+            PERM_NETWORK_SETTINGS,
+            PERM_CONTACTS,
+            PERM_SMS,
+            PERM_LOCATION,
+            PERM_PHONE_STATE,
+            PERM_LOGS,
+            PERM_HISTORY,
+        }
+    )
+    requires_root: bool = False
+    proxy: InterceptionProxy = field(default_factory=InterceptionProxy)
+
+    def on_install(self, device: AndroidDevice) -> None:
+        """Create the tun interface: all device traffic now relays
+        through the proxy."""
+        device.proxy = self.proxy
+
+    @property
+    def overreaching_permissions(self) -> frozenset[str]:
+        """Permissions beyond what a benign VPN client needs (§8's
+        'masking malicious intentions' discussion)."""
+        benign = {PERM_INTERNET, PERM_VPN, PERM_NETWORK_SETTINGS}
+        return self.permissions - frozenset(benign)

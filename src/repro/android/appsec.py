@@ -1,0 +1,139 @@
+"""App-level TLS validation stacks, correct and broken.
+
+§2 notes that "SSL library developers delegate the responsibility to
+implement such techniques to application developers ... apps frequently
+do not employ those checks correctly", citing Fahl et al. and Georgiev
+et al. This module models the notorious failure patterns those studies
+catalogued, so their impact can be quantified against the same
+simulated attackers the rest of the library uses:
+
+* ``ACCEPT_ALL`` — the empty ``X509TrustManager`` that trusts anything;
+* ``NO_HOSTNAME`` — chain validated, hostname never checked;
+* ``ACCEPT_EXPIRED`` — validity window ignored;
+* ``ACCEPT_SELF_SIGNED`` — any self-signed certificate accepted;
+* ``CORRECT`` — full validation (the baseline);
+* ``PINNED`` — full validation plus certificate pinning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.rootstore.store import RootStore
+from repro.tlssim.handshake import HandshakeResult, TlsServer
+from repro.tlssim.pinning import PinStore
+from repro.x509.chain import ChainVerifier, ValidationResult
+
+
+class ValidationProfile(enum.Enum):
+    """The validation behaviours observed in real app corpora."""
+
+    CORRECT = "correct"
+    PINNED = "pinned"
+    ACCEPT_ALL = "accept_all"
+    NO_HOSTNAME = "no_hostname"
+    ACCEPT_EXPIRED = "accept_expired"
+    ACCEPT_SELF_SIGNED = "accept_self_signed"
+
+
+@dataclass
+class AppTlsStack:
+    """One app's TLS stack: a profile over a device store."""
+
+    profile: ValidationProfile
+    store: RootStore
+    pins: PinStore = field(default_factory=PinStore)
+    proxy: object | None = None
+
+    def connect(self, server: TlsServer) -> HandshakeResult:
+        """Run a handshake under this app's validation behaviour."""
+        chain = server.present_chain()
+        intercepted = False
+        if self.proxy is not None:
+            chain, intercepted = self.proxy.relay(server.host, server.port, chain)
+
+        profile = self.profile
+        if profile is ValidationProfile.ACCEPT_ALL:
+            validation = ValidationResult(trusted=True, path=tuple(chain))
+            pin_ok = True
+        elif profile is ValidationProfile.ACCEPT_SELF_SIGNED and chain and chain[
+            0
+        ].is_self_signed:
+            validation = ValidationResult(trusted=True, path=tuple(chain))
+            pin_ok = True
+        else:
+            hostname = None if profile is ValidationProfile.NO_HOSTNAME else server.host
+            verifier = ChainVerifier(
+                self.store.certificates(),
+                check_validity=profile is not ValidationProfile.ACCEPT_EXPIRED,
+            )
+            validation = verifier.validate(list(chain), hostname=hostname)
+            pin_ok = (
+                self.pins.check(server.host, tuple(chain))
+                if profile is ValidationProfile.PINNED
+                else True
+            )
+        return HandshakeResult(
+            host=server.host,
+            port=server.port,
+            presented_chain=tuple(chain),
+            validation=validation,
+            pin_ok=pin_ok,
+            intercepted=intercepted,
+        )
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Did an attack succeed against a given stack?"""
+
+    profile: ValidationProfile
+    attack: str
+    connection_accepted: bool
+
+
+#: The attack repertoire of the Fahl/Georgiev MITM studies.
+ATTACKS = (
+    "self_signed",  # attacker presents a self-signed cert for the host
+    "wrong_host",  # valid cert for a different hostname
+    "expired",  # correctly-chained but expired cert
+    "trusted_mitm",  # proxy root present in the device store (§6/§7)
+)
+
+
+def run_attack_matrix(
+    stacks: dict[ValidationProfile, AppTlsStack],
+    servers: dict[str, TlsServer],
+) -> list[AttackOutcome]:
+    """Evaluate every attack against every stack.
+
+    ``servers`` maps each attack name to a server presenting that
+    attack's chain (built by the caller from the traffic generator and
+    proxy; see ``examples/app_validation_study.py``).
+    """
+    outcomes = []
+    for attack in ATTACKS:
+        server = servers.get(attack)
+        if server is None:
+            continue
+        for profile, stack in stacks.items():
+            result = stack.connect(server)
+            outcomes.append(
+                AttackOutcome(
+                    profile=profile,
+                    attack=attack,
+                    connection_accepted=result.trusted,
+                )
+            )
+    return outcomes
+
+
+def exposure_summary(outcomes: list[AttackOutcome]) -> dict[ValidationProfile, int]:
+    """Attacks each profile falls to (the study's headline count)."""
+    summary: dict[ValidationProfile, int] = {}
+    for outcome in outcomes:
+        summary.setdefault(outcome.profile, 0)
+        if outcome.connection_accepted:
+            summary[outcome.profile] += 1
+    return summary

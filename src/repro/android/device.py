@@ -1,0 +1,121 @@
+"""The AndroidDevice model.
+
+A device couples a hardware identity (manufacturer/model), an OS build
+(AOSP version + firmware customization), a network context (operator,
+country), and the mutable runtime state the study measures: the root
+store, installed apps, rooted status and any on-path proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.rootstore.store import RootStore, StorePermissionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.apps import App
+    from repro.tlssim.proxy import InterceptionProxy
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """The immutable identity of a handset."""
+
+    manufacturer: str
+    model: str
+    os_version: str
+    operator: str  # e.g. "VERIZON(US)"; "WIFI" for unsubsidized
+    country: str = "US"
+
+    @property
+    def is_nexus(self) -> bool:
+        """Nexus devices run stock AOSP firmware."""
+        return "Nexus" in self.model
+
+
+class AndroidDevice:
+    """A handset with its runtime security state."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        store: RootStore,
+        *,
+        device_id: str = "",
+        rooted: bool = False,
+        shared_store: bool = False,
+    ):
+        self.spec = spec
+        self.store = store
+        self.device_id = device_id or f"{spec.manufacturer}-{spec.model}"
+        self.rooted = rooted
+        #: Copy-on-write: a population shares one store object per
+        #: firmware image; the first mutation privatizes this device's.
+        self._store_shared = shared_store
+        self.apps: list["App"] = []
+        self.proxy: "InterceptionProxy | None" = None
+        #: WiFi SSID / cellular network currently attached (session context).
+        self.wifi_ssid: str | None = None
+        self.public_ip: str = "0.0.0.0"
+        #: The network currently attached; differs from the subscription
+        #: (``spec.operator``) when the user roams abroad (§5.2's
+        #: Telefonica-on-Claro observations).
+        self.attached_operator: str = spec.operator
+        self.attached_country: str = spec.country
+
+    # -- root store access paths -------------------------------------------------
+
+    def _own_store(self) -> RootStore:
+        """Privatize the store before the first mutation (copy-on-write)."""
+        if self._store_shared:
+            self.store = self.store.copy(f"device-{self.device_id}")
+            self._store_shared = False
+        return self.store
+
+    def user_add_certificate(self, certificate) -> None:
+        """The settings-UI path: any user can add a certificate (§2)."""
+        self._own_store().add(certificate, system=True, source="user")
+
+    def user_disable_certificate(self, certificate) -> bool:
+        """The settings-UI path: any user can disable a system root (§2)."""
+        return self._own_store().disable(certificate)
+
+    def app_add_certificate(self, certificate, app_name: str) -> None:
+        """The programmatic path: requires system permission, which on a
+        rooted device any root-granted app effectively has (§6)."""
+        if not self.rooted:
+            raise StorePermissionError(
+                f"{app_name} cannot modify the root store without root"
+            )
+        self._own_store().add(certificate, system=True, source=f"app:{app_name}")
+
+    def app_remove_certificate(self, certificate, app_name: str) -> bool:
+        """Root-privileged apps can also delete roots (§6)."""
+        if not self.rooted:
+            raise StorePermissionError(
+                f"{app_name} cannot modify the root store without root"
+            )
+        return self._own_store().remove(certificate, system=True)
+
+    # -- apps ------------------------------------------------------------------------
+
+    def install_app(self, app: "App") -> None:
+        """Install an app; the app's on_install hook runs immediately."""
+        if app.requires_root and not self.rooted:
+            raise PermissionError(
+                f"{app.name} requires root and the device is not rooted"
+            )
+        self.apps.append(app)
+        app.on_install(self)
+
+    @property
+    def app_names(self) -> list[str]:
+        """Names of installed apps."""
+        return [app.name for app in self.apps]
+
+    def __repr__(self) -> str:
+        return (
+            f"<AndroidDevice {self.spec.manufacturer} {self.spec.model} "
+            f"{self.spec.os_version} rooted={self.rooted} certs={len(self.store)}>"
+        )

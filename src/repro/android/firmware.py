@@ -1,0 +1,113 @@
+"""Firmware images: how vendor and operator certificates reach devices.
+
+§5.1's mechanism: hardware vendors build firmware images per model (and
+often per operator, for subsidized handsets), seeding the system root
+store with the official AOSP set plus their own additions. The
+FirmwareBuilder resolves a device spec against the catalog's deployment
+table to produce the exact store that spec ships with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.device import AndroidDevice, DeviceSpec
+from repro.rootstore.aosp import AospStoreBuilder
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.store import RootStore
+
+
+@dataclass
+class FirmwareImage:
+    """A built firmware image for one (manufacturer, version, operator)."""
+
+    spec_key: tuple[str, str, str]
+    store: RootStore
+    vendor_cert_names: tuple[str, ...]
+
+    @property
+    def addition_count(self) -> int:
+        """Certificates beyond the AOSP baseline."""
+        return len(self.vendor_cert_names)
+
+
+class FirmwareBuilder:
+    """Builds device root stores from the catalog's deployment table."""
+
+    def __init__(
+        self,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+    ):
+        self.factory = factory or CertificateFactory()
+        self.catalog = catalog or default_catalog()
+        self.aosp = AospStoreBuilder(self.factory, self.catalog)
+        self._image_cache: dict[tuple[str, str, str], FirmwareImage] = {}
+
+    def vendor_cert_names(self, spec: DeviceSpec, *, branded: bool = True) -> list[str]:
+        """The additional certificates this spec's firmware ships.
+
+        Nexus devices run stock AOSP; unbranded (``branded=False``)
+        devices skip vendor additions too (retail unlocked firmware).
+        Operator overlays apply to branded firmware only.
+        """
+        if spec.is_nexus or not branded:
+            return []
+        names: list[str] = []
+        for deployment in self.catalog.deployments:
+            if spec.os_version not in deployment.versions:
+                continue
+            if (
+                deployment.manufacturer is not None
+                and deployment.manufacturer != spec.manufacturer
+            ):
+                continue
+            if deployment.operator is not None and deployment.operator != spec.operator:
+                continue
+            if deployment.manufacturer is None and deployment.operator is None:
+                continue
+            if deployment.cert_name not in names:
+                names.append(deployment.cert_name)
+        return names
+
+    def build_image(self, spec: DeviceSpec, *, branded: bool = True) -> FirmwareImage:
+        """Build (or fetch from cache) the firmware image for a spec."""
+        names = self.vendor_cert_names(spec, branded=branded)
+        key = (spec.manufacturer, spec.os_version, spec.operator if branded else "-")
+        cached = self._image_cache.get(key)
+        if cached is not None and cached.vendor_cert_names == tuple(names):
+            return cached
+        base = self.aosp.store_for(spec.os_version)
+        store = base.copy(f"{spec.manufacturer}-{spec.os_version}", read_only=True)
+        for name in names:
+            certificate = self.factory.root_certificate(self.catalog.by_name(name))
+            store.add(certificate, system=True, source="firmware")
+        image = FirmwareImage(
+            spec_key=key, store=store, vendor_cert_names=tuple(names)
+        )
+        self._image_cache[key] = image
+        return image
+
+    def provision(
+        self,
+        spec: DeviceSpec,
+        *,
+        branded: bool = True,
+        rooted: bool = False,
+        device_id: str = "",
+    ) -> AndroidDevice:
+        """Flash a fresh device with the right firmware image.
+
+        Devices share the image's store object until their first local
+        change (copy-on-write in :class:`AndroidDevice`), which keeps
+        multi-thousand-device populations cheap.
+        """
+        image = self.build_image(spec, branded=branded)
+        return AndroidDevice(
+            spec,
+            image.store,
+            device_id=device_id,
+            rooted=rooted,
+            shared_store=True,
+        )

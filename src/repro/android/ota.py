@@ -1,0 +1,122 @@
+"""OTA system updates and their effect on the root store.
+
+An over-the-air update replaces the system partition — and with it the
+system root store — while preserving user-installed certificates and
+(on production devices) wiping root access. This models two of the
+paper's observations:
+
+* §5.1's Sony case: a 4.1 device carrying "a certificate ... which is
+  also present in newer AOSP versions" — the residue of partial
+  vendor backports and updates;
+* the durability asymmetry §6 implies: app-injected roots live on the
+  *system* partition and are wiped by an OTA, while user-installed
+  certificates (stored separately) survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.device import AndroidDevice, DeviceSpec
+from repro.android.firmware import FirmwareBuilder
+from repro.rootstore.catalog import ANDROID_VERSIONS
+from repro.x509.certificate import Certificate
+
+
+@dataclass
+class OtaResult:
+    """What an update did to the device's trust state."""
+
+    from_version: str
+    to_version: str
+    system_roots_added: int
+    system_roots_removed: int
+    preserved_user_certs: tuple[Certificate, ...]
+    wiped_app_certs: tuple[Certificate, ...]
+    unrooted: bool
+
+
+class OtaUpdater:
+    """Applies version updates to devices."""
+
+    def __init__(self, firmware: FirmwareBuilder):
+        self.firmware = firmware
+
+    def update(
+        self,
+        device: AndroidDevice,
+        to_version: str,
+        *,
+        branded: bool = True,
+        preserves_root: bool = False,
+    ) -> OtaResult:
+        """Flash *device* to *to_version*.
+
+        The new system store comes from the target firmware image; user
+        certificates carry over; app-injected system roots are wiped;
+        root access is lost unless the update path preserves it.
+        """
+        if to_version not in ANDROID_VERSIONS:
+            raise ValueError(f"unknown Android version {to_version!r}")
+        from_version = device.spec.os_version
+        if ANDROID_VERSIONS.index(to_version) <= ANDROID_VERSIONS.index(from_version):
+            raise ValueError(
+                f"cannot downgrade {from_version} -> {to_version}"
+            )
+
+        old_entries = device.store.entries()
+        user_certs = tuple(
+            entry.certificate for entry in old_entries if entry.source == "user"
+        )
+        app_certs = tuple(
+            entry.certificate
+            for entry in old_entries
+            if entry.source.startswith("app:")
+        )
+        old_system = {
+            entry.certificate
+            for entry in old_entries
+            if not entry.source.startswith("app:") and entry.source != "user"
+        }
+
+        new_spec = DeviceSpec(
+            manufacturer=device.spec.manufacturer,
+            model=device.spec.model,
+            os_version=to_version,
+            operator=device.spec.operator,
+            country=device.spec.country,
+        )
+        image = self.firmware.build_image(new_spec, branded=branded)
+        new_store = image.store.copy(f"device-{device.device_id}")
+        for certificate in user_certs:
+            new_store.add(certificate, system=True, source="user")
+
+        new_system = set(image.store.certificates(include_disabled=True))
+        device.spec = new_spec
+        device.store = new_store
+        device._store_shared = False
+        unrooted = device.rooted and not preserves_root
+        if unrooted:
+            device.rooted = False
+
+        return OtaResult(
+            from_version=from_version,
+            to_version=to_version,
+            system_roots_added=len(new_system - old_system),
+            system_roots_removed=len(old_system - new_system),
+            preserved_user_certs=user_certs,
+            wiped_app_certs=app_certs,
+            unrooted=unrooted,
+        )
+
+
+def backport_certificate(
+    device: AndroidDevice, certificate: Certificate
+) -> None:
+    """Vendor backport: ship a newer-AOSP root on an older firmware.
+
+    The §5.1 Sony case — the certificate shows up as an "addition"
+    relative to the device's own AOSP version even though it is an
+    official root of a later version.
+    """
+    device.store.add(certificate, system=True, source="firmware-backport")

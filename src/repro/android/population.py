@@ -1,0 +1,437 @@
+"""The synthetic device population, calibrated to the paper's marginals.
+
+Every published population statistic is a generation target here:
+
+* 15,970 sessions over >=3,835 handsets and ~435 models (§4.1);
+* Table 2's top-5 device and manufacturer session counts;
+* 39 % of sessions with extended root stores, 5 handsets with missing
+  certificates (§5);
+* 24 % of sessions on rooted handsets, ~6 % of those carrying
+  rooted-exclusive certificates — CRAZY HOUSE on ~70 devices plus the
+  Table 5 singletons (§6);
+* exactly one proxied Nexus 7 on Android 4.4 (§7).
+
+The generator is driven by one :class:`random.Random` seed; the same
+seed reproduces the identical population, sessions and analysis output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.android.apps import FreedomLikeApp, VpnInterceptorApp
+from repro.android.device import AndroidDevice, DeviceSpec
+from repro.android.firmware import FirmwareBuilder
+from repro.crypto.rng import derive_random
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.tlssim.endpoints import WHITELISTED_DOMAINS
+from repro.tlssim.proxy import InterceptionProxy
+
+#: Table 2-calibrated model mix: (manufacturer, model, target sessions).
+MODEL_SESSION_TARGETS: tuple[tuple[str, str, int], ...] = (
+    ("SAMSUNG", "Galaxy SIV", 2762),
+    ("SAMSUNG", "Galaxy SIII", 2108),
+    ("SAMSUNG", "Galaxy Note II", 700),
+    ("SAMSUNG", "Galaxy SII", 650),
+    ("SAMSUNG", "Galaxy Ace 2", 550),
+    ("SAMSUNG", "Galaxy Nexus", 350),
+    ("SAMSUNG", "Galaxy Tab 2", 589),
+    ("LG", "Nexus 4", 1331),
+    ("LG", "Nexus 5", 1010),
+    ("LG", "G2", 300),
+    ("LG", "Optimus G", 267),
+    ("ASUS", "Nexus 7", 832),
+    ("ASUS", "Transformer Pad", 544),
+    ("ASUS", "MeMO Pad", 300),
+    ("ASUS", "PadFone", 200),
+    ("HTC", "One", 400),
+    ("HTC", "One X", 313),
+    ("HTC", "Desire HD", 250),
+    ("MOTOROLA", "Droid RAZR HD", 437),
+    ("MOTOROLA", "Moto G", 250),
+    ("MOTOROLA", "Moto X", 150),
+    ("SONY", "Xperia Z", 280),
+    ("SONY", "Xperia SP", 200),
+    ("HUAWEI", "Ascend P6", 150),
+    ("HUAWEI", "Ascend Y300", 100),
+)
+
+#: Minor manufacturers filling the ~435-model long tail (§5.2 names
+#: Pantech, Compal and Lenovo devices explicitly).
+MINOR_MANUFACTURERS: tuple[tuple[str, int], ...] = (
+    ("PANTECH", 30),
+    ("COMPAL", 30),
+    ("LENOVO", 50),
+    ("ZTE", 80),
+    ("ALCATEL", 70),
+    ("KYOCERA", 50),
+    ("SHARP", 50),
+    ("ACER", 50),
+)
+
+#: Per-model OS version mixes (defaults below for unlisted models).
+MODEL_VERSION_MIX: dict[str, dict[str, float]] = {
+    "Nexus 5": {"4.4": 1.0},
+    "Nexus 4": {"4.2": 0.2, "4.3": 0.3, "4.4": 0.5},
+    "Nexus 7": {"4.3": 0.3, "4.4": 0.7},
+    "Galaxy Nexus": {"4.2": 0.5, "4.3": 0.5},
+    "Galaxy SIV": {"4.2": 0.4, "4.3": 0.4, "4.4": 0.2},
+    "Galaxy SIII": {"4.1": 0.5, "4.3": 0.5},
+    "Galaxy Note II": {"4.1": 0.6, "4.2": 0.4},
+    "Galaxy SII": {"4.1": 1.0},
+    "Galaxy Ace 2": {"4.1": 1.0},
+    "Galaxy Tab 2": {"4.1": 0.6, "4.2": 0.4},
+    "Moto G": {"4.3": 0.5, "4.4": 0.5},
+    "Moto X": {"4.2": 0.3, "4.4": 0.7},
+    "Droid RAZR HD": {"4.1": 1.0},
+    "Xperia Z": {"4.1": 0.3, "4.2": 0.3, "4.3": 0.4},
+    "Xperia SP": {"4.1": 0.5, "4.3": 0.5},
+}
+
+DEFAULT_VERSION_MIX = {"4.1": 0.35, "4.2": 0.25, "4.3": 0.15, "4.4": 0.25}
+
+#: Mean sessions per rarely-seen (tail-model) device.
+TAIL_MEAN_SESSIONS = 1.4
+
+#: Carrier-exclusive models: (operator, probability). The Droid RAZR was
+#: a Verizon device — the premise behind §5.1's "all of them subscribed
+#: to Verizon Wireless" CertiSign observation.
+MODEL_OPERATOR_BIAS: dict[str, tuple[str, float]] = {
+    "Droid RAZR HD": ("VERIZON(US)", 0.85),
+    "Galaxy Note II": ("T-MOBILE(US)", 0.35),
+}
+
+#: Operator pools by country, with country weights.
+OPERATORS_BY_COUNTRY: dict[str, tuple[str, ...]] = {
+    "US": ("AT&T(US)", "VERIZON(US)", "T-MOBILE(US)", "SPRINT(US)"),
+    "GB": ("3(UK)", "EE(UK)"),
+    "FR": ("ORANGE(FR)", "SFR(FR)", "BOUYGUES(FR)", "FREE(FR)"),
+    "DE": ("VODAFONE(DE)",),
+    "AU": ("TELSTRA(AU)",),
+}
+COUNTRY_WEIGHTS = {"US": 0.45, "GB": 0.15, "FR": 0.15, "DE": 0.10, "AU": 0.05, "XX": 0.10}
+
+#: Fraction of devices whose firmware is operator-branded (carries the
+#: vendor/operator additions); per manufacturer, tuned so ~39 % of
+#: sessions see an extended store.
+BRANDED_FRACTION: dict[str, float] = {
+    "SAMSUNG": 0.45,
+    "HTC": 0.85,
+    "MOTOROLA": 0.80,
+    "LG": 0.60,
+    "SONY": 0.80,
+    "ASUS": 0.30,
+    "HUAWEI": 0.30,
+}
+
+
+@dataclass
+class PopulationConfig:
+    """Generation targets; ``scale`` shrinks everything proportionally."""
+
+    seed: str = "tangled-mass"
+    scale: float = 1.0
+    total_sessions: int = 15_970
+    mean_sessions_per_device: float = 4.16
+    rooted_fraction: float = 0.24
+    crazy_house_devices: int = 70
+    user_vpn_cert_devices: int = 58
+    missing_cert_devices: int = 5
+    #: Fraction of devices attached to a network other than their
+    #: subscription (travelers/roamers, §5.2).
+    roaming_fraction: float = 0.03
+
+    def scaled(self, value: int) -> int:
+        """Scale an absolute device/session target."""
+        return max(1, round(value * self.scale))
+
+
+@dataclass
+class DeviceRecord:
+    """One generated handset plus its planned session count."""
+
+    device: AndroidDevice
+    session_count: int
+    branded: bool
+
+
+@dataclass
+class Population:
+    """The generated handset population."""
+
+    records: list[DeviceRecord] = field(default_factory=list)
+    proxied_device: AndroidDevice | None = None
+
+    @property
+    def devices(self) -> list[AndroidDevice]:
+        """All generated devices."""
+        return [record.device for record in self.records]
+
+    @property
+    def total_sessions(self) -> int:
+        """Total planned sessions."""
+        return sum(record.session_count for record in self.records)
+
+    def rooted_session_fraction(self) -> float:
+        """Fraction of sessions on rooted handsets."""
+        rooted = sum(
+            record.session_count for record in self.records if record.device.rooted
+        )
+        return rooted / self.total_sessions
+
+
+class PopulationGenerator:
+    """Generates the calibrated handset population."""
+
+    def __init__(
+        self,
+        config: PopulationConfig | None = None,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+    ):
+        self.config = config or PopulationConfig()
+        self.factory = factory or CertificateFactory(seed=self.config.seed)
+        self.catalog = catalog or default_catalog()
+        self.firmware = FirmwareBuilder(self.factory, self.catalog)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _pick_version(self, rng: random.Random, model: str) -> str:
+        mix = MODEL_VERSION_MIX.get(model, DEFAULT_VERSION_MIX)
+        versions = list(mix)
+        return rng.choices(versions, weights=[mix[v] for v in versions])[0]
+
+    def _pick_operator(self, rng: random.Random) -> tuple[str, str]:
+        country = rng.choices(
+            list(COUNTRY_WEIGHTS), weights=list(COUNTRY_WEIGHTS.values())
+        )[0]
+        operators = OPERATORS_BY_COUNTRY.get(country)
+        if not operators:
+            return "WIFI", country
+        return rng.choice(operators), country
+
+    def _session_count(self, rng: random.Random, mean: float | None = None) -> int:
+        """Sessions per device: geometric with the calibrated mean."""
+        p = 1.0 / (mean or self.config.mean_sessions_per_device)
+        count = 1
+        while rng.random() > p and count < 60:
+            count += 1
+        return count
+
+    def _model_plan(self) -> list[tuple[str, str, int, bool]]:
+        """(manufacturer, model, device_count, is_tail) for the population.
+
+        Tail devices (the ~410 rarely-seen models that push the corpus
+        to 435 distinct models) run ~1.5 sessions each, versus ~4.2 for
+        the popular models.
+        """
+        mean = self.config.mean_sessions_per_device
+        plan = [
+            (manufacturer, model, max(1, round(sessions * self.config.scale / mean)), False)
+            for manufacturer, model, sessions in MODEL_SESSION_TARGETS
+        ]
+        # Long tail: minor manufacturers, each with a pool of model names.
+        tail_rng = derive_random(self.config.seed, "model-tail")
+        remaining_sessions = self.config.total_sessions - sum(
+            s for _, _, s in MODEL_SESSION_TARGETS
+        )
+        tail_devices = max(
+            len(MINOR_MANUFACTURERS),
+            round(remaining_sessions * self.config.scale / TAIL_MEAN_SESSIONS),
+        )
+        weights = [count for _, count in MINOR_MANUFACTURERS]
+        for index in range(tail_devices):
+            manufacturer = tail_rng.choices(
+                [m for m, _ in MINOR_MANUFACTURERS], weights=weights
+            )[0]
+            model = f"{manufacturer.title()} M{tail_rng.randrange(100, 210)}"
+            plan.append((manufacturer, model, 1, True))
+        return plan
+
+    # -- generation -----------------------------------------------------------------
+
+    def generate(self) -> Population:
+        """Build the full population."""
+        rng = derive_random(self.config.seed, "population")
+        # Roaming uses an independent stream so toggling the feature (or
+        # its rate) cannot perturb the calibrated main sampling stream.
+        roam_rng = derive_random(self.config.seed, "roaming")
+        population = Population()
+        serial = 0
+        for manufacturer, model, device_count, is_tail in self._model_plan():
+            for _ in range(device_count):
+                serial += 1
+                population.records.append(
+                    self._make_device(
+                        rng, manufacturer, model, serial, is_tail, roam_rng
+                    )
+                )
+        self._inject_rooted_exclusive_certs(rng, population)
+        self._inject_user_vpn_certs(rng, population)
+        self._inject_missing_certs(rng, population)
+        self._inject_proxied_device(population)
+        return population
+
+    def _make_device(
+        self,
+        rng: random.Random,
+        manufacturer: str,
+        model: str,
+        serial: int,
+        is_tail: bool = False,
+        roam_rng: random.Random | None = None,
+    ) -> DeviceRecord:
+        version = self._pick_version(rng, model)
+        bias = MODEL_OPERATOR_BIAS.get(model)
+        if bias is not None and rng.random() < bias[1]:
+            operator, country = bias[0], "US"
+        else:
+            operator, country = self._pick_operator(rng)
+        spec = DeviceSpec(
+            manufacturer=manufacturer,
+            model=model,
+            os_version=version,
+            operator=operator,
+            country=country,
+        )
+        branded = rng.random() < BRANDED_FRACTION.get(manufacturer, 0.25)
+        rooted = rng.random() < self.config.rooted_fraction
+        device = self.firmware.provision(
+            spec,
+            branded=branded,
+            rooted=rooted,
+            device_id=f"dev-{serial:05d}",
+        )
+        device.wifi_ssid = f"ssid-{rng.randrange(10_000)}"
+        roam_rng = roam_rng or rng
+        if roam_rng.random() < self.config.roaming_fraction:
+            visited_operator, visited_country = self._pick_operator(roam_rng)
+            if visited_operator not in ("WIFI", operator):
+                device.attached_operator = visited_operator
+                device.attached_country = visited_country
+        device.public_ip = (
+            f"{rng.randrange(1, 224)}.{rng.randrange(256)}."
+            f"{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        )
+        mean = TAIL_MEAN_SESSIONS if is_tail else None
+        return DeviceRecord(
+            device=device,
+            session_count=self._session_count(rng, mean),
+            branded=branded,
+        )
+
+    def _inject_rooted_exclusive_certs(
+        self, rng: random.Random, population: Population
+    ) -> None:
+        """§6: the Freedom app's CA on ~70 rooted devices, plus the
+        Table 5 singletons.
+
+        Carriers are drawn from low-session rooted devices so the
+        exclusive-cert *session* fraction lands near the paper's 6 % of
+        rooted sessions despite CRAZY HOUSE's 70-device spread.
+        """
+        rooted_records = [r for r in population.records if r.device.rooted]
+        if not rooted_records:
+            return
+        low_session = [r.device for r in rooted_records if r.session_count <= 3]
+        rooted = [r.device for r in rooted_records]
+        pool = low_session if len(low_session) >= 10 else rooted
+        crazy_house = self.factory.root_certificate(
+            self.catalog.by_name("CRAZY HOUSE")
+        )
+        target = min(self.config.scaled(self.config.crazy_house_devices), len(pool))
+        for device in rng.sample(pool, target):
+            device.install_app(FreedomLikeApp(ca_certificate=crazy_house))
+        # Table 5 singletons: MIND OVERFLOW + USER_X share one device;
+        # CDA on a rooted Nexus 7 (Senegal); CIRRUS on one more device.
+        singles = [d for d in rooted if not d.apps]
+        if len(singles) >= 3:
+            shared = singles[0]
+            shared.app_add_certificate(
+                self.factory.root_certificate(self.catalog.by_name("MIND OVERFLOW")),
+                "vpn-helper",
+            )
+            shared.app_add_certificate(
+                self.factory.root_certificate(self.catalog.by_name("USER_X")),
+                "vpn-helper",
+            )
+            nexus7 = next(
+                (d for d in singles[1:] if d.spec.model == "Nexus 7"), singles[1]
+            )
+            nexus7.spec = DeviceSpec(  # type: ignore[misc]
+                manufacturer=nexus7.spec.manufacturer,
+                model=nexus7.spec.model,
+                os_version=nexus7.spec.os_version,
+                operator="WIFI",
+                country="SN",
+            )
+            nexus7.user_add_certificate(
+                self.factory.root_certificate(
+                    self.catalog.by_name("CDA/EMAILADDRESS")
+                )
+            )
+            other = next(d for d in singles[1:] if d is not nexus7)
+            other.user_add_certificate(
+                self.factory.root_certificate(self.catalog.by_name("CIRRUS, PRIVATE"))
+            )
+
+    def _inject_user_vpn_certs(
+        self, rng: random.Random, population: Population
+    ) -> None:
+        """§5.2/§6: self-signed VPN roots, each on exactly one device.
+
+        Placed on rooted handsets (the population that installs VPN
+        tooling); they form the long tail of Table 5's singleton rows
+        and keep the non-rooted §5 analysis at the calibrated 101
+        additional certificates.
+        """
+        candidates = [
+            r.device
+            for r in population.records
+            if r.device.rooted and not r.device.apps and r.session_count <= 3
+        ]
+        rng.shuffle(candidates)
+        target = min(
+            self.config.scaled(self.config.user_vpn_cert_devices), len(candidates)
+        )
+        vpn_profiles = [
+            p for p in self.catalog.rooted_only if p.purpose == "vpn"
+        ][:target]
+        for profile, device in zip(vpn_profiles, candidates):
+            device.user_add_certificate(self.factory.root_certificate(profile))
+
+    def _inject_missing_certs(
+        self, rng: random.Random, population: Population
+    ) -> None:
+        """§5: exactly five handsets missing AOSP certificates."""
+        target = self.config.missing_cert_devices  # not scaled: paper absolute
+        candidates = [r.device for r in population.records if not r.device.apps]
+        for device in rng.sample(candidates, min(target, len(candidates))):
+            aosp_certs = self.firmware.aosp.store_for(
+                device.spec.os_version
+            ).certificates()
+            for certificate in rng.sample(aosp_certs, rng.randrange(1, 4)):
+                device.user_disable_certificate(certificate)
+
+    def _inject_proxied_device(self, population: Population) -> None:
+        """§7: one Nexus 7 on 4.4 behind the Reality Mine proxy."""
+        proxy = InterceptionProxy(
+            whitelist=frozenset(e.hostport for e in WHITELISTED_DOMAINS),
+            seed=f"{self.config.seed}/reality-mine",
+        )
+        spec = DeviceSpec(
+            manufacturer="ASUS",
+            model="Nexus 7",
+            os_version="4.4",
+            operator="WIFI",
+            country="US",
+        )
+        device = self.firmware.provision(spec, branded=False, device_id="dev-proxied")
+        device.wifi_ssid = "proxied-ap"
+        device.install_app(VpnInterceptorApp(proxy=proxy))
+        population.records.append(
+            DeviceRecord(device=device, session_count=1, branded=False)
+        )
+        population.proxied_device = device

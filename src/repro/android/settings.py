@@ -1,0 +1,138 @@
+"""The Security settings surface and its user-awareness signals.
+
+§8 questions "whether users have sufficient awareness of the
+consequences of their actions". This module models the surface that
+awareness flows through: the credential-storage settings screen and the
+OS-level signals real Android emits — the "Network may be monitored"
+persistent warning once any user CA is installed, and the confirmation
+dialog before disabling a system root. Every emitted event is recorded
+so experiments can measure what a user was (or wasn't) told.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice
+from repro.x509.certificate import Certificate
+
+
+class EventKind(enum.Enum):
+    """The user-visible signal kinds."""
+
+    INSTALL_PROMPT = "install_prompt"  # name-the-certificate dialog
+    MONITORING_WARNING = "monitoring_warning"  # persistent status warning
+    DISABLE_CONFIRMATION = "disable_confirmation"
+    SILENT_CHANGE = "silent_change"  # store changed with NO signal (§6)
+
+
+@dataclass(frozen=True)
+class UserEvent:
+    """One signal shown to (or withheld from) the user."""
+
+    kind: EventKind
+    message: str
+    certificate: Certificate | None = None
+
+
+@dataclass
+class SecuritySettings:
+    """The Settings > Security > Credential storage surface."""
+
+    device: AndroidDevice
+    events: list[UserEvent] = field(default_factory=list)
+
+    # -- listing -----------------------------------------------------------------
+
+    def system_credentials(self) -> list[Certificate]:
+        """The system tab: firmware-shipped roots."""
+        return [
+            entry.certificate
+            for entry in self.device.store.entries()
+            if not entry.source.startswith("app:") and entry.source != "user"
+        ]
+
+    def user_credentials(self) -> list[Certificate]:
+        """The user tab: everything the user (or an app) added."""
+        return [
+            entry.certificate
+            for entry in self.device.store.entries()
+            if entry.source == "user" or entry.source.startswith("app:")
+        ]
+
+    # -- user actions ----------------------------------------------------------------
+
+    def install_certificate(self, certificate: Certificate, name: str = "") -> None:
+        """The user-initiated install flow: prompt, install, then the
+        persistent monitoring warning."""
+        label = name or certificate.subject.common_name or "certificate"
+        self.events.append(
+            UserEvent(
+                kind=EventKind.INSTALL_PROMPT,
+                message=f'Name this certificate: "{label}"',
+                certificate=certificate,
+            )
+        )
+        self.device.user_add_certificate(certificate)
+        self._raise_monitoring_warning()
+
+    def disable_system_certificate(self, certificate: Certificate) -> bool:
+        """The disable flow: confirmation dialog, then the change."""
+        self.events.append(
+            UserEvent(
+                kind=EventKind.DISABLE_CONFIRMATION,
+                message="Disable this certificate? Secure connections that "
+                "depend on it will stop working.",
+                certificate=certificate,
+            )
+        )
+        return self.device.user_disable_certificate(certificate)
+
+    # -- signals --------------------------------------------------------------------
+
+    def _raise_monitoring_warning(self) -> None:
+        if not any(
+            event.kind is EventKind.MONITORING_WARNING for event in self.events
+        ):
+            self.events.append(
+                UserEvent(
+                    kind=EventKind.MONITORING_WARNING,
+                    message="Network may be monitored by an unknown third party",
+                )
+            )
+
+    def reconcile(self) -> list[UserEvent]:
+        """Detect store changes that bypassed this surface (§6's gap).
+
+        App-injected roots reached the store without any dialog; real
+        Android raises no signal for them either — the reconciler
+        records that silence explicitly as SILENT_CHANGE events.
+        """
+        signalled = {
+            event.certificate.encoded
+            for event in self.events
+            if event.certificate is not None
+        }
+        silent = []
+        for entry in self.device.store.entries():
+            if (
+                entry.source.startswith("app:")
+                and entry.certificate.encoded not in signalled
+            ):
+                event = UserEvent(
+                    kind=EventKind.SILENT_CHANGE,
+                    message=f"{entry.certificate.subject.common_name} was added "
+                    f"by {entry.source[4:]} without any user signal",
+                    certificate=entry.certificate,
+                )
+                silent.append(event)
+                self.events.append(event)
+        return silent
+
+    @property
+    def monitoring_warning_active(self) -> bool:
+        """Is the persistent warning currently shown?"""
+        return any(
+            event.kind is EventKind.MONITORING_WARNING for event in self.events
+        )

@@ -1,0 +1,61 @@
+"""Pure-Python DER (Distinguished Encoding Rules) substrate.
+
+This subpackage implements the subset of ASN.1/DER needed to build and
+parse real X.509 certificates from scratch: the universal types used by
+RFC 5280 (INTEGER, BIT STRING, OCTET STRING, NULL, OBJECT IDENTIFIER,
+UTF8String/PrintableString/IA5String, UTCTime/GeneralizedTime, SEQUENCE,
+SET, BOOLEAN) plus context-specific tagging.
+
+The encoder produces canonical DER; the decoder is strict and rejects
+non-minimal lengths, trailing garbage and malformed structures, which the
+test suite exercises with deliberately corrupted inputs.
+"""
+
+from repro.asn1.tags import Tag, TagClass, UniversalTag
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.encoder import (
+    encode_tlv,
+    encode_boolean,
+    encode_integer,
+    encode_bit_string,
+    encode_octet_string,
+    encode_null,
+    encode_oid,
+    encode_printable_string,
+    encode_utf8_string,
+    encode_ia5_string,
+    encode_utc_time,
+    encode_generalized_time,
+    encode_sequence,
+    encode_set,
+    encode_explicit,
+    encode_implicit,
+)
+from repro.asn1.decoder import Asn1Error, Asn1Object, decode, decode_all
+
+__all__ = [
+    "Tag",
+    "TagClass",
+    "UniversalTag",
+    "ObjectIdentifier",
+    "Asn1Error",
+    "Asn1Object",
+    "decode",
+    "decode_all",
+    "encode_tlv",
+    "encode_boolean",
+    "encode_integer",
+    "encode_bit_string",
+    "encode_octet_string",
+    "encode_null",
+    "encode_oid",
+    "encode_printable_string",
+    "encode_utf8_string",
+    "encode_ia5_string",
+    "encode_utc_time",
+    "encode_generalized_time",
+    "encode_sequence",
+    "encode_set",
+    "encode_explicit",
+    "encode_implicit",
+]

@@ -1,0 +1,232 @@
+"""Strict DER decoder producing a navigable :class:`Asn1Object` tree.
+
+The decoder enforces DER canonical form: definite, minimal lengths;
+minimal INTEGER content; no trailing garbage when asked to decode a
+single object. Lenient parsing would hide exactly the certificate
+malformations the test suite wants to detect.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterator
+
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.tags import STRING_TAGS, Tag, TagClass, UniversalTag
+
+
+class Asn1Error(ValueError):
+    """Raised on any malformed or non-DER input."""
+
+
+class Asn1Object:
+    """One decoded TLV.
+
+    Constructed objects expose their children via :attr:`children` and
+    indexing; primitive objects expose typed accessors
+    (:meth:`as_integer`, :meth:`as_oid`, ...) that validate the tag.
+    """
+
+    __slots__ = ("tag", "content", "_children", "encoded")
+
+    def __init__(self, tag: Tag, content: bytes, encoded: bytes):
+        self.tag = tag
+        self.content = content
+        self.encoded = encoded
+        self._children: list[Asn1Object] | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def children(self) -> list["Asn1Object"]:
+        """Child TLVs of a constructed object (decoded lazily)."""
+        if not self.tag.constructed:
+            raise Asn1Error(f"{self.tag} is primitive, has no children")
+        if self._children is None:
+            self._children = list(_iter_tlvs(self.content))
+        return self._children
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, index: int) -> "Asn1Object":
+        return self.children[index]
+
+    def __iter__(self) -> Iterator["Asn1Object"]:
+        return iter(self.children)
+
+    # -- typed accessors ----------------------------------------------------
+
+    def _expect(self, number: UniversalTag) -> None:
+        if not self.tag.is_universal(number):
+            raise Asn1Error(f"expected {number.name}, found {self.tag}")
+
+    def as_boolean(self) -> bool:
+        """Decode a BOOLEAN (DER requires 0x00 or 0xFF)."""
+        self._expect(UniversalTag.BOOLEAN)
+        if self.content not in (b"\x00", b"\xff"):
+            raise Asn1Error(f"non-DER BOOLEAN content {self.content!r}")
+        return self.content == b"\xff"
+
+    def as_integer(self) -> int:
+        """Decode an INTEGER, enforcing minimal content octets."""
+        self._expect(UniversalTag.INTEGER)
+        content = self.content
+        if not content:
+            raise Asn1Error("empty INTEGER content")
+        if len(content) > 1 and (
+            (content[0] == 0x00 and not content[1] & 0x80)
+            or (content[0] == 0xFF and content[1] & 0x80)
+        ):
+            raise Asn1Error("non-minimal INTEGER encoding")
+        return int.from_bytes(content, "big", signed=True)
+
+    def as_bit_string(self) -> tuple[bytes, int]:
+        """Decode a BIT STRING into ``(data, unused_bits)``."""
+        self._expect(UniversalTag.BIT_STRING)
+        if not self.content:
+            raise Asn1Error("empty BIT STRING content")
+        unused = self.content[0]
+        if unused > 7 or (unused and len(self.content) == 1):
+            raise Asn1Error(f"invalid BIT STRING unused-bit count {unused}")
+        return self.content[1:], unused
+
+    def as_octet_string(self) -> bytes:
+        """Decode an OCTET STRING."""
+        self._expect(UniversalTag.OCTET_STRING)
+        return self.content
+
+    def as_null(self) -> None:
+        """Decode a NULL (must have empty content)."""
+        self._expect(UniversalTag.NULL)
+        if self.content:
+            raise Asn1Error("NULL with non-empty content")
+
+    def as_oid(self) -> ObjectIdentifier:
+        """Decode an OBJECT IDENTIFIER."""
+        self._expect(UniversalTag.OBJECT_IDENTIFIER)
+        try:
+            return ObjectIdentifier.decode_value(self.content)
+        except ValueError as exc:
+            raise Asn1Error(str(exc)) from exc
+
+    def as_string(self) -> str:
+        """Decode any supported character-string type to ``str``."""
+        if self.tag.tag_class is not TagClass.UNIVERSAL or (
+            self.tag.number not in {int(t) for t in STRING_TAGS}
+        ):
+            raise Asn1Error(f"expected a string type, found {self.tag}")
+        if self.tag.number == int(UniversalTag.BMP_STRING):
+            return self.content.decode("utf-16-be")
+        if self.tag.number == int(UniversalTag.T61_STRING):
+            return self.content.decode("latin-1")
+        encoding = "utf-8" if self.tag.number == int(UniversalTag.UTF8_STRING) else "ascii"
+        try:
+            return self.content.decode(encoding)
+        except UnicodeDecodeError as exc:
+            raise Asn1Error(f"bad {self.tag} content: {exc}") from exc
+
+    def as_time(self) -> datetime.datetime:
+        """Decode UTCTime or GeneralizedTime to a naive-UTC datetime."""
+        text = self.content.decode("ascii", errors="replace")
+        if self.tag.is_universal(UniversalTag.UTC_TIME):
+            return _parse_utc_time(text)
+        if self.tag.is_universal(UniversalTag.GENERALIZED_TIME):
+            return _parse_generalized_time(text)
+        raise Asn1Error(f"expected a time type, found {self.tag}")
+
+    def explicit_inner(self) -> "Asn1Object":
+        """Unwrap an EXPLICIT context tag, returning the single inner TLV."""
+        if self.tag.tag_class is not TagClass.CONTEXT or not self.tag.constructed:
+            raise Asn1Error(f"expected constructed context tag, found {self.tag}")
+        inner = list(_iter_tlvs(self.content))
+        if len(inner) != 1:
+            raise Asn1Error(
+                f"explicit tag must wrap exactly one TLV, found {len(inner)}"
+            )
+        return inner[0]
+
+    def __repr__(self) -> str:
+        return f"<Asn1Object {self.tag} len={len(self.content)}>"
+
+
+def _read_tlv(data: bytes, offset: int) -> tuple[Asn1Object, int]:
+    """Read one TLV at *offset*; return the object and the next offset."""
+    start = offset
+    if offset >= len(data):
+        raise Asn1Error("truncated input: missing identifier octet")
+    try:
+        tag = Tag.from_octet(data[offset])
+    except ValueError as exc:
+        raise Asn1Error(str(exc)) from exc
+    offset += 1
+    if offset >= len(data):
+        raise Asn1Error("truncated input: missing length octet")
+    first = data[offset]
+    offset += 1
+    if first < 0x80:
+        length = first
+    elif first == 0x80:
+        raise Asn1Error("indefinite length is not DER")
+    else:
+        count = first & 0x7F
+        if offset + count > len(data):
+            raise Asn1Error("truncated input: long-form length")
+        raw = data[offset : offset + count]
+        offset += count
+        if raw[0] == 0x00:
+            raise Asn1Error("non-minimal long-form length (leading zero)")
+        length = int.from_bytes(raw, "big")
+        if length < 0x80:
+            raise Asn1Error("non-minimal long-form length (fits short form)")
+    if offset + length > len(data):
+        raise Asn1Error("truncated input: content shorter than declared length")
+    content = data[offset : offset + length]
+    end = offset + length
+    return Asn1Object(tag, content, bytes(data[start:end])), end
+
+
+def _iter_tlvs(data: bytes) -> Iterator[Asn1Object]:
+    """Yield consecutive TLVs covering *data* exactly."""
+    offset = 0
+    while offset < len(data):
+        obj, offset = _read_tlv(data, offset)
+        yield obj
+
+
+def decode(data: bytes) -> Asn1Object:
+    """Decode exactly one DER object; reject trailing bytes."""
+    obj, end = _read_tlv(bytes(data), 0)
+    if end != len(data):
+        raise Asn1Error(f"{len(data) - end} trailing bytes after DER object")
+    return obj
+
+
+def decode_all(data: bytes) -> list[Asn1Object]:
+    """Decode a concatenation of DER objects covering *data* exactly."""
+    return list(_iter_tlvs(bytes(data)))
+
+
+def _parse_utc_time(text: str) -> datetime.datetime:
+    """Parse DER UTCTime ``YYMMDDHHMMSSZ`` (RFC 5280 mandates seconds+Z)."""
+    if len(text) != 13 or not text.endswith("Z"):
+        raise Asn1Error(f"malformed UTCTime {text!r}")
+    try:
+        parsed = datetime.datetime.strptime(text, "%y%m%d%H%M%SZ")
+    except ValueError as exc:
+        raise Asn1Error(f"malformed UTCTime {text!r}") from exc
+    # RFC 5280: two-digit years 00-49 are 20xx, 50-99 are 19xx -- this is
+    # what strptime already does (pivot 69), so re-pivot explicitly.
+    year = int(text[:2])
+    century = 2000 if year < 50 else 1900
+    return parsed.replace(year=century + year)
+
+
+def _parse_generalized_time(text: str) -> datetime.datetime:
+    """Parse DER GeneralizedTime ``YYYYMMDDHHMMSSZ``."""
+    if len(text) != 15 or not text.endswith("Z"):
+        raise Asn1Error(f"malformed GeneralizedTime {text!r}")
+    try:
+        return datetime.datetime.strptime(text, "%Y%m%d%H%M%SZ")
+    except ValueError as exc:
+        raise Asn1Error(f"malformed GeneralizedTime {text!r}") from exc

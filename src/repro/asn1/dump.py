@@ -1,0 +1,73 @@
+"""DER structure pretty-printer (the ``openssl asn1parse`` equivalent)."""
+
+from __future__ import annotations
+
+from repro.asn1.decoder import Asn1Error, Asn1Object, decode_all
+from repro.asn1.tags import STRING_TAGS, TIME_TAGS, TagClass, UniversalTag
+
+
+def _summarize_primitive(obj: Asn1Object) -> str:
+    """A short rendering of a primitive value."""
+    tag = obj.tag
+    if tag.tag_class is TagClass.UNIVERSAL:
+        number = tag.number
+        try:
+            if number == int(UniversalTag.INTEGER):
+                value = obj.as_integer()
+                if value.bit_length() > 64:
+                    return f"{value:#x}"
+                return str(value)
+            if number == int(UniversalTag.BOOLEAN):
+                return str(obj.as_boolean())
+            if number == int(UniversalTag.OBJECT_IDENTIFIER):
+                return obj.as_oid().dotted
+            if number == int(UniversalTag.NULL):
+                return ""
+            if number in {int(t) for t in STRING_TAGS}:
+                return repr(obj.as_string())
+            if number in {int(t) for t in TIME_TAGS}:
+                return obj.as_time().isoformat()
+            if number == int(UniversalTag.BIT_STRING):
+                data, unused = obj.as_bit_string()
+                return f"{len(data)} bytes, {unused} unused bits"
+            if number == int(UniversalTag.OCTET_STRING):
+                body = obj.content.hex()
+                return body if len(body) <= 32 else body[:32] + "..."
+        except Asn1Error:
+            pass
+    body = obj.content.hex()
+    return body if len(body) <= 32 else body[:32] + "..."
+
+
+def dump_der(data: bytes, *, indent: str = "  ") -> str:
+    """Render a DER blob as an indented structural listing.
+
+    Constructed context-specific values are descended into when their
+    content parses as DER (the common EXPLICIT-tag case).
+    """
+    lines: list[str] = []
+
+    def walk(obj: Asn1Object, depth: int, offset: int) -> None:
+        header = f"{offset:>5}: {indent * depth}{obj.tag}"
+        if obj.tag.constructed:
+            lines.append(f"{header} ({len(obj.content)} bytes)")
+            child_offset = offset + len(obj.encoded) - len(obj.content)
+            try:
+                children = obj.children
+            except Asn1Error:
+                lines.append(
+                    f"{offset:>5}: {indent * (depth + 1)}<opaque constructed body>"
+                )
+                return
+            for child in children:
+                walk(child, depth + 1, child_offset)
+                child_offset += len(child.encoded)
+        else:
+            summary = _summarize_primitive(obj)
+            lines.append(f"{header}: {summary}" if summary else header)
+
+    offset = 0
+    for obj in decode_all(data):
+        walk(obj, 0, offset)
+        offset += len(obj.encoded)
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Canonical DER encoding of the universal types used by X.509."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable
+
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.tags import CONSTRUCTED, Tag, TagClass, UniversalTag
+
+
+def encode_length(length: int) -> bytes:
+    """Encode a definite length in minimal DER form."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length < 0x80:
+        return bytes([length])
+    octets = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(octets)]) + octets
+
+
+def encode_tlv(tag: Tag | int, content: bytes) -> bytes:
+    """Encode a full TLV from a tag (or raw identifier octet) and content."""
+    identifier = tag.identifier_octet if isinstance(tag, Tag) else tag
+    return bytes([identifier]) + encode_length(len(content)) + content
+
+
+def encode_boolean(value: bool) -> bytes:
+    """DER BOOLEAN: TRUE is 0xFF, FALSE is 0x00."""
+    return encode_tlv(Tag.universal(UniversalTag.BOOLEAN), b"\xff" if value else b"\x00")
+
+
+def encode_integer(value: int) -> bytes:
+    """DER INTEGER (two's complement, minimal octets)."""
+    if value == 0:
+        content = b"\x00"
+    else:
+        length = (value.bit_length() + 8) // 8  # +8 leaves room for sign bit
+        content = value.to_bytes(length, "big", signed=True)
+        # Strip a redundant leading octet if the sign bit still matches.
+        if len(content) > 1 and (
+            (content[0] == 0x00 and not content[1] & 0x80)
+            or (content[0] == 0xFF and content[1] & 0x80)
+        ):
+            content = content[1:]
+    return encode_tlv(Tag.universal(UniversalTag.INTEGER), content)
+
+
+def encode_bit_string(data: bytes, unused_bits: int = 0) -> bytes:
+    """DER BIT STRING with the given number of unused trailing bits."""
+    if not 0 <= unused_bits <= 7:
+        raise ValueError("unused_bits must be in [0, 7]")
+    if unused_bits and not data:
+        raise ValueError("empty BIT STRING cannot have unused bits")
+    return encode_tlv(
+        Tag.universal(UniversalTag.BIT_STRING), bytes([unused_bits]) + data
+    )
+
+
+def encode_octet_string(data: bytes) -> bytes:
+    """DER OCTET STRING."""
+    return encode_tlv(Tag.universal(UniversalTag.OCTET_STRING), data)
+
+
+def encode_null() -> bytes:
+    """DER NULL."""
+    return encode_tlv(Tag.universal(UniversalTag.NULL), b"")
+
+
+def encode_oid(oid: ObjectIdentifier | str) -> bytes:
+    """DER OBJECT IDENTIFIER."""
+    if isinstance(oid, str):
+        oid = ObjectIdentifier(oid)
+    return encode_tlv(Tag.universal(UniversalTag.OBJECT_IDENTIFIER), oid.encode_value())
+
+
+_PRINTABLE_CHARS = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?"
+)
+
+
+def is_printable(text: str) -> bool:
+    """True if *text* fits the ASN.1 PrintableString character set."""
+    return all(char in _PRINTABLE_CHARS for char in text)
+
+
+def encode_printable_string(text: str) -> bytes:
+    """DER PrintableString; rejects characters outside the allowed set."""
+    if not is_printable(text):
+        raise ValueError(f"not a PrintableString: {text!r}")
+    return encode_tlv(Tag.universal(UniversalTag.PRINTABLE_STRING), text.encode("ascii"))
+
+
+def encode_utf8_string(text: str) -> bytes:
+    """DER UTF8String."""
+    return encode_tlv(Tag.universal(UniversalTag.UTF8_STRING), text.encode("utf-8"))
+
+
+def encode_ia5_string(text: str) -> bytes:
+    """DER IA5String (ASCII)."""
+    return encode_tlv(Tag.universal(UniversalTag.IA5_STRING), text.encode("ascii"))
+
+
+def encode_utc_time(moment: datetime.datetime) -> bytes:
+    """DER UTCTime (``YYMMDDHHMMSSZ``); valid for years 1950-2049."""
+    moment = _as_utc(moment)
+    if not 1950 <= moment.year <= 2049:
+        raise ValueError(f"UTCTime cannot represent year {moment.year}")
+    text = moment.strftime("%y%m%d%H%M%SZ")
+    return encode_tlv(Tag.universal(UniversalTag.UTC_TIME), text.encode("ascii"))
+
+
+def encode_generalized_time(moment: datetime.datetime) -> bytes:
+    """DER GeneralizedTime (``YYYYMMDDHHMMSSZ``)."""
+    moment = _as_utc(moment)
+    text = moment.strftime("%Y%m%d%H%M%SZ")
+    return encode_tlv(Tag.universal(UniversalTag.GENERALIZED_TIME), text.encode("ascii"))
+
+
+def encode_x509_time(moment: datetime.datetime) -> bytes:
+    """RFC 5280 Time: UTCTime through 2049, GeneralizedTime after."""
+    moment = _as_utc(moment)
+    if moment.year <= 2049:
+        return encode_utc_time(moment)
+    return encode_generalized_time(moment)
+
+
+def encode_sequence(components: Iterable[bytes]) -> bytes:
+    """DER SEQUENCE of pre-encoded components."""
+    return encode_tlv(
+        Tag.universal(UniversalTag.SEQUENCE, constructed=True), b"".join(components)
+    )
+
+
+def encode_set(components: Iterable[bytes]) -> bytes:
+    """DER SET OF: components sorted by encoding, per DER canonical rules."""
+    ordered = sorted(components)
+    return encode_tlv(
+        Tag.universal(UniversalTag.SET, constructed=True), b"".join(ordered)
+    )
+
+
+def encode_explicit(number: int, inner: bytes) -> bytes:
+    """Explicitly tagged ``[number]`` wrapper around a complete TLV."""
+    return encode_tlv(Tag.context(number, constructed=True), inner)
+
+
+def encode_implicit(number: int, inner: bytes, constructed: bool | None = None) -> bytes:
+    """Implicitly retag a complete TLV as context ``[number]``.
+
+    The constructed bit is preserved from the inner encoding unless
+    overridden.
+    """
+    if not inner:
+        raise ValueError("cannot retag empty encoding")
+    if constructed is None:
+        constructed = bool(inner[0] & CONSTRUCTED)
+    identifier = int(TagClass.CONTEXT) | number
+    if constructed:
+        identifier |= CONSTRUCTED
+    # Skip the original identifier octet; keep length + content.
+    return bytes([identifier]) + inner[1:]
+
+
+def _as_utc(moment: datetime.datetime) -> datetime.datetime:
+    """Normalize a datetime to naive-UTC with whole-second resolution."""
+    if moment.tzinfo is not None:
+        moment = moment.astimezone(datetime.timezone.utc).replace(tzinfo=None)
+    return moment.replace(microsecond=0)

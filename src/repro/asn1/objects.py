@@ -1,0 +1,119 @@
+"""Registry of the OBJECT IDENTIFIERs used by the X.509 layer.
+
+Covers signature algorithms, public-key algorithms, distinguished-name
+attribute types, and the certificate extensions RFC 5280 profiles.
+"""
+
+from __future__ import annotations
+
+from repro.asn1.oid import ObjectIdentifier
+
+# -- public-key algorithms ---------------------------------------------------
+
+RSA_ENCRYPTION = ObjectIdentifier("1.2.840.113549.1.1.1")
+
+# -- signature algorithms ----------------------------------------------------
+
+MD5_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.4")
+SHA1_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.5")
+SHA256_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.11")
+SHA384_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.12")
+SHA512_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.13")
+
+#: signature-algorithm OID -> hash name understood by hashlib
+SIGNATURE_HASHES: dict[ObjectIdentifier, str] = {
+    MD5_WITH_RSA: "md5",
+    SHA1_WITH_RSA: "sha1",
+    SHA256_WITH_RSA: "sha256",
+    SHA384_WITH_RSA: "sha384",
+    SHA512_WITH_RSA: "sha512",
+}
+
+#: hash name -> signature-algorithm OID
+HASH_SIGNATURE_OIDS: dict[str, ObjectIdentifier] = {
+    name: oid for oid, name in SIGNATURE_HASHES.items()
+}
+
+# -- DigestInfo digest-algorithm OIDs (PKCS#1 v1.5) ---------------------------
+
+DIGEST_ALGORITHM_OIDS: dict[str, ObjectIdentifier] = {
+    "md5": ObjectIdentifier("1.2.840.113549.2.5"),
+    "sha1": ObjectIdentifier("1.3.14.3.2.26"),
+    "sha256": ObjectIdentifier("2.16.840.1.101.3.4.2.1"),
+    "sha384": ObjectIdentifier("2.16.840.1.101.3.4.2.2"),
+    "sha512": ObjectIdentifier("2.16.840.1.101.3.4.2.3"),
+}
+
+# -- distinguished-name attribute types ---------------------------------------
+
+COMMON_NAME = ObjectIdentifier("2.5.4.3")
+SURNAME = ObjectIdentifier("2.5.4.4")
+SERIAL_NUMBER_ATTR = ObjectIdentifier("2.5.4.5")
+COUNTRY = ObjectIdentifier("2.5.4.6")
+LOCALITY = ObjectIdentifier("2.5.4.7")
+STATE_OR_PROVINCE = ObjectIdentifier("2.5.4.8")
+STREET_ADDRESS = ObjectIdentifier("2.5.4.9")
+ORGANIZATION = ObjectIdentifier("2.5.4.10")
+ORGANIZATIONAL_UNIT = ObjectIdentifier("2.5.4.11")
+EMAIL_ADDRESS = ObjectIdentifier("1.2.840.113549.1.9.1")
+DOMAIN_COMPONENT = ObjectIdentifier("0.9.2342.19200300.100.1.25")
+
+#: attribute OID -> short name used in RFC 4514-style DN strings
+DN_SHORT_NAMES: dict[ObjectIdentifier, str] = {
+    COMMON_NAME: "CN",
+    SURNAME: "SN",
+    SERIAL_NUMBER_ATTR: "serialNumber",
+    COUNTRY: "C",
+    LOCALITY: "L",
+    STATE_OR_PROVINCE: "ST",
+    STREET_ADDRESS: "street",
+    ORGANIZATION: "O",
+    ORGANIZATIONAL_UNIT: "OU",
+    EMAIL_ADDRESS: "emailAddress",
+    DOMAIN_COMPONENT: "DC",
+}
+
+#: short name -> attribute OID (case-insensitive lookup helper below)
+DN_OIDS_BY_NAME: dict[str, ObjectIdentifier] = {
+    name.upper(): oid for oid, name in DN_SHORT_NAMES.items()
+}
+
+#: attributes whose values must stay PrintableString per RFC 5280
+PRINTABLE_ONLY_ATTRS = frozenset({COUNTRY, SERIAL_NUMBER_ATTR})
+
+# -- certificate extensions ----------------------------------------------------
+
+SUBJECT_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.14")
+KEY_USAGE = ObjectIdentifier("2.5.29.15")
+SUBJECT_ALT_NAME = ObjectIdentifier("2.5.29.17")
+BASIC_CONSTRAINTS = ObjectIdentifier("2.5.29.19")
+CRL_DISTRIBUTION_POINTS = ObjectIdentifier("2.5.29.31")
+CERTIFICATE_POLICIES = ObjectIdentifier("2.5.29.32")
+AUTHORITY_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.35")
+EXTENDED_KEY_USAGE = ObjectIdentifier("2.5.29.37")
+
+# -- extended key usage purposes ------------------------------------------------
+
+EKU_SERVER_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.1")
+EKU_CLIENT_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.2")
+EKU_CODE_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.3")
+EKU_EMAIL_PROTECTION = ObjectIdentifier("1.3.6.1.5.5.7.3.4")
+EKU_TIME_STAMPING = ObjectIdentifier("1.3.6.1.5.5.7.3.8")
+
+EKU_NAMES: dict[ObjectIdentifier, str] = {
+    EKU_SERVER_AUTH: "serverAuth",
+    EKU_CLIENT_AUTH: "clientAuth",
+    EKU_CODE_SIGNING: "codeSigning",
+    EKU_EMAIL_PROTECTION: "emailProtection",
+    EKU_TIME_STAMPING: "timeStamping",
+}
+
+
+def dn_attribute_oid(name: str) -> ObjectIdentifier:
+    """Resolve a DN attribute short name (``"CN"``) or dotted OID string."""
+    key = name.strip().upper()
+    if key in DN_OIDS_BY_NAME:
+        return DN_OIDS_BY_NAME[key]
+    if key and key[0].isdigit():
+        return ObjectIdentifier(name)
+    raise ValueError(f"unknown DN attribute {name!r}")

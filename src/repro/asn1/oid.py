@@ -1,0 +1,119 @@
+"""OBJECT IDENTIFIER type and its DER arc codec."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class ObjectIdentifier:
+    """An immutable OBJECT IDENTIFIER (dotted sequence of integer arcs).
+
+    Instances are hashable and compare by value, so they can key OID
+    registries (see :mod:`repro.asn1.objects`).
+    """
+
+    __slots__ = ("_arcs",)
+
+    def __init__(self, dotted_or_arcs: str | Iterable[int]):
+        if isinstance(dotted_or_arcs, str):
+            parts = dotted_or_arcs.split(".")
+            if len(parts) < 2:
+                raise ValueError(f"OID needs at least two arcs: {dotted_or_arcs!r}")
+            try:
+                arcs = tuple(int(part) for part in parts)
+            except ValueError as exc:
+                raise ValueError(f"invalid OID string {dotted_or_arcs!r}") from exc
+        else:
+            arcs = tuple(int(arc) for arc in dotted_or_arcs)
+            if len(arcs) < 2:
+                raise ValueError("OID needs at least two arcs")
+        if any(arc < 0 for arc in arcs):
+            raise ValueError("OID arcs must be non-negative")
+        if arcs[0] > 2 or (arcs[0] < 2 and arcs[1] > 39):
+            raise ValueError(f"invalid leading OID arcs {arcs[:2]}")
+        self._arcs = arcs
+
+    @property
+    def arcs(self) -> tuple[int, ...]:
+        """The arc tuple, e.g. ``(2, 5, 4, 3)`` for commonName."""
+        return self._arcs
+
+    @property
+    def dotted(self) -> str:
+        """Dotted-decimal form, e.g. ``"2.5.4.3"``."""
+        return ".".join(str(arc) for arc in self._arcs)
+
+    def encode_value(self) -> bytes:
+        """DER content octets (without tag/length) for this OID."""
+        first = 40 * self._arcs[0] + self._arcs[1]
+        out = bytearray(_encode_base128(first))
+        for arc in self._arcs[2:]:
+            out += _encode_base128(arc)
+        return bytes(out)
+
+    @classmethod
+    def decode_value(cls, data: bytes) -> "ObjectIdentifier":
+        """Decode DER content octets into an :class:`ObjectIdentifier`."""
+        if not data:
+            raise ValueError("empty OID content")
+        if data[-1] & 0x80:
+            raise ValueError("truncated OID: final arc octet has continuation bit")
+        arcs: list[int] = []
+        for value in _iter_base128(data):
+            if not arcs:
+                if value < 40:
+                    arcs.extend((0, value))
+                elif value < 80:
+                    arcs.extend((1, value - 40))
+                else:
+                    arcs.extend((2, value - 80))
+            else:
+                arcs.append(value)
+        return cls(arcs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectIdentifier):
+            return self._arcs == other._arcs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._arcs)
+
+    def __lt__(self, other: "ObjectIdentifier") -> bool:
+        return self._arcs < other._arcs
+
+    def __repr__(self) -> str:
+        return f"ObjectIdentifier({self.dotted!r})"
+
+    def __str__(self) -> str:
+        return self.dotted
+
+
+def _encode_base128(value: int) -> bytes:
+    """Encode one arc in base-128 with continuation bits (minimal form)."""
+    if value == 0:
+        return b"\x00"
+    chunks = []
+    while value:
+        chunks.append(value & 0x7F)
+        value >>= 7
+    chunks.reverse()
+    out = bytearray(chunk | 0x80 for chunk in chunks[:-1])
+    out.append(chunks[-1])
+    return bytes(out)
+
+
+def _iter_base128(data: bytes) -> Iterator[int]:
+    """Yield arc values from base-128 content octets, rejecting padding."""
+    value = 0
+    start = True
+    for octet in data:
+        if start and octet == 0x80:
+            raise ValueError("non-minimal base-128 arc encoding")
+        value = (value << 7) | (octet & 0x7F)
+        if octet & 0x80:
+            start = False
+        else:
+            yield value
+            value = 0
+            start = True

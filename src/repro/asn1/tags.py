@@ -1,0 +1,119 @@
+"""ASN.1 tag model: classes, universal tag numbers, identifier octets.
+
+DER identifiers used by X.509 fit in a single identifier octet (tag
+numbers < 31), so the codec supports only low-tag-number form; high tag
+numbers are rejected explicitly rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TagClass(enum.IntEnum):
+    """The two-bit tag class of an ASN.1 identifier octet."""
+
+    UNIVERSAL = 0x00
+    APPLICATION = 0x40
+    CONTEXT = 0x80
+    PRIVATE = 0xC0
+
+
+class UniversalTag(enum.IntEnum):
+    """Universal tag numbers used by X.509 (RFC 5280) structures."""
+
+    BOOLEAN = 0x01
+    INTEGER = 0x02
+    BIT_STRING = 0x03
+    OCTET_STRING = 0x04
+    NULL = 0x05
+    OBJECT_IDENTIFIER = 0x06
+    UTF8_STRING = 0x0C
+    SEQUENCE = 0x10
+    SET = 0x11
+    PRINTABLE_STRING = 0x13
+    T61_STRING = 0x14
+    IA5_STRING = 0x16
+    UTC_TIME = 0x17
+    GENERALIZED_TIME = 0x18
+    BMP_STRING = 0x1E
+
+
+#: Identifier-octet bit marking a constructed (vs primitive) encoding.
+CONSTRUCTED = 0x20
+
+#: String types whose value octets decode to text.
+STRING_TAGS = frozenset(
+    {
+        UniversalTag.UTF8_STRING,
+        UniversalTag.PRINTABLE_STRING,
+        UniversalTag.T61_STRING,
+        UniversalTag.IA5_STRING,
+        UniversalTag.BMP_STRING,
+    }
+)
+
+#: Time types.
+TIME_TAGS = frozenset({UniversalTag.UTC_TIME, UniversalTag.GENERALIZED_TIME})
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A decoded ASN.1 tag: class bits, constructed flag and tag number."""
+
+    tag_class: TagClass
+    constructed: bool
+    number: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.number < 31:
+            raise ValueError(
+                f"only low-tag-number form supported, got tag number {self.number}"
+            )
+
+    @property
+    def identifier_octet(self) -> int:
+        """The single DER identifier octet for this tag."""
+        octet = int(self.tag_class) | self.number
+        if self.constructed:
+            octet |= CONSTRUCTED
+        return octet
+
+    @classmethod
+    def from_octet(cls, octet: int) -> "Tag":
+        """Decode a single identifier octet into a :class:`Tag`."""
+        number = octet & 0x1F
+        if number == 0x1F:
+            raise ValueError("high-tag-number form is not supported")
+        return cls(
+            tag_class=TagClass(octet & 0xC0),
+            constructed=bool(octet & CONSTRUCTED),
+            number=number,
+        )
+
+    @classmethod
+    def universal(cls, number: UniversalTag, constructed: bool = False) -> "Tag":
+        """Build a universal-class tag."""
+        return cls(TagClass.UNIVERSAL, constructed, int(number))
+
+    @classmethod
+    def context(cls, number: int, constructed: bool = True) -> "Tag":
+        """Build a context-specific tag (as used by X.509 [0]..[3])."""
+        return cls(TagClass.CONTEXT, constructed, number)
+
+    def is_universal(self, number: UniversalTag) -> bool:
+        """True if this is the universal tag with the given number."""
+        return self.tag_class is TagClass.UNIVERSAL and self.number == int(number)
+
+    def is_context(self, number: int) -> bool:
+        """True if this is the context-specific tag with the given number."""
+        return self.tag_class is TagClass.CONTEXT and self.number == number
+
+    def __str__(self) -> str:
+        if self.tag_class is TagClass.UNIVERSAL:
+            try:
+                return UniversalTag(self.number).name
+            except ValueError:
+                return f"UNIVERSAL {self.number}"
+        return f"{self.tag_class.name}[{self.number}]"

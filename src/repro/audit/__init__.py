@@ -1,0 +1,30 @@
+"""Root-store auditing — §8's recommendations, made executable.
+
+The paper recommends "an audited and more strict root store for
+Android". This subpackage is that auditor: given a device (or bare
+store), the platform references and a Notary, it produces a structured
+audit report — unexpected roots, their provenance and risk, removable
+dead weight, and policy findings (unscoped special-purpose roots,
+expired anchors, rooted-store tampering).
+"""
+
+from repro.audit.auditor import (
+    AuditFinding,
+    AuditReport,
+    Severity,
+    StoreAuditor,
+)
+from repro.audit.policy import AuditPolicy, default_policy
+from repro.audit.fleet import FleetSummary, audit_population, build_fleet_auditors
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "Severity",
+    "StoreAuditor",
+    "AuditPolicy",
+    "default_policy",
+    "FleetSummary",
+    "audit_population",
+    "build_fleet_auditors",
+]

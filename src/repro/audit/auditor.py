@@ -1,0 +1,228 @@
+"""The store auditor."""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass, field
+
+from repro.audit.policy import AuditPolicy, default_policy
+from repro.analysis.classify import PresenceClassifier
+from repro.notary.database import NotaryDatabase
+from repro.rootstore.catalog import StorePresence
+from repro.rootstore.factory import STUDY_NOW
+from repro.rootstore.store import RootStore
+from repro.rootstore.diff import diff_stores
+from repro.x509.certificate import Certificate
+from repro.x509.constraints import name_constraints_of
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered."""
+
+    INFO = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audit finding about one certificate."""
+
+    severity: Severity
+    rule: str
+    certificate: Certificate
+    message: str
+
+    @property
+    def subject_text(self) -> str:
+        """The certificate subject, rendered."""
+        return str(self.certificate.subject)
+
+
+@dataclass
+class AuditReport:
+    """The full outcome of a store audit."""
+
+    store_name: str
+    reference_name: str
+    total_roots: int
+    additions: int
+    missing: int
+    findings: list[AuditFinding] = field(default_factory=list)
+    removable: list[Certificate] = field(default_factory=list)
+
+    @property
+    def max_severity(self) -> Severity:
+        """The worst severity present (INFO when clean)."""
+        if not self.findings:
+            return Severity.INFO
+        return max(finding.severity for finding in self.findings)
+
+    def findings_at_least(self, severity: Severity) -> list[AuditFinding]:
+        """Findings at or above a severity."""
+        return [f for f in self.findings if f.severity >= severity]
+
+    def render(self, *, min_severity: Severity = Severity.INFO) -> str:
+        """Human-readable report text."""
+        lines = [
+            f"Audit of {self.store_name!r} against {self.reference_name!r}",
+            f"  roots: {self.total_roots}  additions: {self.additions}  "
+            f"missing: {self.missing}",
+            f"  findings: {len(self.findings)} "
+            f"(max severity: {self.max_severity.name})",
+        ]
+        for finding in sorted(
+            self.findings_at_least(min_severity),
+            key=lambda f: (-f.severity, f.rule),
+        ):
+            lines.append(
+                f"  [{finding.severity.name:<8}] {finding.rule}: {finding.message}"
+            )
+        if self.removable:
+            lines.append(
+                f"  removable dead weight: {len(self.removable)} roots validate "
+                "no observed traffic"
+            )
+        return "\n".join(lines)
+
+
+class StoreAuditor:
+    """Audits device stores against a reference store and the Notary."""
+
+    def __init__(
+        self,
+        reference: RootStore,
+        *,
+        classifier: PresenceClassifier | None = None,
+        notary: NotaryDatabase | None = None,
+        policy: AuditPolicy | None = None,
+        at: datetime.datetime = STUDY_NOW,
+    ):
+        self.reference = reference
+        self.classifier = classifier
+        self.notary = notary
+        self.policy = policy or default_policy()
+        self.at = at
+
+    def audit(self, store: RootStore) -> AuditReport:
+        """Audit one store."""
+        diff = diff_stores(store, self.reference)
+        report = AuditReport(
+            store_name=store.name,
+            reference_name=self.reference.name,
+            total_roots=len(store),
+            additions=diff.added_count,
+            missing=diff.missing_count,
+        )
+        for certificate in diff.added:
+            self._audit_addition(store, certificate, report)
+        for certificate in store.certificates(include_disabled=True):
+            self._audit_anchor(certificate, report)
+        if self.notary is not None:
+            threshold = self.policy.removable_leaf_threshold
+            for certificate in store.certificates():
+                if self.notary.validated_by_root(certificate) <= threshold:
+                    report.removable.append(certificate)
+        if diff.missing_count:
+            example = diff.missing[0]
+            report.findings.append(
+                AuditFinding(
+                    severity=Severity.MEDIUM,
+                    rule="missing-reference-roots",
+                    certificate=example,
+                    message=f"{diff.missing_count} reference roots absent "
+                    f"(e.g. {example.subject.common_name})",
+                )
+            )
+        return report
+
+    # -- rules ---------------------------------------------------------------------
+
+    def _audit_addition(
+        self, store: RootStore, certificate: Certificate, report: AuditReport
+    ) -> None:
+        entry = store.entry_for(certificate)
+        source = entry.source if entry is not None else "unknown"
+        subject = certificate.subject.common_name or str(certificate.subject)
+
+        if self.policy.flag_non_system_sources and source.startswith("app:"):
+            report.findings.append(
+                AuditFinding(
+                    severity=Severity.CRITICAL,
+                    rule="app-installed-root",
+                    certificate=certificate,
+                    message=f"{subject} was installed by {source[4:]} — "
+                    "root-privileged store tampering (§6)",
+                )
+            )
+            return
+        if self.policy.flag_non_system_sources and source == "user":
+            report.findings.append(
+                AuditFinding(
+                    severity=Severity.MEDIUM,
+                    rule="user-installed-root",
+                    certificate=certificate,
+                    message=f"{subject} was installed through system settings",
+                )
+            )
+
+        presence = None
+        if self.classifier is not None:
+            presence = self.classifier.classify(certificate).presence
+        if (
+            self.policy.flag_unvetted_additions
+            and presence is not None
+            and presence
+            in (StorePresence.ANDROID_ONLY, StorePresence.NOT_RECORDED)
+        ):
+            severity = (
+                Severity.HIGH
+                if presence is StorePresence.NOT_RECORDED
+                and self.policy.flag_unseen_additions
+                else Severity.LOW
+            )
+            detail = (
+                "absent from every vetted store and never observed in traffic"
+                if presence is StorePresence.NOT_RECORDED
+                else "absent from the Mozilla/iOS7 vetted stores"
+            )
+            report.findings.append(
+                AuditFinding(
+                    severity=severity,
+                    rule="unvetted-addition",
+                    certificate=certificate,
+                    message=f"{subject}: {detail}",
+                )
+            )
+
+        if (
+            self.policy.flag_unconstrained_special_purpose
+            and certificate.is_ca
+            and self.policy.looks_special_purpose(str(certificate.subject))
+            and name_constraints_of(certificate) is None
+        ):
+            report.findings.append(
+                AuditFinding(
+                    severity=Severity.MEDIUM,
+                    rule="unconstrained-special-purpose",
+                    certificate=certificate,
+                    message=f"{subject} looks special-purpose but can vouch "
+                    "for any domain (no name constraints)",
+                )
+            )
+
+    def _audit_anchor(self, certificate: Certificate, report: AuditReport) -> None:
+        if self.policy.flag_expired_anchors and certificate.is_expired(self.at):
+            report.findings.append(
+                AuditFinding(
+                    severity=Severity.LOW,
+                    rule="expired-anchor",
+                    certificate=certificate,
+                    message=f"{certificate.subject.common_name} expired "
+                    f"{certificate.not_after:%Y-%m-%d} but is still trusted "
+                    "(the Firmaprofesional case, §2)",
+                )
+            )

@@ -1,0 +1,89 @@
+"""Fleet auditing: run the store auditor across a whole population.
+
+The operational use of §8's auditor: an enterprise or carrier runs it
+over every managed handset and reads the aggregate — how many devices
+carry tampered stores, which rules fire most, which manufacturers ship
+the most unvetted additions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.android.population import Population
+from repro.audit.auditor import AuditReport, Severity, StoreAuditor
+
+
+@dataclass
+class FleetSummary:
+    """Aggregate results of auditing a device fleet."""
+
+    device_count: int = 0
+    devices_by_max_severity: Counter = field(default_factory=Counter)
+    findings_by_rule: Counter = field(default_factory=Counter)
+    critical_device_ids: list[str] = field(default_factory=list)
+    findings_by_manufacturer: Counter = field(default_factory=Counter)
+
+    @property
+    def critical_fraction(self) -> float:
+        """Fraction of devices with at least one CRITICAL finding."""
+        if not self.device_count:
+            return 0.0
+        return self.devices_by_max_severity[Severity.CRITICAL] / self.device_count
+
+    def render(self) -> str:
+        """Human-readable fleet summary."""
+        lines = [
+            f"Fleet audit: {self.device_count} devices",
+            "  devices by worst finding:",
+        ]
+        for severity in sorted(Severity, reverse=True):
+            count = self.devices_by_max_severity.get(severity, 0)
+            if count:
+                lines.append(f"    {severity.name:<8} {count:>5}")
+        lines.append("  findings by rule:")
+        for rule, count in self.findings_by_rule.most_common():
+            lines.append(f"    {rule:<36} {count:>6}")
+        if self.critical_device_ids:
+            sample = ", ".join(self.critical_device_ids[:5])
+            lines.append(f"  critical devices (sample): {sample}")
+        return "\n".join(lines)
+
+
+def audit_population(
+    population: Population,
+    auditors: dict[str, StoreAuditor],
+) -> FleetSummary:
+    """Audit every device against its version's auditor.
+
+    ``auditors`` maps Android version to a configured
+    :class:`StoreAuditor` (one per reference store).
+    """
+    summary = FleetSummary()
+    for record in population.records:
+        device = record.device
+        auditor = auditors.get(device.spec.os_version)
+        if auditor is None:
+            continue
+        report: AuditReport = auditor.audit(device.store)
+        summary.device_count += 1
+        summary.devices_by_max_severity[report.max_severity] += 1
+        for finding in report.findings:
+            summary.findings_by_rule[finding.rule] += 1
+            summary.findings_by_manufacturer[device.spec.manufacturer] += 1
+        if report.max_severity is Severity.CRITICAL:
+            summary.critical_device_ids.append(device.device_id)
+    return summary
+
+
+def build_fleet_auditors(
+    stores, *, classifier=None, notary=None, policy=None
+) -> dict[str, StoreAuditor]:
+    """One auditor per AOSP version from a PlatformStores bundle."""
+    return {
+        version: StoreAuditor(
+            store, classifier=classifier, notary=notary, policy=policy
+        )
+        for version, store in stores.aosp.items()
+    }

@@ -1,0 +1,45 @@
+"""Audit policy: the tunable rules the auditor enforces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AuditPolicy:
+    """Thresholds and switches for a store audit.
+
+    The defaults encode §8's recommendations: additions must be
+    cross-store vetted or Notary-visible, special-purpose roots should
+    be scoped, expired anchors flagged, and dead weight reported.
+    """
+
+    #: Flag additions absent from every vetted store (Mozilla/iOS7).
+    flag_unvetted_additions: bool = True
+    #: Flag additions the Notary has never seen in traffic.
+    flag_unseen_additions: bool = True
+    #: Flag user/app-installed roots (source != system/firmware).
+    flag_non_system_sources: bool = True
+    #: Flag expired trust anchors (the Firmaprofesional case).
+    flag_expired_anchors: bool = True
+    #: Flag CA-capable roots without name constraints whose subject
+    #: suggests a scoped purpose (government / operator / vendor).
+    flag_unconstrained_special_purpose: bool = True
+    #: Report roots validating fewer than this many Notary leaves as
+    #: removable dead weight (0 = only report zero-validators).
+    removable_leaf_threshold: int = 0
+    #: Subject keywords suggesting a scoped-purpose root.
+    special_purpose_keywords: tuple[str, ...] = (
+        "fota", "supl", "government", "national", "operator", "widget",
+        "dod ", "payment", "testing",
+    )
+
+    def looks_special_purpose(self, subject_text: str) -> bool:
+        """Heuristic: does the subject suggest a scoped purpose?"""
+        lowered = subject_text.lower()
+        return any(keyword in lowered for keyword in self.special_purpose_keywords)
+
+
+def default_policy() -> AuditPolicy:
+    """The recommended audit policy."""
+    return AuditPolicy()

@@ -1,0 +1,284 @@
+"""Command-line tools: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``dump-store``  — materialize an official store to a PEM/JSON file;
+* ``diff-store``  — diff two store files (the §4.1 comparison);
+* ``audit-store`` — audit a store file against an AOSP reference (§8);
+* ``collect``     — generate a population, run Netalyzr over it, save
+  the dataset to JSON;
+* ``analyze``     — run the analysis pipeline over a saved dataset;
+* ``study``       — run the full reproduction study and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import StudyConfig, render_study_report, run_study
+from repro.analysis.classify import PresenceClassifier
+from repro.audit import Severity, StoreAuditor
+from repro.notary import build_notary
+from repro.rootstore import CertificateFactory, build_platform_stores, diff_stores
+from repro.rootstore.serialization import load_store, save_store
+
+
+def _factory(args: argparse.Namespace) -> CertificateFactory:
+    """The PKI factory, warm-loaded from --universe when available."""
+    import pathlib
+
+    universe = getattr(args, "universe", None)
+    if universe and pathlib.Path(universe).exists():
+        from repro.rootstore.persistence import load_factory
+
+        factory = load_factory(universe)
+        if factory.seed == args.seed:
+            return factory
+    return CertificateFactory(seed=args.seed)
+
+
+def _save_universe(factory: CertificateFactory, args: argparse.Namespace) -> None:
+    universe = getattr(args, "universe", None)
+    if universe:
+        from repro.rootstore.persistence import save_factory
+
+        save_factory(factory, universe)
+
+
+def _stores(seed_or_args):
+    if isinstance(seed_or_args, str):
+        factory = CertificateFactory(seed=seed_or_args)
+    else:
+        factory = _factory(seed_or_args)
+    stores = build_platform_stores(factory)
+    if not isinstance(seed_or_args, str):
+        _save_universe(factory, seed_or_args)
+    return factory, stores
+
+
+def cmd_dump_store(args: argparse.Namespace) -> int:
+    """Write an official store to a PEM/JSON file."""
+    _, stores = _stores(args)
+    catalog = {
+        "aosp-4.1": stores.aosp["4.1"],
+        "aosp-4.2": stores.aosp["4.2"],
+        "aosp-4.3": stores.aosp["4.3"],
+        "aosp-4.4": stores.aosp["4.4"],
+        "mozilla": stores.mozilla,
+        "ios7": stores.ios7,
+    }
+    store = catalog[args.store]
+    path = save_store(store, args.output)
+    print(f"wrote {len(store)} roots to {path}")
+    return 0
+
+
+def cmd_diff_store(args: argparse.Namespace) -> int:
+    """Diff two store files."""
+    left = load_store(args.store)
+    right = load_store(args.reference)
+    diff = diff_stores(left, right)
+    print(diff.summary())
+    for certificate in diff.added:
+        print(f"  + {certificate.subject}")
+    for certificate in diff.missing:
+        print(f"  - {certificate.subject}")
+    return 0 if diff.is_stock else 1
+
+
+def cmd_audit_store(args: argparse.Namespace) -> int:
+    """Audit a store file against an AOSP reference."""
+    factory, stores = _stores(args)
+    store = load_store(args.store)
+    notary = None
+    classifier = None
+    if args.with_notary:
+        notary = build_notary(factory, scale=args.notary_scale)
+        classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+    auditor = StoreAuditor(
+        stores.aosp[args.android_version],
+        classifier=classifier,
+        notary=notary,
+    )
+    report = auditor.audit(store)
+    print(report.render(min_severity=Severity[args.min_severity.upper()]))
+    return 0 if report.max_severity < Severity.HIGH else 2
+
+
+def cmd_show_cert(args: argparse.Namespace) -> int:
+    """Render a PEM certificate as text (or as a raw DER dump)."""
+    import pathlib
+
+    from repro.asn1.dump import dump_der
+    from repro.x509 import Certificate
+    from repro.x509.pem import pem_decode
+    from repro.x509.text import certificate_text
+
+    der = pem_decode(pathlib.Path(args.path).read_text())
+    if args.asn1:
+        print(dump_der(der))
+    else:
+        print(certificate_text(Certificate.from_der(der)))
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Generate a population, run Netalyzr over it, save the dataset."""
+    from repro.android.population import PopulationConfig, PopulationGenerator
+    from repro.netalyzr import collect_dataset
+    from repro.netalyzr.serialization import save_dataset
+
+    factory = CertificateFactory(seed=args.seed)
+    population = PopulationGenerator(
+        PopulationConfig(seed=args.seed, scale=args.scale), factory
+    ).generate()
+    dataset = collect_dataset(population, factory)
+    path = save_dataset(dataset, args.output)
+    print(
+        f"collected {dataset.session_count:,} sessions "
+        f"({len(dataset.unique_certificates())} unique roots) -> {path}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the analysis pipeline over a saved dataset file."""
+    from repro.analysis.study import StudyConfig, StudyResult, analyze
+    from repro.android.population import Population
+    from repro.netalyzr.serialization import load_dataset
+
+    factory, stores = _stores(args)
+    dataset = load_dataset(args.dataset)
+    notary = build_notary(factory, scale=args.notary_scale)
+    result = StudyResult(
+        config=StudyConfig(seed=args.seed, notary_scale=args.notary_scale),
+        stores=stores,
+        population=Population(),
+        dataset=dataset,
+        notary=notary,
+        diffs=[],
+    )
+    analyze(result)
+    print(render_study_report(result))
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    """Run the full study and print (or write) the report."""
+    result = run_study(
+        StudyConfig(
+            seed=args.seed,
+            population_scale=args.scale,
+            notary_scale=args.notary_scale,
+        )
+    )
+    if args.html:
+        import pathlib
+
+        from repro.analysis.html import render_html_report
+
+        path = pathlib.Path(args.html)
+        path.write_text(render_html_report(result))
+        print(f"wrote {path}")
+    else:
+        print(render_study_report(result))
+    return 0
+
+
+def cmd_fleet_audit(args: argparse.Namespace) -> int:
+    """Generate a population and audit every device in it."""
+    from repro.analysis.classify import PresenceClassifier
+    from repro.android.population import PopulationConfig, PopulationGenerator
+    from repro.audit import audit_population, build_fleet_auditors
+
+    factory, stores = _stores(args)
+    notary = build_notary(factory, scale=args.notary_scale)
+    classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+    population = PopulationGenerator(
+        PopulationConfig(seed=args.seed, scale=args.scale), factory
+    ).generate()
+    auditors = build_fleet_auditors(stores, classifier=classifier)
+    summary = audit_population(population, auditors)
+    print(summary.render())
+    return 0 if summary.critical_fraction == 0 else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", default="tangled-mass", help="PKI universe seed")
+    parser.add_argument(
+        "--universe",
+        help="path to a PKI-universe cache file; created if absent, "
+        "re-used by later invocations to skip key generation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    dump = commands.add_parser("dump-store", help=cmd_dump_store.__doc__)
+    dump.add_argument(
+        "store",
+        choices=["aosp-4.1", "aosp-4.2", "aosp-4.3", "aosp-4.4", "mozilla", "ios7"],
+    )
+    dump.add_argument("output", help="output path (.pem or .json)")
+    dump.set_defaults(func=cmd_dump_store)
+
+    diff = commands.add_parser("diff-store", help=cmd_diff_store.__doc__)
+    diff.add_argument("store", help="store file under test (.pem/.json)")
+    diff.add_argument("reference", help="reference store file (.pem/.json)")
+    diff.set_defaults(func=cmd_diff_store)
+
+    audit = commands.add_parser("audit-store", help=cmd_audit_store.__doc__)
+    audit.add_argument("store", help="store file to audit (.pem/.json)")
+    audit.add_argument(
+        "--android-version", default="4.4", choices=["4.1", "4.2", "4.3", "4.4"]
+    )
+    audit.add_argument("--with-notary", action="store_true",
+                       help="classify additions against simulated traffic")
+    audit.add_argument("--notary-scale", type=float, default=0.2)
+    audit.add_argument("--min-severity", default="info",
+                       choices=["info", "low", "medium", "high", "critical"])
+    audit.set_defaults(func=cmd_audit_store)
+
+    show = commands.add_parser("show-cert", help=cmd_show_cert.__doc__)
+    show.add_argument("path", help="PEM file holding one certificate")
+    show.add_argument("--asn1", action="store_true",
+                      help="dump the raw DER structure instead")
+    show.set_defaults(func=cmd_show_cert)
+
+    collect = commands.add_parser("collect", help=cmd_collect.__doc__)
+    collect.add_argument("output", help="dataset output path (.json)")
+    collect.add_argument("--scale", type=float, default=0.1)
+    collect.set_defaults(func=cmd_collect)
+
+    analyze = commands.add_parser("analyze", help=cmd_analyze.__doc__)
+    analyze.add_argument("dataset", help="dataset file from 'collect'")
+    analyze.add_argument("--notary-scale", type=float, default=0.2)
+    analyze.set_defaults(func=cmd_analyze)
+
+    study = commands.add_parser("study", help=cmd_study.__doc__)
+    study.add_argument("--scale", type=float, default=0.25)
+    study.add_argument("--notary-scale", type=float, default=0.5)
+    study.add_argument("--html", help="write an HTML report to this path")
+    study.set_defaults(func=cmd_study)
+
+    fleet = commands.add_parser("fleet-audit", help=cmd_fleet_audit.__doc__)
+    fleet.add_argument("--scale", type=float, default=0.1)
+    fleet.add_argument("--notary-scale", type=float, default=0.2)
+    fleet.set_defaults(func=cmd_fleet_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Pure-Python public-key substrate: primes, RSA, PKCS#1 v1.5 signatures.
+
+The arithmetic is real RSA over Python integers; only the parameters are
+toy-sized (512-bit default keys) so that generating the several hundred
+CA keys a simulated study needs stays fast. All key generation is driven
+by an explicit deterministic RNG so studies are exactly reproducible.
+"""
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rng import DeterministicRandom, derive_random
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.crypto.pkcs1 import SignatureError, sign, verify
+from repro.crypto.hashes import digest, hash_names
+
+__all__ = [
+    "DeterministicRandom",
+    "derive_random",
+    "generate_prime",
+    "is_probable_prime",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "SignatureError",
+    "sign",
+    "verify",
+    "digest",
+    "hash_names",
+]

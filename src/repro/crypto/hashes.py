@@ -1,0 +1,34 @@
+"""Hash registry over :mod:`hashlib` for the signature layer."""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Hash algorithms the signature layer accepts, with digest sizes.
+_SUPPORTED: dict[str, int] = {
+    "md5": 16,
+    "sha1": 20,
+    "sha256": 32,
+    "sha384": 48,
+    "sha512": 64,
+}
+
+
+def hash_names() -> tuple[str, ...]:
+    """Names of supported hash algorithms."""
+    return tuple(_SUPPORTED)
+
+
+def digest_size(name: str) -> int:
+    """Digest size in bytes for a supported hash algorithm."""
+    try:
+        return _SUPPORTED[name]
+    except KeyError:
+        raise ValueError(f"unsupported hash algorithm {name!r}") from None
+
+
+def digest(name: str, data: bytes) -> bytes:
+    """Compute the digest of *data* under the named algorithm."""
+    if name not in _SUPPORTED:
+        raise ValueError(f"unsupported hash algorithm {name!r}")
+    return hashlib.new(name, data).digest()

@@ -1,0 +1,62 @@
+"""PKCS#1 v1.5 signatures (EMSA-PKCS1-v1_5 encoding, sign, verify)."""
+
+from __future__ import annotations
+
+from repro.asn1 import encode_null, encode_octet_string, encode_oid, encode_sequence
+from repro.asn1.objects import DIGEST_ALGORITHM_OIDS
+from repro.crypto.hashes import digest
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails to verify."""
+
+
+def digest_info(hash_name: str, data: bytes) -> bytes:
+    """Build the DER DigestInfo for *data* under *hash_name*."""
+    try:
+        algorithm_oid = DIGEST_ALGORITHM_OIDS[hash_name]
+    except KeyError:
+        raise ValueError(f"unsupported hash algorithm {hash_name!r}") from None
+    algorithm = encode_sequence([encode_oid(algorithm_oid), encode_null()])
+    return encode_sequence([algorithm, encode_octet_string(digest(hash_name, data))])
+
+
+def emsa_encode(hash_name: str, data: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of *data* into an *em_len*-byte block."""
+    info = digest_info(hash_name, data)
+    if em_len < len(info) + 11:
+        raise ValueError(
+            f"intended encoded-message length {em_len} too short for "
+            f"{hash_name} DigestInfo ({len(info)} bytes)"
+        )
+    padding = b"\xff" * (em_len - len(info) - 3)
+    return b"\x00\x01" + padding + b"\x00" + info
+
+
+def sign(key: RsaPrivateKey, hash_name: str, data: bytes) -> bytes:
+    """Sign *data* with RSASSA-PKCS1-v1_5, returning the signature octets."""
+    em = emsa_encode(hash_name, data, key.byte_length)
+    signature = key.raw_sign(int.from_bytes(em, "big"))
+    return signature.to_bytes(key.byte_length, "big")
+
+
+def verify(key: RsaPublicKey, hash_name: str, data: bytes, signature: bytes) -> None:
+    """Verify an RSASSA-PKCS1-v1_5 signature; raise SignatureError on failure.
+
+    Comparison is against a freshly computed encoding (the
+    "reconstruct and compare" method), which sidesteps the classic
+    Bleichenbacher padding-laxity bugs.
+    """
+    if len(signature) != key.byte_length:
+        raise SignatureError(
+            f"signature length {len(signature)} != modulus length {key.byte_length}"
+        )
+    try:
+        em_int = key.raw_verify(int.from_bytes(signature, "big"))
+    except ValueError as exc:
+        raise SignatureError(str(exc)) from exc
+    recovered = em_int.to_bytes(key.byte_length, "big")
+    expected = emsa_encode(hash_name, data, key.byte_length)
+    if recovered != expected:
+        raise SignatureError("signature mismatch")

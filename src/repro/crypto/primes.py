@@ -1,0 +1,72 @@
+"""Primality testing and prime generation (Miller-Rabin)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.rng import random_odd
+
+#: Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+)
+
+#: Deterministic Miller-Rabin witness set, sufficient for n < 3.3e24.
+_DETERMINISTIC_WITNESSES: tuple[int, ...] = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; True if *n* passes for witness *a*."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    For small *n* the witness set is deterministic and the answer exact;
+    for large *n* the error probability is at most ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if n == prime:
+            return True
+        if n % prime == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < 3_317_044_064_679_887_385_961_981:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random(n & 0xFFFFFFFF)
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a % n, d, r) for a in witnesses if a % n)
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly *bits* bits."""
+    if bits < 8:
+        raise ValueError("refusing to generate primes below 8 bits")
+    while True:
+        candidate = random_odd(rng, bits)
+        # Cheap wheel: advance by 2 a few times before drawing fresh bits,
+        # which keeps the distribution close to uniform but avoids the
+        # cost of rejection-only sampling.
+        for _ in range(64):
+            if is_probable_prime(candidate):
+                return candidate
+            candidate += 2
+            if candidate.bit_length() != bits:
+                break

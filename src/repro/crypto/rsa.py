@@ -1,0 +1,138 @@
+"""RSA key generation and raw operations over Python integers.
+
+Keys serialize to/from the DER structures X.509 uses:
+``RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }``
+wrapped in a SubjectPublicKeyInfo by the X.509 layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.asn1 import decode, encode_integer, encode_sequence
+from repro.crypto.primes import generate_prime
+
+#: Conventional public exponent.
+DEFAULT_PUBLIC_EXPONENT = 65537
+
+#: Default modulus size. Toy-sized on purpose: the simulation generates
+#: hundreds of CA keys and signs tens of thousands of leaves; the math is
+#: real RSA regardless of the parameter size.
+DEFAULT_KEY_BITS = 512
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    modulus: int
+    exponent: int = DEFAULT_PUBLIC_EXPONENT
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.modulus.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in whole bytes (the RSA block size)."""
+        return (self.modulus.bit_length() + 7) // 8
+
+    def raw_verify(self, signature: int) -> int:
+        """The raw RSA verification operation ``signature ** e mod n``."""
+        if not 0 <= signature < self.modulus:
+            raise ValueError("signature representative out of range")
+        return pow(signature, self.exponent, self.modulus)
+
+    def to_der(self) -> bytes:
+        """Encode as a PKCS#1 RSAPublicKey SEQUENCE."""
+        return encode_sequence(
+            [encode_integer(self.modulus), encode_integer(self.exponent)]
+        )
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "RsaPublicKey":
+        """Decode a PKCS#1 RSAPublicKey SEQUENCE."""
+        seq = decode(data)
+        if len(seq) != 2:
+            raise ValueError("RSAPublicKey must have exactly two INTEGERs")
+        modulus = seq[0].as_integer()
+        exponent = seq[1].as_integer()
+        if modulus <= 0 or exponent <= 0:
+            raise ValueError("RSA modulus and exponent must be positive")
+        return cls(modulus=modulus, exponent=exponent)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key; keeps the CRT-free form for simplicity."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The matching public key."""
+        return RsaPublicKey(self.modulus, self.public_exponent)
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in whole bytes (the RSA block size)."""
+        return (self.modulus.bit_length() + 7) // 8
+
+    def raw_sign(self, message: int) -> int:
+        """The raw RSA signature operation ``message ** d mod n``."""
+        if not 0 <= message < self.modulus:
+            raise ValueError("message representative out of range")
+        return pow(message, self.private_exponent, self.modulus)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """A generated keypair, bundling both halves."""
+
+    private: RsaPrivateKey
+
+    @property
+    def public(self) -> RsaPublicKey:
+        """The public half."""
+        return self.private.public_key
+
+
+def generate_keypair(
+    rng: random.Random,
+    bits: int = DEFAULT_KEY_BITS,
+    public_exponent: int = DEFAULT_PUBLIC_EXPONENT,
+) -> RsaKeyPair:
+    """Generate an RSA keypair with a *bits*-bit modulus.
+
+    Primes are drawn from *rng*, making generation fully deterministic
+    for a given RNG state.
+    """
+    if bits < 128:
+        raise ValueError("modulus below 128 bits cannot hold a DigestInfo block")
+    if bits % 2:
+        raise ValueError("key size must be even")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % public_exponent == 0:
+            continue
+        try:
+            d = pow(public_exponent, -1, phi)
+        except ValueError:
+            continue
+        return RsaKeyPair(
+            private=RsaPrivateKey(
+                modulus=n, public_exponent=public_exponent, private_exponent=d
+            )
+        )

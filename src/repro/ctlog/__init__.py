@@ -1,0 +1,36 @@
+"""A Certificate-Transparency-style audit log (RFC 6962 profile).
+
+§8 calls for "an audited and strictly controlled root store" and better
+mis-issuance visibility. Certificate Transparency — emerging exactly in
+the paper's time frame — is the deployed answer: an append-only,
+Merkle-tree-backed public log plus monitors. This subpackage implements
+that machinery from scratch (tree, inclusion and consistency proofs,
+signed tree heads, monitor) and wires it to the study's threat cases:
+a logged CRAZY-HOUSE-style certificate is caught by a monitor even
+though the device user saw nothing.
+"""
+
+from repro.ctlog.merkle import MerkleTree, verify_consistency, verify_inclusion
+from repro.ctlog.log import CertificateLog, LogEntry, SignedTreeHead
+from repro.ctlog.monitor import LogMonitor, MonitorAlert
+from repro.ctlog.sct import (
+    CtPolicy,
+    SignedCertificateTimestamp,
+    attach_scts,
+    scts_of,
+)
+
+__all__ = [
+    "MerkleTree",
+    "verify_inclusion",
+    "verify_consistency",
+    "CertificateLog",
+    "LogEntry",
+    "SignedTreeHead",
+    "LogMonitor",
+    "MonitorAlert",
+    "CtPolicy",
+    "SignedCertificateTimestamp",
+    "attach_scts",
+    "scts_of",
+]

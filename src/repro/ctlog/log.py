@@ -1,0 +1,144 @@
+"""The certificate log: append-only, signed tree heads, proof service."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.crypto.pkcs1 import SignatureError, sign as pkcs1_sign, verify as pkcs1_verify
+from repro.crypto.rng import derive_random
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.ctlog.merkle import MerkleTree
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import fingerprint
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged certificate."""
+
+    index: int
+    certificate: Certificate
+    timestamp: datetime.datetime
+
+
+@dataclass(frozen=True)
+class SignedTreeHead:
+    """An STH: (size, root hash) signed by the log key."""
+
+    tree_size: int
+    root_hash: bytes
+    timestamp: datetime.datetime
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The octets the signature covers."""
+        return (
+            self.tree_size.to_bytes(8, "big")
+            + self.root_hash
+            + self.timestamp.isoformat().encode("ascii")
+        )
+
+    def verify(self, log_key: RsaPublicKey) -> None:
+        """Verify the STH signature; raises SignatureError on failure."""
+        pkcs1_verify(log_key, "sha256", self.signed_payload(), self.signature)
+
+
+class CertificateLog:
+    """An RFC 6962-style log server.
+
+    Certificates are deduplicated by full DER; each append advances the
+    Merkle tree and the log can issue signed tree heads, inclusion
+    proofs for any (entry, STH) pair and consistency proofs between
+    STHs.
+    """
+
+    def __init__(self, name: str = "tangled-log", *, seed: str = "ct-log"):
+        self.name = name
+        self._keypair: RsaKeyPair = generate_keypair(
+            derive_random(seed, "log-key", name)
+        )
+        self._tree = MerkleTree()
+        self._entries: list[LogEntry] = []
+        self._by_fingerprint: dict[str, int] = {}
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The log's verification key."""
+        return self._keypair.public
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- submission -----------------------------------------------------------------
+
+    def submit(
+        self, certificate: Certificate, *, at: datetime.datetime | None = None
+    ) -> LogEntry:
+        """Log a certificate (idempotent by DER)."""
+        digest = fingerprint(certificate)
+        if digest in self._by_fingerprint:
+            return self._entries[self._by_fingerprint[digest]]
+        index = self._tree.append(certificate.encoded)
+        entry = LogEntry(
+            index=index,
+            certificate=certificate,
+            timestamp=at or datetime.datetime(2014, 4, 1),
+        )
+        self._entries.append(entry)
+        self._by_fingerprint[digest] = index
+        return entry
+
+    # -- queries ---------------------------------------------------------------------
+
+    def issue_sct(
+        self, certificate: Certificate, *, at: datetime.datetime | None = None
+    ):
+        """Log a (pre-)certificate and return the SCT for embedding."""
+        from repro.ctlog.sct import issue_sct
+
+        self.submit(certificate, at=at)
+        return issue_sct(
+            self.name, self._keypair.private, certificate.tbs_encoded, at=at
+        )
+
+    def contains(self, certificate: Certificate) -> bool:
+        """True if the exact certificate was logged."""
+        return fingerprint(certificate) in self._by_fingerprint
+
+    def entries(self, start: int = 0, end: int | None = None) -> list[LogEntry]:
+        """Entries in [start, end) — the monitor's fetch interface."""
+        return self._entries[start : end if end is not None else len(self._entries)]
+
+    def signed_tree_head(
+        self, *, at: datetime.datetime | None = None
+    ) -> SignedTreeHead:
+        """Produce an STH over the current tree."""
+        timestamp = at or datetime.datetime(2014, 4, 1)
+        head = SignedTreeHead(
+            tree_size=len(self._tree),
+            root_hash=self._tree.root_hash(),
+            timestamp=timestamp,
+            signature=b"",
+        )
+        signature = pkcs1_sign(
+            self._keypair.private, "sha256", head.signed_payload()
+        )
+        return SignedTreeHead(
+            tree_size=head.tree_size,
+            root_hash=head.root_hash,
+            timestamp=timestamp,
+            signature=signature,
+        )
+
+    def inclusion_proof(self, certificate: Certificate, tree_size: int) -> tuple[int, list[bytes]]:
+        """(index, audit path) for a logged certificate at an STH size."""
+        digest = fingerprint(certificate)
+        if digest not in self._by_fingerprint:
+            raise KeyError("certificate not logged")
+        index = self._by_fingerprint[digest]
+        return index, self._tree.inclusion_proof(index, tree_size)
+
+    def consistency_proof(self, old_size: int, new_size: int) -> list[bytes]:
+        """Proof that the old STH is a prefix of the new one."""
+        return self._tree.consistency_proof(old_size, new_size)

@@ -1,0 +1,185 @@
+"""RFC 6962 Merkle hash trees with inclusion and consistency proofs.
+
+The hashing follows RFC 6962 §2.1 exactly: leaves are hashed with a
+0x00 prefix and interior nodes with 0x01, the split point of an n-leaf
+tree is the largest power of two smaller than n, and the empty tree
+hashes to SHA-256 of the empty string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _split_point(n: int) -> int:
+    """The largest power of two strictly smaller than n (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """An append-only Merkle tree over byte-string leaves."""
+
+    def __init__(self, leaves: Sequence[bytes] = ()):
+        self._leaves: list[bytes] = [bytes(leaf) for leaf in leaves]
+
+    # -- structure ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def append(self, leaf: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaves.append(bytes(leaf))
+        return len(self._leaves) - 1
+
+    def leaf(self, index: int) -> bytes:
+        """The raw leaf data at an index."""
+        return self._leaves[index]
+
+    # -- hashing ------------------------------------------------------------------
+
+    def root_hash(self, size: int | None = None) -> bytes:
+        """The tree head over the first *size* leaves (default: all)."""
+        size = len(self._leaves) if size is None else size
+        if size > len(self._leaves) or size < 0:
+            raise ValueError(f"invalid tree size {size}")
+        return self._subtree_hash(0, size)
+
+    def _subtree_hash(self, start: int, count: int) -> bytes:
+        if count == 0:
+            return hashlib.sha256(b"").digest()
+        if count == 1:
+            return _leaf_hash(self._leaves[start])
+        k = _split_point(count)
+        return _node_hash(
+            self._subtree_hash(start, k), self._subtree_hash(start + k, count - k)
+        )
+
+    # -- proofs --------------------------------------------------------------------
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        """RFC 6962 §2.1.1 audit path for leaf *index* in a *size* tree."""
+        size = len(self._leaves) if size is None else size
+        if not 0 <= index < size <= len(self._leaves):
+            raise ValueError(f"invalid proof request index={index} size={size}")
+
+        def path(start: int, count: int, target: int) -> list[bytes]:
+            if count == 1:
+                return []
+            k = _split_point(count)
+            if target < k:
+                return path(start, k, target) + [
+                    self._subtree_hash(start + k, count - k)
+                ]
+            return path(start + k, count - k, target - k) + [
+                self._subtree_hash(start, k)
+            ]
+
+        return path(0, size, index)
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """RFC 6962 §2.1.2 proof that the *old_size* tree is a prefix of
+        the *new_size* tree."""
+        new_size = len(self._leaves) if new_size is None else new_size
+        if not 0 < old_size <= new_size <= len(self._leaves):
+            raise ValueError(
+                f"invalid consistency request {old_size} -> {new_size}"
+            )
+        if old_size == new_size:
+            return []
+
+        def proof(start: int, count: int, m: int, complete: bool) -> list[bytes]:
+            if m == count:
+                if complete:
+                    return []
+                return [self._subtree_hash(start, count)]
+            k = _split_point(count)
+            if m <= k:
+                return proof(start, k, m, complete) + [
+                    self._subtree_hash(start + k, count - k)
+                ]
+            return proof(start + k, count - k, m - k, False) + [
+                self._subtree_hash(start, k)
+            ]
+
+        return proof(0, new_size, old_size, True)
+
+
+def verify_inclusion(
+    leaf_data: bytes,
+    index: int,
+    size: int,
+    proof: Sequence[bytes],
+    root: bytes,
+) -> bool:
+    """Verify an RFC 6962 inclusion proof."""
+    if not 0 <= index < size:
+        return False
+    node = _leaf_hash(leaf_data)
+    fn, sn = index, size - 1
+    for sibling in proof:
+        if fn % 2 == 1 or fn == sn:
+            node = _node_hash(sibling, node)
+            while fn % 2 == 0 and fn != 0:
+                fn //= 2
+                sn //= 2
+        else:
+            node = _node_hash(node, sibling)
+        fn //= 2
+        sn //= 2
+    return sn == 0 and node == root
+
+
+def verify_consistency(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: Sequence[bytes],
+) -> bool:
+    """Verify an RFC 6962 consistency proof."""
+    if old_size > new_size or old_size <= 0:
+        return False
+    if old_size == new_size:
+        return old_root == new_root and not proof
+    proof = list(proof)
+    # When old_size is a power of two inside the new tree, the first
+    # component of the walk is the old root itself.
+    fn, sn = old_size - 1, new_size - 1
+    while fn % 2 == 1:
+        fn //= 2
+        sn //= 2
+    if fn == 0:
+        nodes = [old_root] + proof
+    else:
+        nodes = proof
+    if not nodes:
+        return False
+    old_node = nodes[0]
+    new_node = nodes[0]
+    for sibling in nodes[1:]:
+        if sn == 0:
+            return False
+        if fn % 2 == 1 or fn == sn:
+            old_node = _node_hash(sibling, old_node)
+            new_node = _node_hash(sibling, new_node)
+            while fn % 2 == 0 and fn != 0:
+                fn //= 2
+                sn //= 2
+        else:
+            new_node = _node_hash(new_node, sibling)
+        fn //= 2
+        sn //= 2
+    return old_node == old_root and new_node == new_root and sn == 0

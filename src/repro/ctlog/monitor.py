@@ -1,0 +1,130 @@
+"""A log monitor: the auditing party §8's model needs.
+
+The monitor tails a certificate log, verifies log behaviour
+(consistency between tree heads, inclusion of fetched entries) and
+raises alerts on suspicious issuance: certificates for watched domains
+from unexpected issuers, and roots/leaves from issuers outside the
+vetted store set. Run against the study's threat cases, a logged
+CRAZY-HOUSE-style certificate triggers an alert even though the device
+owner saw nothing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import PresenceClassifier
+from repro.ctlog.log import CertificateLog, SignedTreeHead
+from repro.ctlog.merkle import verify_consistency, verify_inclusion
+from repro.rootstore.catalog import StorePresence
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class MonitorAlert:
+    """One finding raised by the monitor."""
+
+    kind: str  # "unexpected_issuer" | "unvetted_authority" | "log_misbehavior"
+    message: str
+    certificate: Certificate | None = None
+
+
+@dataclass
+class LogMonitor:
+    """Tails a log, verifies it cryptographically, and screens entries."""
+
+    log: CertificateLog
+    classifier: PresenceClassifier | None = None
+    #: hostname -> issuer CNs allowed to vouch for it.
+    watched_domains: dict[str, set[str]] = field(default_factory=dict)
+    alerts: list[MonitorAlert] = field(default_factory=list)
+    _seen: int = 0
+    _last_sth: SignedTreeHead | None = None
+
+    def watch(self, hostname: str, *allowed_issuer_cns: str) -> None:
+        """Watch a domain, alerting on issuance by anyone else."""
+        self.watched_domains.setdefault(hostname.lower(), set()).update(
+            allowed_issuer_cns
+        )
+
+    # -- polling -----------------------------------------------------------------
+
+    def poll(self) -> list[MonitorAlert]:
+        """Fetch new entries, verify the log, screen certificates."""
+        new_alerts: list[MonitorAlert] = []
+        sth = self.log.signed_tree_head()
+        try:
+            sth.verify(self.log.public_key)
+        except Exception:
+            new_alerts.append(
+                MonitorAlert("log_misbehavior", "tree head signature invalid")
+            )
+        if self._last_sth is not None and sth.tree_size >= self._last_sth.tree_size:
+            proof = self.log.consistency_proof(
+                self._last_sth.tree_size, sth.tree_size
+            )
+            if not verify_consistency(
+                self._last_sth.tree_size,
+                sth.tree_size,
+                self._last_sth.root_hash,
+                sth.root_hash,
+                proof,
+            ):
+                new_alerts.append(
+                    MonitorAlert(
+                        "log_misbehavior",
+                        f"log not consistent between sizes "
+                        f"{self._last_sth.tree_size} and {sth.tree_size}",
+                    )
+                )
+        self._last_sth = sth
+
+        for entry in self.log.entries(self._seen, sth.tree_size):
+            index, proof = self.log.inclusion_proof(entry.certificate, sth.tree_size)
+            if not verify_inclusion(
+                entry.certificate.encoded, index, sth.tree_size, proof, sth.root_hash
+            ):
+                new_alerts.append(
+                    MonitorAlert(
+                        "log_misbehavior",
+                        f"entry {index} fails inclusion against the tree head",
+                        entry.certificate,
+                    )
+                )
+            new_alerts.extend(self._screen(entry.certificate))
+        self._seen = sth.tree_size
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    # -- screening -----------------------------------------------------------------
+
+    def _screen(self, certificate: Certificate) -> list[MonitorAlert]:
+        alerts: list[MonitorAlert] = []
+        issuer_cn = certificate.issuer.common_name or str(certificate.issuer)
+        names = certificate.subject_alternative_names or (
+            (certificate.subject.common_name,)
+            if certificate.subject.common_name
+            else ()
+        )
+        for name in names:
+            allowed = self.watched_domains.get((name or "").lower())
+            if allowed is not None and issuer_cn not in allowed:
+                alerts.append(
+                    MonitorAlert(
+                        "unexpected_issuer",
+                        f"{name} certified by {issuer_cn!r}, expected one of "
+                        f"{sorted(allowed)}",
+                        certificate,
+                    )
+                )
+        if self.classifier is not None and certificate.is_ca:
+            presence = self.classifier.classify(certificate).presence
+            if presence is StorePresence.NOT_RECORDED:
+                alerts.append(
+                    MonitorAlert(
+                        "unvetted_authority",
+                        f"CA certificate {certificate.subject.common_name!r} is in "
+                        "no vetted store and unknown to the Notary",
+                        certificate,
+                    )
+                )
+        return alerts

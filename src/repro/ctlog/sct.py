@@ -1,0 +1,218 @@
+"""Signed Certificate Timestamps: embedding CT proofs in certificates.
+
+A simplified RFC 6962 §3.2 profile: the log signs (log name, timestamp,
+certificate TBS bytes); the resulting SCT is embedded in the
+certificate via a non-critical extension. A CT-enforcing client (the
+``require_ct`` policy below) rejects leaves without a valid SCT from a
+known log — the deployment path that eventually made §8's auditability
+mandatory on the real web.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    ObjectIdentifier,
+    decode,
+    encode_octet_string,
+    encode_sequence,
+    encode_utf8_string,
+)
+from repro.asn1.encoder import encode_generalized_time
+from repro.crypto.pkcs1 import SignatureError, sign as pkcs1_sign, verify as pkcs1_verify
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import Extension
+
+#: The real SCT-list extension OID (1.3.6.1.4.1.11129.2.4.2).
+SCT_LIST_OID = ObjectIdentifier("1.3.6.1.4.1.11129.2.4.2")
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """One SCT: which log vouched, when, and its signature."""
+
+    log_name: str
+    timestamp: datetime.datetime
+    signature: bytes
+
+    @staticmethod
+    def signed_payload(log_name: str, timestamp: datetime.datetime, tbs: bytes) -> bytes:
+        """The octets a log signs for an SCT."""
+        return (
+            log_name.encode("utf-8")
+            + b"\x00"
+            + timestamp.isoformat().encode("ascii")
+            + b"\x00"
+            + tbs
+        )
+
+    def verify_over(self, tbs_bytes: bytes, log_key: RsaPublicKey) -> None:
+        """Verify this SCT over given TBS bytes."""
+        payload = self.signed_payload(self.log_name, self.timestamp, tbs_bytes)
+        pkcs1_verify(log_key, "sha256", payload, self.signature)
+
+    # -- codec ---------------------------------------------------------------------
+
+    def to_der(self) -> bytes:
+        """Encode as SEQUENCE { UTF8String, GeneralizedTime, OCTET STRING }."""
+        return encode_sequence(
+            [
+                encode_utf8_string(self.log_name),
+                encode_generalized_time(self.timestamp),
+                encode_octet_string(self.signature),
+            ]
+        )
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "SignedCertificateTimestamp":
+        """Decode one SCT."""
+        seq = decode(data)
+        return cls(
+            log_name=seq[0].as_string(),
+            timestamp=seq[1].as_time(),
+            signature=seq[2].as_octet_string(),
+        )
+
+
+def issue_sct(
+    log_name: str,
+    log_key: RsaPrivateKey,
+    tbs_bytes: bytes,
+    *,
+    at: datetime.datetime | None = None,
+) -> SignedCertificateTimestamp:
+    """Sign an SCT over TBS bytes (performed by the log at submission).
+
+    Note: the real protocol signs a *precertificate*; this profile signs
+    the final TBS, which requires issuing the certificate first and
+    re-issuing with the SCT attached (see :func:`attach_scts`).
+    """
+    timestamp = at or datetime.datetime(2014, 4, 1)
+    payload = SignedCertificateTimestamp.signed_payload(log_name, timestamp, tbs_bytes)
+    return SignedCertificateTimestamp(
+        log_name=log_name,
+        timestamp=timestamp,
+        signature=pkcs1_sign(log_key, "sha256", payload),
+    )
+
+
+def sct_list_extension(scts: list[SignedCertificateTimestamp]) -> Extension:
+    """The SCT-list certificate extension."""
+    return Extension(
+        SCT_LIST_OID,
+        critical=False,
+        value=encode_sequence(sct.to_der() for sct in scts),
+    )
+
+
+def scts_of(certificate: Certificate) -> list[SignedCertificateTimestamp]:
+    """Parse the embedded SCT list (empty if absent)."""
+    extension = certificate.extension(SCT_LIST_OID)
+    if extension is None:
+        return []
+    return [
+        SignedCertificateTimestamp.from_der(child.encoded)
+        for child in decode(extension.value)
+    ]
+
+
+def attach_scts(
+    certificate: Certificate,
+    scts: list[SignedCertificateTimestamp],
+    issuer_private_key: RsaPrivateKey,
+) -> Certificate:
+    """Re-issue a certificate with an SCT-list extension appended.
+
+    The RFC 6962 precertificate flow, collapsed: the CA issues the
+    certificate, submits it, receives SCTs signed over that (pre-SCT)
+    TBS, and re-signs the final certificate with the SCT list embedded.
+    """
+    from repro.asn1 import (
+        encode_bit_string,
+        encode_explicit,
+        encode_null,
+        encode_oid,
+    )
+    from repro.asn1.objects import HASH_SIGNATURE_OIDS
+
+    tbs = decode(certificate.tbs_encoded)
+    parts = []
+    extension_block_seen = False
+    sct_der = sct_list_extension(scts).to_der()
+    for child in tbs.children:
+        if child.tag.is_context(3):
+            extension_block_seen = True
+            existing = [ext.encoded for ext in child.explicit_inner()]
+            parts.append(
+                encode_explicit(3, encode_sequence(existing + [sct_der]))
+            )
+        else:
+            parts.append(child.encoded)
+    if not extension_block_seen:
+        parts.append(encode_explicit(3, encode_sequence([sct_der])))
+    new_tbs = encode_sequence(parts)
+    algorithm = encode_sequence(
+        [encode_oid(HASH_SIGNATURE_OIDS[certificate.signature_hash]), encode_null()]
+    )
+    signature = pkcs1_sign(
+        issuer_private_key, certificate.signature_hash, new_tbs
+    )
+    return Certificate.from_der(
+        encode_sequence([new_tbs, algorithm, encode_bit_string(signature)])
+    )
+
+
+class CtPolicy:
+    """A client-side CT requirement: leaves must carry a valid SCT from
+    a known log. Plugs into handshake-level checks."""
+
+    def __init__(self, known_logs: dict[str, RsaPublicKey]):
+        self.known_logs = dict(known_logs)
+
+    def check(self, certificate: Certificate) -> bool:
+        """True if the certificate satisfies the CT requirement.
+
+        The SCT must name a known log and verify over the certificate's
+        pre-SCT (precertificate) TBS, reconstructed by stripping the
+        SCT-list extension.
+        """
+        precursor = _precursor_tbs(certificate)
+        if precursor is None:
+            return False
+        for sct in scts_of(certificate):
+            key = self.known_logs.get(sct.log_name)
+            if key is None:
+                continue
+            try:
+                sct.verify_over(precursor, key)
+            except SignatureError:
+                continue
+            return True
+        return False
+
+
+def _precursor_tbs(certificate: Certificate) -> bytes | None:
+    """Reconstruct the TBS as it looked before the SCT extension was
+    appended (the 'precertificate' this profile signs)."""
+    from repro.asn1 import Asn1Error, encode_explicit, encode_sequence as enc_seq
+
+    try:
+        tbs = decode(certificate.tbs_encoded)
+    except Asn1Error:
+        return None
+    parts = []
+    for child in tbs.children:
+        if child.tag.is_context(3):
+            extensions = [
+                ext.encoded
+                for ext in child.explicit_inner()
+                if ext[0].as_oid() != SCT_LIST_OID
+            ]
+            if extensions:
+                parts.append(encode_explicit(3, enc_seq(extensions)))
+        else:
+            parts.append(child.encoded)
+    return enc_seq(parts)

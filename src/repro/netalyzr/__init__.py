@@ -1,0 +1,21 @@
+"""Netalyzr for Android, simulated.
+
+One execution of the client on a device produces a
+:class:`~repro.netalyzr.session.MeasurementSession`: the device's root
+certificates, a privacy-preserving device-identity tuple, and the full
+trust chain observed when probing each popular domain. The collector
+runs the client over a population and assembles the study dataset.
+"""
+
+from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
+from repro.netalyzr.collector import NetalyzrClient, collect_dataset
+from repro.netalyzr.dataset import NetalyzrDataset
+
+__all__ = [
+    "DeviceTuple",
+    "DomainProbe",
+    "MeasurementSession",
+    "NetalyzrClient",
+    "collect_dataset",
+    "NetalyzrDataset",
+]

@@ -1,0 +1,134 @@
+"""Running the Netalyzr client over a device population."""
+
+from __future__ import annotations
+
+from repro.android.device import AndroidDevice
+from repro.android.population import Population
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.tlssim.endpoints import PROBE_TARGETS, Endpoint
+from repro.tlssim.handshake import TlsClient, TlsServer
+from repro.tlssim.pinning import PinStore
+from repro.tlssim.traffic import TlsTrafficGenerator
+
+
+class NetalyzrClient:
+    """The measurement client; one instance serves a whole collection run.
+
+    Probe-target server identities and the pin store are built once and
+    reused across sessions — the real servers don't change between
+    sessions either.
+    """
+
+    def __init__(
+        self,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+        *,
+        probe_domains: bool = True,
+    ):
+        self.factory = factory or CertificateFactory()
+        self.catalog = catalog or default_catalog()
+        self.probe_domains = probe_domains
+        self._traffic = TlsTrafficGenerator(self.factory, self.catalog)
+        self._servers: dict[str, TlsServer] = {}
+        self._pins: PinStore | None = None
+
+    def _server_for(self, endpoint: Endpoint) -> TlsServer:
+        if endpoint.hostport not in self._servers:
+            identity = self._traffic.server_identity(endpoint.host, endpoint.issuer_ca)
+            self._servers[endpoint.hostport] = TlsServer(
+                endpoint.host, endpoint.port, identity
+            )
+        return self._servers[endpoint.hostport]
+
+    def _pin_store(self) -> PinStore:
+        if self._pins is None:
+            pins = PinStore()
+            for endpoint in PROBE_TARGETS:
+                if endpoint.pinned:
+                    identity = self._server_for(endpoint).identity
+                    pins.pin(endpoint.host, identity.chain[-1])
+            self._pins = pins
+        return self._pins
+
+    def run_session(self, device: AndroidDevice, session_id: int) -> MeasurementSession:
+        """Execute the client once on a device."""
+        probes: list[DomainProbe] = []
+        if self.probe_domains:
+            client = TlsClient(
+                device.store, pins=self._pin_store(), proxy=device.proxy
+            )
+            for endpoint in PROBE_TARGETS:
+                result = client.connect(self._server_for(endpoint))
+                probes.append(
+                    DomainProbe(
+                        hostport=endpoint.hostport,
+                        chain=result.presented_chain,
+                        validation=result.validation,
+                        pin_ok=result.pin_ok,
+                    )
+                )
+        return MeasurementSession(
+            session_id=session_id,
+            device_tuple=DeviceTuple.of(device),
+            manufacturer=device.spec.manufacturer,
+            model=device.spec.model,
+            os_version=device.spec.os_version,
+            operator=device.spec.operator,
+            country=device.spec.country,
+            rooted=device.rooted,
+            attached_operator=device.attached_operator,
+            attached_country=device.attached_country,
+            root_certificates=tuple(device.store.certificates()),
+            probes=tuple(probes),
+            app_names=tuple(device.app_names),
+        )
+
+
+def collect_dataset(
+    population: Population,
+    factory: CertificateFactory | None = None,
+    catalog: CaCatalog | None = None,
+    *,
+    probe_domains: bool = True,
+    probe_stock_devices: bool = False,
+) -> NetalyzrDataset:
+    """Run the client over every planned session of a population.
+
+    Domain probing dominates collection cost; since a stock device's
+    probes are identical to every other stock device's on the same OS
+    version, ``probe_stock_devices=False`` (the default) probes only
+    devices whose state could change the outcome (proxied devices and
+    devices with installed apps) plus one representative per firmware.
+    Set it to True for full-fidelity collection.
+    """
+    client = NetalyzrClient(factory, catalog, probe_domains=probe_domains)
+    dataset = NetalyzrDataset()
+    session_id = 0
+    probed_firmwares: set[tuple[str, str, str, int]] = set()
+    for record in population.records:
+        device = record.device
+        for _ in range(record.session_count):
+            session_id += 1
+            must_probe = probe_domains and (
+                probe_stock_devices
+                or device.proxy is not None
+                or bool(device.apps)
+            )
+            if probe_domains and not must_probe:
+                firmware_key = (
+                    device.spec.manufacturer,
+                    device.spec.os_version,
+                    device.spec.operator,
+                    len(device.store),
+                )
+                if firmware_key not in probed_firmwares:
+                    probed_firmwares.add(firmware_key)
+                    must_probe = True
+            client.probe_domains = must_probe
+            dataset.add(client.run_session(device, session_id))
+    client.probe_domains = probe_domains
+    return dataset

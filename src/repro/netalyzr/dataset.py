@@ -1,0 +1,90 @@
+"""The collected session corpus and its §4.1-style summary statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.netalyzr.session import MeasurementSession
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import identity_key
+
+
+@dataclass
+class NetalyzrDataset:
+    """All collected measurement sessions."""
+
+    sessions: list[MeasurementSession] = field(default_factory=list)
+
+    def add(self, session: MeasurementSession) -> None:
+        """Append one session."""
+        self.sessions.append(session)
+
+    # -- §4.1 summary statistics --------------------------------------------------
+
+    @property
+    def session_count(self) -> int:
+        """Total executions (the paper's 15,970)."""
+        return len(self.sessions)
+
+    @property
+    def total_certificate_observations(self) -> int:
+        """Total (session, root cert) observations (the paper's 2.3 M)."""
+        return sum(session.store_size for session in self.sessions)
+
+    def unique_certificates(self) -> list[Certificate]:
+        """Distinct root certificates by signature identity (the
+        paper's 314)."""
+        seen: dict[tuple[int, bytes], Certificate] = {}
+        for session in self.sessions:
+            for certificate in session.root_certificates:
+                seen.setdefault(identity_key(certificate), certificate)
+        return list(seen.values())
+
+    def estimated_devices(self) -> int:
+        """Lower-bound handset count from distinct device tuples (the
+        paper's >= 3,835)."""
+        return len({session.device_tuple for session in self.sessions})
+
+    def distinct_models(self) -> int:
+        """Distinct (manufacturer, model) pairs (the paper's 435)."""
+        return len({(s.manufacturer, s.model) for s in self.sessions})
+
+    # -- slicing -----------------------------------------------------------------------
+
+    def sessions_by_manufacturer(self) -> Counter:
+        """Session counts per manufacturer (Table 2, right)."""
+        return Counter(session.manufacturer for session in self.sessions)
+
+    def sessions_by_model(self) -> Counter:
+        """Session counts per (manufacturer, model) (Table 2, left)."""
+        return Counter(
+            (session.manufacturer, session.model) for session in self.sessions
+        )
+
+    def rooted_sessions(self) -> list[MeasurementSession]:
+        """Sessions on rooted handsets (§6's 24%)."""
+        return [session for session in self.sessions if session.rooted]
+
+    def non_rooted_sessions(self) -> list[MeasurementSession]:
+        """Sessions on non-rooted handsets (the §5 analysis universe)."""
+        return [session for session in self.sessions if not session.rooted]
+
+    def sessions_for(
+        self,
+        *,
+        manufacturer: str | None = None,
+        operator: str | None = None,
+        os_version: str | None = None,
+    ) -> list[MeasurementSession]:
+        """Filter sessions by any combination of group keys."""
+        out = []
+        for session in self.sessions:
+            if manufacturer is not None and session.manufacturer != manufacturer:
+                continue
+            if operator is not None and session.operator != operator:
+                continue
+            if os_version is not None and session.os_version != os_version:
+                continue
+            out.append(session)
+        return out

@@ -1,0 +1,137 @@
+"""Netalyzr dataset import/export (JSON).
+
+A collected dataset serializes to a single JSON document with a
+deduplicated certificate table — the ~16k sessions reference ~314
+distinct certificates, so the encoded corpus stays small. Round-trips
+preserve everything the analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
+from repro.x509.certificate import Certificate
+from repro.x509.chain import ValidationFailure, ValidationResult
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import pem_decode, pem_encode
+
+#: Schema version of the export format.
+SCHEMA_VERSION = 1
+
+
+def dataset_to_json(dataset: NetalyzrDataset) -> str:
+    """Serialize a dataset to JSON."""
+    cert_table: dict[str, str] = {}
+
+    def ref(certificate: Certificate) -> str:
+        digest = fingerprint(certificate)
+        if digest not in cert_table:
+            cert_table[digest] = pem_encode(certificate.encoded)
+        return digest
+
+    sessions = []
+    for session in dataset.sessions:
+        probes = [
+            {
+                "hostport": probe.hostport,
+                "chain": [ref(c) for c in probe.chain],
+                "trusted": probe.validation.trusted,
+                "failure": probe.validation.failure.value
+                if probe.validation.failure
+                else None,
+                "pin_ok": probe.pin_ok,
+            }
+            for probe in session.probes
+        ]
+        sessions.append(
+            {
+                "id": session.session_id,
+                "tuple": [
+                    session.device_tuple.network,
+                    session.device_tuple.public_ip,
+                    session.device_tuple.model,
+                    session.device_tuple.os_version,
+                ],
+                "manufacturer": session.manufacturer,
+                "model": session.model,
+                "os_version": session.os_version,
+                "operator": session.operator,
+                "country": session.country,
+                "rooted": session.rooted,
+                "attached_operator": session.attached_operator,
+                "attached_country": session.attached_country,
+                "roots": [ref(c) for c in session.root_certificates],
+                "probes": probes,
+                "apps": list(session.app_names),
+            }
+        )
+    return json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "certificates": cert_table,
+            "sessions": sessions,
+        }
+    )
+
+
+def dataset_from_json(text: str) -> NetalyzrDataset:
+    """Parse a serialized dataset, verifying certificate fingerprints."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported dataset schema {payload.get('schema')!r}")
+    certificates: dict[str, Certificate] = {}
+    for digest, pem in payload["certificates"].items():
+        certificate = Certificate.from_der(pem_decode(pem))
+        if fingerprint(certificate) != digest:
+            raise ValueError(f"certificate table fingerprint mismatch: {digest}")
+        certificates[digest] = certificate
+
+    dataset = NetalyzrDataset()
+    for item in payload["sessions"]:
+        probes = tuple(
+            DomainProbe(
+                hostport=probe["hostport"],
+                chain=tuple(certificates[d] for d in probe["chain"]),
+                validation=ValidationResult(
+                    trusted=probe["trusted"],
+                    failure=ValidationFailure(probe["failure"])
+                    if probe["failure"]
+                    else None,
+                ),
+                pin_ok=probe["pin_ok"],
+            )
+            for probe in item["probes"]
+        )
+        dataset.add(
+            MeasurementSession(
+                session_id=item["id"],
+                device_tuple=DeviceTuple(*item["tuple"]),
+                manufacturer=item["manufacturer"],
+                model=item["model"],
+                os_version=item["os_version"],
+                operator=item["operator"],
+                country=item["country"],
+                rooted=item["rooted"],
+                root_certificates=tuple(certificates[d] for d in item["roots"]),
+                probes=probes,
+                app_names=tuple(item["apps"]),
+                attached_operator=item.get("attached_operator", ""),
+                attached_country=item.get("attached_country", ""),
+            )
+        )
+    return dataset
+
+
+def save_dataset(dataset: NetalyzrDataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a dataset to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(dataset_to_json(dataset))
+    return path
+
+
+def load_dataset(path: str | pathlib.Path) -> NetalyzrDataset:
+    """Read a dataset from a JSON file."""
+    return dataset_from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,80 @@
+"""One Netalyzr measurement session.
+
+Privacy model (§4.1): no IMEI or other hard identifier is collected.
+Device identity is estimated from the tuple of recorded WiFi/cellular
+networks, public IP, handset model and OS version — so two sessions of
+one device usually (not always) share a tuple, and the dataset's device
+count is a lower-bound estimate, just as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.device import AndroidDevice
+from repro.x509.certificate import Certificate
+from repro.x509.chain import ValidationResult
+
+
+@dataclass(frozen=True)
+class DeviceTuple:
+    """The privacy-preserving proxy for device identity (§4.1)."""
+
+    network: str  # operator name or WiFi SSID
+    public_ip: str
+    model: str
+    os_version: str
+
+    @classmethod
+    def of(cls, device: AndroidDevice) -> "DeviceTuple":
+        """The tuple a session records for a device."""
+        return cls(
+            network=device.wifi_ssid or device.spec.operator,
+            public_ip=device.public_ip,
+            model=device.spec.model,
+            os_version=device.spec.os_version,
+        )
+
+
+@dataclass(frozen=True)
+class DomainProbe:
+    """The observed trust chain for one popular-domain connection."""
+
+    hostport: str
+    chain: tuple[Certificate, ...]
+    validation: ValidationResult
+    pin_ok: bool
+
+    @property
+    def chain_root_subject(self) -> str:
+        """Subject of the chain's top certificate (for interception
+        analysis)."""
+        if not self.chain:
+            return ""
+        return str(self.chain[-1].subject)
+
+
+@dataclass
+class MeasurementSession:
+    """Everything one Netalyzr execution uploads."""
+
+    session_id: int
+    device_tuple: DeviceTuple
+    manufacturer: str
+    model: str
+    os_version: str
+    operator: str  # subscription operator (firmware provenance)
+    country: str
+    rooted: bool
+    root_certificates: tuple[Certificate, ...]
+    probes: tuple[DomainProbe, ...] = ()
+    app_names: tuple[str, ...] = ()
+    #: network actually attached during the session; equals ``operator``
+    #: unless the user is roaming (§5.2).
+    attached_operator: str = ""
+    attached_country: str = ""
+
+    @property
+    def store_size(self) -> int:
+        """Number of root certificates collected."""
+        return len(self.root_certificates)

@@ -1,0 +1,28 @@
+"""The ICSI Certificate Notary simulator.
+
+The real Notary passively collects certificates from live traffic at
+eight research networks (§4.2). The simulator ingests the synthetic
+traffic population from :mod:`repro.tlssim.traffic` and answers the two
+queries the paper issues against it:
+
+* *has the Notary any record of this certificate?* (Figure 2's
+  "not recorded" class), and
+* *how many observed TLS certificates can this root (or root store)
+  validate?* (Tables 3-4, Figure 3).
+"""
+
+from repro.notary.database import NotaryDatabase, build_notary
+from repro.notary.validation import (
+    store_validation_count,
+    validation_counts_by_root,
+)
+from repro.notary.reports import EcosystemReport, ecosystem_report
+
+__all__ = [
+    "NotaryDatabase",
+    "build_notary",
+    "store_validation_count",
+    "validation_counts_by_root",
+    "EcosystemReport",
+    "ecosystem_report",
+]

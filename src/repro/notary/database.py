@@ -1,0 +1,218 @@
+"""The Notary's certificate database and record queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.pkcs1 import SignatureError
+from repro.crypto.rsa import RsaPublicKey
+from repro.rootstore.catalog import CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.store import RootStore
+from repro.tlssim.traffic import ObservedLeaf, TlsTrafficGenerator
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import identity_key
+from repro.x509.verify import verify_certificate_signature
+
+
+@dataclass
+class NotaryDatabase:
+    """Certificates observed in traffic, indexed for validation queries.
+
+    Mirrors the real Notary's content: leaf certificates from live
+    sessions (current and expired) plus the root certificates observed
+    in those sessions' chains. Official root stores can additionally be
+    *registered* (the real Notary stores the Android/iOS7/Mozilla stores
+    for comparison), but registration does not make a root "observed".
+    """
+
+    leaves: list[ObservedLeaf] = field(default_factory=list)
+    #: identity-key set of every certificate ever observed in traffic.
+    _observed: set[tuple[int, bytes]] = field(default_factory=set)
+    #: leaves indexed by issuer subject (normalized) for fast validation.
+    _by_issuer: dict[object, list[ObservedLeaf]] = field(default_factory=dict)
+    #: observed intermediates indexed by *their* issuer subject.
+    _intermediates_by_issuer: dict[object, list[Certificate]] = field(
+        default_factory=dict
+    )
+    #: registered store certificates (known, but not traffic-observed).
+    _registered: set[tuple[int, bytes]] = field(default_factory=set)
+    #: memoized per-root-key validation counts.
+    _count_cache: dict[tuple[int, int, bool], int] = field(default_factory=dict)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def observe_leaf(self, leaf: ObservedLeaf, chain_roots: tuple[Certificate, ...] = ()) -> None:
+        """Record one leaf (and any chain certificates seen with it)."""
+        self.leaves.append(leaf)
+        self._observed.add(identity_key(leaf.certificate))
+        key = leaf.certificate.issuer.normalized()
+        self._by_issuer.setdefault(key, []).append(leaf)
+        for intermediate in leaf.intermediates:
+            inter_key = identity_key(intermediate)
+            if inter_key not in self._observed:
+                self._observed.add(inter_key)
+                self._intermediates_by_issuer.setdefault(
+                    intermediate.issuer.normalized(), []
+                ).append(intermediate)
+        for root in chain_roots:
+            self._observed.add(identity_key(root))
+        self._count_cache.clear()
+
+    def register_store(self, store: RootStore) -> None:
+        """Load an official root store for comparison queries."""
+        for certificate in store.certificates(include_disabled=True):
+            self._registered.add(identity_key(certificate))
+
+    # -- record queries -----------------------------------------------------------
+
+    def has_record(self, certificate: Certificate) -> bool:
+        """True if the Notary knows this certificate at all (traffic or
+        registered store)."""
+        key = identity_key(certificate)
+        return key in self._observed or key in self._registered
+
+    def seen_in_traffic(self, certificate: Certificate) -> bool:
+        """True if the certificate was observed in live traffic."""
+        return identity_key(certificate) in self._observed
+
+    # -- validation queries ----------------------------------------------------------
+
+    @property
+    def total_certificates(self) -> int:
+        """All recorded leaf certificates (the paper's 1.9 M analogue)."""
+        return len(self.leaves)
+
+    @property
+    def current_certificates(self) -> int:
+        """Non-expired leaves (the paper's ~1 M analogue)."""
+        return sum(1 for leaf in self.leaves if not leaf.expired)
+
+    @property
+    def total_sessions(self) -> int:
+        """Total observed TLS sessions (the paper's 66 B analogue)."""
+        return sum(leaf.session_count for leaf in self.leaves)
+
+    def sessions_validated_by_store(self, store: RootStore) -> int:
+        """Sessions (not certificates) whose leaf the store validates.
+
+        §5.3's claim is phrased over *sessions*: "the subset of AOSP
+        certificates that are also included on Mozilla root store can
+        validate most TLS sessions" — the volume-weighted view.
+        """
+        seen: set[tuple[int, bytes]] = set()
+        total = 0
+        for root in store.certificates():
+            for leaf in self._leaves_under(root):
+                if leaf.expired:
+                    continue
+                leaf_key = identity_key(leaf.certificate)
+                if leaf_key in seen:
+                    continue
+                seen.add(leaf_key)
+                total += leaf.session_count
+        return total
+
+    @property
+    def current_sessions(self) -> int:
+        """Sessions carried by non-expired leaves."""
+        return sum(
+            leaf.session_count for leaf in self.leaves if not leaf.expired
+        )
+
+    def _leaves_under(self, anchor: Certificate):
+        """Yield leaves whose chain resolves to *anchor*'s key: directly
+        issued leaves plus leaves issued by an observed intermediate the
+        anchor signed (one level, matching real web chain shapes)."""
+        for leaf in self._by_issuer.get(anchor.subject.normalized(), []):
+            if _verifies(leaf.certificate, anchor.public_key):
+                yield leaf
+        for intermediate in self._intermediates_by_issuer.get(
+            anchor.subject.normalized(), []
+        ):
+            if not _verifies(intermediate, anchor.public_key):
+                continue
+            for leaf in self._by_issuer.get(intermediate.subject.normalized(), []):
+                if _verifies(leaf.certificate, intermediate.public_key):
+                    yield leaf
+
+    def validated_by_root(
+        self, root: Certificate, *, include_expired: bool = False
+    ) -> int:
+        """Number of recorded leaves this root's key validates
+        (directly or through an observed intermediate)."""
+        cache_key = (root.public_key.modulus, root.public_key.exponent, include_expired)
+        if cache_key in self._count_cache:
+            return self._count_cache[cache_key]
+        count = sum(
+            1
+            for leaf in self._leaves_under(root)
+            if include_expired or not leaf.expired
+        )
+        self._count_cache[cache_key] = count
+        return count
+
+    def validated_by_store(
+        self, store: RootStore, *, include_expired: bool = False
+    ) -> int:
+        """Number of distinct recorded leaves the store validates.
+
+        Equivalent roots (same key) validate the same leaves, so the sum
+        is deduplicated by leaf.
+        """
+        seen: set[tuple[int, bytes]] = set()
+        count = 0
+        for root in store.certificates():
+            for leaf in self._leaves_under(root):
+                if leaf.expired and not include_expired:
+                    continue
+                leaf_key = identity_key(leaf.certificate)
+                if leaf_key in seen:
+                    continue
+                seen.add(leaf_key)
+                count += 1
+        return count
+
+
+_VERIFY_CACHE: dict[tuple[bytes, int], bool] = {}
+
+
+def _verifies(leaf: Certificate, key: RsaPublicKey) -> bool:
+    """Memoized signature check of *leaf* under *key*."""
+    cache_key = (leaf.signature, key.modulus)
+    cached = _VERIFY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    try:
+        verify_certificate_signature(leaf, key)
+    except SignatureError:
+        result = False
+    else:
+        result = True
+    _VERIFY_CACHE[cache_key] = result
+    return result
+
+
+def build_notary(
+    factory: CertificateFactory | None = None,
+    catalog: CaCatalog | None = None,
+    *,
+    scale: float = 1.0,
+    register_stores: tuple[RootStore, ...] = (),
+) -> NotaryDatabase:
+    """Generate the calibrated traffic population and ingest it.
+
+    Roots that sign observed leaves are themselves marked observed
+    (their certificates travel in the session chains the Notary taps).
+    """
+    factory = factory or CertificateFactory()
+    catalog = catalog or default_catalog()
+    generator = TlsTrafficGenerator(factory, catalog, scale=scale)
+    notary = NotaryDatabase()
+    for profile in catalog.all_profiles():
+        root = factory.root_certificate(profile)
+        for leaf in generator.leaves_for_profile(profile):
+            notary.observe_leaf(leaf, chain_roots=(root,))
+    for store in register_stores:
+        notary.register_store(store)
+    return notary

@@ -1,0 +1,91 @@
+"""Ecosystem reports over the Notary database.
+
+The companion analyses the real Notary powers (Amann et al., the
+paper's ref [16]) characterize the observed certificate ecosystem:
+issuer concentration, chain shapes, validity periods, key sizes. The
+same statistics over the simulated corpus both sanity-check the traffic
+model and give downstream users the query surface they'd expect from a
+notary."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.notary.database import NotaryDatabase
+
+
+@dataclass(frozen=True)
+class EcosystemReport:
+    """Aggregate statistics over the observed leaf population."""
+
+    total_leaves: int
+    current_leaves: int
+    expired_fraction: float
+    issuing_ca_count: int
+    top_issuers: tuple[tuple[str, int], ...]
+    issuer_concentration_top10: float
+    chain_depth_distribution: dict[int, int]
+    via_intermediate_fraction: float
+    key_size_distribution: dict[int, int]
+    median_validity_days: float
+    session_weighted_top10: float
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "Notary ecosystem report",
+            f"  leaves: {self.total_leaves:,} "
+            f"({self.expired_fraction:.0%} expired)",
+            f"  issuing CAs observed: {self.issuing_ca_count}",
+            f"  top-10 issuer share: {self.issuer_concentration_top10:.0%} of leaves, "
+            f"{self.session_weighted_top10:.0%} of sessions",
+            f"  leaves issued via intermediates: {self.via_intermediate_fraction:.0%}",
+            f"  median leaf validity: {self.median_validity_days:.0f} days",
+            "  top issuers:",
+        ]
+        for name, count in self.top_issuers:
+            lines.append(f"    {count:>6,}  {name}")
+        return "\n".join(lines)
+
+
+def ecosystem_report(notary: NotaryDatabase, *, top: int = 10) -> EcosystemReport:
+    """Compute the ecosystem statistics for a Notary."""
+    if not notary.leaves:
+        raise ValueError("empty notary")
+    issuer_counts = Counter(leaf.issuer_name for leaf in notary.leaves)
+    issuer_sessions = Counter()
+    depth_counts: Counter = Counter()
+    key_sizes: Counter = Counter()
+    validity_days: list[float] = []
+    via_intermediate = 0
+    for leaf in notary.leaves:
+        issuer_sessions[leaf.issuer_name] += leaf.session_count
+        depth = 2 + len(leaf.intermediates)  # leaf + intermediates + root
+        depth_counts[depth] += 1
+        if leaf.intermediates:
+            via_intermediate += 1
+        key_sizes[leaf.certificate.public_key.bits] += 1
+        window = leaf.certificate.not_after - leaf.certificate.not_before
+        validity_days.append(window.total_seconds() / 86_400)
+
+    total = len(notary.leaves)
+    top_by_count = issuer_counts.most_common(top)
+    top10_leaves = sum(count for _, count in issuer_counts.most_common(10))
+    top10_sessions = sum(count for _, count in issuer_sessions.most_common(10))
+    validity_days.sort()
+    median = validity_days[len(validity_days) // 2]
+
+    return EcosystemReport(
+        total_leaves=total,
+        current_leaves=notary.current_certificates,
+        expired_fraction=1 - notary.current_certificates / total,
+        issuing_ca_count=len(issuer_counts),
+        top_issuers=tuple(top_by_count),
+        issuer_concentration_top10=top10_leaves / total,
+        chain_depth_distribution=dict(sorted(depth_counts.items())),
+        via_intermediate_fraction=via_intermediate / total,
+        key_size_distribution=dict(sorted(key_sizes.items())),
+        median_validity_days=median,
+        session_weighted_top10=top10_sessions / max(notary.total_sessions, 1),
+    )

@@ -1,0 +1,39 @@
+"""Validation-count queries over the Notary (Tables 3-4, Figure 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.notary.database import NotaryDatabase
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+
+
+def store_validation_count(
+    notary: NotaryDatabase, store: RootStore, *, include_expired: bool = False
+) -> int:
+    """Table 3's statistic: distinct Notary leaves a store validates."""
+    return notary.validated_by_store(store, include_expired=include_expired)
+
+
+def validation_counts_by_root(
+    notary: NotaryDatabase,
+    roots: Iterable[Certificate],
+    *,
+    include_expired: bool = False,
+) -> list[int]:
+    """Per-root validated-leaf counts (Figure 3's underlying variable)."""
+    return [
+        notary.validated_by_root(root, include_expired=include_expired)
+        for root in roots
+    ]
+
+
+def fraction_validating_nothing(
+    notary: NotaryDatabase, roots: Iterable[Certificate]
+) -> float:
+    """Table 4's offset: fraction of roots validating zero current leaves."""
+    counts = validation_counts_by_root(notary, roots)
+    if not counts:
+        raise ValueError("empty root collection")
+    return sum(1 for count in counts if count == 0) / len(counts)

@@ -1,0 +1,39 @@
+"""Root-store models: stores, diffing, the CA catalog, and filesystem layout.
+
+This subpackage models what the paper studies: the sets of trusted root
+certificates shipped by the AOSP, Mozilla and iOS7 platforms, extended
+by hardware vendors and mobile operators, and laid out on Android's
+``/system/etc/security/cacerts/`` partition.
+"""
+
+from repro.rootstore.store import RootStore, StoreEntry, TrustFlags
+from repro.rootstore.diff import StoreDiff, diff_stores
+from repro.rootstore.catalog import (
+    CaCatalog,
+    CaProfile,
+    StorePresence,
+    default_catalog,
+)
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.aosp import AOSP_STORE_SIZES, AospStoreBuilder
+from repro.rootstore.vendors import PlatformStores, build_platform_stores
+from repro.rootstore.filesystem import CacertsDirectory, ReadOnlyStoreError
+
+__all__ = [
+    "RootStore",
+    "StoreEntry",
+    "TrustFlags",
+    "StoreDiff",
+    "diff_stores",
+    "CaCatalog",
+    "CaProfile",
+    "StorePresence",
+    "default_catalog",
+    "CertificateFactory",
+    "AOSP_STORE_SIZES",
+    "AospStoreBuilder",
+    "PlatformStores",
+    "build_platform_stores",
+    "CacertsDirectory",
+    "ReadOnlyStoreError",
+]

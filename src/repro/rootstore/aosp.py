@@ -1,0 +1,46 @@
+"""Builders for the official AOSP root stores (4.1-4.4).
+
+Reproduces the Table 1 sizes (139/140/146/150) and §2's structural
+facts: the version-over-version growth, the expired Firmaprofesional
+root, and the 117-certificate strict overlap with Mozilla.
+"""
+
+from __future__ import annotations
+
+from repro.rootstore.catalog import ANDROID_VERSIONS, CaCatalog, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.store import RootStore
+
+#: Table 1: number of certificates in each official AOSP distribution.
+AOSP_STORE_SIZES = {"4.1": 139, "4.2": 140, "4.3": 146, "4.4": 150}
+
+
+class AospStoreBuilder:
+    """Materializes the official AOSP store for each Android version."""
+
+    def __init__(
+        self,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+    ):
+        self.factory = factory or CertificateFactory()
+        self.catalog = catalog or default_catalog()
+        self._cache: dict[str, RootStore] = {}
+
+    def store_for(self, version: str) -> RootStore:
+        """The official (read-only) AOSP store for an Android version."""
+        if version not in ANDROID_VERSIONS:
+            raise ValueError(f"unknown Android version {version!r}")
+        if version not in self._cache:
+            certificates = [
+                self.factory.root_certificate(profile)
+                for profile in self.catalog.aosp_profiles(version)
+            ]
+            self._cache[version] = RootStore(
+                f"AOSP {version}", certificates, read_only=True
+            )
+        return self._cache[version]
+
+    def all_stores(self) -> dict[str, RootStore]:
+        """Stores for every modeled version."""
+        return {version: self.store_for(version) for version in ANDROID_VERSIONS}

@@ -1,0 +1,820 @@
+"""The CA catalog: the certificate universe the study is calibrated on.
+
+The wild datasets behind the paper are closed, so this module encodes
+their *published structure* as ground truth for the simulator:
+
+* the AOSP 4.1/4.2/4.3/4.4 store sizes (139/140/146/150) and their
+  overlap with Mozilla (117 identical + 13 equivalent re-issues = the
+  130-root Table 4 category) and iOS7 (227);
+* the ~100 vendor/operator "additional" certificates named on
+  Figure 2's x-axis, with their cross-store presence class and the
+  manufacturer/operator profiles that ship them;
+* per-root traffic weights calibrated so the Notary simulator
+  reproduces Table 3's near-identical validated-certificate counts and
+  Table 4 / Figure 3's "fraction validating nothing" offsets;
+* the rooted-device-only certificates of Table 5.
+
+Every certificate in the simulation traces back to a
+:class:`CaProfile` in this catalog.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+#: Android versions the study covers, oldest first.
+ANDROID_VERSIONS = ("4.1", "4.2", "4.3", "4.4")
+
+#: Official AOSP store sizes (Table 1).
+AOSP_SIZES = {"4.1": 139, "4.2": 140, "4.3": 146, "4.4": 150}
+MOZILLA_SIZE = 153
+IOS7_SIZE = 227
+
+
+class CaKind(enum.Enum):
+    """Broad provenance categories used in §5's discussion."""
+
+    PUBLIC_WEB = "public_web"  # commercial WebTrust-style CA
+    GOVERNMENT = "government"  # government-operated CA
+    VENDOR = "vendor"  # hardware-vendor special purpose (FOTA, SUPL, ...)
+    OPERATOR = "operator"  # mobile-operator service CA
+    PAYMENT = "payment"  # payment-network CA
+    LEGACY = "legacy"  # defunct/obsolete commercial CA
+    USER = "user"  # user/app-installed (rooted devices, VPNs)
+    PRIVATE = "private"  # private CA never in any store (Notary tail)
+
+
+class StorePresence(enum.Enum):
+    """Figure 2's cross-store presence classes for additional certs."""
+
+    MOZILLA_AND_IOS7 = "mozilla_and_ios7"
+    MOZILLA_ONLY = "mozilla_only"
+    IOS7_ONLY = "ios7_only"
+    ANDROID_ONLY = "android_only"  # recorded by the Notary, Android stores only
+    NOT_RECORDED = "not_recorded"  # the Notary has no record at all
+
+
+@dataclass(frozen=True)
+class CaProfile:
+    """Ground truth for one root certificate in the simulated universe."""
+
+    name: str  # display name as on Figure 2's axis
+    kind: CaKind = CaKind.PUBLIC_WEB
+    country: str = "US"
+    #: AOSP version that first shipped it; None = never in AOSP.
+    aosp_since: str | None = None
+    in_mozilla: bool = False
+    in_ios7: bool = False
+    #: Mozilla/iOS7 carry a re-issued twin (same subject+key, new dates)
+    #: rather than the byte-identical certificate.
+    reissued_in_mozilla: bool = False
+    #: Number of current (non-expired) Notary leaves this root signs.
+    current_leaves: int = 0
+    #: Number of expired Notary leaves (historical traffic).
+    expired_leaves: int = 0
+    #: True for the AOSP root that expired in Oct 2013 (Firmaprofesional).
+    expired_root: bool = False
+    #: Purpose tag for special-purpose roots (fota/supl/code/drm/...).
+    purpose: str = "tls"
+
+    def in_aosp(self, version: str) -> bool:
+        """True if this root ships in the given AOSP version."""
+        if self.aosp_since is None:
+            return False
+        return ANDROID_VERSIONS.index(version) >= ANDROID_VERSIONS.index(
+            self.aosp_since
+        )
+
+    @property
+    def seen_in_traffic(self) -> bool:
+        """True if the Notary ever observed this root in live traffic."""
+        return self.current_leaves > 0 or self.expired_leaves > 0
+
+    @property
+    def presence(self) -> StorePresence:
+        """The Figure 2 presence class (for non-AOSP additions)."""
+        if self.in_mozilla and self.in_ios7:
+            return StorePresence.MOZILLA_AND_IOS7
+        if self.in_mozilla:
+            return StorePresence.MOZILLA_ONLY
+        if self.in_ios7:
+            return StorePresence.IOS7_ONLY
+        if self.seen_in_traffic:
+            return StorePresence.ANDROID_ONLY
+        return StorePresence.NOT_RECORDED
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Where an additional certificate is found in the wild: which
+    manufacturer firmware and/or operator customization ships it."""
+
+    cert_name: str
+    manufacturer: str | None = None  # None = any manufacturer
+    operator: str | None = None  # None = any operator
+    versions: tuple[str, ...] = ANDROID_VERSIONS
+
+
+# ---------------------------------------------------------------------------
+# AOSP core store composition
+# ---------------------------------------------------------------------------
+
+#: Real-world CA family names used to synthesize the AOSP/Mozilla core.
+_CORE_CA_FAMILIES = (
+    "VeriSign", "GeoTrust", "Thawte", "Comodo", "GlobalSign", "DigiCert",
+    "Entrust", "GoDaddy", "Starfield", "Baltimore CyberTrust", "AddTrust",
+    "UTN UserFirst", "Equifax Secure", "QuoVadis", "SwissSign", "StartCom",
+    "Certum", "TC TrustCenter", "Deutsche Telekom", "T-TeleSec", "Izenpe",
+    "Camerfirma", "Buypass", "TWCA", "Chunghwa Telecom", "SECOM",
+    "Security Communication", "NetLock", "Microsec", "Hongkong Post",
+    "KEYNECTIS", "Certinomis", "Actalis", "ACEDICOM", "Serasa",
+    "Certigna", "E-Tugra", "Atos TrustedRoot", "Staat der Nederlanden",
+)
+
+#: Suffix pool used to expand families into distinct roots.
+_CORE_SUFFIXES = (
+    "Root CA", "Root CA - G2", "Root CA - G3", "Class 1 Root",
+    "Class 2 Root", "Class 3 Root", "EV Root CA", "Universal Root CA",
+)
+
+#: AOSP roots never in Mozilla (the 150-130=20 Table 4 remainder),
+#: including the expired Firmaprofesional root the paper singles out and
+#: compromised-then-kept CAs (§2 names Comodo and Türktrust).
+_AOSP_ONLY_ROOTS: tuple[tuple[str, CaKind, str, bool, int], ...] = (
+    # (name, kind, country, expired_root, current_leaves)
+    ("Autoridad de Certificacion Firmaprofesional", CaKind.PUBLIC_WEB, "ES", True, 0),
+    ("TÜRKTRUST Elektronik Sertifika Hizmet", CaKind.PUBLIC_WEB, "TR", False, 30),
+    ("Japan Certification Services RootCA1", CaKind.PUBLIC_WEB, "JP", False, 20),
+    ("Government Root Certification Authority TW", CaKind.GOVERNMENT, "TW", False, 15),
+    ("ComSign Secured CA", CaKind.PUBLIC_WEB, "IL", False, 0),
+    ("Swisscom Root CA 1", CaKind.PUBLIC_WEB, "CH", False, 0),
+    ("EBG Elektronik Sertifika", CaKind.PUBLIC_WEB, "TR", False, 0),
+    ("KISA RootCA 1", CaKind.GOVERNMENT, "KR", False, 0),
+    ("KISA RootCA 3", CaKind.GOVERNMENT, "KR", False, 0),
+    ("CNNIC Root", CaKind.GOVERNMENT, "CN", False, 0),
+    ("ePKI Root Certification Authority", CaKind.PUBLIC_WEB, "TW", False, 0),
+    ("Sonera Class2 CA", CaKind.PUBLIC_WEB, "FI", False, 0),
+    ("UCA Root", CaKind.PUBLIC_WEB, "CN", False, 0),
+    ("UCA Global Root", CaKind.PUBLIC_WEB, "CN", False, 0),
+    ("Wells Fargo Root CA", CaKind.PUBLIC_WEB, "US", False, 0),
+    ("America Online Root CA 1", CaKind.LEGACY, "US", False, 0),
+    ("America Online Root CA 2", CaKind.LEGACY, "US", False, 0),
+    ("GTE CyberTrust Global Root", CaKind.LEGACY, "US", False, 0),
+    ("Equifax Secure eBusiness CA", CaKind.LEGACY, "US", False, 0),
+    ("beTRUSTed Root CA", CaKind.LEGACY, "US", False, 0),
+)
+
+#: Version growth: names of roots first shipped after 4.1.
+#: 4.2 adds 1 (validates nothing -> AOSP 4.1/4.2 tie in Table 3);
+#: 4.3 adds 6 (their traffic explains Table 3's +34-flavored bump);
+#: 4.4 adds 4 (+14-flavored bump).
+_ADDED_IN_42 = ("E-Tugra Certification Authority H5",)
+_ADDED_IN_43 = (
+    "D-TRUST Root Class 3 CA 2 2009",
+    "D-TRUST Root Class 3 CA 2 EV 2009",
+    "Swisscom Root CA 2",
+    "Swisscom Root EV CA 2",
+    "CA Disig Root R1",
+    "CA Disig Root R2",
+)
+_ADDED_IN_44 = (
+    "ACCVRAIZ1",
+    "TeliaSonera Root CA v1",
+    "E-Tugra Certification Authority H6",
+    "Autoridad de Certificacion Firmaprofesional CIF A62634068",
+)
+
+# ---------------------------------------------------------------------------
+# Additional (non-AOSP) certificates -- Figure 2's x-axis, transcribed
+# ---------------------------------------------------------------------------
+# Class targets (distinct certs), calibrated to Table 4 and Figure 2:
+#   MOZILLA_AND_IOS7: 7   MOZILLA_ONLY: 9   (together the 16 "found on
+#   Mozilla's"), IOS7_ONLY: 14, ANDROID_ONLY: 33, NOT_RECORDED: 38
+#   -> 101 additional certs, 85 of them outside Mozilla.
+
+#: (name, country, kind, purpose) -> in Mozilla AND iOS7; all validate
+#: real traffic except the flagged ones (6 of the 16 Mozilla-member
+#: extras validate nothing, per Table 4's 38%).
+_EXTRA_BOTH = (
+    ("AddTrust Class 1 CA Root", "SE", CaKind.PUBLIC_WEB, 9),
+    ("COMODO RSA CA", "GB", CaKind.PUBLIC_WEB, 8),
+    ("GlobalSign Root CA - R3", "BE", CaKind.PUBLIC_WEB, 7),
+    ("GoDaddy Inc", "US", CaKind.PUBLIC_WEB, 6),
+    ("Starfield Services Root CA", "US", CaKind.PUBLIC_WEB, 5),
+    ("Deutsche Telekom Root CA 1", "DE", CaKind.PUBLIC_WEB, 0),
+    ("Sonera Class1 CA", "FI", CaKind.PUBLIC_WEB, 0),
+)
+
+#: In Mozilla but not iOS7.
+_EXTRA_MOZILLA_ONLY = (
+    ("AddTrust Public CA Root", "SE", CaKind.PUBLIC_WEB, 6),
+    ("AddTrust Qualified CA Root", "SE", CaKind.PUBLIC_WEB, 5),
+    ("Certplus Class 1 Primary CA", "FR", CaKind.PUBLIC_WEB, 4),
+    ("Certplus Class 3 Primary CA", "FR", CaKind.PUBLIC_WEB, 3),
+    ("Certplus Class 3P Primary CA", "FR", CaKind.PUBLIC_WEB, 2),
+    ("SecureSign Root CA3 Japan", "JP", CaKind.PUBLIC_WEB, 0),
+    ("TC TrustCenter Class 1 CA", "DE", CaKind.PUBLIC_WEB, 0),
+    ("TrustCenter Class 2 CA", "DE", CaKind.PUBLIC_WEB, 0),
+    ("TrustCenter Class 3 CA", "DE", CaKind.PUBLIC_WEB, 0),
+)
+
+#: In iOS7 but not Mozilla (iOS7 keeps many legacy roots).
+_EXTRA_IOS7_ONLY = (
+    ("DoD CLASS 3 Root CA", "US", CaKind.GOVERNMENT, 4),  # Intranet CA per Mozilla
+    ("Thawte Premium Server CA", "ZA", CaKind.LEGACY, 9),
+    ("Thawte Server CA", "ZA", CaKind.LEGACY, 8),
+    ("VeriSign Class 3 Public Primary CA", "US", CaKind.LEGACY, 6),
+    ("VeriSign Class 1 Public Primary CA", "US", CaKind.LEGACY, 3),
+    ("AOL Time Warner Root CA 1", "US", CaKind.LEGACY, 0),
+    ("AOL Time Warner Root CA 2", "US", CaKind.LEGACY, 0),
+    ("Xcert EZ by DST", "US", CaKind.LEGACY, 0),
+    ("Baltimore EZ by DST", "US", CaKind.LEGACY, 0),
+    ("Visa Information Delivery Root CA", "US", CaKind.PAYMENT, 0),
+    ("SecureSign Root CA2 Japan", "JP", CaKind.PUBLIC_WEB, 0),
+    ("VeriSign Class 2 Public Primary CA", "US", CaKind.LEGACY, 0),
+    ("VeriSign Trust Network", "US", CaKind.LEGACY, 0),
+    ("Thawte Timestamping CA", "ZA", CaKind.LEGACY, 0),
+)
+
+#: Recorded by the Notary in traffic but in no official store.
+#: (name, country, kind, current_leaves, expired_leaves)
+_EXTRA_ANDROID_ONLY = (
+    ("Entrust.net CA", "US", CaKind.LEGACY, 8, 4),
+    ("Entrust.net Secure Server CA", "US", CaKind.LEGACY, 7, 3),
+    ("Entrust CA - L1B", "US", CaKind.PUBLIC_WEB, 6, 0),
+    ("VeriSign Class 3 Secure Server CA", "US", CaKind.LEGACY, 6, 5),
+    ("VeriSign Class 3 Secure Server CA - G3", "US", CaKind.PUBLIC_WEB, 5, 0),
+    ("VeriSign Class 3 International Server CA - G3", "US", CaKind.PUBLIC_WEB, 4, 0),
+    ("VeriSign Class 3 Extended Validation SSL SGC CA", "US", CaKind.PUBLIC_WEB, 3, 0),
+    ("UserTrust RSA Extended Val. Sec. Server CA", "US", CaKind.PUBLIC_WEB, 3, 0),
+    ("UserTrust UTN-USERFirst", "US", CaKind.PUBLIC_WEB, 3, 0),
+    ("COMODO Secure Certificate Services", "GB", CaKind.PUBLIC_WEB, 2, 0),
+    ("COMODO Trusted Certificate Services", "GB", CaKind.PUBLIC_WEB, 2, 0),
+    ("Thawte Personal Freemail CA", "ZA", CaKind.LEGACY, 2, 2),
+    ("Microsoft Secure Server Authority", "US", CaKind.PUBLIC_WEB, 2, 0),
+    ("GeoTrust True Credentials CA 2", "US", CaKind.PUBLIC_WEB, 1, 0),
+    ("Sprint Nextel Root Authority", "US", CaKind.OPERATOR, 1, 0),
+    ("Vodafone (Operator Domain)", "DE", CaKind.OPERATOR, 1, 0),
+    ("Wells Fargo CA 01", "US", CaKind.PUBLIC_WEB, 1, 0),
+    ("First Data Digital CA", "US", CaKind.PAYMENT, 1, 0),
+    ("SIA Secure Server CA", "IT", CaKind.PUBLIC_WEB, 1, 0),
+    # The remaining android-only roots appear in traffic only via
+    # now-expired leaves -> they count as "recorded" but validate no
+    # current certificate (the mechanism behind Table 4's offsets).
+    ("Entrust.net Client CA", "US", CaKind.LEGACY, 0, 3),
+    ("Entrust.net Client CA 2", "US", CaKind.LEGACY, 0, 2),
+    ("DST-Entrust GTI CA", "US", CaKind.LEGACY, 0, 2),
+    ("DST Root CA X1", "US", CaKind.LEGACY, 0, 2),
+    ("DST RootCA X2", "US", CaKind.LEGACY, 0, 1),
+    ("Thawte Personal Basic CA", "ZA", CaKind.LEGACY, 0, 1),
+    ("Thawte Personal Premium CA", "ZA", CaKind.LEGACY, 0, 1),
+    ("RSA Data Security CA", "US", CaKind.LEGACY, 0, 1),
+    ("SIA Secure Client CA", "IT", CaKind.LEGACY, 0, 1),
+    ("VeriSign Trust Network 2", "US", CaKind.LEGACY, 0, 1),
+    ("VeriSign Trust Network 3", "US", CaKind.LEGACY, 0, 1),
+    ("VeriSign CPS", "US", CaKind.LEGACY, 0, 1),
+    ("UserTrust Client Auth. and Email", "US", CaKind.LEGACY, 0, 1),
+    ("Free SSL CA", "US", CaKind.LEGACY, 0, 1),
+)
+
+#: Never recorded by the Notary: offline/special-purpose roots
+#: (code signing, firmware updates, SUPL, operator APIs, governments).
+_EXTRA_NOT_RECORDED = (
+    ("Motorola FOTA Root CA", "US", CaKind.VENDOR, "fota"),
+    ("Motorola SUPL Server Root CA", "US", CaKind.VENDOR, "supl"),
+    ("GeoTrust CA for UTI", "US", CaKind.VENDOR, "code"),
+    ("GeoTrust CA for Adobe", "US", CaKind.VENDOR, "code"),
+    ("GeoTrust Mobile Device Root - Privileged", "US", CaKind.VENDOR, "code"),
+    ("GeoTrust Mobile Device Root", "US", CaKind.VENDOR, "code"),
+    ("Sony Computer DNAS Root 05", "JP", CaKind.VENDOR, "drm"),
+    ("Sony Ericsson Secure E2E", "JP", CaKind.VENDOR, "vendor"),
+    ("Certisign AC1S", "BR", CaKind.PUBLIC_WEB, "tls"),
+    ("Certisign AC2", "BR", CaKind.PUBLIC_WEB, "tls"),
+    ("Certisign AC3S", "BR", CaKind.PUBLIC_WEB, "tls"),
+    ("Certisign AC4", "BR", CaKind.PUBLIC_WEB, "tls"),
+    ("PTT Post Root CA. KeyMail", "NL", CaKind.LEGACY, "email"),
+    ("Cingular Preferred Root CA", "US", CaKind.OPERATOR, "operator"),
+    ("Cingular Trusted Root CA", "US", CaKind.OPERATOR, "operator"),
+    ("Sprint XCA01", "US", CaKind.OPERATOR, "operator"),
+    ("Vodafone (Widget Operator Domain)", "DE", CaKind.OPERATOR, "widget"),
+    ("CFCA Root CA", "CN", CaKind.GOVERNMENT, "tls"),
+    ("CFCA Identity CA", "CN", CaKind.GOVERNMENT, "tls"),
+    ("CFCA Payment CA", "CN", CaKind.GOVERNMENT, "payment"),
+    ("CFCA Enterprise CA", "CN", CaKind.GOVERNMENT, "tls"),
+    ("Venezuelan National CA", "VE", CaKind.GOVERNMENT, "tls"),
+    ("Meditel Root CA", "MA", CaKind.OPERATOR, "operator"),
+    ("Telefonica Moviles Root CA", "ES", CaKind.OPERATOR, "operator"),
+    ("Telefonica OpenAPI Root CA", "ES", CaKind.OPERATOR, "operator"),
+    ("Verizon Network API Root", "US", CaKind.OPERATOR, "operator"),
+    ("ABA.ECOM Root CA", "US", CaKind.LEGACY, "tls"),
+    ("eSign Imperito Primary Root CA", "AU", CaKind.LEGACY, "tls"),
+    ("eSign. Gatekeeper Root CA", "AU", CaKind.LEGACY, "tls"),
+    ("eSign. Primary Utility Root CA", "AU", CaKind.LEGACY, "tls"),
+    ("EUnet International Root CA", "EU", CaKind.LEGACY, "tls"),
+    ("FESTE Public Notary Certs", "ES", CaKind.LEGACY, "notary"),
+    ("FESTE Verified Certs", "ES", CaKind.LEGACY, "notary"),
+    ("IPS CA CLASE1", "ES", CaKind.LEGACY, "tls"),
+    ("IPS CA CLASE3", "ES", CaKind.LEGACY, "tls"),
+    ("IPS CA CLASEA1 CA", "ES", CaKind.LEGACY, "tls"),
+    ("IPS CA Timestamping CA", "ES", CaKind.LEGACY, "timestamp"),
+    ("SEVEN Open Channel Primary CA", "US", CaKind.VENDOR, "push"),
+)
+
+# ---------------------------------------------------------------------------
+# Rooted-device-only certificates (Table 5 + §5.2 singletons)
+# ---------------------------------------------------------------------------
+
+#: (name, country, device_count) -- Table 5's CAs, installed by apps or
+#: users on rooted handsets; none ever appear in Notary traffic.
+ROOTED_ONLY_CAS = (
+    ("CRAZY HOUSE", "UA", 70),  # installed by the Freedom-like app
+    ("MIND OVERFLOW", "??", 1),
+    ("USER_X", "??", 1),
+    ("CDA/EMAILADDRESS", "SN", 1),
+    ("CIRRUS, PRIVATE", "??", 1),
+)
+
+#: Count of additional self-signed singleton certs (user VPN roots,
+#: §5.2's "each recorded exclusively on a single device").
+USER_SELF_SIGNED_COUNT = 58
+
+# ---------------------------------------------------------------------------
+# Notary traffic calibration
+# ---------------------------------------------------------------------------
+
+#: Core roots (AOSP∩Mozilla) that validate nothing: 20 of 130 (15%).
+CORE_VALIDATES_NOTHING = 20
+
+#: Leaves signed by the validating core roots (Zipf-distributed).
+CORE_CURRENT_LEAVES = 14_700
+CORE_EXPIRED_LEAVES = 2_000
+
+#: Zipf skew for core CA popularity.
+CORE_ZIPF_EXPONENT = 1.15
+
+#: Leaves signed by AOSP-only roots present since 4.1 (Table 3: AOSP 4.1
+#: validates ~281 more than Mozilla at paper scale). Must exceed the
+#: Mozilla-member extras' contribution (55) so Mozilla ranks lowest.
+AOSP_ONLY_BASE_LEAVES = 65
+
+#: iOS7-exclusive roots (in no Android/Mozilla store): 227 total minus
+#: core (130) and extra members (7 both + 14 iOS7-only).
+IOS7_EXCLUSIVE_COUNT = IOS7_SIZE - 130 - len(_EXTRA_BOTH) - len(_EXTRA_IOS7_ONLY)
+IOS7_EXCLUSIVE_VALIDATING = 14
+IOS7_EXCLUSIVE_LEAVES = 120
+
+#: Mozilla-only roots never observed on devices: 153 - 130 - 16.
+MOZILLA_EXCLUSIVE_COUNT = MOZILLA_SIZE - 130 - len(_EXTRA_BOTH) - len(_EXTRA_MOZILLA_ONLY)
+
+#: Private CAs signing the ~25% of Notary leaves no store validates.
+PRIVATE_CA_COUNT = 60
+PRIVATE_CURRENT_LEAVES = 4_985
+PRIVATE_EXPIRED_LEAVES = 900
+
+
+def _core_names() -> list[str]:
+    """Synthesize 130 distinct core CA names from real family names."""
+    names = []
+    for family, suffix in itertools.product(_CORE_CA_FAMILIES, _CORE_SUFFIXES):
+        names.append(f"{family} {suffix}")
+    # Deterministic order, trimmed to the core size.
+    return names[:130]
+
+
+def _zipf_allocation(total: int, count: int, exponent: float) -> list[int]:
+    """Split *total* leaves over *count* roots with a Zipf-like skew.
+
+    Deterministic (largest-remainder rounding) so Table 3's small deltas
+    are exact by construction rather than sampled.
+    """
+    weights = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    scale = total / sum(weights)
+    raw = [w * scale for w in weights]
+    floors = [int(x) for x in raw]
+    remainder = total - sum(floors)
+    by_fraction = sorted(
+        range(count), key=lambda i: raw[i] - floors[i], reverse=True
+    )
+    for i in by_fraction[:remainder]:
+        floors[i] += 1
+    return floors
+
+
+@dataclass
+class CaCatalog:
+    """The full certificate universe, grouped the way the analysis
+    pipeline consumes it."""
+
+    core: list[CaProfile] = field(default_factory=list)  # AOSP∩Mozilla (130)
+    aosp_only: list[CaProfile] = field(default_factory=list)  # 20
+    mozilla_exclusive: list[CaProfile] = field(default_factory=list)  # 7
+    ios7_exclusive: list[CaProfile] = field(default_factory=list)  # 76
+    extras: list[CaProfile] = field(default_factory=list)  # 101
+    rooted_only: list[CaProfile] = field(default_factory=list)  # 63
+    private: list[CaProfile] = field(default_factory=list)  # 60
+    deployments: list[Deployment] = field(default_factory=list)
+
+    # -- convenience views -----------------------------------------------------
+
+    def all_profiles(self) -> list[CaProfile]:
+        """Every profile in the universe."""
+        return (
+            self.core
+            + self.aosp_only
+            + self.mozilla_exclusive
+            + self.ios7_exclusive
+            + self.extras
+            + self.rooted_only
+            + self.private
+        )
+
+    def by_name(self, name: str) -> CaProfile:
+        """Look up a profile by display name."""
+        for profile in self.all_profiles():
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+    def aosp_profiles(self, version: str) -> list[CaProfile]:
+        """Profiles shipped in the given AOSP version."""
+        return [
+            p for p in self.core + self.aosp_only if p.in_aosp(version)
+        ]
+
+    def mozilla_profiles(self) -> list[CaProfile]:
+        """Profiles in Mozilla's store."""
+        return [p for p in self.all_profiles() if p.in_mozilla]
+
+    def ios7_profiles(self) -> list[CaProfile]:
+        """Profiles in iOS7's store."""
+        return [p for p in self.all_profiles() if p.in_ios7]
+
+    def extra_profiles(self) -> list[CaProfile]:
+        """The non-AOSP additional certificates (Figure 2's population)."""
+        return list(self.extras)
+
+    def deployments_for_cert(self, name: str) -> list[Deployment]:
+        """All deployments shipping the named certificate."""
+        return [d for d in self.deployments if d.cert_name == name]
+
+    # -- integrity -----------------------------------------------------------------
+
+    def validate_calibration(self) -> None:
+        """Assert the published structural numbers hold. Called by tests."""
+        for version, size in AOSP_SIZES.items():
+            actual = len(self.aosp_profiles(version))
+            if actual != size:
+                raise AssertionError(f"AOSP {version}: {actual} != {size}")
+        if len(self.mozilla_profiles()) != MOZILLA_SIZE:
+            raise AssertionError(f"Mozilla: {len(self.mozilla_profiles())}")
+        if len(self.ios7_profiles()) != IOS7_SIZE:
+            raise AssertionError(f"iOS7: {len(self.ios7_profiles())}")
+        if len(self.extras) != 101:
+            raise AssertionError(f"extras: {len(self.extras)} != 101")
+        non_mozilla_extras = [p for p in self.extras if not p.in_mozilla]
+        if len(non_mozilla_extras) != 85:
+            raise AssertionError(f"non-Mozilla extras: {len(non_mozilla_extras)}")
+        total_unique = len(self.core) + len(self.aosp_only) + len(self.extras) + len(
+            self.rooted_only
+        )
+        if total_unique != 314:
+            raise AssertionError(f"device-observable uniques: {total_unique} != 314")
+        names = [p.name for p in self.all_profiles()]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise AssertionError(f"duplicate CA names: {sorted(duplicates)}")
+        extra_names = {p.name for p in self.extras}
+        bad = {d.cert_name for d in self.deployments if d.cert_name not in extra_names}
+        if bad:
+            raise AssertionError(f"deployments reference non-extra certs: {sorted(bad)}")
+        undeployed = extra_names - {d.cert_name for d in self.deployments}
+        if len(undeployed) > len(extra_names) // 3:
+            raise AssertionError(
+                f"{len(undeployed)} extras have no deployment: {sorted(undeployed)[:5]}..."
+            )
+
+
+def build_catalog() -> CaCatalog:
+    """Construct the default calibrated catalog."""
+    catalog = CaCatalog()
+
+    # -- core (AOSP∩Mozilla, 130 = 117 identical + 13 reissued) -------------
+    core_names = _core_names()
+    validating = len(core_names) - CORE_VALIDATES_NOTHING
+    core_leaves = _zipf_allocation(CORE_CURRENT_LEAVES, validating, CORE_ZIPF_EXPONENT)
+    expired_leaves = _zipf_allocation(CORE_EXPIRED_LEAVES, validating, CORE_ZIPF_EXPONENT)
+    for index, name in enumerate(core_names):
+        # 13 mid-popularity roots are carried by Mozilla/iOS7 as
+        # re-issued twins (active CAs; §4.2's "only the expiration date
+        # change" cases involve roots actually validating traffic).
+        reissued = 50 <= index < 63
+        current = core_leaves[index] if index < validating else 0
+        expired = expired_leaves[index] if index < validating else 0
+        catalog.core.append(
+            CaProfile(
+                name=name,
+                kind=CaKind.PUBLIC_WEB,
+                aosp_since="4.1",
+                in_mozilla=True,
+                in_ios7=True,
+                reissued_in_mozilla=reissued,
+                current_leaves=current,
+                expired_leaves=expired,
+            )
+        )
+
+    # -- AOSP-only roots (20), including the version-growth entries ----------
+    base_only = [
+        CaProfile(
+            name=name,
+            kind=kind,
+            country=country,
+            aosp_since="4.1",
+            expired_root=expired,
+            current_leaves=leaves,
+            expired_leaves=2 if leaves else 0,
+        )
+        for name, kind, country, expired, leaves in _AOSP_ONLY_ROOTS[
+            : 20 - len(_ADDED_IN_42) - len(_ADDED_IN_43) - len(_ADDED_IN_44)
+        ]
+    ]
+    catalog.aosp_only.extend(base_only)
+    for name in _ADDED_IN_42:
+        catalog.aosp_only.append(
+            CaProfile(name=name, country="TR", aosp_since="4.2", current_leaves=0)
+        )
+    for index, name in enumerate(_ADDED_IN_43):
+        # The six 4.3 additions jointly validate a small leaf population.
+        leaves = (5, 2, 0, 0, 0, 0)[index]
+        catalog.aosp_only.append(
+            CaProfile(name=name, country="DE", aosp_since="4.3", current_leaves=leaves)
+        )
+    for index, name in enumerate(_ADDED_IN_44):
+        leaves = (3, 0, 0, 0)[index]
+        catalog.aosp_only.append(
+            CaProfile(name=name, country="ES", aosp_since="4.4", current_leaves=leaves)
+        )
+
+    # -- Mozilla-exclusive roots (7, never seen on devices) -------------------
+    for index in range(MOZILLA_EXCLUSIVE_COUNT):
+        catalog.mozilla_exclusive.append(
+            CaProfile(
+                name=f"Mozilla Program Root {index + 1}",
+                in_mozilla=True,
+                current_leaves=0,
+            )
+        )
+
+    # -- iOS7-exclusive roots (76, 14 of them validating) ---------------------
+    ios7_leaves = _zipf_allocation(
+        IOS7_EXCLUSIVE_LEAVES, IOS7_EXCLUSIVE_VALIDATING, 1.0
+    )
+    for index in range(IOS7_EXCLUSIVE_COUNT):
+        current = ios7_leaves[index] if index < IOS7_EXCLUSIVE_VALIDATING else 0
+        catalog.ios7_exclusive.append(
+            CaProfile(
+                name=f"Apple Legacy Root {index + 1}",
+                kind=CaKind.LEGACY,
+                in_ios7=True,
+                current_leaves=current,
+            )
+        )
+
+    # -- additional certificates (Figure 2) ------------------------------------
+    for name, country, kind, leaves in _EXTRA_BOTH:
+        catalog.extras.append(
+            CaProfile(
+                name=name,
+                country=country,
+                kind=kind,
+                in_mozilla=True,
+                in_ios7=True,
+                current_leaves=leaves,
+                expired_leaves=1 if leaves else 0,
+            )
+        )
+    for name, country, kind, leaves in _EXTRA_MOZILLA_ONLY:
+        catalog.extras.append(
+            CaProfile(
+                name=name,
+                country=country,
+                kind=kind,
+                in_mozilla=True,
+                current_leaves=leaves,
+            )
+        )
+    for name, country, kind, leaves in _EXTRA_IOS7_ONLY:
+        catalog.extras.append(
+            CaProfile(
+                name=name,
+                country=country,
+                kind=kind,
+                in_ios7=True,
+                current_leaves=leaves,
+                expired_leaves=1 if leaves else 0,
+            )
+        )
+    for name, country, kind, current, expired in _EXTRA_ANDROID_ONLY:
+        catalog.extras.append(
+            CaProfile(
+                name=name,
+                country=country,
+                kind=kind,
+                current_leaves=current,
+                expired_leaves=expired,
+            )
+        )
+    for name, country, kind, purpose in _EXTRA_NOT_RECORDED:
+        catalog.extras.append(
+            CaProfile(name=name, country=country, kind=kind, purpose=purpose)
+        )
+
+    # -- rooted-only certificates ------------------------------------------------
+    for name, country, _count in ROOTED_ONLY_CAS:
+        catalog.rooted_only.append(
+            CaProfile(name=name, country=country, kind=CaKind.USER, purpose="user")
+        )
+    for index in range(USER_SELF_SIGNED_COUNT):
+        catalog.rooted_only.append(
+            CaProfile(
+                name=f"Self-Signed VPN Root {index + 1}",
+                kind=CaKind.USER,
+                purpose="vpn",
+            )
+        )
+
+    # -- private CAs (Notary tail validated by no store) --------------------------
+    private_leaves = _zipf_allocation(PRIVATE_CURRENT_LEAVES, PRIVATE_CA_COUNT, 0.8)
+    private_expired = _zipf_allocation(PRIVATE_EXPIRED_LEAVES, PRIVATE_CA_COUNT, 0.8)
+    for index in range(PRIVATE_CA_COUNT):
+        catalog.private.append(
+            CaProfile(
+                name=f"Private Enterprise CA {index + 1}",
+                kind=CaKind.PRIVATE,
+                current_leaves=private_leaves[index],
+                expired_leaves=private_expired[index],
+            )
+        )
+
+    catalog.deployments = _build_deployments(catalog)
+    return catalog
+
+
+def _build_deployments(catalog: CaCatalog) -> list[Deployment]:
+    """Assign each additional certificate to the firmware/operator
+    profiles that ship it (the structure behind Figures 1 and 2)."""
+    deployments: list[Deployment] = []
+
+    def ship(names, manufacturer=None, operator=None, versions=ANDROID_VERSIONS):
+        for name in names:
+            deployments.append(
+                Deployment(
+                    cert_name=name,
+                    manufacturer=manufacturer,
+                    operator=operator,
+                    versions=tuple(versions),
+                )
+            )
+
+    # HTC ships a large legacy set on every version (Fig 1: HTC among the
+    # biggest extenders, >40 additions on 4.1/4.2).
+    htc_set = [
+        "AddTrust Class 1 CA Root", "AddTrust Public CA Root",
+        "AddTrust Qualified CA Root", "Deutsche Telekom Root CA 1",
+        "Sonera Class1 CA", "DoD CLASS 3 Root CA",
+        "Thawte Premium Server CA", "Thawte Server CA",
+        "Thawte Personal Basic CA", "Thawte Personal Freemail CA",
+        "Thawte Personal Premium CA", "Thawte Timestamping CA",
+        "VeriSign Class 1 Public Primary CA", "VeriSign Class 2 Public Primary CA",
+        "VeriSign Class 3 Public Primary CA", "VeriSign Class 3 Secure Server CA",
+        "VeriSign Trust Network", "VeriSign Trust Network 2",
+        "VeriSign Trust Network 3", "VeriSign CPS",
+        "Entrust.net CA", "Entrust.net Client CA", "Entrust.net Client CA 2",
+        "Entrust.net Secure Server CA", "Certplus Class 1 Primary CA",
+        "Certplus Class 3 Primary CA", "Certplus Class 3P Primary CA",
+        "IPS CA CLASE1", "IPS CA CLASE3", "IPS CA CLASEA1 CA",
+        "IPS CA Timestamping CA", "FESTE Public Notary Certs",
+        "FESTE Verified Certs", "EUnet International Root CA",
+        "ABA.ECOM Root CA", "eSign Imperito Primary Root CA",
+        "eSign. Gatekeeper Root CA", "eSign. Primary Utility Root CA",
+        "Xcert EZ by DST", "Baltimore EZ by DST",
+        "AOL Time Warner Root CA 1", "AOL Time Warner Root CA 2",
+        "RSA Data Security CA", "First Data Digital CA",
+        "TC TrustCenter Class 1 CA",
+    ]
+    ship(htc_set, manufacturer="HTC", versions=("4.1", "4.2"))
+    ship(htc_set[:30], manufacturer="HTC", versions=("4.3", "4.4"))
+
+    # Samsung: 4.1/4.2 share a moderate set; 4.3/4.4 are extended (§5.1 fn3).
+    samsung_base = [
+        "AddTrust Class 1 CA Root", "AddTrust Public CA Root",
+        "Deutsche Telekom Root CA 1", "Sonera Class1 CA",
+        "DoD CLASS 3 Root CA", "GlobalSign Root CA - R3",
+        "Thawte Premium Server CA", "Thawte Server CA",
+        "VeriSign Class 3 Public Primary CA",
+        "VeriSign Class 3 Secure Server CA - G3",
+        "VeriSign Class 3 International Server CA - G3",
+        "COMODO RSA CA", "COMODO Secure Certificate Services",
+        "COMODO Trusted Certificate Services",
+        "SecureSign Root CA2 Japan", "SecureSign Root CA3 Japan",
+        "TrustCenter Class 2 CA", "TrustCenter Class 3 CA",
+        "Visa Information Delivery Root CA",
+        "Wells Fargo CA 01", "SIA Secure Client CA", "SIA Secure Server CA",
+    ]
+    ship(samsung_base, manufacturer="SAMSUNG", versions=("4.1", "4.2"))
+    ship(["GeoTrust CA for UTI"], manufacturer="SAMSUNG", versions=("4.2", "4.3"))
+    samsung_extended = samsung_base + [
+        "GoDaddy Inc", "Starfield Services Root CA",
+        "Entrust CA - L1B", "Entrust.net CA", "Entrust.net Secure Server CA",
+        "UserTrust RSA Extended Val. Sec. Server CA", "UserTrust UTN-USERFirst",
+        "UserTrust Client Auth. and Email",
+        "VeriSign Class 3 Extended Validation SSL SGC CA",
+        "VeriSign Class 1 Public Primary CA",
+        "VeriSign Class 2 Public Primary CA",
+        "GeoTrust True Credentials CA 2",
+        "GeoTrust CA for Adobe",
+        "GeoTrust Mobile Device Root", "GeoTrust Mobile Device Root - Privileged",
+        "Thawte Personal Freemail CA", "Thawte Timestamping CA",
+        "Free SSL CA", "DST Root CA X1", "DST RootCA X2",
+    ]
+    ship(samsung_extended, manufacturer="SAMSUNG", versions=("4.3", "4.4"))
+
+    # Motorola 4.1/4.2 firmware carries the legacy set too (Fig 1 places
+    # Motorola 4.1/4.2 in the >40-addition group; 4.3/4.4 are near-stock).
+    ship(htc_set[:38], manufacturer="MOTOROLA", versions=("4.1", "4.2"))
+    # Motorola 4.1 / Verizon (§5.1: CertiSign + ptt-post.nl on 60-70% of
+    # Motorola 4.1 devices, all on Verizon; FOTA/SUPL are Motorola-wide).
+    ship(
+        ["Motorola FOTA Root CA", "Motorola SUPL Server Root CA"],
+        manufacturer="MOTOROLA",
+    )
+    ship(
+        [
+            "Certisign AC1S", "Certisign AC2", "Certisign AC3S", "Certisign AC4",
+            "PTT Post Root CA. KeyMail",
+        ],
+        manufacturer="MOTOROLA",
+        operator="VERIZON(US)",
+        versions=("4.1",),
+    )
+    ship(
+        ["Microsoft Secure Server Authority", "Cingular Preferred Root CA",
+         "Cingular Trusted Root CA"],
+        manufacturer="MOTOROLA",
+        operator="AT&T(US)",
+        versions=("4.1",),
+    )
+    ship(
+        ["Telefonica Moviles Root CA", "Telefonica OpenAPI Root CA"],
+        manufacturer="MOTOROLA",
+        versions=("4.1",),
+    )
+
+    # Sony 4.3 vendor roots.
+    ship(
+        ["Sony Computer DNAS Root 05", "Sony Ericsson Secure E2E",
+         "SEVEN Open Channel Primary CA"],
+        manufacturer="SONY",
+        versions=("4.3",),
+    )
+
+    # LG non-Nexus devices mirror the HTC legacy set on 4.1/4.2 (Fig 1
+    # shows LG 4.1/4.2 among the >40-addition group).
+    ship(htc_set[:42], manufacturer="LG", versions=("4.1", "4.2"))
+
+    # Operator overlays (any manufacturer).
+    ship(["Sprint Nextel Root Authority", "Sprint XCA01"], operator="SPRINT(US)")
+    ship(
+        ["Vodafone (Operator Domain)", "Vodafone (Widget Operator Domain)"],
+        operator="VODAFONE(DE)",
+    )
+    ship(["Verizon Network API Root"], operator="VERIZON(US)")
+    ship(["Meditel Root CA"], operator="3(UK)")
+    # §5.2: CFCA roots "found in HTC, Motorola and Lenovo devices from a
+    # number of countries" -- shipped by manufacturers, so they surface
+    # under whatever operator/country the handset lands in.
+    cfca = ["CFCA Root CA", "CFCA Identity CA", "CFCA Payment CA",
+            "CFCA Enterprise CA"]
+    ship(cfca, manufacturer="LENOVO")
+    ship(cfca, manufacturer="HTC", versions=("4.3", "4.4"))
+    ship(cfca, manufacturer="MOTOROLA", versions=("4.3", "4.4"))
+    ship(["Venezuelan National CA"], operator="TELSTRA(AU)")
+    ship(["DST-Entrust GTI CA", "DST Root CA X1"], operator="EE(UK)")
+    ship(["Certplus Class 1 Primary CA", "Certplus Class 3 Primary CA"],
+         operator="ORANGE(FR)")
+    ship(["Certplus Class 3P Primary CA"], operator="SFR(FR)")
+    ship(["EUnet International Root CA"], operator="BOUYGUES(FR)")
+    ship(["Free SSL CA"], operator="FREE(FR)")
+
+    return deployments
+
+
+@lru_cache(maxsize=1)
+def default_catalog() -> CaCatalog:
+    """The default calibrated catalog (cached singleton)."""
+    catalog = build_catalog()
+    catalog.validate_calibration()
+    return catalog

@@ -1,0 +1,147 @@
+"""Root-store diffing — the comparison step of the paper's methodology.
+
+Given a device store and its reference AOSP store, the diff classifies
+each entry as *shared*, *added* (the paper's "additional certificates")
+or *missing*, under either identity notion:
+
+* strict — RSA modulus + signature (§4.1's identity);
+* equivalent — subject + modulus (§4.2's cross-store equivalence, which
+  treats a re-issued root with a new expiry as the same root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+@dataclass(frozen=True)
+class StoreDiff:
+    """The outcome of comparing a store against a reference store."""
+
+    store_name: str
+    reference_name: str
+    shared: tuple[Certificate, ...]
+    added: tuple[Certificate, ...]
+    missing: tuple[Certificate, ...]
+    #: Pairs (store cert, reference cert) that are equivalent but not
+    #: byte/signature-identical — the §4.2 re-issue cases.
+    equivalent_only: tuple[tuple[Certificate, Certificate], ...] = ()
+
+    @property
+    def is_stock(self) -> bool:
+        """True if the store matches the reference exactly."""
+        return not self.added and not self.missing
+
+    @property
+    def added_count(self) -> int:
+        """Number of additional certificates."""
+        return len(self.added)
+
+    @property
+    def missing_count(self) -> int:
+        """Number of reference certificates absent from the store."""
+        return len(self.missing)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.store_name} vs {self.reference_name}: "
+            f"{len(self.shared)} shared, {len(self.added)} added, "
+            f"{len(self.missing)} missing"
+            + (f", {len(self.equivalent_only)} equivalent-only" if self.equivalent_only else "")
+        )
+
+
+def diff_stores(
+    store: RootStore,
+    reference: RootStore,
+    *,
+    use_equivalence: bool = True,
+) -> StoreDiff:
+    """Compare *store* against *reference*.
+
+    With ``use_equivalence`` (the paper's method), certificates that are
+    §4.2-equivalent to a reference entry count as shared and are also
+    reported in ``equivalent_only``; with strict identity they would
+    appear as simultaneously added and missing.
+    """
+    store_certs = store.certificates(include_disabled=True)
+    reference_certs = reference.certificates(include_disabled=True)
+
+    reference_by_identity = {identity_key(c): c for c in reference_certs}
+    store_identities = {identity_key(c) for c in store_certs}
+
+    shared: list[Certificate] = []
+    added: list[Certificate] = []
+    equivalent_only: list[tuple[Certificate, Certificate]] = []
+
+    reference_by_equivalence: dict[object, Certificate] = {}
+    if use_equivalence:
+        for certificate in reference_certs:
+            reference_by_equivalence.setdefault(
+                equivalence_key(certificate), certificate
+            )
+
+    matched_reference_ids: set[tuple[int, bytes]] = set()
+    for certificate in store_certs:
+        strict = identity_key(certificate)
+        if strict in reference_by_identity:
+            shared.append(certificate)
+            matched_reference_ids.add(strict)
+            continue
+        if use_equivalence:
+            twin = reference_by_equivalence.get(equivalence_key(certificate))
+            if twin is not None:
+                shared.append(certificate)
+                equivalent_only.append((certificate, twin))
+                matched_reference_ids.add(identity_key(twin))
+                continue
+        added.append(certificate)
+
+    missing = [
+        certificate
+        for strict, certificate in reference_by_identity.items()
+        if strict not in matched_reference_ids
+        and not (
+            use_equivalence
+            and any(
+                equivalence_key(certificate) == equivalence_key(c)
+                for c in store_certs
+            )
+        )
+    ]
+
+    return StoreDiff(
+        store_name=store.name,
+        reference_name=reference.name,
+        shared=tuple(shared),
+        added=tuple(added),
+        missing=tuple(missing),
+        equivalent_only=tuple(equivalent_only),
+    )
+
+
+def overlap_count(a: RootStore, b: RootStore, *, use_equivalence: bool = False) -> int:
+    """Number of certificates of *a* present in *b*.
+
+    With strict identity this reproduces §2's "117 of AOSP 4.4's 150
+    certificates also exist in Mozilla's root store"; with equivalence it
+    reproduces Table 4's larger AOSP∩Mozilla category (130).
+    """
+    if not use_equivalence:
+        b_ids = {identity_key(c) for c in b.certificates(include_disabled=True)}
+        return sum(
+            1
+            for c in a.certificates(include_disabled=True)
+            if identity_key(c) in b_ids
+        )
+    b_eq = {equivalence_key(c) for c in b.certificates(include_disabled=True)}
+    return sum(
+        1
+        for c in a.certificates(include_disabled=True)
+        if equivalence_key(c) in b_eq
+    )

@@ -1,0 +1,109 @@
+"""Certificate factory: deterministic, cached materialization of profiles.
+
+Turning a :class:`~repro.rootstore.catalog.CaProfile` into an actual
+signed certificate requires an RSA keypair (the expensive part), so the
+factory memoizes both keypairs and certificates by profile name. A
+given study seed always produces byte-identical certificates.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.crypto.rng import derive_random
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.rootstore.catalog import CaProfile
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+#: Reference "now" for the study (§4.1: data collected Nov 2013-Apr 2014).
+STUDY_NOW = datetime.datetime(2014, 4, 1)
+
+#: Validity window for ordinary roots.
+_ROOT_NOT_BEFORE = datetime.datetime(2000, 1, 1)
+_ROOT_NOT_AFTER = datetime.datetime(2030, 1, 1)
+
+#: The expired Firmaprofesional-style root expired in Oct 2013 (§2).
+_EXPIRED_ROOT_NOT_AFTER = datetime.datetime(2013, 10, 1)
+
+#: Re-issued twins extend validity by five years.
+_REISSUE_NOT_AFTER = datetime.datetime(2035, 1, 1)
+
+
+class CertificateFactory:
+    """Builds and caches root certificates (and their keys) per profile.
+
+    One factory corresponds to one study seed; independent seeds yield
+    entirely disjoint PKI universes.
+    """
+
+    def __init__(self, seed: str = "tangled-mass", key_bits: int = 512):
+        self.seed = seed
+        self.key_bits = key_bits
+        self._keypairs: dict[str, RsaKeyPair] = {}
+        self._roots: dict[str, Certificate] = {}
+        self._reissues: dict[str, Certificate] = {}
+
+    def keypair_for(self, name: str) -> RsaKeyPair:
+        """The deterministic keypair for a CA name."""
+        if name not in self._keypairs:
+            rng = derive_random(self.seed, "ca-key", name)
+            self._keypairs[name] = generate_keypair(rng, bits=self.key_bits)
+        return self._keypairs[name]
+
+    def subject_for(self, profile: CaProfile) -> Name:
+        """The subject DN for a profile."""
+        organization = profile.name.split(" ")[0] or profile.name
+        country = profile.country if len(profile.country) == 2 else "US"
+        return Name.build(CN=profile.name, O=organization, C=country)
+
+    def root_certificate(self, profile: CaProfile) -> Certificate:
+        """The canonical self-signed root for a profile."""
+        if profile.name not in self._roots:
+            keypair = self.keypair_for(profile.name)
+            not_after = (
+                _EXPIRED_ROOT_NOT_AFTER if profile.expired_root else _ROOT_NOT_AFTER
+            )
+            serial_rng = derive_random(self.seed, "serial", profile.name)
+            self._roots[profile.name] = (
+                CertificateBuilder()
+                .subject(self.subject_for(profile))
+                .public_key(keypair.public)
+                .serial_number(serial_rng.randrange(1, 2**64))
+                .validity(_ROOT_NOT_BEFORE, not_after)
+                .ca(True)
+                .self_sign(keypair.private)
+            )
+        return self._roots[profile.name]
+
+    def reissued_certificate(self, profile: CaProfile) -> Certificate:
+        """A re-issued twin: same subject and key, new validity window.
+
+        This is the §4.2 equivalence case — byte-inequivalent to the
+        canonical root but able to validate the same children.
+        """
+        if profile.name not in self._reissues:
+            keypair = self.keypair_for(profile.name)
+            serial_rng = derive_random(self.seed, "reissue-serial", profile.name)
+            self._reissues[profile.name] = (
+                CertificateBuilder()
+                .subject(self.subject_for(profile))
+                .public_key(keypair.public)
+                .serial_number(serial_rng.randrange(1, 2**64))
+                .validity(_ROOT_NOT_BEFORE, _REISSUE_NOT_AFTER)
+                .ca(True)
+                .self_sign(keypair.private)
+            )
+        return self._reissues[profile.name]
+
+    def store_certificate(self, profile: CaProfile, store: str) -> Certificate:
+        """The certificate a given store ships for this profile.
+
+        Mozilla (and iOS7) carry the re-issued twin for profiles flagged
+        ``reissued_in_mozilla``; all other stores carry the canonical
+        root.
+        """
+        if profile.reissued_in_mozilla and store in ("mozilla", "ios7"):
+            return self.reissued_certificate(profile)
+        return self.root_certificate(profile)

@@ -1,0 +1,128 @@
+"""Emulation of Android's on-disk root store layout.
+
+Android keeps system roots as individual PEM files named by subject
+hash (``<hash>.0``) under ``/system/etc/security/cacerts/`` (§2 fn2) on
+a read-only system partition. Rooting the device allows remounting the
+partition read-write, which is precisely how apps like "Freedom" inject
+roots (§6). This module reproduces that mechanism over a real directory
+tree so the measurement client can *enumerate files* the way Netalyzr
+does, instead of being handed a Python list.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.rootstore.store import RootStore
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import subject_hash
+from repro.x509.pem import pem_decode_all, pem_encode
+
+#: The canonical Android location (relative inside our sandbox roots).
+CACERTS_PATH = "system/etc/security/cacerts"
+
+
+class ReadOnlyStoreError(PermissionError):
+    """Raised when writing to the cacerts dir of a non-rooted device."""
+
+
+class CacertsDirectory:
+    """A directory of ``<subject_hash>.N`` PEM files, like Android's.
+
+    The ``mounted_rw`` flag models the system-partition mount state:
+    writes require a prior :meth:`remount_rw`, which itself requires
+    root. Hash-collision handling matches Android/OpenSSL: the suffix
+    counts up (``.0``, ``.1``, ...).
+    """
+
+    def __init__(self, base_dir: str | pathlib.Path, *, rooted: bool = False):
+        self.base = pathlib.Path(base_dir) / CACERTS_PATH
+        self.base.mkdir(parents=True, exist_ok=True)
+        self.rooted = rooted
+        self.mounted_rw = False
+
+    # -- mount state -------------------------------------------------------------
+
+    def remount_rw(self) -> None:
+        """Remount the system partition read-write (requires root)."""
+        if not self.rooted:
+            raise ReadOnlyStoreError(
+                "remounting /system read-write requires root privileges"
+            )
+        self.mounted_rw = True
+
+    def remount_ro(self) -> None:
+        """Restore the read-only mount."""
+        self.mounted_rw = False
+
+    def _check_writable(self, *, system: bool) -> None:
+        if system:
+            return  # firmware build steps write before the image ships
+        if not self.mounted_rw:
+            raise ReadOnlyStoreError(
+                "cacerts directory is on a read-only mount; remount_rw() first"
+            )
+
+    # -- file operations -----------------------------------------------------------
+
+    def _path_for(self, certificate: Certificate) -> pathlib.Path:
+        """The file path this certificate would occupy, handling hash
+        collisions with increasing suffixes."""
+        base_hash = subject_hash(certificate)
+        for suffix in range(16):
+            path = self.base / f"{base_hash}.{suffix}"
+            if not path.exists():
+                return path
+            existing = pem_decode_all(path.read_text())
+            if existing and existing[0] == certificate.encoded:
+                return path
+        raise RuntimeError(f"too many hash collisions for {base_hash}")
+
+    def install(self, certificate: Certificate, *, system: bool = False) -> pathlib.Path:
+        """Write a certificate file; returns its path."""
+        self._check_writable(system=system)
+        path = self._path_for(certificate)
+        path.write_text(pem_encode(certificate.encoded))
+        return path
+
+    def remove(self, certificate: Certificate, *, system: bool = False) -> bool:
+        """Delete the file holding this certificate; True if found."""
+        self._check_writable(system=system)
+        for path in self.base.glob("*.*"):
+            blocks = pem_decode_all(path.read_text())
+            if blocks and blocks[0] == certificate.encoded:
+                path.unlink()
+                return True
+        return False
+
+    def list_files(self) -> list[pathlib.Path]:
+        """All certificate files, sorted by name (what Netalyzr reads)."""
+        return sorted(self.base.glob("*.*"))
+
+    def load_store(self, name: str = "device", *, strict: bool = False) -> RootStore:
+        """Parse every file back into a RootStore.
+
+        By default corrupt files are skipped (recorded in
+        :attr:`load_errors`), matching Android's tolerant loader — a
+        half-written file must not brick the trust store. With
+        ``strict=True`` the first bad file raises.
+        """
+        certificates = []
+        self.load_errors: list[tuple[pathlib.Path, str]] = []
+        for path in self.list_files():
+            try:
+                for der in pem_decode_all(path.read_text()):
+                    certificates.append(Certificate.from_der(der))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if strict:
+                    raise
+                self.load_errors.append((path, str(exc)))
+        return RootStore(name, certificates, read_only=not self.mounted_rw)
+
+    def populate(self, store: RootStore) -> int:
+        """Write every certificate of a store (firmware-build step)."""
+        count = 0
+        for certificate in store.certificates(include_disabled=True):
+            self.install(certificate, system=True)
+            count += 1
+        return count

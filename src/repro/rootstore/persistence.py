@@ -1,0 +1,87 @@
+"""Persisting a CertificateFactory's PKI universe to disk.
+
+Key generation dominates cold-start time (~6 s for the full catalog);
+persisting the factory lets separate CLI invocations and notebook
+sessions share one universe byte-for-byte. The format is a single JSON
+document holding the RSA key material (n, e, d) plus the issued
+certificates as PEM, keyed by CA name.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey
+from repro.rootstore.factory import CertificateFactory
+from repro.x509.certificate import Certificate
+from repro.x509.pem import pem_decode, pem_encode
+
+#: Format version.
+SCHEMA_VERSION = 1
+
+
+def save_factory(factory: CertificateFactory, path: str | pathlib.Path) -> pathlib.Path:
+    """Write the factory's cached keys and certificates to *path*.
+
+    Only materialized entries are saved; loading re-creates exactly the
+    cached state (misses will still be generated deterministically from
+    the seed, so a partial save is always safe).
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "seed": factory.seed,
+        "key_bits": factory.key_bits,
+        "keys": {
+            name: {
+                "n": str(keypair.private.modulus),
+                "e": keypair.private.public_exponent,
+                "d": str(keypair.private.private_exponent),
+            }
+            for name, keypair in factory._keypairs.items()
+        },
+        "roots": {
+            name: pem_encode(certificate.encoded)
+            for name, certificate in factory._roots.items()
+        },
+        "reissues": {
+            name: pem_encode(certificate.encoded)
+            for name, certificate in factory._reissues.items()
+        },
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_factory(path: str | pathlib.Path) -> CertificateFactory:
+    """Restore a factory saved by :func:`save_factory`.
+
+    Certificates are verified to carry the restored keys; a corrupted
+    or mismatched file raises ``ValueError``.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported factory schema {payload.get('schema')!r}")
+    factory = CertificateFactory(
+        seed=payload["seed"], key_bits=payload["key_bits"]
+    )
+    for name, key in payload["keys"].items():
+        factory._keypairs[name] = RsaKeyPair(
+            private=RsaPrivateKey(
+                modulus=int(key["n"]),
+                public_exponent=int(key["e"]),
+                private_exponent=int(key["d"]),
+            )
+        )
+    for attribute, table in (("_roots", "roots"), ("_reissues", "reissues")):
+        cache = getattr(factory, attribute)
+        for name, pem in payload[table].items():
+            certificate = Certificate.from_der(pem_decode(pem))
+            keypair = factory._keypairs.get(name)
+            if keypair is None or certificate.public_key != keypair.public:
+                raise ValueError(
+                    f"certificate for {name!r} does not match its stored key"
+                )
+            cache[name] = certificate
+    return factory

@@ -1,0 +1,120 @@
+"""Root-store import/export: PEM bundles and JSON metadata.
+
+The formats a downstream operator actually exchanges: a concatenated
+PEM bundle (what ``update-ca-certificates`` style tooling consumes) and
+a JSON sidecar carrying the store-level metadata PEM cannot (trust
+flags, enabled state, provenance).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.rootstore.store import RootStore, TrustFlags
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import pem_decode_all, pem_encode
+
+#: Schema version for the JSON sidecar.
+SCHEMA_VERSION = 1
+
+
+def store_to_pem(store: RootStore, *, include_disabled: bool = True) -> str:
+    """Serialize a store as a concatenated PEM bundle."""
+    blocks = []
+    for entry in store.entries():
+        if not entry.enabled and not include_disabled:
+            continue
+        blocks.append(pem_encode(entry.certificate.encoded))
+    return "".join(blocks)
+
+
+def store_from_pem(text: str, name: str = "imported") -> RootStore:
+    """Parse a PEM bundle into a store (all entries enabled/system)."""
+    store = RootStore(name)
+    for der in pem_decode_all(text):
+        store.add(Certificate.from_der(der))
+    return store
+
+
+def store_to_json(store: RootStore) -> str:
+    """Serialize a store with full metadata (certificates as PEM)."""
+    entries = []
+    for entry in store.entries():
+        entries.append(
+            {
+                "pem": pem_encode(entry.certificate.encoded),
+                "sha256": fingerprint(entry.certificate),
+                "subject": str(entry.certificate.subject),
+                "enabled": entry.enabled,
+                "source": entry.source,
+                "trust": {
+                    "server_auth": entry.trust.server_auth,
+                    "email": entry.trust.email,
+                    "code_signing": entry.trust.code_signing,
+                },
+            }
+        )
+    return json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "name": store.name,
+            "read_only": store.read_only,
+            "entries": entries,
+        },
+        indent=2,
+    )
+
+
+def store_from_json(text: str) -> RootStore:
+    """Parse the JSON form back into a store, verifying fingerprints."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported store schema {payload.get('schema')!r}")
+    store = RootStore(payload["name"], read_only=payload.get("read_only", False))
+    for item in payload["entries"]:
+        ders = pem_decode_all(item["pem"])
+        if len(ders) != 1:
+            raise ValueError("each entry must hold exactly one certificate")
+        certificate = Certificate.from_der(ders[0])
+        if fingerprint(certificate) != item["sha256"]:
+            raise ValueError(
+                f"fingerprint mismatch for {item.get('subject', '?')}"
+            )
+        trust = item.get("trust", {})
+        entry = store.add(
+            certificate,
+            system=True,
+            source=item.get("source", "imported"),
+            trust=TrustFlags(
+                server_auth=trust.get("server_auth", True),
+                email=trust.get("email", True),
+                code_signing=trust.get("code_signing", True),
+            ),
+        )
+        if not item.get("enabled", True):
+            entry.enabled = False
+    return store
+
+
+def save_store(store: RootStore, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a store to disk; format chosen by suffix (.pem or .json)."""
+    path = pathlib.Path(path)
+    if path.suffix == ".pem":
+        path.write_text(store_to_pem(store))
+    elif path.suffix == ".json":
+        path.write_text(store_to_json(store))
+    else:
+        raise ValueError(f"unsupported store format {path.suffix!r}")
+    return path
+
+
+def load_store(path: str | pathlib.Path, name: str | None = None) -> RootStore:
+    """Read a store from disk; format chosen by suffix (.pem or .json)."""
+    path = pathlib.Path(path)
+    if path.suffix == ".pem":
+        return store_from_pem(path.read_text(), name or path.stem)
+    if path.suffix == ".json":
+        return store_from_json(path.read_text())
+    raise ValueError(f"unsupported store format {path.suffix!r}")

@@ -1,0 +1,197 @@
+"""The RootStore container.
+
+A root store is a named, ordered set of trusted root certificates. The
+model captures the platform differences the paper highlights (§2):
+
+* Android's system store is **read-only** to normal code; only processes
+  with system (or root) permission may modify it. Users may *disable*
+  entries through system settings without deleting them.
+* Android attaches **no trust-level restrictions** to entries — any root
+  may vouch for any operation "from TLS server verification to code
+  signing". Mozilla, by contrast, scopes each root with trust bits.
+
+:class:`TrustFlags` models the Mozilla-style scoping so the library can
+express both policies; for Android stores every entry carries
+``TrustFlags.all()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import equivalence_key, identity_key
+
+
+class StorePermissionError(PermissionError):
+    """Raised when modifying a read-only store without system permission."""
+
+
+@dataclass(frozen=True)
+class TrustFlags:
+    """Mozilla-style per-root trust scoping."""
+
+    server_auth: bool = True
+    email: bool = True
+    code_signing: bool = True
+
+    @classmethod
+    def all(cls) -> "TrustFlags":
+        """Android's policy: trusted for everything."""
+        return cls(True, True, True)
+
+    @classmethod
+    def websites_only(cls) -> "TrustFlags":
+        """The scoped policy Mozilla applies to most TLS roots."""
+        return cls(server_auth=True, email=False, code_signing=False)
+
+
+@dataclass
+class StoreEntry:
+    """One root-store entry: a certificate plus store-level metadata."""
+
+    certificate: Certificate
+    trust: TrustFlags = field(default_factory=TrustFlags.all)
+    enabled: bool = True
+    source: str = "system"
+
+    @property
+    def subject(self):
+        """The certificate subject name."""
+        return self.certificate.subject
+
+
+class RootStore:
+    """A named collection of trusted roots.
+
+    Entries are keyed by the strict identity of §4.1 (RSA modulus +
+    signature). ``read_only=True`` models Android's system store: writes
+    require ``system=True`` (granted to platform code and root-privileged
+    processes).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        certificates: Iterable[Certificate] = (),
+        *,
+        read_only: bool = False,
+    ):
+        self.name = name
+        self.read_only = read_only
+        self._entries: dict[tuple[int, bytes], StoreEntry] = {}
+        for certificate in certificates:
+            self._entries[identity_key(certificate)] = StoreEntry(certificate)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return (entry.certificate for entry in self._entries.values())
+
+    def __contains__(self, certificate: Certificate) -> bool:
+        return identity_key(certificate) in self._entries
+
+    def entries(self) -> list[StoreEntry]:
+        """All entries, including disabled ones."""
+        return list(self._entries.values())
+
+    def certificates(self, *, include_disabled: bool = False) -> list[Certificate]:
+        """The trusted certificates (disabled entries excluded by default)."""
+        return [
+            entry.certificate
+            for entry in self._entries.values()
+            if entry.enabled or include_disabled
+        ]
+
+    def entry_for(self, certificate: Certificate) -> StoreEntry | None:
+        """The entry holding exactly this certificate, if present."""
+        return self._entries.get(identity_key(certificate))
+
+    def contains_equivalent(self, certificate: Certificate) -> bool:
+        """True if an entry is §4.2-equivalent (same subject + modulus).
+
+        Catches re-issued roots that differ only in validity dates.
+        """
+        wanted = equivalence_key(certificate)
+        return any(
+            equivalence_key(entry.certificate) == wanted
+            for entry in self._entries.values()
+        )
+
+    def find_by_subject(self, subject) -> list[Certificate]:
+        """All certificates with the given subject name."""
+        return [
+            entry.certificate
+            for entry in self._entries.values()
+            if entry.certificate.subject == subject
+        ]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _check_writable(self, system: bool) -> None:
+        if self.read_only and not system:
+            raise StorePermissionError(
+                f"root store {self.name!r} is read-only; "
+                "system permission required to modify it"
+            )
+
+    def add(
+        self,
+        certificate: Certificate,
+        *,
+        system: bool = False,
+        source: str = "system",
+        trust: TrustFlags | None = None,
+    ) -> StoreEntry:
+        """Add a certificate; returns the (possibly existing) entry."""
+        self._check_writable(system)
+        key = identity_key(certificate)
+        if key in self._entries:
+            return self._entries[key]
+        entry = StoreEntry(
+            certificate, trust=trust or TrustFlags.all(), source=source
+        )
+        self._entries[key] = entry
+        return entry
+
+    def remove(self, certificate: Certificate, *, system: bool = False) -> bool:
+        """Remove a certificate; True if it was present."""
+        self._check_writable(system)
+        return self._entries.pop(identity_key(certificate), None) is not None
+
+    def disable(self, certificate: Certificate) -> bool:
+        """Disable an entry via system settings (no system permission needed).
+
+        Mirrors Android's settings UI, which lets any user disable a
+        system root without removing it (§2).
+        """
+        entry = self._entries.get(identity_key(certificate))
+        if entry is None:
+            return False
+        entry.enabled = False
+        return True
+
+    def enable(self, certificate: Certificate) -> bool:
+        """Re-enable a disabled entry."""
+        entry = self._entries.get(identity_key(certificate))
+        if entry is None:
+            return False
+        entry.enabled = True
+        return True
+
+    def copy(self, name: str | None = None, *, read_only: bool | None = None) -> "RootStore":
+        """An independent copy (entries are copied, certificates shared)."""
+        clone = RootStore.__new__(RootStore)
+        clone.name = name or self.name
+        clone.read_only = self.read_only if read_only is None else read_only
+        clone._entries = {
+            key: replace(entry) for key, entry in self._entries.items()
+        }
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<RootStore {self.name!r} certs={len(self)} read_only={self.read_only}>"

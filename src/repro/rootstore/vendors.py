@@ -1,0 +1,78 @@
+"""Mozilla and iOS7 root stores, plus the bundled platform-store set.
+
+Mozilla entries carry scoped trust bits (websites-only for TLS roots);
+Android and iOS entries are trusted for everything, which is exactly the
+policy gap §2 and §8 call out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rootstore.aosp import AospStoreBuilder
+from repro.rootstore.catalog import CaCatalog, CaKind, default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.store import RootStore, TrustFlags
+
+
+def build_mozilla_store(
+    factory: CertificateFactory, catalog: CaCatalog | None = None
+) -> RootStore:
+    """The Mozilla root store (153 roots, scoped trust)."""
+    catalog = catalog or default_catalog()
+    store = RootStore("Mozilla", read_only=False)
+    for profile in catalog.mozilla_profiles():
+        certificate = factory.store_certificate(profile, "mozilla")
+        trust = (
+            TrustFlags.websites_only()
+            if profile.kind in (CaKind.PUBLIC_WEB, CaKind.LEGACY)
+            else TrustFlags.all()
+        )
+        store.add(certificate, trust=trust, source="mozilla-program")
+    return store
+
+
+def build_ios7_store(
+    factory: CertificateFactory, catalog: CaCatalog | None = None
+) -> RootStore:
+    """The iOS7 root store (227 roots, the largest of the set)."""
+    catalog = catalog or default_catalog()
+    store = RootStore("iOS7", read_only=True)
+    for profile in catalog.ios7_profiles():
+        store.add(
+            factory.store_certificate(profile, "ios7"),
+            system=True,
+            source="apple",
+        )
+    return store
+
+
+@dataclass
+class PlatformStores:
+    """The full set of official platform stores used by the analysis."""
+
+    aosp: dict[str, RootStore]
+    mozilla: RootStore
+    ios7: RootStore
+
+    def table1_sizes(self) -> dict[str, int]:
+        """Store sizes as reported in Table 1."""
+        sizes = {f"AOSP {version}": len(store) for version, store in self.aosp.items()}
+        sizes["iOS7"] = len(self.ios7)
+        sizes["Mozilla"] = len(self.mozilla)
+        return sizes
+
+
+def build_platform_stores(
+    factory: CertificateFactory | None = None,
+    catalog: CaCatalog | None = None,
+) -> PlatformStores:
+    """Build AOSP 4.1-4.4, Mozilla and iOS7 stores from one factory."""
+    factory = factory or CertificateFactory()
+    catalog = catalog or default_catalog()
+    builder = AospStoreBuilder(factory, catalog)
+    return PlatformStores(
+        aosp=builder.all_stores(),
+        mozilla=build_mozilla_store(factory, catalog),
+        ios7=build_ios7_store(factory, catalog),
+    )

@@ -1,0 +1,32 @@
+"""In-process TLS world: endpoints, traffic, handshakes, pinning, MITM.
+
+No sockets are involved — a "handshake" is the exchange of a certificate
+chain and its validation against the client's root store, which is the
+only part of TLS the paper's measurements concern.
+"""
+
+from repro.tlssim.endpoints import (
+    INTERCEPTED_DOMAINS,
+    PROBE_TARGETS,
+    WHITELISTED_DOMAINS,
+    Endpoint,
+)
+from repro.tlssim.pinning import PinStore, default_pin_store
+from repro.tlssim.traffic import TlsTrafficGenerator, ServerIdentity
+from repro.tlssim.handshake import HandshakeResult, TlsClient, TlsServer
+from repro.tlssim.proxy import InterceptionProxy
+
+__all__ = [
+    "Endpoint",
+    "PROBE_TARGETS",
+    "INTERCEPTED_DOMAINS",
+    "WHITELISTED_DOMAINS",
+    "PinStore",
+    "default_pin_store",
+    "TlsTrafficGenerator",
+    "ServerIdentity",
+    "HandshakeResult",
+    "TlsClient",
+    "TlsServer",
+    "InterceptionProxy",
+]

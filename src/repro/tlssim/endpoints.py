@@ -1,0 +1,79 @@
+"""The popular-domain catalog Netalyzr probes, including Table 6's lists.
+
+Each endpoint names the CA that legitimately issues its certificate, so
+probe chains are reproducible and the interception detector has a
+stable notion of "expected issuer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A (host, port) TLS endpoint with its legitimate issuing CA."""
+
+    host: str
+    port: int
+    issuer_ca: str  # catalog CA name that signs the real certificate
+    pinned: bool = False  # app-level certificate pinning (§7)
+
+    @property
+    def hostport(self) -> str:
+        """``host:port`` as rendered in Table 6."""
+        return f"{self.host}:{self.port}"
+
+
+#: A core-catalog CA used as the default issuer for big-web properties.
+_BIG_WEB_CA = "VeriSign Class 3 Root"
+_MAIL_CA = "Thawte Root CA"
+_BANK_CA = "Entrust Root CA"
+_CDN_CA = "GlobalSign Root CA"
+
+#: Table 6, left column: domains the Reality Mine proxy intercepts.
+INTERCEPTED_DOMAINS: tuple[Endpoint, ...] = (
+    Endpoint("gmail.com", 443, _MAIL_CA),
+    Endpoint("mail.google.com", 443, _MAIL_CA),
+    Endpoint("mail.yahoo.com", 443, _MAIL_CA),
+    Endpoint("orcart.facebook.com", 443, _CDN_CA),
+    Endpoint("www.bankofamerica.com", 443, _BANK_CA),
+    Endpoint("www.chase.com", 443, _BANK_CA),
+    Endpoint("www.hsbc.com", 443, _BANK_CA),
+    Endpoint("www.icsi.berkeley.edu", 443, _BIG_WEB_CA),
+    Endpoint("www.outlook.com", 443, _MAIL_CA),
+    Endpoint("www.skype.com", 443, _BIG_WEB_CA),
+    Endpoint("www.viber.com", 443, _BIG_WEB_CA),
+    Endpoint("www.yahoo.com", 443, _BIG_WEB_CA),
+)
+
+#: Table 6, right column: domains the proxy passes through untouched
+#: (pinned apps and special-protocol services).
+WHITELISTED_DOMAINS: tuple[Endpoint, ...] = (
+    Endpoint("google-analytics.com", 443, _CDN_CA),
+    Endpoint("maps.google.com", 443, _CDN_CA, pinned=True),
+    Endpoint("orcart.facebook.com", 8883, _CDN_CA, pinned=True),  # MQTT chat
+    Endpoint("play.google.com", 443, _CDN_CA, pinned=True),
+    Endpoint("supl.google.com", 7275, _CDN_CA),  # SUPL location service
+    Endpoint("www.facebook.com", 443, _CDN_CA, pinned=True),
+    Endpoint("www.google.com", 443, _CDN_CA, pinned=True),
+    Endpoint("www.google.co.uk", 443, _CDN_CA, pinned=True),
+    Endpoint("www.twitter.com", 443, _BIG_WEB_CA, pinned=True),
+)
+
+#: The full probe set Netalyzr checks on every session (§4: "the full
+#: trust chain for a collection of popular domains and mobile-services").
+PROBE_TARGETS: tuple[Endpoint, ...] = tuple(
+    sorted(
+        {e.hostport: e for e in INTERCEPTED_DOMAINS + WHITELISTED_DOMAINS}.values(),
+        key=lambda e: e.hostport,
+    )
+)
+
+
+def endpoint_for(hostport: str) -> Endpoint:
+    """Look up a probe endpoint by ``host:port``."""
+    for endpoint in PROBE_TARGETS:
+        if endpoint.hostport == hostport:
+            return endpoint
+    raise KeyError(hostport)

@@ -1,0 +1,88 @@
+"""The simulated TLS handshake: server presents a chain, client verdicts.
+
+The client models Android's default validation plus optional app-level
+pinning. When a proxy sits on the path (the §7 scenario), the chain the
+client receives is whatever the proxy re-generated, which is exactly the
+observable Netalyzr records.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.rootstore.factory import STUDY_NOW
+from repro.rootstore.store import RootStore
+from repro.tlssim.pinning import PinStore
+from repro.tlssim.traffic import ServerIdentity
+from repro.x509.certificate import Certificate
+from repro.x509.chain import ChainVerifier, ValidationResult
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """What the client learned from one connection attempt."""
+
+    host: str
+    port: int
+    presented_chain: tuple[Certificate, ...]
+    validation: ValidationResult
+    pin_ok: bool
+    intercepted: bool  # ground truth, for the simulator's bookkeeping
+
+    @property
+    def trusted(self) -> bool:
+        """The app-level verdict: chain valid and pins satisfied."""
+        return self.validation.trusted and self.pin_ok
+
+
+class TlsServer:
+    """A server endpoint holding its identity."""
+
+    def __init__(self, host: str, port: int, identity: ServerIdentity):
+        self.host = host
+        self.port = port
+        self.identity = identity
+
+    def present_chain(self) -> tuple[Certificate, ...]:
+        """The certificate chain sent in the ServerHello."""
+        return self.identity.chain
+
+
+class TlsClient:
+    """A client with a root store, optional pins and optional proxy path.
+
+    ``proxy`` models the network path: if set, every connection is
+    offered to the proxy first, which may substitute its own chain.
+    """
+
+    def __init__(
+        self,
+        store: RootStore,
+        *,
+        pins: PinStore | None = None,
+        proxy=None,
+        at: datetime.datetime = STUDY_NOW,
+    ):
+        self.store = store
+        self.pins = pins or PinStore()
+        self.proxy = proxy
+        self.at = at
+
+    def connect(self, server: TlsServer) -> HandshakeResult:
+        """Run one handshake and validate what arrives."""
+        chain = server.present_chain()
+        intercepted = False
+        if self.proxy is not None:
+            chain, intercepted = self.proxy.relay(server.host, server.port, chain)
+        verifier = ChainVerifier(self.store.certificates(), at=self.at)
+        validation = verifier.validate(list(chain), hostname=server.host)
+        pin_ok = self.pins.check(server.host, chain)
+        return HandshakeResult(
+            host=server.host,
+            port=server.port,
+            presented_chain=tuple(chain),
+            validation=validation,
+            pin_ok=pin_ok,
+            intercepted=intercepted,
+        )

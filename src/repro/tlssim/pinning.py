@@ -1,0 +1,59 @@
+"""Certificate pinning, as deployed by the apps §7's proxy must bypass.
+
+A pin set binds a hostname to the public keys its app will accept. A
+pinned connection through an interception proxy fails even though the
+proxy's root is in the device store — which is why the Reality Mine
+proxy whitelists Facebook, Twitter and Google domains (Table 6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.x509.certificate import Certificate
+
+
+def spki_pin(certificate: Certificate) -> str:
+    """The pin for a certificate: SHA-256 over its public-key DER
+    (the HPKP/Android-pinning construction)."""
+    return hashlib.sha256(certificate.public_key.to_der()).hexdigest()
+
+
+@dataclass
+class PinStore:
+    """Hostname -> accepted SPKI pins."""
+
+    pins: dict[str, set[str]] = field(default_factory=dict)
+
+    def pin(self, hostname: str, certificate: Certificate) -> None:
+        """Pin a certificate's key for a hostname."""
+        self.pins.setdefault(hostname.lower(), set()).add(spki_pin(certificate))
+
+    def is_pinned(self, hostname: str) -> bool:
+        """True if the app pins this hostname."""
+        return hostname.lower() in self.pins
+
+    def check(self, hostname: str, chain: tuple[Certificate, ...]) -> bool:
+        """Pin validation: some certificate in the chain must carry a
+        pinned key. Unpinned hostnames always pass."""
+        accepted = self.pins.get(hostname.lower())
+        if accepted is None:
+            return True
+        return any(spki_pin(certificate) in accepted for certificate in chain)
+
+
+def default_pin_store(traffic) -> PinStore:
+    """Build the pin store for the pinned probe targets.
+
+    Pins each pinned endpoint's legitimate issuing root, mirroring how
+    the Facebook/Twitter/Google apps pin their CAs.
+    """
+    from repro.tlssim.endpoints import PROBE_TARGETS
+
+    store = PinStore()
+    for endpoint in PROBE_TARGETS:
+        if endpoint.pinned:
+            identity = traffic.server_identity(endpoint.host, endpoint.issuer_ca)
+            store.pin(endpoint.host, identity.chain[-1])
+    return store

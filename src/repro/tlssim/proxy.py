@@ -1,0 +1,152 @@
+"""The TLS interception proxy of §7 (the Reality Mine model).
+
+The proxy terminates TLS for intercepted domains and re-generates both a
+root and an intermediate certificate on the fly, minting a fresh leaf
+for the requested hostname — exactly the chain shape Netalyzr observed.
+Whitelisted domains (pinned apps, SUPL, Facebook chat) are relayed
+untouched. The proxy listens on ports 80 and 443 only; other ports pass
+through.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.crypto.rng import derive_random
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+#: Ports the proxy intercepts (§7: "listens on ports 80 and 443").
+INTERCEPTED_PORTS = frozenset({80, 443})
+
+_NOT_BEFORE = datetime.datetime(2013, 6, 1)
+_NOT_AFTER = datetime.datetime(2016, 6, 1)
+
+
+class InterceptionProxy:
+    """An on-path HTTPS proxy that re-signs traffic for profiling.
+
+    ``operator_name`` brands the generated certificates (the paper's
+    instance was "Reality Mine", proxying via
+    ``v-us-49.analyzeme.me.uk``).
+    """
+
+    def __init__(
+        self,
+        operator_name: str = "Reality Mine",
+        proxy_host: str = "v-us-49.analyzeme.me.uk",
+        whitelist: frozenset[str] = frozenset(),
+        seed: str = "interception-proxy",
+    ):
+        self.operator_name = operator_name
+        self.proxy_host = proxy_host
+        #: Whitelist entries are ``host:port`` — the paper's proxy
+        #: intercepts orcart.facebook.com:443 while whitelisting the
+        #: same host's MQTT port 8883 (Table 6).
+        self.whitelist = {entry.lower() for entry in whitelist}
+        self.seed = seed
+        self._root_keypair: RsaKeyPair | None = None
+        self._root: Certificate | None = None
+        self._intermediate_keypair: RsaKeyPair | None = None
+        self._intermediate: Certificate | None = None
+        self._leaf_cache: dict[str, tuple[Certificate, ...]] = {}
+        #: Log of (host, port, intercepted) decisions, for analysis.
+        self.decisions: list[tuple[str, int, bool]] = []
+
+    # -- the proxy's own PKI, minted lazily ------------------------------------
+
+    @property
+    def root_certificate(self) -> Certificate:
+        """The proxy's root CA (regenerated per proxy instance)."""
+        if self._root is None:
+            self._root_keypair = generate_keypair(
+                derive_random(self.seed, "proxy-root")
+            )
+            self._root = (
+                CertificateBuilder()
+                .subject(
+                    Name.build(
+                        CN=f"{self.operator_name} Root CA",
+                        O=self.operator_name,
+                        C="GB",
+                    )
+                )
+                .public_key(self._root_keypair.public)
+                .serial_number(1)
+                .validity(_NOT_BEFORE, _NOT_AFTER)
+                .ca(True)
+                .self_sign(self._root_keypair.private)
+            )
+        return self._root
+
+    @property
+    def intermediate_certificate(self) -> Certificate:
+        """The proxy's intermediate CA (also minted on the fly, §7)."""
+        if self._intermediate is None:
+            root = self.root_certificate  # ensures root keypair exists
+            self._intermediate_keypair = generate_keypair(
+                derive_random(self.seed, "proxy-intermediate")
+            )
+            self._intermediate = (
+                CertificateBuilder()
+                .subject(
+                    Name.build(
+                        CN=f"{self.operator_name} Issuing CA",
+                        O=self.operator_name,
+                        C="GB",
+                    )
+                )
+                .issuer(root.subject)
+                .public_key(self._intermediate_keypair.public)
+                .serial_number(2)
+                .validity(_NOT_BEFORE, _NOT_AFTER)
+                .ca(True, path_length=0)
+                .sign(self._root_keypair.private, issuer_public_key=self._root_keypair.public)
+            )
+        return self._intermediate
+
+    # -- interception logic -----------------------------------------------------------
+
+    def should_intercept(self, host: str, port: int) -> bool:
+        """Interception policy: in-scope port and not whitelisted."""
+        if port not in INTERCEPTED_PORTS:
+            return False
+        return f"{host.lower()}:{port}" not in self.whitelist
+
+    def forged_chain(self, host: str) -> tuple[Certificate, ...]:
+        """The substitute chain for an intercepted host (leaf, intermediate,
+        root) — regenerated once per hostname and cached."""
+        if host not in self._leaf_cache:
+            intermediate = self.intermediate_certificate
+            keypair = generate_keypair(derive_random(self.seed, "forged-leaf", host))
+            leaf = (
+                CertificateBuilder()
+                .subject(Name.build(CN=host, O=self.operator_name))
+                .issuer(intermediate.subject)
+                .public_key(keypair.public)
+                .serial_number(abs(hash(host)) % 2**62 + 3)
+                .validity(_NOT_BEFORE, _NOT_AFTER)
+                .tls_server(host)
+                .sign(
+                    self._intermediate_keypair.private,
+                    issuer_public_key=self._intermediate_keypair.public,
+                )
+            )
+            self._leaf_cache[host] = (leaf, intermediate, self.root_certificate)
+        return self._leaf_cache[host]
+
+    def relay(
+        self, host: str, port: int, upstream_chain: tuple[Certificate, ...]
+    ) -> tuple[tuple[Certificate, ...], bool]:
+        """Handle one client connection.
+
+        Returns the chain the client will see and whether interception
+        took place.
+        """
+        intercept = self.should_intercept(host, port)
+        self.decisions.append((host, port, intercept))
+        if not intercept:
+            return upstream_chain, False
+        return self.forged_chain(host), True

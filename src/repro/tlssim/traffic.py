@@ -1,0 +1,249 @@
+"""Synthetic TLS traffic: the leaf-certificate population the Notary sees.
+
+Each catalog CA profile declares how many current and expired leaf
+certificates it signs (calibrated in :mod:`repro.rootstore.catalog`);
+this module materializes those leaves as real signed certificates. Leaf
+keypairs are drawn from a small shared pool — key reuse does not affect
+any validation statistic and keeps generation fast.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.rng import derive_random
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.rootstore.catalog import CaCatalog, CaProfile, default_catalog
+from repro.rootstore.factory import STUDY_NOW, CertificateFactory
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+#: Validity for current leaves (straddling the study window).
+_CURRENT_NOT_BEFORE = datetime.datetime(2013, 1, 1)
+_CURRENT_NOT_AFTER = datetime.datetime(2015, 6, 1)
+
+#: Validity for expired leaves (historical traffic).
+_EXPIRED_NOT_BEFORE = datetime.datetime(2010, 1, 1)
+_EXPIRED_NOT_AFTER = datetime.datetime(2012, 6, 1)
+
+#: Size of the shared leaf keypair pool.
+_LEAF_KEY_POOL = 40
+
+#: CAs signing at least this many current leaves issue through an
+#: intermediate (the operational practice of large public CAs).
+_INTERMEDIATE_THRESHOLD = 20
+
+
+@dataclass(frozen=True)
+class ObservedLeaf:
+    """One leaf certificate as the Notary records it.
+
+    ``session_count`` carries the traffic-volume dimension (the real
+    Notary logged 66 B sessions over 1.9 M certificates): popular
+    leaves are seen in many sessions, tail leaves in one.
+    """
+
+    certificate: Certificate
+    issuer_name: str  # catalog CA name
+    expired: bool
+    session_count: int = 1
+    #: Intermediates between the leaf and the root (big public CAs issue
+    #: through an intermediate, as on the real web).
+    intermediates: tuple[Certificate, ...] = ()
+
+    @property
+    def host(self) -> str:
+        """The hostname the leaf was issued for."""
+        return self.certificate.subject.common_name or ""
+
+
+@dataclass(frozen=True)
+class ServerIdentity:
+    """A server's credentials: its chain (leaf first) and private key."""
+
+    chain: tuple[Certificate, ...]
+    keypair: RsaKeyPair
+
+    @property
+    def leaf(self) -> Certificate:
+        """The end-entity certificate."""
+        return self.chain[0]
+
+
+def _slug(name: str) -> str:
+    """A DNS-safe (ASCII) slug for a CA name."""
+    ascii_name = name.encode("ascii", errors="replace").decode("ascii")
+    return "".join(
+        ch if ch.isalnum() else "-" for ch in ascii_name.lower()
+    )[:40].strip("-")
+
+
+class TlsTrafficGenerator:
+    """Materializes the calibrated leaf population and server identities."""
+
+    def __init__(
+        self,
+        factory: CertificateFactory | None = None,
+        catalog: CaCatalog | None = None,
+        *,
+        scale: float = 1.0,
+    ):
+        self.factory = factory or CertificateFactory()
+        self.catalog = catalog or default_catalog()
+        if not 0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.scale = scale
+        self._key_pool: list[RsaKeyPair] = []
+        self._intermediates: dict[str, tuple[Certificate, RsaKeyPair]] = {}
+
+    # -- keys -------------------------------------------------------------------
+
+    def _leaf_keypair(self, index: int) -> RsaKeyPair:
+        """A keypair from the shared leaf pool."""
+        if not self._key_pool:
+            self._key_pool = [
+                generate_keypair(derive_random(self.factory.seed, "leaf-key", i))
+                for i in range(_LEAF_KEY_POOL)
+            ]
+        return self._key_pool[index % _LEAF_KEY_POOL]
+
+    def _scaled(self, count: int) -> int:
+        """Apply the scale factor, keeping small non-zero counts alive.
+
+        Rounding up preserves the *presence* of small-delta roots (a root
+        signing 3 leaves at full scale still signs ≥1 at scale 0.1),
+        which is what Table 3's orderings depend on.
+        """
+        if count == 0:
+            return 0
+        scaled = int(count * self.scale)
+        return max(scaled, 1)
+
+    # -- leaf population ------------------------------------------------------------
+
+    def intermediate_for(self, profile: CaProfile) -> tuple[Certificate, RsaKeyPair] | None:
+        """The issuing intermediate for a big CA, or None for small CAs."""
+        if profile.current_leaves < _INTERMEDIATE_THRESHOLD:
+            return None
+        if profile.name not in self._intermediates:
+            root_keypair = self.factory.keypair_for(profile.name)
+            keypair = generate_keypair(
+                derive_random(self.factory.seed, "intermediate-key", profile.name)
+            )
+            certificate = (
+                CertificateBuilder()
+                .subject(
+                    Name.build(
+                        CN=f"{profile.name} Issuing CA G2",
+                        O=profile.name.split(" ")[0] or profile.name,
+                    )
+                )
+                .issuer(self.factory.subject_for(profile))
+                .public_key(keypair.public)
+                .serial_number(1_000_001)
+                .validity(_CURRENT_NOT_BEFORE, datetime.datetime(2026, 1, 1))
+                .ca(True, path_length=0)
+                .sign(root_keypair.private, issuer_public_key=root_keypair.public)
+            )
+            self._intermediates[profile.name] = (certificate, keypair)
+        return self._intermediates[profile.name]
+
+    def leaves_for_profile(self, profile: CaProfile) -> Iterator[ObservedLeaf]:
+        """All leaves signed by one CA profile (via its intermediate when
+        the CA is big enough to operate one)."""
+        intermediate = self.intermediate_for(profile)
+        if intermediate is None:
+            signer_keypair = self.factory.keypair_for(profile.name)
+            signer_subject = self.factory.subject_for(profile)
+            intermediates: tuple[Certificate, ...] = ()
+        else:
+            signer_keypair = intermediate[1]
+            signer_subject = intermediate[0].subject
+            intermediates = (intermediate[0],)
+        slug = _slug(profile.name)
+        current = self._scaled(profile.current_leaves)
+        for index in range(current):
+            yield self._build_leaf(
+                profile, signer_keypair, signer_subject, intermediates,
+                host=f"www{index}.{slug}.example",
+                serial=2_000_000 + index,
+                expired=False,
+                # Within a CA, leaf popularity is itself skewed: the
+                # CA's flagship customers dominate its session volume.
+                session_count=max(1, current * 10 // (index + 1)),
+            )
+        for index in range(self._scaled(profile.expired_leaves)):
+            yield self._build_leaf(
+                profile, signer_keypair, signer_subject, intermediates,
+                host=f"old{index}.{slug}.example",
+                serial=3_000_000 + index,
+                expired=True,
+                session_count=1,
+            )
+
+    def _build_leaf(
+        self, profile, signer_keypair, signer_subject, intermediates,
+        *, host, serial, expired, session_count=1,
+    ) -> ObservedLeaf:
+        keypair = self._leaf_keypair(serial)
+        not_before = _EXPIRED_NOT_BEFORE if expired else _CURRENT_NOT_BEFORE
+        not_after = _EXPIRED_NOT_AFTER if expired else _CURRENT_NOT_AFTER
+        certificate = (
+            CertificateBuilder()
+            .subject(Name.build(CN=host, O=profile.name))
+            .issuer(signer_subject)
+            .public_key(keypair.public)
+            .serial_number(serial)
+            .validity(not_before, not_after)
+            .tls_server(host)
+            .sign(signer_keypair.private, issuer_public_key=signer_keypair.public)
+        )
+        return ObservedLeaf(
+            certificate=certificate,
+            issuer_name=profile.name,
+            expired=expired,
+            session_count=session_count,
+            intermediates=intermediates,
+        )
+
+    def generate_population(self) -> list[ObservedLeaf]:
+        """The full calibrated leaf population (all CA groups)."""
+        leaves: list[ObservedLeaf] = []
+        for profile in self.catalog.all_profiles():
+            leaves.extend(self.leaves_for_profile(profile))
+        return leaves
+
+    # -- server identities for the probe targets -----------------------------------
+
+    def server_identity(self, host: str, issuer_ca: str) -> ServerIdentity:
+        """The legitimate credentials for a probe-target host.
+
+        The chain is leaf -> issuing root (probe targets use a direct
+        chain; intermediates appear in the interception scenario, where
+        the proxy mints them on the fly).
+        """
+        profile = self.catalog.by_name(issuer_ca)
+        ca_keypair = self.factory.keypair_for(profile.name)
+        keypair = generate_keypair(
+            derive_random(self.factory.seed, "server-key", host)
+        )
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN=host, O=host))
+            .issuer(self.factory.subject_for(profile))
+            .public_key(keypair.public)
+            .serial_number(abs(hash(host)) % 2**63 + 1)
+            .validity(_CURRENT_NOT_BEFORE, _CURRENT_NOT_AFTER)
+            .tls_server(host)
+            .sign(ca_keypair.private, issuer_public_key=ca_keypair.public)
+        )
+        root = self.factory.root_certificate(profile)
+        return ServerIdentity(chain=(leaf, root), keypair=keypair)
+
+
+def study_now() -> datetime.datetime:
+    """The study's reference time (re-exported for convenience)."""
+    return STUDY_NOW

@@ -1,0 +1,81 @@
+"""X.509 certificate layer built on the DER and RSA substrates.
+
+Provides the distinguished-name model, certificate parsing and building,
+PEM armor, signature verification, chain building/validation, and the
+certificate-identity functions the paper's methodology relies on
+(RSA-modulus + signature identity, fingerprints, subject hashes).
+"""
+
+from repro.x509.name import Name, NameAttribute, RelativeDistinguishedName
+from repro.x509.extensions import (
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    ExtendedKeyUsage,
+    Extension,
+    KeyUsage,
+    SubjectAlternativeName,
+    SubjectKeyIdentifier,
+)
+from repro.x509.certificate import Certificate, CertificateError
+from repro.x509.builder import CertificateBuilder
+from repro.x509.pem import PemError, pem_decode, pem_decode_all, pem_encode
+from repro.x509.verify import verify_certificate_signature
+from repro.x509.chain import (
+    ChainValidationError,
+    ChainVerifier,
+    ValidationResult,
+    build_chain,
+)
+from repro.x509.fingerprint import (
+    CertificateIdentity,
+    fingerprint,
+    identity_key,
+    subject_hash,
+)
+from repro.x509.crl import (
+    CertificateRevocationList,
+    CrlBuilder,
+    CrlError,
+    RevocationChecker,
+    RevocationReason,
+)
+from repro.x509.constraints import NameConstraints, name_constraints_of
+from repro.x509.blacklist import CertificateBlacklist, GooglePinEnforcer
+
+__all__ = [
+    "Name",
+    "NameAttribute",
+    "RelativeDistinguishedName",
+    "Extension",
+    "BasicConstraints",
+    "KeyUsage",
+    "ExtendedKeyUsage",
+    "SubjectAlternativeName",
+    "SubjectKeyIdentifier",
+    "AuthorityKeyIdentifier",
+    "Certificate",
+    "CertificateError",
+    "CertificateBuilder",
+    "PemError",
+    "pem_encode",
+    "pem_decode",
+    "pem_decode_all",
+    "verify_certificate_signature",
+    "ChainValidationError",
+    "ChainVerifier",
+    "ValidationResult",
+    "build_chain",
+    "CertificateIdentity",
+    "identity_key",
+    "fingerprint",
+    "subject_hash",
+    "CertificateRevocationList",
+    "CrlBuilder",
+    "CrlError",
+    "RevocationChecker",
+    "RevocationReason",
+    "NameConstraints",
+    "name_constraints_of",
+    "CertificateBlacklist",
+    "GooglePinEnforcer",
+]

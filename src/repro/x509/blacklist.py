@@ -1,0 +1,97 @@
+"""Android 4.4's fraudulent-certificate defenses (§2).
+
+Two mechanisms shipped in KitKat are modeled:
+
+* a **certificate blacklist** (serial/key based), the mechanism Google
+  used against the DigiNotar and TürkTrust mis-issuances; and
+* **Google-domain pin enforcement** ("Android 4.4 detects and prevents
+  the use of fraudulent Google certificates used in secure SSL/TLS
+  communications"): chains for google domains must terminate in an
+  allow-listed key set.
+
+Both plug into :class:`~repro.x509.chain.ChainVerifier` via the
+``extra_checks`` hook.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.x509.certificate import Certificate
+
+
+def public_key_hash(certificate: Certificate) -> str:
+    """SHA-256 over the public-key DER (the pinning identity)."""
+    return hashlib.sha256(certificate.public_key.to_der()).hexdigest()
+
+
+@dataclass
+class CertificateBlacklist:
+    """Serial- and key-based blacklist, as in Android's CertBlacklister."""
+
+    serials: set[int] = field(default_factory=set)
+    key_hashes: set[str] = field(default_factory=set)
+
+    def ban_serial(self, serial: int) -> None:
+        """Blacklist a certificate serial number."""
+        self.serials.add(serial)
+
+    def ban_key(self, certificate: Certificate) -> None:
+        """Blacklist a public key (catches re-issued fraudulent certs)."""
+        self.key_hashes.add(public_key_hash(certificate))
+
+    def is_blacklisted(self, certificate: Certificate) -> bool:
+        """True if the certificate or its key is banned."""
+        return (
+            certificate.serial_number in self.serials
+            or public_key_hash(certificate) in self.key_hashes
+        )
+
+    def rejects_chain(self, chain: Sequence[Certificate]) -> Certificate | None:
+        """The first blacklisted certificate in a chain, if any."""
+        for certificate in chain:
+            if self.is_blacklisted(certificate):
+                return certificate
+        return None
+
+
+@dataclass
+class GooglePinEnforcer:
+    """KitKat's hard pin set for Google properties.
+
+    A chain presented for a matching domain must contain at least one
+    allow-listed key; otherwise the connection is rejected regardless of
+    whether the chain reaches a trusted root.
+    """
+
+    allowed_key_hashes: set[str] = field(default_factory=set)
+    domain_suffixes: tuple[str, ...] = (
+        "google.com",
+        "google.co.uk",
+        "gmail.com",
+        "googleapis.com",
+        "android.com",
+    )
+
+    def allow_issuer(self, certificate: Certificate) -> None:
+        """Allow a CA key to vouch for Google domains."""
+        self.allowed_key_hashes.add(public_key_hash(certificate))
+
+    def applies_to(self, hostname: str) -> bool:
+        """True if the hostname is a protected Google property."""
+        hostname = hostname.lower().rstrip(".")
+        return any(
+            hostname == suffix or hostname.endswith("." + suffix)
+            for suffix in self.domain_suffixes
+        )
+
+    def permits(self, hostname: str, chain: Sequence[Certificate]) -> bool:
+        """Pin verdict for a hostname/chain pair."""
+        if not self.applies_to(hostname):
+            return True
+        return any(
+            public_key_hash(certificate) in self.allowed_key_hashes
+            for certificate in chain
+        )

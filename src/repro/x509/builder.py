@@ -1,0 +1,254 @@
+"""Fluent builder producing signed DER certificates.
+
+The builder covers the three shapes the simulation needs: self-signed
+roots, intermediate CAs, and TLS leaf certificates. The output is real
+DER signed with real (toy-sized) RSA, so everything downstream — parsing,
+chain validation, store diffing — runs on genuine X.509 objects.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+
+from repro.asn1 import (
+    ObjectIdentifier,
+    encode_bit_string,
+    encode_explicit,
+    encode_integer,
+    encode_null,
+    encode_oid,
+    encode_sequence,
+)
+from repro.asn1.encoder import encode_x509_time
+from repro.asn1.objects import HASH_SIGNATURE_OIDS, RSA_ENCRYPTION
+from repro.crypto.pkcs1 import sign as pkcs1_sign
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import (
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    ExtendedKeyUsage,
+    Extension,
+    KeyUsage,
+    SubjectAlternativeName,
+    SubjectKeyIdentifier,
+)
+from repro.x509.name import Name
+
+#: Default validity window roughly matching long-lived roots.
+_DEFAULT_NOT_BEFORE = datetime.datetime(2000, 1, 1)
+_DEFAULT_NOT_AFTER = datetime.datetime(2030, 1, 1)
+
+
+def _key_identifier(public_key: RsaPublicKey) -> bytes:
+    """RFC 5280 method-1 key id: SHA-1 of the public key bytes."""
+    return hashlib.sha1(public_key.to_der()).digest()
+
+
+class CertificateBuilder:
+    """Accumulates TBS fields, then signs with an issuer key.
+
+    Example::
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Example Root", O="Example", C="US"))
+            .public_key(keypair.public)
+            .serial_number(1)
+            .ca(True)
+            .self_sign(keypair.private)
+        )
+    """
+
+    def __init__(self) -> None:
+        self._subject: Name | None = None
+        self._issuer: Name | None = None
+        self._public_key: RsaPublicKey | None = None
+        self._serial_number: int = 1
+        self._not_before = _DEFAULT_NOT_BEFORE
+        self._not_after = _DEFAULT_NOT_AFTER
+        self._hash_name = "sha256"
+        self._extensions: list[Extension] = []
+        self._version = 3
+
+    # -- fluent setters ----------------------------------------------------------
+
+    def subject(self, name: Name) -> "CertificateBuilder":
+        """Set the subject name."""
+        self._subject = name
+        return self
+
+    def issuer(self, name: Name) -> "CertificateBuilder":
+        """Set the issuer name (defaults to the subject for self-signing)."""
+        self._issuer = name
+        return self
+
+    def public_key(self, key: RsaPublicKey) -> "CertificateBuilder":
+        """Set the subject public key."""
+        self._public_key = key
+        return self
+
+    def serial_number(self, serial: int) -> "CertificateBuilder":
+        """Set the serial number (must be positive)."""
+        if serial <= 0:
+            raise ValueError("serial number must be positive")
+        self._serial_number = serial
+        return self
+
+    def validity(
+        self, not_before: datetime.datetime, not_after: datetime.datetime
+    ) -> "CertificateBuilder":
+        """Set the validity window."""
+        if not_after <= not_before:
+            raise ValueError("notAfter must follow notBefore")
+        self._not_before = not_before
+        self._not_after = not_after
+        return self
+
+    def signature_hash(self, hash_name: str) -> "CertificateBuilder":
+        """Set the signature hash (sha1/sha256/...)."""
+        if hash_name not in HASH_SIGNATURE_OIDS:
+            raise ValueError(f"unsupported signature hash {hash_name!r}")
+        self._hash_name = hash_name
+        return self
+
+    def version(self, version: int) -> "CertificateBuilder":
+        """Set the certificate version (1 or 3)."""
+        if version not in (1, 3):
+            raise ValueError("only v1 and v3 certificates are supported")
+        self._version = version
+        return self
+
+    def add_extension(self, extension: Extension) -> "CertificateBuilder":
+        """Append a pre-built extension."""
+        self._extensions.append(extension)
+        return self
+
+    def ca(self, ca: bool = True, path_length: int | None = None) -> "CertificateBuilder":
+        """Add CA basicConstraints + keyUsage in one step."""
+        self._extensions.append(
+            BasicConstraints(ca=ca, path_length=path_length).to_extension()
+        )
+        if ca:
+            self._extensions.append(KeyUsage.for_ca().to_extension())
+        return self
+
+    def tls_server(self, *dns_names: str) -> "CertificateBuilder":
+        """Add the leaf-certificate extensions for a TLS server."""
+        from repro.asn1.objects import EKU_SERVER_AUTH
+
+        self._extensions.append(KeyUsage.for_tls_server().to_extension())
+        self._extensions.append(ExtendedKeyUsage((EKU_SERVER_AUTH,)).to_extension())
+        if dns_names:
+            self._extensions.append(SubjectAlternativeName(dns_names).to_extension())
+        return self
+
+    def extended_key_usage(self, *purposes: ObjectIdentifier) -> "CertificateBuilder":
+        """Add an extKeyUsage extension with the given purpose OIDs."""
+        self._extensions.append(ExtendedKeyUsage(tuple(purposes)).to_extension())
+        return self
+
+    # -- signing -----------------------------------------------------------------
+
+    def self_sign(self, private_key: RsaPrivateKey) -> Certificate:
+        """Sign with the subject's own key (root certificates)."""
+        if self._issuer is None:
+            self._issuer = self._subject
+        return self.sign(private_key, issuer_public_key=private_key.public_key)
+
+    def sign(
+        self,
+        issuer_private_key: RsaPrivateKey,
+        issuer_public_key: RsaPublicKey | None = None,
+    ) -> Certificate:
+        """Sign the accumulated TBS fields and return the Certificate.
+
+        When *issuer_public_key* is provided, SKI/AKI identifiers are
+        added automatically for v3 certificates.
+        """
+        if self._subject is None:
+            raise ValueError("subject is required")
+        if self._public_key is None:
+            raise ValueError("public key is required")
+        issuer = self._issuer or self._subject
+
+        extensions = list(self._extensions)
+        if self._version == 3:
+            extensions.append(
+                SubjectKeyIdentifier(_key_identifier(self._public_key)).to_extension()
+            )
+            if issuer_public_key is not None:
+                extensions.append(
+                    AuthorityKeyIdentifier(
+                        _key_identifier(issuer_public_key)
+                    ).to_extension()
+                )
+
+        tbs = self._encode_tbs(issuer, extensions)
+        signature = pkcs1_sign(issuer_private_key, self._hash_name, tbs)
+        algorithm = encode_sequence(
+            [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
+        )
+        encoded = encode_sequence([tbs, algorithm, encode_bit_string(signature)])
+        return Certificate.from_der(encoded)
+
+    def _encode_tbs(self, issuer: Name, extensions: list[Extension]) -> bytes:
+        """Encode the TBSCertificate SEQUENCE."""
+        algorithm = encode_sequence(
+            [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
+        )
+        spki = encode_sequence(
+            [
+                encode_sequence([encode_oid(RSA_ENCRYPTION), encode_null()]),
+                encode_bit_string(self._public_key.to_der()),
+            ]
+        )
+        parts = []
+        if self._version == 3:
+            parts.append(encode_explicit(0, encode_integer(2)))
+        parts.extend(
+            [
+                encode_integer(self._serial_number),
+                algorithm,
+                issuer.to_der(),
+                encode_sequence(
+                    [
+                        encode_x509_time(self._not_before),
+                        encode_x509_time(self._not_after),
+                    ]
+                ),
+                self._subject.to_der(),
+                spki,
+            ]
+        )
+        if self._version == 3 and extensions:
+            parts.append(
+                encode_explicit(3, encode_sequence(ext.to_der() for ext in extensions))
+            )
+        return encode_sequence(parts)
+
+
+def make_root_certificate(
+    keypair: RsaKeyPair,
+    subject: Name,
+    *,
+    serial_number: int = 1,
+    not_before: datetime.datetime = _DEFAULT_NOT_BEFORE,
+    not_after: datetime.datetime = _DEFAULT_NOT_AFTER,
+    hash_name: str = "sha256",
+    version: int = 3,
+) -> Certificate:
+    """Convenience wrapper: a self-signed CA root certificate."""
+    builder = (
+        CertificateBuilder()
+        .subject(subject)
+        .public_key(keypair.public)
+        .serial_number(serial_number)
+        .validity(not_before, not_after)
+        .signature_hash(hash_name)
+        .version(version)
+    )
+    if version == 3:
+        builder.ca(True)
+    return builder.self_sign(keypair.private)

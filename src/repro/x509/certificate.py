@@ -1,0 +1,284 @@
+"""The Certificate object: DER parsing and typed accessors.
+
+Certificates are immutable. The parsed object keeps the exact encoded
+bytes of both the whole certificate and the TBSCertificate, so signature
+verification operates on the original octets rather than a re-encoding.
+"""
+
+from __future__ import annotations
+
+import datetime
+from functools import cached_property
+
+from repro.asn1 import Asn1Error, Asn1Object, ObjectIdentifier, decode
+from repro.asn1.objects import (
+    BASIC_CONSTRAINTS,
+    EXTENDED_KEY_USAGE,
+    KEY_USAGE,
+    RSA_ENCRYPTION,
+    SIGNATURE_HASHES,
+    SUBJECT_ALT_NAME,
+)
+from repro.asn1.tags import UniversalTag
+from repro.crypto.rsa import RsaPublicKey
+from repro.x509.extensions import (
+    BasicConstraints,
+    ExtendedKeyUsage,
+    Extension,
+    KeyUsage,
+    SubjectAlternativeName,
+)
+from repro.x509.name import Name
+
+
+class CertificateError(ValueError):
+    """Raised when certificate DER is structurally invalid."""
+
+
+class Certificate:
+    """A parsed X.509 v1/v3 certificate.
+
+    Use :meth:`from_der` (or the builder in
+    :mod:`repro.x509.builder`) to obtain instances. Equality and
+    hashing are byte-exact over the DER encoding; for the paper's
+    looser "same modulus + signature" equivalence see
+    :mod:`repro.x509.fingerprint`.
+    """
+
+    __slots__ = (
+        "encoded",
+        "tbs_encoded",
+        "version",
+        "serial_number",
+        "signature_algorithm",
+        "issuer",
+        "subject",
+        "not_before",
+        "not_after",
+        "public_key",
+        "extensions",
+        "signature",
+        "__dict__",
+    )
+
+    def __init__(
+        self,
+        *,
+        encoded: bytes,
+        tbs_encoded: bytes,
+        version: int,
+        serial_number: int,
+        signature_algorithm: ObjectIdentifier,
+        issuer: Name,
+        subject: Name,
+        not_before: datetime.datetime,
+        not_after: datetime.datetime,
+        public_key: RsaPublicKey,
+        extensions: tuple[Extension, ...],
+        signature: bytes,
+    ):
+        self.encoded = encoded
+        self.tbs_encoded = tbs_encoded
+        self.version = version
+        self.serial_number = serial_number
+        self.signature_algorithm = signature_algorithm
+        self.issuer = issuer
+        self.subject = subject
+        self.not_before = not_before
+        self.not_after = not_after
+        self.public_key = public_key
+        self.extensions = extensions
+        self.signature = signature
+
+    # -- parsing --------------------------------------------------------------
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "Certificate":
+        """Parse a DER-encoded certificate, validating its structure."""
+        try:
+            outer = decode(data)
+        except Asn1Error as exc:
+            raise CertificateError(f"not valid DER: {exc}") from exc
+        try:
+            return cls._from_asn1(outer, bytes(data))
+        except (Asn1Error, ValueError, IndexError) as exc:
+            if isinstance(exc, CertificateError):
+                raise
+            raise CertificateError(f"malformed certificate: {exc}") from exc
+
+    @classmethod
+    def _from_asn1(cls, outer: Asn1Object, encoded: bytes) -> "Certificate":
+        if not outer.tag.is_universal(UniversalTag.SEQUENCE):
+            raise CertificateError("certificate must be a SEQUENCE")
+        if len(outer) != 3:
+            raise CertificateError(
+                f"certificate must have 3 components, found {len(outer)}"
+            )
+        tbs, sig_alg, sig_value = outer.children
+
+        # signatureAlgorithm
+        signature_algorithm = sig_alg[0].as_oid()
+        if signature_algorithm not in SIGNATURE_HASHES:
+            raise CertificateError(
+                f"unsupported signature algorithm {signature_algorithm}"
+            )
+        signature, unused = sig_value.as_bit_string()
+        if unused:
+            raise CertificateError("signature BIT STRING has unused bits")
+
+        # TBSCertificate
+        fields = list(tbs.children)
+        index = 0
+        version = 1
+        if fields and fields[0].tag.is_context(0):
+            version = fields[0].explicit_inner().as_integer() + 1
+            if version not in (1, 2, 3):
+                raise CertificateError(f"invalid certificate version {version}")
+            index += 1
+        serial_number = fields[index].as_integer()
+        index += 1
+        tbs_sig_alg = fields[index][0].as_oid()
+        if tbs_sig_alg != signature_algorithm:
+            raise CertificateError(
+                "TBS signature algorithm does not match outer algorithm"
+            )
+        index += 1
+        issuer = Name.from_asn1(fields[index])
+        index += 1
+        validity = fields[index]
+        not_before = validity[0].as_time()
+        not_after = validity[1].as_time()
+        index += 1
+        subject = Name.from_asn1(fields[index])
+        index += 1
+        public_key = cls._parse_spki(fields[index])
+        index += 1
+
+        extensions: tuple[Extension, ...] = ()
+        for extra in fields[index:]:
+            if extra.tag.is_context(3):
+                ext_seq = extra.explicit_inner()
+                extensions = tuple(Extension.from_asn1(child) for child in ext_seq)
+        if extensions and version != 3:
+            raise CertificateError("extensions require a v3 certificate")
+
+        return cls(
+            encoded=encoded,
+            tbs_encoded=tbs.encoded,
+            version=version,
+            serial_number=serial_number,
+            signature_algorithm=signature_algorithm,
+            issuer=issuer,
+            subject=subject,
+            not_before=not_before,
+            not_after=not_after,
+            public_key=public_key,
+            extensions=extensions,
+            signature=signature,
+        )
+
+    @staticmethod
+    def _parse_spki(spki: Asn1Object) -> RsaPublicKey:
+        """Parse a SubjectPublicKeyInfo holding an RSA key."""
+        algorithm = spki[0][0].as_oid()
+        if algorithm != RSA_ENCRYPTION:
+            raise CertificateError(f"unsupported public-key algorithm {algorithm}")
+        key_bits, unused = spki[1].as_bit_string()
+        if unused:
+            raise CertificateError("SPKI BIT STRING has unused bits")
+        return RsaPublicKey.from_der(key_bits)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def signature_hash(self) -> str:
+        """The hash algorithm name of the signature (e.g. ``"sha256"``)."""
+        return SIGNATURE_HASHES[self.signature_algorithm]
+
+    @property
+    def is_self_signed(self) -> bool:
+        """True if issuer and subject names match (self-issued)."""
+        return self.issuer == self.subject
+
+    def is_expired(self, at: datetime.datetime) -> bool:
+        """True if the certificate has expired at the given moment."""
+        return at > self.not_after
+
+    def is_valid_at(self, at: datetime.datetime) -> bool:
+        """True if the moment falls within the validity window."""
+        return self.not_before <= at <= self.not_after
+
+    def extension(self, oid: ObjectIdentifier) -> Extension | None:
+        """The raw extension with the given OID, if present."""
+        for ext in self.extensions:
+            if ext.oid == oid:
+                return ext
+        return None
+
+    @cached_property
+    def basic_constraints(self) -> BasicConstraints | None:
+        """Parsed basicConstraints, if present."""
+        ext = self.extension(BASIC_CONSTRAINTS)
+        return BasicConstraints.from_extension(ext) if ext else None
+
+    @cached_property
+    def key_usage(self) -> KeyUsage | None:
+        """Parsed keyUsage, if present."""
+        ext = self.extension(KEY_USAGE)
+        return KeyUsage.from_extension(ext) if ext else None
+
+    @cached_property
+    def extended_key_usage(self) -> ExtendedKeyUsage | None:
+        """Parsed extKeyUsage, if present."""
+        ext = self.extension(EXTENDED_KEY_USAGE)
+        return ExtendedKeyUsage.from_extension(ext) if ext else None
+
+    @cached_property
+    def subject_alternative_names(self) -> tuple[str, ...]:
+        """dNSName entries of subjectAltName (empty if absent)."""
+        ext = self.extension(SUBJECT_ALT_NAME)
+        if ext is None:
+            return ()
+        return SubjectAlternativeName.from_extension(ext).dns_names
+
+    @property
+    def is_ca(self) -> bool:
+        """True if basicConstraints marks this certificate as a CA.
+
+        v1 self-signed certificates (common among old roots) are treated
+        as CAs, matching how real root stores handle legacy roots.
+        """
+        constraints = self.basic_constraints
+        if constraints is not None:
+            return constraints.ca
+        return self.version == 1 and self.is_self_signed
+
+    def matches_hostname(self, hostname: str) -> bool:
+        """RFC 6125-style host matching over SAN (fallback: subject CN)."""
+        hostname = hostname.lower().rstrip(".")
+        patterns = self.subject_alternative_names or (
+            (self.subject.common_name,) if self.subject.common_name else ()
+        )
+        return any(_match_pattern(p.lower(), hostname) for p in patterns if p)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Certificate):
+            return self.encoded == other.encoded
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.encoded)
+
+    def __repr__(self) -> str:
+        return f"<Certificate subject={self.subject} serial={self.serial_number}>"
+
+
+def _match_pattern(pattern: str, hostname: str) -> bool:
+    """Match a single (possibly left-wildcard) DNS pattern."""
+    if pattern.startswith("*."):
+        suffix = pattern[1:]
+        if not hostname.endswith(suffix):
+            return False
+        prefix = hostname[: -len(suffix)]
+        return bool(prefix) and "." not in prefix
+    return pattern == hostname

@@ -1,0 +1,468 @@
+"""Certificate-path building and validation against a trust anchor set.
+
+This is the client-side logic a TLS stack runs when it receives a server
+chain: order the presented certificates, walk signatures up to a trusted
+root, and check validity windows, CA flags and hostname. The Netalyzr
+probes and the interception detector both consume the structured
+:class:`ValidationResult` it produces.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.crypto.pkcs1 import SignatureError
+from repro.x509.certificate import Certificate
+from repro.x509.verify import verify_certificate_signature
+
+
+class ChainValidationError(Exception):
+    """Raised by :meth:`ChainVerifier.verify` on an invalid chain."""
+
+    def __init__(self, reason: "ValidationFailure", message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ValidationFailure(Enum):
+    """Machine-readable failure categories."""
+
+    EMPTY_CHAIN = "empty_chain"
+    NO_TRUSTED_ROOT = "no_trusted_root"
+    BAD_SIGNATURE = "bad_signature"
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not_yet_valid"
+    NOT_A_CA = "not_a_ca"
+    PATH_LENGTH_EXCEEDED = "path_length_exceeded"
+    HOSTNAME_MISMATCH = "hostname_mismatch"
+    BROKEN_CHAIN = "broken_chain"
+    REVOKED = "revoked"
+    BLACKLISTED = "blacklisted"
+    PIN_VIOLATION = "pin_violation"
+    NAME_CONSTRAINT_VIOLATION = "name_constraint_violation"
+    USAGE_NOT_PERMITTED = "usage_not_permitted"
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of a chain validation.
+
+    ``trusted`` is the overall verdict; ``path`` is the validated path
+    from leaf to root (with the trust anchor last); ``anchor`` is the
+    matching root-store certificate.
+    """
+
+    trusted: bool
+    path: tuple[Certificate, ...] = ()
+    anchor: Certificate | None = None
+    failure: ValidationFailure | None = None
+    detail: str = ""
+    warnings: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.trusted
+
+
+def _key_id_of(certificate: Certificate) -> bytes | None:
+    """The certificate's SubjectKeyIdentifier, if present."""
+    from repro.asn1.objects import SUBJECT_KEY_IDENTIFIER
+    from repro.x509.extensions import SubjectKeyIdentifier
+
+    extension = certificate.extension(SUBJECT_KEY_IDENTIFIER)
+    if extension is None:
+        return None
+    return SubjectKeyIdentifier.from_extension(extension).key_id
+
+
+def _wanted_key_id(certificate: Certificate) -> bytes | None:
+    """The certificate's AuthorityKeyIdentifier keyIdentifier, if present."""
+    from repro.asn1.objects import AUTHORITY_KEY_IDENTIFIER
+    from repro.x509.extensions import AuthorityKeyIdentifier
+
+    extension = certificate.extension(AUTHORITY_KEY_IDENTIFIER)
+    if extension is None:
+        return None
+    try:
+        return AuthorityKeyIdentifier.from_extension(extension).key_id
+    except ValueError:
+        return None
+
+
+def build_chain(
+    leaf: Certificate, candidates: Iterable[Certificate]
+) -> list[Certificate]:
+    """Order *candidates* into a leaf-first path by following issuers.
+
+    TLS servers frequently send intermediates out of order; this mirrors
+    the reordering real clients perform. Unrelated certificates are
+    dropped. When several candidates share the wanted issuer *name*,
+    the child's AuthorityKeyIdentifier disambiguates (an attacker can
+    mint a CA with a colliding subject, but not with the right key id).
+    Signature checks are not performed here.
+    """
+    key_id_of = _key_id_of
+    wanted_key_id = _wanted_key_id
+    pool = [c for c in candidates if c != leaf]
+    path = [leaf]
+    current = leaf
+    while pool:
+        matches = [
+            candidate
+            for candidate in pool
+            if candidate.subject == current.issuer and candidate != current
+        ]
+        next_hop = None
+        if len(matches) == 1:
+            next_hop = matches[0]
+        elif matches:
+            aki = wanted_key_id(current)
+            if aki is not None:
+                next_hop = next(
+                    (c for c in matches if key_id_of(c) == aki), matches[0]
+                )
+            else:
+                next_hop = matches[0]
+        if next_hop is None:
+            break
+        path.append(next_hop)
+        pool.remove(next_hop)
+        current = next_hop
+        if current.is_self_signed:
+            break
+    return path
+
+
+def build_all_chains(
+    leaf: Certificate, candidates: Iterable[Certificate], *, limit: int = 8
+) -> list[list[Certificate]]:
+    """Enumerate candidate leaf-first paths, branching on name ties.
+
+    Cross-signed PKIs present several certificates for the same issuer
+    name; the primary path may dead-end on an untrusted branch while an
+    alternative reaches an anchor. AKI-matching branches are explored
+    first; at most *limit* paths are produced.
+    """
+    paths: list[list[Certificate]] = []
+
+    def dfs(path: list[Certificate], pool: list[Certificate]) -> None:
+        if len(paths) >= limit:
+            return
+        current = path[-1]
+        if current.is_self_signed and len(path) > 1:
+            paths.append(list(path))
+            return
+        matches = [
+            c for c in pool if c.subject == current.issuer and c != current
+        ]
+        if not matches:
+            paths.append(list(path))
+            return
+        aki = _wanted_key_id(current)
+        matches.sort(
+            key=lambda c: 0 if (aki is not None and _key_id_of(c) == aki) else 1
+        )
+        for match in matches:
+            dfs(path + [match], [c for c in pool if c is not match])
+
+    dfs([leaf], [c for c in candidates if c != leaf])
+    return paths or [[leaf]]
+
+
+class ChainVerifier:
+    """Validates presented chains against a set of trust anchors.
+
+    Anchors are indexed by subject name. The verifier implements the
+    subset of RFC 5280 path validation that matters for the study:
+    signature chaining, validity windows, basicConstraints/pathLen,
+    name constraints, and hostname matching.
+
+    Android's default validator stops there; the optional hooks model
+    the hardening the paper discusses:
+
+    * ``revocation`` — a :class:`repro.x509.crl.RevocationChecker`
+      (Android performs no revocation checking by default);
+    * ``blacklist`` — Android's CertBlacklister
+      (:class:`repro.x509.blacklist.CertificateBlacklist`);
+    * ``google_pins`` — KitKat's fraudulent-Google-cert defense
+      (:class:`repro.x509.blacklist.GooglePinEnforcer`);
+    * ``anchor_usage`` — Mozilla-style scoped trust: a mapping from
+      anchor identity to :class:`repro.rootstore.store.TrustFlags`
+      combined with ``required_usage`` (Android grants every root every
+      usage, §2/§8).
+    """
+
+    def __init__(
+        self,
+        anchors: Iterable[Certificate],
+        *,
+        at: datetime.datetime | None = None,
+        check_validity: bool = True,
+        revocation=None,
+        blacklist=None,
+        google_pins=None,
+        anchor_usage: dict | None = None,
+        required_usage: str | None = None,
+    ):
+        self._by_subject: dict[object, list[Certificate]] = {}
+        for anchor in anchors:
+            self._by_subject.setdefault(anchor.subject.normalized(), []).append(anchor)
+        self.at = at or datetime.datetime(2014, 4, 1)
+        self.check_validity = check_validity
+        self.revocation = revocation
+        self.blacklist = blacklist
+        self.google_pins = google_pins
+        self.anchor_usage = anchor_usage or {}
+        self.required_usage = required_usage
+
+    @classmethod
+    def for_store(cls, store, **kwargs) -> "ChainVerifier":
+        """Build a verifier from a RootStore, carrying its trust flags.
+
+        Pass ``required_usage="server_auth"|"email"|"code_signing"`` to
+        enforce Mozilla-style scoping; without it the behaviour is
+        Android's trust-everything policy.
+        """
+        from repro.x509.fingerprint import identity_key
+
+        anchor_usage = {
+            identity_key(entry.certificate): entry.trust
+            for entry in store.entries()
+            if entry.enabled
+        }
+        return cls(store.certificates(), anchor_usage=anchor_usage, **kwargs)
+
+    @property
+    def anchor_count(self) -> int:
+        """Number of trust anchors loaded."""
+        return sum(len(v) for v in self._by_subject.values())
+
+    def find_anchor(self, certificate: Certificate) -> Certificate | None:
+        """A trust anchor that issued (or equals) *certificate*, if any."""
+        # Exact anchor (the presented root itself is in the store).
+        for anchor in self._by_subject.get(certificate.subject.normalized(), ()):
+            if anchor.public_key == certificate.public_key:
+                return anchor
+        return None
+
+    def find_issuer_anchor(self, certificate: Certificate) -> Certificate | None:
+        """An anchor whose subject matches *certificate*'s issuer and
+        whose key verifies its signature."""
+        for anchor in self._by_subject.get(certificate.issuer.normalized(), ()):
+            try:
+                verify_certificate_signature(certificate, anchor.public_key)
+            except SignatureError:
+                continue
+            return anchor
+        return None
+
+    def validate(
+        self,
+        presented: Sequence[Certificate],
+        hostname: str | None = None,
+    ) -> ValidationResult:
+        """Validate a presented chain; never raises, returns a result.
+
+        All candidate paths through the presented certificates are
+        tried (cross-signed PKIs present several certificates for the
+        same issuer name); the first path reaching a trusted verdict
+        wins, otherwise the primary path's failure is reported.
+        """
+        if not presented:
+            return ValidationResult(
+                trusted=False,
+                failure=ValidationFailure.EMPTY_CHAIN,
+                detail="server presented no certificates",
+            )
+        leaf = presented[0]
+        if hostname is not None and not leaf.matches_hostname(hostname):
+            return ValidationResult(
+                trusted=False,
+                path=(leaf,),
+                failure=ValidationFailure.HOSTNAME_MISMATCH,
+                detail=f"certificate does not match hostname {hostname!r}",
+            )
+
+        first_failure: ValidationResult | None = None
+        for path in build_all_chains(leaf, presented[1:]):
+            result = self._validate_path(path, hostname)
+            if result.trusted:
+                return result
+            if first_failure is None:
+                first_failure = result
+        assert first_failure is not None
+        return first_failure
+
+    def _validate_path(
+        self, path: list[Certificate], hostname: str | None
+    ) -> ValidationResult:
+        """Anchor and fully check one candidate path."""
+        # Find where the path meets the store: either some presented cert
+        # is itself an anchor, or the last cert is signed by an anchor.
+        anchored_path: list[Certificate] = []
+        anchor: Certificate | None = None
+        for certificate in path:
+            direct = self.find_anchor(certificate)
+            if direct is not None:
+                anchor = direct
+                anchored_path.append(certificate)
+                break
+            anchored_path.append(certificate)
+            issuer_anchor = self.find_issuer_anchor(certificate)
+            if issuer_anchor is not None:
+                anchor = issuer_anchor
+                anchored_path.append(issuer_anchor)
+                break
+        if anchor is None:
+            return ValidationResult(
+                trusted=False,
+                path=tuple(path),
+                failure=ValidationFailure.NO_TRUSTED_ROOT,
+                detail=f"no path to a trust anchor from {path[0].subject}",
+            )
+
+        result = self._check_path(anchored_path, anchor)
+        if result is not None:
+            return result
+        result = self._extra_checks(anchored_path, anchor, hostname)
+        if result is not None:
+            return result
+        warnings = []
+        if self.check_validity and anchor.is_expired(self.at):
+            # Expired *anchors* are a warning, not a failure: Android
+            # shipped the expired Firmaprofesional root and continued to
+            # treat it as trusted (paper §2).
+            warnings.append(f"trust anchor {anchor.subject} is expired")
+        return ValidationResult(
+            trusted=True, path=tuple(anchored_path), anchor=anchor, warnings=warnings
+        )
+
+    def verify(
+        self, presented: Sequence[Certificate], hostname: str | None = None
+    ) -> tuple[Certificate, ...]:
+        """Like :meth:`validate` but raises :class:`ChainValidationError`."""
+        result = self.validate(presented, hostname)
+        if not result.trusted:
+            assert result.failure is not None
+            raise ChainValidationError(result.failure, result.detail)
+        return result.path
+
+    def _extra_checks(
+        self,
+        path: list[Certificate],
+        anchor: Certificate,
+        hostname: str | None,
+    ) -> ValidationResult | None:
+        """The optional hardening hooks; None when all pass."""
+
+        def fail(failure: ValidationFailure, detail: str) -> ValidationResult:
+            return ValidationResult(
+                trusted=False, path=tuple(path), anchor=anchor,
+                failure=failure, detail=detail,
+            )
+
+        if self.blacklist is not None:
+            banned = self.blacklist.rejects_chain(path)
+            if banned is not None:
+                return fail(
+                    ValidationFailure.BLACKLISTED,
+                    f"{banned.subject} is blacklisted",
+                )
+        if self.revocation is not None:
+            for certificate in path:
+                if self.revocation.is_revoked(certificate):
+                    return fail(
+                        ValidationFailure.REVOKED,
+                        f"{certificate.subject} is revoked",
+                    )
+        if self.google_pins is not None and hostname is not None:
+            if not self.google_pins.permits(hostname, path):
+                return fail(
+                    ValidationFailure.PIN_VIOLATION,
+                    f"chain for {hostname} violates the Google pin set",
+                )
+        # Name constraints: every CA's constraints bind everything below it.
+        from repro.x509.constraints import name_constraints_of
+
+        for index in range(1, len(path)):
+            constraints = name_constraints_of(path[index])
+            if constraints is None:
+                continue
+            for below in path[:index]:
+                if not constraints.allows_certificate(below):
+                    return fail(
+                        ValidationFailure.NAME_CONSTRAINT_VIOLATION,
+                        f"{below.subject} violates name constraints of "
+                        f"{path[index].subject}",
+                    )
+        # Scoped trust (Mozilla policy); Android ignores this entirely.
+        if self.required_usage is not None and self.anchor_usage:
+            from repro.x509.fingerprint import identity_key
+
+            flags = self.anchor_usage.get(identity_key(anchor))
+            if flags is not None and not getattr(flags, self.required_usage):
+                return fail(
+                    ValidationFailure.USAGE_NOT_PERMITTED,
+                    f"anchor {anchor.subject} is not trusted for "
+                    f"{self.required_usage}",
+                )
+        return None
+
+    def _check_path(
+        self, path: list[Certificate], anchor: Certificate
+    ) -> ValidationResult | None:
+        """Check signatures, validity and constraints along an anchored path.
+
+        Returns a failure result, or None if the path is good.
+        """
+        # Verify each link: path[i] signed by path[i+1].
+        for index in range(len(path) - 1):
+            child, parent = path[index], path[index + 1]
+            try:
+                verify_certificate_signature(child, parent.public_key)
+            except SignatureError:
+                return ValidationResult(
+                    trusted=False,
+                    path=tuple(path),
+                    failure=ValidationFailure.BAD_SIGNATURE,
+                    detail=f"{child.subject} not validly signed by {parent.subject}",
+                )
+            if not parent.is_ca:
+                return ValidationResult(
+                    trusted=False,
+                    path=tuple(path),
+                    failure=ValidationFailure.NOT_A_CA,
+                    detail=f"issuer {parent.subject} is not a CA",
+                )
+            constraints = parent.basic_constraints
+            if constraints is not None and constraints.path_length is not None:
+                # Number of intermediates below this CA (excluding leaf link).
+                below = index  # certs between leaf and this parent, minus leaf
+                if below > constraints.path_length:
+                    return ValidationResult(
+                        trusted=False,
+                        path=tuple(path),
+                        failure=ValidationFailure.PATH_LENGTH_EXCEEDED,
+                        detail=f"path length constraint of {parent.subject} exceeded",
+                    )
+        if self.check_validity:
+            for certificate in path[:-1]:  # anchor expiry handled as warning
+                if self.at < certificate.not_before:
+                    return ValidationResult(
+                        trusted=False,
+                        path=tuple(path),
+                        failure=ValidationFailure.NOT_YET_VALID,
+                        detail=f"{certificate.subject} not valid before "
+                        f"{certificate.not_before:%Y-%m-%d}",
+                    )
+                if certificate.is_expired(self.at):
+                    return ValidationResult(
+                        trusted=False,
+                        path=tuple(path),
+                        failure=ValidationFailure.EXPIRED,
+                        detail=f"{certificate.subject} expired "
+                        f"{certificate.not_after:%Y-%m-%d}",
+                    )
+        return None

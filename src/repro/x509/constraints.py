@@ -1,0 +1,115 @@
+"""NameConstraints (RFC 5280 §4.2.1.10), dNSName subtrees only.
+
+Name constraints are the standard mechanism for scoping a CA to a
+namespace — precisely what §5.2's government/operator roots lack, and
+part of what an "audited and more strict root store" (§8) would
+enforce. The chain verifier applies them when present; the audit module
+flags unconstrained special-purpose roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    ObjectIdentifier,
+    decode,
+    encode_ia5_string,
+    encode_implicit,
+    encode_sequence,
+)
+from repro.asn1.tags import TagClass
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import Extension
+
+#: id-ce-nameConstraints
+NAME_CONSTRAINTS = ObjectIdentifier("2.5.29.30")
+
+
+def _dns_matches_subtree(dns_name: str, subtree: str) -> bool:
+    """RFC 5280 dNSName constraint semantics: a name satisfies a
+    constraint if it equals it or is a (label-aligned) subdomain."""
+    dns_name = dns_name.lower().rstrip(".")
+    subtree = subtree.lower().rstrip(".").lstrip(".")
+    if dns_name == subtree:
+        return True
+    return dns_name.endswith("." + subtree)
+
+
+@dataclass(frozen=True)
+class NameConstraints:
+    """Permitted and excluded dNSName subtrees."""
+
+    permitted: tuple[str, ...] = ()
+    excluded: tuple[str, ...] = ()
+
+    OID = NAME_CONSTRAINTS
+
+    def allows(self, dns_name: str) -> bool:
+        """True if a dNSName satisfies these constraints."""
+        if any(_dns_matches_subtree(dns_name, subtree) for subtree in self.excluded):
+            return False
+        if self.permitted:
+            return any(
+                _dns_matches_subtree(dns_name, subtree) for subtree in self.permitted
+            )
+        return True
+
+    def allows_certificate(self, certificate: Certificate) -> bool:
+        """True if every DNS identity the certificate asserts is in scope.
+
+        SAN dNSNames are always checked; the subject CN only when it is
+        DNS-shaped (contains a dot, no spaces) — a CA named
+        ``"Example Issuing CA"`` asserts no host identity and must not
+        trip a dNSName constraint.
+        """
+        names = certificate.subject_alternative_names
+        if not names:
+            common_name = certificate.subject.common_name or ""
+            if "." in common_name and " " not in common_name:
+                names = (common_name,)
+        return all(self.allows(name) for name in names)
+
+    # -- codec ---------------------------------------------------------------------
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        """Encode as the NameConstraints extension."""
+
+        def subtrees(names: tuple[str, ...]) -> bytes:
+            return encode_sequence(
+                encode_sequence([encode_implicit(2, encode_ia5_string(name))])
+                for name in names
+            )
+
+        parts = []
+        if self.permitted:
+            parts.append(encode_implicit(0, subtrees(self.permitted)))
+        if self.excluded:
+            parts.append(encode_implicit(1, subtrees(self.excluded)))
+        return Extension(self.OID, critical, encode_sequence(parts))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "NameConstraints":
+        """Parse the extension payload (dNSName entries only)."""
+        permitted: list[str] = []
+        excluded: list[str] = []
+        for part in decode(extension.value):
+            if part.tag.tag_class is not TagClass.CONTEXT:
+                continue
+            bucket = permitted if part.tag.number == 0 else excluded
+            for subtree in part:
+                general_name = subtree[0]
+                if (
+                    general_name.tag.tag_class is TagClass.CONTEXT
+                    and general_name.tag.number == 2
+                ):
+                    bucket.append(general_name.content.decode("ascii"))
+        return cls(permitted=tuple(permitted), excluded=tuple(excluded))
+
+
+def name_constraints_of(certificate: Certificate) -> NameConstraints | None:
+    """The certificate's NameConstraints, if present."""
+    extension = certificate.extension(NAME_CONSTRAINTS)
+    if extension is None:
+        return None
+    return NameConstraints.from_extension(extension)

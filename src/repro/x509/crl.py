@@ -1,0 +1,260 @@
+"""X.509 Certificate Revocation Lists (RFC 5280 §5).
+
+Android (and the paper's validation model) performs no revocation
+checking — one of the systemic gaps behind §8's recommendations. The
+library implements CRLs so the gap can be *measured*: the chain
+verifier accepts an optional revocation source, and the audit module
+reports what a revocation-aware client would have rejected.
+
+Only the profile needed here is implemented: full (non-delta) CRLs,
+RSA-signed, with optional reason codes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    Asn1Error,
+    decode,
+    encode_bit_string,
+    encode_integer,
+    encode_null,
+    encode_oid,
+    encode_sequence,
+)
+from repro.asn1.encoder import encode_x509_time
+from repro.asn1.objects import HASH_SIGNATURE_OIDS, SIGNATURE_HASHES
+from repro.asn1.tags import UniversalTag
+from repro.crypto.pkcs1 import SignatureError, sign as pkcs1_sign, verify as pkcs1_verify
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+
+class RevocationReason(enum.Enum):
+    """CRLReason codes (RFC 5280 §5.3.1), the subset in common use."""
+
+    UNSPECIFIED = 0
+    KEY_COMPROMISE = 1
+    CA_COMPROMISE = 2
+    SUPERSEDED = 4
+    CESSATION_OF_OPERATION = 5
+
+
+@dataclass(frozen=True)
+class RevokedEntry:
+    """One revoked certificate: serial, date, reason."""
+
+    serial_number: int
+    revocation_date: datetime.datetime
+    reason: RevocationReason = RevocationReason.UNSPECIFIED
+
+
+class CrlError(ValueError):
+    """Raised on malformed CRL DER."""
+
+
+class CertificateRevocationList:
+    """A parsed (or freshly built) CRL."""
+
+    def __init__(
+        self,
+        *,
+        issuer: Name,
+        this_update: datetime.datetime,
+        next_update: datetime.datetime,
+        entries: tuple[RevokedEntry, ...],
+        signature_hash: str,
+        signature: bytes,
+        tbs_encoded: bytes,
+        encoded: bytes,
+    ):
+        self.issuer = issuer
+        self.this_update = this_update
+        self.next_update = next_update
+        self.entries = entries
+        self.signature_hash = signature_hash
+        self.signature = signature
+        self.tbs_encoded = tbs_encoded
+        self.encoded = encoded
+        self._serials = {entry.serial_number: entry for entry in entries}
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        """True if the certificate's serial appears on this CRL and the
+        CRL was issued by the certificate's issuer."""
+        if certificate.issuer != self.issuer:
+            return False
+        return certificate.serial_number in self._serials
+
+    def entry_for(self, certificate: Certificate) -> RevokedEntry | None:
+        """The revocation entry for a certificate, if any."""
+        if certificate.issuer != self.issuer:
+            return None
+        return self._serials.get(certificate.serial_number)
+
+    def is_stale(self, at: datetime.datetime) -> bool:
+        """True if the CRL is past its nextUpdate."""
+        return at > self.next_update
+
+    def verify_signature(self, issuer_key: RsaPublicKey) -> None:
+        """Verify the CRL signature; raises SignatureError on failure."""
+        pkcs1_verify(issuer_key, self.signature_hash, self.tbs_encoded, self.signature)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- parsing -----------------------------------------------------------------
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "CertificateRevocationList":
+        """Parse a DER CertificateList."""
+        try:
+            outer = decode(data)
+            tbs, sig_alg, sig_value = outer.children
+            algorithm = sig_alg[0].as_oid()
+            if algorithm not in SIGNATURE_HASHES:
+                raise CrlError(f"unsupported CRL signature algorithm {algorithm}")
+            signature, unused = sig_value.as_bit_string()
+            if unused:
+                raise CrlError("CRL signature has unused bits")
+            fields = list(tbs.children)
+            index = 0
+            if fields[index].tag.is_universal(UniversalTag.INTEGER):
+                version = fields[index].as_integer()
+                if version != 1:  # v2 encodes as INTEGER 1
+                    raise CrlError(f"unsupported CRL version {version + 1}")
+                index += 1
+            index += 1  # inner signature algorithm
+            issuer = Name.from_asn1(fields[index])
+            index += 1
+            this_update = fields[index].as_time()
+            index += 1
+            next_update = fields[index].as_time()
+            index += 1
+            entries: list[RevokedEntry] = []
+            if index < len(fields) and fields[index].tag.constructed and not fields[
+                index
+            ].tag.is_context(0):
+                for revoked in fields[index]:
+                    serial = revoked[0].as_integer()
+                    date = revoked[1].as_time()
+                    # Reason codes live in crlEntryExtensions, which this
+                    # minimal profile does not serialize; parsed entries
+                    # carry UNSPECIFIED.
+                    entries.append(RevokedEntry(serial, date))
+            return cls(
+                issuer=issuer,
+                this_update=this_update,
+                next_update=next_update,
+                entries=tuple(entries),
+                signature_hash=SIGNATURE_HASHES[algorithm],
+                signature=signature,
+                tbs_encoded=tbs.encoded,
+                encoded=bytes(data),
+            )
+        except (Asn1Error, ValueError, IndexError) as exc:
+            if isinstance(exc, CrlError):
+                raise
+            raise CrlError(f"malformed CRL: {exc}") from exc
+
+
+class CrlBuilder:
+    """Builds signed CRLs for a CA."""
+
+    def __init__(self, issuer: Name, *, hash_name: str = "sha256"):
+        if hash_name not in HASH_SIGNATURE_OIDS:
+            raise ValueError(f"unsupported hash {hash_name!r}")
+        self.issuer = issuer
+        self.hash_name = hash_name
+        self._entries: list[RevokedEntry] = []
+
+    def revoke(
+        self,
+        certificate_or_serial: Certificate | int,
+        *,
+        at: datetime.datetime,
+        reason: RevocationReason = RevocationReason.UNSPECIFIED,
+    ) -> "CrlBuilder":
+        """Add a revocation entry."""
+        serial = (
+            certificate_or_serial.serial_number
+            if isinstance(certificate_or_serial, Certificate)
+            else certificate_or_serial
+        )
+        self._entries.append(RevokedEntry(serial, at, reason))
+        return self
+
+    def sign(
+        self,
+        key: RsaPrivateKey,
+        *,
+        this_update: datetime.datetime,
+        next_update: datetime.datetime,
+    ) -> CertificateRevocationList:
+        """Sign and return the CRL."""
+        if next_update <= this_update:
+            raise ValueError("nextUpdate must follow thisUpdate")
+        algorithm = encode_sequence(
+            [encode_oid(HASH_SIGNATURE_OIDS[self.hash_name]), encode_null()]
+        )
+        revoked = [
+            encode_sequence(
+                [
+                    encode_integer(entry.serial_number),
+                    encode_x509_time(entry.revocation_date),
+                ]
+            )
+            for entry in self._entries
+        ]
+        parts = [
+            encode_integer(1),  # v2
+            algorithm,
+            self.issuer.to_der(),
+            encode_x509_time(this_update),
+            encode_x509_time(next_update),
+        ]
+        if revoked:
+            parts.append(encode_sequence(revoked))
+        tbs = encode_sequence(parts)
+        signature = pkcs1_sign(key, self.hash_name, tbs)
+        encoded = encode_sequence([tbs, algorithm, encode_bit_string(signature)])
+        return CertificateRevocationList.from_der(encoded)
+
+
+class RevocationChecker:
+    """A client-side revocation source: a bag of verified CRLs.
+
+    ``add_crl`` verifies the CRL signature against the issuing CA's
+    certificate before trusting it.
+    """
+
+    def __init__(self, at: datetime.datetime | None = None):
+        self.at = at
+        self._crls: dict[object, CertificateRevocationList] = {}
+
+    def add_crl(
+        self, crl: CertificateRevocationList, issuer_certificate: Certificate
+    ) -> None:
+        """Admit a CRL after verifying its signature and issuer name."""
+        if crl.issuer != issuer_certificate.subject:
+            raise CrlError("CRL issuer does not match certificate subject")
+        crl.verify_signature(issuer_certificate.public_key)
+        self._crls[crl.issuer.normalized()] = crl
+
+    def status(self, certificate: Certificate) -> str:
+        """``"revoked"``, ``"good"`` or ``"unknown"`` (no CRL on hand)."""
+        crl = self._crls.get(certificate.issuer.normalized())
+        if crl is None:
+            return "unknown"
+        if self.at is not None and crl.is_stale(self.at):
+            return "unknown"
+        return "revoked" if crl.is_revoked(certificate) else "good"
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        """True only on a definite revoked verdict."""
+        return self.status(certificate) == "revoked"

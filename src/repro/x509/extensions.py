@@ -1,0 +1,256 @@
+"""The RFC 5280 certificate extensions the library profiles.
+
+Each extension type knows how to encode its extnValue payload and how to
+decode itself from a parsed extension TLV. Unknown extensions survive
+round-trips as opaque :class:`Extension` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    Asn1Object,
+    ObjectIdentifier,
+    decode,
+    encode_bit_string,
+    encode_boolean,
+    encode_implicit,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+)
+from repro.asn1 import encode_ia5_string
+from repro.asn1.objects import (
+    AUTHORITY_KEY_IDENTIFIER,
+    BASIC_CONSTRAINTS,
+    EKU_NAMES,
+    EXTENDED_KEY_USAGE,
+    KEY_USAGE,
+    SUBJECT_ALT_NAME,
+    SUBJECT_KEY_IDENTIFIER,
+)
+from repro.asn1.tags import TagClass, UniversalTag
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A raw extension: OID, criticality and DER-encoded extnValue."""
+
+    oid: ObjectIdentifier
+    critical: bool
+    value: bytes
+
+    def to_der(self) -> bytes:
+        """Encode as the RFC 5280 Extension SEQUENCE."""
+        parts = [encode_oid(self.oid)]
+        if self.critical:
+            parts.append(encode_boolean(True))
+        parts.append(encode_octet_string(self.value))
+        return encode_sequence(parts)
+
+    @classmethod
+    def from_asn1(cls, obj: Asn1Object) -> "Extension":
+        """Decode an Extension TLV."""
+        children = obj.children
+        if not 2 <= len(children) <= 3:
+            raise ValueError("Extension must have 2 or 3 components")
+        oid = children[0].as_oid()
+        critical = False
+        value_index = 1
+        if len(children) == 3:
+            critical = children[1].as_boolean()
+            value_index = 2
+        return cls(oid=oid, critical=critical, value=children[value_index].as_octet_string())
+
+
+@dataclass(frozen=True)
+class BasicConstraints:
+    """basicConstraints: CA flag and optional path-length limit."""
+
+    ca: bool = False
+    path_length: int | None = None
+
+    OID = BASIC_CONSTRAINTS
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        """Wrap in an :class:`Extension` (critical by default, as for CAs)."""
+        parts = []
+        if self.ca:
+            parts.append(encode_boolean(True))
+            if self.path_length is not None:
+                parts.append(encode_integer(self.path_length))
+        return Extension(self.OID, critical, encode_sequence(parts))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "BasicConstraints":
+        """Parse from the raw extension payload."""
+        seq = decode(extension.value)
+        ca = False
+        path_length = None
+        children = seq.children
+        index = 0
+        if index < len(children) and children[index].tag.is_universal(UniversalTag.BOOLEAN):
+            ca = children[index].as_boolean()
+            index += 1
+        if index < len(children):
+            path_length = children[index].as_integer()
+        return cls(ca=ca, path_length=path_length)
+
+
+#: KeyUsage bit positions per RFC 5280.
+_KEY_USAGE_BITS = (
+    "digital_signature",
+    "content_commitment",
+    "key_encipherment",
+    "data_encipherment",
+    "key_agreement",
+    "key_cert_sign",
+    "crl_sign",
+    "encipher_only",
+    "decipher_only",
+)
+
+
+@dataclass(frozen=True)
+class KeyUsage:
+    """keyUsage bit flags."""
+
+    digital_signature: bool = False
+    content_commitment: bool = False
+    key_encipherment: bool = False
+    data_encipherment: bool = False
+    key_agreement: bool = False
+    key_cert_sign: bool = False
+    crl_sign: bool = False
+    encipher_only: bool = False
+    decipher_only: bool = False
+
+    OID = KEY_USAGE
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        """Encode as a BIT STRING extension."""
+        bits = [getattr(self, name) for name in _KEY_USAGE_BITS]
+        while bits and not bits[-1]:
+            bits.pop()
+        if not bits:
+            payload = encode_bit_string(b"", 0)
+        else:
+            byte_count = (len(bits) + 7) // 8
+            raw = bytearray(byte_count)
+            for position, bit in enumerate(bits):
+                if bit:
+                    raw[position // 8] |= 0x80 >> (position % 8)
+            unused = byte_count * 8 - len(bits)
+            payload = encode_bit_string(bytes(raw), unused)
+        return Extension(self.OID, critical, payload)
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "KeyUsage":
+        """Parse from the raw extension payload."""
+        data, unused = decode(extension.value).as_bit_string()
+        total_bits = len(data) * 8 - unused
+        flags = {}
+        for position, name in enumerate(_KEY_USAGE_BITS):
+            if position < total_bits:
+                flags[name] = bool(data[position // 8] & (0x80 >> (position % 8)))
+        return cls(**flags)
+
+    @classmethod
+    def for_ca(cls) -> "KeyUsage":
+        """The conventional CA usage set (certSign + crlSign)."""
+        return cls(key_cert_sign=True, crl_sign=True)
+
+    @classmethod
+    def for_tls_server(cls) -> "KeyUsage":
+        """The conventional TLS server usage set."""
+        return cls(digital_signature=True, key_encipherment=True)
+
+
+@dataclass(frozen=True)
+class ExtendedKeyUsage:
+    """extKeyUsage: a list of purpose OIDs."""
+
+    purposes: tuple[ObjectIdentifier, ...]
+
+    OID = EXTENDED_KEY_USAGE
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        """Encode as a SEQUENCE OF OID extension."""
+        return Extension(
+            self.OID, critical, encode_sequence(encode_oid(p) for p in self.purposes)
+        )
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "ExtendedKeyUsage":
+        """Parse from the raw extension payload."""
+        return cls(tuple(child.as_oid() for child in decode(extension.value)))
+
+    @property
+    def purpose_names(self) -> tuple[str, ...]:
+        """Human-readable purpose names (dotted OID for unknown ones)."""
+        return tuple(EKU_NAMES.get(p, p.dotted) for p in self.purposes)
+
+
+@dataclass(frozen=True)
+class SubjectAlternativeName:
+    """subjectAltName restricted to dNSName entries (all TLS needs here)."""
+
+    dns_names: tuple[str, ...]
+
+    OID = SUBJECT_ALT_NAME
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        """Encode as a GeneralNames SEQUENCE of dNSName [2] entries."""
+        names = [encode_implicit(2, encode_ia5_string(n)) for n in self.dns_names]
+        return Extension(self.OID, critical, encode_sequence(names))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "SubjectAlternativeName":
+        """Parse dNSName entries, ignoring other GeneralName forms."""
+        names = []
+        for child in decode(extension.value):
+            if child.tag.tag_class is TagClass.CONTEXT and child.tag.number == 2:
+                names.append(child.content.decode("ascii"))
+        return cls(tuple(names))
+
+
+@dataclass(frozen=True)
+class SubjectKeyIdentifier:
+    """subjectKeyIdentifier: an octet string key id."""
+
+    key_id: bytes
+
+    OID = SUBJECT_KEY_IDENTIFIER
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        """Encode as an OCTET STRING extension."""
+        return Extension(self.OID, critical, encode_octet_string(self.key_id))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "SubjectKeyIdentifier":
+        """Parse from the raw extension payload."""
+        return cls(decode(extension.value).as_octet_string())
+
+
+@dataclass(frozen=True)
+class AuthorityKeyIdentifier:
+    """authorityKeyIdentifier restricted to the keyIdentifier [0] form."""
+
+    key_id: bytes
+
+    OID = AUTHORITY_KEY_IDENTIFIER
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        """Encode as SEQUENCE { [0] keyIdentifier }."""
+        payload = encode_sequence([encode_implicit(0, encode_octet_string(self.key_id))])
+        return Extension(self.OID, critical, payload)
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "AuthorityKeyIdentifier":
+        """Parse the keyIdentifier component."""
+        for child in decode(extension.value):
+            if child.tag.tag_class is TagClass.CONTEXT and child.tag.number == 0:
+                return cls(child.content)
+        raise ValueError("authorityKeyIdentifier without keyIdentifier")

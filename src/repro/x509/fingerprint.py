@@ -1,0 +1,77 @@
+"""Certificate identity and fingerprinting.
+
+The paper's methodology (§4.1-§4.2) establishes certificate identity
+from unique fields — the RSA key modulus and the signature string —
+rather than byte equality, because "even though root certificates are
+not byte-equivalent they can still be 'equivalent' if their subject and
+RSA key modulus are identical (i.e., when they can validate the same
+child-certificates). In most cases, only the expiration date change."
+
+Three identity functions are provided (and ablated in the benchmarks):
+
+* :func:`identity_key` — the paper's (modulus, signature) pair;
+* :func:`equivalence_key` — the looser (subject, modulus) pair used for
+  cross-store equivalence;
+* byte-exact identity via ``Certificate.encoded`` (the strawman).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class CertificateIdentity:
+    """The paper's identity key: RSA modulus + signature octets."""
+
+    modulus: int
+    signature: bytes
+
+    @classmethod
+    def of(cls, certificate: Certificate) -> "CertificateIdentity":
+        """Identity of a certificate."""
+        return cls(
+            modulus=certificate.public_key.modulus, signature=certificate.signature
+        )
+
+    @property
+    def short(self) -> str:
+        """First 32 bits of the identity hash, rendered like Figure 2's ids."""
+        blob = self.modulus.to_bytes(
+            (self.modulus.bit_length() + 7) // 8, "big"
+        ) + self.signature
+        return hashlib.sha256(blob).hexdigest()[:8]
+
+
+def identity_key(certificate: Certificate) -> tuple[int, bytes]:
+    """The (RSA modulus, signature) identity tuple of §4.1."""
+    return (certificate.public_key.modulus, certificate.signature)
+
+
+def equivalence_key(certificate: Certificate) -> tuple[object, int]:
+    """The (subject, modulus) cross-store equivalence key of §4.2.
+
+    Two byte-inequivalent certificates with this key equal can validate
+    the same child certificates, so root-store comparisons treat them as
+    the same root.
+    """
+    return (certificate.subject.normalized(), certificate.public_key.modulus)
+
+
+def fingerprint(certificate: Certificate, hash_name: str = "sha256") -> str:
+    """Hex digest of the full DER encoding (byte-exact identity)."""
+    return hashlib.new(hash_name, certificate.encoded).hexdigest()
+
+
+def subject_hash(certificate: Certificate) -> str:
+    """A stable 32-bit hash of the subject name, rendered as 8 hex chars.
+
+    This mirrors the bracketed identifiers in the paper's Figure 2 (and
+    OpenSSL's ``-subject_hash``, which also names the files in Android's
+    ``/system/etc/security/cacerts/``).
+    """
+    canonical = repr(certificate.subject.normalized()).encode("utf-8")
+    return hashlib.sha1(canonical).hexdigest()[:8]

@@ -1,0 +1,210 @@
+"""X.500 distinguished names: model, DER codec, and display dialects.
+
+The paper (§4.1) notes that "different Android versions format
+certificate information differently", forcing the authors to normalize
+subject/issuer strings manually. :func:`Name.format` reproduces the
+three display dialects the analysis layer has to reconcile, and
+:meth:`Name.normalized` provides the canonical comparison form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.asn1 import (
+    Asn1Object,
+    ObjectIdentifier,
+    decode,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_utf8_string,
+)
+from repro.asn1.encoder import is_printable
+from repro.asn1.objects import DN_SHORT_NAMES, PRINTABLE_ONLY_ATTRS, dn_attribute_oid
+from repro.asn1.tags import UniversalTag
+
+#: Display order used by OpenSSL-style one-line output.
+_DISPLAY_ORDER = ("C", "ST", "L", "O", "OU", "CN", "emailAddress")
+
+
+@dataclass(frozen=True)
+class NameAttribute:
+    """A single AttributeTypeAndValue (e.g. ``CN=Example Root CA``)."""
+
+    oid: ObjectIdentifier
+    value: str
+
+    @property
+    def short_name(self) -> str:
+        """The conventional short name, or the dotted OID if unknown."""
+        return DN_SHORT_NAMES.get(self.oid, self.oid.dotted)
+
+    def to_der(self) -> bytes:
+        """Encode as AttributeTypeAndValue."""
+        if self.oid in PRINTABLE_ONLY_ATTRS or is_printable(self.value):
+            value = encode_printable_string(self.value)
+        else:
+            value = encode_utf8_string(self.value)
+        return encode_sequence([encode_oid(self.oid), value])
+
+    @classmethod
+    def from_asn1(cls, obj: Asn1Object) -> "NameAttribute":
+        """Decode an AttributeTypeAndValue TLV."""
+        if len(obj) != 2:
+            raise ValueError("AttributeTypeAndValue must have two components")
+        return cls(oid=obj[0].as_oid(), value=obj[1].as_string())
+
+    def __str__(self) -> str:
+        return f"{self.short_name}={self.value}"
+
+
+@dataclass(frozen=True)
+class RelativeDistinguishedName:
+    """A SET OF attributes; almost always a singleton in practice."""
+
+    attributes: tuple[NameAttribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("RDN must contain at least one attribute")
+
+    def to_der(self) -> bytes:
+        """Encode as a DER SET OF AttributeTypeAndValue."""
+        return encode_set(attr.to_der() for attr in self.attributes)
+
+    @classmethod
+    def from_asn1(cls, obj: Asn1Object) -> "RelativeDistinguishedName":
+        """Decode an RDN TLV."""
+        if not obj.tag.is_universal(UniversalTag.SET):
+            raise ValueError(f"RDN must be a SET, found {obj.tag}")
+        return cls(tuple(NameAttribute.from_asn1(child) for child in obj))
+
+    def __iter__(self) -> Iterator[NameAttribute]:
+        return iter(self.attributes)
+
+
+class Name:
+    """An X.500 Name: an ordered RDNSequence.
+
+    Construct via :meth:`build` for the common flat case::
+
+        Name.build(CN="Example Root CA", O="Example Inc", C="US")
+    """
+
+    __slots__ = ("rdns",)
+
+    def __init__(self, rdns: Iterable[RelativeDistinguishedName]):
+        self.rdns = tuple(rdns)
+
+    @classmethod
+    def build(cls, **attributes: str) -> "Name":
+        """Build a Name of single-attribute RDNs from keyword arguments.
+
+        Keyword names are DN short names (``CN``, ``O``, ``OU``, ``C``,
+        ``L``, ``ST``, ``emailAddress``, ...); insertion order is kept.
+        """
+        rdns = [
+            RelativeDistinguishedName(
+                (NameAttribute(dn_attribute_oid(key), value),)
+            )
+            for key, value in attributes.items()
+        ]
+        if not rdns:
+            raise ValueError("Name needs at least one attribute")
+        return cls(rdns)
+
+    def to_der(self) -> bytes:
+        """Encode as a DER RDNSequence."""
+        return encode_sequence(rdn.to_der() for rdn in self.rdns)
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "Name":
+        """Decode a DER RDNSequence."""
+        return cls.from_asn1(decode(data))
+
+    @classmethod
+    def from_asn1(cls, obj: Asn1Object) -> "Name":
+        """Decode an RDNSequence TLV."""
+        if not obj.tag.is_universal(UniversalTag.SEQUENCE):
+            raise ValueError(f"Name must be a SEQUENCE, found {obj.tag}")
+        return cls(RelativeDistinguishedName.from_asn1(child) for child in obj)
+
+    # -- attribute access ----------------------------------------------------
+
+    def attributes(self) -> list[NameAttribute]:
+        """All attributes in RDN order."""
+        return [attr for rdn in self.rdns for attr in rdn]
+
+    def get(self, short_name: str) -> str | None:
+        """First value of the attribute with the given short name."""
+        wanted = dn_attribute_oid(short_name)
+        for attr in self.attributes():
+            if attr.oid == wanted:
+                return attr.value
+        return None
+
+    @property
+    def common_name(self) -> str | None:
+        """The CN value, if present."""
+        return self.get("CN")
+
+    # -- display dialects ------------------------------------------------------
+
+    def format(self, dialect: str = "rfc4514") -> str:
+        """Render in one of the display dialects the paper had to reconcile.
+
+        * ``rfc4514`` — most-specific first: ``CN=X,OU=Y,O=Z,C=US``
+          (what newer Android versions show).
+        * ``openssl`` — slash-separated in fixed field order:
+          ``/C=US/O=Z/OU=Y/CN=X`` (older Android / OpenSSL one-liners).
+        * ``display`` — human order, comma+space separated:
+          ``C=US, O=Z, OU=Y, CN=X``.
+        """
+        attrs = self.attributes()
+        if dialect == "rfc4514":
+            return ",".join(str(attr) for attr in reversed(attrs))
+        if dialect in ("openssl", "display"):
+            ranked = sorted(
+                attrs,
+                key=lambda attr: (
+                    _DISPLAY_ORDER.index(attr.short_name)
+                    if attr.short_name in _DISPLAY_ORDER
+                    else len(_DISPLAY_ORDER)
+                ),
+            )
+            if dialect == "openssl":
+                return "/" + "/".join(str(attr) for attr in ranked)
+            return ", ".join(str(attr) for attr in ranked)
+        raise ValueError(f"unknown dialect {dialect!r}")
+
+    def normalized(self) -> tuple[tuple[str, str], ...]:
+        """Canonical comparison form, independent of display dialect.
+
+        Attributes sorted by (OID, casefolded value) with whitespace
+        collapsed — the normalization §4.1 performs manually.
+        """
+        return tuple(
+            sorted(
+                (attr.oid.dotted, " ".join(attr.value.split()).casefold())
+                for attr in self.attributes()
+            )
+        )
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return self.normalized() == other.normalized()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.normalized())
+
+    def __str__(self) -> str:
+        return self.format("rfc4514")
+
+    def __repr__(self) -> str:
+        return f"Name({self.format('rfc4514')!r})"

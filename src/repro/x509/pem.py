@@ -1,0 +1,54 @@
+"""PEM armor (RFC 7468) for certificates."""
+
+from __future__ import annotations
+
+import base64
+import re
+
+_BEGIN = "-----BEGIN {label}-----"
+_END = "-----END {label}-----"
+_BLOCK_RE = re.compile(
+    r"-----BEGIN (?P<label>[A-Z0-9 ]+)-----\s*(?P<body>[A-Za-z0-9+/=\s]*?)-----END (?P<endlabel>[A-Z0-9 ]+)-----"
+)
+
+
+class PemError(ValueError):
+    """Raised on malformed PEM input."""
+
+
+def pem_encode(der: bytes, label: str = "CERTIFICATE") -> str:
+    """Wrap DER bytes in PEM armor with 64-character lines."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [_BEGIN.format(label=label)]
+    lines.extend(body[i : i + 64] for i in range(0, len(body), 64))
+    lines.append(_END.format(label=label))
+    return "\n".join(lines) + "\n"
+
+
+def pem_decode(text: str, label: str = "CERTIFICATE") -> bytes:
+    """Decode exactly one PEM block with the given label."""
+    blocks = pem_decode_all(text, label)
+    if not blocks:
+        raise PemError(f"no {label} PEM block found")
+    if len(blocks) > 1:
+        raise PemError(f"expected one {label} block, found {len(blocks)}")
+    return blocks[0]
+
+
+def pem_decode_all(text: str, label: str = "CERTIFICATE") -> list[bytes]:
+    """Decode every PEM block with the given label, in order."""
+    blocks = []
+    for match in _BLOCK_RE.finditer(text):
+        if match.group("label") != match.group("endlabel"):
+            raise PemError(
+                f"mismatched PEM labels {match.group('label')!r} / "
+                f"{match.group('endlabel')!r}"
+            )
+        if match.group("label") != label:
+            continue
+        body = "".join(match.group("body").split())
+        try:
+            blocks.append(base64.b64decode(body, validate=True))
+        except ValueError as exc:
+            raise PemError(f"invalid base64 in PEM body: {exc}") from exc
+    return blocks

@@ -1,0 +1,110 @@
+"""Human-readable certificate rendering (the ``openssl x509 -text`` look)."""
+
+from __future__ import annotations
+
+from repro.asn1.objects import EKU_NAMES
+from repro.x509.certificate import Certificate
+from repro.x509.constraints import name_constraints_of
+from repro.x509.fingerprint import fingerprint, subject_hash
+
+
+def _wrap_hex(data: bytes, *, indent: str, per_line: int = 16) -> str:
+    """Colon-separated hex, wrapped like OpenSSL does."""
+    pairs = [f"{byte:02x}" for byte in data]
+    lines = [
+        ":".join(pairs[i : i + per_line]) for i in range(0, len(pairs), per_line)
+    ]
+    return ("\n" + indent).join(lines)
+
+
+def certificate_text(certificate: Certificate) -> str:
+    """Render a certificate in the familiar multi-line text form."""
+    lines = ["Certificate:", "    Data:"]
+    lines.append(f"        Version: {certificate.version}")
+    lines.append(f"        Serial Number: {certificate.serial_number}")
+    lines.append(
+        f"        Signature Algorithm: "
+        f"{certificate.signature_hash}WithRSAEncryption"
+    )
+    lines.append(f"        Issuer: {certificate.issuer.format('display')}")
+    lines.append("        Validity:")
+    lines.append(f"            Not Before: {certificate.not_before:%b %d %H:%M:%S %Y} GMT")
+    lines.append(f"            Not After : {certificate.not_after:%b %d %H:%M:%S %Y} GMT")
+    lines.append(f"        Subject: {certificate.subject.format('display')}")
+    lines.append("        Subject Public Key Info:")
+    lines.append("            Public Key Algorithm: rsaEncryption")
+    lines.append(
+        f"                RSA Public-Key: ({certificate.public_key.bits} bit)"
+    )
+    modulus = certificate.public_key.modulus.to_bytes(
+        certificate.public_key.byte_length, "big"
+    )
+    lines.append("                Modulus:")
+    lines.append(
+        "                    "
+        + _wrap_hex(modulus, indent="                    ", per_line=15)
+    )
+    lines.append(
+        f"                Exponent: {certificate.public_key.exponent} "
+        f"({certificate.public_key.exponent:#x})"
+    )
+
+    if certificate.extensions:
+        lines.append("        X509v3 extensions:")
+        constraints = certificate.basic_constraints
+        if constraints is not None:
+            rendered = f"CA:{'TRUE' if constraints.ca else 'FALSE'}"
+            if constraints.path_length is not None:
+                rendered += f", pathlen:{constraints.path_length}"
+            lines.append("            X509v3 Basic Constraints:")
+            lines.append(f"                {rendered}")
+        usage = certificate.key_usage
+        if usage is not None:
+            flags = [
+                label
+                for attr, label in (
+                    ("digital_signature", "Digital Signature"),
+                    ("key_encipherment", "Key Encipherment"),
+                    ("key_cert_sign", "Certificate Sign"),
+                    ("crl_sign", "CRL Sign"),
+                )
+                if getattr(usage, attr)
+            ]
+            lines.append("            X509v3 Key Usage:")
+            lines.append(f"                {', '.join(flags)}")
+        eku = certificate.extended_key_usage
+        if eku is not None:
+            names = ", ".join(
+                EKU_NAMES.get(purpose, purpose.dotted) for purpose in eku.purposes
+            )
+            lines.append("            X509v3 Extended Key Usage:")
+            lines.append(f"                {names}")
+        if certificate.subject_alternative_names:
+            lines.append("            X509v3 Subject Alternative Name:")
+            lines.append(
+                "                "
+                + ", ".join(
+                    f"DNS:{name}" for name in certificate.subject_alternative_names
+                )
+            )
+        name_constraints = name_constraints_of(certificate)
+        if name_constraints is not None:
+            lines.append("            X509v3 Name Constraints:")
+            if name_constraints.permitted:
+                lines.append(
+                    "                Permitted: "
+                    + ", ".join(f"DNS:{n}" for n in name_constraints.permitted)
+                )
+            if name_constraints.excluded:
+                lines.append(
+                    "                Excluded: "
+                    + ", ".join(f"DNS:{n}" for n in name_constraints.excluded)
+                )
+
+    lines.append("    Signature:")
+    lines.append(
+        "        " + _wrap_hex(certificate.signature, indent="        ", per_line=18)
+    )
+    lines.append(f"    SHA256 Fingerprint: {fingerprint(certificate)}")
+    lines.append(f"    Subject Hash (Android filename): {subject_hash(certificate)}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Single-certificate signature verification."""
+
+from __future__ import annotations
+
+from repro.crypto.pkcs1 import SignatureError, verify as pkcs1_verify
+from repro.crypto.rsa import RsaPublicKey
+from repro.x509.certificate import Certificate
+
+
+def verify_certificate_signature(
+    certificate: Certificate, issuer_public_key: RsaPublicKey
+) -> None:
+    """Verify *certificate*'s signature against an issuer public key.
+
+    Raises :class:`repro.crypto.pkcs1.SignatureError` on failure. The
+    verification runs over the certificate's original TBS bytes, so a
+    single flipped bit anywhere in the signed fields fails.
+    """
+    pkcs1_verify(
+        issuer_public_key,
+        certificate.signature_hash,
+        certificate.tbs_encoded,
+        certificate.signature,
+    )
+
+
+def is_signed_by(certificate: Certificate, issuer: Certificate) -> bool:
+    """True if *issuer*'s key verifies *certificate*'s signature.
+
+    Checks the name chain first (cheap) before the RSA operation.
+    """
+    if certificate.issuer != issuer.subject:
+        return False
+    try:
+        verify_certificate_signature(certificate, issuer.public_key)
+    except SignatureError:
+        return False
+    return True

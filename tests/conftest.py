@@ -1,0 +1,44 @@
+"""Shared fixtures: one PKI universe per test session.
+
+Building the full platform stores needs ~350 RSA keypairs (~6 s), so the
+factory, stores and a reduced-scale Notary are session-scoped and shared
+by every test module that needs them.
+"""
+
+import pytest
+
+from repro.notary import build_notary
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+from repro.tlssim import TlsTrafficGenerator
+
+
+@pytest.fixture(scope="session")
+def factory():
+    """The session-wide certificate factory (fixed seed)."""
+    return CertificateFactory(seed="test-universe")
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The default calibrated CA catalog."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def platform_stores(factory, catalog):
+    """AOSP 4.1-4.4, Mozilla and iOS7 stores."""
+    return build_platform_stores(factory, catalog)
+
+
+@pytest.fixture(scope="session")
+def traffic(factory, catalog):
+    """A traffic generator at reduced scale for fast tests."""
+    return TlsTrafficGenerator(factory, catalog, scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def notary(factory, catalog):
+    """A Notary built from fifth-scale traffic (the smallest scale at
+    which Table 3's orderings survive integer rounding)."""
+    return build_notary(factory, catalog, scale=0.2)

@@ -1,0 +1,10 @@
+"""Shared reduced-scale study for all integration tests."""
+
+import pytest
+
+from repro.analysis import StudyConfig, run_study
+
+
+@pytest.fixture(scope="package")
+def study():
+    return run_study(StudyConfig(population_scale=0.15, notary_scale=0.2))

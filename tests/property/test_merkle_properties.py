@@ -1,0 +1,75 @@
+"""Property-based tests for the RFC 6962 Merkle tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctlog.merkle import MerkleTree, verify_consistency, verify_inclusion
+
+leaf_lists = st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=64)
+
+
+@given(leaves=leaf_lists, data=st.data())
+@settings(max_examples=80)
+def test_every_inclusion_proof_verifies(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = tree.inclusion_proof(index)
+    assert verify_inclusion(
+        leaves[index], index, len(leaves), proof, tree.root_hash()
+    )
+
+
+@given(leaves=leaf_lists, data=st.data())
+@settings(max_examples=80)
+def test_wrong_leaf_never_verifies(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    impostor = data.draw(st.binary(min_size=1, max_size=16))
+    proof = tree.inclusion_proof(index)
+    if impostor == leaves[index]:
+        return
+    assert not verify_inclusion(
+        impostor, index, len(leaves), proof, tree.root_hash()
+    )
+
+
+@given(leaves=leaf_lists, data=st.data())
+@settings(max_examples=80)
+def test_every_consistency_proof_verifies(leaves, data):
+    tree = MerkleTree(leaves)
+    old_size = data.draw(st.integers(1, len(leaves)))
+    proof = tree.consistency_proof(old_size)
+    assert verify_consistency(
+        old_size, len(leaves), tree.root_hash(old_size), tree.root_hash(), proof
+    )
+
+
+@given(leaves=leaf_lists, extra=st.lists(st.binary(min_size=1, max_size=8), max_size=16))
+@settings(max_examples=60)
+def test_append_only_history_stable(leaves, extra):
+    """Appending never changes any earlier tree head."""
+    tree = MerkleTree(leaves)
+    heads = [tree.root_hash(size) for size in range(1, len(leaves) + 1)]
+    for item in extra:
+        tree.append(item)
+    for size, head in enumerate(heads, start=1):
+        assert tree.root_hash(size) == head
+
+
+@given(leaves=leaf_lists, data=st.data())
+@settings(max_examples=60)
+def test_rewritten_history_fails_consistency(leaves, data):
+    """Mutating any leaf below the old head breaks the consistency proof."""
+    if len(leaves) < 2:
+        return
+    old_size = data.draw(st.integers(1, len(leaves) - 1))
+    victim = data.draw(st.integers(0, old_size - 1))
+    original = MerkleTree(leaves)
+    old_root = original.root_hash(old_size)
+    mutated_leaves = list(leaves)
+    mutated_leaves[victim] = mutated_leaves[victim] + b"\x00"
+    mutated = MerkleTree(mutated_leaves)
+    proof = mutated.consistency_proof(old_size)
+    assert not verify_consistency(
+        old_size, len(mutated_leaves), old_root, mutated.root_hash(), proof
+    )

@@ -1,0 +1,85 @@
+"""Property-based tests for CRL semantics and verifier robustness."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import CertificateBuilder, ChainVerifier, CrlBuilder, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.crl import CertificateRevocationList
+
+NOW = datetime.datetime(2014, 4, 1)
+
+CA_KEYPAIR = generate_keypair(DeterministicRandom("crl-prop-ca"))
+CA_CERT = make_root_certificate(CA_KEYPAIR, Name.build(CN="CRL Prop CA"))
+
+LEAF_KEYPAIR = generate_keypair(DeterministicRandom("crl-prop-leaf"))
+
+
+def _leaf(serial: int):
+    return (
+        CertificateBuilder()
+        .subject(Name.build(CN=f"s{serial}.example"))
+        .issuer(CA_CERT.subject)
+        .public_key(LEAF_KEYPAIR.public)
+        .serial_number(serial)
+        .sign(CA_KEYPAIR.private, issuer_public_key=CA_KEYPAIR.public)
+    )
+
+
+@given(
+    revoked=st.sets(st.integers(1, 40), max_size=12),
+    probe=st.integers(1, 40),
+)
+@settings(max_examples=40, deadline=None)
+def test_is_revoked_iff_serial_listed(revoked, probe):
+    builder = CrlBuilder(CA_CERT.subject)
+    for serial in revoked:
+        builder.revoke(serial, at=NOW)
+    crl = builder.sign(
+        CA_KEYPAIR.private,
+        this_update=NOW,
+        next_update=NOW + datetime.timedelta(days=30),
+    )
+    assert crl.is_revoked(_leaf(probe)) == (probe in revoked)
+
+
+@given(revoked=st.sets(st.integers(1, 10_000_000), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_crl_der_roundtrip(revoked):
+    builder = CrlBuilder(CA_CERT.subject)
+    for serial in revoked:
+        builder.revoke(serial, at=NOW)
+    crl = builder.sign(
+        CA_KEYPAIR.private,
+        this_update=NOW,
+        next_update=NOW + datetime.timedelta(days=30),
+    )
+    parsed = CertificateRevocationList.from_der(crl.encoded)
+    assert {entry.serial_number for entry in parsed.entries} == revoked
+    parsed.verify_signature(CA_CERT.public_key)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_validate_never_crashes_on_shuffled_bundles(data):
+    """Any subset/order of a small cert zoo validates or fails cleanly."""
+    zoo = [
+        CA_CERT,
+        _leaf(1),
+        _leaf(2),
+        make_root_certificate(
+            generate_keypair(DeterministicRandom("crl-prop-other")),
+            Name.build(CN="Other Root"),
+        ),
+    ]
+    presented = data.draw(
+        st.lists(st.sampled_from(zoo), min_size=1, max_size=6)
+    )
+    verifier = ChainVerifier([CA_CERT], at=NOW)
+    result = verifier.validate(presented)
+    assert isinstance(result.trusted, bool)
+    if result.trusted:
+        assert result.anchor is not None

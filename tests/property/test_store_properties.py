@@ -1,0 +1,85 @@
+"""Property-based tests over store diffing and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import RootStore, diff_stores
+from repro.rootstore.serialization import (
+    store_from_json,
+    store_from_pem,
+    store_to_json,
+    store_to_pem,
+)
+from repro.x509 import Name
+from repro.x509.builder import make_root_certificate
+
+#: A fixed pool of distinct certificates to draw store contents from.
+_POOL = [
+    make_root_certificate(
+        generate_keypair(DeterministicRandom(f"store-prop-{index}")),
+        Name.build(CN=f"Pool CA {index}"),
+    )
+    for index in range(12)
+]
+
+subsets = st.sets(st.integers(0, len(_POOL) - 1), max_size=len(_POOL))
+
+
+@given(left=subsets, right=subsets)
+@settings(max_examples=120)
+def test_diff_partitions_store(left, right):
+    """shared + added exactly partition the store under test."""
+    store = RootStore("s", [_POOL[i] for i in left])
+    reference = RootStore("r", [_POOL[i] for i in right])
+    diff = diff_stores(store, reference)
+    assert len(diff.shared) + len(diff.added) == len(store)
+    assert len(diff.shared) == len(left & right)
+    assert len(diff.added) == len(left - right)
+    assert len(diff.missing) == len(right - left)
+
+
+@given(left=subsets, right=subsets)
+@settings(max_examples=60)
+def test_diff_antisymmetry(left, right):
+    """A's additions against B are B's missing against A, and vice versa."""
+    a = RootStore("a", [_POOL[i] for i in left])
+    b = RootStore("b", [_POOL[i] for i in right])
+    ab = diff_stores(a, b)
+    ba = diff_stores(b, a)
+    assert {c.encoded for c in ab.added} == {c.encoded for c in ba.missing}
+    assert {c.encoded for c in ab.missing} == {c.encoded for c in ba.added}
+
+
+@given(members=subsets)
+@settings(max_examples=60)
+def test_diff_reflexivity(members):
+    store = RootStore("s", [_POOL[i] for i in members])
+    diff = diff_stores(store, store)
+    assert diff.is_stock
+    assert len(diff.shared) == len(store)
+
+
+@given(members=subsets, disabled=subsets)
+@settings(max_examples=60)
+def test_json_roundtrip_preserves_everything(members, disabled):
+    store = RootStore("prop", [_POOL[i] for i in members])
+    for index in disabled & members:
+        store.disable(_POOL[index])
+    parsed = store_from_json(store_to_json(store))
+    assert len(parsed) == len(store)
+    assert {c.encoded for c in parsed.certificates(include_disabled=True)} == {
+        c.encoded for c in store.certificates(include_disabled=True)
+    }
+    assert {c.encoded for c in parsed.certificates()} == {
+        c.encoded for c in store.certificates()
+    }
+
+
+@given(members=subsets)
+@settings(max_examples=60)
+def test_pem_roundtrip_preserves_membership(members):
+    store = RootStore("prop", [_POOL[i] for i in members])
+    parsed = store_from_pem(store_to_pem(store))
+    assert set(parsed) == set(store)

@@ -1,0 +1,138 @@
+"""Property-based tests over the X.509 layer."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import Certificate, CertificateBuilder, CertificateError, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.constraints import NameConstraints
+from repro.x509.fingerprint import equivalence_key, identity_key
+from repro.x509.pem import pem_decode, pem_encode
+
+#: Shared keys: keygen per-example is too slow for hypothesis.
+KEYPAIR = generate_keypair(DeterministicRandom("x509-property"))
+ROOT = make_root_certificate(KEYPAIR, Name.build(CN="Property Root", O="P"))
+
+printable_names = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 .-",
+    min_size=1,
+    max_size=40,
+).filter(lambda s: s.strip())
+
+
+@given(cn=printable_names, org=printable_names, serial=st.integers(1, 2**64))
+@settings(max_examples=40, deadline=None)
+def test_certificate_roundtrip(cn, org, serial):
+    """Build -> DER -> parse preserves every field we set."""
+    certificate = (
+        CertificateBuilder()
+        .subject(Name.build(CN=cn, O=org))
+        .public_key(KEYPAIR.public)
+        .serial_number(serial)
+        .self_sign(KEYPAIR.private)
+    )
+    parsed = Certificate.from_der(certificate.encoded)
+    assert parsed.subject.get("CN") == cn
+    assert parsed.subject.get("O") == org
+    assert parsed.serial_number == serial
+    assert parsed == certificate
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_parser_never_crashes_on_mutations(data):
+    """Any single-byte mutation of a valid certificate either parses or
+    raises CertificateError -- never an unexpected exception."""
+    der = bytearray(ROOT.encoded)
+    position = data.draw(st.integers(0, len(der) - 1))
+    der[position] ^= data.draw(st.integers(1, 255))
+    try:
+        Certificate.from_der(bytes(der))
+    except CertificateError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100)
+def test_parser_never_crashes_on_garbage(blob):
+    try:
+        Certificate.from_der(blob)
+    except CertificateError:
+        pass
+
+
+@given(st.integers(1, 2**32))
+@settings(max_examples=30, deadline=None)
+def test_pem_roundtrip_any_cert(serial):
+    certificate = (
+        CertificateBuilder()
+        .subject(Name.build(CN=f"pem-{serial}"))
+        .public_key(KEYPAIR.public)
+        .serial_number(serial)
+        .self_sign(KEYPAIR.private)
+    )
+    assert pem_decode(pem_encode(certificate.encoded)) == certificate.encoded
+
+
+@given(
+    not_after_a=st.datetimes(
+        min_value=datetime.datetime(2015, 1, 1),
+        max_value=datetime.datetime(2040, 1, 1),
+    ),
+    not_after_b=st.datetimes(
+        min_value=datetime.datetime(2015, 1, 1),
+        max_value=datetime.datetime(2040, 1, 1),
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_reissue_equivalence_invariant(not_after_a, not_after_b):
+    """Re-issuing with any two validity windows never breaks the §4.2
+    equivalence, and breaks strict identity iff the DER differs."""
+    subject = Name.build(CN="Equivalence Property Root")
+    a = make_root_certificate(
+        KEYPAIR, subject, not_after=not_after_a.replace(microsecond=0)
+    )
+    b = make_root_certificate(
+        KEYPAIR, subject, not_after=not_after_b.replace(microsecond=0)
+    )
+    assert equivalence_key(a) == equivalence_key(b)
+    assert (identity_key(a) == identity_key(b)) == (a.encoded == b.encoded)
+
+
+dns_labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+dns_names = st.builds(".".join, st.lists(dns_labels, min_size=2, max_size=4))
+
+
+@given(name=dns_names, subtrees=st.lists(dns_names, min_size=1, max_size=4))
+@settings(max_examples=100)
+def test_name_constraints_excluded_wins(name, subtrees):
+    """A name excluded anywhere is never allowed, regardless of what is
+    permitted."""
+    constraints = NameConstraints(
+        permitted=tuple(subtrees) + (name,), excluded=(name,)
+    )
+    assert not constraints.allows(name)
+
+
+@given(name=dns_names, parent=dns_names)
+@settings(max_examples=100)
+def test_name_constraints_subdomain_closure(name, parent):
+    """If a subtree permits a name, it permits all its subdomains too."""
+    constraints = NameConstraints(permitted=(parent,))
+    if constraints.allows(name):
+        assert constraints.allows(f"sub.{name}")
+
+
+@given(dns_names)
+@settings(max_examples=100)
+def test_name_constraints_no_suffix_confusion(name):
+    """'evilgov.ve' must not satisfy a 'gov.ve' constraint: matching is
+    label-aligned, not string-suffix."""
+    constraints = NameConstraints(permitted=(name,))
+    assert not constraints.allows("x" + name)

@@ -1,0 +1,173 @@
+"""Unit tests for the analysis building blocks."""
+
+import pytest
+
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.ecdf import (
+    cumulative_coverage,
+    ecdf_points,
+    fraction_zero,
+    knee_index,
+)
+from repro.analysis.sessions import SessionDiffer, extended_fraction
+from repro.netalyzr import NetalyzrClient
+from repro.rootstore.catalog import StorePresence
+
+
+class TestEcdf:
+    def test_points_monotone(self):
+        points = ecdf_points([0, 0, 5, 2, 9, 2])
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_points_values(self):
+        points = dict(ecdf_points([0, 0, 1, 3]))
+        assert points[0] == 0.5
+        assert points[1] == 0.75
+        assert points[3] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf_points([])
+        with pytest.raises(ValueError):
+            fraction_zero([])
+
+    def test_fraction_zero(self):
+        assert fraction_zero([0, 0, 1, 2]) == 0.5
+        assert fraction_zero([1, 2]) == 0.0
+
+    def test_cumulative_coverage_greedy(self):
+        coverage = cumulative_coverage([1, 10, 5])
+        assert coverage == [(1, 10), (2, 15), (3, 16)]
+
+    def test_cumulative_coverage_given_order(self):
+        coverage = cumulative_coverage([1, 10, 5], greedy=False)
+        assert coverage == [(1, 1), (2, 11), (3, 16)]
+
+    def test_knee_index(self):
+        coverage = cumulative_coverage([100, 10, 1, 1, 1])
+        assert knee_index(coverage, threshold=0.95) == 2
+
+    def test_knee_of_all_zero(self):
+        assert knee_index(cumulative_coverage([0, 0])) == 0
+
+    def test_greedy_dominates_any_order(self):
+        counts = [7, 0, 3, 12, 1, 0, 5]
+        greedy = cumulative_coverage(counts, greedy=True)
+        given = cumulative_coverage(counts, greedy=False)
+        assert all(g[1] >= o[1] for g, o in zip(greedy, given))
+
+
+class TestSessionDiffer:
+    @pytest.fixture(scope="class")
+    def differ(self, platform_stores):
+        return SessionDiffer(platform_stores.aosp)
+
+    @pytest.fixture(scope="class")
+    def client(self, factory, catalog):
+        return NetalyzrClient(factory, catalog, probe_domains=False)
+
+    def test_stock_device_diff(self, differ, client, factory, catalog):
+        from repro.android import DeviceSpec, FirmwareBuilder
+
+        firmware = FirmwareBuilder(factory, catalog)
+        device = firmware.provision(
+            DeviceSpec("LG", "Nexus 5", "4.4", "WIFI"), branded=False
+        )
+        diff = differ.diff(client.run_session(device, 1))
+        assert not diff.is_extended
+        assert diff.aosp_count == 150
+        assert diff.missing_count == 0
+
+    def test_branded_device_diff(self, differ, client, factory, catalog):
+        from repro.android import DeviceSpec, FirmwareBuilder
+
+        firmware = FirmwareBuilder(factory, catalog)
+        device = firmware.provision(
+            DeviceSpec("HTC", "One X", "4.1", "AT&T(US)"), branded=True
+        )
+        diff = differ.diff(client.run_session(device, 2))
+        assert diff.is_extended
+        assert diff.aosp_count == 139
+        assert diff.additional_count > 40
+
+    def test_disabled_cert_counts_missing(self, differ, client, factory, catalog):
+        from repro.android import DeviceSpec, FirmwareBuilder
+
+        firmware = FirmwareBuilder(factory, catalog)
+        device = firmware.provision(
+            DeviceSpec("LG", "Nexus 5", "4.4", "WIFI"), branded=False
+        )
+        device.user_disable_certificate(next(iter(device.store)))
+        diff = differ.diff(client.run_session(device, 3))
+        assert diff.missing_count == 1
+
+    def test_unknown_version_rejected(self, differ, client, factory, catalog):
+        from repro.android import DeviceSpec, FirmwareBuilder
+        import dataclasses
+
+        firmware = FirmwareBuilder(factory, catalog)
+        device = firmware.provision(
+            DeviceSpec("LG", "Nexus 5", "4.4", "WIFI"), branded=False
+        )
+        session = client.run_session(device, 4)
+        session.os_version = "9.0"
+        with pytest.raises(KeyError):
+            differ.diff(session)
+
+    def test_extended_fraction_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extended_fraction([])
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self, platform_stores, notary):
+        return PresenceClassifier(
+            platform_stores.mozilla, platform_stores.ios7, notary
+        )
+
+    def test_both_stores(self, classifier, factory, catalog):
+        profile = catalog.by_name("AddTrust Class 1 CA Root")
+        result = classifier.classify(factory.root_certificate(profile))
+        assert result.presence is StorePresence.MOZILLA_AND_IOS7
+
+    def test_ios7_only(self, classifier, factory, catalog):
+        profile = catalog.by_name("DoD CLASS 3 Root CA")
+        result = classifier.classify(factory.root_certificate(profile))
+        assert result.presence is StorePresence.IOS7_ONLY
+
+    def test_android_only_seen(self, classifier, factory, catalog):
+        profile = catalog.by_name("Entrust.net CA")
+        result = classifier.classify(factory.root_certificate(profile))
+        assert result.presence is StorePresence.ANDROID_ONLY
+        assert result.recorded_by_notary
+
+    def test_not_recorded(self, classifier, factory, catalog):
+        profile = catalog.by_name("Motorola FOTA Root CA")
+        result = classifier.classify(factory.root_certificate(profile))
+        assert result.presence is StorePresence.NOT_RECORDED
+
+    def test_reissued_twin_classified_as_mozilla_member(
+        self, classifier, factory, catalog
+    ):
+        """§4.2: the AOSP copy of a re-issued root must still count as
+        present in Mozilla (equivalence, not byte identity)."""
+        profile = next(p for p in catalog.core if p.reissued_in_mozilla)
+        canonical = factory.root_certificate(profile)
+        assert classifier.classify(canonical).in_mozilla
+
+    def test_classify_unique_dedups(self, classifier, factory, catalog):
+        cert = factory.root_certificate(catalog.by_name("Entrust.net CA"))
+        out = classifier.classify_unique([cert, cert, cert])
+        assert len(out) == 1
+
+    def test_presence_distribution_sums_to_one(self, classifier, factory, catalog):
+        certs = [
+            factory.root_certificate(p) for p in catalog.extras[:20]
+        ]
+        distribution = classifier.presence_distribution(certs)
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9

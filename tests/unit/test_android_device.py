@@ -1,0 +1,171 @@
+"""Unit tests for devices, firmware and apps."""
+
+import pytest
+
+from repro.android import (
+    AndroidDevice,
+    DeviceSpec,
+    FirmwareBuilder,
+    FreedomLikeApp,
+    VpnInterceptorApp,
+)
+from repro.android.apps import PERM_VPN, App
+from repro.rootstore.store import StorePermissionError
+
+
+@pytest.fixture(scope="module")
+def firmware(factory, catalog):
+    return FirmwareBuilder(factory, catalog)
+
+
+def spec(**overrides) -> DeviceSpec:
+    defaults = dict(
+        manufacturer="SAMSUNG",
+        model="Galaxy SIV",
+        os_version="4.2",
+        operator="T-MOBILE(US)",
+        country="US",
+    )
+    defaults.update(overrides)
+    return DeviceSpec(**defaults)
+
+
+class TestFirmware:
+    def test_branded_device_has_vendor_additions(self, firmware):
+        device = firmware.provision(spec(), branded=True)
+        base = firmware.aosp.store_for("4.2")
+        assert len(device.store) > len(base)
+
+    def test_unbranded_device_is_stock(self, firmware):
+        device = firmware.provision(spec(), branded=False)
+        assert len(device.store) == len(firmware.aosp.store_for("4.2"))
+
+    def test_nexus_is_always_stock(self, firmware):
+        device = firmware.provision(
+            spec(manufacturer="LG", model="Nexus 4", os_version="4.4"), branded=True
+        )
+        assert len(device.store) == 150
+
+    def test_operator_overlay(self, firmware):
+        """§5.1: CertiSign certs only on Motorola 4.1 Verizon firmware."""
+        verizon = firmware.vendor_cert_names(
+            spec(manufacturer="MOTOROLA", model="Droid RAZR HD",
+                 os_version="4.1", operator="VERIZON(US)")
+        )
+        tmobile = firmware.vendor_cert_names(
+            spec(manufacturer="MOTOROLA", model="Droid RAZR HD",
+                 os_version="4.1", operator="T-MOBILE(US)")
+        )
+        assert "Certisign AC1S" in verizon
+        assert "Certisign AC1S" not in tmobile
+        # FOTA/SUPL certs ride on every Motorola firmware.
+        assert "Motorola FOTA Root CA" in tmobile
+
+    def test_samsung_43_extended_over_41(self, firmware):
+        """§5.1 fn3: Samsung 4.3/4.4 stores are extended vs 4.1/4.2."""
+        v41 = firmware.vendor_cert_names(spec(os_version="4.1"))
+        v43 = firmware.vendor_cert_names(spec(os_version="4.3"))
+        assert len(v43) > len(v41)
+
+    def test_htc_over_40_additions(self, firmware):
+        """Figure 1: HTC 4.1 devices add >40 certificates."""
+        names = firmware.vendor_cert_names(
+            spec(manufacturer="HTC", model="One X", os_version="4.1")
+        )
+        assert len(names) > 40
+
+    def test_image_cache_reused(self, firmware):
+        a = firmware.build_image(spec())
+        b = firmware.build_image(spec())
+        assert a is b
+
+    def test_devices_share_store_until_mutation(self, firmware):
+        a = firmware.provision(spec(), branded=True, device_id="a")
+        b = firmware.provision(spec(), branded=True, device_id="b")
+        assert a.store is b.store
+        a.user_disable_certificate(next(iter(a.store)))
+        assert a.store is not b.store
+
+
+class TestDeviceStoreAccess:
+    def test_user_can_add(self, firmware, factory, catalog):
+        device = firmware.provision(spec(), branded=False)
+        certificate = factory.root_certificate(
+            catalog.by_name("Self-Signed VPN Root 1")
+        )
+        before = len(device.store)
+        device.user_add_certificate(certificate)
+        assert len(device.store) == before + 1
+        assert device.store.entry_for(certificate).source == "user"
+
+    def test_user_can_disable(self, firmware):
+        device = firmware.provision(spec(), branded=False)
+        target = next(iter(device.store))
+        assert device.user_disable_certificate(target)
+        assert target not in set(
+            device.store.certificates()
+        )
+
+    def test_app_needs_root(self, firmware, factory, catalog):
+        device = firmware.provision(spec(), branded=False, rooted=False)
+        certificate = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        with pytest.raises(StorePermissionError):
+            device.app_add_certificate(certificate, "Freedom")
+
+    def test_rooted_app_can_add_and_remove(self, firmware, factory, catalog):
+        device = firmware.provision(spec(), branded=False, rooted=True)
+        certificate = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.app_add_certificate(certificate, "Freedom")
+        assert certificate in device.store
+        assert device.app_remove_certificate(certificate, "Freedom")
+        assert certificate not in device.store
+
+    def test_mutation_does_not_leak_to_firmware_image(self, firmware, factory, catalog):
+        image_store = firmware.build_image(spec()).store
+        before = len(image_store)
+        device = firmware.provision(spec(), branded=True, rooted=True)
+        certificate = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.app_add_certificate(certificate, "Freedom")
+        assert len(image_store) == before
+
+
+class TestApps:
+    def test_freedom_requires_root(self, firmware, factory, catalog):
+        device = firmware.provision(spec(), branded=False, rooted=False)
+        app = FreedomLikeApp(
+            ca_certificate=factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        )
+        with pytest.raises(PermissionError):
+            device.install_app(app)
+
+    def test_freedom_installs_ca_silently(self, firmware, factory, catalog):
+        device = firmware.provision(spec(), branded=False, rooted=True)
+        certificate = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.install_app(FreedomLikeApp(ca_certificate=certificate))
+        assert certificate in device.store
+        assert device.store.entry_for(certificate).source == "app:Freedom"
+
+    def test_freedom_unconfigured_rejected(self, firmware):
+        device = firmware.provision(spec(), branded=False, rooted=True)
+        with pytest.raises(ValueError):
+            device.install_app(FreedomLikeApp())
+
+    def test_vpn_app_no_root_no_certificate(self, firmware):
+        """§7: the interceptor needs neither root nor a store change."""
+        device = firmware.provision(spec(), branded=False, rooted=False)
+        before = len(device.store)
+        app = VpnInterceptorApp()
+        device.install_app(app)
+        assert device.proxy is app.proxy
+        assert len(device.store) == before
+
+    def test_vpn_app_permissions(self):
+        app = VpnInterceptorApp()
+        assert PERM_VPN in app.permissions
+        assert len(app.overreaching_permissions) >= 5
+
+    def test_benign_app_does_nothing(self, firmware):
+        device = firmware.provision(spec(), branded=False)
+        device.install_app(App(name="Calculator"))
+        assert device.proxy is None
+        assert device.app_names == ["Calculator"]

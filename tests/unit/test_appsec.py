@@ -1,0 +1,163 @@
+"""Tests for the broken app-TLS-stack models."""
+
+import datetime
+
+import pytest
+
+from repro.android.appsec import (
+    AppTlsStack,
+    ValidationProfile,
+    exposure_summary,
+    run_attack_matrix,
+)
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.tlssim import TlsServer
+from repro.tlssim.pinning import PinStore
+from repro.tlssim.traffic import ServerIdentity
+from repro.x509 import CertificateBuilder, Name
+
+HOST = "victim.example"
+
+
+@pytest.fixture(scope="module")
+def device_store(platform_stores):
+    return platform_stores.aosp["4.4"].copy("appsec-tests", read_only=False)
+
+
+@pytest.fixture(scope="module")
+def legit_server(traffic):
+    identity = traffic.server_identity(HOST, "Entrust Root CA")
+    return TlsServer(HOST, 443, identity)
+
+
+@pytest.fixture(scope="module")
+def self_signed_server():
+    keypair = generate_keypair(DeterministicRandom("appsec-test-ss"))
+    certificate = (
+        CertificateBuilder()
+        .subject(Name.build(CN=HOST))
+        .public_key(keypair.public)
+        .tls_server(HOST)
+        .self_sign(keypair.private)
+    )
+    return TlsServer(HOST, 443, ServerIdentity(chain=(certificate,), keypair=keypair))
+
+
+@pytest.fixture(scope="module")
+def wrong_host_server(traffic):
+    identity = traffic.server_identity("unrelated.example", "Entrust Root CA")
+    return TlsServer(HOST, 443, identity)
+
+
+class TestProfiles:
+    def test_correct_accepts_legit(self, device_store, legit_server):
+        stack = AppTlsStack(ValidationProfile.CORRECT, device_store)
+        assert stack.connect(legit_server).trusted
+
+    def test_correct_rejects_self_signed(self, device_store, self_signed_server):
+        stack = AppTlsStack(ValidationProfile.CORRECT, device_store)
+        assert not stack.connect(self_signed_server).trusted
+
+    def test_correct_rejects_wrong_host(self, device_store, wrong_host_server):
+        stack = AppTlsStack(ValidationProfile.CORRECT, device_store)
+        assert not stack.connect(wrong_host_server).trusted
+
+    def test_accept_all_accepts_everything(
+        self, device_store, self_signed_server, wrong_host_server
+    ):
+        stack = AppTlsStack(ValidationProfile.ACCEPT_ALL, device_store)
+        assert stack.connect(self_signed_server).trusted
+        assert stack.connect(wrong_host_server).trusted
+
+    def test_no_hostname_accepts_wrong_host_only(
+        self, device_store, self_signed_server, wrong_host_server
+    ):
+        stack = AppTlsStack(ValidationProfile.NO_HOSTNAME, device_store)
+        assert stack.connect(wrong_host_server).trusted
+        assert not stack.connect(self_signed_server).trusted
+
+    def test_accept_self_signed(self, device_store, self_signed_server, legit_server):
+        stack = AppTlsStack(ValidationProfile.ACCEPT_SELF_SIGNED, device_store)
+        assert stack.connect(self_signed_server).trusted
+        assert stack.connect(legit_server).trusted  # legit still passes
+
+    def test_accept_expired(self, device_store, factory, catalog):
+        ca_profile = catalog.by_name("Entrust Root CA")
+        ca_keypair = factory.keypair_for("Entrust Root CA")
+        keypair = generate_keypair(DeterministicRandom("appsec-test-expired"))
+        expired = (
+            CertificateBuilder()
+            .subject(Name.build(CN=HOST))
+            .issuer(factory.subject_for(ca_profile))
+            .public_key(keypair.public)
+            .serial_number(5)
+            .validity(datetime.datetime(2010, 1, 1), datetime.datetime(2012, 1, 1))
+            .tls_server(HOST)
+            .sign(ca_keypair.private, issuer_public_key=ca_keypair.public)
+        )
+        server = TlsServer(
+            HOST, 443, ServerIdentity(chain=(expired,), keypair=keypair)
+        )
+        sloppy = AppTlsStack(ValidationProfile.ACCEPT_EXPIRED, device_store)
+        strict = AppTlsStack(ValidationProfile.CORRECT, device_store)
+        assert sloppy.connect(server).trusted
+        assert not strict.connect(server).trusted
+
+    def test_pinned_rejects_store_resident_mitm(
+        self, device_store, traffic, factory, catalog
+    ):
+        """Only pinning survives a root injected into the store (§6/§8)."""
+        legit = traffic.server_identity(HOST, "Entrust Root CA")
+        pins = PinStore()
+        pins.pin(HOST, legit.chain[-1])
+        mitm_kp = generate_keypair(DeterministicRandom("appsec-test-mitm"))
+        mitm_root = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Test MITM Root"))
+            .public_key(mitm_kp.public)
+            .ca(True)
+            .self_sign(mitm_kp.private)
+        )
+        store = device_store.copy("mitm-device")
+        store.add(mitm_root, system=True, source="app:Freedom")
+        leaf_kp = generate_keypair(DeterministicRandom("appsec-test-mitm-leaf"))
+        forged = (
+            CertificateBuilder()
+            .subject(Name.build(CN=HOST))
+            .issuer(mitm_root.subject)
+            .public_key(leaf_kp.public)
+            .serial_number(6)
+            .tls_server(HOST)
+            .sign(mitm_kp.private, issuer_public_key=mitm_kp.public)
+        )
+        server = TlsServer(
+            HOST, 443, ServerIdentity(chain=(forged, mitm_root), keypair=leaf_kp)
+        )
+        correct = AppTlsStack(ValidationProfile.CORRECT, store)
+        pinned = AppTlsStack(ValidationProfile.PINNED, store, pins=pins)
+        assert correct.connect(server).trusted  # the §6 hazard
+        assert not pinned.connect(server).trusted
+
+
+class TestMatrix:
+    def test_matrix_and_summary(
+        self, device_store, self_signed_server, wrong_host_server
+    ):
+        stacks = {
+            profile: AppTlsStack(profile, device_store)
+            for profile in (
+                ValidationProfile.CORRECT,
+                ValidationProfile.ACCEPT_ALL,
+                ValidationProfile.NO_HOSTNAME,
+            )
+        }
+        servers = {
+            "self_signed": self_signed_server,
+            "wrong_host": wrong_host_server,
+        }
+        outcomes = run_attack_matrix(stacks, servers)
+        assert len(outcomes) == 6
+        summary = exposure_summary(outcomes)
+        assert summary[ValidationProfile.ACCEPT_ALL] == 2
+        assert summary[ValidationProfile.NO_HOSTNAME] == 1
+        assert summary[ValidationProfile.CORRECT] == 0

@@ -1,0 +1,291 @@
+"""Unit tests for the DER encoder/decoder pair."""
+
+import datetime
+
+import pytest
+
+from repro.asn1 import (
+    Asn1Error,
+    ObjectIdentifier,
+    decode,
+    decode_all,
+    encode_bit_string,
+    encode_boolean,
+    encode_explicit,
+    encode_ia5_string,
+    encode_implicit,
+    encode_integer,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_utc_time,
+    encode_utf8_string,
+    encode_generalized_time,
+)
+from repro.asn1.encoder import encode_length, encode_x509_time, is_printable
+
+
+class TestEncodeLength:
+    def test_short_form(self):
+        assert encode_length(0) == b"\x00"
+        assert encode_length(127) == b"\x7f"
+
+    def test_long_form(self):
+        assert encode_length(128) == b"\x81\x80"
+        assert encode_length(256) == b"\x82\x01\x00"
+        assert encode_length(65535) == b"\x82\xff\xff"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_length(-1)
+
+
+class TestInteger:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x02\x01\x00"),
+            (1, b"\x02\x01\x01"),
+            (127, b"\x02\x01\x7f"),
+            (128, b"\x02\x02\x00\x80"),
+            (256, b"\x02\x02\x01\x00"),
+            (-1, b"\x02\x01\xff"),
+            (-128, b"\x02\x01\x80"),
+            (-129, b"\x02\x02\xff\x7f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_integer(value) == expected
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, 128, -128, 255, 65537, 2**512, -(2**100)])
+    def test_roundtrip(self, value):
+        assert decode(encode_integer(value)).as_integer() == value
+
+    def test_nonminimal_rejected(self):
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            decode(b"\x02\x02\x00\x01").as_integer()
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(Asn1Error, match="empty INTEGER"):
+            decode(b"\x02\x00").as_integer()
+
+
+class TestBoolean:
+    def test_true_false(self):
+        assert decode(encode_boolean(True)).as_boolean() is True
+        assert decode(encode_boolean(False)).as_boolean() is False
+
+    def test_der_requires_ff(self):
+        with pytest.raises(Asn1Error, match="non-DER BOOLEAN"):
+            decode(b"\x01\x01\x01").as_boolean()
+
+
+class TestBitString:
+    def test_roundtrip(self):
+        data, unused = decode(encode_bit_string(b"\xab\xcd", 3)).as_bit_string()
+        assert data == b"\xab\xcd"
+        assert unused == 3
+
+    def test_empty(self):
+        assert decode(encode_bit_string(b"")).as_bit_string() == (b"", 0)
+
+    def test_bad_unused_count(self):
+        with pytest.raises(ValueError):
+            encode_bit_string(b"\x00", 8)
+        with pytest.raises(ValueError):
+            encode_bit_string(b"", 1)
+
+    def test_decoder_rejects_bad_unused(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x03\x02\x08\x00").as_bit_string()
+
+
+class TestStrings:
+    def test_printable_roundtrip(self):
+        encoded = encode_printable_string("Test CA 2014")
+        assert decode(encoded).as_string() == "Test CA 2014"
+
+    def test_printable_rejects_non_printable(self):
+        with pytest.raises(ValueError, match="not a PrintableString"):
+            encode_printable_string("comma@nope!")
+
+    def test_is_printable(self):
+        assert is_printable("A-Z a-z 0-9 '()+,-./:=?")
+        assert not is_printable("x@y")
+        assert not is_printable("ümlaut")
+
+    def test_utf8_roundtrip(self):
+        encoded = encode_utf8_string("Türktrust Elektronik")
+        assert decode(encoded).as_string() == "Türktrust Elektronik"
+
+    def test_ia5_roundtrip(self):
+        encoded = encode_ia5_string("admin@example.com")
+        assert decode(encoded).as_string() == "admin@example.com"
+
+    def test_string_accessor_rejects_integer(self):
+        with pytest.raises(Asn1Error, match="string type"):
+            decode(encode_integer(1)).as_string()
+
+
+class TestTime:
+    def test_utc_roundtrip(self):
+        moment = datetime.datetime(2014, 12, 2, 10, 30, 15)
+        assert decode(encode_utc_time(moment)).as_time() == moment
+
+    def test_utc_century_pivot(self):
+        # 49 -> 2049, 50 -> 1950 per RFC 5280.
+        assert decode(b"\x17\x0d" + b"490101000000Z").as_time().year == 2049
+        assert decode(b"\x17\x0d" + b"500101000000Z").as_time().year == 1950
+
+    def test_utc_rejects_out_of_range_year(self):
+        with pytest.raises(ValueError):
+            encode_utc_time(datetime.datetime(2050, 1, 1))
+
+    def test_generalized_roundtrip(self):
+        moment = datetime.datetime(2055, 6, 1, 0, 0, 1)
+        assert decode(encode_generalized_time(moment)).as_time() == moment
+
+    def test_x509_time_selects_form(self):
+        assert encode_x509_time(datetime.datetime(2049, 1, 1))[0] == 0x17
+        assert encode_x509_time(datetime.datetime(2050, 1, 1))[0] == 0x18
+
+    def test_malformed_utc_rejected(self):
+        with pytest.raises(Asn1Error, match="malformed UTCTime"):
+            decode(b"\x17\x0b" + b"49010100000").as_time()
+
+    def test_timezone_aware_normalized(self):
+        tz = datetime.timezone(datetime.timedelta(hours=2))
+        aware = datetime.datetime(2014, 6, 1, 14, 0, 0, tzinfo=tz)
+        assert decode(encode_utc_time(aware)).as_time() == datetime.datetime(
+            2014, 6, 1, 12, 0, 0
+        )
+
+
+class TestOid:
+    def test_known_encoding(self):
+        # 1.2.840.113549.1.1.11 (sha256WithRSAEncryption)
+        encoded = encode_oid("1.2.840.113549.1.1.11")
+        assert encoded == bytes.fromhex("06092a864886f70d01010b")
+
+    @pytest.mark.parametrize(
+        "dotted", ["2.5.4.3", "1.2.840.113549.1.1.1", "0.9.2342.19200300.100.1.25", "2.999.1"]
+    )
+    def test_roundtrip(self, dotted):
+        assert decode(encode_oid(dotted)).as_oid().dotted == dotted
+
+    def test_rejects_single_arc(self):
+        with pytest.raises(ValueError):
+            ObjectIdentifier("2")
+
+    def test_rejects_bad_leading_arcs(self):
+        with pytest.raises(ValueError):
+            ObjectIdentifier("3.1")
+        with pytest.raises(ValueError):
+            ObjectIdentifier("0.40")
+
+    def test_truncated_arc_rejected(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x06\x02\x88\x80").as_oid()
+
+    def test_nonminimal_arc_rejected(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x06\x03\x55\x80\x03").as_oid()
+
+    def test_equality_and_hash(self):
+        a = ObjectIdentifier("2.5.4.3")
+        b = ObjectIdentifier((2, 5, 4, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ObjectIdentifier("2.5.4.6")
+
+    def test_ordering(self):
+        assert ObjectIdentifier("2.5.4.3") < ObjectIdentifier("2.5.4.6")
+
+
+class TestStructures:
+    def test_sequence_children(self):
+        encoded = encode_sequence([encode_integer(1), encode_null(), encode_boolean(True)])
+        seq = decode(encoded)
+        assert len(seq) == 3
+        assert seq[0].as_integer() == 1
+        seq[1].as_null()
+        assert seq[2].as_boolean() is True
+
+    def test_primitive_has_no_children(self):
+        with pytest.raises(Asn1Error, match="primitive"):
+            decode(encode_integer(1)).children
+
+    def test_set_sorts_components(self):
+        unsorted = [encode_integer(300), encode_integer(2)]
+        encoded = encode_set(unsorted)
+        values = [child.as_integer() for child in decode(encoded)]
+        assert values == [2, 300]
+
+    def test_explicit_wrap_unwrap(self):
+        encoded = encode_explicit(0, encode_integer(2))
+        obj = decode(encoded)
+        assert obj.tag.is_context(0)
+        assert obj.explicit_inner().as_integer() == 2
+
+    def test_explicit_inner_rejects_multiple(self):
+        encoded = encode_explicit(0, encode_integer(1) + encode_integer(2))
+        with pytest.raises(Asn1Error, match="exactly one"):
+            decode(encoded).explicit_inner()
+
+    def test_implicit_retag(self):
+        encoded = encode_implicit(2, encode_ia5_string("dns.example"))
+        obj = decode(encoded)
+        assert obj.tag.is_context(2)
+        assert not obj.tag.constructed
+        assert obj.content == b"dns.example"
+
+    def test_implicit_preserves_constructed(self):
+        encoded = encode_implicit(1, encode_sequence([encode_integer(1)]))
+        assert decode(encoded).tag.constructed
+
+    def test_octet_string_roundtrip(self):
+        assert decode(encode_octet_string(b"\x00\xff")).as_octet_string() == b"\x00\xff"
+
+
+class TestDecoderStrictness:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(Asn1Error, match="trailing"):
+            decode(encode_integer(1) + b"\x00")
+
+    def test_decode_all(self):
+        blob = encode_integer(1) + encode_integer(2)
+        assert [o.as_integer() for o in decode_all(blob)] == [1, 2]
+
+    def test_truncated_content_rejected(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            decode(b"\x02\x05\x01")
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(Asn1Error, match="missing length"):
+            decode(b"\x02")
+
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(Asn1Error, match="indefinite"):
+            decode(b"\x30\x80\x00\x00")
+
+    def test_nonminimal_long_length_rejected(self):
+        # Value 1 encoded with long-form length.
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            decode(b"\x02\x81\x01\x05")
+
+    def test_long_length_leading_zero_rejected(self):
+        with pytest.raises(Asn1Error, match="leading zero"):
+            decode(b"\x02\x82\x00\x81" + b"\x00" * 129)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(Asn1Error):
+            decode(b"")
+
+    def test_encoded_slice_is_exact(self):
+        inner = encode_integer(7)
+        obj = decode(encode_sequence([inner]))
+        assert obj.encoded == encode_sequence([inner])
+        assert obj[0].encoded == inner

@@ -1,0 +1,48 @@
+"""Unit tests for ASN.1 tag model."""
+
+import pytest
+
+from repro.asn1.tags import CONSTRUCTED, Tag, TagClass, UniversalTag
+
+
+class TestTag:
+    def test_universal_identifier_octet(self):
+        assert Tag.universal(UniversalTag.INTEGER).identifier_octet == 0x02
+
+    def test_constructed_sets_bit(self):
+        tag = Tag.universal(UniversalTag.SEQUENCE, constructed=True)
+        assert tag.identifier_octet == 0x30
+        assert tag.identifier_octet & CONSTRUCTED
+
+    def test_context_tag(self):
+        tag = Tag.context(3)
+        assert tag.identifier_octet == 0xA3
+        assert tag.is_context(3)
+        assert not tag.is_context(0)
+
+    def test_from_octet_roundtrip(self):
+        for octet in (0x02, 0x30, 0x31, 0xA0, 0xA3, 0x80, 0x04, 0x17):
+            assert Tag.from_octet(octet).identifier_octet == octet
+
+    def test_from_octet_rejects_high_tag_form(self):
+        with pytest.raises(ValueError, match="high-tag-number"):
+            Tag.from_octet(0x1F)
+
+    def test_tag_number_31_rejected(self):
+        with pytest.raises(ValueError, match="low-tag-number"):
+            Tag(TagClass.UNIVERSAL, False, 31)
+
+    def test_is_universal(self):
+        assert Tag.universal(UniversalTag.NULL).is_universal(UniversalTag.NULL)
+        assert not Tag.context(5).is_universal(UniversalTag.NULL)
+
+    def test_str_universal(self):
+        assert str(Tag.universal(UniversalTag.OCTET_STRING)) == "OCTET_STRING"
+
+    def test_str_context(self):
+        assert str(Tag.context(0)) == "CONTEXT[0]"
+
+    def test_hashable_and_equal(self):
+        assert Tag.context(1) == Tag.context(1)
+        assert hash(Tag.context(1)) == hash(Tag.context(1))
+        assert Tag.context(1) != Tag.context(2)

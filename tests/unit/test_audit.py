@@ -1,0 +1,145 @@
+"""Unit tests for the store auditor (§8's recommendations engine)."""
+
+import pytest
+
+from repro.analysis.classify import PresenceClassifier
+from repro.audit import AuditPolicy, Severity, StoreAuditor, default_policy
+from repro.x509.constraints import NameConstraints
+
+
+@pytest.fixture(scope="module")
+def auditor(platform_stores, notary):
+    classifier = PresenceClassifier(
+        platform_stores.mozilla, platform_stores.ios7, notary
+    )
+    return StoreAuditor(
+        platform_stores.aosp["4.4"], classifier=classifier, notary=notary
+    )
+
+
+@pytest.fixture
+def device_store(platform_stores):
+    return platform_stores.aosp["4.4"].copy("device-under-audit", read_only=False)
+
+
+class TestCleanStore:
+    def test_stock_store_only_expired_anchor_finding(self, auditor, device_store):
+        report = auditor.audit(device_store)
+        assert report.additions == 0
+        assert report.missing == 0
+        rules = {finding.rule for finding in report.findings}
+        # The stock AOSP 4.4 store legitimately contains the expired
+        # Firmaprofesional root -- the only expected finding.
+        assert rules == {"expired-anchor"}
+        assert report.max_severity is Severity.LOW
+
+    def test_removable_dead_weight_matches_table4(self, auditor, device_store):
+        report = auditor.audit(device_store)
+        # ~23% of AOSP 4.4 roots validate nothing (Table 4).
+        assert 0.18 <= len(report.removable) / report.total_roots <= 0.28
+
+
+class TestTamperFindings:
+    def test_app_installed_root_is_critical(
+        self, auditor, device_store, factory, catalog
+    ):
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device_store.add(crazy, source="app:Freedom")
+        report = auditor.audit(device_store)
+        critical = report.findings_at_least(Severity.CRITICAL)
+        assert len(critical) == 1
+        assert critical[0].rule == "app-installed-root"
+        assert "Freedom" in critical[0].message
+
+    def test_user_installed_root_is_medium(
+        self, auditor, device_store, factory, catalog
+    ):
+        vpn = factory.root_certificate(catalog.by_name("Self-Signed VPN Root 2"))
+        device_store.add(vpn, source="user")
+        report = auditor.audit(device_store)
+        rules = {f.rule for f in report.findings}
+        assert "user-installed-root" in rules
+
+    def test_unseen_addition_is_high(self, auditor, device_store, factory, catalog):
+        fota = factory.root_certificate(catalog.by_name("Motorola FOTA Root CA"))
+        device_store.add(fota, source="firmware")
+        report = auditor.audit(device_store)
+        unvetted = [f for f in report.findings if f.rule == "unvetted-addition"]
+        assert unvetted and unvetted[0].severity is Severity.HIGH
+
+    def test_vetted_addition_not_flagged_high(
+        self, auditor, device_store, factory, catalog
+    ):
+        addtrust = factory.root_certificate(
+            catalog.by_name("AddTrust Class 1 CA Root")
+        )
+        device_store.add(addtrust, source="firmware")
+        report = auditor.audit(device_store)
+        assert not [
+            f
+            for f in report.findings
+            if f.rule == "unvetted-addition"
+            and f.certificate == addtrust
+        ]
+
+    def test_missing_roots_flagged(self, auditor, device_store):
+        victim = next(iter(device_store))
+        device_store.remove(victim)
+        report = auditor.audit(device_store)
+        assert report.missing == 1
+        assert any(f.rule == "missing-reference-roots" for f in report.findings)
+
+    def test_special_purpose_without_constraints(
+        self, auditor, device_store, factory, catalog
+    ):
+        supl = factory.root_certificate(
+            catalog.by_name("Motorola SUPL Server Root CA")
+        )
+        device_store.add(supl, source="firmware")
+        report = auditor.audit(device_store)
+        assert any(
+            f.rule == "unconstrained-special-purpose" for f in report.findings
+        )
+
+
+class TestPolicy:
+    def test_policy_switches_off_rules(self, platform_stores, device_store, factory, catalog):
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device_store.add(crazy, source="app:Freedom")
+        lax = AuditPolicy(
+            flag_non_system_sources=False,
+            flag_unvetted_additions=False,
+            flag_expired_anchors=False,
+            flag_unconstrained_special_purpose=False,
+        )
+        auditor = StoreAuditor(platform_stores.aosp["4.4"], policy=lax)
+        report = auditor.audit(device_store)
+        assert report.findings == []
+
+    def test_special_purpose_heuristic(self):
+        policy = default_policy()
+        assert policy.looks_special_purpose("CN=Motorola FOTA Root CA")
+        assert policy.looks_special_purpose("CN=Venezuelan National CA")
+        assert not policy.looks_special_purpose("CN=VeriSign Class 3 Root")
+
+
+class TestReportRendering:
+    def test_render_contains_findings(self, auditor, device_store, factory, catalog):
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device_store.add(crazy, source="app:Freedom")
+        text = auditor.audit(device_store).render()
+        assert "CRITICAL" in text
+        assert "CRAZY HOUSE" in text
+
+    def test_min_severity_filter(self, auditor, device_store):
+        text = auditor.audit(device_store).render(min_severity=Severity.HIGH)
+        assert "expired-anchor" not in text
+
+    def test_clean_report_severity(self, platform_stores):
+        auditor = StoreAuditor(
+            platform_stores.aosp["4.1"],
+            policy=AuditPolicy(flag_expired_anchors=False),
+        )
+        report = auditor.audit(platform_stores.aosp["4.1"].copy("x"))
+        assert report.max_severity is Severity.INFO
+        assert report.findings == []

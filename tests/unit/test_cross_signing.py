@@ -1,0 +1,116 @@
+"""Tests for cross-signed path discovery in the chain verifier."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import CertificateBuilder, ChainVerifier, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.chain import build_all_chains
+
+
+@pytest.fixture(scope="module")
+def cross_signed_pki():
+    """An intermediate cross-signed by two roots (the GlobalSign/
+    Let's-Encrypt deployment shape): same intermediate key and subject,
+    two parent certificates with different issuers."""
+    old_root_kp = generate_keypair(DeterministicRandom("xs-old-root"))
+    new_root_kp = generate_keypair(DeterministicRandom("xs-new-root"))
+    old_root = make_root_certificate(old_root_kp, Name.build(CN="Legacy Root", O="X"))
+    new_root = make_root_certificate(new_root_kp, Name.build(CN="Modern Root", O="X"))
+
+    inter_kp = generate_keypair(DeterministicRandom("xs-inter"))
+    inter_subject = Name.build(CN="Cross Intermediate", O="X")
+
+    def cross_cert(root_cert, root_kp, serial):
+        return (
+            CertificateBuilder()
+            .subject(inter_subject)
+            .issuer(root_cert.subject)
+            .public_key(inter_kp.public)
+            .serial_number(serial)
+            .ca(True)
+            .sign(root_kp.private, issuer_public_key=root_kp.public)
+        )
+
+    inter_via_old = cross_cert(old_root, old_root_kp, 10)
+    inter_via_new = cross_cert(new_root, new_root_kp, 11)
+
+    leaf_kp = generate_keypair(DeterministicRandom("xs-leaf"))
+    leaf = (
+        CertificateBuilder()
+        .subject(Name.build(CN="cross.example.com"))
+        .issuer(inter_subject)
+        .public_key(leaf_kp.public)
+        .serial_number(12)
+        .tls_server("cross.example.com")
+        .sign(inter_kp.private, issuer_public_key=inter_kp.public)
+    )
+    return {
+        "old_root": old_root,
+        "new_root": new_root,
+        "inter_via_old": inter_via_old,
+        "inter_via_new": inter_via_new,
+        "leaf": leaf,
+    }
+
+
+class TestBuildAllChains:
+    def test_both_paths_found(self, cross_signed_pki):
+        pki = cross_signed_pki
+        paths = build_all_chains(
+            pki["leaf"], [pki["inter_via_old"], pki["inter_via_new"]]
+        )
+        assert len(paths) == 2
+        tops = {path[-1].serial_number for path in paths}
+        assert tops == {10, 11}
+
+    def test_limit_respected(self, cross_signed_pki):
+        pki = cross_signed_pki
+        paths = build_all_chains(
+            pki["leaf"],
+            [pki["inter_via_old"], pki["inter_via_new"]],
+            limit=1,
+        )
+        assert len(paths) == 1
+
+    def test_no_candidates(self, cross_signed_pki):
+        assert build_all_chains(cross_signed_pki["leaf"], []) == [
+            [cross_signed_pki["leaf"]]
+        ]
+
+
+class TestCrossSignedValidation:
+    def test_validates_with_either_root(self, cross_signed_pki):
+        """Whichever root the client trusts, the server's dual-cert
+        bundle must validate."""
+        pki = cross_signed_pki
+        presented = [pki["leaf"], pki["inter_via_old"], pki["inter_via_new"]]
+        for trusted_root, expected_serial in (
+            (pki["old_root"], 10),
+            (pki["new_root"], 11),
+        ):
+            verifier = ChainVerifier([trusted_root])
+            result = verifier.validate(presented, "cross.example.com")
+            assert result.trusted, trusted_root.subject
+            assert result.anchor == trusted_root
+
+    def test_presentation_order_irrelevant(self, cross_signed_pki):
+        pki = cross_signed_pki
+        verifier = ChainVerifier([pki["new_root"]])
+        for presented in (
+            [pki["leaf"], pki["inter_via_old"], pki["inter_via_new"]],
+            [pki["leaf"], pki["inter_via_new"], pki["inter_via_old"]],
+        ):
+            assert verifier.validate(presented, "cross.example.com").trusted
+
+    def test_untrusted_both_roots_fails(self, cross_signed_pki):
+        pki = cross_signed_pki
+        stranger = make_root_certificate(
+            generate_keypair(DeterministicRandom("xs-stranger")),
+            Name.build(CN="Stranger Root"),
+        )
+        verifier = ChainVerifier([stranger])
+        result = verifier.validate(
+            [pki["leaf"], pki["inter_via_old"], pki["inter_via_new"]]
+        )
+        assert not result.trusted

@@ -1,0 +1,215 @@
+"""Unit tests for the crypto substrate (primes, RSA, PKCS#1)."""
+
+import pytest
+
+from repro.crypto import (
+    DeterministicRandom,
+    RsaPublicKey,
+    SignatureError,
+    derive_random,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    sign,
+    verify,
+)
+from repro.crypto.hashes import digest, digest_size, hash_names
+from repro.crypto.pkcs1 import digest_info, emsa_encode
+from repro.crypto.rng import random_odd
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 997):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 100, 561, 1105, 997 * 991):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes must fail Miller-Rabin.
+        for n in (561, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^89 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**89 - 1)
+        assert not is_probable_prime(2**89 - 3)
+
+    def test_generate_prime_bit_length(self):
+        rng = DeterministicRandom("prime-test")
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, DeterministicRandom("x"))
+
+    def test_deterministic(self):
+        a = generate_prime(128, DeterministicRandom("seed-a"))
+        b = generate_prime(128, DeterministicRandom("seed-a"))
+        assert a == b
+
+
+class TestRng:
+    def test_same_label_same_stream(self):
+        assert DeterministicRandom("x").random() == DeterministicRandom("x").random()
+
+    def test_different_labels_differ(self):
+        assert DeterministicRandom("x").random() != DeterministicRandom("y").random()
+
+    def test_derive_random(self):
+        rng = derive_random("study", "ca-key", "VeriSign")
+        assert rng.label == "study/ca-key/VeriSign"
+
+    def test_random_odd_properties(self):
+        rng = DeterministicRandom("odd")
+        for _ in range(50):
+            value = random_odd(rng, 64)
+            assert value % 2 == 1
+            assert value.bit_length() == 64
+
+    def test_random_odd_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_odd(DeterministicRandom("x"), 1)
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_keypair(DeterministicRandom("rsa-fixture"))
+
+    def test_key_size(self, keypair):
+        assert keypair.public.bits == 512
+        assert keypair.public.byte_length == 64
+
+    def test_raw_sign_verify_inverse(self, keypair):
+        message = 0x1234567890ABCDEF
+        assert keypair.public.raw_verify(keypair.private.raw_sign(message)) == message
+
+    def test_raw_range_checks(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.private.raw_sign(keypair.private.modulus)
+        with pytest.raises(ValueError):
+            keypair.public.raw_verify(-1)
+
+    def test_der_roundtrip(self, keypair):
+        der = keypair.public.to_der()
+        assert RsaPublicKey.from_der(der) == keypair.public
+
+    def test_from_der_rejects_negative_modulus(self):
+        from repro.asn1 import encode_integer, encode_sequence
+
+        bad = encode_sequence([encode_integer(-5), encode_integer(65537)])
+        with pytest.raises(ValueError, match="positive"):
+            RsaPublicKey.from_der(bad)
+
+    def test_from_der_rejects_wrong_arity(self):
+        from repro.asn1 import encode_integer, encode_sequence
+
+        bad = encode_sequence([encode_integer(5)])
+        with pytest.raises(ValueError, match="two INTEGERs"):
+            RsaPublicKey.from_der(bad)
+
+    def test_generation_deterministic(self):
+        a = generate_keypair(DeterministicRandom("same"))
+        b = generate_keypair(DeterministicRandom("same"))
+        assert a.public == b.public
+
+    def test_distinct_seeds_distinct_keys(self):
+        a = generate_keypair(DeterministicRandom("k1"))
+        b = generate_keypair(DeterministicRandom("k2"))
+        assert a.public.modulus != b.public.modulus
+
+    def test_rejects_odd_bits(self):
+        with pytest.raises(ValueError):
+            generate_keypair(DeterministicRandom("x"), bits=513)
+
+    def test_rejects_tiny_key(self):
+        with pytest.raises(ValueError):
+            generate_keypair(DeterministicRandom("x"), bits=64)
+
+
+class TestHashes:
+    def test_names(self):
+        assert set(hash_names()) == {"md5", "sha1", "sha256", "sha384", "sha512"}
+
+    def test_digest_sizes(self):
+        assert digest_size("sha256") == 32
+        assert digest_size("sha1") == 20
+
+    def test_digest_known_value(self):
+        assert digest("sha256", b"").hex().startswith("e3b0c44298fc1c14")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            digest("sha3-256", b"")
+        with pytest.raises(ValueError):
+            digest_size("whirlpool")
+
+
+class TestPkcs1:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_keypair(DeterministicRandom("pkcs1-fixture"))
+
+    def test_sign_verify(self, keypair):
+        signature = sign(keypair.private, "sha256", b"to-be-signed")
+        verify(keypair.public, "sha256", b"to-be-signed", signature)
+
+    @pytest.mark.parametrize("hash_name", ["md5", "sha1", "sha256"])
+    def test_all_hashes(self, keypair, hash_name):
+        signature = sign(keypair.private, hash_name, b"data")
+        verify(keypair.public, hash_name, b"data", signature)
+
+    def test_tampered_data_fails(self, keypair):
+        signature = sign(keypair.private, "sha256", b"data")
+        with pytest.raises(SignatureError):
+            verify(keypair.public, "sha256", b"DATA", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(sign(keypair.private, "sha256", b"data"))
+        signature[10] ^= 0xFF
+        with pytest.raises(SignatureError):
+            verify(keypair.public, "sha256", b"data", bytes(signature))
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(DeterministicRandom("other-key"))
+        signature = sign(keypair.private, "sha256", b"data")
+        with pytest.raises(SignatureError):
+            verify(other.public, "sha256", b"data", signature)
+
+    def test_wrong_hash_fails(self, keypair):
+        signature = sign(keypair.private, "sha256", b"data")
+        with pytest.raises(SignatureError):
+            verify(keypair.public, "sha1", b"data", signature)
+
+    def test_wrong_length_fails(self, keypair):
+        signature = sign(keypair.private, "sha256", b"data")
+        with pytest.raises(SignatureError, match="length"):
+            verify(keypair.public, "sha256", b"data", signature + b"\x00")
+
+    def test_emsa_structure(self):
+        em = emsa_encode("sha256", b"x", 64)
+        assert em[:2] == b"\x00\x01"
+        separator = em.index(b"\x00", 2)
+        assert set(em[2:separator]) == {0xFF}
+        assert em[separator + 1 :] == digest_info("sha256", b"x")
+
+    def test_emsa_too_short_block(self):
+        with pytest.raises(ValueError, match="too short"):
+            emsa_encode("sha512", b"x", 64)
+
+    def test_digest_info_parses_as_der(self):
+        from repro.asn1 import decode
+
+        info = decode(digest_info("sha1", b"abc"))
+        assert info[0][0].as_oid().dotted == "1.3.14.3.2.26"
+        assert len(info[1].as_octet_string()) == 20
+
+    def test_digest_info_unknown_hash(self):
+        with pytest.raises(ValueError):
+            digest_info("crc32", b"x")

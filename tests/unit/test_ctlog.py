@@ -1,0 +1,187 @@
+"""Tests for the Certificate-Transparency-style log."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.classify import PresenceClassifier
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.crypto.pkcs1 import SignatureError
+from repro.ctlog import (
+    CertificateLog,
+    LogMonitor,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+from repro.x509 import CertificateBuilder, Name
+from repro.x509.builder import make_root_certificate
+
+
+@pytest.fixture(scope="module")
+def certs(factory, catalog):
+    profiles = catalog.core[:6]
+    return [factory.root_certificate(p) for p in profiles]
+
+
+class TestMerkleTree:
+    def test_empty_tree_hash(self):
+        import hashlib
+
+        assert MerkleTree().root_hash() == hashlib.sha256(b"").digest()
+
+    def test_known_single_leaf(self):
+        import hashlib
+
+        tree = MerkleTree([b"hello"])
+        assert tree.root_hash() == hashlib.sha256(b"\x00hello").digest()
+
+    def test_root_changes_on_append(self):
+        tree = MerkleTree([b"a", b"b"])
+        before = tree.root_hash()
+        tree.append(b"c")
+        assert tree.root_hash() != before
+        # ...but the old head is still computable (append-only history).
+        assert tree.root_hash(2) == before
+
+    def test_inclusion_rejects_wrong_leaf(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d", b"e"])
+        proof = tree.inclusion_proof(2)
+        root = tree.root_hash()
+        assert verify_inclusion(b"c", 2, 5, proof, root)
+        assert not verify_inclusion(b"X", 2, 5, proof, root)
+        assert not verify_inclusion(b"c", 3, 5, proof, root)
+
+    def test_consistency_rejects_rewrite(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        old_root = tree.root_hash()
+        tree.append(b"d")
+        proof = tree.consistency_proof(3, 4)
+        assert verify_consistency(3, 4, old_root, tree.root_hash(), proof)
+        # A log that rewrote history cannot produce a valid proof.
+        rewritten = MerkleTree([b"a", b"X", b"c", b"d"])
+        bad_proof = rewritten.consistency_proof(3, 4)
+        assert not verify_consistency(
+            3, 4, old_root, rewritten.root_hash(), bad_proof
+        )
+
+    def test_invalid_requests(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(ValueError):
+            tree.inclusion_proof(1)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(0, 1)
+        with pytest.raises(ValueError):
+            tree.root_hash(5)
+
+
+class TestCertificateLog:
+    def test_submit_and_prove(self, certs):
+        log = CertificateLog()
+        for certificate in certs:
+            log.submit(certificate)
+        sth = log.signed_tree_head()
+        sth.verify(log.public_key)
+        assert sth.tree_size == len(certs)
+        for certificate in certs:
+            index, proof = log.inclusion_proof(certificate, sth.tree_size)
+            assert verify_inclusion(
+                certificate.encoded, index, sth.tree_size, proof, sth.root_hash
+            )
+
+    def test_submit_idempotent(self, certs):
+        log = CertificateLog()
+        first = log.submit(certs[0])
+        second = log.submit(certs[0])
+        assert first.index == second.index
+        assert len(log) == 1
+
+    def test_sth_signature_binds_content(self, certs):
+        log = CertificateLog()
+        log.submit(certs[0])
+        sth = log.signed_tree_head()
+        forged = type(sth)(
+            tree_size=sth.tree_size + 1,
+            root_hash=sth.root_hash,
+            timestamp=sth.timestamp,
+            signature=sth.signature,
+        )
+        with pytest.raises(SignatureError):
+            forged.verify(log.public_key)
+
+    def test_unlogged_certificate(self, certs):
+        log = CertificateLog()
+        with pytest.raises(KeyError):
+            log.inclusion_proof(certs[0], 0)
+        assert not log.contains(certs[0])
+
+    def test_consistency_across_growth(self, certs):
+        log = CertificateLog()
+        log.submit(certs[0])
+        log.submit(certs[1])
+        old = log.signed_tree_head()
+        for certificate in certs[2:]:
+            log.submit(certificate)
+        new = log.signed_tree_head()
+        proof = log.consistency_proof(old.tree_size, new.tree_size)
+        assert verify_consistency(
+            old.tree_size, new.tree_size, old.root_hash, new.root_hash, proof
+        )
+
+
+class TestMonitor:
+    @pytest.fixture
+    def classifier(self, platform_stores, notary):
+        return PresenceClassifier(platform_stores.mozilla, platform_stores.ios7, notary)
+
+    def test_clean_log_no_alerts(self, certs, classifier):
+        log = CertificateLog()
+        monitor = LogMonitor(log, classifier)
+        for certificate in certs[:3]:
+            log.submit(certificate)
+        alerts = monitor.poll()
+        assert alerts == []
+
+    def test_crazy_house_ca_detected(self, certs, classifier, factory, catalog):
+        """The §6 threat caught by transparency: a logged rogue CA."""
+        log = CertificateLog()
+        monitor = LogMonitor(log, classifier)
+        log.submit(certs[0])
+        monitor.poll()
+        log.submit(factory.root_certificate(catalog.by_name("CRAZY HOUSE")))
+        alerts = monitor.poll()
+        assert any(a.kind == "unvetted_authority" for a in alerts)
+
+    def test_watched_domain_misissuance(self, classifier, factory):
+        log = CertificateLog()
+        monitor = LogMonitor(log, classifier)
+        monitor.watch("www.bank.example", "Entrust Root CA")
+        rogue_kp = generate_keypair(DeterministicRandom("ct-rogue"))
+        rogue_ca = make_root_certificate(rogue_kp, Name.build(CN="Rogue CA"))
+        misissued = (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.bank.example"))
+            .issuer(rogue_ca.subject)
+            .public_key(rogue_kp.public)
+            .serial_number(99)
+            .tls_server("www.bank.example")
+            .sign(rogue_kp.private, issuer_public_key=rogue_kp.public)
+        )
+        log.submit(misissued)
+        alerts = monitor.poll()
+        assert any(a.kind == "unexpected_issuer" for a in alerts)
+        assert "Rogue CA" in alerts[0].message or any(
+            "Rogue CA" in a.message for a in alerts
+        )
+
+    def test_incremental_polling(self, certs, classifier):
+        log = CertificateLog()
+        monitor = LogMonitor(log, classifier)
+        log.submit(certs[0])
+        monitor.poll()
+        log.submit(certs[1])
+        log.submit(certs[2])
+        monitor.poll()
+        assert monitor._seen == 3
+        # Tree heads were verified consistent across both polls.
+        assert not [a for a in monitor.alerts if a.kind == "log_misbehavior"]

@@ -1,0 +1,76 @@
+"""Tests for Netalyzr dataset JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.netalyzr import collect_dataset
+from repro.netalyzr.serialization import (
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(factory, catalog):
+    config = PopulationConfig(seed="ser-tests", scale=0.02)
+    population = PopulationGenerator(config, factory, catalog).generate()
+    return collect_dataset(population, factory, catalog)
+
+
+class TestRoundTrip:
+    def test_sessions_preserved(self, dataset):
+        parsed = dataset_from_json(dataset_to_json(dataset))
+        assert parsed.session_count == dataset.session_count
+        assert (
+            parsed.total_certificate_observations
+            == dataset.total_certificate_observations
+        )
+
+    def test_analysis_statistics_survive(self, dataset):
+        parsed = dataset_from_json(dataset_to_json(dataset))
+        assert len(parsed.unique_certificates()) == len(
+            dataset.unique_certificates()
+        )
+        assert parsed.estimated_devices() == dataset.estimated_devices()
+        assert parsed.sessions_by_manufacturer() == dataset.sessions_by_manufacturer()
+        assert len(parsed.rooted_sessions()) == len(dataset.rooted_sessions())
+
+    def test_probes_survive(self, dataset):
+        parsed = dataset_from_json(dataset_to_json(dataset))
+        original = next(s for s in dataset.sessions if s.probes)
+        restored = next(
+            s for s in parsed.sessions if s.session_id == original.session_id
+        )
+        assert len(restored.probes) == len(original.probes)
+        for a, b in zip(original.probes, restored.probes):
+            assert a.hostport == b.hostport
+            assert a.validation.trusted == b.validation.trusted
+            assert a.pin_ok == b.pin_ok
+            assert a.chain == b.chain
+
+    def test_certificate_table_deduplicates(self, dataset):
+        payload = json.loads(dataset_to_json(dataset))
+        references = sum(len(s["roots"]) for s in payload["sessions"])
+        assert len(payload["certificates"]) < references / 2
+
+    def test_file_roundtrip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "dataset.json")
+        assert load_dataset(path).session_count == dataset.session_count
+
+
+class TestValidationOnLoad:
+    def test_tampered_certificate_rejected(self, dataset):
+        payload = json.loads(dataset_to_json(dataset))
+        digest = next(iter(payload["certificates"]))
+        other = [d for d in payload["certificates"] if d != digest][0]
+        payload["certificates"][digest] = payload["certificates"][other]
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            dataset_from_json(json.dumps(payload))
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            dataset_from_json(json.dumps({"schema": 42}))

@@ -1,0 +1,84 @@
+"""Tests for PKI-universe persistence."""
+
+import json
+
+import pytest
+
+from repro.rootstore import CertificateFactory
+from repro.rootstore.catalog import default_catalog
+from repro.rootstore.persistence import load_factory, save_factory
+
+
+@pytest.fixture(scope="module")
+def warm_factory(catalog):
+    factory = CertificateFactory(seed="persist-tests")
+    for profile in catalog.core[:5]:
+        factory.root_certificate(profile)
+    reissued = next(p for p in catalog.core if p.reissued_in_mozilla)
+    factory.reissued_certificate(reissued)
+    return factory
+
+
+class TestRoundTrip:
+    def test_certificates_identical(self, warm_factory, catalog, tmp_path):
+        path = save_factory(warm_factory, tmp_path / "universe.json")
+        restored = load_factory(path)
+        for profile in catalog.core[:5]:
+            assert (
+                restored.root_certificate(profile).encoded
+                == warm_factory.root_certificate(profile).encoded
+            )
+
+    def test_reissues_identical(self, warm_factory, catalog, tmp_path):
+        path = save_factory(warm_factory, tmp_path / "universe.json")
+        restored = load_factory(path)
+        profile = next(p for p in catalog.core if p.reissued_in_mozilla)
+        assert (
+            restored.reissued_certificate(profile).encoded
+            == warm_factory.reissued_certificate(profile).encoded
+        )
+
+    def test_misses_regenerate_deterministically(
+        self, warm_factory, catalog, tmp_path
+    ):
+        """Profiles not cached at save time still come out identical —
+        generation falls back to the seed."""
+        path = save_factory(warm_factory, tmp_path / "universe.json")
+        restored = load_factory(path)
+        uncached = catalog.core[10]
+        fresh = CertificateFactory(seed="persist-tests")
+        assert (
+            restored.root_certificate(uncached).encoded
+            == fresh.root_certificate(uncached).encoded
+        )
+
+    def test_keys_can_sign_after_restore(self, warm_factory, catalog, tmp_path):
+        from repro.crypto.pkcs1 import sign, verify
+
+        path = save_factory(warm_factory, tmp_path / "universe.json")
+        restored = load_factory(path)
+        name = catalog.core[0].name
+        keypair = restored.keypair_for(name)
+        signature = sign(keypair.private, "sha256", b"probe")
+        verify(keypair.public, "sha256", b"probe", signature)
+
+
+class TestValidation:
+    def test_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 9}))
+        with pytest.raises(ValueError, match="schema"):
+            load_factory(path)
+
+    def test_key_cert_mismatch_rejected(self, warm_factory, catalog, tmp_path):
+        path = save_factory(warm_factory, tmp_path / "universe.json")
+        payload = json.loads(path.read_text())
+        names = list(payload["roots"])
+        # Swap two certificates: they no longer match their keys.
+        payload["roots"][names[0]], payload["roots"][names[1]] = (
+            payload["roots"][names[1]],
+            payload["roots"][names[0]],
+        )
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="does not match"):
+            load_factory(path)

@@ -1,0 +1,65 @@
+"""Tests for fleet-wide auditing."""
+
+import pytest
+
+from repro.analysis.classify import PresenceClassifier
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.audit import AuditPolicy, Severity
+from repro.audit.fleet import audit_population, build_fleet_auditors
+
+
+@pytest.fixture(scope="module")
+def population(factory, catalog):
+    config = PopulationConfig(seed="fleet-tests", scale=0.05)
+    return PopulationGenerator(config, factory, catalog).generate()
+
+
+@pytest.fixture(scope="module")
+def summary(population, platform_stores, notary):
+    classifier = PresenceClassifier(
+        platform_stores.mozilla, platform_stores.ios7, notary
+    )
+    auditors = build_fleet_auditors(platform_stores, classifier=classifier)
+    return audit_population(population, auditors)
+
+
+class TestFleetAudit:
+    def test_every_device_audited(self, population, summary):
+        assert summary.device_count == len(population.records)
+
+    def test_severity_partition(self, summary):
+        assert sum(summary.devices_by_max_severity.values()) == summary.device_count
+
+    def test_critical_devices_are_freedom_carriers(self, population, summary):
+        freedom_ids = {
+            r.device.device_id
+            for r in population.records
+            if any(app.name == "Freedom" for app in r.device.apps)
+        }
+        critical = set(summary.critical_device_ids)
+        assert freedom_ids <= critical
+
+    def test_critical_fraction_matches_rooted_exclusive_scale(self, summary):
+        # Freedom carriers are a small slice of the fleet.
+        assert 0.005 <= summary.critical_fraction <= 0.08
+
+    def test_rule_counts(self, summary):
+        assert summary.findings_by_rule["app-installed-root"] >= 1
+        # Every device carries the expired Firmaprofesional anchor.
+        assert summary.findings_by_rule["expired-anchor"] == summary.device_count
+
+    def test_render(self, summary):
+        text = summary.render()
+        assert "Fleet audit" in text
+        assert "app-installed-root" in text
+
+    def test_policy_can_silence_fleet(self, population, platform_stores):
+        lax = AuditPolicy(
+            flag_unvetted_additions=False,
+            flag_non_system_sources=False,
+            flag_expired_anchors=False,
+            flag_unconstrained_special_purpose=False,
+        )
+        auditors = build_fleet_auditors(platform_stores, policy=lax)
+        summary = audit_population(population, auditors)
+        assert summary.devices_by_max_severity[Severity.INFO] == summary.device_count

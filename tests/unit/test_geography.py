@@ -1,0 +1,63 @@
+"""Tests for the §5.2 geography/roaming analysis."""
+
+import pytest
+
+from repro.analysis.geography import certificate_footprints, detect_roaming
+from repro.analysis.sessions import SessionDiffer
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.netalyzr import collect_dataset
+
+
+@pytest.fixture(scope="module")
+def diffs(factory, catalog, platform_stores):
+    config = PopulationConfig(seed="geo-tests", scale=0.1, roaming_fraction=0.08)
+    population = PopulationGenerator(config, factory, catalog).generate()
+    dataset = collect_dataset(population, factory, catalog)
+    return SessionDiffer(platform_stores.aosp).diff_all(dataset)
+
+
+class TestFootprints:
+    def test_footprints_cover_extras(self, diffs):
+        footprints = certificate_footprints(diffs)
+        assert footprints
+        labels = {f.label for f in footprints}
+        assert "AddTrust Class 1 CA Root" in labels
+
+    def test_cfca_country_spread(self, diffs):
+        """§5.2: CFCA roots appear across many countries."""
+        footprints = {f.label: f for f in certificate_footprints(diffs)}
+        cfca = footprints.get("CFCA Root CA")
+        assert cfca is not None
+        assert cfca.country_spread >= 2
+
+    def test_session_counts_positive(self, diffs):
+        for footprint in certificate_footprints(diffs):
+            assert footprint.session_count >= 1
+            assert footprint.countries
+            assert footprint.attached_operators
+
+    def test_min_sessions_filter(self, diffs):
+        all_fp = certificate_footprints(diffs)
+        filtered = certificate_footprints(diffs, min_sessions=10)
+        assert len(filtered) <= len(all_fp)
+        assert all(f.session_count >= 10 for f in filtered)
+
+
+class TestRoaming:
+    def test_roamers_detected(self, diffs, catalog):
+        """With 8% roamers, some operator root shows up on a foreign
+        network — the §5.2 Telefonica-on-Claro signature."""
+        findings = detect_roaming(diffs, catalog)
+        assert findings
+        for finding in findings:
+            assert finding.attached_operator != finding.issuing_operator
+            assert finding.session_count >= 1
+
+    def test_no_roaming_no_findings(self, factory, catalog, platform_stores):
+        config = PopulationConfig(
+            seed="geo-no-roam", scale=0.04, roaming_fraction=0.0
+        )
+        population = PopulationGenerator(config, factory, catalog).generate()
+        dataset = collect_dataset(population, factory, catalog)
+        diffs = SessionDiffer(platform_stores.aosp).diff_all(dataset)
+        assert detect_roaming(diffs, catalog) == []

@@ -1,0 +1,180 @@
+"""Unit tests for the Notary simulator."""
+
+import pytest
+
+from repro.notary import store_validation_count, validation_counts_by_root
+from repro.notary.validation import fraction_validating_nothing
+from repro.rootstore import RootStore
+
+
+class TestRecords:
+    def test_counts(self, notary):
+        assert notary.total_certificates > notary.current_certificates > 0
+
+    def test_roots_signing_traffic_are_recorded(self, notary, factory, catalog):
+        profile = next(p for p in catalog.core if p.current_leaves > 0)
+        root = factory.root_certificate(profile)
+        assert notary.seen_in_traffic(root)
+        assert notary.has_record(root)
+
+    def test_offline_roots_not_recorded(self, notary, factory, catalog):
+        """Figure 2's 'not recorded' class: FOTA/SUPL-style roots."""
+        profile = catalog.by_name("Motorola FOTA Root CA")
+        root = factory.root_certificate(profile)
+        assert not notary.seen_in_traffic(root)
+        assert not notary.has_record(root)
+
+    def test_registration_creates_record_without_traffic(
+        self, notary, factory, catalog
+    ):
+        profile = catalog.by_name("Sony Computer DNAS Root 05")
+        root = factory.root_certificate(profile)
+        assert not notary.has_record(root)
+        notary.register_store(RootStore("tmp", [root]))
+        assert notary.has_record(root)
+        assert not notary.seen_in_traffic(root)
+
+
+class TestValidationCounts:
+    def test_per_root_count_matches_profile(self, notary, factory, catalog):
+        # At scale 0.2 a profile with N current leaves yields int(N * 0.2).
+        profile = next(p for p in catalog.core if p.current_leaves >= 50)
+        root = factory.root_certificate(profile)
+        count = notary.validated_by_root(root)
+        assert count == int(profile.current_leaves * 0.2)
+
+    def test_zero_weight_root_validates_nothing(self, notary, factory, catalog):
+        profile = next(
+            p
+            for p in catalog.core
+            if p.current_leaves == 0 and p.expired_leaves == 0
+        )
+        root = factory.root_certificate(profile)
+        assert notary.validated_by_root(root) == 0
+
+    def test_include_expired_increases_count(self, notary, factory, catalog):
+        profile = next(p for p in catalog.extras if p.expired_leaves >= 2)
+        root = factory.root_certificate(profile)
+        current = notary.validated_by_root(root)
+        total = notary.validated_by_root(root, include_expired=True)
+        assert total > current
+
+    def test_reissued_twin_validates_same_leaves(self, notary, factory, catalog):
+        """§4.2: equivalent certs validate the same children."""
+        profile = next(
+            p for p in catalog.core if p.reissued_in_mozilla and p.current_leaves > 0
+        )
+        canonical = factory.root_certificate(profile)
+        twin = factory.reissued_certificate(profile)
+        assert notary.validated_by_root(canonical) == notary.validated_by_root(twin)
+
+    def test_store_count_deduplicates_equivalents(self, notary, factory, catalog):
+        profile = next(
+            p for p in catalog.core if p.reissued_in_mozilla and p.current_leaves > 0
+        )
+        canonical = factory.root_certificate(profile)
+        twin = factory.reissued_certificate(profile)
+        single = store_validation_count(notary, RootStore("s", [canonical]))
+        both = store_validation_count(notary, RootStore("b", [canonical, twin]))
+        assert single == both
+
+    def test_table3_ordering(self, notary, platform_stores):
+        """Table 3's shape: iOS7 > AOSP 4.4 >= 4.3 >= 4.2 == 4.1 > Mozilla,
+        all within a fraction of a percent of each other."""
+        counts = {
+            name: store_validation_count(notary, store)
+            for name, store in {
+                "Mozilla": platform_stores.mozilla,
+                "iOS7": platform_stores.ios7,
+                **{f"AOSP {v}": s for v, s in platform_stores.aosp.items()},
+            }.items()
+        }
+        assert counts["iOS7"] > counts["AOSP 4.4"]
+        assert counts["AOSP 4.4"] >= counts["AOSP 4.3"] >= counts["AOSP 4.1"]
+        assert counts["AOSP 4.2"] == counts["AOSP 4.1"]
+        assert counts["AOSP 4.1"] > counts["Mozilla"]
+        spread = max(counts.values()) - min(counts.values())
+        assert spread / max(counts.values()) < 0.03
+
+    def test_validation_counts_by_root_helper(self, notary, platform_stores):
+        roots = platform_stores.aosp["4.1"].certificates()[:10]
+        counts = validation_counts_by_root(notary, roots)
+        assert len(counts) == 10
+        assert all(count >= 0 for count in counts)
+
+
+class TestIntermediateResolution:
+    def test_big_ca_counts_resolve_through_intermediate(
+        self, notary, factory, traffic, catalog
+    ):
+        """Leaves issued via an intermediate still count for the root."""
+        profile = next(p for p in catalog.core if p.current_leaves >= 50)
+        root = factory.root_certificate(profile)
+        assert traffic.intermediate_for(profile) is not None
+        assert notary.validated_by_root(root) == int(profile.current_leaves * 0.2)
+
+    def test_intermediate_itself_observed(self, notary, traffic, catalog):
+        profile = next(p for p in catalog.core if p.current_leaves >= 50)
+        intermediate, _ = traffic.intermediate_for(profile)
+        assert notary.seen_in_traffic(intermediate)
+
+    def test_intermediate_validates_its_leaves(self, notary, traffic, catalog):
+        """Querying the intermediate directly also finds its leaves."""
+        profile = next(p for p in catalog.core if p.current_leaves >= 50)
+        intermediate, _ = traffic.intermediate_for(profile)
+        assert notary.validated_by_root(intermediate) == int(
+            profile.current_leaves * 0.2
+        )
+
+
+class TestSessionVolume:
+    def test_sessions_exceed_certificates(self, notary):
+        """Popular leaves carry many sessions (the 66 B-vs-1.9 M gap)."""
+        assert notary.total_sessions > notary.total_certificates
+        assert notary.current_sessions <= notary.total_sessions
+
+    def test_session_coverage_exceeds_cert_coverage(self, notary, platform_stores):
+        """§5.3: the store-validated subset covers *sessions* even better
+        than certificates, because popular leaves chain to public CAs."""
+        store = platform_stores.mozilla
+        cert_coverage = (
+            notary.validated_by_store(store) / notary.current_certificates
+        )
+        session_coverage = (
+            notary.sessions_validated_by_store(store) / notary.current_sessions
+        )
+        assert session_coverage > cert_coverage
+
+    def test_session_count_weighting(self, traffic, catalog):
+        profile = next(p for p in catalog.core if p.current_leaves >= 50)
+        leaves = [l for l in traffic.leaves_for_profile(profile) if not l.expired]
+        # Leaf popularity is skewed: the first leaf dominates.
+        assert leaves[0].session_count > leaves[-1].session_count
+        assert all(l.session_count >= 1 for l in leaves)
+
+
+class TestFractionValidatingNothing:
+    def test_aosp44_offset(self, notary, platform_stores):
+        """Table 4: ~23% of AOSP 4.4 roots validate nothing."""
+        frac = fraction_validating_nothing(
+            notary, platform_stores.aosp["4.4"].certificates()
+        )
+        assert 0.18 <= frac <= 0.28
+
+    def test_ios7_offset(self, notary, platform_stores):
+        """Table 4: ~41% for iOS7 (the bloat signal)."""
+        frac = fraction_validating_nothing(
+            notary, platform_stores.ios7.certificates()
+        )
+        assert 0.35 <= frac <= 0.47
+
+    def test_ios7_worse_than_mozilla(self, notary, platform_stores):
+        ios7 = fraction_validating_nothing(notary, platform_stores.ios7.certificates())
+        mozilla = fraction_validating_nothing(
+            notary, platform_stores.mozilla.certificates()
+        )
+        assert ios7 > mozilla
+
+    def test_empty_rejected(self, notary):
+        with pytest.raises(ValueError):
+            fraction_validating_nothing(notary, [])

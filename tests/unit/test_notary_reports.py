@@ -1,0 +1,102 @@
+"""Tests for Notary ecosystem reports, AKI chain selection, tolerant load."""
+
+import pytest
+
+from repro.notary.database import NotaryDatabase
+from repro.notary.reports import ecosystem_report
+
+
+class TestEcosystemReport:
+    @pytest.fixture(scope="class")
+    def report(self, notary):
+        return ecosystem_report(notary)
+
+    def test_totals(self, notary, report):
+        assert report.total_leaves == notary.total_certificates
+        assert report.current_leaves == notary.current_certificates
+        assert 0 < report.expired_fraction < 0.5
+
+    def test_issuer_concentration(self, report):
+        """The web's CA market is concentrated: top-10 carry a large
+        share of leaves and an even larger share of sessions."""
+        assert report.issuer_concentration_top10 > 0.25
+        assert report.session_weighted_top10 >= report.issuer_concentration_top10
+
+    def test_chain_depths(self, report):
+        assert set(report.chain_depth_distribution) <= {2, 3}
+        assert report.chain_depth_distribution[3] > 0  # intermediates in use
+        assert 0 < report.via_intermediate_fraction < 1
+
+    def test_key_sizes(self, report):
+        assert set(report.key_size_distribution) == {512}
+
+    def test_validity(self, report):
+        assert 300 < report.median_validity_days < 1500
+
+    def test_render(self, report):
+        text = report.render()
+        assert "top-10 issuer share" in text
+        assert "issuing CAs observed" in text
+
+    def test_empty_notary_rejected(self):
+        with pytest.raises(ValueError):
+            ecosystem_report(NotaryDatabase())
+
+
+class TestAkiChainSelection:
+    def test_colliding_issuer_names_resolved_by_key_id(self):
+        """Two CAs with identical subjects: the chain builder must pick
+        the one matching the leaf's AuthorityKeyIdentifier."""
+        from repro.crypto import DeterministicRandom, generate_keypair
+        from repro.x509 import CertificateBuilder, ChainVerifier, Name, build_chain
+        from repro.x509.builder import make_root_certificate
+
+        subject = Name.build(CN="Colliding CA", O="X")
+        good_kp = generate_keypair(DeterministicRandom("aki-good"))
+        evil_kp = generate_keypair(DeterministicRandom("aki-evil"))
+        good = make_root_certificate(good_kp, subject)
+        evil = make_root_certificate(evil_kp, subject)
+        leaf_kp = generate_keypair(DeterministicRandom("aki-leaf"))
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="aki.example.com"))
+            .issuer(subject)
+            .public_key(leaf_kp.public)
+            .serial_number(2)
+            .tls_server("aki.example.com")
+            .sign(good_kp.private, issuer_public_key=good_kp.public)
+        )
+        # Evil candidate listed first: name matching alone would pick it.
+        path = build_chain(leaf, [evil, good])
+        assert path[1] == good
+        result = ChainVerifier([good]).validate([leaf, evil, good])
+        assert result.trusted
+
+
+class TestTolerantCacertsLoad:
+    def test_corrupt_file_skipped(self, tmp_path, factory, catalog):
+        from repro.rootstore import CacertsDirectory, RootStore
+
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        good = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        cacerts.install(good, system=True)
+        # A half-written garbage file lands in the directory.
+        (cacerts.base / "deadbeef.0").write_text(
+            "-----BEGIN CERTIFICATE-----\nZZZZ\n-----END CERTIFICATE-----\n"
+        )
+        store = cacerts.load_store()
+        assert good in store
+        assert len(store) == 1
+        assert len(cacerts.load_errors) == 1
+
+    def test_strict_mode_raises(self, tmp_path):
+        from repro.rootstore import CacertsDirectory
+        from repro.x509 import CertificateError
+        from repro.x509.pem import PemError
+
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        (cacerts.base / "deadbeef.0").write_text(
+            "-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n"
+        )
+        with pytest.raises((CertificateError, PemError)):
+            cacerts.load_store(strict=True)

@@ -1,0 +1,115 @@
+"""Tests for OTA updates and store-evolution analysis."""
+
+import pytest
+
+from repro.analysis.evolution import classify_additions, store_changelog
+from repro.android import DeviceSpec, FirmwareBuilder, FreedomLikeApp
+from repro.android.ota import OtaUpdater, backport_certificate
+from repro.rootstore.diff import diff_stores
+
+
+@pytest.fixture(scope="module")
+def firmware(factory, catalog):
+    return FirmwareBuilder(factory, catalog)
+
+
+@pytest.fixture(scope="module")
+def updater(firmware):
+    return OtaUpdater(firmware)
+
+
+def fresh_device(firmware, *, rooted=False, branded=False, version="4.1"):
+    spec = DeviceSpec("SAMSUNG", "Galaxy SIII", version, "T-MOBILE(US)")
+    return firmware.provision(spec, branded=branded, rooted=rooted)
+
+
+class TestOtaUpdate:
+    def test_system_store_replaced(self, firmware, updater):
+        device = fresh_device(firmware)
+        result = updater.update(device, "4.4", branded=False)
+        assert device.spec.os_version == "4.4"
+        assert len(device.store) == 150
+        assert result.system_roots_added == 11  # 150 - 139
+        assert result.system_roots_removed == 0
+
+    def test_user_certs_survive(self, firmware, updater, factory, catalog):
+        device = fresh_device(firmware)
+        user_cert = factory.root_certificate(catalog.by_name("Self-Signed VPN Root 3"))
+        device.user_add_certificate(user_cert)
+        result = updater.update(device, "4.2", branded=False)
+        assert user_cert in device.store
+        assert result.preserved_user_certs == (user_cert,)
+        assert device.store.entry_for(user_cert).source == "user"
+
+    def test_app_injected_roots_wiped(self, firmware, updater, factory, catalog):
+        device = fresh_device(firmware, rooted=True)
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.install_app(FreedomLikeApp(ca_certificate=crazy))
+        assert crazy in device.store
+        result = updater.update(device, "4.3", branded=False)
+        assert crazy not in device.store
+        assert result.wiped_app_certs == (crazy,)
+
+    def test_root_access_lost(self, firmware, updater):
+        device = fresh_device(firmware, rooted=True)
+        result = updater.update(device, "4.2", branded=False)
+        assert result.unrooted
+        assert not device.rooted
+
+    def test_root_preserving_update(self, firmware, updater):
+        device = fresh_device(firmware, rooted=True)
+        result = updater.update(device, "4.2", branded=False, preserves_root=True)
+        assert not result.unrooted
+        assert device.rooted
+
+    def test_branded_update_keeps_vendor_profile(self, firmware, updater):
+        device = fresh_device(firmware, branded=True)
+        base = len(firmware.aosp.store_for("4.1"))
+        assert len(device.store) > base
+        updater.update(device, "4.3", branded=True)
+        assert len(device.store) > len(firmware.aosp.store_for("4.3"))
+
+    def test_downgrade_rejected(self, firmware, updater):
+        device = fresh_device(firmware, version="4.3")
+        with pytest.raises(ValueError, match="downgrade"):
+            updater.update(device, "4.1")
+        with pytest.raises(ValueError, match="unknown"):
+            updater.update(device, "5.0")
+
+
+class TestChangelog:
+    def test_aosp_changelog(self, platform_stores):
+        deltas = store_changelog(platform_stores.aosp)
+        assert [d.net_growth for d in deltas] == [1, 6, 4]
+        assert all(not d.removed for d in deltas)
+
+    def test_changelog_names(self, platform_stores):
+        deltas = store_changelog(platform_stores.aosp)
+        assert deltas[0].from_name == "AOSP 4.1"
+        assert deltas[0].to_name == "AOSP 4.2"
+
+
+class TestBackportClassification:
+    def test_sony_case(self, firmware, platform_stores, factory, catalog):
+        """§5.1: a 4.1 device carrying a root from a newer AOSP version
+        is a backport, not a foreign addition."""
+        device = fresh_device(firmware)
+        newer_root = factory.root_certificate(
+            catalog.by_name("CA Disig Root R1")  # added in 4.3
+        )
+        backport_certificate(device, newer_root)
+        foreign_root = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.store.add(foreign_root, system=True, source="firmware")
+
+        diff = diff_stores(device.store, platform_stores.aosp["4.1"])
+        provenance = classify_additions(
+            diff.added, "4.1", platform_stores.aosp
+        )
+        assert provenance.backports == (newer_root,)
+        assert provenance.foreign == (foreign_root,)
+
+    def test_latest_version_has_no_backports(self, platform_stores, factory, catalog):
+        addition = factory.root_certificate(catalog.by_name("CA Disig Root R1"))
+        provenance = classify_additions([addition], "4.4", platform_stores.aosp)
+        assert provenance.backports == ()
+        assert provenance.foreign == (addition,)

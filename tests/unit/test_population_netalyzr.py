@@ -1,0 +1,162 @@
+"""Tests for the population generator and Netalyzr collection (small scale)."""
+
+import pytest
+
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.netalyzr import NetalyzrClient, collect_dataset
+from repro.netalyzr.session import DeviceTuple
+
+
+@pytest.fixture(scope="module")
+def population(factory, catalog):
+    config = PopulationConfig(seed="pop-tests", scale=0.08)
+    return PopulationGenerator(config, factory, catalog).generate()
+
+
+@pytest.fixture(scope="module")
+def dataset(population, factory, catalog):
+    return collect_dataset(population, factory, catalog)
+
+
+class TestPopulationShape:
+    def test_session_scale(self, population):
+        assert 800 <= population.total_sessions <= 2200
+
+    def test_rooted_fraction(self, population):
+        assert 0.17 <= population.rooted_session_fraction() <= 0.31
+
+    def test_proxied_device_exists(self, population):
+        device = population.proxied_device
+        assert device is not None
+        assert device.spec.model == "Nexus 7"
+        assert device.spec.os_version == "4.4"
+        assert device.proxy is not None
+
+    def test_samsung_dominates(self, population):
+        from collections import Counter
+
+        counts = Counter(
+            r.device.spec.manufacturer for r in population.records
+        )
+        assert counts["SAMSUNG"] == max(counts.values())
+
+    def test_deterministic(self, factory, catalog):
+        config = PopulationConfig(seed="determinism", scale=0.03)
+        a = PopulationGenerator(config, factory, catalog).generate()
+        b = PopulationGenerator(config, factory, catalog).generate()
+        assert [r.device.device_id for r in a.records] == [
+            r.device.device_id for r in b.records
+        ]
+        assert [len(r.device.store) for r in a.records] == [
+            len(r.device.store) for r in b.records
+        ]
+
+    def test_crazy_house_on_rooted_only(self, population, factory, catalog):
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        carriers = [
+            r.device for r in population.records if crazy in r.device.store
+        ]
+        assert carriers
+        assert all(device.rooted for device in carriers)
+
+    def test_roaming_devices_exist_and_are_rare(self, population):
+        roamers = [
+            r.device
+            for r in population.records
+            if r.device.attached_operator != r.device.spec.operator
+        ]
+        assert roamers  # 3% default roaming fraction
+        assert len(roamers) / len(population.records) < 0.10
+        for device in roamers:
+            assert device.attached_operator != "WIFI"
+
+    def test_droid_razr_is_mostly_verizon(self, population):
+        razrs = [
+            r.device
+            for r in population.records
+            if r.device.spec.model == "Droid RAZR HD"
+        ]
+        if len(razrs) >= 5:
+            verizon = sum(1 for d in razrs if d.spec.operator == "VERIZON(US)")
+            assert verizon / len(razrs) > 0.6
+
+    def test_missing_cert_devices(self, population):
+        missing = [
+            r.device
+            for r in population.records
+            if len(r.device.store.certificates())
+            < len(r.device.store.certificates(include_disabled=True))
+        ]
+        assert len(missing) == 5  # paper: exactly 5 handsets
+
+
+class TestDatasetStatistics:
+    def test_session_count_matches_plan(self, population, dataset):
+        assert dataset.session_count == population.total_sessions
+
+    def test_certificate_observations(self, dataset):
+        # Every session contributes ~139-200 root certs.
+        mean = dataset.total_certificate_observations / dataset.session_count
+        assert 135 <= mean <= 210
+
+    def test_device_estimate_is_lower_bound(self, population, dataset):
+        assert dataset.estimated_devices() <= len(population.records)
+        assert dataset.estimated_devices() > len(population.records) * 0.8
+
+    def test_rooted_plus_nonrooted_partition(self, dataset):
+        assert len(dataset.rooted_sessions()) + len(
+            dataset.non_rooted_sessions()
+        ) == dataset.session_count
+
+    def test_sessions_for_filters(self, dataset):
+        samsung41 = dataset.sessions_for(manufacturer="SAMSUNG", os_version="4.1")
+        assert all(
+            s.manufacturer == "SAMSUNG" and s.os_version == "4.1" for s in samsung41
+        )
+
+    def test_exactly_one_intercepted_session(self, dataset):
+        intercepted = [
+            s
+            for s in dataset.sessions
+            if any("Reality Mine" in p.chain_root_subject for p in s.probes)
+        ]
+        assert len(intercepted) == 1
+        session = intercepted[0]
+        assert session.model == "Nexus 7"
+        assert session.os_version == "4.4"
+
+
+class TestProbeSemantics:
+    def test_probes_on_proxied_session(self, dataset):
+        session = next(
+            s
+            for s in dataset.sessions
+            if any("Reality Mine" in p.chain_root_subject for p in s.probes)
+        )
+        by_host = {p.hostport: p for p in session.probes}
+        # Intercepted domain: forged chain, untrusted (proxy root not in store).
+        yahoo = by_host["www.yahoo.com:443"]
+        assert "Reality Mine" in yahoo.chain_root_subject
+        assert not yahoo.validation.trusted
+        # Whitelisted pinned domain: original chain, trusted, pins pass.
+        facebook = by_host["www.facebook.com:443"]
+        assert "Reality Mine" not in facebook.chain_root_subject
+        assert facebook.validation.trusted
+        assert facebook.pin_ok
+
+    def test_clean_session_probes_all_trusted(self, factory, catalog, population):
+        client = NetalyzrClient(factory, catalog)
+        stock = next(
+            r.device
+            for r in population.records
+            if not r.device.apps and r.device.proxy is None
+        )
+        session = client.run_session(stock, session_id=99999)
+        assert session.probes
+        assert all(p.validation.trusted and p.pin_ok for p in session.probes)
+
+    def test_device_tuple_of(self, population):
+        device = population.records[0].device
+        device_tuple = DeviceTuple.of(device)
+        assert device_tuple.model == device.spec.model
+        assert device_tuple.os_version == device.spec.os_version

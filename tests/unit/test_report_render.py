@@ -1,0 +1,98 @@
+"""Tests for the per-table report renderers (on a tiny synthetic study)."""
+
+import pytest
+
+from repro.analysis import StudyConfig, run_study
+from repro.analysis.report import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_study(StudyConfig(seed="render-tests", population_scale=0.03,
+                                 notary_scale=0.2))
+
+
+class TestRenderers:
+    def test_table1(self, tiny_study):
+        text = render_table1(tiny_study)
+        assert "AOSP 4.4" in text and "150" in text
+
+    def test_table2(self, tiny_study):
+        text = render_table2(tiny_study)
+        assert "Devices:" in text and "Manufacturers:" in text
+        assert "SAMSUNG" in text
+
+    def test_table3(self, tiny_study):
+        text = render_table3(tiny_study)
+        assert "Mozilla" in text and "iOS 7" in text
+
+    def test_table4(self, tiny_study):
+        text = render_table4(tiny_study)
+        assert "Aggregated Android root certs" in text
+        assert "%" in text
+
+    def test_table5(self, tiny_study):
+        text = render_table5(tiny_study)
+        assert "devices" in text
+
+    def test_table6(self, tiny_study):
+        text = render_table6(tiny_study)
+        assert "Reality Mine" in text
+        assert "supl.google.com:7275" in text
+
+    def test_table6_without_finding(self, tiny_study):
+        import copy
+
+        clone = copy.copy(tiny_study)
+        clone.table6 = None
+        assert "no interception observed" in render_table6(clone)
+
+    def test_figure1(self, tiny_study):
+        text = render_figure1(tiny_study)
+        assert "extended stores" in text
+        assert "largest extensions" in text
+
+    def test_figure2(self, tiny_study):
+        text = render_figure2(tiny_study)
+        assert "presence classes" in text
+
+    def test_figure3(self, tiny_study):
+        text = render_figure3(tiny_study)
+        assert "0-frac" in text
+        assert "iOS7" in text
+
+
+class TestHtmlReport:
+    def test_full_document(self, tiny_study):
+        from repro.analysis.html import render_html_report
+
+        html = render_html_report(tiny_study)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<svg") == 3
+        assert "Table 4" in html
+        assert "Paper claims" in html
+        assert "claim-ok" in html
+
+    def test_without_figures(self, tiny_study):
+        from repro.analysis.html import render_html_report
+
+        html = render_html_report(tiny_study, include_figures=False)
+        assert "<svg" not in html
+        assert "Figure 1 aggregates" in html
+
+    def test_escaping(self, tiny_study):
+        from repro.analysis.html import render_html_report
+
+        html = render_html_report(tiny_study, include_figures=False)
+        # Operator names contain '&'; must be escaped outside the SVGs.
+        assert "AT&T(US)" not in html or "AT&amp;T(US)" in html

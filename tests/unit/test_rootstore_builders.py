@@ -1,0 +1,171 @@
+"""Unit tests for store builders, diffing and the factory."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import (
+    AospStoreBuilder,
+    CertificateFactory,
+    RootStore,
+    build_platform_stores,
+    diff_stores,
+)
+from repro.rootstore.catalog import default_catalog
+from repro.rootstore.diff import overlap_count
+from repro.x509 import Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.fingerprint import equivalence_key
+from repro.x509.verify import verify_certificate_signature
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return CertificateFactory(seed="builder-tests")
+
+
+@pytest.fixture(scope="module")
+def stores(factory):
+    return build_platform_stores(factory)
+
+
+class TestFactory:
+    def test_deterministic_roots(self):
+        catalog = default_catalog()
+        profile = catalog.core[0]
+        a = CertificateFactory(seed="same").root_certificate(profile)
+        b = CertificateFactory(seed="same").root_certificate(profile)
+        assert a.encoded == b.encoded
+
+    def test_different_seeds_differ(self):
+        profile = default_catalog().core[0]
+        a = CertificateFactory(seed="one").root_certificate(profile)
+        b = CertificateFactory(seed="two").root_certificate(profile)
+        assert a.encoded != b.encoded
+
+    def test_root_is_cached(self, factory):
+        profile = default_catalog().core[1]
+        assert factory.root_certificate(profile) is factory.root_certificate(profile)
+
+    def test_roots_are_valid_x509(self, factory):
+        profile = default_catalog().core[2]
+        cert = factory.root_certificate(profile)
+        assert cert.is_ca and cert.is_self_signed
+        verify_certificate_signature(cert, cert.public_key)
+
+    def test_reissue_is_equivalent_not_identical(self, factory):
+        profile = next(
+            p for p in default_catalog().core if p.reissued_in_mozilla
+        )
+        canonical = factory.root_certificate(profile)
+        reissued = factory.reissued_certificate(profile)
+        assert canonical.encoded != reissued.encoded
+        assert equivalence_key(canonical) == equivalence_key(reissued)
+        assert reissued.not_after > canonical.not_after
+
+    def test_store_certificate_selects_twin(self, factory):
+        catalog = default_catalog()
+        reissued_profile = next(p for p in catalog.core if p.reissued_in_mozilla)
+        plain_profile = next(p for p in catalog.core if not p.reissued_in_mozilla)
+        assert factory.store_certificate(
+            reissued_profile, "mozilla"
+        ) == factory.reissued_certificate(reissued_profile)
+        assert factory.store_certificate(
+            reissued_profile, "aosp"
+        ) == factory.root_certificate(reissued_profile)
+        assert factory.store_certificate(
+            plain_profile, "mozilla"
+        ) == factory.root_certificate(plain_profile)
+
+    def test_expired_root_window(self, factory):
+        import datetime
+
+        profile = next(p for p in default_catalog().aosp_only if p.expired_root)
+        cert = factory.root_certificate(profile)
+        assert cert.is_expired(datetime.datetime(2014, 4, 1))
+
+
+class TestPlatformStores:
+    def test_table1_sizes(self, stores):
+        assert stores.table1_sizes() == {
+            "AOSP 4.1": 139,
+            "AOSP 4.2": 140,
+            "AOSP 4.3": 146,
+            "AOSP 4.4": 150,
+            "iOS7": 227,
+            "Mozilla": 153,
+        }
+
+    def test_aosp_stores_read_only(self, stores):
+        assert all(store.read_only for store in stores.aosp.values())
+
+    def test_mozilla_overlap_117_strict(self, stores):
+        """§2: 117 of AOSP 4.4's 150 exist in Mozilla's store."""
+        assert overlap_count(stores.aosp["4.4"], stores.mozilla) == 117
+
+    def test_mozilla_overlap_130_equivalent(self, stores):
+        """Table 4: 130 under subject+modulus equivalence."""
+        assert (
+            overlap_count(stores.aosp["4.4"], stores.mozilla, use_equivalence=True)
+            == 130
+        )
+
+    def test_aosp_version_growth(self, stores):
+        diff = diff_stores(stores.aosp["4.4"], stores.aosp["4.1"])
+        assert diff.added_count == 11  # 150 - 139
+        assert diff.missing_count == 0
+
+    def test_unknown_version_rejected(self, factory):
+        with pytest.raises(ValueError):
+            AospStoreBuilder(factory).store_for("5.0")
+
+
+class TestDiff:
+    @pytest.fixture(scope="class")
+    def base_certs(self):
+        out = []
+        for index in range(5):
+            kp = generate_keypair(DeterministicRandom(f"diff-test-{index}"))
+            out.append(make_root_certificate(kp, Name.build(CN=f"Diff CA {index}")))
+        return out
+
+    def test_stock(self, base_certs):
+        a = RootStore("device", base_certs)
+        b = RootStore("reference", base_certs)
+        diff = diff_stores(a, b)
+        assert diff.is_stock
+        assert len(diff.shared) == 5
+
+    def test_additions(self, base_certs):
+        device = RootStore("device", base_certs)
+        reference = RootStore("reference", base_certs[:3])
+        diff = diff_stores(device, reference)
+        assert diff.added_count == 2
+        assert diff.missing_count == 0
+        assert set(diff.added) == set(base_certs[3:])
+
+    def test_missing(self, base_certs):
+        device = RootStore("device", base_certs[:3])
+        reference = RootStore("reference", base_certs)
+        diff = diff_stores(device, reference)
+        assert diff.missing_count == 2
+        assert diff.added_count == 0
+
+    def test_equivalent_reissue_counts_as_shared(self):
+        import datetime
+
+        kp = generate_keypair(DeterministicRandom("diff-equiv"))
+        subject = Name.build(CN="Reissued Diff CA")
+        old = make_root_certificate(kp, subject, not_after=datetime.datetime(2020, 1, 1))
+        new = make_root_certificate(kp, subject, not_after=datetime.datetime(2031, 1, 1))
+        device = RootStore("device", [new])
+        reference = RootStore("reference", [old])
+        diff = diff_stores(device, reference)
+        assert diff.is_stock
+        assert diff.equivalent_only == ((new, old),)
+        strict = diff_stores(device, reference, use_equivalence=False)
+        assert strict.added_count == 1 and strict.missing_count == 1
+
+    def test_summary_text(self, base_certs):
+        device = RootStore("device", base_certs)
+        reference = RootStore("reference", base_certs[:4])
+        assert "1 added" in diff_stores(device, reference).summary()

@@ -1,0 +1,193 @@
+"""Unit tests for the CA catalog calibration (the paper's structure)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.rootstore.catalog import (
+    ANDROID_VERSIONS,
+    AOSP_SIZES,
+    IOS7_SIZE,
+    MOZILLA_SIZE,
+    CaKind,
+    StorePresence,
+    _zipf_allocation,
+    default_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestStoreSizes:
+    """Table 1: AOSP 139/140/146/150, Mozilla 153, iOS7 227."""
+
+    @pytest.mark.parametrize("version", ANDROID_VERSIONS)
+    def test_aosp_sizes(self, catalog, version):
+        assert len(catalog.aosp_profiles(version)) == AOSP_SIZES[version]
+
+    def test_mozilla_size(self, catalog):
+        assert len(catalog.mozilla_profiles()) == MOZILLA_SIZE == 153
+
+    def test_ios7_size(self, catalog):
+        assert len(catalog.ios7_profiles()) == IOS7_SIZE == 227
+
+    def test_aosp_versions_grow_monotonically(self, catalog):
+        sets = [
+            {p.name for p in catalog.aosp_profiles(v)} for v in ANDROID_VERSIONS
+        ]
+        for older, newer in zip(sets, sets[1:]):
+            assert older <= newer
+
+
+class TestOverlapStructure:
+    def test_core_is_130(self, catalog):
+        """Table 4's AOSP∩Mozilla equivalence category."""
+        assert len(catalog.core) == 130
+
+    def test_117_identical_13_reissued(self, catalog):
+        """§2: 117 of AOSP 4.4's certs exist byte-identically in Mozilla."""
+        reissued = [p for p in catalog.core if p.reissued_in_mozilla]
+        assert len(reissued) == 13
+        assert len(catalog.core) - len(reissued) == 117
+
+    def test_expired_firmaprofesional_root(self, catalog):
+        """§2: one AOSP root expired in Oct 2013."""
+        expired = [p for p in catalog.aosp_profiles("4.4") if p.expired_root]
+        assert len(expired) == 1
+        assert "Firmaprofesional" in expired[0].name
+
+
+class TestExtras:
+    def test_101_extras_85_outside_mozilla(self, catalog):
+        """Table 4: 85 non-AOSP/non-Mozilla + 16 non-AOSP in Mozilla."""
+        extras = catalog.extra_profiles()
+        assert len(extras) == 101
+        assert sum(1 for p in extras if not p.in_mozilla) == 85
+        assert sum(1 for p in extras if p.in_mozilla) == 16
+
+    def test_presence_class_distribution(self, catalog):
+        """Figure 2's class mix (shape: unseen > android-only > iOS7-only
+        > both)."""
+        counts = Counter(p.presence for p in catalog.extra_profiles())
+        assert counts[StorePresence.NOT_RECORDED] == 38
+        assert counts[StorePresence.ANDROID_ONLY] == 33
+        assert counts[StorePresence.IOS7_ONLY] == 14
+        assert counts[StorePresence.MOZILLA_AND_IOS7] == 7
+        assert (
+            counts[StorePresence.NOT_RECORDED]
+            > counts[StorePresence.ANDROID_ONLY]
+            > counts[StorePresence.IOS7_ONLY]
+            > counts[StorePresence.MOZILLA_AND_IOS7]
+        )
+
+    def test_validate_nothing_fractions(self, catalog):
+        """Table 4: 72% of non-Mozilla extras and 38% of Mozilla-member
+        extras validate no current Notary certificate."""
+        non_mozilla = [p for p in catalog.extra_profiles() if not p.in_mozilla]
+        mozilla = [p for p in catalog.extra_profiles() if p.in_mozilla]
+        frac_non = sum(1 for p in non_mozilla if p.current_leaves == 0) / len(non_mozilla)
+        frac_moz = sum(1 for p in mozilla if p.current_leaves == 0) / len(mozilla)
+        assert abs(frac_non - 0.72) < 0.02
+        assert abs(frac_moz - 0.38) < 0.02
+
+    def test_special_purpose_roots_not_recorded(self, catalog):
+        """§5.1: FOTA/SUPL/UTI roots never show up in Notary traffic."""
+        for name in (
+            "Motorola FOTA Root CA",
+            "Motorola SUPL Server Root CA",
+            "GeoTrust CA for UTI",
+        ):
+            profile = catalog.by_name(name)
+            assert profile.presence is StorePresence.NOT_RECORDED
+            assert profile.purpose != "tls"
+
+    def test_dod_is_ios7_only(self, catalog):
+        """§5.1 fn4: DoD root is in iOS7 but not Mozilla."""
+        dod = catalog.by_name("DoD CLASS 3 Root CA")
+        assert dod.in_ios7 and not dod.in_mozilla
+        assert dod.kind is CaKind.GOVERNMENT
+
+    def test_every_extra_is_deployed(self, catalog):
+        deployed = {d.cert_name for d in catalog.deployments}
+        for profile in catalog.extra_profiles():
+            assert profile.name in deployed
+
+
+class TestDeployments:
+    def test_certisign_is_motorola_verizon_41(self, catalog):
+        """§5.1: CertiSign exclusively on Motorola 4.1 Verizon devices."""
+        for deployment in catalog.deployments_for_cert("Certisign AC1S"):
+            assert deployment.manufacturer == "MOTOROLA"
+            assert deployment.operator == "VERIZON(US)"
+            assert deployment.versions == ("4.1",)
+
+    def test_microsoft_cert_is_att(self, catalog):
+        """§5.1: Microsoft Secure Server appears via AT&T Motorola."""
+        deployments = catalog.deployments_for_cert("Microsoft Secure Server Authority")
+        assert any(d.operator == "AT&T(US)" for d in deployments)
+
+    def test_shared_vendor_certs(self, catalog):
+        """§5.1: HTC and Samsung both ship AddTrust/DT/Sonera/DoD."""
+        for name in (
+            "AddTrust Class 1 CA Root",
+            "Deutsche Telekom Root CA 1",
+            "Sonera Class1 CA",
+            "DoD CLASS 3 Root CA",
+        ):
+            manufacturers = {
+                d.manufacturer for d in catalog.deployments_for_cert(name)
+            }
+            assert {"HTC", "SAMSUNG"} <= manufacturers
+
+    def test_uti_cert_versions(self, catalog):
+        """§5.1: GeoTrust UTI on Samsung 4.2 and 4.3 devices."""
+        deployments = catalog.deployments_for_cert("GeoTrust CA for UTI")
+        assert deployments[0].manufacturer == "SAMSUNG"
+        assert set(deployments[0].versions) == {"4.2", "4.3"}
+
+
+class TestUniverseTotals:
+    def test_314_unique_device_certs(self, catalog):
+        """§4.1: 314 unique root certificates across all sessions."""
+        total = (
+            len(catalog.core)
+            + len(catalog.aosp_only)
+            + len(catalog.extras)
+            + len(catalog.rooted_only)
+        )
+        assert total == 314
+
+    def test_rooted_only_certs(self, catalog):
+        """Table 5's CAs plus the self-signed singleton population."""
+        names = {p.name for p in catalog.rooted_only}
+        assert "CRAZY HOUSE" in names
+        assert "MIND OVERFLOW" in names
+        assert len(catalog.rooted_only) == 63
+
+    def test_no_duplicate_names(self, catalog):
+        names = [p.name for p in catalog.all_profiles()]
+        assert len(names) == len(set(names))
+
+    def test_validate_calibration_passes(self, catalog):
+        catalog.validate_calibration()
+
+
+class TestZipfAllocation:
+    def test_total_preserved(self):
+        counts = _zipf_allocation(14_700, 110, 1.15)
+        assert sum(counts) == 14_700
+
+    def test_monotone_nonincreasing(self):
+        counts = _zipf_allocation(10_000, 50, 1.2)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_skew(self):
+        counts = _zipf_allocation(10_000, 100, 1.2)
+        # Top 10 roots carry well over a third of the traffic.
+        assert sum(counts[:10]) > 10_000 / 3
+
+    def test_degenerate_single(self):
+        assert _zipf_allocation(42, 1, 1.0) == [42]

@@ -1,0 +1,104 @@
+"""Unit tests for the Android cacerts directory emulation."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import CacertsDirectory, ReadOnlyStoreError, RootStore
+from repro.x509 import Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.fingerprint import subject_hash
+
+
+@pytest.fixture(scope="module")
+def certs():
+    out = []
+    for index in range(3):
+        kp = generate_keypair(DeterministicRandom(f"fs-test-{index}"))
+        out.append(make_root_certificate(kp, Name.build(CN=f"FS Test CA {index}")))
+    return out
+
+
+class TestMountSemantics:
+    def test_unrooted_cannot_remount(self, tmp_path):
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        with pytest.raises(ReadOnlyStoreError, match="root privileges"):
+            cacerts.remount_rw()
+
+    def test_unrooted_cannot_install(self, tmp_path, certs):
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        with pytest.raises(ReadOnlyStoreError, match="read-only mount"):
+            cacerts.install(certs[0])
+
+    def test_rooted_can_remount_and_install(self, tmp_path, certs):
+        cacerts = CacertsDirectory(tmp_path, rooted=True)
+        cacerts.remount_rw()
+        path = cacerts.install(certs[0])
+        assert path.exists()
+        cacerts.remount_ro()
+        with pytest.raises(ReadOnlyStoreError):
+            cacerts.install(certs[1])
+
+    def test_system_writes_bypass_mount(self, tmp_path, certs):
+        """Firmware build steps write with system privilege."""
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        cacerts.install(certs[0], system=True)
+        assert len(cacerts.list_files()) == 1
+
+
+class TestFileLayout:
+    def test_filename_is_subject_hash(self, tmp_path, certs):
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        path = cacerts.install(certs[0], system=True)
+        assert path.name == f"{subject_hash(certs[0])}.0"
+
+    def test_hash_collision_suffix(self, tmp_path):
+        """Two certs with the same subject get .0 and .1 suffixes."""
+        kp_a = generate_keypair(DeterministicRandom("collide-a"))
+        kp_b = generate_keypair(DeterministicRandom("collide-b"))
+        subject = Name.build(CN="Colliding Subject")
+        cert_a = make_root_certificate(kp_a, subject)
+        cert_b = make_root_certificate(kp_b, subject)
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        path_a = cacerts.install(cert_a, system=True)
+        path_b = cacerts.install(cert_b, system=True)
+        assert path_a.name.endswith(".0")
+        assert path_b.name.endswith(".1")
+        assert path_a.stem == path_b.stem
+
+    def test_reinstall_same_cert_reuses_file(self, tmp_path, certs):
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        first = cacerts.install(certs[0], system=True)
+        second = cacerts.install(certs[0], system=True)
+        assert first == second
+        assert len(cacerts.list_files()) == 1
+
+
+class TestRoundTrip:
+    def test_populate_and_load(self, tmp_path, certs):
+        store = RootStore("image", certs)
+        cacerts = CacertsDirectory(tmp_path, rooted=False)
+        assert cacerts.populate(store) == 3
+        loaded = cacerts.load_store()
+        assert len(loaded) == 3
+        assert set(loaded) == set(certs)
+
+    def test_remove(self, tmp_path, certs):
+        cacerts = CacertsDirectory(tmp_path, rooted=True)
+        cacerts.remount_rw()
+        cacerts.install(certs[0])
+        cacerts.install(certs[1])
+        assert cacerts.remove(certs[0])
+        assert not cacerts.remove(certs[2])
+        loaded = cacerts.load_store()
+        assert set(loaded) == {certs[1]}
+
+    def test_malicious_app_flow(self, tmp_path, certs):
+        """§6's attack: root, remount, inject a CA, restore the mount."""
+        cacerts = CacertsDirectory(tmp_path, rooted=True)
+        cacerts.populate(RootStore("image", certs[:2]))
+        cacerts.remount_rw()
+        cacerts.install(certs[2])  # the injected "CRAZY HOUSE"-style root
+        cacerts.remount_ro()
+        loaded = cacerts.load_store()
+        assert certs[2] in loaded
+        assert len(loaded) == 3

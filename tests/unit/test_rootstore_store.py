@@ -1,0 +1,135 @@
+"""Unit tests for the RootStore container."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import RootStore, TrustFlags
+from repro.rootstore.store import StorePermissionError
+from repro.x509 import Name
+from repro.x509.builder import make_root_certificate
+
+
+@pytest.fixture(scope="module")
+def certs():
+    out = []
+    for index in range(4):
+        kp = generate_keypair(DeterministicRandom(f"store-test-{index}"))
+        out.append(make_root_certificate(kp, Name.build(CN=f"Store Test CA {index}")))
+    return out
+
+
+class TestBasicOperations:
+    def test_construction(self, certs):
+        store = RootStore("test", certs[:2])
+        assert len(store) == 2
+        assert certs[0] in store
+        assert certs[2] not in store
+
+    def test_add_and_remove(self, certs):
+        store = RootStore("test")
+        store.add(certs[0])
+        assert len(store) == 1
+        assert store.remove(certs[0])
+        assert len(store) == 0
+        assert not store.remove(certs[0])
+
+    def test_add_is_idempotent(self, certs):
+        store = RootStore("test")
+        store.add(certs[0])
+        store.add(certs[0])
+        assert len(store) == 1
+
+    def test_iteration(self, certs):
+        store = RootStore("test", certs[:3])
+        assert set(store) == set(certs[:3])
+
+    def test_find_by_subject(self, certs):
+        store = RootStore("test", certs[:3])
+        found = store.find_by_subject(certs[1].subject)
+        assert found == [certs[1]]
+
+
+class TestReadOnly:
+    def test_add_requires_system(self, certs):
+        store = RootStore("system", read_only=True)
+        with pytest.raises(StorePermissionError):
+            store.add(certs[0])
+        store.add(certs[0], system=True)
+        assert certs[0] in store
+
+    def test_remove_requires_system(self, certs):
+        store = RootStore("system", certs[:1], read_only=True)
+        with pytest.raises(StorePermissionError):
+            store.remove(certs[0])
+        assert store.remove(certs[0], system=True)
+
+    def test_disable_never_requires_system(self, certs):
+        """Android settings let users disable system roots (§2)."""
+        store = RootStore("system", certs[:1], read_only=True)
+        assert store.disable(certs[0])
+        assert store.certificates() == []
+        assert store.certificates(include_disabled=True) == [certs[0]]
+        assert store.enable(certs[0])
+        assert store.certificates() == [certs[0]]
+
+    def test_disable_missing(self, certs):
+        store = RootStore("system", read_only=True)
+        assert not store.disable(certs[0])
+        assert not store.enable(certs[0])
+
+
+class TestEquivalence:
+    def test_contains_equivalent(self):
+        """A re-issued root (same key+subject, new dates) is equivalent."""
+        import datetime
+
+        kp = generate_keypair(DeterministicRandom("equiv-store"))
+        subject = Name.build(CN="Equivalent Root")
+        first = make_root_certificate(kp, subject, not_after=datetime.datetime(2020, 1, 1))
+        second = make_root_certificate(kp, subject, not_after=datetime.datetime(2031, 1, 1))
+        store = RootStore("test", [first])
+        assert second not in store  # strict identity differs
+        assert store.contains_equivalent(second)
+
+    def test_not_equivalent_different_key(self, certs):
+        store = RootStore("test", certs[:1])
+        assert not store.contains_equivalent(certs[1])
+
+
+class TestCopy:
+    def test_copy_is_independent(self, certs):
+        store = RootStore("orig", certs[:2])
+        clone = store.copy("clone")
+        clone.add(certs[2])
+        assert len(store) == 2
+        assert len(clone) == 3
+        assert clone.name == "clone"
+
+    def test_copy_preserves_disabled_state_independently(self, certs):
+        store = RootStore("orig", certs[:1])
+        clone = store.copy()
+        clone.disable(certs[0])
+        assert store.entry_for(certs[0]).enabled
+        assert not clone.entry_for(certs[0]).enabled
+
+    def test_copy_can_drop_read_only(self, certs):
+        store = RootStore("orig", certs[:1], read_only=True)
+        clone = store.copy(read_only=False)
+        clone.add(certs[1])  # no error
+        assert len(clone) == 2
+
+
+class TestTrustFlags:
+    def test_android_policy_trusts_everything(self):
+        flags = TrustFlags.all()
+        assert flags.server_auth and flags.email and flags.code_signing
+
+    def test_mozilla_scoped_policy(self):
+        flags = TrustFlags.websites_only()
+        assert flags.server_auth
+        assert not flags.code_signing
+
+    def test_entry_trust_recorded(self, certs):
+        store = RootStore("test")
+        entry = store.add(certs[0], trust=TrustFlags.websites_only())
+        assert not entry.trust.code_signing

@@ -1,0 +1,110 @@
+"""Tests for SCT embedding and CT enforcement."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.ctlog import CertificateLog, CtPolicy, attach_scts, scts_of
+from repro.ctlog.sct import SignedCertificateTimestamp
+from repro.x509 import CertificateBuilder, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.verify import is_signed_by
+
+
+@pytest.fixture(scope="module")
+def ca():
+    keypair = generate_keypair(DeterministicRandom("sct-ca"))
+    certificate = make_root_certificate(keypair, Name.build(CN="SCT CA", O="S"))
+    return keypair, certificate
+
+
+@pytest.fixture(scope="module")
+def log():
+    return CertificateLog("sct-test-log", seed="sct-log")
+
+
+@pytest.fixture(scope="module")
+def ct_leaf(ca, log):
+    ca_kp, ca_cert = ca
+    leaf_kp = generate_keypair(DeterministicRandom("sct-leaf"))
+    precert = (
+        CertificateBuilder()
+        .subject(Name.build(CN="ct.example.com"))
+        .issuer(ca_cert.subject)
+        .public_key(leaf_kp.public)
+        .serial_number(5)
+        .tls_server("ct.example.com")
+        .sign(ca_kp.private, issuer_public_key=ca_kp.public)
+    )
+    sct = log.issue_sct(precert)
+    return attach_scts(precert, [sct], ca_kp.private), precert
+
+
+class TestSctEmbedding:
+    def test_sct_extension_present(self, ct_leaf):
+        final, precert = ct_leaf
+        scts = scts_of(final)
+        assert len(scts) == 1
+        assert scts[0].log_name == "sct-test-log"
+        assert scts_of(precert) == []
+
+    def test_reissued_cert_still_valid(self, ct_leaf, ca):
+        final, precert = ct_leaf
+        assert is_signed_by(final, ca[1])
+        assert final.subject == precert.subject
+        assert final.serial_number == precert.serial_number
+        assert final.encoded != precert.encoded
+
+    def test_sct_codec_roundtrip(self, ct_leaf):
+        final, _ = ct_leaf
+        sct = scts_of(final)[0]
+        assert SignedCertificateTimestamp.from_der(sct.to_der()) == sct
+
+
+class TestCtPolicy:
+    def test_valid_sct_accepted(self, ct_leaf, log):
+        final, _ = ct_leaf
+        policy = CtPolicy({log.name: log.public_key})
+        assert policy.check(final)
+
+    def test_missing_sct_rejected(self, ct_leaf, log, ca):
+        _, precert = ct_leaf
+        policy = CtPolicy({log.name: log.public_key})
+        assert not policy.check(precert)
+
+    def test_unknown_log_rejected(self, ct_leaf):
+        final, _ = ct_leaf
+        other = CertificateLog("other-log", seed="other")
+        policy = CtPolicy({other.name: other.public_key})
+        assert not policy.check(final)
+
+    def test_forged_sct_rejected(self, ca, log):
+        """An attacker cannot mint an SCT without the log key."""
+        ca_kp, ca_cert = ca
+        leaf_kp = generate_keypair(DeterministicRandom("sct-forged"))
+        precert = (
+            CertificateBuilder()
+            .subject(Name.build(CN="forged-ct.example.com"))
+            .issuer(ca_cert.subject)
+            .public_key(leaf_kp.public)
+            .serial_number(6)
+            .tls_server("forged-ct.example.com")
+            .sign(ca_kp.private, issuer_public_key=ca_kp.public)
+        )
+        from repro.ctlog.sct import issue_sct
+
+        mallory = generate_keypair(DeterministicRandom("sct-mallory"))
+        fake_sct = issue_sct(log.name, mallory.private, precert.tbs_encoded)
+        final = attach_scts(precert, [fake_sct], ca_kp.private)
+        policy = CtPolicy({log.name: log.public_key})
+        assert not policy.check(final)
+
+    def test_logged_cert_provable_in_log(self, ct_leaf, log):
+        _, precert = ct_leaf
+        assert log.contains(precert)
+        sth = log.signed_tree_head()
+        index, proof = log.inclusion_proof(precert, sth.tree_size)
+        from repro.ctlog import verify_inclusion
+
+        assert verify_inclusion(
+            precert.encoded, index, sth.tree_size, proof, sth.root_hash
+        )

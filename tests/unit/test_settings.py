@@ -1,0 +1,93 @@
+"""Tests for the settings surface and user-awareness signals."""
+
+import pytest
+
+from repro.android import DeviceSpec, FirmwareBuilder, FreedomLikeApp
+from repro.android.settings import EventKind, SecuritySettings
+
+
+@pytest.fixture
+def device(factory, catalog):
+    firmware = FirmwareBuilder(factory, catalog)
+    return firmware.provision(
+        DeviceSpec("SAMSUNG", "Galaxy SIV", "4.4", "T-MOBILE(US)"),
+        branded=False,
+        rooted=True,
+    )
+
+
+@pytest.fixture
+def user_cert(factory, catalog):
+    return factory.root_certificate(catalog.by_name("Self-Signed VPN Root 4"))
+
+
+class TestCredentialTabs:
+    def test_fresh_device_tabs(self, device):
+        settings = SecuritySettings(device)
+        assert len(settings.system_credentials()) == 150
+        assert settings.user_credentials() == []
+
+    def test_user_install_lands_in_user_tab(self, device, user_cert):
+        settings = SecuritySettings(device)
+        settings.install_certificate(user_cert, "My VPN")
+        assert user_cert in settings.user_credentials()
+        assert user_cert not in settings.system_credentials()
+
+
+class TestSignals:
+    def test_install_prompts_and_warns(self, device, user_cert):
+        settings = SecuritySettings(device)
+        settings.install_certificate(user_cert, "My VPN")
+        kinds = [event.kind for event in settings.events]
+        assert kinds == [EventKind.INSTALL_PROMPT, EventKind.MONITORING_WARNING]
+        assert settings.monitoring_warning_active
+        assert 'My VPN' in settings.events[0].message
+
+    def test_monitoring_warning_raised_once(self, device, factory, catalog):
+        settings = SecuritySettings(device)
+        settings.install_certificate(
+            factory.root_certificate(catalog.by_name("Self-Signed VPN Root 5"))
+        )
+        settings.install_certificate(
+            factory.root_certificate(catalog.by_name("Self-Signed VPN Root 6"))
+        )
+        warnings = [
+            e for e in settings.events if e.kind is EventKind.MONITORING_WARNING
+        ]
+        assert len(warnings) == 1
+
+    def test_disable_confirms(self, device):
+        settings = SecuritySettings(device)
+        target = settings.system_credentials()[0]
+        assert settings.disable_system_certificate(target)
+        assert settings.events[0].kind is EventKind.DISABLE_CONFIRMATION
+        assert target not in set(device.store.certificates())
+
+
+class TestSilentChanges:
+    def test_app_injection_is_silent_until_reconciled(
+        self, device, factory, catalog
+    ):
+        """§6: the Freedom app changes the store with zero user signal."""
+        settings = SecuritySettings(device)
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.install_app(FreedomLikeApp(ca_certificate=crazy))
+        # Nothing was shown to the user at injection time.
+        assert settings.events == []
+        silent = settings.reconcile()
+        assert len(silent) == 1
+        assert silent[0].kind is EventKind.SILENT_CHANGE
+        assert "Freedom" in silent[0].message
+        assert silent[0].certificate == crazy
+
+    def test_user_installs_are_not_silent(self, device, user_cert):
+        settings = SecuritySettings(device)
+        settings.install_certificate(user_cert)
+        assert settings.reconcile() == []
+
+    def test_reconcile_idempotent(self, device, factory, catalog):
+        settings = SecuritySettings(device)
+        crazy = factory.root_certificate(catalog.by_name("CRAZY HOUSE"))
+        device.install_app(FreedomLikeApp(ca_certificate=crazy))
+        assert len(settings.reconcile()) == 1
+        assert settings.reconcile() == []

@@ -1,0 +1,94 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    Estimate,
+    bootstrap_fraction,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_basic_properties(self):
+        estimate = wilson_interval(390, 1000)
+        assert estimate.value == pytest.approx(0.39)
+        assert estimate.low < 0.39 < estimate.high
+        assert 0.0 <= estimate.low <= estimate.high <= 1.0
+
+    def test_narrows_with_sample_size(self):
+        small = wilson_interval(39, 100)
+        large = wilson_interval(3900, 10000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_extremes(self):
+        zero = wilson_interval(0, 50)
+        assert zero.value == 0.0
+        assert zero.low == pytest.approx(0.0, abs=1e-12)
+        assert zero.high > 0.0  # Wilson never collapses to a point
+        full = wilson_interval(50, 50)
+        assert full.high == 1.0
+        assert full.low < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+    def test_contains(self):
+        estimate = wilson_interval(240, 1000)
+        assert 0.24 in estimate
+        assert 0.9 not in estimate
+
+
+class TestBootstrap:
+    def test_point_estimate_matches_pooled_fraction(self):
+        clusters = [(2, 4), (0, 3), (3, 3)]
+        estimate = bootstrap_fraction(clusters, rounds=200)
+        assert estimate.value == pytest.approx(5 / 10)
+
+    def test_interval_covers_point(self):
+        clusters = [(i % 3, 4) for i in range(60)]
+        estimate = bootstrap_fraction(clusters, rounds=400)
+        assert estimate.low <= estimate.value <= estimate.high
+
+    def test_deterministic_given_seed(self):
+        clusters = [(1, 4), (2, 4), (0, 4), (4, 4)]
+        a = bootstrap_fraction(clusters, seed=3)
+        b = bootstrap_fraction(clusters, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_clustered_variance_exceeds_binomial(self):
+        """Perfectly correlated clusters -> wider interval than Wilson."""
+        # 30 handsets, each entirely extended or entirely stock.
+        clusters = [(4, 4)] * 12 + [(0, 4)] * 18
+        boot = bootstrap_fraction(clusters, rounds=600)
+        naive = wilson_interval(48, 120)
+        assert (boot.high - boot.low) > (naive.high - naive.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_fraction([])
+        with pytest.raises(ValueError):
+            bootstrap_fraction([(0, 0)])
+
+
+class TestSessionFractionEstimate:
+    def test_headline_fraction_with_ci(self, platform_stores, factory, catalog):
+        from repro.analysis.sessions import SessionDiffer
+        from repro.analysis.stats import session_fraction_estimate
+        from repro.android.population import PopulationConfig, PopulationGenerator
+        from repro.netalyzr import collect_dataset
+
+        config = PopulationConfig(seed="stats-tests", scale=0.05)
+        population = PopulationGenerator(config, factory, catalog).generate()
+        dataset = collect_dataset(population, factory, catalog)
+        diffs = SessionDiffer(platform_stores.aosp).diff_all(dataset)
+        estimate = session_fraction_estimate(
+            diffs, lambda d: d.is_extended, rounds=200
+        )
+        assert 0.25 <= estimate.value <= 0.50
+        assert estimate.low < estimate.value < estimate.high
+        # The paper's 39% should sit inside the interval at this scale.
+        assert 0.39 in estimate or abs(estimate.value - 0.39) < 0.08

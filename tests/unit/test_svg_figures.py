@@ -1,0 +1,155 @@
+"""Tests for the SVG figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.ecdf import ecdf_points, fraction_zero
+from repro.analysis.figures import Figure1Point, Figure2Cell, Figure2Matrix, Figure3Series
+from repro.analysis.svg import (
+    SvgCanvas,
+    render_figure1_svg,
+    render_figure2_svg,
+    render_figure3_svg,
+)
+from repro.rootstore.catalog import StorePresence
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_empty_canvas_valid(self):
+        svg = SvgCanvas(100, 50).render()
+        root = _parse(svg)
+        assert root.attrib["width"] == "100"
+
+    def test_escaping(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(0, 0, "<&> AT&T")
+        svg = canvas.render()
+        _parse(svg)  # must stay well-formed
+        assert "AT&amp;T" in svg
+
+    def test_title_tooltip(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.circle(5, 5, 2, title="tool<tip>")
+        root = _parse(canvas.render())
+        titles = root.findall(".//{http://www.w3.org/2000/svg}title")
+        assert titles and titles[0].text == "tool<tip>"
+
+
+@pytest.fixture
+def figure1_points():
+    return [
+        Figure1Point("SAMSUNG", "4.1", 139, 0, 500),
+        Figure1Point("SAMSUNG", "4.1", 139, 22, 120),
+        Figure1Point("HTC", "4.2", 140, 47, 60),
+        Figure1Point("SONY", "4.4", 150, 3, 10),
+    ]
+
+
+class TestFigure1:
+    def test_valid_and_has_markers(self, figure1_points):
+        root = _parse(render_figure1_svg(figure1_points))
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        # one per point plus legend dots
+        assert len(circles) >= len(figure1_points)
+
+    def test_four_panels(self, figure1_points):
+        svg = render_figure1_svg(figure1_points)
+        for version in ("4.1", "4.2", "4.3", "4.4"):
+            assert f">{version}<" in svg
+
+    def test_marker_size_scales_with_sessions(self, figure1_points):
+        root = _parse(render_figure1_svg(figure1_points))
+        titled = {
+            circle.find("{http://www.w3.org/2000/svg}title").text: float(
+                circle.attrib["r"]
+            )
+            for circle in root.findall(".//{http://www.w3.org/2000/svg}circle")
+            if circle.find("{http://www.w3.org/2000/svg}title") is not None
+        }
+        big = next(r for t, r in titled.items() if "500 sessions" in t)
+        small = next(r for t, r in titled.items() if "10 sessions" in t)
+        assert big > small
+
+    def test_empty_points(self):
+        _parse(render_figure1_svg([]))
+
+
+class TestFigure2:
+    @pytest.fixture
+    def matrix(self):
+        cells = [
+            Figure2Cell("SAMSUNG 4.1", "manufacturer", "AddTrust Class 1",
+                        "deadbeef", 0.9, StorePresence.MOZILLA_AND_IOS7),
+            Figure2Cell("VERIZON(US)", "operator", "Certisign AC1S",
+                        "cafebabe", 0.65, StorePresence.NOT_RECORDED),
+        ]
+        return Figure2Matrix(cells=cells)
+
+    def test_valid_with_rows_and_legend(self, matrix):
+        svg = render_figure2_svg(matrix)
+        root = _parse(svg)
+        assert "SAMSUNG 4.1" in svg
+        assert "VERIZON(US)" in svg
+        assert "not_recorded" in svg
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) >= 2 + 5  # cells + legend
+
+    def test_frequency_drives_radius(self, matrix):
+        root = _parse(render_figure2_svg(matrix))
+        titled = {
+            circle.find("{http://www.w3.org/2000/svg}title").text: float(
+                circle.attrib["r"]
+            )
+            for circle in root.findall(".//{http://www.w3.org/2000/svg}circle")
+            if circle.find("{http://www.w3.org/2000/svg}title") is not None
+        }
+        big = next(r for t, r in titled.items() if "90%" in t)
+        small = next(r for t, r in titled.items() if "65%" in t)
+        assert big > small
+
+
+class TestFigure3:
+    @pytest.fixture
+    def series(self):
+        counts_a = [0] * 30 + [5, 10, 100, 1000]
+        counts_b = [0] * 5 + [1, 2, 3]
+        return [
+            Figure3Series(
+                label="AOSP 4.4",
+                root_count=len(counts_a),
+                points=tuple(ecdf_points(counts_a)),
+                zero_fraction=fraction_zero(counts_a),
+            ),
+            Figure3Series(
+                label="Non AOSP extras",
+                root_count=len(counts_b),
+                points=tuple(ecdf_points(counts_b)),
+                zero_fraction=fraction_zero(counts_b),
+            ),
+        ]
+
+    def test_valid_with_curves(self, series):
+        svg = render_figure3_svg(series)
+        root = _parse(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 2
+        assert "AOSP 4.4" in svg
+
+    def test_log_axis_labels(self, series):
+        svg = render_figure3_svg(series)
+        assert "1e0" in svg and "1e3" in svg
+
+    def test_curve_y_monotone_down(self, series):
+        """SVG y decreases (fraction increases) along each curve."""
+        root = _parse(render_figure3_svg(series))
+        for polyline in root.findall(".//{http://www.w3.org/2000/svg}polyline"):
+            ys = [
+                float(pair.split(",")[1])
+                for pair in polyline.attrib["points"].split()
+            ]
+            assert all(b <= a + 1e-6 for a, b in zip(ys, ys[1:]))

@@ -1,0 +1,45 @@
+"""Tests for the population sweep harness."""
+
+import pytest
+
+from repro.analysis.sweep import PopulationSweep, rooted_fraction_sweep, scale_sweep
+from repro.android.population import PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def sweep(factory, catalog, platform_stores):
+    return PopulationSweep(
+        factory,
+        catalog,
+        platform_stores,
+        base_config=PopulationConfig(seed="sweep-tests", scale=0.03),
+    )
+
+
+class TestSweep:
+    def test_run_point_metrics(self, sweep):
+        metrics = sweep.run_point(PopulationConfig(seed="point", scale=0.03))
+        assert set(metrics) == {
+            "sessions",
+            "extended_fraction",
+            "rooted_fraction",
+            "exclusive_of_rooted",
+            "unique_certs",
+        }
+        assert metrics["sessions"] > 100
+
+    def test_rooted_sweep_tracks_parameter(self, sweep):
+        points = rooted_fraction_sweep(sweep, values=(0.05, 0.40))
+        assert points[0].metrics["rooted_fraction"] < points[1].metrics[
+            "rooted_fraction"
+        ]
+
+    def test_scale_sweep_scales_sessions(self, sweep):
+        points = scale_sweep(sweep, values=(0.02, 0.06))
+        assert (
+            points[1].metrics["sessions"] > points[0].metrics["sessions"] * 2
+        )
+
+    def test_points_record_values(self, sweep):
+        points = scale_sweep(sweep, values=(0.02,))
+        assert points[0].value == 0.02

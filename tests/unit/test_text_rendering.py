@@ -1,0 +1,104 @@
+"""Tests for the ASN.1 dump and certificate text renderers."""
+
+import pytest
+
+from repro.asn1 import encode_integer, encode_null, encode_oid, encode_sequence
+from repro.asn1.dump import dump_der
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import CertificateBuilder, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.constraints import NameConstraints
+from repro.x509.text import certificate_text
+
+
+@pytest.fixture(scope="module")
+def root():
+    keypair = generate_keypair(DeterministicRandom("text-tests"))
+    return make_root_certificate(
+        keypair, Name.build(CN="Text Test CA", O="Text", C="US")
+    ), keypair
+
+
+class TestDumpDer:
+    def test_simple_structure(self):
+        der = encode_sequence([encode_integer(42), encode_null()])
+        text = dump_der(der)
+        assert "SEQUENCE" in text
+        assert "INTEGER: 42" in text
+        assert "NULL" in text
+
+    def test_oid_rendered_dotted(self):
+        text = dump_der(encode_sequence([encode_oid("2.5.4.3")]))
+        assert "2.5.4.3" in text
+
+    def test_certificate_dump(self, root):
+        text = dump_der(root[0].encoded)
+        assert "CONTEXT[0]" in text  # version tag
+        assert "1.2.840.113549.1.1.11" in text  # sha256WithRSA
+        assert "'Text Test CA'" in text
+        assert "BIT_STRING" in text
+
+    def test_offsets_monotone(self, root):
+        offsets = [
+            int(line.split(":")[0]) for line in dump_der(root[0].encoded).splitlines()
+        ]
+        assert offsets[0] == 0
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]) if b != 0)
+
+    def test_big_integer_rendered_hex(self, root):
+        text = dump_der(encode_integer(root[0].public_key.modulus))
+        assert "0x" in text
+
+
+class TestCertificateText:
+    def test_core_fields(self, root):
+        text = certificate_text(root[0])
+        assert "Version: 3" in text
+        assert "Issuer: C=US, O=Text, CN=Text Test CA" in text
+        assert "RSA Public-Key: (512 bit)" in text
+        assert "Exponent: 65537 (0x10001)" in text
+        assert "CA:TRUE" in text
+        assert "Certificate Sign" in text
+        assert "SHA256 Fingerprint:" in text
+
+    def test_leaf_extensions(self, root):
+        certificate, keypair = root
+        leaf_kp = generate_keypair(DeterministicRandom("text-leaf"))
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.text.example"))
+            .issuer(certificate.subject)
+            .public_key(leaf_kp.public)
+            .serial_number(7)
+            .tls_server("www.text.example", "*.text.example")
+            .sign(keypair.private, issuer_public_key=keypair.public)
+        )
+        text = certificate_text(leaf)
+        assert "DNS:www.text.example, DNS:*.text.example" in text
+        assert "serverAuth" in text
+        assert "Key Encipherment" in text
+
+    def test_name_constraints_rendered(self, root):
+        _, keypair = root
+        constrained = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Constrained CA"))
+            .public_key(keypair.public)
+            .ca(True)
+            .add_extension(
+                NameConstraints(
+                    permitted=("gov.example",), excluded=("evil.example",)
+                ).to_extension()
+            )
+            .self_sign(keypair.private)
+        )
+        text = certificate_text(constrained)
+        assert "Permitted: DNS:gov.example" in text
+        assert "Excluded: DNS:evil.example" in text
+
+    def test_modulus_hex_wrapped(self, root):
+        text = certificate_text(root[0])
+        modulus_lines = [
+            line for line in text.splitlines() if line.strip().count(":") >= 10
+        ]
+        assert modulus_lines  # wrapped hex present

@@ -1,0 +1,136 @@
+"""Unit tests for handshakes, pinning and the interception proxy."""
+
+import pytest
+
+from repro.rootstore import RootStore
+from repro.tlssim import InterceptionProxy, PinStore, TlsClient, TlsServer
+from repro.tlssim.endpoints import WHITELISTED_DOMAINS
+from repro.tlssim.pinning import spki_pin
+from repro.x509.chain import ValidationFailure
+
+
+@pytest.fixture(scope="module")
+def identity(traffic_module):
+    return traffic_module.server_identity("www.yahoo.com", "VeriSign Class 3 Root")
+
+
+@pytest.fixture(scope="module")
+def traffic_module(request):
+    return request.getfixturevalue("traffic")
+
+
+@pytest.fixture(scope="module")
+def device_store(platform_stores):
+    return platform_stores.aosp["4.4"].copy("device", read_only=False)
+
+
+class TestPlainHandshake:
+    def test_trusted_connection(self, identity, device_store):
+        server = TlsServer("www.yahoo.com", 443, identity)
+        client = TlsClient(device_store)
+        result = client.connect(server)
+        assert result.trusted
+        assert not result.intercepted
+        assert result.validation.anchor is not None
+
+    def test_untrusted_without_root(self, identity):
+        empty = RootStore("empty")
+        result = TlsClient(empty).connect(TlsServer("www.yahoo.com", 443, identity))
+        assert not result.trusted
+        assert result.validation.failure is ValidationFailure.NO_TRUSTED_ROOT
+
+    def test_hostname_checked(self, identity, device_store):
+        server = TlsServer("www.imposter.com", 443, identity)
+        result = TlsClient(device_store).connect(server)
+        assert not result.trusted
+        assert result.validation.failure is ValidationFailure.HOSTNAME_MISMATCH
+
+
+class TestPinning:
+    def test_pin_pass(self, identity, device_store):
+        pins = PinStore()
+        pins.pin("www.yahoo.com", identity.chain[-1])
+        client = TlsClient(device_store, pins=pins)
+        assert client.connect(TlsServer("www.yahoo.com", 443, identity)).trusted
+
+    def test_pin_fail_on_forged_chain(self, traffic_module, device_store):
+        """A proxy-forged chain validates (root installed) but fails pins."""
+        identity = traffic_module.server_identity("www.google.com", "GlobalSign Root CA")
+        pins = PinStore()
+        pins.pin("www.google.com", identity.chain[-1])
+        proxy = InterceptionProxy()
+        store = device_store.copy("proxied")
+        store.add(proxy.root_certificate, source="app")
+        client = TlsClient(store, pins=pins, proxy=proxy)
+        result = client.connect(TlsServer("www.google.com", 443, identity))
+        assert result.intercepted
+        assert result.validation.trusted  # chain-level: proxy root trusted
+        assert not result.pin_ok  # app-level: pin rejects it
+        assert not result.trusted
+
+    def test_unpinned_host_always_passes(self):
+        assert PinStore().check("anything.example", ())
+
+    def test_spki_pin_tracks_key_not_bytes(self, traffic_module):
+        a = traffic_module.server_identity("www.chase.com", "Entrust Root CA")
+        root = a.chain[-1]
+        assert spki_pin(root) == spki_pin(root)
+
+
+class TestInterceptionProxy:
+    @pytest.fixture
+    def proxy(self):
+        whitelist = frozenset(e.hostport for e in WHITELISTED_DOMAINS)
+        return InterceptionProxy(whitelist=whitelist)
+
+    def test_intercepts_https(self, proxy):
+        assert proxy.should_intercept("mail.yahoo.com", 443)
+
+    def test_whitelisted_host_passes(self, proxy):
+        assert not proxy.should_intercept("www.facebook.com", 443)
+
+    def test_non_web_port_passes(self, proxy):
+        """§7: SUPL (7275) and MQTT (8883) ports are not intercepted."""
+        assert not proxy.should_intercept("supl.google.com", 7275)
+        assert not proxy.should_intercept("orcart.facebook.com", 8883)
+
+    def test_forged_chain_shape(self, proxy):
+        chain = proxy.forged_chain("mail.yahoo.com")
+        leaf, intermediate, root = chain
+        assert leaf.matches_hostname("mail.yahoo.com")
+        assert intermediate.is_ca and not intermediate.is_self_signed
+        assert root.is_ca and root.is_self_signed
+        assert "Reality Mine" in str(root.subject)
+
+    def test_forged_chain_cached_per_host(self, proxy):
+        assert proxy.forged_chain("a.example") == proxy.forged_chain("a.example")
+        assert proxy.forged_chain("a.example") != proxy.forged_chain("b.example")
+
+    def test_forged_chain_validates_under_proxy_root(self, proxy, device_store):
+        store = device_store.copy("with-proxy-root")
+        store.add(proxy.root_certificate, source="app")
+        client = TlsClient(store)
+        from repro.x509.chain import ChainVerifier
+
+        verifier = ChainVerifier(store.certificates())
+        result = verifier.validate(list(proxy.forged_chain("www.hsbc.com")), "www.hsbc.com")
+        assert result.trusted
+        assert result.anchor == proxy.root_certificate
+
+    def test_forged_chain_untrusted_without_proxy_root(self, proxy, device_store):
+        from repro.x509.chain import ChainVerifier
+
+        verifier = ChainVerifier(device_store.certificates())
+        result = verifier.validate(list(proxy.forged_chain("www.hsbc.com")), "www.hsbc.com")
+        assert not result.trusted
+
+    def test_relay_decision_log(self, proxy, traffic_module):
+        upstream = traffic_module.server_identity("www.hsbc.com", "Entrust Root CA").chain
+        chain, intercepted = proxy.relay("www.hsbc.com", 443, upstream)
+        assert intercepted and chain != upstream
+        chain, intercepted = proxy.relay("www.facebook.com", 443, upstream)
+        assert not intercepted and chain == upstream
+        assert proxy.decisions == [
+            ("www.hsbc.com", 443, True),
+            ("www.facebook.com", 443, False),
+        ]

@@ -1,0 +1,122 @@
+"""Unit tests for the traffic generator and endpoint catalog."""
+
+import pytest
+
+from repro.rootstore.factory import STUDY_NOW
+from repro.tlssim import TlsTrafficGenerator
+from repro.tlssim.endpoints import (
+    INTERCEPTED_DOMAINS,
+    PROBE_TARGETS,
+    WHITELISTED_DOMAINS,
+    endpoint_for,
+)
+from repro.x509.verify import is_signed_by
+
+
+class TestEndpoints:
+    def test_table6_counts(self):
+        """Table 6: 12 intercepted and 9 whitelisted domains."""
+        assert len(INTERCEPTED_DOMAINS) == 12
+        assert len(WHITELISTED_DOMAINS) == 9
+
+    def test_probe_targets_unique(self):
+        hostports = [e.hostport for e in PROBE_TARGETS]
+        assert len(hostports) == len(set(hostports))
+
+    def test_special_ports(self):
+        """SUPL (7275) and Facebook chat (8883) are whitelisted ports."""
+        assert endpoint_for("supl.google.com:7275").port == 7275
+        assert endpoint_for("orcart.facebook.com:8883").port == 8883
+
+    def test_pinned_endpoints(self):
+        pinned = {e.host for e in PROBE_TARGETS if e.pinned}
+        assert "www.facebook.com" in pinned
+        assert "www.twitter.com" in pinned
+        assert "www.google.com" in pinned
+        # Banks were interceptable -- not pinned in 2014.
+        assert "www.bankofamerica.com" not in pinned
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            endpoint_for("nonexistent.example:443")
+
+    def test_issuers_exist_in_catalog(self, catalog):
+        for endpoint in PROBE_TARGETS:
+            catalog.by_name(endpoint.issuer_ca)  # must not raise
+
+
+class TestLeafGeneration:
+    def test_leaf_counts_follow_profile(self, factory, catalog):
+        generator = TlsTrafficGenerator(factory, catalog, scale=1.0)
+        profile = next(p for p in catalog.core if p.current_leaves > 10)
+        leaves = list(generator.leaves_for_profile(profile))
+        current = [l for l in leaves if not l.expired]
+        expired = [l for l in leaves if l.expired]
+        assert len(current) == profile.current_leaves
+        assert len(expired) == profile.expired_leaves
+
+    def test_leaves_verify_under_issuer(self, factory, catalog):
+        """Small CAs sign leaves directly; big CAs go through an
+        intermediate whose chain resolves to the root."""
+        generator = TlsTrafficGenerator(factory, catalog, scale=1.0)
+        small = next(p for p in catalog.core if 0 < p.current_leaves < 20)
+        small_root = factory.root_certificate(small)
+        for leaf in list(generator.leaves_for_profile(small))[:3]:
+            assert leaf.intermediates == ()
+            assert is_signed_by(leaf.certificate, small_root)
+        big = next(p for p in catalog.core if p.current_leaves >= 20)
+        big_root = factory.root_certificate(big)
+        for leaf in list(generator.leaves_for_profile(big))[:3]:
+            assert len(leaf.intermediates) == 1
+            intermediate = leaf.intermediates[0]
+            assert is_signed_by(leaf.certificate, intermediate)
+            assert is_signed_by(intermediate, big_root)
+
+    def test_expired_leaves_are_expired(self, traffic, catalog):
+        profile = next(p for p in catalog.extras if p.expired_leaves > 0)
+        for leaf in traffic.leaves_for_profile(profile):
+            assert leaf.expired == leaf.certificate.is_expired(STUDY_NOW)
+
+    def test_zero_profile_yields_nothing(self, traffic, catalog):
+        profile = next(
+            p for p in catalog.extras if p.current_leaves == 0 and p.expired_leaves == 0
+        )
+        assert list(traffic.leaves_for_profile(profile)) == []
+
+    def test_scaling_keeps_small_counts_alive(self, factory, catalog):
+        """A root signing 3 leaves still signs >=1 at scale 0.1 (needed
+        for Table 3's version orderings)."""
+        generator = TlsTrafficGenerator(factory, catalog, scale=0.1)
+        profile = next(
+            p for p in catalog.aosp_only if 0 < p.current_leaves <= 5
+        )
+        leaves = [l for l in generator.leaves_for_profile(profile) if not l.expired]
+        assert len(leaves) >= 1
+
+    def test_invalid_scale_rejected(self, factory):
+        with pytest.raises(ValueError):
+            TlsTrafficGenerator(factory, scale=0)
+        with pytest.raises(ValueError):
+            TlsTrafficGenerator(factory, scale=1.5)
+
+    def test_leaf_hosts_are_ascii(self, traffic, catalog):
+        profile = next(p for p in catalog.aosp_only if p.current_leaves > 0)
+        for leaf in traffic.leaves_for_profile(profile):
+            leaf.host.encode("ascii")
+
+
+class TestServerIdentity:
+    def test_identity_chain_shape(self, traffic):
+        identity = traffic.server_identity("www.example.com", "VeriSign Class 3 Root")
+        assert len(identity.chain) == 2
+        assert identity.leaf.matches_hostname("www.example.com")
+        assert identity.chain[1].is_self_signed
+
+    def test_identity_verifies(self, traffic):
+        identity = traffic.server_identity("www.yahoo.com", "VeriSign Class 3 Root")
+        assert is_signed_by(identity.leaf, identity.chain[1])
+
+    def test_identity_deterministic(self, traffic):
+        a = traffic.server_identity("www.chase.com", "Entrust Root CA")
+        b = traffic.server_identity("www.chase.com", "Entrust Root CA")
+        assert a.leaf == b.leaf

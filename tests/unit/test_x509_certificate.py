@@ -1,0 +1,241 @@
+"""Unit tests for certificate parsing, building and fingerprinting."""
+
+import datetime
+
+import pytest
+
+from repro.asn1.objects import EKU_CODE_SIGNING, EKU_SERVER_AUTH
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    CertificateError,
+    Name,
+    fingerprint,
+    identity_key,
+    subject_hash,
+)
+from repro.x509.builder import make_root_certificate
+from repro.x509.fingerprint import CertificateIdentity, equivalence_key
+
+
+@pytest.fixture(scope="module")
+def root_keypair():
+    return generate_keypair(DeterministicRandom("cert-tests-root"))
+
+
+@pytest.fixture(scope="module")
+def root(root_keypair):
+    return make_root_certificate(
+        root_keypair, Name.build(CN="Unit Root CA", O="Unit", C="US")
+    )
+
+
+class TestParsing:
+    def test_roundtrip(self, root):
+        parsed = Certificate.from_der(root.encoded)
+        assert parsed == root
+        assert parsed.subject == root.subject
+        assert parsed.serial_number == root.serial_number
+
+    def test_fields(self, root):
+        assert root.version == 3
+        assert root.signature_hash == "sha256"
+        assert root.is_self_signed
+        assert root.is_ca
+        assert root.not_before == datetime.datetime(2000, 1, 1)
+        assert root.not_after == datetime.datetime(2030, 1, 1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_der(b"\x00\x01\x02")
+        with pytest.raises(CertificateError, match="not valid DER"):
+            Certificate.from_der(b"\x30\x05\x02")
+
+    def test_wrong_structure_rejected(self):
+        from repro.asn1 import encode_integer, encode_sequence
+
+        with pytest.raises(CertificateError):
+            Certificate.from_der(encode_sequence([encode_integer(1)]))
+
+    def test_truncated_rejected(self, root):
+        with pytest.raises(CertificateError):
+            Certificate.from_der(root.encoded[:-10])
+
+    def test_bitflip_in_tbs_changes_parse_or_signature(self, root):
+        # Flipping a byte inside the serial number region must change
+        # the parsed result (signature check failure is tested in chain tests).
+        tampered = bytearray(root.encoded)
+        # Locate serial number: shortly after the version block.
+        tampered[15] ^= 0x01
+        try:
+            parsed = Certificate.from_der(bytes(tampered))
+        except CertificateError:
+            return
+        assert parsed.encoded != root.encoded
+
+
+class TestBuilderValidation:
+    def test_requires_subject(self, root_keypair):
+        builder = CertificateBuilder().public_key(root_keypair.public)
+        with pytest.raises(ValueError, match="subject"):
+            builder.self_sign(root_keypair.private)
+
+    def test_requires_public_key(self, root_keypair):
+        builder = CertificateBuilder().subject(Name.build(CN="X"))
+        with pytest.raises(ValueError, match="public key"):
+            builder.self_sign(root_keypair.private)
+
+    def test_rejects_bad_serial(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().serial_number(0)
+
+    def test_rejects_inverted_validity(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().validity(
+                datetime.datetime(2015, 1, 1), datetime.datetime(2014, 1, 1)
+            )
+
+    def test_rejects_unknown_hash(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().signature_hash("sha3")
+
+    def test_rejects_v2(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().version(2)
+
+
+class TestBuilderOutputs:
+    def test_sha1_root(self, root_keypair):
+        cert = make_root_certificate(
+            root_keypair, Name.build(CN="SHA1 Root"), hash_name="sha1"
+        )
+        assert cert.signature_hash == "sha1"
+        assert Certificate.from_der(cert.encoded).signature_hash == "sha1"
+
+    def test_v1_certificate(self, root_keypair):
+        cert = make_root_certificate(
+            root_keypair, Name.build(CN="Legacy V1 Root"), version=1
+        )
+        assert cert.version == 1
+        assert cert.extensions == ()
+        # v1 self-signed roots are grandfathered as CAs.
+        assert cert.is_ca
+
+    def test_leaf_is_not_ca(self, root, root_keypair):
+        leaf_kp = generate_keypair(DeterministicRandom("leaf-not-ca"))
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="leaf.example.com"))
+            .issuer(root.subject)
+            .public_key(leaf_kp.public)
+            .serial_number(7)
+            .tls_server("leaf.example.com")
+            .sign(root_keypair.private, issuer_public_key=root_keypair.public)
+        )
+        assert not leaf.is_ca
+        assert not leaf.is_self_signed
+        assert leaf.subject_alternative_names == ("leaf.example.com",)
+
+    def test_ski_aki_present(self, root):
+        from repro.asn1.objects import AUTHORITY_KEY_IDENTIFIER, SUBJECT_KEY_IDENTIFIER
+
+        assert root.extension(SUBJECT_KEY_IDENTIFIER) is not None
+        assert root.extension(AUTHORITY_KEY_IDENTIFIER) is not None
+
+    def test_eku(self, root_keypair):
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Signer"))
+            .public_key(root_keypair.public)
+            .extended_key_usage(EKU_CODE_SIGNING, EKU_SERVER_AUTH)
+            .self_sign(root_keypair.private)
+        )
+        assert cert.extended_key_usage.purpose_names == ("codeSigning", "serverAuth")
+
+    def test_path_length_roundtrip(self, root_keypair):
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Constrained CA"))
+            .public_key(root_keypair.public)
+            .ca(True, path_length=2)
+            .self_sign(root_keypair.private)
+        )
+        assert cert.basic_constraints.ca
+        assert cert.basic_constraints.path_length == 2
+
+    def test_key_usage_roundtrip(self, root):
+        usage = root.key_usage
+        assert usage.key_cert_sign
+        assert usage.crl_sign
+        assert not usage.digital_signature
+
+
+class TestHostnameMatching:
+    @pytest.fixture(scope="class")
+    def leaf(self, root_keypair):
+        kp = generate_keypair(DeterministicRandom("hostname-leaf"))
+        return (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.example.com"))
+            .public_key(kp.public)
+            .tls_server("www.example.com", "*.example.net")
+            .self_sign(kp.private)
+        )
+
+    def test_exact_match(self, leaf):
+        assert leaf.matches_hostname("www.example.com")
+
+    def test_case_insensitive(self, leaf):
+        assert leaf.matches_hostname("WWW.Example.COM")
+
+    def test_wildcard_one_label(self, leaf):
+        assert leaf.matches_hostname("api.example.net")
+        assert not leaf.matches_hostname("a.b.example.net")
+        assert not leaf.matches_hostname("example.net")
+
+    def test_no_match(self, leaf):
+        assert not leaf.matches_hostname("www.example.org")
+
+    def test_cn_fallback_without_san(self, root_keypair):
+        cert = make_root_certificate(root_keypair, Name.build(CN="bare.example.com"))
+        assert cert.matches_hostname("bare.example.com")
+
+
+class TestIdentity:
+    def test_identity_key_stable_across_reissue(self, root_keypair):
+        """Re-issuing with only a new expiry keeps (subject, modulus) equal
+        but changes byte identity -- the §4.2 scenario."""
+        subject = Name.build(CN="Reissued Root", O="X")
+        first = make_root_certificate(
+            root_keypair, subject, not_after=datetime.datetime(2020, 1, 1)
+        )
+        second = make_root_certificate(
+            root_keypair, subject, not_after=datetime.datetime(2030, 1, 1)
+        )
+        assert first.encoded != second.encoded
+        assert fingerprint(first) != fingerprint(second)
+        assert equivalence_key(first) == equivalence_key(second)
+        # The strict identity key (modulus, signature) also differs.
+        assert identity_key(first) != identity_key(second)
+
+    def test_identity_object(self, root):
+        ident = CertificateIdentity.of(root)
+        assert ident.modulus == root.public_key.modulus
+        assert len(ident.short) == 8
+        int(ident.short, 16)  # must be hex
+
+    def test_subject_hash_is_8_hex(self, root):
+        value = subject_hash(root)
+        assert len(value) == 8
+        int(value, 16)
+
+    def test_subject_hash_ignores_key(self, root_keypair):
+        other_kp = generate_keypair(DeterministicRandom("other-subject-hash"))
+        a = make_root_certificate(root_keypair, Name.build(CN="Same Subject"))
+        b = make_root_certificate(other_kp, Name.build(CN="Same Subject"))
+        assert subject_hash(a) == subject_hash(b)
+
+    def test_fingerprint_hashes(self, root):
+        assert len(fingerprint(root, "sha256")) == 64
+        assert len(fingerprint(root, "sha1")) == 40

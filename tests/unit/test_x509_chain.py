@@ -1,0 +1,256 @@
+"""Unit tests for chain building and validation."""
+
+import datetime
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import (
+    CertificateBuilder,
+    ChainValidationError,
+    ChainVerifier,
+    Name,
+    build_chain,
+)
+from repro.x509.builder import make_root_certificate
+from repro.x509.chain import ValidationFailure
+from repro.x509.verify import is_signed_by
+
+
+@pytest.fixture(scope="module")
+def pki():
+    """A small PKI: root -> intermediate -> leaf."""
+    root_kp = generate_keypair(DeterministicRandom("chain-root"))
+    root = make_root_certificate(root_kp, Name.build(CN="Chain Root", O="T", C="US"))
+    inter_kp = generate_keypair(DeterministicRandom("chain-inter"))
+    inter = (
+        CertificateBuilder()
+        .subject(Name.build(CN="Chain Intermediate", O="T", C="US"))
+        .issuer(root.subject)
+        .public_key(inter_kp.public)
+        .serial_number(2)
+        .ca(True, path_length=0)
+        .sign(root_kp.private, issuer_public_key=root_kp.public)
+    )
+    leaf_kp = generate_keypair(DeterministicRandom("chain-leaf"))
+    leaf = (
+        CertificateBuilder()
+        .subject(Name.build(CN="www.example.com", O="Example"))
+        .issuer(inter.subject)
+        .public_key(leaf_kp.public)
+        .serial_number(3)
+        .validity(datetime.datetime(2013, 1, 1), datetime.datetime(2015, 6, 1))
+        .tls_server("www.example.com")
+        .sign(inter_kp.private, issuer_public_key=inter_kp.public)
+    )
+    return {
+        "root": root,
+        "root_kp": root_kp,
+        "inter": inter,
+        "inter_kp": inter_kp,
+        "leaf": leaf,
+        "leaf_kp": leaf_kp,
+    }
+
+
+class TestBuildChain:
+    def test_orders_out_of_order_chain(self, pki):
+        path = build_chain(pki["leaf"], [pki["root"], pki["inter"]])
+        assert path == [pki["leaf"], pki["inter"], pki["root"]]
+
+    def test_drops_unrelated(self, pki):
+        stray_kp = generate_keypair(DeterministicRandom("stray"))
+        stray = make_root_certificate(stray_kp, Name.build(CN="Stray Root"))
+        path = build_chain(pki["leaf"], [stray, pki["inter"]])
+        assert stray not in path
+        assert path == [pki["leaf"], pki["inter"]]
+
+    def test_leaf_only(self, pki):
+        assert build_chain(pki["leaf"], []) == [pki["leaf"]]
+
+    def test_stops_at_self_signed(self, pki):
+        path = build_chain(pki["leaf"], [pki["inter"], pki["root"], pki["root"]])
+        assert path == [pki["leaf"], pki["inter"], pki["root"]]
+
+
+class TestValidation:
+    def test_happy_path(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([pki["leaf"], pki["inter"]], "www.example.com")
+        assert result.trusted
+        assert result.anchor == pki["root"]
+        assert len(result.path) == 3
+
+    def test_chain_without_root_presented(self, pki):
+        """Server omits the root; store supplies the anchor."""
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([pki["leaf"], pki["inter"]])
+        assert result.trusted
+        assert result.path[-1] == pki["root"]
+
+    def test_full_chain_presented(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([pki["leaf"], pki["inter"], pki["root"]])
+        assert result.trusted
+
+    def test_untrusted_root(self, pki):
+        other_kp = generate_keypair(DeterministicRandom("other-root"))
+        other = make_root_certificate(other_kp, Name.build(CN="Other Root"))
+        verifier = ChainVerifier([other])
+        result = verifier.validate([pki["leaf"], pki["inter"]])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.NO_TRUSTED_ROOT
+
+    def test_missing_intermediate(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([pki["leaf"]])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.NO_TRUSTED_ROOT
+
+    def test_empty_chain(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([])
+        assert result.failure is ValidationFailure.EMPTY_CHAIN
+
+    def test_hostname_mismatch(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([pki["leaf"], pki["inter"]], "evil.example.org")
+        assert result.failure is ValidationFailure.HOSTNAME_MISMATCH
+
+    def test_expired_leaf(self, pki):
+        verifier = ChainVerifier([pki["root"]], at=datetime.datetime(2016, 1, 1))
+        result = verifier.validate([pki["leaf"], pki["inter"]])
+        assert result.failure is ValidationFailure.EXPIRED
+
+    def test_not_yet_valid_leaf(self, pki):
+        verifier = ChainVerifier([pki["root"]], at=datetime.datetime(2012, 1, 1))
+        result = verifier.validate([pki["leaf"], pki["inter"]])
+        assert result.failure is ValidationFailure.NOT_YET_VALID
+
+    def test_validity_check_can_be_disabled(self, pki):
+        verifier = ChainVerifier(
+            [pki["root"]], at=datetime.datetime(2016, 1, 1), check_validity=False
+        )
+        assert verifier.validate([pki["leaf"], pki["inter"]]).trusted
+
+    def test_leaf_signed_directly_by_root(self, pki):
+        kp = generate_keypair(DeterministicRandom("direct-leaf"))
+        direct = (
+            CertificateBuilder()
+            .subject(Name.build(CN="direct.example.com"))
+            .issuer(pki["root"].subject)
+            .public_key(kp.public)
+            .serial_number(9)
+            .sign(pki["root_kp"].private, issuer_public_key=pki["root_kp"].public)
+        )
+        verifier = ChainVerifier([pki["root"]])
+        assert verifier.validate([direct]).trusted
+
+    def test_forged_signature_rejected(self, pki):
+        """An attacker-signed leaf claiming the intermediate as issuer."""
+        mallory_kp = generate_keypair(DeterministicRandom("mallory"))
+        forged = (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.example.com", O="Example"))
+            .issuer(pki["inter"].subject)
+            .public_key(mallory_kp.public)
+            .serial_number(666)
+            .sign(mallory_kp.private)  # signed by mallory, not the intermediate
+        )
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([forged, pki["inter"]])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.BAD_SIGNATURE
+
+    def test_leaf_cannot_issue(self, pki):
+        """A chain through a non-CA certificate must fail."""
+        kp = generate_keypair(DeterministicRandom("sub-leaf"))
+        sub = (
+            CertificateBuilder()
+            .subject(Name.build(CN="sub.example.com"))
+            .issuer(pki["leaf"].subject)
+            .public_key(kp.public)
+            .serial_number(10)
+            .sign(pki["leaf_kp"].private, issuer_public_key=pki["leaf_kp"].public)
+        )
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([sub, pki["leaf"], pki["inter"]])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.NOT_A_CA
+
+    def test_path_length_enforced(self, pki):
+        """inter has pathLen=0, so a sub-CA below it must fail."""
+        subca_kp = generate_keypair(DeterministicRandom("subca"))
+        subca = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Sub CA", O="T"))
+            .issuer(pki["inter"].subject)
+            .public_key(subca_kp.public)
+            .serial_number(11)
+            .ca(True)
+            .sign(pki["inter_kp"].private, issuer_public_key=pki["inter_kp"].public)
+        )
+        kp = generate_keypair(DeterministicRandom("deep-leaf"))
+        deep = (
+            CertificateBuilder()
+            .subject(Name.build(CN="deep.example.com"))
+            .issuer(subca.subject)
+            .public_key(kp.public)
+            .serial_number(12)
+            .sign(subca_kp.private, issuer_public_key=subca_kp.public)
+        )
+        verifier = ChainVerifier([pki["root"]])
+        result = verifier.validate([deep, subca, pki["inter"]])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.PATH_LENGTH_EXCEEDED
+
+    def test_verify_raises(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        with pytest.raises(ChainValidationError) as excinfo:
+            verifier.verify([pki["leaf"]])
+        assert excinfo.value.reason is ValidationFailure.NO_TRUSTED_ROOT
+
+    def test_verify_returns_path(self, pki):
+        verifier = ChainVerifier([pki["root"]])
+        path = verifier.verify([pki["leaf"], pki["inter"]])
+        assert path[0] == pki["leaf"]
+
+    def test_expired_anchor_warns_but_trusts(self, pki):
+        """Android kept trusting the expired Firmaprofesional root (§2)."""
+        kp = generate_keypair(DeterministicRandom("expired-anchor"))
+        anchor = make_root_certificate(
+            kp,
+            Name.build(CN="Expired Anchor"),
+            not_after=datetime.datetime(2013, 10, 1),
+        )
+        leaf_kp = generate_keypair(DeterministicRandom("expired-anchor-leaf"))
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="site.example.com"))
+            .issuer(anchor.subject)
+            .public_key(leaf_kp.public)
+            .serial_number(2)
+            .validity(datetime.datetime(2013, 1, 1), datetime.datetime(2015, 1, 1))
+            .sign(kp.private, issuer_public_key=kp.public)
+        )
+        verifier = ChainVerifier([anchor], at=datetime.datetime(2014, 4, 1))
+        result = verifier.validate([leaf])
+        assert result.trusted
+        assert any("expired" in warning for warning in result.warnings)
+
+    def test_anchor_count(self, pki):
+        assert ChainVerifier([pki["root"]]).anchor_count == 1
+
+
+class TestIsSignedBy:
+    def test_positive(self, pki):
+        assert is_signed_by(pki["inter"], pki["root"])
+        assert is_signed_by(pki["leaf"], pki["inter"])
+
+    def test_negative_wrong_issuer(self, pki):
+        assert not is_signed_by(pki["leaf"], pki["root"])
+
+    def test_negative_name_match_wrong_key(self, pki):
+        impostor_kp = generate_keypair(DeterministicRandom("impostor"))
+        impostor = make_root_certificate(impostor_kp, Name.build(CN="Chain Root", O="T", C="US"))
+        assert not is_signed_by(pki["inter"], impostor)

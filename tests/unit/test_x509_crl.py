@@ -1,0 +1,180 @@
+"""Unit tests for CRLs and revocation checking."""
+
+import datetime
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.crypto.pkcs1 import SignatureError
+from repro.x509 import CertificateBuilder, ChainVerifier, Name
+from repro.x509.builder import make_root_certificate
+from repro.x509.chain import ValidationFailure
+from repro.x509.crl import (
+    CertificateRevocationList,
+    CrlBuilder,
+    CrlError,
+    RevocationChecker,
+    RevocationReason,
+)
+
+NOW = datetime.datetime(2014, 4, 1)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    keypair = generate_keypair(DeterministicRandom("crl-ca"))
+    certificate = make_root_certificate(keypair, Name.build(CN="CRL Test CA", O="T"))
+    return keypair, certificate
+
+
+@pytest.fixture(scope="module")
+def leaf(ca):
+    ca_keypair, ca_cert = ca
+    keypair = generate_keypair(DeterministicRandom("crl-leaf"))
+    certificate = (
+        CertificateBuilder()
+        .subject(Name.build(CN="revocable.example.com"))
+        .issuer(ca_cert.subject)
+        .public_key(keypair.public)
+        .serial_number(4242)
+        .tls_server("revocable.example.com")
+        .sign(ca_keypair.private, issuer_public_key=ca_keypair.public)
+    )
+    return certificate
+
+
+@pytest.fixture(scope="module")
+def crl(ca, leaf):
+    ca_keypair, ca_cert = ca
+    return (
+        CrlBuilder(ca_cert.subject)
+        .revoke(leaf, at=NOW - datetime.timedelta(days=10),
+                reason=RevocationReason.KEY_COMPROMISE)
+        .revoke(999999, at=NOW - datetime.timedelta(days=5))
+        .sign(
+            ca_keypair.private,
+            this_update=NOW - datetime.timedelta(days=1),
+            next_update=NOW + datetime.timedelta(days=30),
+        )
+    )
+
+
+class TestCrlBuildParse:
+    def test_roundtrip(self, crl, ca):
+        parsed = CertificateRevocationList.from_der(crl.encoded)
+        assert parsed.issuer == ca[1].subject
+        assert len(parsed) == 2
+        assert {entry.serial_number for entry in parsed.entries} == {4242, 999999}
+
+    def test_is_revoked(self, crl, leaf):
+        assert crl.is_revoked(leaf)
+
+    def test_wrong_issuer_not_revoked(self, crl):
+        other_kp = generate_keypair(DeterministicRandom("other-crl-ca"))
+        other_ca = make_root_certificate(other_kp, Name.build(CN="Other CA"))
+        other_leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="x.example"))
+            .issuer(other_ca.subject)
+            .public_key(other_kp.public)
+            .serial_number(4242)  # same serial, different issuer
+            .sign(other_kp.private, issuer_public_key=other_kp.public)
+        )
+        assert not crl.is_revoked(other_leaf)
+
+    def test_signature_verifies(self, crl, ca):
+        crl.verify_signature(ca[1].public_key)
+
+    def test_tampered_signature_fails(self, crl, ca):
+        tampered = bytearray(crl.encoded)
+        tampered[-3] ^= 0xFF
+        parsed = CertificateRevocationList.from_der(bytes(tampered))
+        with pytest.raises(SignatureError):
+            parsed.verify_signature(ca[1].public_key)
+
+    def test_staleness(self, crl):
+        assert not crl.is_stale(NOW)
+        assert crl.is_stale(NOW + datetime.timedelta(days=60))
+
+    def test_empty_crl(self, ca):
+        ca_keypair, ca_cert = ca
+        empty = CrlBuilder(ca_cert.subject).sign(
+            ca_keypair.private,
+            this_update=NOW,
+            next_update=NOW + datetime.timedelta(days=30),
+        )
+        assert len(empty) == 0
+        empty.verify_signature(ca_cert.public_key)
+
+    def test_inverted_window_rejected(self, ca):
+        with pytest.raises(ValueError, match="nextUpdate"):
+            CrlBuilder(ca[1].subject).sign(
+                ca[0].private, this_update=NOW, next_update=NOW
+            )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CrlError):
+            CertificateRevocationList.from_der(b"\x30\x03\x02\x01\x00")
+
+
+class TestRevocationChecker:
+    def test_status_lifecycle(self, ca, crl, leaf):
+        checker = RevocationChecker(at=NOW)
+        assert checker.status(leaf) == "unknown"
+        checker.add_crl(crl, ca[1])
+        assert checker.status(leaf) == "revoked"
+        assert checker.is_revoked(leaf)
+
+    def test_good_certificate(self, ca, crl):
+        ca_keypair, ca_cert = ca
+        keypair = generate_keypair(DeterministicRandom("good-leaf"))
+        good = (
+            CertificateBuilder()
+            .subject(Name.build(CN="good.example.com"))
+            .issuer(ca_cert.subject)
+            .public_key(keypair.public)
+            .serial_number(1)
+            .sign(ca_keypair.private, issuer_public_key=ca_keypair.public)
+        )
+        checker = RevocationChecker(at=NOW)
+        checker.add_crl(crl, ca_cert)
+        assert checker.status(good) == "good"
+
+    def test_stale_crl_gives_unknown(self, ca, crl, leaf):
+        checker = RevocationChecker(at=NOW + datetime.timedelta(days=90))
+        checker.add_crl(crl, ca[1])
+        assert checker.status(leaf) == "unknown"
+
+    def test_forged_crl_rejected(self, ca, leaf):
+        mallory = generate_keypair(DeterministicRandom("mallory-crl"))
+        forged = CrlBuilder(ca[1].subject).revoke(leaf, at=NOW).sign(
+            mallory.private,
+            this_update=NOW,
+            next_update=NOW + datetime.timedelta(days=30),
+        )
+        checker = RevocationChecker(at=NOW)
+        with pytest.raises(SignatureError):
+            checker.add_crl(forged, ca[1])
+
+    def test_issuer_mismatch_rejected(self, ca, crl):
+        other_kp = generate_keypair(DeterministicRandom("mismatch-ca"))
+        other = make_root_certificate(other_kp, Name.build(CN="Mismatch CA"))
+        checker = RevocationChecker(at=NOW)
+        with pytest.raises(CrlError, match="does not match"):
+            checker.add_crl(crl, other)
+
+
+class TestVerifierIntegration:
+    def test_revoked_chain_rejected(self, ca, crl, leaf):
+        checker = RevocationChecker(at=NOW)
+        checker.add_crl(crl, ca[1])
+        verifier = ChainVerifier([ca[1]], at=NOW, revocation=checker)
+        result = verifier.validate([leaf])
+        assert not result.trusted
+        assert result.failure is ValidationFailure.REVOKED
+
+    def test_android_default_accepts_revoked(self, ca, leaf):
+        """Without a revocation source (Android's default), the revoked
+        leaf still validates -- the gap §8 calls out."""
+        verifier = ChainVerifier([ca[1]], at=NOW)
+        assert verifier.validate([leaf]).trusted

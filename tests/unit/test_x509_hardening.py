@@ -1,0 +1,242 @@
+"""Tests for name constraints, blacklisting, Google pins and scoped trust."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.rootstore import RootStore, TrustFlags
+from repro.x509 import CertificateBuilder, ChainVerifier, Name
+from repro.x509.blacklist import CertificateBlacklist, GooglePinEnforcer
+from repro.x509.builder import make_root_certificate
+from repro.x509.chain import ValidationFailure
+from repro.x509.constraints import NameConstraints, name_constraints_of
+
+
+@pytest.fixture(scope="module")
+def root():
+    keypair = generate_keypair(DeterministicRandom("hardening-root"))
+    certificate = make_root_certificate(keypair, Name.build(CN="Hardening Root", O="T"))
+    return keypair, certificate
+
+
+def make_leaf(root, host, serial=77):
+    root_kp, root_cert = root
+    keypair = generate_keypair(DeterministicRandom(f"hardening-{host}-{serial}"))
+    return (
+        CertificateBuilder()
+        .subject(Name.build(CN=host))
+        .issuer(root_cert.subject)
+        .public_key(keypair.public)
+        .serial_number(serial)
+        .tls_server(host)
+        .sign(root_kp.private, issuer_public_key=root_kp.public)
+    )
+
+
+class TestNameConstraints:
+    def test_codec_roundtrip(self):
+        constraints = NameConstraints(
+            permitted=("gov.ve", "mil.ve"), excluded=("example.com",)
+        )
+        parsed = NameConstraints.from_extension(constraints.to_extension())
+        assert parsed == constraints
+
+    def test_permitted_semantics(self):
+        constraints = NameConstraints(permitted=("gov.ve",))
+        assert constraints.allows("gov.ve")
+        assert constraints.allows("portal.gov.ve")
+        assert not constraints.allows("evilgov.ve")
+        assert not constraints.allows("www.google.com")
+
+    def test_excluded_semantics(self):
+        constraints = NameConstraints(excluded=("bank.example",))
+        assert not constraints.allows("www.bank.example")
+        assert constraints.allows("other.example")
+
+    def test_excluded_beats_permitted(self):
+        constraints = NameConstraints(
+            permitted=("example.com",), excluded=("secret.example.com",)
+        )
+        assert constraints.allows("www.example.com")
+        assert not constraints.allows("x.secret.example.com")
+
+    def test_empty_allows_everything(self):
+        assert NameConstraints().allows("anything.at.all")
+
+    def test_constrained_ca_in_chain(self, root):
+        """A government-style CA constrained to its ccTLD can no longer
+        vouch for google.com -- §8's strict-store mechanism."""
+        root_kp, _ = root
+        constrained_kp = generate_keypair(DeterministicRandom("constrained-ca"))
+        constrained_root = (
+            CertificateBuilder()
+            .subject(Name.build(CN="National CA", C="VE"))
+            .public_key(constrained_kp.public)
+            .ca(True)
+            .add_extension(
+                NameConstraints(permitted=("gob.ve",)).to_extension()
+            )
+            .self_sign(constrained_kp.private)
+        )
+        in_scope = (
+            CertificateBuilder()
+            .subject(Name.build(CN="portal.gob.ve"))
+            .issuer(constrained_root.subject)
+            .public_key(constrained_kp.public)
+            .serial_number(2)
+            .tls_server("portal.gob.ve")
+            .sign(constrained_kp.private, issuer_public_key=constrained_kp.public)
+        )
+        out_of_scope = (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.google.com"))
+            .issuer(constrained_root.subject)
+            .public_key(constrained_kp.public)
+            .serial_number(3)
+            .tls_server("www.google.com")
+            .sign(constrained_kp.private, issuer_public_key=constrained_kp.public)
+        )
+        verifier = ChainVerifier([constrained_root])
+        assert verifier.validate([in_scope], "portal.gob.ve").trusted
+        result = verifier.validate([out_of_scope], "www.google.com")
+        assert not result.trusted
+        assert result.failure is ValidationFailure.NAME_CONSTRAINT_VIOLATION
+
+    def test_accessor(self, root):
+        _, root_cert = root
+        assert name_constraints_of(root_cert) is None
+
+    def test_non_dns_cn_not_constrained(self, root):
+        """A constrained CA may issue an intermediate named like a CA
+        ('Foo Issuing CA') without tripping dNSName constraints."""
+        root_kp, _ = root
+        constraints = NameConstraints(permitted=("gob.ve",))
+        intermediate = (
+            CertificateBuilder()
+            .subject(Name.build(CN="National Issuing CA", O="VE Gov"))
+            .public_key(root_kp.public)
+            .ca(True)
+            .self_sign(root_kp.private)
+        )
+        assert constraints.allows_certificate(intermediate)
+        # ...but a DNS-shaped CN is still checked.
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.build(CN="www.google.com"))
+            .public_key(root_kp.public)
+            .self_sign(root_kp.private)
+        )
+        assert not constraints.allows_certificate(leaf)
+
+
+class TestBlacklist:
+    def test_serial_ban(self, root):
+        leaf = make_leaf(root, "banned.example.com", serial=666)
+        blacklist = CertificateBlacklist()
+        blacklist.ban_serial(666)
+        assert blacklist.is_blacklisted(leaf)
+        assert blacklist.rejects_chain([leaf]) == leaf
+
+    def test_key_ban_catches_reissue(self, root):
+        """Banning the key rejects any certificate carrying it."""
+        first = make_leaf(root, "fraud.example.com", serial=1)
+        blacklist = CertificateBlacklist()
+        blacklist.ban_key(first)
+        # Fraudster re-issues with a new serial and subject, same key.
+        root_kp, root_cert = root
+        reissued = (
+            CertificateBuilder()
+            .subject(Name.build(CN="innocent.example.com"))
+            .issuer(root_cert.subject)
+            .public_key(first.public_key)
+            .serial_number(99)
+            .sign(root_kp.private, issuer_public_key=root_kp.public)
+        )
+        assert blacklist.is_blacklisted(reissued)
+
+    def test_clean_chain_passes(self, root):
+        leaf = make_leaf(root, "fine.example.com")
+        assert CertificateBlacklist().rejects_chain([leaf]) is None
+
+    def test_verifier_integration(self, root):
+        leaf = make_leaf(root, "banned2.example.com", serial=13)
+        blacklist = CertificateBlacklist()
+        blacklist.ban_serial(13)
+        verifier = ChainVerifier([root[1]], blacklist=blacklist)
+        result = verifier.validate([leaf])
+        assert result.failure is ValidationFailure.BLACKLISTED
+        # Without the blacklist the same chain validates.
+        assert ChainVerifier([root[1]]).validate([leaf]).trusted
+
+
+class TestGooglePins:
+    def test_domain_scope(self):
+        enforcer = GooglePinEnforcer()
+        assert enforcer.applies_to("www.google.com")
+        assert enforcer.applies_to("mail.google.co.uk")
+        assert enforcer.applies_to("gmail.com")
+        assert not enforcer.applies_to("www.yahoo.com")
+        assert not enforcer.applies_to("evilgoogle.com")
+
+    def test_fraudulent_google_cert_rejected(self, root):
+        """§2: Android 4.4 rejects Google chains from non-pinned CAs even
+        when the CA is in the root store."""
+        leaf = make_leaf(root, "www.google.com")
+        enforcer = GooglePinEnforcer()  # root's key NOT allow-listed
+        verifier = ChainVerifier([root[1]], google_pins=enforcer)
+        result = verifier.validate([leaf], "www.google.com")
+        assert not result.trusted
+        assert result.failure is ValidationFailure.PIN_VIOLATION
+
+    def test_legitimate_google_chain_passes(self, root):
+        leaf = make_leaf(root, "www.google.com")
+        enforcer = GooglePinEnforcer()
+        enforcer.allow_issuer(root[1])
+        verifier = ChainVerifier([root[1]], google_pins=enforcer)
+        assert verifier.validate([leaf], "www.google.com").trusted
+
+    def test_non_google_domain_unaffected(self, root):
+        leaf = make_leaf(root, "www.yahoo.com")
+        enforcer = GooglePinEnforcer()
+        verifier = ChainVerifier([root[1]], google_pins=enforcer)
+        assert verifier.validate([leaf], "www.yahoo.com").trusted
+
+
+class TestScopedTrust:
+    def test_email_only_anchor_rejected_for_server_auth(self, root):
+        leaf = make_leaf(root, "scoped.example.com")
+        store = RootStore("scoped")
+        store.add(
+            root[1],
+            trust=TrustFlags(server_auth=False, email=True, code_signing=False),
+        )
+        verifier = ChainVerifier.for_store(store, required_usage="server_auth")
+        result = verifier.validate([leaf], "scoped.example.com")
+        assert not result.trusted
+        assert result.failure is ValidationFailure.USAGE_NOT_PERMITTED
+
+    def test_websites_anchor_accepted(self, root):
+        leaf = make_leaf(root, "scoped.example.com")
+        store = RootStore("scoped")
+        store.add(root[1], trust=TrustFlags.websites_only())
+        verifier = ChainVerifier.for_store(store, required_usage="server_auth")
+        assert verifier.validate([leaf], "scoped.example.com").trusted
+
+    def test_android_policy_ignores_scope(self, root):
+        """Without required_usage (Android's model), scope is ignored --
+        the §2 policy gap."""
+        leaf = make_leaf(root, "scoped.example.com")
+        store = RootStore("scoped")
+        store.add(
+            root[1],
+            trust=TrustFlags(server_auth=False, email=True, code_signing=False),
+        )
+        verifier = ChainVerifier.for_store(store)
+        assert verifier.validate([leaf], "scoped.example.com").trusted
+
+    def test_disabled_entries_excluded(self, root):
+        leaf = make_leaf(root, "scoped.example.com")
+        store = RootStore("scoped")
+        store.add(root[1])
+        store.disable(root[1])
+        verifier = ChainVerifier.for_store(store)
+        assert not verifier.validate([leaf]).trusted

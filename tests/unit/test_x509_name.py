@@ -1,0 +1,124 @@
+"""Unit tests for the X.500 name model."""
+
+import pytest
+
+from repro.asn1.objects import COMMON_NAME, ORGANIZATION
+from repro.x509 import Name, NameAttribute, RelativeDistinguishedName
+
+
+class TestNameBuild:
+    def test_build_and_get(self):
+        name = Name.build(CN="Example Root", O="Example Inc", C="US")
+        assert name.get("CN") == "Example Root"
+        assert name.get("O") == "Example Inc"
+        assert name.get("C") == "US"
+        assert name.get("OU") is None
+
+    def test_common_name_property(self):
+        assert Name.build(CN="X").common_name == "X"
+        assert Name.build(O="Org only").common_name is None
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Name.build()
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError, match="unknown DN attribute"):
+            Name.build(XYZZY="nope")
+
+    def test_dotted_oid_attribute_accepted(self):
+        name = Name(
+            [RelativeDistinguishedName((NameAttribute(COMMON_NAME, "X"),))]
+        )
+        assert name.common_name == "X"
+
+
+class TestNameDer:
+    def test_roundtrip(self):
+        name = Name.build(CN="Tëst CA", O="Test Org", OU="Unit", C="DE")
+        parsed = Name.from_der(name.to_der())
+        assert parsed == name
+        assert parsed.get("CN") == "Tëst CA"
+
+    def test_country_stays_printable(self):
+        der = Name.build(C="US").to_der()
+        # PrintableString tag 0x13 must appear for the country value.
+        assert b"\x13\x02US" in der
+
+    def test_utf8_for_non_ascii(self):
+        der = Name.build(CN="Türktrust").to_der()
+        assert "Türktrust".encode("utf-8") in der
+
+    def test_empty_rdn_rejected(self):
+        with pytest.raises(ValueError):
+            RelativeDistinguishedName(())
+
+
+class TestDialects:
+    @pytest.fixture
+    def name(self):
+        return Name.build(C="US", O="U.S. Government", OU="DoD", CN="DoD CLASS 3 Root CA")
+
+    def test_rfc4514_most_specific_first(self, name):
+        assert (
+            name.format("rfc4514")
+            == "CN=DoD CLASS 3 Root CA,OU=DoD,O=U.S. Government,C=US"
+        )
+
+    def test_openssl_dialect(self, name):
+        assert (
+            name.format("openssl")
+            == "/C=US/O=U.S. Government/OU=DoD/CN=DoD CLASS 3 Root CA"
+        )
+
+    def test_display_dialect(self, name):
+        assert (
+            name.format("display")
+            == "C=US, O=U.S. Government, OU=DoD, CN=DoD CLASS 3 Root CA"
+        )
+
+    def test_unknown_dialect(self, name):
+        with pytest.raises(ValueError):
+            name.format("ldap")
+
+    def test_str_uses_rfc4514(self, name):
+        assert str(name) == name.format("rfc4514")
+
+
+class TestNormalization:
+    def test_dialects_do_not_affect_equality(self):
+        # Same logical name built in different attribute orders.
+        a = Name.build(CN="Root", O="Org", C="US")
+        b = Name.build(C="US", O="Org", CN="Root")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_whitespace_collapsed(self):
+        a = Name.build(CN="Root  CA")
+        b = Name.build(CN="Root CA")
+        assert a == b
+
+    def test_case_folded(self):
+        assert Name.build(CN="ROOT ca") == Name.build(CN="root CA")
+
+    def test_different_values_differ(self):
+        assert Name.build(CN="A") != Name.build(CN="B")
+
+    def test_different_attrs_differ(self):
+        assert Name.build(CN="A") != Name.build(O="A")
+
+
+class TestNameAttribute:
+    def test_short_name_known(self):
+        assert NameAttribute(ORGANIZATION, "X").short_name == "O"
+
+    def test_str(self):
+        assert str(NameAttribute(COMMON_NAME, "Root")) == "CN=Root"
+
+    def test_multi_attribute_rdn_roundtrip(self):
+        rdn = RelativeDistinguishedName(
+            (NameAttribute(COMMON_NAME, "X"), NameAttribute(ORGANIZATION, "Y"))
+        )
+        name = Name([rdn])
+        parsed = Name.from_der(name.to_der())
+        assert sorted(str(a) for a in parsed.attributes()) == ["CN=X", "O=Y"]

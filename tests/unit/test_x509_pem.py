@@ -1,0 +1,65 @@
+"""Unit tests for PEM armor."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.x509 import Name, PemError, pem_decode, pem_decode_all, pem_encode
+from repro.x509.builder import make_root_certificate
+
+
+@pytest.fixture(scope="module")
+def der():
+    kp = generate_keypair(DeterministicRandom("pem-tests"))
+    return make_root_certificate(kp, Name.build(CN="PEM Test Root")).encoded
+
+
+class TestPem:
+    def test_roundtrip(self, der):
+        assert pem_decode(pem_encode(der)) == der
+
+    def test_line_length(self, der):
+        lines = pem_encode(der).strip().splitlines()
+        for line in lines[1:-1]:
+            assert len(line) <= 64
+
+    def test_header_footer(self, der):
+        text = pem_encode(der)
+        assert text.startswith("-----BEGIN CERTIFICATE-----\n")
+        assert text.endswith("-----END CERTIFICATE-----\n")
+
+    def test_custom_label(self, der):
+        text = pem_encode(der, "TRUSTED CERTIFICATE")
+        assert pem_decode(text, "TRUSTED CERTIFICATE") == der
+        with pytest.raises(PemError, match="no CERTIFICATE"):
+            pem_decode(text)
+
+    def test_multiple_blocks(self, der):
+        text = pem_encode(der) + "\n" + pem_encode(der)
+        assert pem_decode_all(text) == [der, der]
+        with pytest.raises(PemError, match="expected one"):
+            pem_decode(text)
+
+    def test_surrounding_text_ignored(self, der):
+        text = "subject=/CN=X\n" + pem_encode(der) + "trailing notes\n"
+        assert pem_decode(text) == der
+
+    def test_no_block(self):
+        with pytest.raises(PemError, match="no CERTIFICATE"):
+            pem_decode("not pem at all")
+
+    def test_mismatched_labels(self, der):
+        text = pem_encode(der).replace("END CERTIFICATE", "END PRIVATE KEY")
+        with pytest.raises(PemError, match="mismatched"):
+            pem_decode_all(text)
+
+    def test_bad_base64(self):
+        text = "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n"
+        # '!' is outside the regex charset so the block does not match at all.
+        assert pem_decode_all(text) == []
+
+    def test_corrupted_base64_padding(self, der):
+        good = pem_encode(der)
+        lines = good.splitlines()
+        lines[1] = lines[1][:-1]  # drop one char -> bad padding
+        with pytest.raises(PemError, match="invalid base64"):
+            pem_decode("\n".join(lines))
