@@ -22,16 +22,26 @@ def main() -> None:
         "--notary-scale", type=float, default=0.5, help="Notary traffic scale factor"
     )
     parser.add_argument("--seed", default="tangled-mass", help="study seed")
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject wild-data faults into this fraction of records "
+        "(corrupt DER, duplicate uploads, flaky probes); the study must "
+        "still complete, with the damage quarantined",
+    )
     args = parser.parse_args()
 
     config = StudyConfig(
         seed=args.seed,
         population_scale=args.scale,
         notary_scale=args.notary_scale,
+        fault_rate=args.fault_rate,
     )
     print(
         f"running study: seed={config.seed!r} "
-        f"population x{config.population_scale} notary x{config.notary_scale} ..."
+        f"population x{config.population_scale} notary x{config.notary_scale} "
+        f"faults {config.fault_rate:.0%} ..."
     )
     result = run_study(config)
     print(render_study_report(result))

@@ -174,6 +174,30 @@ def render_geography(result: StudyResult, max_rows: int = 6) -> str:
     return out.getvalue()
 
 
+def render_ingest_health(result: StudyResult) -> str:
+    """Ingest-health section: accepted/quarantined/retried counts.
+
+    Rendered deterministically so a seeded fault-injection run
+    reproduces the section byte for byte.
+    """
+    out = StringIO()
+    _rule(out, "Ingest health")
+    out.write(result.ingest_health.render(result.dataset.quarantine))
+    out.write("\n")
+    notary_quarantined = len(result.notary.quarantine)
+    out.write(
+        f"  notary leaves accepted {result.notary.total_certificates:>7,}"
+        f"  (quarantined {notary_quarantined:,})\n"
+    )
+    if notary_quarantined:
+        for category, count in sorted(
+            result.notary.quarantine.counts().items(),
+            key=lambda item: item[0].value,
+        ):
+            out.write(f"    {category.value:<22} {count:>5,}\n")
+    return out.getvalue()
+
+
 def render_study_report(result: StudyResult) -> str:
     """The full study report."""
     out = StringIO()
@@ -202,6 +226,7 @@ def render_study_report(result: StudyResult) -> str:
         render_figure2,
         render_figure3,
         render_geography,
+        render_ingest_health,
     ):
         out.write(renderer(result))
     return out.getvalue()

@@ -95,8 +95,15 @@ def extended_fraction(diffs: list[SessionDiff]) -> float:
 
 
 def handsets_missing_certificates(diffs: list[SessionDiff]) -> int:
-    """§5: number of distinct handsets missing AOSP certificates."""
+    """§5: number of distinct handsets missing AOSP certificates.
+
+    Degraded sessions (part of their upload was quarantined) are
+    excluded: a certificate absent because the transport mangled it is
+    not evidence the handset ships without it.
+    """
     tuples = {
-        diff.session.device_tuple for diff in diffs if diff.missing_count > 0
+        diff.session.device_tuple
+        for diff in diffs
+        if diff.missing_count > 0 and not diff.session.degraded
     }
     return len(tuples)

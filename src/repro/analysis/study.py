@@ -29,6 +29,8 @@ from repro.analysis.sessions import (
     handsets_missing_certificates,
 )
 from repro.android.population import Population, PopulationConfig, PopulationGenerator
+from repro.faults.injector import FaultInjector
+from repro.faults.quarantine import IngestHealth, Quarantine
 from repro.netalyzr.collector import collect_dataset
 from repro.netalyzr.dataset import NetalyzrDataset
 from repro.notary.database import NotaryDatabase, build_notary
@@ -46,6 +48,11 @@ class StudyConfig:
     population_scale: float = 1.0
     notary_scale: float = 1.0
     key_bits: int = 512
+    #: fraction of sessions / leaves / probes hit by injected faults
+    #: (0 disables fault injection entirely).
+    fault_rate: float = 0.0
+    #: seed of the fault-injection RNG streams; defaults to ``seed``.
+    fault_seed: str = ""
 
 
 @dataclass
@@ -84,6 +91,21 @@ class StudyResult:
     footprints: list = field(default_factory=list)
     roaming: list = field(default_factory=list)
 
+    # fault injection / ingest health
+    fault_injector: FaultInjector | None = None
+
+    @property
+    def ingest_health(self) -> IngestHealth:
+        """The dataset's ingest counters (§4.1 corpus side)."""
+        return self.dataset.health
+
+    def combined_quarantine(self) -> Quarantine:
+        """Every dead-lettered record, Netalyzr corpus first, then Notary."""
+        combined = Quarantine()
+        combined.extend(self.dataset.quarantine)
+        combined.extend(self.notary.quarantine)
+        return combined
+
 
 def run_study(config: StudyConfig | None = None) -> StudyResult:
     """Run the full reproduction pipeline."""
@@ -91,14 +113,22 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
     factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
     catalog = default_catalog()
 
+    injector: FaultInjector | None = None
+    if config.fault_rate > 0:
+        injector = FaultInjector(
+            rate=config.fault_rate, seed=config.fault_seed or config.seed
+        )
+
     stores = build_platform_stores(factory, catalog)
     population = PopulationGenerator(
         PopulationConfig(seed=config.seed, scale=config.population_scale),
         factory,
         catalog,
     ).generate()
-    dataset = collect_dataset(population, factory, catalog)
-    notary = build_notary(factory, catalog, scale=config.notary_scale)
+    dataset = collect_dataset(population, factory, catalog, injector=injector)
+    notary = build_notary(
+        factory, catalog, scale=config.notary_scale, injector=injector
+    )
 
     result = StudyResult(
         config=config,
@@ -107,6 +137,7 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
         dataset=dataset,
         notary=notary,
         diffs=[],
+        fault_injector=injector,
     )
     analyze(result, catalog)
     return result

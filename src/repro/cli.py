@@ -123,6 +123,24 @@ def cmd_show_cert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_injector(args: argparse.Namespace):
+    """The fault injector for --fault-rate, or None when disabled."""
+    rate = getattr(args, "fault_rate", 0.0)
+    if not rate:
+        return None
+    from repro.faults import FaultInjector
+
+    return FaultInjector(
+        rate=rate, seed=getattr(args, "fault_seed", "") or args.seed
+    )
+
+
+def _print_ingest_health(dataset) -> None:
+    """One ingest-health block for collect/analyze output."""
+    print("ingest health:")
+    print(dataset.health.render(dataset.quarantine))
+
+
 def cmd_collect(args: argparse.Namespace) -> int:
     """Generate a population, run Netalyzr over it, save the dataset."""
     from repro.android.population import PopulationConfig, PopulationGenerator
@@ -133,12 +151,13 @@ def cmd_collect(args: argparse.Namespace) -> int:
     population = PopulationGenerator(
         PopulationConfig(seed=args.seed, scale=args.scale), factory
     ).generate()
-    dataset = collect_dataset(population, factory)
+    dataset = collect_dataset(population, factory, injector=_fault_injector(args))
     path = save_dataset(dataset, args.output)
     print(
         f"collected {dataset.session_count:,} sessions "
         f"({len(dataset.unique_certificates())} unique roots) -> {path}"
     )
+    _print_ingest_health(dataset)
     return 0
 
 
@@ -146,10 +165,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     """Run the analysis pipeline over a saved dataset file."""
     from repro.analysis.study import StudyConfig, StudyResult, analyze
     from repro.android.population import Population
-    from repro.netalyzr.serialization import load_dataset
+    from repro.netalyzr.serialization import DatasetError, load_dataset
 
+    try:
+        dataset = load_dataset(args.dataset, resilient=not args.strict)
+    except (DatasetError, OSError) as exc:
+        print(f"error: cannot load dataset {args.dataset}: {exc}", file=sys.stderr)
+        return 1
     factory, stores = _stores(args)
-    dataset = load_dataset(args.dataset)
     notary = build_notary(factory, scale=args.notary_scale)
     result = StudyResult(
         config=StudyConfig(seed=args.seed, notary_scale=args.notary_scale),
@@ -161,6 +184,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     analyze(result)
     print(render_study_report(result))
+    if len(dataset.quarantine):
+        _print_ingest_health(dataset)
     return 0
 
 
@@ -171,6 +196,8 @@ def cmd_study(args: argparse.Namespace) -> int:
             seed=args.seed,
             population_scale=args.scale,
             notary_scale=args.notary_scale,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
         )
     )
     if args.html:
@@ -246,20 +273,45 @@ def build_parser() -> argparse.ArgumentParser:
                       help="dump the raw DER structure instead")
     show.set_defaults(func=cmd_show_cert)
 
+    def fault_rate(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+        return value
+
+    def add_fault_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fault-rate", type=fault_rate, default=0.0,
+            help="inject wild-data faults into this fraction of records",
+        )
+        sub.add_argument(
+            "--fault-seed", default="",
+            help="fault-injection RNG seed (defaults to --seed)",
+        )
+
     collect = commands.add_parser("collect", help=cmd_collect.__doc__)
     collect.add_argument("output", help="dataset output path (.json)")
     collect.add_argument("--scale", type=float, default=0.1)
+    add_fault_options(collect)
     collect.set_defaults(func=cmd_collect)
 
     analyze = commands.add_parser("analyze", help=cmd_analyze.__doc__)
     analyze.add_argument("dataset", help="dataset file from 'collect'")
     analyze.add_argument("--notary-scale", type=float, default=0.2)
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="abort on any damaged record instead of quarantining it",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     study = commands.add_parser("study", help=cmd_study.__doc__)
     study.add_argument("--scale", type=float, default=0.25)
     study.add_argument("--notary-scale", type=float, default=0.5)
     study.add_argument("--html", help="write an HTML report to this path")
+    add_fault_options(study)
     study.set_defaults(func=cmd_study)
 
     fleet = commands.add_parser("fleet-audit", help=cmd_fleet_audit.__doc__)

@@ -1,0 +1,56 @@
+"""Fault injection and resilient-ingestion primitives.
+
+The wild corpus behind the paper arrived with truncated uploads,
+malformed DER, duplicate sessions and flaky probes. This package makes
+that failure surface first-class: :class:`FaultInjector` plants
+deterministic, seed-derived corruption so robustness is testable, and
+the quarantine/retry primitives give every ingest path a never-raising
+dead-letter lane with bounded, replayable retries.
+"""
+
+from repro.faults.ingest import (
+    CertificateUpload,
+    ingest_certificate,
+    resolve_certificate,
+)
+from repro.faults.injector import (
+    CERT_FAULT_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.faults.quarantine import (
+    ErrorCategory,
+    FingerprintMismatchError,
+    IngestError,
+    IngestHealth,
+    Quarantine,
+    QuarantineRecord,
+    ValidityError,
+    classify_error,
+)
+from repro.faults.retry import RetryExhausted, RetryOutcome, RetryPolicy, retry_call
+
+__all__ = [
+    "CERT_FAULT_KINDS",
+    "CertificateUpload",
+    "ErrorCategory",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FingerprintMismatchError",
+    "IngestError",
+    "IngestHealth",
+    "InjectedFault",
+    "Quarantine",
+    "QuarantineRecord",
+    "RetryExhausted",
+    "RetryOutcome",
+    "RetryPolicy",
+    "ValidityError",
+    "classify_error",
+    "ingest_certificate",
+    "resolve_certificate",
+    "retry_call",
+]

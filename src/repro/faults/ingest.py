@@ -1,0 +1,98 @@
+"""Validating certificate ingestion: wire payload → Certificate or quarantine.
+
+A :class:`CertificateUpload` is what a flaky client actually sends: a
+parsed certificate on the happy path, or raw DER/PEM bytes off the
+wire, optionally accompanied by the fingerprint the uploader computed
+before transmission. :func:`resolve_certificate` turns an upload back
+into a certificate, raising the typed errors
+(:mod:`repro.faults.quarantine`) that the resilient ingest paths map to
+quarantine categories; :func:`ingest_certificate` is the never-raising
+wrapper those paths call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.quarantine import (
+    FingerprintMismatchError,
+    Quarantine,
+    ValidityError,
+)
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import pem_decode
+
+
+@dataclass(frozen=True)
+class CertificateUpload:
+    """One certificate as uploaded: parsed, or raw DER bytes, or PEM text.
+
+    ``claimed_fingerprint`` is the digest the uploading client computed
+    on-device; transport corruption changes the bytes but not the claim,
+    which is exactly what lets ingest detect garbling that still parses.
+    """
+
+    payload: Certificate | bytes | str
+    claimed_fingerprint: str | None = None
+
+    @classmethod
+    def of(cls, certificate: Certificate) -> "CertificateUpload":
+        """The pristine upload for an already-parsed certificate."""
+        return cls(payload=certificate, claimed_fingerprint=fingerprint(certificate))
+
+    @property
+    def raw(self) -> object:
+        """The payload in its most excerpt-friendly form."""
+        if isinstance(self.payload, Certificate):
+            return self.payload.encoded
+        return self.payload
+
+
+def resolve_certificate(upload: CertificateUpload) -> Certificate:
+    """Parse and validate one upload; raise a classifiable error on failure.
+
+    Check order is structural → semantic → integrity: unparseable bytes
+    raise PEM/DER errors, an impossible validity window raises
+    :class:`ValidityError`, and only then is the claimed fingerprint
+    compared (so a clock-skewed certificate classifies by its actual
+    defect, not the byte change that caused it).
+    """
+    payload = upload.payload
+    if isinstance(payload, Certificate):
+        certificate = payload
+    else:
+        if isinstance(payload, str):
+            payload = pem_decode(payload)  # PemError propagates
+        certificate = Certificate.from_der(payload)
+    if certificate.not_before > certificate.not_after:
+        raise ValidityError(
+            f"impossible validity window: notBefore {certificate.not_before:%Y-%m-%d}"
+            f" after notAfter {certificate.not_after:%Y-%m-%d}",
+            certificate=certificate,
+        )
+    if (
+        upload.claimed_fingerprint is not None
+        and fingerprint(certificate) != upload.claimed_fingerprint
+    ):
+        raise FingerprintMismatchError(
+            f"fingerprint mismatch: claimed {upload.claimed_fingerprint[:16]}…,"
+            f" actual {fingerprint(certificate)[:16]}…",
+            certificate=certificate,
+        )
+    return certificate
+
+
+def ingest_certificate(
+    upload: CertificateUpload, quarantine: Quarantine, where: str
+) -> Certificate | None:
+    """Resolve an upload; dead-letter it on any validation failure.
+
+    Never raises: this is the contract the whole resilient pipeline is
+    built on.
+    """
+    try:
+        return resolve_certificate(upload)
+    except ValueError as exc:
+        quarantine.quarantine_error(exc, where, payload=upload.raw)
+        return None

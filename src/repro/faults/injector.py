@@ -1,0 +1,361 @@
+"""Deterministic, seed-driven fault injection.
+
+The wild corpus the paper collected came with truncated uploads,
+garbled DER, duplicate sessions and flaky radios. This module makes
+those failure modes *reproducible*: a :class:`FaultInjector` derives an
+independent RNG stream per (seed, entity) — exactly like the rest of
+the PKI universe — and corrupts a configurable fraction of records. The
+injector keeps a ledger of every fault it planted, with the quarantine
+category each one must produce, so tests can assert that resilient
+ingestion caught everything and categorized it correctly.
+
+Each corruption is self-checking: after mutating the bytes the injector
+runs the same resolution logic ingest uses and records the category the
+payload actually exhibits; a mutation that accidentally produced a
+still-valid record is downgraded to a guaranteed truncation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.asn1.decoder import Asn1Error, Asn1Object, decode
+from repro.asn1.tags import TagClass
+from repro.crypto.rng import derive_random
+from repro.faults.ingest import CertificateUpload, resolve_certificate
+from repro.faults.quarantine import ErrorCategory, classify_error
+from repro.x509.certificate import Certificate
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import pem_encode
+
+_STRING_TAG_NUMBERS = {12, 19, 22}  # UTF8String, PrintableString, IA5String
+_TIME_TAG_NUMBERS = {23, 24}  # UTCTime, GeneralizedTime
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector can plant."""
+
+    TRUNCATED_DER = "truncated-der"
+    GARBLED_DER = "garbled-der"
+    BROKEN_PEM = "broken-pem"
+    INVALID_STRING = "invalid-string"
+    CLOCK_SKEW = "clock-skew"
+    DUPLICATE_SESSION = "duplicate-session"
+    TRANSIENT_HANDSHAKE = "transient-handshake"
+    DROPPED_PROBE = "dropped-probe"
+
+
+#: Certificate-level fault kinds (chosen uniformly for a corrupt record).
+CERT_FAULT_KINDS = (
+    FaultKind.TRUNCATED_DER,
+    FaultKind.GARBLED_DER,
+    FaultKind.BROKEN_PEM,
+    FaultKind.INVALID_STRING,
+    FaultKind.CLOCK_SKEW,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The knobs of one fault-injection campaign."""
+
+    rate: float = 0.0  #: fraction of sessions / leaves / probes faulted
+    seed: str = "tangled-mass"
+    cert_kinds: tuple[FaultKind, ...] = CERT_FAULT_KINDS
+    max_certs_per_session: int = 2  #: certs corrupted in a faulty session
+    duplicate_factor: float = 0.5  #: duplicate-upload rate = rate * this
+    transient_max_failures: int = 3  #: worst consecutive handshake drops
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Ledger entry: one fault the injector planted.
+
+    ``expected_category`` is the quarantine category the resilient
+    ingest path must produce for this record — ``None`` for faults that
+    are expected to be absorbed without quarantine (recovered transient
+    handshakes).
+    """
+
+    where: str
+    kind: FaultKind
+    expected_category: ErrorCategory | None
+
+
+@dataclass
+class FaultInjector:
+    """Plants deterministic faults and remembers where it put them."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    ledger: list[InjectedFault] = field(default_factory=list)
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        *,
+        rate: float | None = None,
+        seed: str | None = None,
+    ):
+        if plan is None:
+            plan = FaultPlan(
+                rate=0.0 if rate is None else rate,
+                seed="tangled-mass" if seed is None else seed,
+            )
+        elif rate is not None or seed is not None:
+            raise ValueError("pass either a FaultPlan or rate/seed, not both")
+        self.plan = plan
+        self.ledger = []
+
+    # -- RNG derivation ----------------------------------------------------------
+
+    def _rng(self, *parts: object) -> random.Random:
+        """An independent stream per (seed, entity) — call-order free."""
+        return derive_random(f"faults/{self.plan.seed}", *parts)
+
+    def _record(
+        self, where: str, kind: FaultKind, expected: ErrorCategory | None
+    ) -> None:
+        self.ledger.append(InjectedFault(where, kind, expected))
+
+    # -- session-level faults ----------------------------------------------------
+
+    def corrupt_roots(
+        self, session_id: int, uploads: list[CertificateUpload]
+    ) -> list[CertificateUpload]:
+        """Maybe corrupt a few of a session's root-certificate uploads.
+
+        The claimed fingerprint survives corruption — the handset hashed
+        the certificate before the transport mangled it.
+        """
+        rng = self._rng("session", session_id)
+        if not uploads or rng.random() >= self.plan.rate:
+            return uploads
+        count = min(
+            1 + rng.randrange(self.plan.max_certs_per_session), len(uploads)
+        )
+        out = list(uploads)
+        for index in sorted(rng.sample(range(len(uploads)), count)):
+            original = out[index]
+            der = (
+                original.payload.encoded
+                if isinstance(original.payload, Certificate)
+                else bytes(original.payload)  # type: ignore[arg-type]
+            )
+            payload, kind, expected = self._corrupt_der(
+                der, rng.choice(self.plan.cert_kinds), rng,
+                original.claimed_fingerprint,
+            )
+            out[index] = CertificateUpload(
+                payload=payload,
+                claimed_fingerprint=original.claimed_fingerprint,
+            )
+            self._record(f"session:{session_id}/root:{index}", kind, expected)
+        return out
+
+    def should_duplicate(self, session_id: int) -> bool:
+        """Whether this session's upload arrives twice."""
+        rng = self._rng("duplicate", session_id)
+        duplicate = rng.random() < self.plan.rate * self.plan.duplicate_factor
+        if duplicate:
+            self._record(
+                f"session:{session_id}",
+                FaultKind.DUPLICATE_SESSION,
+                ErrorCategory.DUPLICATE_SESSION,
+            )
+        return duplicate
+
+    def transient_failures(
+        self, session_id: int, hostport: str, *, attempts: int
+    ) -> int:
+        """Consecutive handshake failures to plant on one probe.
+
+        A count below ``attempts`` is recovered by retry; reaching it
+        exhausts the retry budget and the probe is dropped (quarantined
+        as a probe failure).
+        """
+        rng = self._rng("probe", session_id, hostport)
+        if rng.random() >= self.plan.rate:
+            return 0
+        failures = 1 + rng.randrange(self.plan.transient_max_failures)
+        where = f"session:{session_id}/probe:{hostport}"
+        if failures >= attempts:
+            self._record(where, FaultKind.DROPPED_PROBE, ErrorCategory.PROBE_FAILURE)
+        else:
+            self._record(where, FaultKind.TRANSIENT_HANDSHAKE, None)
+        return failures
+
+    # -- notary-level faults -----------------------------------------------------
+
+    def corrupt_leaf(
+        self, where: str, certificate: Certificate
+    ) -> CertificateUpload | None:
+        """Maybe corrupt one Notary leaf observation; None = pristine."""
+        rng = self._rng("leaf", where)
+        if rng.random() >= self.plan.rate:
+            return None
+        claimed = fingerprint(certificate)
+        payload, kind, expected = self._corrupt_der(
+            certificate.encoded, rng.choice(self.plan.cert_kinds), rng, claimed
+        )
+        self._record(where, kind, expected)
+        return CertificateUpload(payload=payload, claimed_fingerprint=claimed)
+
+    # -- corruption primitives ---------------------------------------------------
+
+    def _corrupt_der(
+        self,
+        der: bytes,
+        kind: FaultKind,
+        rng: random.Random,
+        claimed_fingerprint: str | None,
+    ) -> tuple[bytes | str, FaultKind, ErrorCategory]:
+        """Apply a fault kind; self-check and fall back to truncation."""
+        payload = self._apply_kind(der, kind, rng)
+        expected = (
+            None
+            if payload is None
+            else _probe_category(payload, claimed_fingerprint)
+        )
+        if expected is None:
+            # Target field absent, or the mutation was accidentally
+            # harmless: truncation always quarantines.
+            kind = FaultKind.TRUNCATED_DER
+            payload = _truncate(der, rng)
+            expected = _probe_category(payload, claimed_fingerprint)
+        assert payload is not None and expected is not None
+        return payload, kind, expected
+
+    def _apply_kind(
+        self, der: bytes, kind: FaultKind, rng: random.Random
+    ) -> bytes | str | None:
+        if kind is FaultKind.TRUNCATED_DER:
+            return _truncate(der, rng)
+        if kind is FaultKind.GARBLED_DER:
+            return _garble(der, rng)
+        if kind is FaultKind.BROKEN_PEM:
+            return _break_pem(der, rng)
+        if kind is FaultKind.INVALID_STRING:
+            return _poison_string(der)
+        if kind is FaultKind.CLOCK_SKEW:
+            return _skew_clock(der)
+        raise ValueError(f"{kind} is not a certificate fault")
+
+
+def _probe_category(
+    payload: bytes | str, claimed_fingerprint: str | None
+) -> ErrorCategory | None:
+    """The category ingest will assign this payload (None = accepted)."""
+    upload = CertificateUpload(
+        payload=payload, claimed_fingerprint=claimed_fingerprint
+    )
+    try:
+        resolve_certificate(upload)
+    except ValueError as exc:
+        return classify_error(exc)
+    return None
+
+
+def _truncate(der: bytes, rng: random.Random) -> bytes:
+    """Cut the upload short — the outer length check always catches it."""
+    return der[: rng.randrange(1, len(der))]
+
+
+def _garble(der: bytes, rng: random.Random) -> bytes:
+    """Flip a handful of random bytes."""
+    mutated = bytearray(der)
+    for _ in range(1 + rng.randrange(8)):
+        position = rng.randrange(len(mutated))
+        mutated[position] ^= 1 + rng.randrange(255)
+    return bytes(mutated)
+
+
+def _break_pem(der: bytes, rng: random.Random) -> str:
+    """Armor the DER in PEM, then break the framing."""
+    pem = pem_encode(der)
+    variant = rng.randrange(4)
+    if variant == 0:  # mangled END armor
+        return pem.replace("-----END", "---END", 1)
+    if variant == 1:  # truncated mid-body
+        return pem[: len(pem) // 2]
+    if variant == 2:  # non-base64 junk inside the body
+        return pem.replace("\n", "\n!corrupt!\n", 1)
+    # mismatched BEGIN/END labels
+    return pem.replace("BEGIN CERTIFICATE", "BEGIN CERTIFICATE XXX", 1)
+
+
+def _walk(obj: Asn1Object):
+    yield obj
+    if obj.tag.constructed:
+        try:
+            children = obj.children
+        except Asn1Error:  # pragma: no cover - defensive
+            return
+        for child in children:
+            yield from _walk(child)
+
+
+def _poison_string(der: bytes) -> bytes | None:
+    """Overwrite the first character-string byte with invalid 0xFF."""
+    try:
+        tree = decode(der)
+    except Asn1Error:  # pragma: no cover - caller passes valid DER
+        return None
+    for obj in _walk(tree):
+        if (
+            obj.tag.tag_class is TagClass.UNIVERSAL
+            and not obj.tag.constructed
+            and obj.tag.number in _STRING_TAG_NUMBERS
+            and obj.content
+        ):
+            start = der.find(obj.encoded)
+            if start < 0:
+                continue
+            content_at = start + (len(obj.encoded) - len(obj.content))
+            mutated = bytearray(der)
+            mutated[content_at] = 0xFF  # invalid in UTF-8 and ASCII alike
+            return bytes(mutated)
+    return None
+
+
+def _skew_clock(der: bytes) -> bytes | None:
+    """Rewrite notBefore's year so the validity window is impossible."""
+    try:
+        tree = decode(der)
+        tbs = tree[0]
+    except (Asn1Error, IndexError):  # pragma: no cover - valid DER expected
+        return None
+    for obj in tbs:
+        if not (obj.tag.tag_class is TagClass.UNIVERSAL and obj.tag.constructed):
+            continue
+        try:
+            children = obj.children
+        except Asn1Error:  # pragma: no cover - defensive
+            continue
+        if len(children) != 2 or not all(
+            child.tag.tag_class is TagClass.UNIVERSAL
+            and child.tag.number in _TIME_TAG_NUMBERS
+            for child in children
+        ):
+            continue
+        not_before = children[0]
+        start = der.find(obj.encoded)
+        if start < 0:  # pragma: no cover - encoded bytes come from der
+            return None
+        content_at = (
+            start
+            + (len(obj.encoded) - len(obj.content))
+            + (len(not_before.encoded) - len(not_before.content))
+        )
+        mutated = bytearray(der)
+        if not_before.tag.number == 23:  # UTCTime YYMMDD... → year 2049
+            mutated[content_at : content_at + 2] = b"49"
+        else:  # GeneralizedTime YYYYMMDD... → year 2999
+            mutated[content_at : content_at + 4] = b"2999"
+        return bytes(mutated)
+    return None

@@ -1,0 +1,264 @@
+"""Quarantine: the structured dead-letter side of resilient ingestion.
+
+Wild-corpus ingestion (§4.1's 15,970 sessions came from real handsets)
+must never die on a bad byte. Every record that fails validation lands
+here instead, tagged with an :class:`ErrorCategory`, the certificate
+fingerprint when the record still parsed, and a bounded ``repr``
+excerpt of the offending bytes — enough to triage without re-reading
+the corpus. The quarantine report is rendered deterministically so a
+seeded fault-injection run reproduces it byte for byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field, fields
+
+#: Longest excerpt of an offending payload kept in a quarantine record.
+EXCERPT_BYTES = 48
+
+
+class ErrorCategory(enum.Enum):
+    """Why a record was quarantined instead of ingested."""
+
+    TRUNCATED_DER = "truncated-der"
+    MALFORMED_DER = "malformed-der"
+    MALFORMED_PEM = "malformed-pem"
+    INVALID_ENCODING = "invalid-encoding"
+    INVALID_VALIDITY = "invalid-validity"
+    FINGERPRINT_MISMATCH = "fingerprint-mismatch"
+    DUPLICATE_SESSION = "duplicate-session"
+    PROBE_FAILURE = "probe-failure"
+    MALFORMED_RECORD = "malformed-record"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class IngestError(ValueError):
+    """Base class for validation failures on the resilient ingest path.
+
+    ``certificate`` carries the parsed certificate when the record was
+    structurally sound but failed a semantic check (validity window,
+    fingerprint), so the quarantine can still record its fingerprint.
+    """
+
+    def __init__(self, message: str, certificate=None):
+        super().__init__(message)
+        self.certificate = certificate
+
+
+class ValidityError(IngestError):
+    """The certificate parsed but its validity window is impossible."""
+
+
+class FingerprintMismatchError(IngestError):
+    """The record's bytes do not hash to the fingerprint it claims."""
+
+
+def classify_error(exc: BaseException) -> ErrorCategory:
+    """Map a validation failure to its quarantine category.
+
+    Walks the ``__cause__`` chain so a wrapped ``UnicodeDecodeError``
+    (invalid UTF-8 inside a DER string) classifies by its root cause.
+    """
+    from repro.x509.pem import PemError
+
+    seen: BaseException | None = exc
+    while seen is not None:
+        if isinstance(seen, UnicodeDecodeError):
+            return ErrorCategory.INVALID_ENCODING
+        seen = seen.__cause__
+    if isinstance(exc, ValidityError):
+        return ErrorCategory.INVALID_VALIDITY
+    if isinstance(exc, FingerprintMismatchError):
+        return ErrorCategory.FINGERPRINT_MISMATCH
+    if isinstance(exc, PemError):
+        return ErrorCategory.MALFORMED_PEM
+    if "truncated" in str(exc):
+        return ErrorCategory.TRUNCATED_DER
+    if isinstance(exc, (KeyError, TypeError, IndexError)):
+        return ErrorCategory.MALFORMED_RECORD
+    return ErrorCategory.MALFORMED_DER
+
+
+def excerpt(payload: object) -> str:
+    """A bounded ``repr`` excerpt of an offending payload."""
+    if isinstance(payload, (bytes, bytearray)):
+        raw: object = bytes(payload[:EXCERPT_BYTES])
+    elif isinstance(payload, str):
+        raw = payload[:EXCERPT_BYTES]
+    else:
+        raw = payload
+    text = repr(raw)
+    return text[: EXCERPT_BYTES * 3]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One dead-lettered record."""
+
+    category: ErrorCategory
+    where: str  #: stable locator, e.g. ``session:12/root:3``
+    detail: str  #: the validation error message
+    fingerprint: str | None = None  #: cert fingerprint, if it parsed
+    excerpt: str = ""  #: bounded repr of the offending bytes
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-tripped by the dataset codec)."""
+        return {
+            "category": self.category.value,
+            "where": self.where,
+            "detail": self.detail,
+            "fingerprint": self.fingerprint,
+            "excerpt": self.excerpt,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuarantineRecord":
+        return cls(
+            category=ErrorCategory(payload["category"]),
+            where=payload["where"],
+            detail=payload["detail"],
+            fingerprint=payload.get("fingerprint"),
+            excerpt=payload.get("excerpt", ""),
+        )
+
+
+@dataclass
+class Quarantine:
+    """The dead-letter list of one ingest run."""
+
+    records: list[QuarantineRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        category: ErrorCategory,
+        where: str,
+        detail: str,
+        *,
+        fingerprint: str | None = None,
+        payload: object = None,
+    ) -> QuarantineRecord:
+        """Dead-letter one record and return it."""
+        record = QuarantineRecord(
+            category=category,
+            where=where,
+            detail=detail[:300],
+            fingerprint=fingerprint,
+            excerpt=excerpt(payload) if payload is not None else "",
+        )
+        self.records.append(record)
+        return record
+
+    def quarantine_error(
+        self, exc: BaseException, where: str, *, payload: object = None
+    ) -> QuarantineRecord:
+        """Dead-letter a validation failure, classifying it."""
+        certificate = getattr(exc, "certificate", None)
+        digest = None
+        if certificate is not None:
+            from repro.x509.fingerprint import fingerprint as cert_fingerprint
+
+            digest = cert_fingerprint(certificate)
+        return self.add(
+            classify_error(exc),
+            where,
+            str(exc),
+            fingerprint=digest,
+            payload=payload,
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def counts(self) -> Counter:
+        """Record counts per category."""
+        return Counter(record.category for record in self.records)
+
+    def by_where(self) -> dict[str, QuarantineRecord]:
+        """Records indexed by locator (first record wins per locator)."""
+        out: dict[str, QuarantineRecord] = {}
+        for record in self.records:
+            out.setdefault(record.where, record)
+        return out
+
+    def extend(self, other: "Quarantine") -> None:
+        """Append every record of another quarantine."""
+        self.records.extend(other.records)
+
+    def report(self) -> str:
+        """Deterministic plain-text report (byte-identical per seed)."""
+        lines = [f"quarantine: {len(self.records)} record(s)"]
+        for category, count in sorted(
+            self.counts().items(), key=lambda item: item[0].value
+        ):
+            lines.append(f"  {category.value:<22} {count:>5}")
+        for record in self.records:
+            fp = f" fp={record.fingerprint[:16]}" if record.fingerprint else ""
+            lines.append(
+                f"  [{record.category.value}] {record.where}: "
+                f"{record.detail}{fp}"
+            )
+            if record.excerpt:
+                lines.append(f"      excerpt: {record.excerpt}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IngestHealth:
+    """Counters summarizing one resilient ingest run."""
+
+    accepted_sessions: int = 0
+    duplicate_sessions: int = 0
+    degraded_sessions: int = 0
+    accepted_certificates: int = 0
+    quarantined_certificates: int = 0
+    retried_probes: int = 0
+    recovered_probes: int = 0
+    dropped_probes: int = 0
+
+    def merge(self, other: "IngestHealth") -> "IngestHealth":
+        """Sum of two health counters (returns a new object)."""
+        merged = IngestHealth()
+        for spec in fields(IngestHealth):
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return merged
+
+    def to_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(IngestHealth)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IngestHealth":
+        health = cls()
+        for spec in fields(IngestHealth):
+            setattr(health, spec.name, int(payload.get(spec.name, 0)))
+        return health
+
+    def render(self, quarantine: Quarantine | None = None) -> str:
+        """Plain-text ingest-health summary."""
+        lines = [
+            f"  sessions accepted      {self.accepted_sessions:>7,}"
+            f"  (degraded {self.degraded_sessions:,},"
+            f" duplicates rejected {self.duplicate_sessions:,})",
+            f"  root certs accepted    {self.accepted_certificates:>7,}"
+            f"  (quarantined {self.quarantined_certificates:,})",
+            f"  probe retries          {self.retried_probes:>7,}"
+            f"  (recovered {self.recovered_probes:,},"
+            f" dropped {self.dropped_probes:,})",
+        ]
+        if quarantine is not None and len(quarantine):
+            lines.append(f"  quarantined records    {len(quarantine):>7,}")
+            for category, count in sorted(
+                quarantine.counts().items(), key=lambda item: item[0].value
+            ):
+                lines.append(f"    {category.value:<22} {count:>5,}")
+        return "\n".join(lines)

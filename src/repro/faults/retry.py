@@ -1,0 +1,88 @@
+"""Bounded retry with deterministic exponential backoff.
+
+Transient probe failures (a handset radio dropping mid-handshake) are
+retried a bounded number of times. Backoff delays are a pure function
+of the policy — no wall clock, no jitter from a global RNG — so a
+seeded study run replays the exact same retry schedule. The simulator
+never sleeps; it records the backoff it *would* have spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryExhausted(Exception):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"gave up after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to back off in between."""
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+
+    def delays(self) -> tuple[float, ...]:
+        """The deterministic backoff before each re-attempt."""
+        return tuple(
+            self.base_delay * self.multiplier**index
+            for index in range(self.attempts - 1)
+        )
+
+
+@dataclass
+class RetryOutcome:
+    """What one retried call produced."""
+
+    result: object
+    attempts_used: int
+    backoff_spent: float
+
+    @property
+    def recovered(self) -> bool:
+        """True if the call only succeeded after at least one retry."""
+        return self.attempts_used > 1
+
+
+def retry_call(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    *,
+    retryable: tuple[type[BaseException], ...],
+) -> RetryOutcome:
+    """Call ``fn(attempt_index)`` until it succeeds or attempts run out.
+
+    Only exceptions in ``retryable`` are retried; anything else
+    propagates immediately. Raises :class:`RetryExhausted` when the
+    final attempt also fails.
+    """
+    delays = policy.delays()
+    backoff = 0.0
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return RetryOutcome(
+                result=fn(attempt), attempts_used=attempt + 1, backoff_spent=backoff
+            )
+        except retryable as exc:
+            last = exc
+            if attempt < len(delays):
+                backoff += delays[attempt]
+    assert last is not None
+    raise RetryExhausted(policy.attempts, last)

@@ -9,13 +9,14 @@ runs the client over a population and assembles the study dataset.
 
 from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
 from repro.netalyzr.collector import NetalyzrClient, collect_dataset
-from repro.netalyzr.dataset import NetalyzrDataset
+from repro.netalyzr.dataset import NetalyzrDataset, SessionUpload
 
 __all__ = [
     "DeviceTuple",
     "DomainProbe",
     "MeasurementSession",
     "NetalyzrClient",
+    "SessionUpload",
     "collect_dataset",
     "NetalyzrDataset",
 ]

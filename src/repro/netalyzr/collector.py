@@ -4,14 +4,20 @@ from __future__ import annotations
 
 from repro.android.device import AndroidDevice
 from repro.android.population import Population
-from repro.netalyzr.dataset import NetalyzrDataset
+from repro.faults.injector import FaultInjector
+from repro.faults.quarantine import ErrorCategory, IngestHealth, Quarantine
+from repro.faults.retry import RetryExhausted, RetryPolicy, retry_call
+from repro.netalyzr.dataset import NetalyzrDataset, SessionUpload
 from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.tlssim.endpoints import PROBE_TARGETS, Endpoint
-from repro.tlssim.handshake import TlsClient, TlsServer
+from repro.tlssim.handshake import TlsClient, TlsServer, TransientProbeError
 from repro.tlssim.pinning import PinStore
 from repro.tlssim.traffic import TlsTrafficGenerator
+
+#: Default retry budget for flaky domain probes.
+DEFAULT_RETRY_POLICY = RetryPolicy(attempts=3, base_delay=0.05, multiplier=2.0)
 
 
 class NetalyzrClient:
@@ -54,15 +60,64 @@ class NetalyzrClient:
             self._pins = pins
         return self._pins
 
-    def run_session(self, device: AndroidDevice, session_id: int) -> MeasurementSession:
-        """Execute the client once on a device."""
+    def run_session(
+        self,
+        device: AndroidDevice,
+        session_id: int,
+        *,
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        quarantine: Quarantine | None = None,
+        health: IngestHealth | None = None,
+    ) -> MeasurementSession:
+        """Execute the client once on a device.
+
+        When a fault injector is active, each probe may suffer transient
+        handshake failures: the client retries with the policy's
+        deterministic backoff, and a probe that exhausts its retry
+        budget is dropped — quarantined, with the rest of the session
+        kept intact.
+        """
         probes: list[DomainProbe] = []
         if self.probe_domains:
             client = TlsClient(
                 device.store, pins=self._pin_store(), proxy=device.proxy
             )
             for endpoint in PROBE_TARGETS:
-                result = client.connect(self._server_for(endpoint))
+                server = self._server_for(endpoint)
+                planned_failures = (
+                    injector.transient_failures(
+                        session_id, endpoint.hostport,
+                        attempts=retry_policy.attempts,
+                    )
+                    if injector is not None
+                    else 0
+                )
+                try:
+                    outcome = retry_call(
+                        lambda attempt: client.connect(
+                            server,
+                            attempt=attempt,
+                            fail_transiently=attempt < planned_failures,
+                        ),
+                        retry_policy,
+                        retryable=(TransientProbeError,),
+                    )
+                except RetryExhausted as exc:
+                    if health is not None:
+                        health.retried_probes += retry_policy.attempts - 1
+                        health.dropped_probes += 1
+                    if quarantine is not None:
+                        quarantine.add(
+                            ErrorCategory.PROBE_FAILURE,
+                            f"session:{session_id}/probe:{endpoint.hostport}",
+                            str(exc),
+                        )
+                    continue
+                if health is not None and outcome.recovered:
+                    health.retried_probes += outcome.attempts_used - 1
+                    health.recovered_probes += 1
+                result = outcome.result
                 probes.append(
                     DomainProbe(
                         hostport=endpoint.hostport,
@@ -95,6 +150,8 @@ def collect_dataset(
     *,
     probe_domains: bool = True,
     probe_stock_devices: bool = False,
+    injector: FaultInjector | None = None,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> NetalyzrDataset:
     """Run the client over every planned session of a population.
 
@@ -104,6 +161,11 @@ def collect_dataset(
     devices whose state could change the outcome (proxied devices and
     devices with installed apps) plus one representative per firmware.
     Set it to True for full-fidelity collection.
+
+    With a fault ``injector``, collection exercises the resilient
+    ingest path: session uploads may arrive corrupted or duplicated and
+    probes may fail transiently; everything invalid lands in
+    ``dataset.quarantine`` and collection itself never raises.
     """
     client = NetalyzrClient(factory, catalog, probe_domains=probe_domains)
     dataset = NetalyzrDataset()
@@ -129,6 +191,26 @@ def collect_dataset(
                     probed_firmwares.add(firmware_key)
                     must_probe = True
             client.probe_domains = must_probe
-            dataset.add(client.run_session(device, session_id))
+            session = client.run_session(
+                device,
+                session_id,
+                injector=injector,
+                retry_policy=retry_policy,
+                quarantine=dataset.quarantine,
+                health=dataset.health,
+            )
+            if injector is None:
+                dataset.add(session)
+                continue
+            upload = SessionUpload.of(session)
+            upload = SessionUpload(
+                session=upload.session,
+                roots=tuple(
+                    injector.corrupt_roots(session_id, list(upload.roots))
+                ),
+            )
+            dataset.ingest(upload)
+            if injector.should_duplicate(session_id):
+                dataset.ingest(upload)
     client.probe_domains = probe_domains
     return dataset

@@ -5,20 +5,97 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.faults.ingest import CertificateUpload, ingest_certificate
+from repro.faults.quarantine import ErrorCategory, IngestHealth, Quarantine
 from repro.netalyzr.session import MeasurementSession
 from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import identity_key
 
 
+@dataclass(frozen=True)
+class SessionUpload:
+    """One session as it arrives off the wire.
+
+    ``roots`` carries the root certificates in upload form — parsed on
+    the pristine path, raw DER/PEM bytes when the transport (or the
+    fault injector) mangled them. The embedded session's
+    ``root_certificates`` are replaced by whatever survives validation.
+    """
+
+    session: MeasurementSession
+    roots: tuple[CertificateUpload, ...]
+
+    @classmethod
+    def of(cls, session: MeasurementSession) -> "SessionUpload":
+        """The pristine upload of an uncorrupted session."""
+        return cls(
+            session=session,
+            roots=tuple(
+                CertificateUpload.of(certificate)
+                for certificate in session.root_certificates
+            ),
+        )
+
+
 @dataclass
 class NetalyzrDataset:
-    """All collected measurement sessions."""
+    """All collected measurement sessions.
+
+    Two ingestion paths exist: :meth:`add` trusts its input (the clean
+    simulator path), :meth:`ingest` validates a wire-form
+    :class:`SessionUpload` and never raises — bad records land in
+    :attr:`quarantine` and the counters in :attr:`health` track what
+    happened.
+    """
 
     sessions: list[MeasurementSession] = field(default_factory=list)
+    quarantine: Quarantine = field(default_factory=Quarantine)
+    health: IngestHealth = field(default_factory=IngestHealth)
+    _seen_ids: set[int] = field(default_factory=set, repr=False)
 
     def add(self, session: MeasurementSession) -> None:
-        """Append one session."""
+        """Append one trusted session."""
+        self._seen_ids.add(session.session_id)
+        self.health.accepted_sessions += 1
+        self.health.accepted_certificates += session.store_size
         self.sessions.append(session)
+
+    def ingest(self, upload: SessionUpload) -> MeasurementSession | None:
+        """Validate and append one wire-form upload; never raises.
+
+        Duplicate session ids are dead-lettered whole; sessions with
+        some unparseable certificates are kept, degraded, with their
+        good records (graceful degradation). Returns the accepted
+        session, or None when the whole upload was quarantined.
+        """
+        session = upload.session
+        if session.session_id in self._seen_ids:
+            self.quarantine.add(
+                ErrorCategory.DUPLICATE_SESSION,
+                f"session:{session.session_id}",
+                f"session id {session.session_id} already ingested",
+            )
+            self.health.duplicate_sessions += 1
+            return None
+        kept: list[Certificate] = []
+        lost = 0
+        for index, cert_upload in enumerate(upload.roots):
+            certificate = ingest_certificate(
+                cert_upload,
+                self.quarantine,
+                f"session:{session.session_id}/root:{index}",
+            )
+            if certificate is None:
+                lost += 1
+            else:
+                kept.append(certificate)
+        session.root_certificates = tuple(kept)
+        if lost:
+            session.degraded = True
+            self.health.degraded_sessions += 1
+            self.health.quarantined_certificates += lost
+        self.add(session)
+        return session
 
     # -- §4.1 summary statistics --------------------------------------------------
 

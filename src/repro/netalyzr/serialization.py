@@ -3,7 +3,15 @@
 A collected dataset serializes to a single JSON document with a
 deduplicated certificate table — the ~16k sessions reference ~314
 distinct certificates, so the encoded corpus stays small. Round-trips
-preserve everything the analysis pipeline consumes.
+preserve everything the analysis pipeline consumes, including the
+quarantine records and ingest-health counters of a fault-injected run.
+
+Loading is strict about the envelope and, by default, about the
+records: invalid JSON, an unknown ``SCHEMA_VERSION`` or a malformed
+document raise the typed :class:`DatasetError` family with a one-line
+diagnostic. With ``resilient=True`` per-record damage (a tampered
+certificate-table entry, a mangled session object) is dead-lettered
+into the loaded dataset's quarantine instead of aborting the load.
 """
 
 from __future__ import annotations
@@ -11,15 +19,37 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.faults.ingest import CertificateUpload, ingest_certificate
+from repro.faults.quarantine import (
+    ErrorCategory,
+    IngestHealth,
+    QuarantineRecord,
+)
 from repro.netalyzr.dataset import NetalyzrDataset
 from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
 from repro.x509.certificate import Certificate
 from repro.x509.chain import ValidationFailure, ValidationResult
 from repro.x509.fingerprint import fingerprint
-from repro.x509.pem import pem_decode, pem_encode
+from repro.x509.pem import pem_encode
 
-#: Schema version of the export format.
-SCHEMA_VERSION = 1
+#: Schema version of the export format. Version 2 added quarantine
+#: metadata, ingest-health counters and the per-session degraded flag.
+SCHEMA_VERSION = 2
+
+#: Schema versions this codec can read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+class DatasetError(ValueError):
+    """Base class for dataset-file load failures."""
+
+
+class SchemaVersionError(DatasetError):
+    """The document declares a schema version this codec cannot read."""
+
+
+class DatasetFormatError(DatasetError):
+    """The document is not valid JSON or violates the schema."""
 
 
 def dataset_to_json(dataset: NetalyzrDataset) -> str:
@@ -63,6 +93,7 @@ def dataset_to_json(dataset: NetalyzrDataset) -> str:
                 "rooted": session.rooted,
                 "attached_operator": session.attached_operator,
                 "attached_country": session.attached_country,
+                "degraded": session.degraded,
                 "roots": [ref(c) for c in session.root_certificates],
                 "probes": probes,
                 "apps": list(session.app_names),
@@ -73,56 +104,191 @@ def dataset_to_json(dataset: NetalyzrDataset) -> str:
             "schema": SCHEMA_VERSION,
             "certificates": cert_table,
             "sessions": sessions,
+            "quarantine": [record.to_dict() for record in dataset.quarantine],
+            "health": dataset.health.to_dict(),
         }
     )
 
 
-def dataset_from_json(text: str) -> NetalyzrDataset:
-    """Parse a serialized dataset, verifying certificate fingerprints."""
-    payload = json.loads(text)
-    if payload.get("schema") != SCHEMA_VERSION:
-        raise ValueError(f"unsupported dataset schema {payload.get('schema')!r}")
-    certificates: dict[str, Certificate] = {}
-    for digest, pem in payload["certificates"].items():
-        certificate = Certificate.from_der(pem_decode(pem))
-        if fingerprint(certificate) != digest:
-            raise ValueError(f"certificate table fingerprint mismatch: {digest}")
-        certificates[digest] = certificate
+def _parse_session(
+    item: dict, certificates: dict[str, Certificate]
+) -> MeasurementSession:
+    probes = tuple(
+        DomainProbe(
+            hostport=probe["hostport"],
+            chain=tuple(certificates[d] for d in probe["chain"]),
+            validation=ValidationResult(
+                trusted=probe["trusted"],
+                failure=ValidationFailure(probe["failure"])
+                if probe["failure"]
+                else None,
+            ),
+            pin_ok=probe["pin_ok"],
+        )
+        for probe in item["probes"]
+    )
+    return MeasurementSession(
+        session_id=item["id"],
+        device_tuple=DeviceTuple(*item["tuple"]),
+        manufacturer=item["manufacturer"],
+        model=item["model"],
+        os_version=item["os_version"],
+        operator=item["operator"],
+        country=item["country"],
+        rooted=item["rooted"],
+        root_certificates=tuple(certificates[d] for d in item["roots"]),
+        probes=probes,
+        app_names=tuple(item["apps"]),
+        attached_operator=item.get("attached_operator", ""),
+        attached_country=item.get("attached_country", ""),
+        degraded=bool(item.get("degraded", False)),
+    )
+
+
+def dataset_from_json(text: str, *, resilient: bool = False) -> NetalyzrDataset:
+    """Parse a serialized dataset, verifying certificate fingerprints.
+
+    Envelope damage (invalid JSON, unknown schema version, a document
+    that is not a dataset at all) always raises a :class:`DatasetError`.
+    Record damage raises too by default; with ``resilient=True`` it is
+    quarantined instead — a tampered certificate-table entry drops the
+    certificate (sessions referencing it are kept, degraded), a mangled
+    session object is dead-lettered whole, and the load returns every
+    record that survived.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatasetFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DatasetFormatError(
+            f"expected a dataset object, found {type(payload).__name__}"
+        )
+    version = payload.get("schema")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+        raise SchemaVersionError(
+            f"unsupported dataset schema version {version!r}"
+            f" (this codec reads versions {supported})"
+        )
 
     dataset = NetalyzrDataset()
-    for item in payload["sessions"]:
-        probes = tuple(
-            DomainProbe(
-                hostport=probe["hostport"],
-                chain=tuple(certificates[d] for d in probe["chain"]),
-                validation=ValidationResult(
-                    trusted=probe["trusted"],
-                    failure=ValidationFailure(probe["failure"])
-                    if probe["failure"]
-                    else None,
-                ),
-                pin_ok=probe["pin_ok"],
+    try:
+        cert_items = list(payload["certificates"].items())
+        session_items = list(payload["sessions"])
+    except (KeyError, AttributeError, TypeError) as exc:
+        raise DatasetFormatError(f"malformed dataset document: {exc}") from exc
+
+    certificates: dict[str, Certificate] = {}
+    for digest, pem in cert_items:
+        if resilient:
+            certificate = ingest_certificate(
+                CertificateUpload(payload=pem, claimed_fingerprint=digest),
+                dataset.quarantine,
+                f"certificate-table:{digest[:16]}",
             )
-            for probe in item["probes"]
-        )
-        dataset.add(
-            MeasurementSession(
-                session_id=item["id"],
-                device_tuple=DeviceTuple(*item["tuple"]),
-                manufacturer=item["manufacturer"],
-                model=item["model"],
-                os_version=item["os_version"],
-                operator=item["operator"],
-                country=item["country"],
-                rooted=item["rooted"],
-                root_certificates=tuple(certificates[d] for d in item["roots"]),
-                probes=probes,
-                app_names=tuple(item["apps"]),
-                attached_operator=item.get("attached_operator", ""),
-                attached_country=item.get("attached_country", ""),
+            if certificate is not None:
+                certificates[digest] = certificate
+            continue
+        try:
+            certificate = Certificate.from_der(_pem_to_der(pem))
+        except ValueError as exc:
+            raise DatasetFormatError(
+                f"certificate table entry {digest[:16]}… is invalid: {exc}"
+            ) from exc
+        if fingerprint(certificate) != digest:
+            raise DatasetFormatError(
+                f"certificate table fingerprint mismatch: {digest}"
             )
-        )
+        certificates[digest] = certificate
+
+    for item in session_items:
+        if not resilient:
+            try:
+                dataset.add(_parse_session(item, certificates))
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise DatasetFormatError(
+                    f"malformed session record: {exc!r}"
+                ) from exc
+            continue
+        session_id = item.get("id", "?") if isinstance(item, dict) else "?"
+        try:
+            session = _parse_session(_strip_missing_refs(item, certificates),
+                                     certificates)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            dataset.quarantine.add(
+                ErrorCategory.MALFORMED_RECORD,
+                f"session:{session_id}",
+                repr(exc),
+                payload=repr(item),
+            )
+            continue
+        dataset.add(session)
+
+    # Restore the original run's counters and quarantine on top of
+    # whatever this load itself dead-lettered.
+    for record in payload.get("quarantine", ()):
+        try:
+            dataset.quarantine.records.append(QuarantineRecord.from_dict(record))
+        except (KeyError, TypeError, ValueError) as exc:
+            if not resilient:
+                raise DatasetFormatError(
+                    f"malformed quarantine record: {exc!r}"
+                ) from exc
+    if "health" in payload and isinstance(payload["health"], dict):
+        restored = IngestHealth.from_dict(payload["health"])
+        if resilient:
+            # keep this load's own dead-letter counts visible
+            restored.quarantined_certificates += (
+                dataset.health.quarantined_certificates
+            )
+            restored.degraded_sessions = max(
+                restored.degraded_sessions, dataset.health.degraded_sessions
+            )
+        dataset.health = restored
     return dataset
+
+
+def _pem_to_der(pem: object) -> bytes:
+    from repro.x509.pem import pem_decode
+
+    if not isinstance(pem, str):
+        raise DatasetFormatError(
+            f"certificate table value must be PEM text, found {type(pem).__name__}"
+        )
+    return pem_decode(pem)
+
+
+def _strip_missing_refs(item: dict, certificates: dict[str, Certificate]) -> dict:
+    """Drop references to quarantined table entries, degrading the session.
+
+    Both the uploaded root store and the probe chains can reference a
+    dead-lettered certificate; the session keeps its good roots and
+    good probes rather than being dropped whole.
+    """
+    if not isinstance(item, dict):
+        return item
+    roots = item.get("roots")
+    if isinstance(roots, list) and any(d not in certificates for d in roots):
+        item = dict(item)
+        item["roots"] = [d for d in roots if d in certificates]
+        item["degraded"] = True
+    probes = item.get("probes")
+    if isinstance(probes, list):
+        kept = [
+            probe
+            for probe in probes
+            if not (
+                isinstance(probe, dict)
+                and isinstance(probe.get("chain"), list)
+                and any(d not in certificates for d in probe["chain"])
+            )
+        ]
+        if len(kept) != len(probes):
+            item = dict(item)
+            item["probes"] = kept
+            item["degraded"] = True
+    return item
 
 
 def save_dataset(dataset: NetalyzrDataset, path: str | pathlib.Path) -> pathlib.Path:
@@ -132,6 +298,10 @@ def save_dataset(dataset: NetalyzrDataset, path: str | pathlib.Path) -> pathlib.
     return path
 
 
-def load_dataset(path: str | pathlib.Path) -> NetalyzrDataset:
+def load_dataset(
+    path: str | pathlib.Path, *, resilient: bool = False
+) -> NetalyzrDataset:
     """Read a dataset from a JSON file."""
-    return dataset_from_json(pathlib.Path(path).read_text())
+    return dataset_from_json(
+        pathlib.Path(path).read_text(), resilient=resilient
+    )

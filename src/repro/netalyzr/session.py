@@ -73,6 +73,11 @@ class MeasurementSession:
     #: unless the user is roaming (§5.2).
     attached_operator: str = ""
     attached_country: str = ""
+    #: True when resilient ingestion quarantined part of this session's
+    #: upload (some root certificates were lost in transit). Degraded
+    #: sessions keep their good records but are excluded from analyses
+    #: that would read the *absence* of a certificate as evidence.
+    degraded: bool = False
 
     @property
     def store_size(self) -> int:

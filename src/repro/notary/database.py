@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.crypto.pkcs1 import SignatureError
 from repro.crypto.rsa import RsaPublicKey
+from repro.faults.ingest import CertificateUpload, ingest_certificate
+from repro.faults.injector import FaultInjector
+from repro.faults.quarantine import Quarantine
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.store import RootStore
@@ -39,6 +42,8 @@ class NotaryDatabase:
     _registered: set[tuple[int, bytes]] = field(default_factory=set)
     #: memoized per-root-key validation counts.
     _count_cache: dict[tuple[int, int, bool], int] = field(default_factory=dict)
+    #: dead-letter list of observations that failed validation.
+    quarantine: Quarantine = field(default_factory=Quarantine)
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -58,6 +63,33 @@ class NotaryDatabase:
         for root in chain_roots:
             self._observed.add(identity_key(root))
         self._count_cache.clear()
+
+    def ingest_leaf(
+        self,
+        leaf: ObservedLeaf,
+        chain_roots: tuple[Certificate, ...] = (),
+        *,
+        payload: CertificateUpload | None = None,
+        where: str = "",
+    ) -> bool:
+        """Validating :meth:`observe_leaf`: never raises.
+
+        ``payload`` is the certificate as it actually arrived off the
+        tap (possibly corrupted bytes); when it fails validation the
+        observation is dead-lettered in :attr:`quarantine` and the
+        database is left untouched. Returns True when ingested.
+        """
+        if payload is None:
+            payload = CertificateUpload(payload=leaf.certificate)
+        certificate = ingest_certificate(
+            payload, self.quarantine, where or f"notary:{leaf.host}"
+        )
+        if certificate is None:
+            return False
+        if certificate is not leaf.certificate:
+            leaf = replace(leaf, certificate=certificate)
+        self.observe_leaf(leaf, chain_roots=chain_roots)
+        return True
 
     def register_store(self, store: RootStore) -> None:
         """Load an official root store for comparison queries."""
@@ -199,11 +231,16 @@ def build_notary(
     *,
     scale: float = 1.0,
     register_stores: tuple[RootStore, ...] = (),
+    injector: FaultInjector | None = None,
 ) -> NotaryDatabase:
     """Generate the calibrated traffic population and ingest it.
 
     Roots that sign observed leaves are themselves marked observed
     (their certificates travel in the session chains the Notary taps).
+
+    With a fault ``injector``, a configurable fraction of leaf
+    observations arrive corrupted off the tap; they are dead-lettered
+    in ``notary.quarantine`` instead of entering the database.
     """
     factory = factory or CertificateFactory()
     catalog = catalog or default_catalog()
@@ -212,6 +249,14 @@ def build_notary(
     for profile in catalog.all_profiles():
         root = factory.root_certificate(profile)
         for leaf in generator.leaves_for_profile(profile):
+            if injector is not None:
+                where = f"notary:{leaf.host}"
+                corrupted = injector.corrupt_leaf(where, leaf.certificate)
+                if corrupted is not None:
+                    notary.ingest_leaf(
+                        leaf, chain_roots=(root,), payload=corrupted, where=where
+                    )
+                    continue
             notary.observe_leaf(leaf, chain_roots=(root,))
     for store in register_stores:
         notary.register_store(store)

@@ -13,7 +13,12 @@ from repro.tlssim.endpoints import (
 )
 from repro.tlssim.pinning import PinStore, default_pin_store
 from repro.tlssim.traffic import TlsTrafficGenerator, ServerIdentity
-from repro.tlssim.handshake import HandshakeResult, TlsClient, TlsServer
+from repro.tlssim.handshake import (
+    HandshakeResult,
+    TlsClient,
+    TlsServer,
+    TransientProbeError,
+)
 from repro.tlssim.proxy import InterceptionProxy
 
 __all__ = [
@@ -28,5 +33,6 @@ __all__ = [
     "HandshakeResult",
     "TlsClient",
     "TlsServer",
+    "TransientProbeError",
     "InterceptionProxy",
 ]

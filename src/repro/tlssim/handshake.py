@@ -19,6 +19,23 @@ from repro.x509.certificate import Certificate
 from repro.x509.chain import ChainVerifier, ValidationResult
 
 
+class TransientProbeError(ConnectionError):
+    """The handshake died before completing — a retryable network fault.
+
+    Models the flaky-radio failures of real handsets (mid-handshake
+    signal loss, carrier NAT timeouts): nothing is wrong with either
+    endpoint, so callers should retry with bounded backoff.
+    """
+
+    def __init__(self, host: str, port: int, attempt: int):
+        super().__init__(
+            f"transient handshake failure to {host}:{port} (attempt {attempt + 1})"
+        )
+        self.host = host
+        self.port = port
+        self.attempt = attempt
+
+
 @dataclass(frozen=True)
 class HandshakeResult:
     """What the client learned from one connection attempt."""
@@ -69,8 +86,17 @@ class TlsClient:
         self.proxy = proxy
         self.at = at
 
-    def connect(self, server: TlsServer) -> HandshakeResult:
-        """Run one handshake and validate what arrives."""
+    def connect(
+        self, server: TlsServer, *, attempt: int = 0, fail_transiently: bool = False
+    ) -> HandshakeResult:
+        """Run one handshake and validate what arrives.
+
+        ``fail_transiently`` simulates the network dropping this attempt
+        (fault injection); the client raises
+        :class:`TransientProbeError` before any bytes are validated.
+        """
+        if fail_transiently:
+            raise TransientProbeError(server.host, server.port, attempt)
         chain = server.present_chain()
         intercepted = False
         if self.proxy is not None:

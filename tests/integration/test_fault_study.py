@@ -1,0 +1,121 @@
+"""Acceptance tests for the fault-injection study (ISSUE criteria).
+
+A study with ``FaultInjector(rate=0.05, seed="tangled-mass")`` must
+complete without raising, dead-letter every injected-corrupt record
+under the right error category, keep the paper's tables stable against
+the clean run, and reproduce its quarantine report byte for byte under
+the same seed.
+"""
+
+import pytest
+
+from repro.analysis import StudyConfig, render_study_report, run_study
+
+FAULT_RATE = 0.05
+SCALE = dict(population_scale=0.15, notary_scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def faulty():
+    return run_study(
+        StudyConfig(fault_rate=FAULT_RATE, fault_seed="tangled-mass", **SCALE)
+    )
+
+
+class TestStudyCompletes:
+    def test_injector_was_active(self, faulty):
+        assert faulty.fault_injector is not None
+        assert len(faulty.fault_injector.ledger) > 0
+
+    def test_report_renders_with_health_section(self, faulty):
+        report = render_study_report(faulty)
+        assert "Ingest health" in report
+        assert "quarantined" in report
+
+
+class TestLedgerMatchesQuarantine:
+    def test_every_expected_fault_quarantined_with_correct_category(
+        self, faulty
+    ):
+        """Self-accounting: each injected fault that the injector expects
+        to surface appears in the quarantine at the same location with
+        the predicted error category."""
+        by_where = faulty.combined_quarantine().by_where()
+        mismatches = []
+        for fault in faulty.fault_injector.ledger:
+            if fault.expected_category is None:
+                continue  # absorbed (e.g. recovered transient handshake)
+            record = by_where.get(fault.where)
+            if record is None:
+                mismatches.append(f"{fault.where}: no quarantine record")
+            elif record.category is not fault.expected_category:
+                mismatches.append(
+                    f"{fault.where}: expected {fault.expected_category.value},"
+                    f" got {record.category.value}"
+                )
+        assert not mismatches, "\n".join(mismatches)
+
+    def test_no_unexplained_quarantine_records(self, faulty):
+        """Every dead-letter traces back to an injected fault."""
+        planted = {f.where for f in faulty.fault_injector.ledger}
+        strays = [
+            r.where
+            for r in faulty.combined_quarantine().records
+            if r.where not in planted
+        ]
+        assert not strays, strays
+
+    def test_health_counters_are_consistent(self, faulty):
+        health = faulty.ingest_health
+        assert health.quarantined_certificates > 0
+        assert health.retried_probes >= health.recovered_probes > 0
+        assert health.accepted_sessions == faulty.dataset.session_count
+
+
+class TestPaperNumbersStable:
+    def test_tables_match_clean_run(self, study, faulty):
+        assert faulty.table1 == study.table1
+        assert (
+            faulty.table2.top_devices == study.table2.top_devices
+        )
+        assert (
+            faulty.table2.top_manufacturers == study.table2.top_manufacturers
+        )
+
+    def test_session_accounting_identical(self, study, faulty):
+        # Duplicates are quarantined whole and degraded sessions are
+        # kept, so the session census is untouched by injection.
+        assert faulty.dataset.session_count == study.dataset.session_count
+        assert faulty.estimated_devices == study.estimated_devices
+        assert (
+            faulty.dataset.distinct_models() == study.dataset.distinct_models()
+        )
+
+    def test_observation_loss_equals_quarantined_certs(self, study, faulty):
+        lost = (
+            study.dataset.total_certificate_observations
+            - faulty.dataset.total_certificate_observations
+        )
+        assert lost == faulty.dataset.health.quarantined_certificates
+
+    def test_headline_fractions_within_tolerance(self, study, faulty):
+        assert faulty.extended_fraction == pytest.approx(
+            study.extended_fraction, abs=0.02
+        )
+        assert (
+            faulty.rooted.rooted_session_fraction
+            == study.rooted.rooted_session_fraction
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_quarantine_report(self, faulty):
+        rerun = run_study(
+            StudyConfig(fault_rate=FAULT_RATE, fault_seed="tangled-mass", **SCALE)
+        )
+        assert (
+            rerun.combined_quarantine().report()
+            == faulty.combined_quarantine().report()
+        )
+        assert rerun.fault_injector.ledger == faulty.fault_injector.ledger
+        assert render_study_report(rerun) == render_study_report(faulty)

@@ -1,0 +1,163 @@
+"""Property-based tests for resilient ingestion.
+
+The wild-data invariant from the fault model: for ANY byte-level
+corruption of a valid session's certificate payloads, ingestion either
+recovers a certificate equal to the original (the corruption missed or
+cancelled out) or dead-letters the payload into the quarantine — and
+the study pipeline over the resulting dataset never raises.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import CertificateUpload, Quarantine, ingest_certificate
+from repro.netalyzr.dataset import NetalyzrDataset, SessionUpload
+from repro.netalyzr.session import DeviceTuple, MeasurementSession
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import pem_encode
+
+_DER_CACHE: list[bytes] = []
+
+
+def _base_certificates(factory, catalog):
+    if not _DER_CACHE:
+        _DER_CACHE.extend(
+            factory.root_certificate(profile).encoded
+            for profile in catalog.all_profiles()[:4]
+        )
+    return _DER_CACHE
+
+
+corruptions = st.lists(
+    st.tuples(st.integers(min_value=0), st.integers(1, 255)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _apply(der: bytes, edits, cut: int | None) -> bytes:
+    corrupt = bytearray(der)
+    for offset, xor in edits:
+        corrupt[offset % len(corrupt)] ^= xor
+    if cut is not None:
+        corrupt = corrupt[: cut % (len(corrupt) + 1)]
+    return bytes(corrupt)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    index=st.integers(0, 3),
+    edits=corruptions,
+    cut=st.one_of(st.none(), st.integers(min_value=0)),
+)
+def test_corrupt_payload_well_formed_or_quarantined(
+    factory, catalog, index, edits, cut
+):
+    """Without a fingerprint claim, ingest never raises: the payload is
+    either quarantined or yields a well-formed, round-trip-stable
+    certificate. (Byte-exact equality needs the claim — see the next
+    test — because a flipped byte that still decodes cleanly is
+    indistinguishable from a legitimately different certificate.)"""
+    der = _base_certificates(factory, catalog)[index]
+    corrupt = _apply(der, edits, cut)
+    quarantine = Quarantine()
+    upload = CertificateUpload(payload=corrupt)
+    certificate = ingest_certificate(upload, quarantine, "prop")
+    if certificate is None:
+        # damaged: exactly one dead-letter record, nothing raised
+        assert len(quarantine) == 1
+        assert quarantine.records[0].where == "prop"
+    else:
+        assert len(quarantine) == 0
+        if corrupt == der:
+            assert certificate.encoded == der
+        # whatever was accepted is stable: its own bytes re-ingest
+        # cleanly and fingerprint deterministically
+        again = ingest_certificate(
+            CertificateUpload(
+                payload=certificate.encoded,
+                claimed_fingerprint=fingerprint(certificate),
+            ),
+            quarantine,
+            "prop-again",
+        )
+        assert again is not None and again.encoded == certificate.encoded
+        assert len(quarantine) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(edits=corruptions, cut=st.one_of(st.none(), st.integers(min_value=0)))
+def test_fingerprinted_corruption_never_accepted_damaged(
+    factory, catalog, edits, cut
+):
+    """With a claimed fingerprint, a changed payload can never slip in."""
+    import hashlib
+
+    der = _base_certificates(factory, catalog)[0]
+    corrupt = _apply(der, edits, cut)
+    quarantine = Quarantine()
+    certificate = ingest_certificate(
+        CertificateUpload(
+            payload=corrupt, claimed_fingerprint=hashlib.sha256(der).hexdigest()
+        ),
+        quarantine,
+        "prop",
+    )
+    if corrupt == der:
+        assert certificate is not None and certificate.encoded == der
+    else:
+        assert certificate is None
+        assert len(quarantine) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    edits=corruptions,
+    cut=st.one_of(st.none(), st.integers(min_value=0)),
+    as_pem=st.booleans(),
+)
+def test_session_ingest_never_raises(factory, catalog, edits, cut, as_pem):
+    """A session with one corrupted root always ingests; study-side
+    consumers (observation counting) keep working on the survivors."""
+    good, target = _base_certificates(factory, catalog)[:2]
+    corrupt = _apply(target, edits, cut)
+    payload = pem_encode(corrupt) if as_pem else corrupt
+    session = MeasurementSession(
+        session_id=99,
+        device_tuple=DeviceTuple("Vodafone", "10.0.0.1", "GT-I9100", "4.0"),
+        manufacturer="Samsung",
+        model="GT-I9100",
+        os_version="4.0",
+        operator="Vodafone",
+        country="DE",
+        rooted=False,
+        root_certificates=(),
+    )
+    dataset = NetalyzrDataset()
+    accepted = dataset.ingest(
+        SessionUpload(
+            session=session,
+            roots=(
+                CertificateUpload(payload=good),
+                CertificateUpload(payload=payload),
+            ),
+        )
+    )
+    assert accepted is not None
+    assert dataset.session_count == 1
+    survivors = {c.encoded for c in accepted.root_certificates}
+    assert good in survivors
+    if corrupt != target:
+        # Either the bad root was quarantined (degraded session) or the
+        # corrupted bytes still parsed — in which case exactly those
+        # bytes were kept, nothing invented.
+        if accepted.degraded:
+            assert len(dataset.quarantine) == 1
+            assert dataset.health.quarantined_certificates == 1
+        else:
+            assert survivors == {good, corrupt}
+    # Downstream consumers never see the damage.
+    assert dataset.total_certificate_observations == len(
+        accepted.root_certificates
+    )
+    assert dataset.unique_certificates()

@@ -1,0 +1,132 @@
+"""Malformed-input coverage for :mod:`repro.asn1.decoder`.
+
+The wild-data contract: whatever bytes arrive, the decoder fails with
+the :class:`Asn1Error` family (a ``ValueError``), never with an
+``IndexError``/``KeyError``/``struct.error`` leaking from the parsing
+internals.
+"""
+
+import random
+
+import pytest
+
+from repro.asn1 import Asn1Error, decode
+from repro.x509.certificate import Certificate, CertificateError
+
+
+@pytest.fixture(scope="module")
+def der(factory, catalog):
+    return factory.root_certificate(catalog.all_profiles()[0]).encoded
+
+
+def assert_asn1_family(exc: BaseException) -> None:
+    """The decoder's whole error surface: Asn1Error (a ValueError)."""
+    assert isinstance(exc, ValueError), type(exc)
+    assert not isinstance(exc, (IndexError, KeyError))
+
+
+class TestTruncation:
+    def test_every_truncation_point_raises_asn1_error(self, der):
+        for length in range(len(der)):
+            try:
+                decode(der[:length])
+            except Asn1Error as exc:
+                assert_asn1_family(exc)
+            else:
+                pytest.fail(f"truncation to {length} bytes decoded successfully")
+
+    def test_empty_input(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            decode(b"")
+
+    def test_lone_tag_byte(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x30")
+
+
+class TestLengthPrefix:
+    def test_overlong_definite_length(self):
+        # SEQUENCE claiming 0x7f content bytes, providing none.
+        with pytest.raises(Asn1Error, match="truncated"):
+            decode(b"\x30\x7f")
+
+    def test_overlong_long_form_length(self):
+        # Long form: 4 length octets claiming ~4 GiB of content.
+        with pytest.raises(Asn1Error):
+            decode(b"\x30\x84\xff\xff\xff\xff" + b"\x00" * 16)
+
+    def test_length_octet_count_exceeds_input(self):
+        # Says "5 length octets follow" but the input ends first.
+        with pytest.raises(Asn1Error):
+            decode(b"\x30\x85\x01")
+
+    def test_non_minimal_long_form_rejected(self):
+        # 0x81 0x05: long form for a length that fits short form —
+        # valid BER, invalid DER.
+        with pytest.raises(Asn1Error):
+            decode(b"\x30\x81\x05" + b"\x00" * 5)
+
+    def test_inner_length_escapes_outer(self, der):
+        # Outer SEQUENCE is consistent, inner TLV claims more content
+        # than the outer frame holds.
+        inner = b"\x04\x20" + b"A" * 4  # OCTET STRING claiming 32, has 4
+        outer = b"\x30" + bytes([len(inner)]) + inner
+        obj = decode(outer)
+        with pytest.raises(Asn1Error):
+            obj.children()
+
+    def test_trailing_garbage_rejected(self, der):
+        with pytest.raises(Asn1Error, match="trailing"):
+            decode(der + b"\x00")
+
+
+class TestInvalidStrings:
+    def test_invalid_utf8_in_utf8string(self):
+        # UTF8String whose content is a lone continuation byte.
+        obj = decode(b"\x0c\x01\xff")
+        with pytest.raises(Asn1Error) as excinfo:
+            obj.as_string()
+        assert_asn1_family(excinfo.value)
+
+    def test_invalid_utf8_longer_payload(self):
+        obj = decode(b"\x0c\x04ab\xc3\x28")
+        with pytest.raises(Asn1Error):
+            obj.as_string()
+
+    def test_certificate_with_poisoned_name_rejected(self, der):
+        # Poison the first UTF8String/PrintableString content byte in a
+        # real certificate; the x509 layer must wrap the failure.
+        from repro.faults.injector import _poison_string
+
+        poisoned = _poison_string(der)
+        assert poisoned is not None and poisoned != der
+        with pytest.raises((Asn1Error, CertificateError)) as excinfo:
+            Certificate.from_der(poisoned)
+        assert_asn1_family(excinfo.value)
+
+
+class TestRandomCorruption:
+    def test_seeded_fuzz_never_leaks_internal_errors(self, der):
+        rng = random.Random("asn1-fuzz")
+        for _ in range(300):
+            corrupt = bytearray(der)
+            for _ in range(rng.randint(1, 8)):
+                corrupt[rng.randrange(len(corrupt))] = rng.randrange(256)
+            start = rng.randrange(len(corrupt))
+            payload = bytes(corrupt[: start + rng.randrange(len(corrupt) - start + 1)])
+            try:
+                Certificate.from_der(payload)
+            except (Asn1Error, CertificateError) as exc:
+                assert_asn1_family(exc)
+            except ValueError as exc:
+                # still the documented family, just not wrapped
+                assert_asn1_family(exc)
+
+    def test_random_byte_soup(self):
+        rng = random.Random("byte-soup")
+        for _ in range(200):
+            payload = rng.randbytes(rng.randrange(64))
+            try:
+                decode(payload)
+            except Asn1Error as exc:
+                assert_asn1_family(exc)

@@ -5,8 +5,12 @@ import json
 import pytest
 
 from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.faults import FaultInjector
 from repro.netalyzr import collect_dataset
 from repro.netalyzr.serialization import (
+    DatasetError,
+    DatasetFormatError,
+    SchemaVersionError,
     dataset_from_json,
     dataset_to_json,
     load_dataset,
@@ -19,6 +23,16 @@ def dataset(factory, catalog):
     config = PopulationConfig(seed="ser-tests", scale=0.02)
     population = PopulationGenerator(config, factory, catalog).generate()
     return collect_dataset(population, factory, catalog)
+
+
+@pytest.fixture(scope="module")
+def faulty_dataset(factory, catalog):
+    config = PopulationConfig(seed="ser-tests", scale=0.02)
+    population = PopulationGenerator(config, factory, catalog).generate()
+    return collect_dataset(
+        population, factory, catalog,
+        injector=FaultInjector(rate=0.1, seed="ser-tests"),
+    )
 
 
 class TestRoundTrip:
@@ -74,3 +88,80 @@ class TestValidationOnLoad:
     def test_unknown_schema_rejected(self):
         with pytest.raises(ValueError, match="schema"):
             dataset_from_json(json.dumps({"schema": 42}))
+
+    def test_unknown_schema_error_names_the_version(self):
+        with pytest.raises(SchemaVersionError, match=r"version 42"):
+            dataset_from_json(json.dumps({"schema": 42}))
+        with pytest.raises(SchemaVersionError, match=r"version '2'"):
+            # a string "2" is not version 2
+            dataset_from_json(json.dumps({"schema": "2"}))
+
+    def test_invalid_json_raises_format_error(self):
+        with pytest.raises(DatasetFormatError, match="not valid JSON"):
+            dataset_from_json("{truncated")
+        with pytest.raises(DatasetFormatError, match="dataset object"):
+            dataset_from_json("[1, 2, 3]")
+
+    def test_errors_are_one_typed_family(self):
+        assert issubclass(SchemaVersionError, DatasetError)
+        assert issubclass(DatasetFormatError, DatasetError)
+        assert issubclass(DatasetError, ValueError)
+
+
+class TestQuarantineRoundTrip:
+    def test_quarantine_metadata_preserved(self, faulty_dataset):
+        assert len(faulty_dataset.quarantine) > 0
+        parsed = dataset_from_json(dataset_to_json(faulty_dataset))
+        assert parsed.quarantine.report() == faulty_dataset.quarantine.report()
+        for original, restored in zip(
+            faulty_dataset.quarantine.records, parsed.quarantine.records
+        ):
+            assert restored.category is original.category
+            assert restored.where == original.where
+            assert restored.fingerprint == original.fingerprint
+            assert restored.excerpt == original.excerpt
+
+    def test_health_counters_preserved(self, faulty_dataset):
+        parsed = dataset_from_json(dataset_to_json(faulty_dataset))
+        assert parsed.health.to_dict() == faulty_dataset.health.to_dict()
+
+    def test_degraded_flags_preserved(self, faulty_dataset):
+        parsed = dataset_from_json(dataset_to_json(faulty_dataset))
+        original_flags = {
+            s.session_id: s.degraded for s in faulty_dataset.sessions
+        }
+        assert any(original_flags.values())
+        for session in parsed.sessions:
+            assert session.degraded == original_flags[session.session_id]
+
+
+class TestResilientLoad:
+    def test_tampered_certificate_quarantined_not_fatal(self, dataset):
+        payload = json.loads(dataset_to_json(dataset))
+        digest = next(iter(payload["certificates"]))
+        other = [d for d in payload["certificates"] if d != digest][0]
+        payload["certificates"][digest] = payload["certificates"][other]
+        parsed = dataset_from_json(json.dumps(payload), resilient=True)
+        assert parsed.session_count == dataset.session_count
+        assert any(
+            r.where.startswith("certificate-table:")
+            for r in parsed.quarantine.records
+        )
+        # sessions referencing the dropped cert survive, degraded
+        assert any(s.degraded for s in parsed.sessions)
+
+    def test_mangled_session_record_dead_lettered(self, dataset):
+        payload = json.loads(dataset_to_json(dataset))
+        payload["sessions"][0] = {"id": payload["sessions"][0]["id"]}
+        parsed = dataset_from_json(json.dumps(payload), resilient=True)
+        assert parsed.session_count == dataset.session_count - 1
+        assert any(
+            r.where == f"session:{payload['sessions'][0]['id']}"
+            for r in parsed.quarantine.records
+        )
+
+    def test_envelope_damage_still_fatal_in_resilient_mode(self):
+        with pytest.raises(DatasetFormatError):
+            dataset_from_json("{nope", resilient=True)
+        with pytest.raises(SchemaVersionError):
+            dataset_from_json(json.dumps({"schema": 9}), resilient=True)

@@ -1,0 +1,404 @@
+"""Tests for the fault-injection subsystem and resilient ingestion."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    CERT_FAULT_KINDS,
+    CertificateUpload,
+    ErrorCategory,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    Quarantine,
+    RetryExhausted,
+    RetryPolicy,
+    classify_error,
+    ingest_certificate,
+    resolve_certificate,
+    retry_call,
+)
+from repro.faults.quarantine import FingerprintMismatchError, ValidityError
+from repro.netalyzr.dataset import NetalyzrDataset, SessionUpload
+from repro.netalyzr.session import DeviceTuple, MeasurementSession
+from repro.notary.database import NotaryDatabase
+from repro.tlssim.traffic import ObservedLeaf
+from repro.x509.fingerprint import fingerprint
+from repro.x509.pem import PemError, pem_encode
+
+
+@pytest.fixture(scope="module")
+def certificate(factory, catalog):
+    return factory.root_certificate(catalog.all_profiles()[0])
+
+
+@pytest.fixture(scope="module")
+def other_certificate(factory, catalog):
+    return factory.root_certificate(catalog.all_profiles()[1])
+
+
+def make_session(certificates, session_id=1, **overrides):
+    defaults = dict(
+        session_id=session_id,
+        device_tuple=DeviceTuple("T-Online", "1.2.3.4", "GT-I9300", "4.1"),
+        manufacturer="Samsung",
+        model="GT-I9300",
+        os_version="4.1",
+        operator="T-Online",
+        country="DE",
+        rooted=False,
+        root_certificates=tuple(certificates),
+    )
+    defaults.update(overrides)
+    return MeasurementSession(**defaults)
+
+
+class TestResolveCertificate:
+    def test_parsed_payload_passes_through(self, certificate):
+        upload = CertificateUpload.of(certificate)
+        assert resolve_certificate(upload) is certificate
+
+    def test_der_payload_parses(self, certificate):
+        upload = CertificateUpload(payload=certificate.encoded)
+        assert resolve_certificate(upload).encoded == certificate.encoded
+
+    def test_pem_payload_parses(self, certificate):
+        upload = CertificateUpload(payload=pem_encode(certificate.encoded))
+        assert resolve_certificate(upload).encoded == certificate.encoded
+
+    def test_fingerprint_claim_enforced(self, certificate, other_certificate):
+        upload = CertificateUpload(
+            payload=certificate.encoded,
+            claimed_fingerprint=fingerprint(other_certificate),
+        )
+        with pytest.raises(FingerprintMismatchError):
+            resolve_certificate(upload)
+
+    def test_truncated_der_rejected(self, certificate):
+        upload = CertificateUpload(payload=certificate.encoded[:40])
+        with pytest.raises(ValueError):
+            resolve_certificate(upload)
+
+    def test_broken_pem_rejected(self, certificate):
+        pem = pem_encode(certificate.encoded).replace("-----END", "---END")
+        with pytest.raises(PemError):
+            resolve_certificate(CertificateUpload(payload=pem))
+
+
+class TestClassifyError:
+    def test_truncation_classified(self, certificate):
+        upload = CertificateUpload(payload=certificate.encoded[:40])
+        with pytest.raises(ValueError) as excinfo:
+            resolve_certificate(upload)
+        assert classify_error(excinfo.value) is ErrorCategory.TRUNCATED_DER
+
+    def test_pem_classified(self):
+        with pytest.raises(PemError) as excinfo:
+            resolve_certificate(CertificateUpload(payload="no armor here"))
+        assert classify_error(excinfo.value) is ErrorCategory.MALFORMED_PEM
+
+    def test_validity_and_fingerprint_classified(self, certificate):
+        assert (
+            classify_error(ValidityError("x", certificate=certificate))
+            is ErrorCategory.INVALID_VALIDITY
+        )
+        assert (
+            classify_error(FingerprintMismatchError("x"))
+            is ErrorCategory.FINGERPRINT_MISMATCH
+        )
+
+
+class TestQuarantine:
+    def test_error_quarantined_with_fingerprint(self, certificate):
+        quarantine = Quarantine()
+        upload = CertificateUpload(
+            payload=certificate.encoded, claimed_fingerprint="00" * 32
+        )
+        assert ingest_certificate(upload, quarantine, "unit:1") is None
+        (record,) = quarantine.records
+        assert record.category is ErrorCategory.FINGERPRINT_MISMATCH
+        assert record.where == "unit:1"
+        # the record parsed, so its actual fingerprint is recorded
+        assert record.fingerprint == fingerprint(certificate)
+
+    def test_unparseable_record_keeps_excerpt(self, certificate):
+        quarantine = Quarantine()
+        upload = CertificateUpload(payload=b"\x30\x82garbage")
+        assert ingest_certificate(upload, quarantine, "unit:2") is None
+        (record,) = quarantine.records
+        assert record.fingerprint is None
+        assert "garbage" in record.excerpt
+
+    def test_report_is_deterministic(self, certificate):
+        def build() -> str:
+            quarantine = Quarantine()
+            for index in range(3):
+                ingest_certificate(
+                    CertificateUpload(payload=certificate.encoded[:50]),
+                    quarantine,
+                    f"unit:{index}",
+                )
+            return quarantine.report()
+
+        assert build() == build()
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0)
+        assert policy.delays() == (0.1, 0.2, 0.4)
+
+    def test_success_after_transient_failures(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise ConnectionError("transient")
+            return "ok"
+
+        outcome = retry_call(
+            flaky, RetryPolicy(attempts=3), retryable=(ConnectionError,)
+        )
+        assert outcome.result == "ok"
+        assert outcome.attempts_used == 3
+        assert outcome.recovered
+        assert calls == [0, 1, 2]
+
+    def test_exhaustion_raises(self):
+        def dead(attempt):
+            raise ConnectionError("still down")
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry_call(dead, RetryPolicy(attempts=2), retryable=(ConnectionError,))
+        assert excinfo.value.attempts == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        def broken(attempt):
+            raise KeyError("bug")
+
+        with pytest.raises(KeyError):
+            retry_call(broken, RetryPolicy(attempts=5), retryable=(ConnectionError,))
+
+
+class TestFaultInjector:
+    def test_zero_rate_is_a_no_op(self, certificate):
+        injector = FaultInjector(rate=0.0)
+        uploads = [CertificateUpload.of(certificate)]
+        assert injector.corrupt_roots(1, uploads) == uploads
+        assert not injector.should_duplicate(1)
+        assert injector.transient_failures(1, "a:443", attempts=3) == 0
+        assert injector.corrupt_leaf("notary:x", certificate) is None
+        assert injector.ledger == []
+
+    def test_same_seed_same_ledger(self, certificate):
+        def run():
+            injector = FaultInjector(rate=0.5, seed="det")
+            uploads = [CertificateUpload.of(certificate)] * 4
+            for sid in range(20):
+                injector.corrupt_roots(sid, uploads)
+                injector.should_duplicate(sid)
+                injector.transient_failures(sid, "a:443", attempts=3)
+            return injector.ledger
+
+        first, second = run(), run()
+        assert first == second
+        assert any(f.expected_category is not None for f in first)
+
+    def test_different_seeds_differ(self, certificate):
+        def ledger(seed):
+            injector = FaultInjector(rate=0.5, seed=seed)
+            uploads = [CertificateUpload.of(certificate)] * 4
+            for sid in range(30):
+                injector.corrupt_roots(sid, uploads)
+            return injector.ledger
+
+        assert ledger("a") != ledger("b")
+
+    def test_every_cert_kind_produces_expected_category(self, certificate):
+        import random
+
+        injector = FaultInjector(rate=1.0, seed="kinds")
+        claimed = fingerprint(certificate)
+        for kind in CERT_FAULT_KINDS:
+            payload, actual_kind, expected = injector._corrupt_der(
+                certificate.encoded, kind, random.Random(7), claimed
+            )
+            quarantine = Quarantine()
+            upload = CertificateUpload(
+                payload=payload, claimed_fingerprint=claimed
+            )
+            assert ingest_certificate(upload, quarantine, "kind") is None
+            assert quarantine.records[0].category is expected
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(FaultPlan(rate=0.1), rate=0.2)
+
+
+class TestDatasetIngest:
+    def test_pristine_upload_accepted(self, certificate):
+        dataset = NetalyzrDataset()
+        session = make_session([certificate])
+        assert dataset.ingest(SessionUpload.of(session)) is session
+        assert dataset.session_count == 1
+        assert not session.degraded
+        assert len(dataset.quarantine) == 0
+
+    def test_duplicate_session_quarantined(self, certificate):
+        dataset = NetalyzrDataset()
+        dataset.ingest(SessionUpload.of(make_session([certificate], session_id=7)))
+        assert (
+            dataset.ingest(
+                SessionUpload.of(make_session([certificate], session_id=7))
+            )
+            is None
+        )
+        assert dataset.session_count == 1
+        assert dataset.health.duplicate_sessions == 1
+        assert dataset.quarantine.counts() == {ErrorCategory.DUPLICATE_SESSION: 1}
+
+    def test_partially_valid_session_kept_degraded(
+        self, certificate, other_certificate
+    ):
+        dataset = NetalyzrDataset()
+        session = make_session([certificate, other_certificate])
+        upload = SessionUpload(
+            session=session,
+            roots=(
+                CertificateUpload.of(certificate),
+                CertificateUpload(
+                    payload=other_certificate.encoded[:33],
+                    claimed_fingerprint=fingerprint(other_certificate),
+                ),
+            ),
+        )
+        accepted = dataset.ingest(upload)
+        assert accepted is session
+        assert accepted.degraded
+        assert accepted.root_certificates == (certificate,)
+        assert dataset.health.degraded_sessions == 1
+        assert dataset.health.quarantined_certificates == 1
+        (record,) = dataset.quarantine.records
+        assert record.where == "session:1/root:1"
+
+    def test_ingest_never_raises_on_garbage_roots(self, certificate):
+        dataset = NetalyzrDataset()
+        session = make_session([certificate])
+        upload = SessionUpload(
+            session=session,
+            roots=(
+                CertificateUpload(payload=b""),
+                CertificateUpload(payload="not pem"),
+                CertificateUpload(payload=b"\xff" * 64),
+            ),
+        )
+        accepted = dataset.ingest(upload)
+        assert accepted is not None and accepted.degraded
+        assert accepted.root_certificates == ()
+        assert len(dataset.quarantine) == 3
+
+
+class TestNotaryIngest:
+    def test_corrupt_leaf_quarantined_database_untouched(self, certificate):
+        notary = NotaryDatabase()
+        leaf = ObservedLeaf(
+            certificate=certificate, issuer_name="X", expired=False
+        )
+        ok = notary.ingest_leaf(
+            leaf,
+            payload=CertificateUpload(
+                payload=certificate.encoded[:50],
+                claimed_fingerprint=fingerprint(certificate),
+            ),
+            where="notary:unit",
+        )
+        assert not ok
+        assert notary.total_certificates == 0
+        assert not notary.seen_in_traffic(certificate)
+        (record,) = notary.quarantine.records
+        assert record.category is ErrorCategory.TRUNCATED_DER
+
+    def test_valid_leaf_ingested(self, certificate):
+        notary = NotaryDatabase()
+        leaf = ObservedLeaf(
+            certificate=certificate, issuer_name="X", expired=False
+        )
+        assert notary.ingest_leaf(leaf, chain_roots=(certificate,))
+        assert notary.total_certificates == 1
+        assert notary.seen_in_traffic(certificate)
+        assert len(notary.quarantine) == 0
+
+
+class TestCollectorFaults:
+    def test_probe_faults_surface_in_health(self, factory, catalog):
+        from repro.android.population import PopulationConfig, PopulationGenerator
+        from repro.netalyzr import collect_dataset
+
+        population = PopulationGenerator(
+            PopulationConfig(seed="collector-faults", scale=0.01), factory, catalog
+        ).generate()
+        injector = FaultInjector(rate=0.5, seed="collector-faults")
+        dataset = collect_dataset(population, factory, catalog, injector=injector)
+        assert dataset.health.retried_probes > 0
+        assert dataset.health.recovered_probes > 0
+        assert dataset.health.dropped_probes > 0
+        dropped = [
+            f for f in injector.ledger if f.kind is FaultKind.DROPPED_PROBE
+        ]
+        assert len(dropped) == dataset.health.dropped_probes
+        by_where = dataset.quarantine.by_where()
+        for fault in dropped:
+            assert by_where[fault.where].category is ErrorCategory.PROBE_FAILURE
+
+    def test_transient_failures_keep_probe_results(self, factory, catalog):
+        """A recovered probe yields the same DomainProbe as a clean run."""
+        from repro.android.population import PopulationConfig, PopulationGenerator
+        from repro.netalyzr import collect_dataset
+
+        population = PopulationGenerator(
+            PopulationConfig(seed="collector-faults", scale=0.01), factory, catalog
+        ).generate()
+        clean = collect_dataset(population, factory, catalog)
+        injector = FaultInjector(rate=0.5, seed="collector-faults")
+        faulty = collect_dataset(population, factory, catalog, injector=injector)
+        clean_by_id = {s.session_id: s for s in clean.sessions}
+        recovered_wheres = {
+            f.where
+            for f in injector.ledger
+            if f.kind is FaultKind.TRANSIENT_HANDSHAKE
+        }
+        checked = 0
+        for session in faulty.sessions:
+            for probe in session.probes:
+                where = f"session:{session.session_id}/probe:{probe.hostport}"
+                if where not in recovered_wheres:
+                    continue
+                clean_probe = next(
+                    p
+                    for p in clean_by_id[session.session_id].probes
+                    if p.hostport == probe.hostport
+                )
+                assert probe.validation.trusted == clean_probe.validation.trusted
+                assert probe.chain == clean_probe.chain
+                checked += 1
+        assert checked > 0
+
+
+class TestHealthCounters:
+    def test_merge_sums_every_field(self):
+        from repro.faults import IngestHealth
+
+        left = IngestHealth(accepted_sessions=2, dropped_probes=1)
+        right = IngestHealth(accepted_sessions=3, retried_probes=4)
+        merged = left.merge(right)
+        assert merged.accepted_sessions == 5
+        assert merged.dropped_probes == 1
+        assert merged.retried_probes == 4
+        for spec in dataclasses.fields(merged):
+            assert getattr(merged, spec.name) == getattr(
+                left, spec.name
+            ) + getattr(right, spec.name)
