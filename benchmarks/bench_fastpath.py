@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Fast-path benchmark: serial vs. cached vs. cached+parallel.
+
+Times the study's two hottest artifacts — Table 3 (per-store validation
+counts) and Figure 3 (per-root validation ECDFs) — against the same
+Notary in three configurations:
+
+* **serial** — fast path disabled: every RSA signature check runs from
+  first principles, as the pre-fast-path engine did;
+* **cached** — the verification cache and the Notary's derived indexes
+  on, single process (caches start cold);
+* **parallel** — caches on (cold) plus the chunked process-pool
+  executor for the per-root sweeps.
+
+Every phase must produce identical tables/figures; the harness asserts
+this before reporting a single number. Results land in
+``BENCH_fastpath.json``. Run standalone::
+
+    python benchmarks/bench_fastpath.py --scales 1 4 --workers 4
+
+``--fail-below R`` exits non-zero when the cached+parallel speedup over
+serial drops below R (CI uses 1.0: the fast path must never lose).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.figures import figure3_ecdf, store_categories
+from repro.analysis.tables import table3_validated_counts
+from repro.crypto.cache import default_verification_cache, fastpath_disabled
+from repro.notary import build_notary
+from repro.parallel import ParallelExecutor, resolve_workers
+from repro.rootstore import CertificateFactory, build_platform_stores
+from repro.rootstore.catalog import default_catalog
+
+SEED = "bench-universe"
+
+
+def _workload(stores, categories, notary, executor=None):
+    """Table 3 + Figure 3 — the paper's Notary-bound artifacts."""
+    table3 = table3_validated_counts(stores, notary)
+    figure3 = figure3_ecdf(categories, notary, executor=executor)
+    return table3, figure3
+
+
+def _cold_start(notary) -> None:
+    """Reset every memo layer so a phase starts from scratch."""
+    default_verification_cache().clear()
+    notary.reset_fastpath()
+
+
+def bench_scale(scale: float, workers: int) -> dict:
+    """Benchmark one notary scale; returns the result record."""
+    factory = CertificateFactory(seed=SEED)
+    catalog = default_catalog()
+    stores = build_platform_stores(factory, catalog)
+
+    build_start = time.perf_counter()
+    notary = build_notary(factory, catalog, scale=scale)
+    build_seconds = time.perf_counter() - build_start
+    # Store-only categories: without session extras the "additional
+    # certs" buckets are empty and carry no ECDF — drop them.
+    categories = {
+        label: roots
+        for label, roots in store_categories(
+            stores.aosp, stores.mozilla, stores.ios7, []
+        ).items()
+        if roots
+    }
+
+    with fastpath_disabled():
+        serial_start = time.perf_counter()
+        serial_result = _workload(stores, categories, notary)
+        serial_seconds = time.perf_counter() - serial_start
+
+    _cold_start(notary)
+    cached_start = time.perf_counter()
+    cached_result = _workload(stores, categories, notary)
+    cached_seconds = time.perf_counter() - cached_start
+    cache_stats = default_verification_cache().stats()
+
+    _cold_start(notary)
+    executor = ParallelExecutor(workers=workers)
+    parallel_start = time.perf_counter()
+    parallel_result = _workload(stores, categories, notary, executor=executor)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    assert cached_result == serial_result, "cached phase changed the results"
+    assert parallel_result == serial_result, "parallel phase changed the results"
+
+    return {
+        "scale": scale,
+        "leaves": notary.total_certificates,
+        "build_s": round(build_seconds, 3),
+        "serial_s": round(serial_seconds, 3),
+        "cached_s": round(cached_seconds, 3),
+        "parallel_s": round(parallel_seconds, 3),
+        "speedup_cached": round(serial_seconds / cached_seconds, 2),
+        "speedup_parallel": round(serial_seconds / parallel_seconds, 2),
+        "cache": cache_stats.to_dict(),
+        "notary_indexes": notary.fastpath_index_sizes(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", type=float, nargs="+", default=[1.0, 4.0],
+        help="notary traffic scales to benchmark (default: 1 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="workers for the parallel phase (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fastpath.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--fail-below", type=float, default=None, metavar="RATIO",
+        help="exit 1 if any scale's cached+parallel speedup over serial "
+        "is below RATIO",
+    )
+    args = parser.parse_args(argv)
+    workers = resolve_workers(args.workers)
+
+    records = []
+    for scale in args.scales:
+        print(f"benchmarking notary_scale={scale} (workers={workers}) ...")
+        record = bench_scale(scale, workers)
+        records.append(record)
+        print(
+            f"  leaves={record['leaves']:,} "
+            f"serial={record['serial_s']}s "
+            f"cached={record['cached_s']}s (x{record['speedup_cached']}) "
+            f"parallel={record['parallel_s']}s (x{record['speedup_parallel']})"
+        )
+
+    payload = {
+        "benchmark": "fastpath",
+        "seed": SEED,
+        "workers": workers,
+        "workload": "table3_validated_counts + figure3_ecdf",
+        "scales": records,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.fail_below is not None:
+        slow = [
+            record for record in records
+            if record["speedup_parallel"] < args.fail_below
+        ]
+        if slow:
+            for record in slow:
+                print(
+                    f"FAIL: scale {record['scale']}: cached+parallel speedup "
+                    f"{record['speedup_parallel']} < {args.fail_below}",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

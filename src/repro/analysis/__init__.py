@@ -18,6 +18,7 @@ Figure 3   per-root validation ECDFs                              :mod:`.ecdf`
 =========  =====================================================  ==================
 """
 
+from repro.analysis.errors import AnalysisError, UnknownVersionError
 from repro.analysis.sessions import SessionDiff, SessionDiffer
 from repro.analysis.classify import PresenceClassifier
 from repro.analysis.ecdf import cumulative_coverage, ecdf_points
@@ -25,8 +26,8 @@ from repro.analysis.rooted import RootedDeviceAnalysis
 from repro.analysis.interception import InterceptionFinding, detect_interception
 from repro.analysis.figures import figure1_scatter, figure2_matrix, figure3_ecdf
 from repro.analysis import tables
-from repro.analysis.report import render_study_report
-from repro.analysis.study import StudyConfig, StudyResult, run_study
+from repro.analysis.report import render_fastpath, render_study_report
+from repro.analysis.study import FastPathStats, StudyConfig, StudyResult, run_study
 from repro.analysis.evolution import classify_additions, store_changelog
 from repro.analysis.stats import (
     Estimate,
@@ -41,6 +42,8 @@ from repro.analysis.geography import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "UnknownVersionError",
     "SessionDiff",
     "SessionDiffer",
     "PresenceClassifier",
@@ -53,7 +56,9 @@ __all__ = [
     "figure2_matrix",
     "figure3_ecdf",
     "tables",
+    "render_fastpath",
     "render_study_report",
+    "FastPathStats",
     "StudyConfig",
     "StudyResult",
     "run_study",

@@ -1,0 +1,31 @@
+"""Typed errors raised by the analysis pipeline."""
+
+from __future__ import annotations
+
+
+class AnalysisError(Exception):
+    """Base class for recoverable analysis failures.
+
+    Bulk operations (``SessionDiffer.diff_all``) catch this class to
+    quarantine the offending record and continue; anything else is a
+    genuine bug and propagates.
+    """
+
+
+class UnknownVersionError(AnalysisError, KeyError):
+    """A session reports an Android version with no AOSP reference.
+
+    Subclasses ``KeyError`` too, so callers that historically caught the
+    bare mapping error keep working.
+    """
+
+    def __init__(self, version: str, session_id: str = ""):
+        message = f"no AOSP reference for version {version!r}"
+        if session_id:
+            message += f" (session {session_id})"
+        super().__init__(message)
+        self.version = version
+        self.session_id = session_id
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]

@@ -10,6 +10,7 @@ from repro.analysis.ecdf import ecdf_points, fraction_zero
 from repro.analysis.sessions import SessionDiff
 from repro.notary.database import NotaryDatabase
 from repro.notary.validation import validation_counts_by_root
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import StorePresence
 from repro.rootstore.store import RootStore
 from repro.x509.fingerprint import equivalence_key, identity_key
@@ -180,6 +181,8 @@ class Figure3Series:
 def figure3_ecdf(
     categories: dict[str, list],
     notary: NotaryDatabase,
+    *,
+    executor: ParallelExecutor | None = None,
 ) -> list[Figure3Series]:
     """Compute one ECDF per root-store category.
 
@@ -188,7 +191,7 @@ def figure3_ecdf(
     """
     series = []
     for label, roots in categories.items():
-        counts = validation_counts_by_root(notary, roots)
+        counts = validation_counts_by_root(notary, roots, executor=executor)
         series.append(
             Figure3Series(
                 label=label,

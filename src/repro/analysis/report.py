@@ -198,6 +198,34 @@ def render_ingest_health(result: StudyResult) -> str:
     return out.getvalue()
 
 
+def render_fastpath(result: StudyResult) -> str:
+    """Fast-path statistics of one run (cache hits, memo sizes).
+
+    Deliberately *not* part of :func:`render_study_report`: the default
+    report must be byte-identical across worker counts and fast-path
+    modes, while these counters legitimately differ (a parallel run
+    accumulates hits in forked children the parent never sees). Shown
+    on demand via ``repro study --perf``.
+    """
+    out = StringIO()
+    _rule(out, "Fast path: verification cache and Notary indexes")
+    stats = result.fastpath
+    if stats is None:
+        out.write("  (fast-path statistics not captured)\n")
+        return out.getvalue()
+    state = "enabled" if stats.enabled else "disabled"
+    out.write(f"  fast path {state}, workers={stats.workers}\n")
+    cache = stats.cache
+    out.write(
+        f"  verification cache: {cache.hits:,} hits / "
+        f"{cache.misses:,} misses ({cache.hit_rate:.1%} hit rate), "
+        f"{cache.entries:,} entries\n"
+    )
+    for name, size in sorted(stats.notary_indexes.items()):
+        out.write(f"  notary {name:<18} {size:>7,} memo(s)\n")
+    return out.getvalue()
+
+
 def render_study_report(result: StudyResult) -> str:
     """The full study report."""
     out = StringIO()

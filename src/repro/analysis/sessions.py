@@ -5,14 +5,26 @@ AOSP store for the session's Android version (§4.1), yielding the AOSP
 count, the additional certificates and any missing ones. All downstream
 analyses (Figures 1-2, §5's 39 % statistic, the rooted study) consume
 these per-session diffs.
+
+``diff_all`` is wild-data safe: a session whose Android version has no
+AOSP reference (an :class:`~repro.analysis.errors.AnalysisError`) is
+dead-lettered in the dataset's quarantine instead of aborting the whole
+corpus. It also fans out over a
+:class:`repro.parallel.ParallelExecutor`; workers report additional
+certificates as *indices* into each session's store, so only small
+integer tuples cross the process boundary and the reassembled diffs
+reference the parent's own certificate objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.errors import AnalysisError, UnknownVersionError
+from repro.faults.quarantine import ErrorCategory
 from repro.netalyzr.dataset import NetalyzrDataset
 from repro.netalyzr.session import MeasurementSession
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.store import RootStore
 from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import equivalence_key, identity_key
@@ -38,6 +50,27 @@ class SessionDiff:
         return len(self.additional)
 
 
+#: Picklable diff skeleton: (aosp_count, additional indices, missing).
+_DiffParts = tuple[int, tuple[int, ...], int]
+
+
+def _diff_chunk(payload: object, chunk: range) -> list:
+    """Diff one chunk of sessions (worker entry point).
+
+    Returns, per session, either ``("ok", parts)`` or
+    ``("err", detail)`` — never raises, so one bad record cannot take
+    down a worker (and with it the whole parallel map).
+    """
+    differ, sessions = payload
+    out = []
+    for index in chunk:
+        try:
+            out.append(("ok", differ._diff_parts(sessions[index])))
+        except AnalysisError as exc:
+            out.append(("err", str(exc)))
+    return out
+
+
 class SessionDiffer:
     """Diffs sessions against the per-version AOSP references.
 
@@ -58,33 +91,75 @@ class SessionDiffer:
             )
             self._sizes[version] = len(certificates)
 
-    def diff(self, session: MeasurementSession) -> SessionDiff:
-        """Diff one session against its version's AOSP store."""
+    def _diff_parts(self, session: MeasurementSession) -> _DiffParts:
+        """The diff, with additional certificates as session indices."""
         version = session.os_version
         if version not in self._strict:
-            raise KeyError(f"no AOSP reference for version {version!r}")
+            raise UnknownVersionError(version, str(session.session_id))
         strict = self._strict[version]
         equivalent = self._equivalent[version]
-        additional: list[Certificate] = []
+        additional: list[int] = []
         aosp_count = 0
-        for certificate in session.root_certificates:
+        for index, certificate in enumerate(session.root_certificates):
             if identity_key(certificate) in strict:
                 aosp_count += 1
             elif equivalence_key(certificate) in equivalent:
                 aosp_count += 1  # §4.2: re-issued AOSP root, still "AOSP"
             else:
-                additional.append(certificate)
+                additional.append(index)
         missing = self._sizes[version] - aosp_count
+        return aosp_count, tuple(additional), max(missing, 0)
+
+    def _assemble(self, session: MeasurementSession, parts: _DiffParts) -> SessionDiff:
+        aosp_count, additional_indices, missing_count = parts
         return SessionDiff(
             session=session,
             aosp_count=aosp_count,
-            additional=tuple(additional),
-            missing_count=max(missing, 0),
+            additional=tuple(
+                session.root_certificates[index] for index in additional_indices
+            ),
+            missing_count=missing_count,
         )
 
-    def diff_all(self, dataset: NetalyzrDataset) -> list[SessionDiff]:
-        """Diff every session in a dataset."""
-        return [self.diff(session) for session in dataset.sessions]
+    def diff(self, session: MeasurementSession) -> SessionDiff:
+        """Diff one session against its version's AOSP store.
+
+        Raises :class:`~repro.analysis.errors.UnknownVersionError` when
+        the session's Android version has no AOSP reference.
+        """
+        return self._assemble(session, self._diff_parts(session))
+
+    def diff_all(
+        self,
+        dataset: NetalyzrDataset,
+        *,
+        executor: ParallelExecutor | None = None,
+    ) -> list[SessionDiff]:
+        """Diff every session in a dataset.
+
+        Sessions that fail with an :class:`AnalysisError` are
+        dead-lettered in ``dataset.quarantine`` (category
+        ``malformed-record``) and skipped, so a fault-injected corpus
+        diffs end to end. Results and quarantine records are in session
+        order at any worker count.
+        """
+        sessions = dataset.sessions
+        if executor is None:
+            executor = ParallelExecutor()
+        outcomes = executor.map_chunked(
+            _diff_chunk, (self, sessions), len(sessions)
+        )
+        diffs: list[SessionDiff] = []
+        for session, (status, value) in zip(sessions, outcomes):
+            if status == "ok":
+                diffs.append(self._assemble(session, value))
+            else:
+                dataset.quarantine.add(
+                    ErrorCategory.MALFORMED_RECORD,
+                    f"session:{session.session_id}/diff",
+                    value,
+                )
+        return diffs
 
 
 def extended_fraction(diffs: list[SessionDiff]) -> float:

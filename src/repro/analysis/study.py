@@ -7,6 +7,7 @@ population → Netalyzr collection → Notary → analyses — and returns a
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.analysis import tables as tables_mod
@@ -29,11 +30,13 @@ from repro.analysis.sessions import (
     handsets_missing_certificates,
 )
 from repro.android.population import Population, PopulationConfig, PopulationGenerator
+from repro.crypto.cache import CacheStats, default_verification_cache, fastpath_disabled
 from repro.faults.injector import FaultInjector
 from repro.faults.quarantine import IngestHealth, Quarantine
 from repro.netalyzr.collector import collect_dataset
 from repro.netalyzr.dataset import NetalyzrDataset
 from repro.notary.database import NotaryDatabase, build_notary
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.vendors import PlatformStores, build_platform_stores
@@ -53,6 +56,29 @@ class StudyConfig:
     fault_rate: float = 0.0
     #: seed of the fault-injection RNG streams; defaults to ``seed``.
     fault_seed: str = ""
+    #: worker processes for the hot analysis queries (1 = serial; the
+    #: report is byte-identical at any count).
+    workers: int = 1
+    #: memoization fast path (verification cache + Notary indexes);
+    #: disabling it reruns every RSA check from first principles.
+    fastpath: bool = True
+
+
+@dataclass(frozen=True)
+class FastPathStats:
+    """Fast-path bookkeeping of one study run.
+
+    Never rendered in the default study report (which must stay
+    byte-identical across fast-path modes and worker counts); surfaced
+    on demand via ``render_fastpath`` / ``repro study --perf``.
+    """
+
+    workers: int
+    enabled: bool
+    #: verification-cache activity during this run (delta, not lifetime).
+    cache: CacheStats
+    #: sizes of the Notary's derived memo layers after the run.
+    notary_indexes: dict[str, int]
 
 
 @dataclass
@@ -94,6 +120,9 @@ class StudyResult:
     # fault injection / ingest health
     fault_injector: FaultInjector | None = None
 
+    # fast-path bookkeeping (not part of the rendered report)
+    fastpath: FastPathStats | None = None
+
     @property
     def ingest_health(self) -> IngestHealth:
         """The dataset's ingest counters (§4.1 corpus side)."""
@@ -108,47 +137,69 @@ class StudyResult:
 
 
 def run_study(config: StudyConfig | None = None) -> StudyResult:
-    """Run the full reproduction pipeline."""
-    config = config or StudyConfig()
-    factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
-    catalog = default_catalog()
+    """Run the full reproduction pipeline.
 
-    injector: FaultInjector | None = None
-    if config.fault_rate > 0:
-        injector = FaultInjector(
-            rate=config.fault_rate, seed=config.fault_seed or config.seed
+    The report-bearing output is byte-identical for any ``workers``
+    count and with the fast path on or off; only the wall-clock time
+    and the :class:`FastPathStats` bookkeeping differ.
+    """
+    config = config or StudyConfig()
+    guard = nullcontext() if config.fastpath else fastpath_disabled()
+    cache = default_verification_cache()
+    baseline = cache.stats()
+    with guard:
+        factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
+        catalog = default_catalog()
+
+        injector: FaultInjector | None = None
+        if config.fault_rate > 0:
+            injector = FaultInjector(
+                rate=config.fault_rate, seed=config.fault_seed or config.seed
+            )
+
+        stores = build_platform_stores(factory, catalog)
+        population = PopulationGenerator(
+            PopulationConfig(seed=config.seed, scale=config.population_scale),
+            factory,
+            catalog,
+        ).generate()
+        dataset = collect_dataset(population, factory, catalog, injector=injector)
+        notary = build_notary(
+            factory, catalog, scale=config.notary_scale, injector=injector
         )
 
-    stores = build_platform_stores(factory, catalog)
-    population = PopulationGenerator(
-        PopulationConfig(seed=config.seed, scale=config.population_scale),
-        factory,
-        catalog,
-    ).generate()
-    dataset = collect_dataset(population, factory, catalog, injector=injector)
-    notary = build_notary(
-        factory, catalog, scale=config.notary_scale, injector=injector
+        result = StudyResult(
+            config=config,
+            stores=stores,
+            population=population,
+            dataset=dataset,
+            notary=notary,
+            diffs=[],
+            fault_injector=injector,
+        )
+        analyze(result, catalog, executor=ParallelExecutor(workers=config.workers))
+    result.fastpath = FastPathStats(
+        workers=config.workers,
+        enabled=config.fastpath,
+        cache=cache.stats().since(baseline),
+        notary_indexes=notary.fastpath_index_sizes(),
     )
-
-    result = StudyResult(
-        config=config,
-        stores=stores,
-        population=population,
-        dataset=dataset,
-        notary=notary,
-        diffs=[],
-        fault_injector=injector,
-    )
-    analyze(result, catalog)
     return result
 
 
-def analyze(result: StudyResult, catalog: CaCatalog | None = None) -> None:
+def analyze(
+    result: StudyResult,
+    catalog: CaCatalog | None = None,
+    *,
+    executor: ParallelExecutor | None = None,
+) -> None:
     """Run every analysis stage over an assembled StudyResult in place."""
     stores, dataset, notary = result.stores, result.dataset, result.notary
+    if executor is None:
+        executor = ParallelExecutor()
 
     differ = SessionDiffer(stores.aosp)
-    result.diffs = differ.diff_all(dataset)
+    result.diffs = differ.diff_all(dataset, executor=executor)
     classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
 
     # headline scalars
@@ -174,7 +225,9 @@ def analyze(result: StudyResult, catalog: CaCatalog | None = None) -> None:
     result.table1 = tables_mod.table1_store_sizes(stores)
     result.table2 = tables_mod.table2_top_devices(dataset)
     result.table3 = tables_mod.table3_validated_counts(stores, notary)
-    result.table4 = tables_mod.table4_category_offsets(categories, notary)
+    result.table4 = tables_mod.table4_category_offsets(
+        categories, notary, executor=executor
+    )
     result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
     result.table5 = tables_mod.table5_rooted_cas(result.rooted)
     result.interceptions = detect_interception(dataset.sessions, classifier)
@@ -183,7 +236,7 @@ def analyze(result: StudyResult, catalog: CaCatalog | None = None) -> None:
     # figures
     result.figure1 = figure1_scatter(result.diffs)
     result.figure2 = figure2_matrix(result.diffs, classifier)
-    result.figure3 = figure3_ecdf(categories, notary)
+    result.figure3 = figure3_ecdf(categories, notary, executor=executor)
 
     # §5.2 geography
     from repro.analysis.geography import certificate_footprints, detect_roaming

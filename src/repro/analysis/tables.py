@@ -13,6 +13,7 @@ from repro.notary.validation import (
     store_validation_count,
     validation_counts_by_root,
 )
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.vendors import PlatformStores
 
 
@@ -81,7 +82,10 @@ class Table4Row:
 
 
 def table4_category_offsets(
-    categories: dict[str, list], notary: NotaryDatabase
+    categories: dict[str, list],
+    notary: NotaryDatabase,
+    *,
+    executor: ParallelExecutor | None = None,
 ) -> list[Table4Row]:
     """Table 4: per-category root counts and validate-nothing fractions.
 
@@ -101,7 +105,7 @@ def table4_category_offsets(
     rows = []
     for label in order:
         roots = categories[label]
-        counts = validation_counts_by_root(notary, roots)
+        counts = validation_counts_by_root(notary, roots, executor=executor)
         rows.append(
             Table4Row(
                 category=label,

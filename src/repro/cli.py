@@ -166,6 +166,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.study import StudyConfig, StudyResult, analyze
     from repro.android.population import Population
     from repro.netalyzr.serialization import DatasetError, load_dataset
+    from repro.parallel import ParallelExecutor, resolve_workers
 
     try:
         dataset = load_dataset(args.dataset, resilient=not args.strict)
@@ -182,7 +183,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         notary=notary,
         diffs=[],
     )
-    analyze(result)
+    analyze(result, executor=ParallelExecutor(workers=resolve_workers(args.workers)))
     print(render_study_report(result))
     if len(dataset.quarantine):
         _print_ingest_health(dataset)
@@ -191,6 +192,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_study(args: argparse.Namespace) -> int:
     """Run the full study and print (or write) the report."""
+    from repro.parallel import resolve_workers
+
     result = run_study(
         StudyConfig(
             seed=args.seed,
@@ -198,6 +201,8 @@ def cmd_study(args: argparse.Namespace) -> int:
             notary_scale=args.notary_scale,
             fault_rate=args.fault_rate,
             fault_seed=args.fault_seed,
+            workers=resolve_workers(args.workers),
+            fastpath=not args.no_fastpath,
         )
     )
     if args.html:
@@ -210,6 +215,10 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     else:
         print(render_study_report(result))
+    if args.perf:
+        from repro.analysis.report import render_fastpath
+
+        print(render_fastpath(result))
     return 0
 
 
@@ -282,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
         return value
 
+    def add_workers_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for the analysis queries "
+            "(0 = one per CPU; the report is identical at any count)",
+        )
+
     def add_fault_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--fault-rate", type=fault_rate, default=0.0,
@@ -305,12 +321,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="abort on any damaged record instead of quarantining it",
     )
+    add_workers_option(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     study = commands.add_parser("study", help=cmd_study.__doc__)
     study.add_argument("--scale", type=float, default=0.25)
     study.add_argument("--notary-scale", type=float, default=0.5)
     study.add_argument("--html", help="write an HTML report to this path")
+    add_workers_option(study)
+    study.add_argument(
+        "--no-fastpath", action="store_true",
+        help="bypass the verification cache and Notary indexes "
+        "(first-principles mode; same report, much slower)",
+    )
+    study.add_argument(
+        "--perf", action="store_true",
+        help="append fast-path statistics (cache hit rates, memo sizes)",
+    )
     add_fault_options(study)
     study.set_defaults(func=cmd_study)
 

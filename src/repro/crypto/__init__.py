@@ -11,8 +11,20 @@ from repro.crypto.rng import DeterministicRandom, derive_random
 from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_keypair
 from repro.crypto.pkcs1 import SignatureError, sign, verify
 from repro.crypto.hashes import digest, hash_names
+from repro.crypto.cache import (
+    CacheStats,
+    VerificationCache,
+    default_verification_cache,
+    fastpath_disabled,
+    fastpath_enabled,
+)
 
 __all__ = [
+    "CacheStats",
+    "VerificationCache",
+    "default_verification_cache",
+    "fastpath_disabled",
+    "fastpath_enabled",
     "DeterministicRandom",
     "derive_random",
     "generate_prime",

@@ -1,0 +1,172 @@
+"""Memoized signature verification — the study engine's fast path.
+
+The paper's validation-count queries (Tables 3-4, Figure 3) ask "does
+this issuer key verify this certificate?" for the same (key, leaf)
+pairs over and over: every store shares most of its roots with every
+other store, and every category of Figure 3 re-walks the same leaves.
+A full RSASSA-PKCS1-v1_5 verification costs a modular exponentiation
+plus a DER DigestInfo construction; the answer never changes for fixed
+inputs, so one dict lookup replaces all repeats.
+
+The cache key is ``(issuer modulus, issuer exponent, SHA-256 of the
+TBS bytes, signature octets)``. This is sound because the verification
+outcome is a pure function of exactly those inputs: the hash algorithm
+the signature commits to is itself encoded *inside* the TBS bytes, so
+two certificates with equal TBS digests and signatures necessarily
+declare the same algorithm.
+
+A process-wide default cache backs :func:`repro.x509.verify.
+verify_signature` (and through it the chain verifier and the Notary).
+The :func:`fastpath_disabled` context manager turns both this cache and
+the Notary's derived indexes off, which the benchmark harness uses to
+measure the uncached baseline and the acceptance tests use to prove
+reports are byte-identical with and without the fast path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.crypto.pkcs1 import SignatureError, verify as pkcs1_verify
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one :class:`VerificationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """The delta accumulated after *baseline* was snapshotted."""
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            entries=self.entries,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the benchmark harness)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def _raw_verify(certificate, issuer_key) -> bool:
+    """Uncached PKCS#1 verification of a certificate's signature."""
+    try:
+        pkcs1_verify(
+            issuer_key,
+            certificate.signature_hash,
+            certificate.tbs_encoded,
+            certificate.signature,
+        )
+    except SignatureError:
+        return False
+    return True
+
+
+class VerificationCache:
+    """Memoizes certificate-signature verification outcomes.
+
+    Entries are never invalidated: a verification verdict for fixed
+    (key, TBS, signature) inputs cannot change. ``enabled=False`` makes
+    :meth:`verify` a pass-through to the raw RSA check (no reads, no
+    writes, no counter updates), so a disabled cache is indistinguishable
+    from no cache at all.
+    """
+
+    __slots__ = ("enabled", "hits", "misses", "_store")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._store: dict[tuple[int, int, bytes, bytes], bool] = {}
+
+    @staticmethod
+    def key(certificate, issuer_key) -> tuple[int, int, bytes, bytes]:
+        """The memoization key for one (certificate, issuer key) pair."""
+        return (
+            issuer_key.modulus,
+            issuer_key.exponent,
+            certificate.tbs_sha256,
+            certificate.signature,
+        )
+
+    def verify(self, certificate, issuer_key) -> bool:
+        """Whether *issuer_key* verifies *certificate*'s signature."""
+        if not self.enabled:
+            return _raw_verify(certificate, issuer_key)
+        key = self.key(certificate, issuer_key)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = _raw_verify(certificate, issuer_key)
+        self._store[key] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the current counters."""
+        return CacheStats(
+            hits=self.hits, misses=self.misses, entries=len(self._store)
+        )
+
+
+#: The process-wide cache behind ``verify_signature`` and the Notary.
+_DEFAULT_CACHE = VerificationCache()
+
+
+def default_verification_cache() -> VerificationCache:
+    """The process-wide verification cache."""
+    return _DEFAULT_CACHE
+
+
+def fastpath_enabled() -> bool:
+    """Whether the memoization fast path is currently on.
+
+    The Notary's derived indexes (root→leaf sets, count memos) key off
+    this too, so one switch controls every memoization layer.
+    """
+    return _DEFAULT_CACHE.enabled
+
+
+@contextmanager
+def fastpath_disabled():
+    """Run a block with every verification/index cache bypassed.
+
+    Used by the benchmark harness for the uncached serial baseline and
+    by tests proving fast-path results match first-principles ones.
+    """
+    previous = _DEFAULT_CACHE.enabled
+    _DEFAULT_CACHE.enabled = False
+    try:
+        yield
+    finally:
+        _DEFAULT_CACHE.enabled = previous

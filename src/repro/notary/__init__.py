@@ -13,6 +13,7 @@ queries the paper issues against it:
 
 from repro.notary.database import NotaryDatabase, build_notary
 from repro.notary.validation import (
+    fraction_validating_nothing,
     store_validation_count,
     validation_counts_by_root,
 )
@@ -21,6 +22,7 @@ from repro.notary.reports import EcosystemReport, ecosystem_report
 __all__ = [
     "NotaryDatabase",
     "build_notary",
+    "fraction_validating_nothing",
     "store_validation_count",
     "validation_counts_by_root",
     "EcosystemReport",

@@ -1,11 +1,33 @@
-"""The Notary's certificate database and record queries."""
+"""The Notary's certificate database and record queries.
+
+Validation queries run on a layered fast path:
+
+1. every RSA signature check goes through the process-wide
+   :class:`repro.crypto.cache.VerificationCache` (one modular
+   exponentiation per distinct (key, TBS, signature) triple, ever);
+2. the set of leaves an anchor validates is memoized per anchor
+   (``_under_cache``), so store-level queries stop re-walking and
+   re-verifying per store;
+3. per-root counts are memoized on top (``_count_cache``).
+
+Both notary-level memos key on the anchor's *identity and subject* —
+``(modulus, exponent, signature, subject)`` — because ``_leaves_under``
+matches anchors by subject name before it verifies by key: two roots
+sharing a key but carrying different subjects (cross-signed variants)
+validate different leaf sets and must never share a cache line.
+
+Ingesting a leaf invalidates incrementally: only the anchor subjects
+the new observation can affect (its issuer subject, plus the issuers of
+any observed intermediate carrying that subject) are dropped, not the
+whole memo. The verification cache itself never needs invalidation —
+signature verdicts are immutable facts.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.crypto.pkcs1 import SignatureError
-from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.cache import fastpath_enabled
 from repro.faults.ingest import CertificateUpload, ingest_certificate
 from repro.faults.injector import FaultInjector
 from repro.faults.quarantine import Quarantine
@@ -15,7 +37,16 @@ from repro.rootstore.store import RootStore
 from repro.tlssim.traffic import ObservedLeaf, TlsTrafficGenerator
 from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import identity_key
-from repro.x509.verify import verify_certificate_signature
+from repro.x509.verify import verify_signature
+
+#: Cache key of one trust anchor: key identity *and* subject (see
+#: module docstring for why the subject must participate).
+AnchorKey = tuple[int, int, bytes, object]
+
+
+def _anchor_key(anchor: Certificate) -> AnchorKey:
+    key = anchor.public_key
+    return (key.modulus, key.exponent, anchor.signature, anchor.subject.normalized())
 
 
 @dataclass
@@ -32,16 +63,25 @@ class NotaryDatabase:
     leaves: list[ObservedLeaf] = field(default_factory=list)
     #: identity-key set of every certificate ever observed in traffic.
     _observed: set[tuple[int, bytes]] = field(default_factory=set)
-    #: leaves indexed by issuer subject (normalized) for fast validation.
-    _by_issuer: dict[object, list[ObservedLeaf]] = field(default_factory=dict)
+    #: leaf indices (into :attr:`leaves`) by issuer subject (normalized).
+    _by_issuer: dict[object, list[int]] = field(default_factory=dict)
+    #: identity key of each leaf, aligned with :attr:`leaves`.
+    _leaf_identity: list[tuple[int, bytes]] = field(default_factory=list)
     #: observed intermediates indexed by *their* issuer subject.
     _intermediates_by_issuer: dict[object, list[Certificate]] = field(
         default_factory=dict
     )
+    #: issuer subjects of observed intermediates, by intermediate subject
+    #: (the reverse edge incremental invalidation walks).
+    _intermediate_issuers: dict[object, set[object]] = field(default_factory=dict)
     #: registered store certificates (known, but not traffic-observed).
     _registered: set[tuple[int, bytes]] = field(default_factory=set)
-    #: memoized per-root-key validation counts.
-    _count_cache: dict[tuple[int, int, bool], int] = field(default_factory=dict)
+    #: memoized leaf-index sets per anchor (the root→leaf-set index).
+    _under_cache: dict[AnchorKey, tuple[int, ...]] = field(default_factory=dict)
+    #: memoized per-anchor validation counts.
+    _count_cache: dict[tuple[AnchorKey, bool], int] = field(default_factory=dict)
+    #: cached anchor keys grouped by anchor subject, for invalidation.
+    _anchors_by_subject: dict[object, set[AnchorKey]] = field(default_factory=dict)
     #: dead-letter list of observations that failed validation.
     quarantine: Quarantine = field(default_factory=Quarantine)
 
@@ -49,20 +89,34 @@ class NotaryDatabase:
 
     def observe_leaf(self, leaf: ObservedLeaf, chain_roots: tuple[Certificate, ...] = ()) -> None:
         """Record one leaf (and any chain certificates seen with it)."""
+        index = len(self.leaves)
         self.leaves.append(leaf)
-        self._observed.add(identity_key(leaf.certificate))
-        key = leaf.certificate.issuer.normalized()
-        self._by_issuer.setdefault(key, []).append(leaf)
+        leaf_key = identity_key(leaf.certificate)
+        self._leaf_identity.append(leaf_key)
+        self._observed.add(leaf_key)
+        issuer_subject = leaf.certificate.issuer.normalized()
+        self._by_issuer.setdefault(issuer_subject, []).append(index)
+        touched = {issuer_subject}
         for intermediate in leaf.intermediates:
             inter_key = identity_key(intermediate)
             if inter_key not in self._observed:
                 self._observed.add(inter_key)
+                inter_issuer = intermediate.issuer.normalized()
                 self._intermediates_by_issuer.setdefault(
-                    intermediate.issuer.normalized(), []
+                    inter_issuer, []
                 ).append(intermediate)
+                self._intermediate_issuers.setdefault(
+                    intermediate.subject.normalized(), set()
+                ).add(inter_issuer)
+                # A new intermediate can connect its issuer's anchors to
+                # leaves already observed under the intermediate's subject.
+                touched.add(inter_issuer)
         for root in chain_roots:
             self._observed.add(identity_key(root))
-        self._count_cache.clear()
+        # Anchors reaching this leaf through an already-observed
+        # intermediate named like its issuer are affected too.
+        touched |= self._intermediate_issuers.get(issuer_subject, set())
+        self._invalidate_subjects(touched)
 
     def ingest_leaf(
         self,
@@ -96,6 +150,32 @@ class NotaryDatabase:
         for certificate in store.certificates(include_disabled=True):
             self._registered.add(identity_key(certificate))
 
+    # -- fast-path cache management ----------------------------------------------
+
+    def _invalidate_subjects(self, subjects: set[object]) -> None:
+        """Drop the memoized leaf sets and counts anchored at *subjects*."""
+        for subject in subjects:
+            anchor_keys = self._anchors_by_subject.pop(subject, None)
+            if not anchor_keys:
+                continue
+            for anchor_key in anchor_keys:
+                self._under_cache.pop(anchor_key, None)
+                self._count_cache.pop((anchor_key, False), None)
+                self._count_cache.pop((anchor_key, True), None)
+
+    def reset_fastpath(self) -> None:
+        """Drop every derived index (the benchmark's cold-start lever)."""
+        self._under_cache.clear()
+        self._count_cache.clear()
+        self._anchors_by_subject.clear()
+
+    def fastpath_index_sizes(self) -> dict[str, int]:
+        """Current sizes of the notary-level memo layers."""
+        return {
+            "anchor_leaf_sets": len(self._under_cache),
+            "count_memos": len(self._count_cache),
+        }
+
     # -- record queries -----------------------------------------------------------
 
     def has_record(self, certificate: Certificate) -> bool:
@@ -125,26 +205,6 @@ class NotaryDatabase:
         """Total observed TLS sessions (the paper's 66 B analogue)."""
         return sum(leaf.session_count for leaf in self.leaves)
 
-    def sessions_validated_by_store(self, store: RootStore) -> int:
-        """Sessions (not certificates) whose leaf the store validates.
-
-        §5.3's claim is phrased over *sessions*: "the subset of AOSP
-        certificates that are also included on Mozilla root store can
-        validate most TLS sessions" — the volume-weighted view.
-        """
-        seen: set[tuple[int, bytes]] = set()
-        total = 0
-        for root in store.certificates():
-            for leaf in self._leaves_under(root):
-                if leaf.expired:
-                    continue
-                leaf_key = identity_key(leaf.certificate)
-                if leaf_key in seen:
-                    continue
-                seen.add(leaf_key)
-                total += leaf.session_count
-        return total
-
     @property
     def current_sessions(self) -> int:
         """Sessions carried by non-expired leaves."""
@@ -152,36 +212,65 @@ class NotaryDatabase:
             leaf.session_count for leaf in self.leaves if not leaf.expired
         )
 
-    def _leaves_under(self, anchor: Certificate):
-        """Yield leaves whose chain resolves to *anchor*'s key: directly
-        issued leaves plus leaves issued by an observed intermediate the
-        anchor signed (one level, matching real web chain shapes)."""
-        for leaf in self._by_issuer.get(anchor.subject.normalized(), []):
-            if _verifies(leaf.certificate, anchor.public_key):
-                yield leaf
-        for intermediate in self._intermediates_by_issuer.get(
-            anchor.subject.normalized(), []
-        ):
-            if not _verifies(intermediate, anchor.public_key):
+    def _iter_leaf_indices_under(self, anchor: Certificate):
+        """Yield indices of leaves whose chain resolves to *anchor*'s
+        key: directly issued leaves plus leaves issued by an observed
+        intermediate the anchor signed (one level, matching real web
+        chain shapes)."""
+        subject = anchor.subject.normalized()
+        key = anchor.public_key
+        for index in self._by_issuer.get(subject, ()):
+            if verify_signature(self.leaves[index].certificate, key):
+                yield index
+        for intermediate in self._intermediates_by_issuer.get(subject, ()):
+            if not verify_signature(intermediate, key):
                 continue
-            for leaf in self._by_issuer.get(intermediate.subject.normalized(), []):
-                if _verifies(leaf.certificate, intermediate.public_key):
-                    yield leaf
+            for index in self._by_issuer.get(
+                intermediate.subject.normalized(), ()
+            ):
+                if verify_signature(
+                    self.leaves[index].certificate, intermediate.public_key
+                ):
+                    yield index
+
+    def _leaf_indices_under(self, anchor: Certificate) -> tuple[int, ...]:
+        """The memoized root→leaf-set index (bypassed when the fast
+        path is disabled)."""
+        if not fastpath_enabled():
+            return tuple(self._iter_leaf_indices_under(anchor))
+        anchor_key = _anchor_key(anchor)
+        cached = self._under_cache.get(anchor_key)
+        if cached is None:
+            cached = tuple(self._iter_leaf_indices_under(anchor))
+            self._under_cache[anchor_key] = cached
+            self._anchors_by_subject.setdefault(anchor_key[3], set()).add(
+                anchor_key
+            )
+        return cached
+
+    def _leaves_under(self, anchor: Certificate):
+        """Yield the leaves whose chain resolves to *anchor*'s key."""
+        for index in self._leaf_indices_under(anchor):
+            yield self.leaves[index]
 
     def validated_by_root(
         self, root: Certificate, *, include_expired: bool = False
     ) -> int:
         """Number of recorded leaves this root's key validates
         (directly or through an observed intermediate)."""
-        cache_key = (root.public_key.modulus, root.public_key.exponent, include_expired)
-        if cache_key in self._count_cache:
-            return self._count_cache[cache_key]
+        use_cache = fastpath_enabled()
+        if use_cache:
+            count_key = (_anchor_key(root), include_expired)
+            cached = self._count_cache.get(count_key)
+            if cached is not None:
+                return cached
         count = sum(
             1
-            for leaf in self._leaves_under(root)
-            if include_expired or not leaf.expired
+            for index in self._leaf_indices_under(root)
+            if include_expired or not self.leaves[index].expired
         )
-        self._count_cache[cache_key] = count
+        if use_cache:
+            self._count_cache[count_key] = count
         return count
 
     def validated_by_store(
@@ -195,34 +284,36 @@ class NotaryDatabase:
         seen: set[tuple[int, bytes]] = set()
         count = 0
         for root in store.certificates():
-            for leaf in self._leaves_under(root):
-                if leaf.expired and not include_expired:
+            for index in self._leaf_indices_under(root):
+                if self.leaves[index].expired and not include_expired:
                     continue
-                leaf_key = identity_key(leaf.certificate)
+                leaf_key = self._leaf_identity[index]
                 if leaf_key in seen:
                     continue
                 seen.add(leaf_key)
                 count += 1
         return count
 
+    def sessions_validated_by_store(self, store: RootStore) -> int:
+        """Sessions (not certificates) whose leaf the store validates.
 
-_VERIFY_CACHE: dict[tuple[bytes, int], bool] = {}
-
-
-def _verifies(leaf: Certificate, key: RsaPublicKey) -> bool:
-    """Memoized signature check of *leaf* under *key*."""
-    cache_key = (leaf.signature, key.modulus)
-    cached = _VERIFY_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
-    try:
-        verify_certificate_signature(leaf, key)
-    except SignatureError:
-        result = False
-    else:
-        result = True
-    _VERIFY_CACHE[cache_key] = result
-    return result
+        §5.3's claim is phrased over *sessions*: "the subset of AOSP
+        certificates that are also included on Mozilla root store can
+        validate most TLS sessions" — the volume-weighted view.
+        """
+        seen: set[tuple[int, bytes]] = set()
+        total = 0
+        for root in store.certificates():
+            for index in self._leaf_indices_under(root):
+                leaf = self.leaves[index]
+                if leaf.expired:
+                    continue
+                leaf_key = self._leaf_identity[index]
+                if leaf_key in seen:
+                    continue
+                seen.add(leaf_key)
+                total += leaf.session_count
+        return total
 
 
 def build_notary(

@@ -1,0 +1,15 @@
+"""Deterministic parallel execution for the study's hot queries.
+
+A thin process-pool layer with fixed chunking, ordered merging and a
+serial fallback, so ``run_study(workers=4)`` produces byte-identical
+reports to ``workers=1`` — only faster. See :mod:`.executor` for the
+determinism argument.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    chunk_ranges,
+    resolve_workers,
+)
+
+__all__ = ["ParallelExecutor", "chunk_ranges", "resolve_workers"]

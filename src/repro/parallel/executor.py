@@ -1,0 +1,138 @@
+"""Deterministic chunked fan-out over a process pool.
+
+The study's hot queries (per-root validation counts, per-session store
+diffs) are embarrassingly parallel maps over an index range. This
+executor runs such maps across worker processes while guaranteeing the
+*exact* result a serial run produces:
+
+* **Deterministic chunking** — the index range is split into fixed,
+  position-based chunks; chunk boundaries depend only on the item count
+  and worker count, never on timing.
+* **Ordered merge** — chunk results are concatenated in submission
+  order, so the flattened output is index-ordered regardless of which
+  worker finished first.
+* **Serial fallback** — with ``workers <= 1``, with too few items to be
+  worth a fork, or on any platform/sandbox where forking fails, the
+  same chunk functions run inline in the parent. Both paths execute
+  identical code over identical chunks, which is the determinism
+  argument: parallelism changes *where* a chunk runs, never *what* it
+  computes or in which order it is merged.
+
+Workers are forked (never spawned): the payload — typically a Notary
+database or a session corpus, megabytes of certificates — is installed
+in a module global in the parent and inherited by the children through
+copy-on-write memory, so only the small per-chunk index ranges and the
+plain result lists cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Payload shared with forked workers via copy-on-write inheritance.
+_PAYLOAD: object = None
+
+
+def _run_chunk(fn: Callable, chunk: range) -> list:
+    """Worker entry point: apply *fn* to the inherited payload."""
+    return fn(_PAYLOAD, chunk)
+
+
+def chunk_ranges(count: int, chunk_size: int) -> list[range]:
+    """Split ``range(count)`` into consecutive chunks of *chunk_size*."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        range(start, min(start + chunk_size, count))
+        for start in range(0, count, chunk_size)
+    ]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: None/0 → one per CPU, floor 1."""
+    if workers is None or workers <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return workers
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ParallelExecutor:
+    """Maps chunk functions over an index range, possibly in parallel.
+
+    ``workers`` is the process count (1 = fully serial). ``min_items``
+    guards against forking for trivially small maps. A fresh pool is
+    created per map call; with ~10 fan-out points per study the fork
+    cost is negligible against the query work.
+    """
+
+    workers: int = 1
+    #: below this item count the map always runs serially.
+    min_items: int = 8
+    #: chunks per worker — >1 smooths out uneven chunk costs.
+    chunks_per_worker: int = 4
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor may actually fork."""
+        return self.workers > 1
+
+    def map_chunked(
+        self, fn: Callable[[object, range], list], payload: object, count: int
+    ) -> list:
+        """Run ``fn(payload, chunk)`` over every chunk of ``range(count)``.
+
+        *fn* must be a module-level function returning one result per
+        index, in index order. The flattened, index-ordered list is
+        returned. The result is byte-for-byte identical at any worker
+        count.
+        """
+        if count <= 0:
+            return []
+        chunk_size = max(
+            1, -(-count // (self.workers * self.chunks_per_worker))
+        )
+        chunks = chunk_ranges(count, chunk_size)
+        if (
+            not self.parallel
+            or count < self.min_items
+            or len(chunks) < 2
+            or not _fork_available()
+        ):
+            return self._serial(fn, payload, chunks)
+        global _PAYLOAD
+        previous = _PAYLOAD
+        _PAYLOAD = payload
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)), mp_context=context
+            ) as pool:
+                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+                merged: list = []
+                for future in futures:
+                    merged.extend(future.result())
+                return merged
+        except (OSError, PermissionError, BrokenProcessPool):
+            # Sandboxes that forbid fork, fd exhaustion, killed workers:
+            # degrade to the serial path, which computes the same result.
+            return self._serial(fn, payload, chunks)
+        finally:
+            _PAYLOAD = previous
+
+    @staticmethod
+    def _serial(
+        fn: Callable[[object, range], list], payload: object, chunks: Sequence[range]
+    ) -> list:
+        merged: list = []
+        for chunk in chunks:
+            merged.extend(fn(payload, chunk))
+        return merged

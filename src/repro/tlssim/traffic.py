@@ -93,8 +93,10 @@ class TlsTrafficGenerator:
     ):
         self.factory = factory or CertificateFactory()
         self.catalog = catalog or default_catalog()
-        if not 0 < scale <= 1.0:
-            raise ValueError("scale must be in (0, 1]")
+        # >1 oversamples the calibrated population (stress/benchmark
+        # runs); the per-profile leaf mix keeps its proportions.
+        if scale <= 0:
+            raise ValueError("scale must be positive")
         self.scale = scale
         self._key_pool: list[RsaKeyPair] = []
         self._intermediates: dict[str, tuple[Certificate, RsaKeyPair]] = {}

@@ -8,6 +8,7 @@ verification operates on the original octets rather than a re-encoding.
 from __future__ import annotations
 
 import datetime
+import hashlib
 from functools import cached_property
 
 from repro.asn1 import Asn1Error, Asn1Object, ObjectIdentifier, decode
@@ -199,6 +200,18 @@ class Certificate:
     def is_self_signed(self) -> bool:
         """True if issuer and subject names match (self-issued)."""
         return self.issuer == self.subject
+
+    @cached_property
+    def tbs_sha256(self) -> bytes:
+        """SHA-256 of the TBSCertificate octets.
+
+        This is the certificate half of the verification-cache key
+        (:class:`repro.crypto.cache.VerificationCache`): the TBS bytes
+        commit to every signed field *including* the signature
+        algorithm, so the digest plus the signature octets pin the
+        verification outcome completely.
+        """
+        return hashlib.sha256(self.tbs_encoded).digest()
 
     def is_expired(self, at: datetime.datetime) -> bool:
         """True if the certificate has expired at the given moment."""

@@ -14,9 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Sequence
 
-from repro.crypto.pkcs1 import SignatureError
 from repro.x509.certificate import Certificate
-from repro.x509.verify import verify_certificate_signature
+from repro.x509.verify import verify_signature
 
 
 class ChainValidationError(Exception):
@@ -251,11 +250,8 @@ class ChainVerifier:
         """An anchor whose subject matches *certificate*'s issuer and
         whose key verifies its signature."""
         for anchor in self._by_subject.get(certificate.issuer.normalized(), ()):
-            try:
-                verify_certificate_signature(certificate, anchor.public_key)
-            except SignatureError:
-                continue
-            return anchor
+            if verify_signature(certificate, anchor.public_key):
+                return anchor
         return None
 
     def validate(
@@ -420,9 +416,7 @@ class ChainVerifier:
         # Verify each link: path[i] signed by path[i+1].
         for index in range(len(path) - 1):
             child, parent = path[index], path[index + 1]
-            try:
-                verify_certificate_signature(child, parent.public_key)
-            except SignatureError:
+            if not verify_signature(child, parent.public_key):
                 return ValidationResult(
                     trusted=False,
                     path=tuple(path),

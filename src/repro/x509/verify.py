@@ -1,7 +1,18 @@
-"""Single-certificate signature verification."""
+"""Single-certificate signature verification.
+
+Two entry points exist:
+
+* :func:`verify_certificate_signature` — the raising, *uncached*
+  primitive; every verification runs the full PKCS#1 check.
+* :func:`verify_signature` — the boolean fast path, memoized through a
+  :class:`repro.crypto.cache.VerificationCache` (the process-wide one
+  by default). The chain verifier and the Notary's validation queries
+  go through this.
+"""
 
 from __future__ import annotations
 
+from repro.crypto.cache import VerificationCache, default_verification_cache
 from repro.crypto.pkcs1 import SignatureError, verify as pkcs1_verify
 from repro.crypto.rsa import RsaPublicKey
 from repro.x509.certificate import Certificate
@@ -24,15 +35,33 @@ def verify_certificate_signature(
     )
 
 
-def is_signed_by(certificate: Certificate, issuer: Certificate) -> bool:
+def verify_signature(
+    certificate: Certificate,
+    issuer_public_key: RsaPublicKey,
+    *,
+    cache: VerificationCache | None = None,
+) -> bool:
+    """Memoized boolean form of :func:`verify_certificate_signature`.
+
+    Uses the process-wide verification cache unless an explicit one is
+    passed; with the fast path disabled the cache degrades to the raw
+    check, so callers need no mode awareness.
+    """
+    if cache is None:
+        cache = default_verification_cache()
+    return cache.verify(certificate, issuer_public_key)
+
+
+def is_signed_by(
+    certificate: Certificate,
+    issuer: Certificate,
+    *,
+    cache: VerificationCache | None = None,
+) -> bool:
     """True if *issuer*'s key verifies *certificate*'s signature.
 
     Checks the name chain first (cheap) before the RSA operation.
     """
     if certificate.issuer != issuer.subject:
         return False
-    try:
-        verify_certificate_signature(certificate, issuer.public_key)
-    except SignatureError:
-        return False
-    return True
+    return verify_signature(certificate, issuer.public_key, cache=cache)

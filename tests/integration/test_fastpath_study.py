@@ -1,0 +1,107 @@
+"""Acceptance tests for the fast-path study engine (ISSUE criteria).
+
+The memoized verification cache, the Notary's derived indexes and the
+parallel executor are pure accelerations: the rendered study report
+must be byte-identical with the fast path on or off and at any worker
+count. ``diff_all`` must additionally survive wild data — a session
+with an unknown Android version is quarantined, never a traceback.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SessionDiffer,
+    StudyConfig,
+    render_study_report,
+    run_study,
+)
+from repro.faults.quarantine import ErrorCategory
+from repro.parallel import ParallelExecutor
+
+SCALE = dict(population_scale=0.15, notary_scale=0.2)
+
+
+class TestByteIdenticalReports:
+    def test_parallel_run_matches_serial(self, study):
+        parallel = run_study(StudyConfig(workers=4, **SCALE))
+        assert render_study_report(parallel) == render_study_report(study)
+
+    def test_fastpath_disabled_run_matches(self, study):
+        plain = run_study(StudyConfig(fastpath=False, **SCALE))
+        assert render_study_report(plain) == render_study_report(study)
+        assert plain.fastpath is not None and not plain.fastpath.enabled
+        # nothing was memoized on the uncached run
+        assert plain.fastpath.notary_indexes == {
+            "anchor_leaf_sets": 0,
+            "count_memos": 0,
+        }
+
+    def test_fastpath_stats_captured_but_not_rendered(self, study):
+        assert study.fastpath is not None
+        assert study.fastpath.enabled
+        assert study.fastpath.cache.hits > 0
+        assert "verification cache" not in render_study_report(study)
+
+
+class TestDiffAllResilience:
+    FAULT_RATE = 0.05
+
+    @pytest.fixture(scope="class")
+    def faulty(self):
+        return run_study(
+            StudyConfig(
+                population_scale=0.1,
+                notary_scale=0.1,
+                fault_rate=self.FAULT_RATE,
+            )
+        )
+
+    def test_unknown_version_quarantined_not_raised(self, faulty):
+        dataset, stores = faulty.dataset, faulty.stores
+        victim = dataset.sessions[len(dataset.sessions) // 2]
+        original_version = victim.os_version
+        victim.os_version = "9.9"
+        try:
+            differ = SessionDiffer(stores.aosp)
+            before = len(dataset.quarantine)
+            diffs = differ.diff_all(dataset)
+            assert len(diffs) == len(dataset.sessions) - 1
+            assert all(diff.session is not victim for diff in diffs)
+            added = dataset.quarantine.records[before:]
+            assert len(added) == 1
+            record = added[0]
+            assert record.category is ErrorCategory.MALFORMED_RECORD
+            assert record.where == f"session:{victim.session_id}/diff"
+            assert "9.9" in record.detail
+        finally:
+            victim.os_version = original_version
+
+    def test_parallel_diff_all_same_results_and_quarantine(self, faulty):
+        dataset, stores = faulty.dataset, faulty.stores
+        victim = dataset.sessions[3]
+        original_version = victim.os_version
+        victim.os_version = "0.1"
+        try:
+            differ = SessionDiffer(stores.aosp)
+            before = len(dataset.quarantine)
+            serial = differ.diff_all(dataset)
+            serial_added = [r.where for r in dataset.quarantine.records[before:]]
+            mark = len(dataset.quarantine)
+            parallel = differ.diff_all(
+                dataset, executor=ParallelExecutor(workers=4)
+            )
+            parallel_added = [r.where for r in dataset.quarantine.records[mark:]]
+            assert [
+                (d.session.session_id, d.aosp_count, d.additional, d.missing_count)
+                for d in parallel
+            ] == [
+                (d.session.session_id, d.aosp_count, d.additional, d.missing_count)
+                for d in serial
+            ]
+            assert parallel_added == serial_added
+        finally:
+            victim.os_version = original_version
+
+    def test_clean_faulty_study_diffs_every_session(self, faulty):
+        # no version corruption in the injector's repertoire: all diffed
+        assert len(faulty.diffs) == len(faulty.dataset.sessions)

@@ -1,0 +1,145 @@
+"""Property tests: the verification cache never changes a verdict.
+
+The fast path is only sound if a cache-backed verification agrees with
+the uncached PKCS#1 check on *every* input class — genuinely signed
+certificates, tampered TBS bytes, wrong issuer keys and tampered
+signatures — and keeps agreeing once the answer comes from the memo
+instead of the arithmetic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, SignatureError, generate_keypair
+from repro.crypto.cache import VerificationCache
+from repro.x509.builder import make_root_certificate
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+from repro.x509.verify import verify_certificate_signature, verify_signature
+
+#: Fixed keypairs shared across examples (keygen per-example is too slow).
+KEYPAIRS = [
+    generate_keypair(DeterministicRandom(f"cache-property-{index}"))
+    for index in range(3)
+]
+
+#: One self-signed certificate per keypair.
+CERTIFICATES = [
+    make_root_certificate(
+        keypair, Name.build(CN=f"Cache Property Root {index}", O="Test")
+    )
+    for index, keypair in enumerate(KEYPAIRS)
+]
+
+
+def _with_tampered_tbs(certificate: Certificate, position: int, xor: int) -> Certificate:
+    """A copy of *certificate* whose signed bytes differ in one bit."""
+    tbs = bytearray(certificate.tbs_encoded)
+    tbs[position % len(tbs)] ^= xor
+    return Certificate(
+        encoded=certificate.encoded,
+        tbs_encoded=bytes(tbs),
+        version=certificate.version,
+        serial_number=certificate.serial_number,
+        signature_algorithm=certificate.signature_algorithm,
+        issuer=certificate.issuer,
+        subject=certificate.subject,
+        not_before=certificate.not_before,
+        not_after=certificate.not_after,
+        public_key=certificate.public_key,
+        extensions=certificate.extensions,
+        signature=certificate.signature,
+    )
+
+
+def _with_tampered_signature(certificate: Certificate, position: int, xor: int) -> Certificate:
+    signature = bytearray(certificate.signature)
+    signature[position % len(signature)] ^= xor
+    return Certificate(
+        encoded=certificate.encoded,
+        tbs_encoded=certificate.tbs_encoded,
+        version=certificate.version,
+        serial_number=certificate.serial_number,
+        signature_algorithm=certificate.signature_algorithm,
+        issuer=certificate.issuer,
+        subject=certificate.subject,
+        not_before=certificate.not_before,
+        not_after=certificate.not_after,
+        public_key=certificate.public_key,
+        extensions=certificate.extensions,
+        signature=bytes(signature),
+    )
+
+
+def _uncached_verdict(certificate: Certificate, key) -> bool:
+    try:
+        verify_certificate_signature(certificate, key)
+    except SignatureError:
+        return False
+    return True
+
+
+@given(
+    signer=st.integers(0, len(KEYPAIRS) - 1),
+    verifier=st.integers(0, len(KEYPAIRS) - 1),
+    tamper=st.sampled_from(["none", "tbs", "signature"]),
+    position=st.integers(0, 4095),
+    xor=st.integers(1, 255),
+)
+@settings(max_examples=80, deadline=None)
+def test_cached_verdict_agrees_with_uncached(signer, verifier, tamper, position, xor):
+    certificate = CERTIFICATES[signer]
+    if tamper == "tbs":
+        certificate = _with_tampered_tbs(certificate, position, xor)
+    elif tamper == "signature":
+        certificate = _with_tampered_signature(certificate, position, xor)
+    key = KEYPAIRS[verifier].public
+
+    expected = _uncached_verdict(certificate, key)
+    cache = VerificationCache()
+    cold = verify_signature(certificate, key, cache=cache)
+    warm = verify_signature(certificate, key, cache=cache)
+
+    assert cold == expected
+    assert warm == expected
+    assert cache.misses == 1 and cache.hits == 1
+
+    disabled = VerificationCache(enabled=False)
+    assert verify_signature(certificate, key, cache=disabled) == expected
+    # a disabled cache neither stores nor counts — pure pass-through
+    assert len(disabled) == 0
+    assert disabled.hits == 0 and disabled.misses == 0
+
+
+@given(
+    signer=st.integers(0, len(KEYPAIRS) - 1),
+    position=st.integers(0, 4095),
+    xor=st.integers(1, 255),
+)
+@settings(max_examples=40, deadline=None)
+def test_tampered_tbs_never_collides_with_genuine_entry(signer, position, xor):
+    """A warm entry for the genuine cert must not answer for a tampered
+    one: the TBS digest in the key separates them."""
+    genuine = CERTIFICATES[signer]
+    key = KEYPAIRS[signer].public
+    cache = VerificationCache()
+    assert verify_signature(genuine, key, cache=cache) is True
+
+    tampered = _with_tampered_tbs(genuine, position, xor)
+    assert verify_signature(tampered, key, cache=cache) is False
+    assert cache.misses == 2  # distinct key — no false hit
+
+
+def test_cache_counts_and_clear():
+    cache = VerificationCache()
+    certificate, key = CERTIFICATES[0], KEYPAIRS[0].public
+    for _ in range(5):
+        assert verify_signature(certificate, key, cache=cache)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (4, 1, 1)
+    assert stats.lookups == 5
+    assert stats.hit_rate == pytest.approx(0.8)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats().lookups == 0

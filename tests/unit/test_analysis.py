@@ -106,8 +106,8 @@ class TestSessionDiffer:
         assert diff.missing_count == 1
 
     def test_unknown_version_rejected(self, differ, client, factory, catalog):
+        from repro.analysis.errors import AnalysisError, UnknownVersionError
         from repro.android import DeviceSpec, FirmwareBuilder
-        import dataclasses
 
         firmware = FirmwareBuilder(factory, catalog)
         device = firmware.provision(
@@ -115,8 +115,13 @@ class TestSessionDiffer:
         )
         session = client.run_session(device, 4)
         session.os_version = "9.0"
-        with pytest.raises(KeyError):
+        with pytest.raises(UnknownVersionError) as excinfo:
             differ.diff(session)
+        assert excinfo.value.version == "9.0"
+        # typed for bulk handling, but legacy KeyError handlers still work
+        assert isinstance(excinfo.value, AnalysisError)
+        assert isinstance(excinfo.value, KeyError)
+        assert "9.0" in str(excinfo.value)
 
     def test_extended_fraction_empty_rejected(self):
         with pytest.raises(ValueError):

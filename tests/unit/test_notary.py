@@ -178,3 +178,16 @@ class TestFractionValidatingNothing:
     def test_empty_rejected(self, notary):
         with pytest.raises(ValueError):
             fraction_validating_nothing(notary, [])
+
+    def test_include_expired_is_forwarded(self, notary, platform_stores):
+        """Regression: the keyword used to be silently ignored. Counting
+        expired leaves too can only shrink the validate-nothing set."""
+        roots = platform_stores.ios7.certificates()
+        current_only = fraction_validating_nothing(notary, roots)
+        with_expired = fraction_validating_nothing(
+            notary, roots, include_expired=True
+        )
+        assert with_expired <= current_only
+        # per-root ground truth: identical to the underlying counts
+        counts = validation_counts_by_root(notary, roots, include_expired=True)
+        assert with_expired == sum(1 for c in counts if c == 0) / len(counts)

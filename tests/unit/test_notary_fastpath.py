@@ -1,0 +1,207 @@
+"""The Notary's fast path: cache keys, invalidation, disabled mode.
+
+Covers the two correctness hazards of memoized validation counts:
+
+* anchors sharing an RSA key but differing in subject must not share a
+  cache line (``_leaves_under`` matches by subject first), and
+* incremental invalidation after ``observe_leaf`` must leave the memo
+  in the same state a cold rebuild would reach.
+"""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.crypto.cache import default_verification_cache, fastpath_disabled
+from repro.notary.database import NotaryDatabase
+from repro.tlssim.traffic import ObservedLeaf
+from repro.x509.builder import CertificateBuilder, make_root_certificate
+from repro.x509.name import Name
+
+ROOT_KEYPAIR = generate_keypair(DeterministicRandom("fastpath-root"))
+TWIN_KEYPAIR = generate_keypair(DeterministicRandom("fastpath-twin"))
+LEAF_KEYPAIR = generate_keypair(DeterministicRandom("fastpath-leaf"))
+INTERMEDIATE_KEYPAIR = generate_keypair(DeterministicRandom("fastpath-inter"))
+
+
+def _root(keypair, cn: str, serial: int = 1):
+    return make_root_certificate(keypair, Name.build(CN=cn, O="Fastpath"), serial_number=serial)
+
+
+def _signed(subject_cn: str, issuer, signer_keypair, subject_keypair, serial: int, ca: bool = False):
+    builder = (
+        CertificateBuilder()
+        .subject(Name.build(CN=subject_cn, O="Fastpath"))
+        .issuer(issuer.subject)
+        .public_key(subject_keypair.public)
+        .serial_number(serial)
+    )
+    if ca:
+        builder.ca(True)
+    return builder.sign(signer_keypair.private, issuer_public_key=signer_keypair.public)
+
+
+def _leaf(certificate, *, expired: bool = False, sessions: int = 1, intermediates=()):
+    return ObservedLeaf(
+        certificate=certificate,
+        issuer_name="Fastpath CA",
+        expired=expired,
+        session_count=sessions,
+        intermediates=tuple(intermediates),
+    )
+
+
+class TestAnchorCacheKey:
+    def test_same_key_different_subject_roots_count_separately(self):
+        """Regression: two roots sharing one RSA key but naming
+        different subjects validate different leaf sets; a cache keyed
+        by (modulus, exponent) alone would hand the second root the
+        first root's count."""
+        root_a = _root(ROOT_KEYPAIR, "Shared Key Root A")
+        root_b = _root(ROOT_KEYPAIR, "Shared Key Root B", serial=2)
+        assert root_a.public_key == root_b.public_key
+        assert root_a.subject != root_b.subject
+
+        notary = NotaryDatabase()
+        leaf = _signed("host.example", root_a, ROOT_KEYPAIR, LEAF_KEYPAIR, serial=10)
+        notary.observe_leaf(_leaf(leaf))
+
+        # Warm root A's cache line first, then query root B.
+        assert notary.validated_by_root(root_a) == 1
+        assert notary.validated_by_root(root_b) == 0
+        # And in the opposite order on a fresh database.
+        fresh = NotaryDatabase()
+        fresh.observe_leaf(_leaf(leaf))
+        assert fresh.validated_by_root(root_b) == 0
+        assert fresh.validated_by_root(root_a) == 1
+
+    def test_include_expired_variants_cached_separately(self):
+        root = _root(ROOT_KEYPAIR, "Expiry Root")
+        notary = NotaryDatabase()
+        notary.observe_leaf(
+            _leaf(_signed("live.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 11))
+        )
+        notary.observe_leaf(
+            _leaf(
+                _signed("old.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 12),
+                expired=True,
+            )
+        )
+        assert notary.validated_by_root(root) == 1
+        assert notary.validated_by_root(root, include_expired=True) == 2
+        assert notary.validated_by_root(root) == 1
+
+
+class TestIncrementalInvalidation:
+    def _counts(self, notary, roots):
+        return [notary.validated_by_root(root) for root in roots]
+
+    def test_observe_leaf_invalidates_only_affected_anchor(self):
+        root_a = _root(ROOT_KEYPAIR, "Inval Root A")
+        root_b = _root(TWIN_KEYPAIR, "Inval Root B")
+        notary = NotaryDatabase()
+        notary.observe_leaf(
+            _leaf(_signed("a1.example", root_a, ROOT_KEYPAIR, LEAF_KEYPAIR, 20))
+        )
+        notary.observe_leaf(
+            _leaf(_signed("b1.example", root_b, TWIN_KEYPAIR, LEAF_KEYPAIR, 21))
+        )
+        assert self._counts(notary, [root_a, root_b]) == [1, 1]
+        sizes = notary.fastpath_index_sizes()
+        assert sizes["count_memos"] == 2
+
+        # A new leaf under A must drop A's memo but keep B's.
+        notary.observe_leaf(
+            _leaf(_signed("a2.example", root_a, ROOT_KEYPAIR, LEAF_KEYPAIR, 22))
+        )
+        sizes = notary.fastpath_index_sizes()
+        assert sizes["count_memos"] == 1  # B's line survived
+        assert self._counts(notary, [root_a, root_b]) == [2, 1]
+
+    def test_incremental_matches_cold_rebuild(self):
+        """Interleaving queries and ingestion must end at the same
+        counts a from-scratch database computes."""
+        root = _root(ROOT_KEYPAIR, "Rebuild Root")
+        intermediate = _signed(
+            "Rebuild Intermediate", root, ROOT_KEYPAIR, INTERMEDIATE_KEYPAIR, 30, ca=True
+        )
+        observations = [
+            _leaf(_signed("r1.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 31)),
+            _leaf(
+                _signed(
+                    "i1.example", intermediate, INTERMEDIATE_KEYPAIR, LEAF_KEYPAIR, 32
+                ),
+                intermediates=(intermediate,),
+            ),
+            _leaf(
+                _signed("r2.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 33),
+                expired=True,
+            ),
+        ]
+
+        incremental = NotaryDatabase()
+        for observation in observations:
+            incremental.observe_leaf(observation)
+            incremental.validated_by_root(root)  # warm between ingests
+
+        cold = NotaryDatabase()
+        for observation in observations:
+            cold.observe_leaf(observation)
+
+        for include_expired in (False, True):
+            assert incremental.validated_by_root(
+                root, include_expired=include_expired
+            ) == cold.validated_by_root(root, include_expired=include_expired)
+        assert incremental.validated_by_root(root, include_expired=True) == 3
+
+    def test_new_intermediate_connects_previously_ingested_leaves(self):
+        """A leaf arriving with a new intermediate must invalidate the
+        intermediate's *issuer* anchors, not just the leaf's own."""
+        root = _root(ROOT_KEYPAIR, "Connector Root")
+        intermediate = _signed(
+            "Connector Intermediate", root, ROOT_KEYPAIR, INTERMEDIATE_KEYPAIR, 40, ca=True
+        )
+        early = _leaf(
+            _signed("early.example", intermediate, INTERMEDIATE_KEYPAIR, LEAF_KEYPAIR, 41)
+        )
+        late = _leaf(
+            _signed("late.example", intermediate, INTERMEDIATE_KEYPAIR, LEAF_KEYPAIR, 42),
+            intermediates=(intermediate,),
+        )
+
+        notary = NotaryDatabase()
+        notary.observe_leaf(early)
+        # Root knows nothing yet: the intermediate has not been seen.
+        assert notary.validated_by_root(root) == 0
+        notary.observe_leaf(late)
+        # The new intermediate links BOTH leaves to the root.
+        assert notary.validated_by_root(root) == 2
+
+
+class TestDisabledFastPath:
+    def test_disabled_mode_builds_no_memos_and_agrees(self):
+        root = _root(ROOT_KEYPAIR, "Plain Root")
+        notary = NotaryDatabase()
+        notary.observe_leaf(
+            _leaf(_signed("p1.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 50))
+        )
+        with fastpath_disabled():
+            uncached = notary.validated_by_root(root)
+            assert notary.fastpath_index_sizes() == {
+                "anchor_leaf_sets": 0,
+                "count_memos": 0,
+            }
+        assert notary.validated_by_root(root) == uncached
+
+    def test_default_cache_accumulates_hits_on_repeat_queries(self):
+        cache = default_verification_cache()
+        root = _root(ROOT_KEYPAIR, "Hit Counter Root")
+        notary = NotaryDatabase()
+        notary.observe_leaf(
+            _leaf(_signed("h1.example", root, ROOT_KEYPAIR, LEAF_KEYPAIR, 60))
+        )
+        notary.validated_by_root(root)
+        notary.reset_fastpath()  # force re-walk; RSA results stay cached
+        before = cache.stats()
+        notary.validated_by_root(root)
+        delta = cache.stats().since(before)
+        assert delta.hits >= 1 and delta.misses == 0

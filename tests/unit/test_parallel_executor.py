@@ -1,0 +1,95 @@
+"""The deterministic process-pool executor."""
+
+import pytest
+
+from repro.parallel import ParallelExecutor, chunk_ranges, resolve_workers
+
+
+def _square_chunk(payload, chunk):
+    return [payload[index] ** 2 for index in chunk]
+
+
+def _tag_chunk(payload, chunk):
+    return [(index, payload[index]) for index in chunk]
+
+
+class TestChunkRanges:
+    def test_covers_range_exactly_once(self):
+        chunks = chunk_ranges(10, 3)
+        assert [list(chunk) for chunk in chunks] == [
+            [0, 1, 2], [3, 4, 5], [6, 7, 8], [9],
+        ]
+
+    def test_single_chunk_when_size_exceeds_count(self):
+        assert chunk_ranges(4, 100) == [range(0, 4)]
+
+    def test_empty_range(self):
+        assert chunk_ranges(0, 5) == []
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_and_none_resolve_to_cpus(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+
+class TestMapChunked:
+    PAYLOAD = list(range(100))
+
+    def test_serial_matches_plain_map(self):
+        executor = ParallelExecutor(workers=1)
+        result = executor.map_chunked(_square_chunk, self.PAYLOAD, len(self.PAYLOAD))
+        assert result == [value ** 2 for value in self.PAYLOAD]
+
+    def test_parallel_matches_serial(self):
+        serial = ParallelExecutor(workers=1).map_chunked(
+            _tag_chunk, self.PAYLOAD, len(self.PAYLOAD)
+        )
+        parallel = ParallelExecutor(workers=4).map_chunked(
+            _tag_chunk, self.PAYLOAD, len(self.PAYLOAD)
+        )
+        assert parallel == serial
+
+    def test_result_order_is_index_order(self):
+        result = ParallelExecutor(workers=4).map_chunked(
+            _tag_chunk, self.PAYLOAD, len(self.PAYLOAD)
+        )
+        assert [index for index, _ in result] == list(range(len(self.PAYLOAD)))
+
+    def test_small_maps_stay_serial(self):
+        executor = ParallelExecutor(workers=4, min_items=50)
+        result = executor.map_chunked(_square_chunk, [1, 2, 3], 3)
+        assert result == [1, 4, 9]
+
+    def test_empty_map(self):
+        assert ParallelExecutor(workers=4).map_chunked(_square_chunk, [], 0) == []
+
+    def test_payload_global_restored_after_map(self):
+        from repro.parallel import executor as executor_mod
+
+        sentinel = object()
+        executor_mod._PAYLOAD = sentinel
+        try:
+            ParallelExecutor(workers=2).map_chunked(
+                _square_chunk, self.PAYLOAD, len(self.PAYLOAD)
+            )
+            assert executor_mod._PAYLOAD is sentinel
+        finally:
+            executor_mod._PAYLOAD = None
+
+    def test_nondivisible_counts(self):
+        for count in (1, 7, 31, 97):
+            serial = ParallelExecutor(workers=1).map_chunked(
+                _square_chunk, list(range(count)), count
+            )
+            parallel = ParallelExecutor(workers=3, min_items=1).map_chunked(
+                _square_chunk, list(range(count)), count
+            )
+            assert parallel == serial == [value ** 2 for value in range(count)]

@@ -97,7 +97,14 @@ class TestLeafGeneration:
         with pytest.raises(ValueError):
             TlsTrafficGenerator(factory, scale=0)
         with pytest.raises(ValueError):
-            TlsTrafficGenerator(factory, scale=1.5)
+            TlsTrafficGenerator(factory, scale=-0.5)
+
+    def test_oversampling_scale_multiplies_population(self, factory, catalog):
+        """scale > 1 oversamples the calibrated mix (benchmark runs)."""
+        generator = TlsTrafficGenerator(factory, catalog, scale=2.0)
+        profile = next(p for p in catalog.core if p.current_leaves >= 10)
+        leaves = [l for l in generator.leaves_for_profile(profile) if not l.expired]
+        assert len(leaves) == profile.current_leaves * 2
 
     def test_leaf_hosts_are_ascii(self, traffic, catalog):
         profile = next(p for p in catalog.aosp_only if p.current_leaves > 0)
