@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Build-path benchmark: legacy serial vs. fast lane vs. warm cache.
+
+Times the expensive half of a study run — building the Notary's
+certificate universe (RSA key generation plus tens of thousands of leaf
+signatures) — in three configurations:
+
+* **legacy** — the fast lane off: CRT-free signing and unsieved prime
+  generation, serial build (the pre-fast-lane engine);
+* **fast** — CRT signing, the sieved prime window, memoized builder
+  encodings, and the parallel plan/materialize build path, starting
+  cold;
+* **warm** — the same universe loaded back from the persistent
+  build-artifact cache (:mod:`repro.buildcache`).
+
+All three must produce the byte-identical set of leaf certificates; the
+harness asserts this before reporting a single number. The fast cold
+build also records its keygen/signing/serialization phase split.
+Results land in ``BENCH_buildpath.json``. Run standalone::
+
+    python benchmarks/bench_buildpath.py --scales 1 --workers 0
+
+``--fail-below-cold R`` exits non-zero when the fast cold build's
+speedup over legacy drops below R; ``--fail-below-warm R`` does the
+same for the warm load's speedup over the fast cold build (CI uses
+2.0 / 5.0 per the build-path acceptance bars).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.buildcache import BuildCache
+from repro.crypto.fastlane import fastlane_disabled
+from repro.notary import build_notary
+from repro.parallel import ParallelExecutor, resolve_workers
+from repro.rootstore import CertificateFactory
+from repro.rootstore.catalog import default_catalog
+from repro.tlssim.traffic import TlsTrafficGenerator
+
+SEED = "bench-buildpath"
+
+
+def _leaf_bytes(notary) -> list[bytes]:
+    """The identity-bearing bytes of a built notary, in ingest order."""
+    return [leaf.certificate.encoded for leaf in notary.leaves]
+
+
+def bench_scale(scale: float, workers: int, cache_dir: str) -> dict:
+    """Benchmark one build scale; returns the result record."""
+    catalog = default_catalog()
+    cache = BuildCache(cache_dir)
+    params = {"seed": SEED, "scale": scale}
+
+    # legacy: fast lane off, fully serial (the pre-fast-lane engine).
+    with fastlane_disabled():
+        legacy_start = time.perf_counter()
+        legacy = build_notary(CertificateFactory(seed=SEED), catalog, scale=scale)
+        legacy_seconds = time.perf_counter() - legacy_start
+
+    # fast cold: CRT + sieve + memoized builder + parallel plan build.
+    executor = ParallelExecutor(workers=workers)
+    generator = TlsTrafficGenerator(
+        CertificateFactory(seed=SEED), catalog, scale=scale
+    )
+    fast_start = time.perf_counter()
+    generator.warm(executor)
+    keygen_seconds = time.perf_counter() - fast_start
+    signing_start = time.perf_counter()
+    fast = build_notary(generator=generator, executor=executor)
+    signing_seconds = time.perf_counter() - signing_start
+    serialization_start = time.perf_counter()
+    cache.put("buildpath-notary", params, fast)
+    serialization_seconds = time.perf_counter() - serialization_start
+    fast_seconds = time.perf_counter() - fast_start
+
+    # warm: load the persisted universe back.
+    warm_start = time.perf_counter()
+    warm = cache.get("buildpath-notary", params)
+    warm_seconds = time.perf_counter() - warm_start
+
+    assert warm is not None, "warm load missed the entry it just wrote"
+    legacy_bytes = _leaf_bytes(legacy)
+    assert _leaf_bytes(fast) == legacy_bytes, "fast build changed the universe"
+    assert _leaf_bytes(warm) == legacy_bytes, "warm load changed the universe"
+
+    cold_build_seconds = keygen_seconds + signing_seconds
+    return {
+        "scale": scale,
+        "leaves": fast.total_certificates,
+        "legacy_s": round(legacy_seconds, 3),
+        "fast_s": round(fast_seconds, 3),
+        "fast_phases": {
+            "keygen_s": round(keygen_seconds, 3),
+            "signing_s": round(signing_seconds, 3),
+            "serialization_s": round(serialization_seconds, 3),
+        },
+        "warm_s": round(warm_seconds, 3),
+        # cache serialization is excluded from the cold-build number:
+        # it is the warm path's one-time investment, not build work.
+        "speedup_cold": round(legacy_seconds / cold_build_seconds, 2),
+        "speedup_warm": round(cold_build_seconds / warm_seconds, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", type=float, nargs="+", default=[1.0],
+        help="notary traffic scales to benchmark (default: 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="workers for the fast build (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_buildpath.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--build-cache", metavar="DIR", default=None,
+        help="cache directory for the warm phase (default: temp dir)",
+    )
+    parser.add_argument(
+        "--fail-below-cold", type=float, default=None, metavar="RATIO",
+        help="exit 1 if any scale's fast-cold speedup over legacy is "
+        "below RATIO",
+    )
+    parser.add_argument(
+        "--fail-below-warm", type=float, default=None, metavar="RATIO",
+        help="exit 1 if any scale's warm-load speedup over the fast "
+        "cold build is below RATIO",
+    )
+    args = parser.parse_args(argv)
+    workers = resolve_workers(args.workers)
+
+    records = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = args.build_cache or tmp
+        for scale in args.scales:
+            print(f"benchmarking scale={scale} (workers={workers}) ...")
+            record = bench_scale(scale, workers, cache_dir)
+            records.append(record)
+            print(
+                f"  leaves={record['leaves']:,} "
+                f"legacy={record['legacy_s']}s "
+                f"fast={record['fast_s']}s (x{record['speedup_cold']}) "
+                f"warm={record['warm_s']}s (x{record['speedup_warm']})"
+            )
+
+    payload = {
+        "benchmark": "buildpath",
+        "seed": SEED,
+        "workers": workers,
+        "workload": "build_notary (keygen + leaf signing + ingest)",
+        "scales": records,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = []
+    if args.fail_below_cold is not None:
+        failures += [
+            f"scale {r['scale']}: fast-cold speedup {r['speedup_cold']} "
+            f"< {args.fail_below_cold}"
+            for r in records if r["speedup_cold"] < args.fail_below_cold
+        ]
+    if args.fail_below_warm is not None:
+        failures += [
+            f"scale {r['scale']}: warm-load speedup {r['speedup_warm']} "
+            f"< {args.fail_below_warm}"
+            for r in records if r["speedup_warm"] < args.fail_below_warm
+        ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,11 @@ Notary in three configurations:
   executor for the per-root sweeps.
 
 Every phase must produce identical tables/figures; the harness asserts
-this before reporting a single number. Results land in
+this before reporting a single number. One CertificateFactory is shared
+across scale entries (CA keys generate once per sweep), and
+``--build-cache DIR`` persists each built notary so later sweeps load
+it instead of rebuilding; ``build_phases`` records the cold build's
+keygen/signing/serialization split. Results land in
 ``BENCH_fastpath.json``. Run standalone::
 
     python benchmarks/bench_fastpath.py --scales 1 4 --workers 4
@@ -34,11 +38,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.figures import figure3_ecdf, store_categories
 from repro.analysis.tables import table3_validated_counts
+from repro.buildcache import BuildCache
 from repro.crypto.cache import default_verification_cache, fastpath_disabled
 from repro.notary import build_notary
 from repro.parallel import ParallelExecutor, resolve_workers
 from repro.rootstore import CertificateFactory, build_platform_stores
 from repro.rootstore.catalog import default_catalog
+from repro.tlssim.traffic import TlsTrafficGenerator
 
 SEED = "bench-universe"
 
@@ -56,14 +62,56 @@ def _cold_start(notary) -> None:
     notary.reset_fastpath()
 
 
-def bench_scale(scale: float, workers: int) -> dict:
+def _timed_build(factory, catalog, scale: float, cache: BuildCache | None) -> tuple:
+    """Build (or cache-load) one notary, timing the build phases.
+
+    The factory is shared across scale entries, so CA keys generate
+    once for the whole sweep; with a ``cache``, the built notary is
+    persisted per scale and later sweeps load instead of rebuilding.
+    Returns ``(notary, phases_dict)``.
+    """
+    params = {"seed": SEED, "key_bits": factory.key_bits, "scale": scale}
+    if cache is not None:
+        load_start = time.perf_counter()
+        notary = cache.get("bench-notary", params)
+        if notary is not None:
+            return notary, {
+                "cache": "hit",
+                "load_s": round(time.perf_counter() - load_start, 3),
+            }
+    generator = TlsTrafficGenerator(factory, catalog, scale=scale)
+    executor = ParallelExecutor()
+    keygen_start = time.perf_counter()
+    generator.warm(executor)
+    keygen_seconds = time.perf_counter() - keygen_start
+    signing_start = time.perf_counter()
+    notary = build_notary(generator=generator, executor=executor)
+    signing_seconds = time.perf_counter() - signing_start
+    serialization_seconds = 0.0
+    if cache is not None:
+        serialization_start = time.perf_counter()
+        cache.put("bench-notary", params, notary)
+        serialization_seconds = time.perf_counter() - serialization_start
+    return notary, {
+        "cache": "miss" if cache is not None else "off",
+        "keygen_s": round(keygen_seconds, 3),
+        "signing_s": round(signing_seconds, 3),
+        "serialization_s": round(serialization_seconds, 3),
+    }
+
+
+def bench_scale(
+    scale: float,
+    workers: int,
+    factory: CertificateFactory,
+    cache: BuildCache | None,
+) -> dict:
     """Benchmark one notary scale; returns the result record."""
-    factory = CertificateFactory(seed=SEED)
     catalog = default_catalog()
     stores = build_platform_stores(factory, catalog)
 
     build_start = time.perf_counter()
-    notary = build_notary(factory, catalog, scale=scale)
+    notary, build_phases = _timed_build(factory, catalog, scale, cache)
     build_seconds = time.perf_counter() - build_start
     # Store-only categories: without session extras the "additional
     # certs" buckets are empty and carry no ECDF — drop them.
@@ -99,6 +147,7 @@ def bench_scale(scale: float, workers: int) -> dict:
         "scale": scale,
         "leaves": notary.total_certificates,
         "build_s": round(build_seconds, 3),
+        "build_phases": build_phases,
         "serial_s": round(serial_seconds, 3),
         "cached_s": round(cached_seconds, 3),
         "parallel_s": round(parallel_seconds, 3),
@@ -123,6 +172,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="BENCH_fastpath.json", help="output JSON path"
     )
     parser.add_argument(
+        "--build-cache", metavar="DIR", default=None,
+        help="persistent build cache shared across scales and runs "
+        "(built notaries load instead of rebuilding)",
+    )
+    parser.add_argument(
         "--fail-below", type=float, default=None, metavar="RATIO",
         help="exit 1 if any scale's cached+parallel speedup over serial "
         "is below RATIO",
@@ -130,10 +184,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     workers = resolve_workers(args.workers)
 
+    factory = CertificateFactory(seed=SEED)
+    cache = BuildCache(args.build_cache) if args.build_cache else None
     records = []
     for scale in args.scales:
         print(f"benchmarking notary_scale={scale} (workers={workers}) ...")
-        record = bench_scale(scale, workers)
+        record = bench_scale(scale, workers, factory, cache)
         records.append(record)
         print(
             f"  leaves={record['leaves']:,} "

@@ -215,6 +215,7 @@ def render_fastpath(result: StudyResult) -> str:
         return out.getvalue()
     state = "enabled" if stats.enabled else "disabled"
     out.write(f"  fast path {state}, workers={stats.workers}\n")
+    out.write(f"  build cache: {stats.build_cache}\n")
     cache = stats.cache
     out.write(
         f"  verification cache: {cache.hits:,} hits / "

@@ -30,6 +30,7 @@ from repro.analysis.sessions import (
     handsets_missing_certificates,
 )
 from repro.android.population import Population, PopulationConfig, PopulationGenerator
+from repro.buildcache import BuildCache
 from repro.crypto.cache import CacheStats, default_verification_cache, fastpath_disabled
 from repro.faults.injector import FaultInjector
 from repro.faults.quarantine import IngestHealth, Quarantine
@@ -56,12 +57,18 @@ class StudyConfig:
     fault_rate: float = 0.0
     #: seed of the fault-injection RNG streams; defaults to ``seed``.
     fault_seed: str = ""
-    #: worker processes for the hot analysis queries (1 = serial; the
-    #: report is byte-identical at any count).
+    #: worker processes for the build (key generation, leaf signing)
+    #: and the hot analysis queries (1 = serial; the report is
+    #: byte-identical at any count).
     workers: int = 1
     #: memoization fast path (verification cache + Notary indexes);
     #: disabling it reruns every RSA check from first principles.
     fastpath: bool = True
+    #: directory of the persistent build-artifact cache; empty disables
+    #: caching. A warm hit skips the whole universe build (the report is
+    #: byte-identical either way). Ignored when fault injection is on —
+    #: fault runs must exercise the real ingest path.
+    build_cache_dir: str = ""
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,9 @@ class FastPathStats:
     cache: CacheStats
     #: sizes of the Notary's derived memo layers after the run.
     notary_indexes: dict[str, int]
+    #: build-artifact cache outcome: "off", "miss" (cold build, artifact
+    #: written) or "hit" (universe loaded, build skipped).
+    build_cache: str = "off"
 
 
 @dataclass
@@ -140,15 +150,28 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
     """Run the full reproduction pipeline.
 
     The report-bearing output is byte-identical for any ``workers``
-    count and with the fast path on or off; only the wall-clock time
-    and the :class:`FastPathStats` bookkeeping differ.
+    count, with the fast path on or off, and whether the universe was
+    built cold or loaded from a warm build cache; only the wall-clock
+    time and the :class:`FastPathStats` bookkeeping differ.
     """
     config = config or StudyConfig()
     guard = nullcontext() if config.fastpath else fastpath_disabled()
     cache = default_verification_cache()
     baseline = cache.stats()
+    executor = ParallelExecutor(workers=config.workers)
+
+    build_cache: BuildCache | None = None
+    build_cache_state = "off"
+    if config.build_cache_dir and config.fault_rate == 0:
+        build_cache = BuildCache(config.build_cache_dir)
+    build_params = {
+        "seed": config.seed,
+        "population_scale": config.population_scale,
+        "notary_scale": config.notary_scale,
+        "key_bits": config.key_bits,
+    }
+
     with guard:
-        factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
         catalog = default_catalog()
 
         injector: FaultInjector | None = None
@@ -157,16 +180,49 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                 rate=config.fault_rate, seed=config.fault_seed or config.seed
             )
 
-        stores = build_platform_stores(factory, catalog)
-        population = PopulationGenerator(
-            PopulationConfig(seed=config.seed, scale=config.population_scale),
-            factory,
-            catalog,
-        ).generate()
-        dataset = collect_dataset(population, factory, catalog, injector=injector)
-        notary = build_notary(
-            factory, catalog, scale=config.notary_scale, injector=injector
+        universe = (
+            build_cache.get("universe", build_params) if build_cache else None
         )
+        if isinstance(universe, dict) and universe.keys() >= {
+            "factory", "stores", "population", "dataset", "notary"
+        }:
+            build_cache_state = "hit"
+            factory = universe["factory"]
+            stores = universe["stores"]
+            population = universe["population"]
+            dataset = universe["dataset"]
+            notary = universe["notary"]
+        else:
+            factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
+            stores = build_platform_stores(factory, catalog)
+            population = PopulationGenerator(
+                PopulationConfig(seed=config.seed, scale=config.population_scale),
+                factory,
+                catalog,
+            ).generate(executor=executor)
+            dataset = collect_dataset(
+                population, factory, catalog, injector=injector, executor=executor
+            )
+            notary = build_notary(
+                factory,
+                catalog,
+                scale=config.notary_scale,
+                injector=injector,
+                executor=executor,
+            )
+            if build_cache is not None:
+                build_cache_state = "miss"
+                build_cache.put(
+                    "universe",
+                    build_params,
+                    {
+                        "factory": factory,
+                        "stores": stores,
+                        "population": population,
+                        "dataset": dataset,
+                        "notary": notary,
+                    },
+                )
 
         result = StudyResult(
             config=config,
@@ -177,12 +233,13 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
             diffs=[],
             fault_injector=injector,
         )
-        analyze(result, catalog, executor=ParallelExecutor(workers=config.workers))
+        analyze(result, catalog, executor=executor)
     result.fastpath = FastPathStats(
         workers=config.workers,
         enabled=config.fastpath,
         cache=cache.stats().since(baseline),
         notary_indexes=notary.fastpath_index_sizes(),
+        build_cache=build_cache_state,
     )
     return result
 

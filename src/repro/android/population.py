@@ -24,6 +24,7 @@ from repro.android.apps import FreedomLikeApp, VpnInterceptorApp
 from repro.android.device import AndroidDevice, DeviceSpec
 from repro.android.firmware import FirmwareBuilder
 from repro.crypto.rng import derive_random
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.tlssim.endpoints import WHITELISTED_DOMAINS
@@ -252,8 +253,20 @@ class PopulationGenerator:
 
     # -- generation -----------------------------------------------------------------
 
-    def generate(self) -> Population:
-        """Build the full population."""
+    def generate(self, executor: "ParallelExecutor | None" = None) -> Population:
+        """Build the full population.
+
+        Sampling is one sequential RNG stream and stays serial; an
+        ``executor`` pre-generates the CA keys firmware provisioning
+        needs (the expensive part) in parallel first, which changes
+        nothing about the output — each key lives in its own derived
+        RNG stream.
+        """
+        if executor is not None and executor.parallel:
+            self.factory.warm(
+                (profile.name for profile in self.catalog.all_profiles()),
+                executor,
+            )
         rng = derive_random(self.config.seed, "population")
         # Roaming uses an independent stream so toggling the feature (or
         # its rate) cannot perturb the calibrated main sampling stream.

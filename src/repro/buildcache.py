@@ -1,0 +1,171 @@
+"""Persistent build-artifact cache for PKI universes.
+
+Building a universe — hundreds of RSA keys, tens of thousands of signed
+leaves — dominates a cold study run, yet the result is a pure function
+of (seed, scale, key size) and the generator code itself. This cache
+content-addresses serialized build artifacts by exactly those inputs:
+
+* the artifact kind and its build parameters,
+* the cache format's :data:`CACHE_SCHEMA`,
+* a :func:`generator_fingerprint` hashing the source of every module
+  that participates in building, so any code change — a new encoder, a
+  different catalog — invalidates every cached universe automatically.
+
+Entries are written atomically (temp file + ``os.replace``) and carry a
+SHA-256 digest of the payload. A truncated, bit-flipped, or otherwise
+unreadable entry is *never* trusted: it is dead-lettered into the
+cache's :class:`~repro.faults.quarantine.Quarantine` (category
+``cache-corruption``), deleted, and reported as a miss so the caller
+simply rebuilds — corruption can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import pathlib
+import pickle
+from functools import lru_cache
+
+from repro.faults.quarantine import ErrorCategory, Quarantine
+
+#: Leading magic of every cache entry (name + format revision).
+MAGIC = b"RPBC0001"
+
+#: Cache format schema. Bump when the envelope or the pickled artifact
+#: shapes change incompatibly; old entries then read as misses.
+CACHE_SCHEMA = 1
+
+#: Modules whose source participates in building a universe. Hashing
+#: their bytes into every cache key makes code changes self-invalidating
+#: without any manual version bookkeeping.
+_FINGERPRINT_MODULES: tuple[str, ...] = (
+    "repro.asn1.encoder",
+    "repro.crypto.fastlane",
+    "repro.crypto.primes",
+    "repro.crypto.rng",
+    "repro.crypto.rsa",
+    "repro.crypto.pkcs1",
+    "repro.x509.builder",
+    "repro.x509.certificate",
+    "repro.x509.extensions",
+    "repro.x509.name",
+    "repro.rootstore.catalog",
+    "repro.rootstore.factory",
+    "repro.rootstore.vendors",
+    "repro.tlssim.traffic",
+    "repro.notary.database",
+    "repro.android.population",
+    "repro.netalyzr.collector",
+)
+
+
+@lru_cache(maxsize=1)
+def generator_fingerprint() -> str:
+    """SHA-256 over the source bytes of every build-path module."""
+    digest = hashlib.sha256()
+    for name in _FINGERPRINT_MODULES:
+        module = importlib.import_module(name)
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(pathlib.Path(module.__file__).read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class BuildCache:
+    """A directory of content-addressed, integrity-checked artifacts.
+
+    ``get`` returns ``None`` on any miss *or* corruption (after
+    quarantining and deleting the bad entry); ``put`` writes atomically
+    so a concurrent or interrupted writer can never publish a partial
+    entry under the final name.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, quarantine: Quarantine | None = None):
+        self.root = pathlib.Path(root)
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_key(self, kind: str, params: dict) -> str:
+        """The content address of one artifact (hex SHA-256)."""
+        canonical = json.dumps(
+            {
+                "kind": kind,
+                "schema": CACHE_SCHEMA,
+                "generator": generator_fingerprint(),
+                "params": params,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path_for(self, kind: str, params: dict) -> pathlib.Path:
+        """Where the artifact for (kind, params) lives on disk."""
+        return self.root / f"{kind}-{self.cache_key(kind, params)[:32]}.bin"
+
+    # -- read --------------------------------------------------------------------
+
+    def get(self, kind: str, params: dict) -> object | None:
+        """The cached artifact, or None on miss/corruption."""
+        path = self.path_for(kind, params)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            self._corrupt(path, f"unreadable cache entry: {exc}", None)
+            return None
+        prefix = len(MAGIC) + 32
+        if len(blob) < prefix or not blob.startswith(MAGIC):
+            self._corrupt(path, "bad magic or truncated header", blob)
+            return None
+        digest, body = blob[len(MAGIC) : prefix], blob[prefix:]
+        if hashlib.sha256(body).digest() != digest:
+            self._corrupt(path, "payload digest mismatch", blob)
+            return None
+        try:
+            value = pickle.loads(body)
+        except Exception as exc:  # unpickling garbage raises ~anything
+            self._corrupt(path, f"undecodable payload: {exc}", blob)
+            return None
+        self.hits += 1
+        return value
+
+    def _corrupt(self, path: pathlib.Path, detail: str, blob: bytes | None) -> None:
+        """Quarantine + delete a bad entry; the caller rebuilds."""
+        self.misses += 1
+        self.quarantine.add(
+            ErrorCategory.CACHE_CORRUPTION,
+            f"buildcache:{path.name}",
+            detail,
+            payload=blob,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write -------------------------------------------------------------------
+
+    def put(self, kind: str, params: dict, value: object) -> pathlib.Path:
+        """Serialize and atomically publish one artifact."""
+        path = self.path_for(kind, params)
+        self.root.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + hashlib.sha256(body).digest() + body
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return path

@@ -194,6 +194,7 @@ def cmd_study(args: argparse.Namespace) -> int:
     """Run the full study and print (or write) the report."""
     from repro.parallel import resolve_workers
 
+    build_cache_dir = "" if args.no_build_cache else (args.build_cache or "")
     result = run_study(
         StudyConfig(
             seed=args.seed,
@@ -203,6 +204,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             workers=resolve_workers(args.workers),
             fastpath=not args.no_fastpath,
+            build_cache_dir=build_cache_dir,
         )
     )
     if args.html:
@@ -337,6 +339,15 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--perf", action="store_true",
         help="append fast-path statistics (cache hit rates, memo sizes)",
+    )
+    study.add_argument(
+        "--build-cache", metavar="DIR",
+        help="persistent build-artifact cache directory; a warm entry "
+        "skips the whole universe build (report is identical either way)",
+    )
+    study.add_argument(
+        "--no-build-cache", action="store_true",
+        help="ignore --build-cache and always build cold",
     )
     add_fault_options(study)
     study.set_defaults(func=cmd_study)

@@ -1,0 +1,40 @@
+"""The build-path fast lane switch.
+
+The fast lane bundles the output-identical build optimizations — CRT
+signing in :mod:`repro.crypto.rsa` and the sieved prime-candidate
+window in :mod:`repro.crypto.primes`. Both produce bit-for-bit the
+same keys, signatures and certificates as the pre-fast-lane code; the
+switch exists so benchmarks can measure the legacy baseline honestly
+and tests can prove the equivalence, not because outputs differ.
+
+This mirrors :func:`repro.crypto.cache.fastpath_disabled` (the *query*
+fast path); the two switches are independent because a benchmark wants
+to toggle build-time and analysis-time optimizations separately.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_ENABLED = True
+
+
+def fastlane_enabled() -> bool:
+    """Whether the build-path fast lane (CRT + sieve) is active."""
+    return _ENABLED
+
+
+@contextmanager
+def fastlane_disabled():
+    """Run a block on the legacy build path (no CRT, no sieve).
+
+    Outputs are identical either way; only the wall-clock time differs.
+    Benchmarks use this to time the pre-fast-lane baseline.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous

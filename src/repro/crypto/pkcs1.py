@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.asn1 import encode_null, encode_octet_string, encode_oid, encode_sequence
 from repro.asn1.objects import DIGEST_ALGORITHM_OIDS
 from repro.crypto.hashes import digest
@@ -12,13 +14,19 @@ class SignatureError(Exception):
     """Raised when a signature fails to verify."""
 
 
-def digest_info(hash_name: str, data: bytes) -> bytes:
-    """Build the DER DigestInfo for *data* under *hash_name*."""
+@lru_cache(maxsize=None)
+def _digest_algorithm_der(hash_name: str) -> bytes:
+    """The DigestInfo AlgorithmIdentifier SEQUENCE (invariant per hash)."""
     try:
         algorithm_oid = DIGEST_ALGORITHM_OIDS[hash_name]
     except KeyError:
         raise ValueError(f"unsupported hash algorithm {hash_name!r}") from None
-    algorithm = encode_sequence([encode_oid(algorithm_oid), encode_null()])
+    return encode_sequence([encode_oid(algorithm_oid), encode_null()])
+
+
+def digest_info(hash_name: str, data: bytes) -> bytes:
+    """Build the DER DigestInfo for *data* under *hash_name*."""
+    algorithm = _digest_algorithm_der(hash_name)
     return encode_sequence([algorithm, encode_octet_string(digest(hash_name, data))])
 
 

@@ -1,9 +1,22 @@
-"""Primality testing and prime generation (Miller-Rabin)."""
+"""Primality testing and prime generation (Miller-Rabin).
+
+Prime generation walks a 64-candidate ``+2`` wheel window from each
+random starting point. On the fast lane the whole window is sieved
+against a table of small primes in one pass of modular residues —
+``base % p`` is computed once per sieve prime (batched through
+word-sized prime products, so a handful of big-int divisions replaces
+hundreds) and composite slots are struck arithmetically — before any
+Miller-Rabin work runs. The sieve only ever eliminates candidates that
+trial division or Miller-Rabin would also have eliminated, so the prime
+returned for a given RNG state is identical with the sieve on or off
+(locked by a regression test on known seeds).
+"""
 
 from __future__ import annotations
 
 import random
 
+from repro.crypto.fastlane import fastlane_enabled
 from repro.crypto.rng import random_odd
 
 #: Small primes for fast trial division before Miller-Rabin.
@@ -16,6 +29,49 @@ _SMALL_PRIMES: tuple[int, ...] = (
 #: Deterministic Miller-Rabin witness set, sufficient for n < 3.3e24.
 _DETERMINISTIC_WITNESSES: tuple[int, ...] = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
+#: Size of the ``+2`` wheel window generate_prime scans per random draw.
+_WINDOW = 64
+
+#: Upper bound of the window sieve's prime table. Larger bounds strike
+#: more composites before Miller-Rabin ever runs; beyond a few thousand
+#: the residue arithmetic costs more than the saved witness tests.
+_SIEVE_BOUND = 8192
+
+
+def _odd_primes_below(bound: int) -> tuple[int, ...]:
+    """All odd primes below *bound* (Eratosthenes)."""
+    alive = bytearray([1]) * bound
+    alive[0:2] = b"\x00\x00"
+    for value in range(2, int(bound**0.5) + 1):
+        if alive[value]:
+            alive[value * value :: value] = bytes(
+                len(range(value * value, bound, value))
+            )
+    return tuple(i for i in range(3, bound) if alive[i])
+
+
+def _residue_chunks(primes: tuple[int, ...]) -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """Group sieve primes into word-sized products.
+
+    ``base % product`` costs about the same as ``base % p`` for a
+    multi-hundred-bit base, so reducing once per product and then taking
+    cheap machine-int residues cuts the big-int divisions ~4x.
+    """
+    chunks: list[tuple[int, tuple[int, ...]]] = []
+    product, members = 1, []
+    for prime in primes:
+        if product * prime >= 1 << 62:
+            chunks.append((product, tuple(members)))
+            product, members = 1, []
+        product *= prime
+        members.append(prime)
+    if members:
+        chunks.append((product, tuple(members)))
+    return tuple(chunks)
+
+
+_SIEVE_CHUNKS = _residue_chunks(_odd_primes_below(_SIEVE_BOUND))
+
 
 def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
     """One Miller-Rabin round; True if *n* passes for witness *a*."""
@@ -27,6 +83,22 @@ def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
         if x == n - 1:
             return True
     return False
+
+
+def _miller_rabin(n: int, rounds: int, rng: random.Random | None) -> bool:
+    """The Miller-Rabin phase of :func:`is_probable_prime` (no trial
+    division); *n* must be an odd integer > 2."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < 3_317_044_064_679_887_385_961_981:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random(n & 0xFFFFFFFF)
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a % n, d, r) for a in witnesses if a % n)
 
 
 def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None) -> bool:
@@ -42,23 +114,45 @@ def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None
             return True
         if n % prime == 0:
             return False
-    d = n - 1
-    r = 0
-    while d % 2 == 0:
-        d //= 2
-        r += 1
-    if n < 3_317_044_064_679_887_385_961_981:
-        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
-    else:
-        rng = rng or random.Random(n & 0xFFFFFFFF)
-        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
-    return all(_miller_rabin_round(n, a % n, d, r) for a in witnesses if a % n)
+    return _miller_rabin(n, rounds, rng)
+
+
+def _window_candidates(base: int, bits: int) -> list[int]:
+    """The sieve-surviving candidates of one wheel window, in order.
+
+    Strikes every ``base + 2k`` (k < 64, same bit length) divisible by —
+    but not equal to — a sieve prime. Survivors are exactly the window
+    members trial division over the sieve table cannot reject, so
+    feeding them to Miller-Rabin reproduces the unsieved scan's result.
+    """
+    # Last k whose candidate keeps exactly *bits* bits (base has the top
+    # bit set, so only forward overflow can change the length).
+    limit = min(_WINDOW - 1, ((1 << bits) - 1 - base) >> 1)
+    alive = bytearray([1]) * (limit + 1)
+    for product, members in _SIEVE_CHUNKS:
+        base_residue = base % product
+        for prime in members:
+            residue = base_residue % prime
+            # Smallest k with residue + 2k ≡ 0 (mod prime); the inverse
+            # of 2 mod an odd prime is (prime + 1) / 2.
+            k = (-residue * ((prime + 1) >> 1)) % prime
+            while k <= limit:
+                if base + 2 * k != prime:
+                    alive[k] = 0
+                k += prime
+    return [base + 2 * k for k in range(limit + 1) if alive[k]]
 
 
 def generate_prime(bits: int, rng: random.Random) -> int:
     """Generate a random prime with exactly *bits* bits."""
     if bits < 8:
         raise ValueError("refusing to generate primes below 8 bits")
+    if fastlane_enabled():
+        while True:
+            base = random_odd(rng, bits)
+            for candidate in _window_candidates(base, bits):
+                if _miller_rabin(candidate, 24, None):
+                    return candidate
     while True:
         candidate = random_odd(rng, bits)
         # Cheap wheel: advance by 2 a few times before drawing fresh bits,

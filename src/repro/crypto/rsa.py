@@ -2,7 +2,15 @@
 
 Keys serialize to/from the DER structures X.509 uses:
 ``RSAPublicKey ::= SEQUENCE { modulus INTEGER, publicExponent INTEGER }``
-wrapped in a SubjectPublicKeyInfo by the X.509 layer.
+wrapped in a SubjectPublicKeyInfo by the X.509 layer. Private keys use
+the PKCS#1 ``RSAPrivateKey`` SEQUENCE, carrying the CRT parameters when
+the key was generated locally (a legacy three-INTEGER form without CRT
+material is still read and written for backward compatibility).
+
+Signing uses the Chinese Remainder Theorem when the private key carries
+its primes: two half-size exponentiations plus a recombination, ~3-4x
+faster than a full-size ``pow`` and bit-identical in output. Keys
+deserialized from CRT-free material fall back to the direct form.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ import random
 from dataclasses import dataclass
 
 from repro.asn1 import decode, encode_integer, encode_sequence
+from repro.crypto.fastlane import fastlane_enabled
 from repro.crypto.primes import generate_prime
 
 #: Conventional public exponent.
@@ -66,11 +75,23 @@ class RsaPublicKey:
 
 @dataclass(frozen=True)
 class RsaPrivateKey:
-    """An RSA private key; keeps the CRT-free form for simplicity."""
+    """An RSA private key, optionally carrying its CRT parameters.
+
+    The CRT fields default to zero (absent): keys restored from legacy
+    serialized material sign through the direct ``m**d mod n`` path and
+    produce identical signatures, just more slowly.
+    """
 
     modulus: int
     public_exponent: int
     private_exponent: int
+    #: CRT material: the primes, the reduced exponents d mod (p-1) /
+    #: d mod (q-1), and q^-1 mod p. Zero means "not available".
+    prime_p: int = 0
+    prime_q: int = 0
+    exponent_dp: int = 0
+    exponent_dq: int = 0
+    coefficient_qinv: int = 0
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -82,11 +103,106 @@ class RsaPrivateKey:
         """Modulus size in whole bytes (the RSA block size)."""
         return (self.modulus.bit_length() + 7) // 8
 
+    @property
+    def has_crt(self) -> bool:
+        """Whether this key carries usable CRT parameters."""
+        return bool(self.prime_p and self.prime_q)
+
     def raw_sign(self, message: int) -> int:
-        """The raw RSA signature operation ``message ** d mod n``."""
+        """The raw RSA signature operation ``message ** d mod n``.
+
+        Uses the CRT decomposition (two half-size exponentiations)
+        whenever the key carries its primes; the result is identical to
+        the direct form by the CRT isomorphism.
+        """
         if not 0 <= message < self.modulus:
             raise ValueError("message representative out of range")
+        if self.has_crt and fastlane_enabled():
+            m1 = pow(message % self.prime_p, self.exponent_dp, self.prime_p)
+            m2 = pow(message % self.prime_q, self.exponent_dq, self.prime_q)
+            h = ((m1 - m2) * self.coefficient_qinv) % self.prime_p
+            return m2 + h * self.prime_q
         return pow(message, self.private_exponent, self.modulus)
+
+    def to_der(self) -> bytes:
+        """Encode as a PKCS#1 RSAPrivateKey SEQUENCE.
+
+        CRT-enriched keys emit the full RFC 8017 nine-field form
+        (version 0); CRT-free keys emit the legacy three-INTEGER form
+        this library has always written.
+        """
+        if not self.has_crt:
+            return encode_sequence(
+                [
+                    encode_integer(self.modulus),
+                    encode_integer(self.public_exponent),
+                    encode_integer(self.private_exponent),
+                ]
+            )
+        return encode_sequence(
+            [
+                encode_integer(0),  # version: two-prime
+                encode_integer(self.modulus),
+                encode_integer(self.public_exponent),
+                encode_integer(self.private_exponent),
+                encode_integer(self.prime_p),
+                encode_integer(self.prime_q),
+                encode_integer(self.exponent_dp),
+                encode_integer(self.exponent_dq),
+                encode_integer(self.coefficient_qinv),
+            ]
+        )
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "RsaPrivateKey":
+        """Decode a PKCS#1 RSAPrivateKey (nine-field or legacy form)."""
+        seq = decode(data)
+        values = [child.as_integer() for child in seq.children]
+        if len(values) == 3:
+            modulus, public_exponent, private_exponent = values
+            key = cls(
+                modulus=modulus,
+                public_exponent=public_exponent,
+                private_exponent=private_exponent,
+            )
+        elif len(values) == 9:
+            version, n, e, d, p, q, dp, dq, qinv = values
+            if version != 0:
+                raise ValueError(
+                    f"unsupported RSAPrivateKey version {version} "
+                    "(only two-prime keys are supported)"
+                )
+            if p * q != n:
+                raise ValueError("RSAPrivateKey primes do not multiply to n")
+            key = cls(
+                modulus=n,
+                public_exponent=e,
+                private_exponent=d,
+                prime_p=p,
+                prime_q=q,
+                exponent_dp=dp,
+                exponent_dq=dq,
+                coefficient_qinv=qinv,
+            )
+        else:
+            raise ValueError(
+                "RSAPrivateKey must have 3 (legacy) or 9 INTEGERs, "
+                f"found {len(values)}"
+            )
+        if key.modulus <= 0 or key.public_exponent <= 0 or key.private_exponent <= 0:
+            raise ValueError("RSA key integers must be positive")
+        return key
+
+
+def crt_parameters(p: int, q: int, d: int) -> dict[str, int]:
+    """The CRT field values for primes ``p``/``q`` and exponent ``d``."""
+    return {
+        "prime_p": p,
+        "prime_q": q,
+        "exponent_dp": d % (p - 1),
+        "exponent_dq": d % (q - 1),
+        "coefficient_qinv": pow(q, -1, p),
+    }
 
 
 @dataclass(frozen=True)
@@ -109,7 +225,8 @@ def generate_keypair(
     """Generate an RSA keypair with a *bits*-bit modulus.
 
     Primes are drawn from *rng*, making generation fully deterministic
-    for a given RNG state.
+    for a given RNG state. The private key carries its CRT parameters,
+    so signatures take the fast path.
     """
     if bits < 128:
         raise ValueError("modulus below 128 bits cannot hold a DigestInfo block")
@@ -133,6 +250,9 @@ def generate_keypair(
             continue
         return RsaKeyPair(
             private=RsaPrivateKey(
-                modulus=n, public_exponent=public_exponent, private_exponent=d
+                modulus=n,
+                public_exponent=public_exponent,
+                private_exponent=d,
+                **crt_parameters(p, q, d),
             )
         )

@@ -31,6 +31,7 @@ class ErrorCategory(enum.Enum):
     DUPLICATE_SESSION = "duplicate-session"
     PROBE_FAILURE = "probe-failure"
     MALFORMED_RECORD = "malformed-record"
+    CACHE_CORRUPTION = "cache-corruption"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

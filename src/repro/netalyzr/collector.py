@@ -9,6 +9,7 @@ from repro.faults.quarantine import ErrorCategory, IngestHealth, Quarantine
 from repro.faults.retry import RetryExhausted, RetryPolicy, retry_call
 from repro.netalyzr.dataset import NetalyzrDataset, SessionUpload
 from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.tlssim.endpoints import PROBE_TARGETS, Endpoint
@@ -152,6 +153,7 @@ def collect_dataset(
     probe_stock_devices: bool = False,
     injector: FaultInjector | None = None,
     retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    executor: ParallelExecutor | None = None,
 ) -> NetalyzrDataset:
     """Run the client over every planned session of a population.
 
@@ -168,6 +170,15 @@ def collect_dataset(
     ``dataset.quarantine`` and collection itself never raises.
     """
     client = NetalyzrClient(factory, catalog, probe_domains=probe_domains)
+    if executor is not None and executor.parallel and probe_domains:
+        # Pre-generate the probe-target server keys (and any missing CA
+        # keys) in parallel; identical keys, just sooner.
+        client.factory.warm(
+            (endpoint.issuer_ca for endpoint in PROBE_TARGETS), executor
+        )
+        client._traffic.warm_server_keys(
+            [endpoint.host for endpoint in PROBE_TARGETS], executor
+        )
     dataset = NetalyzrDataset()
     session_id = 0
     probed_firmwares: set[tuple[str, str, str, int]] = set()

@@ -31,10 +31,15 @@ from repro.crypto.cache import fastpath_enabled
 from repro.faults.ingest import CertificateUpload, ingest_certificate
 from repro.faults.injector import FaultInjector
 from repro.faults.quarantine import Quarantine
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.store import RootStore
-from repro.tlssim.traffic import ObservedLeaf, TlsTrafficGenerator
+from repro.tlssim.traffic import (
+    ObservedLeaf,
+    TlsTrafficGenerator,
+    materialize_plans,
+)
 from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import identity_key
 from repro.x509.verify import verify_signature
@@ -323,23 +328,57 @@ def build_notary(
     scale: float = 1.0,
     register_stores: tuple[RootStore, ...] = (),
     injector: FaultInjector | None = None,
+    executor: ParallelExecutor | None = None,
+    generator: TlsTrafficGenerator | None = None,
 ) -> NotaryDatabase:
     """Generate the calibrated traffic population and ingest it.
 
     Roots that sign observed leaves are themselves marked observed
     (their certificates travel in the session chains the Notary taps).
 
+    With an ``executor``, key generation and leaf materialization fan
+    out across worker processes; the ingest loop itself stays serial in
+    the same canonical (catalog-profile) order, so the database is
+    byte-identical at any worker count.
+
     With a fault ``injector``, a configurable fraction of leaf
     observations arrive corrupted off the tap; they are dead-lettered
-    in ``notary.quarantine`` instead of entering the database.
+    in ``notary.quarantine`` instead of entering the database. Fault
+    injection happens at observation time, after materialization, so it
+    composes with the parallel build path unchanged.
+
+    ``generator`` substitutes a pre-built (typically pre-warmed)
+    traffic generator; its scale overrides the ``scale`` argument.
     """
-    factory = factory or CertificateFactory()
-    catalog = catalog or default_catalog()
-    generator = TlsTrafficGenerator(factory, catalog, scale=scale)
+    if generator is not None:
+        factory, catalog = generator.factory, generator.catalog
+    else:
+        factory = factory or CertificateFactory()
+        catalog = catalog or default_catalog()
+        generator = TlsTrafficGenerator(factory, catalog, scale=scale)
     notary = NotaryDatabase()
-    for profile in catalog.all_profiles():
+    profiles = list(catalog.all_profiles())
+
+    def profile_leaves():
+        if executor is None:
+            for profile in profiles:
+                yield profile, generator.leaves_for_profile(profile)
+            return
+        generator.warm(executor)
+        plan_groups = [
+            list(generator.plans_for_profile(profile)) for profile in profiles
+        ]
+        leaves = materialize_plans(
+            generator, [plan for group in plan_groups for plan in group], executor
+        )
+        cursor = 0
+        for profile, group in zip(profiles, plan_groups):
+            yield profile, leaves[cursor : cursor + len(group)]
+            cursor += len(group)
+
+    for profile, profile_leaf_set in profile_leaves():
         root = factory.root_certificate(profile)
-        for leaf in generator.leaves_for_profile(profile):
+        for leaf in profile_leaf_set:
             if injector is not None:
                 where = f"notary:{leaf.host}"
                 corrupted = injector.corrupt_leaf(where, leaf.certificate)

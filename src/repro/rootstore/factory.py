@@ -9,13 +9,48 @@ given study seed always produces byte-identical certificates.
 from __future__ import annotations
 
 import datetime
+from typing import Iterable, Sequence
 
 from repro.crypto.rng import derive_random
 from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaProfile
 from repro.x509.builder import CertificateBuilder
 from repro.x509.certificate import Certificate
 from repro.x509.name import Name
+
+#: One keypair-generation request: the ``derive_random`` label tuple
+#: naming the RNG stream, plus the modulus size.
+KeySpec = tuple[tuple, int]
+
+
+def _keygen_chunk(payload: object, chunk: range) -> list[RsaKeyPair]:
+    """Worker chunk fn: generate the keypairs for one span of specs.
+
+    Each spec owns an independent derived RNG stream, so the generated
+    key depends only on the spec — never on which chunk, worker, or
+    order it was generated in. That is the whole determinism argument
+    for parallel key generation.
+    """
+    seed, specs = payload
+    results = []
+    for index in chunk:
+        labels, bits = specs[index]
+        results.append(generate_keypair(derive_random(seed, *labels), bits=bits))
+    return results
+
+
+def generate_keypairs(
+    seed: str, specs: Sequence[KeySpec], executor: ParallelExecutor | None
+) -> list[RsaKeyPair]:
+    """Generate one keypair per spec, fanning out across *executor*.
+
+    Returns keypairs in spec order, byte-identical at any worker count
+    (``executor=None`` runs fully serial).
+    """
+    if executor is None:
+        executor = ParallelExecutor()
+    return executor.map_chunked(_keygen_chunk, (seed, list(specs)), len(specs))
 
 #: Reference "now" for the study (§4.1: data collected Nov 2013-Apr 2014).
 STUDY_NOW = datetime.datetime(2014, 4, 1)
@@ -51,6 +86,24 @@ class CertificateFactory:
             rng = derive_random(self.seed, "ca-key", name)
             self._keypairs[name] = generate_keypair(rng, bits=self.key_bits)
         return self._keypairs[name]
+
+    def warm(self, names: Iterable[str], executor: ParallelExecutor) -> int:
+        """Pre-generate the keypairs for *names* across *executor*.
+
+        Key generation dominates cold-start cost and every key lives in
+        its own derived RNG stream, so the fan-out produces exactly the
+        keys :meth:`keypair_for` would have made lazily. Returns the
+        number of keys generated.
+        """
+        missing = [name for name in names if name not in self._keypairs]
+        specs: list[KeySpec] = [
+            (("ca-key", name), self.key_bits) for name in missing
+        ]
+        for name, keypair in zip(
+            missing, generate_keypairs(self.seed, specs, executor)
+        ):
+            self._keypairs[name] = keypair
+        return len(missing)
 
     def subject_for(self, profile: CaProfile) -> Name:
         """The subject DN for a profile."""

@@ -12,13 +12,30 @@ from __future__ import annotations
 import json
 import pathlib
 
-from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, crt_parameters
 from repro.rootstore.factory import CertificateFactory
 from repro.x509.certificate import Certificate
 from repro.x509.pem import pem_decode, pem_encode
 
-#: Format version.
-SCHEMA_VERSION = 1
+#: Format version. Version 2 added the CRT primes (p, q) so restored
+#: keys keep the fast signing path; version-1 files still load, their
+#: keys signing through the CRT-free fallback.
+SCHEMA_VERSION = 2
+
+#: Schema versions this codec can read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+def _key_record(private: RsaPrivateKey) -> dict:
+    record = {
+        "n": str(private.modulus),
+        "e": private.public_exponent,
+        "d": str(private.private_exponent),
+    }
+    if private.has_crt:
+        record["p"] = str(private.prime_p)
+        record["q"] = str(private.prime_q)
+    return record
 
 
 def save_factory(factory: CertificateFactory, path: str | pathlib.Path) -> pathlib.Path:
@@ -33,11 +50,7 @@ def save_factory(factory: CertificateFactory, path: str | pathlib.Path) -> pathl
         "seed": factory.seed,
         "key_bits": factory.key_bits,
         "keys": {
-            name: {
-                "n": str(keypair.private.modulus),
-                "e": keypair.private.public_exponent,
-                "d": str(keypair.private.private_exponent),
-            }
+            name: _key_record(keypair.private)
             for name, keypair in factory._keypairs.items()
         },
         "roots": {
@@ -61,17 +74,27 @@ def load_factory(path: str | pathlib.Path) -> CertificateFactory:
     or mismatched file raises ``ValueError``.
     """
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("schema") != SCHEMA_VERSION:
+    if payload.get("schema") not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(f"unsupported factory schema {payload.get('schema')!r}")
     factory = CertificateFactory(
         seed=payload["seed"], key_bits=payload["key_bits"]
     )
     for name, key in payload["keys"].items():
+        d = int(key["d"])
+        crt: dict[str, int] = {}
+        if "p" in key and "q" in key:
+            p, q = int(key["p"]), int(key["q"])
+            if p * q != int(key["n"]):
+                raise ValueError(
+                    f"stored primes for {name!r} do not multiply to the modulus"
+                )
+            crt = crt_parameters(p, q, d)
         factory._keypairs[name] = RsaKeyPair(
             private=RsaPrivateKey(
                 modulus=int(key["n"]),
                 public_exponent=int(key["e"]),
-                private_exponent=int(key["d"]),
+                private_exponent=d,
+                **crt,
             )
         )
     for attribute, table in (("_roots", "roots"), ("_reissues", "reissues")):

@@ -5,18 +5,32 @@ certificates it signs (calibrated in :mod:`repro.rootstore.catalog`);
 this module materializes those leaves as real signed certificates. Leaf
 keypairs are drawn from a small shared pool — key reuse does not affect
 any validation statistic and keeps generation fast.
+
+Leaf building is split into *planning* (cheap: resolve the signer,
+enumerate hosts/serials — runs serially in the parent and consumes no
+RNG beyond the memoized keys) and *materialization* (expensive: sign
+and encode each leaf — a pure function of its plan). The split lets
+:func:`materialize_plans` fan materialization out across a
+:class:`~repro.parallel.executor.ParallelExecutor` while producing
+byte-identical leaves in plan order at any worker count.
 """
 
 from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.crypto.rng import derive_random
-from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.crypto.rsa import DEFAULT_KEY_BITS, RsaKeyPair, generate_keypair
+from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, CaProfile, default_catalog
-from repro.rootstore.factory import STUDY_NOW, CertificateFactory
+from repro.rootstore.factory import (
+    STUDY_NOW,
+    CertificateFactory,
+    KeySpec,
+    generate_keypairs,
+)
 from repro.x509.builder import CertificateBuilder
 from repro.x509.certificate import Certificate
 from repro.x509.name import Name
@@ -81,6 +95,51 @@ def _slug(name: str) -> str:
     )[:40].strip("-")
 
 
+@dataclass(frozen=True)
+class LeafPlan:
+    """Everything needed to materialize one leaf, resolved up front.
+
+    Plans hold the signer key and subject directly so materialization
+    never touches the generator's mutable caches — a plan's output is a
+    pure function of the plan.
+    """
+
+    profile: CaProfile
+    signer_keypair: RsaKeyPair
+    signer_subject: Name
+    intermediates: tuple[Certificate, ...]
+    host: str
+    serial: int
+    expired: bool
+    session_count: int
+
+
+def _materialize_chunk(payload: object, chunk: range) -> list["ObservedLeaf"]:
+    """Worker chunk fn: materialize one span of leaf plans."""
+    generator, plans = payload
+    return [generator.materialize(plans[index]) for index in chunk]
+
+
+def materialize_plans(
+    generator: "TlsTrafficGenerator",
+    plans: Sequence[LeafPlan],
+    executor: ParallelExecutor | None,
+) -> list["ObservedLeaf"]:
+    """Materialize *plans* across *executor*, in plan order.
+
+    Each plan is materialized independently (no RNG, no shared mutable
+    state), so the output is byte-identical at any worker count. Call
+    :meth:`TlsTrafficGenerator.warm` first — forked workers inherit the
+    warmed key pool through copy-on-write instead of each regenerating
+    it.
+    """
+    if executor is None:
+        executor = ParallelExecutor()
+    return executor.map_chunked(
+        _materialize_chunk, (generator, list(plans)), len(plans)
+    )
+
+
 class TlsTrafficGenerator:
     """Materializes the calibrated leaf population and server identities."""
 
@@ -100,6 +159,11 @@ class TlsTrafficGenerator:
         self.scale = scale
         self._key_pool: list[RsaKeyPair] = []
         self._intermediates: dict[str, tuple[Certificate, RsaKeyPair]] = {}
+        #: keys pre-generated by :meth:`warm`, consumed by
+        #: :meth:`intermediate_for` instead of generating inline.
+        self._warm_intermediate_keys: dict[str, RsaKeyPair] = {}
+        #: ditto for :meth:`server_identity` (per probe-target host).
+        self._warm_server_keys: dict[str, RsaKeyPair] = {}
 
     # -- keys -------------------------------------------------------------------
 
@@ -111,6 +175,58 @@ class TlsTrafficGenerator:
                 for i in range(_LEAF_KEY_POOL)
             ]
         return self._key_pool[index % _LEAF_KEY_POOL]
+
+    def warm(self, executor: ParallelExecutor) -> None:
+        """Pre-generate every keypair the population needs, in parallel.
+
+        Covers the CA keys (via the factory), the issuing-intermediate
+        keys of big CAs, and the shared leaf pool. Each key lives in its
+        own derived RNG stream, so warmed keys are identical to the ones
+        the lazy paths would generate.
+        """
+        profiles = list(self.catalog.all_profiles())
+        self.factory.warm((profile.name for profile in profiles), executor)
+        specs: list[KeySpec] = []
+        targets: list[tuple[str, object]] = []
+        if not self._key_pool:
+            for index in range(_LEAF_KEY_POOL):
+                specs.append((("leaf-key", index), DEFAULT_KEY_BITS))
+                targets.append(("pool", index))
+        for profile in profiles:
+            if (
+                profile.current_leaves >= _INTERMEDIATE_THRESHOLD
+                and profile.name not in self._intermediates
+                and profile.name not in self._warm_intermediate_keys
+            ):
+                specs.append(
+                    (("intermediate-key", profile.name), DEFAULT_KEY_BITS)
+                )
+                targets.append(("intermediate", profile.name))
+        if not specs:
+            return
+        pool: list[RsaKeyPair] = [None] * _LEAF_KEY_POOL if not self._key_pool else []
+        for (kind, key), keypair in zip(
+            targets, generate_keypairs(self.factory.seed, specs, executor)
+        ):
+            if kind == "pool":
+                pool[key] = keypair
+            else:
+                self._warm_intermediate_keys[key] = keypair
+        if pool:
+            self._key_pool = pool
+
+    def warm_server_keys(
+        self, hosts: Sequence[str], executor: ParallelExecutor
+    ) -> None:
+        """Pre-generate the probe-target server keys, in parallel."""
+        missing = [host for host in hosts if host not in self._warm_server_keys]
+        specs: list[KeySpec] = [
+            (("server-key", host), DEFAULT_KEY_BITS) for host in missing
+        ]
+        for host, keypair in zip(
+            missing, generate_keypairs(self.factory.seed, specs, executor)
+        ):
+            self._warm_server_keys[host] = keypair
 
     def _scaled(self, count: int) -> int:
         """Apply the scale factor, keeping small non-zero counts alive.
@@ -132,7 +248,9 @@ class TlsTrafficGenerator:
             return None
         if profile.name not in self._intermediates:
             root_keypair = self.factory.keypair_for(profile.name)
-            keypair = generate_keypair(
+            keypair = self._warm_intermediate_keys.pop(
+                profile.name, None
+            ) or generate_keypair(
                 derive_random(self.factory.seed, "intermediate-key", profile.name)
             )
             certificate = (
@@ -153,9 +271,13 @@ class TlsTrafficGenerator:
             self._intermediates[profile.name] = (certificate, keypair)
         return self._intermediates[profile.name]
 
-    def leaves_for_profile(self, profile: CaProfile) -> Iterator[ObservedLeaf]:
-        """All leaves signed by one CA profile (via its intermediate when
-        the CA is big enough to operate one)."""
+    def plans_for_profile(self, profile: CaProfile) -> Iterator[LeafPlan]:
+        """The leaf plans of one CA profile, in canonical order.
+
+        Resolves the signer (materializing the intermediate if the CA
+        operates one) in the calling process; the yielded plans are then
+        safe to materialize anywhere.
+        """
         intermediate = self.intermediate_for(profile)
         if intermediate is None:
             signer_keypair = self.factory.keypair_for(profile.name)
@@ -168,7 +290,7 @@ class TlsTrafficGenerator:
         slug = _slug(profile.name)
         current = self._scaled(profile.current_leaves)
         for index in range(current):
-            yield self._build_leaf(
+            yield LeafPlan(
                 profile, signer_keypair, signer_subject, intermediates,
                 host=f"www{index}.{slug}.example",
                 serial=2_000_000 + index,
@@ -178,7 +300,7 @@ class TlsTrafficGenerator:
                 session_count=max(1, current * 10 // (index + 1)),
             )
         for index in range(self._scaled(profile.expired_leaves)):
-            yield self._build_leaf(
+            yield LeafPlan(
                 profile, signer_keypair, signer_subject, intermediates,
                 host=f"old{index}.{slug}.example",
                 serial=3_000_000 + index,
@@ -186,33 +308,50 @@ class TlsTrafficGenerator:
                 session_count=1,
             )
 
-    def _build_leaf(
-        self, profile, signer_keypair, signer_subject, intermediates,
-        *, host, serial, expired, session_count=1,
-    ) -> ObservedLeaf:
-        keypair = self._leaf_keypair(serial)
-        not_before = _EXPIRED_NOT_BEFORE if expired else _CURRENT_NOT_BEFORE
-        not_after = _EXPIRED_NOT_AFTER if expired else _CURRENT_NOT_AFTER
+    def leaves_for_profile(self, profile: CaProfile) -> Iterator[ObservedLeaf]:
+        """All leaves signed by one CA profile (via its intermediate when
+        the CA is big enough to operate one)."""
+        for plan in self.plans_for_profile(profile):
+            yield self.materialize(plan)
+
+    def materialize(self, plan: LeafPlan) -> ObservedLeaf:
+        """Sign and encode the leaf a plan describes."""
+        keypair = self._leaf_keypair(plan.serial)
+        not_before = _EXPIRED_NOT_BEFORE if plan.expired else _CURRENT_NOT_BEFORE
+        not_after = _EXPIRED_NOT_AFTER if plan.expired else _CURRENT_NOT_AFTER
         certificate = (
             CertificateBuilder()
-            .subject(Name.build(CN=host, O=profile.name))
-            .issuer(signer_subject)
+            .subject(Name.build(CN=plan.host, O=plan.profile.name))
+            .issuer(plan.signer_subject)
             .public_key(keypair.public)
-            .serial_number(serial)
+            .serial_number(plan.serial)
             .validity(not_before, not_after)
-            .tls_server(host)
-            .sign(signer_keypair.private, issuer_public_key=signer_keypair.public)
+            .tls_server(plan.host)
+            .sign(
+                plan.signer_keypair.private,
+                issuer_public_key=plan.signer_keypair.public,
+            )
         )
         return ObservedLeaf(
             certificate=certificate,
-            issuer_name=profile.name,
-            expired=expired,
-            session_count=session_count,
-            intermediates=intermediates,
+            issuer_name=plan.profile.name,
+            expired=plan.expired,
+            session_count=plan.session_count,
+            intermediates=plan.intermediates,
         )
 
-    def generate_population(self) -> list[ObservedLeaf]:
+    def generate_population(
+        self, executor: ParallelExecutor | None = None
+    ) -> list[ObservedLeaf]:
         """The full calibrated leaf population (all CA groups)."""
+        if executor is not None:
+            self.warm(executor)
+            plans = [
+                plan
+                for profile in self.catalog.all_profiles()
+                for plan in self.plans_for_profile(profile)
+            ]
+            return materialize_plans(self, plans, executor)
         leaves: list[ObservedLeaf] = []
         for profile in self.catalog.all_profiles():
             leaves.extend(self.leaves_for_profile(profile))
@@ -229,7 +368,7 @@ class TlsTrafficGenerator:
         """
         profile = self.catalog.by_name(issuer_ca)
         ca_keypair = self.factory.keypair_for(profile.name)
-        keypair = generate_keypair(
+        keypair = self._warm_server_keys.pop(host, None) or generate_keypair(
             derive_random(self.factory.seed, "server-key", host)
         )
         leaf = (

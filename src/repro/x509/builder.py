@@ -4,12 +4,28 @@ The builder covers the three shapes the simulation needs: self-signed
 roots, intermediate CAs, and TLS leaf certificates. The output is real
 DER signed with real (toy-sized) RSA, so everything downstream — parsing,
 chain validation, store diffing — runs on genuine X.509 objects.
+
+Building is on the study's hot path (tens of thousands of leaves per
+universe), so when the crypto fast lane is on the invariant encodings —
+algorithm identifiers, SPKI blocks, key identifiers, validity times,
+extension TLVs — are memoized, and the final :class:`Certificate` is
+constructed directly from the builder's own fields instead of
+re-parsing the DER it just wrote. The direct construction is
+attribute-exact with parsing (every encoder used here is the exact
+inverse of the corresponding parser; a regression test compares the two
+field by field), and the builder falls back to the parse path for
+inputs the encoding normalizes (sub-second or timezone-aware
+datetimes). With :func:`repro.crypto.fastlane.fastlane_disabled` every
+encoding is computed from scratch and the DER is re-parsed, restoring
+the pre-fast-lane engine for honest benchmarking; both paths emit the
+same bytes.
 """
 
 from __future__ import annotations
 
 import datetime
 import hashlib
+from functools import lru_cache
 
 from repro.asn1 import (
     ObjectIdentifier,
@@ -22,6 +38,7 @@ from repro.asn1 import (
 )
 from repro.asn1.encoder import encode_x509_time
 from repro.asn1.objects import HASH_SIGNATURE_OIDS, RSA_ENCRYPTION
+from repro.crypto.fastlane import fastlane_enabled
 from repro.crypto.pkcs1 import sign as pkcs1_sign
 from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey
 from repro.x509.certificate import Certificate
@@ -41,9 +58,67 @@ _DEFAULT_NOT_BEFORE = datetime.datetime(2000, 1, 1)
 _DEFAULT_NOT_AFTER = datetime.datetime(2030, 1, 1)
 
 
+@lru_cache(maxsize=None)
+def _algorithm_identifier_der(hash_name: str) -> bytes:
+    """The AlgorithmIdentifier SEQUENCE for a signature hash."""
+    return encode_sequence(
+        [encode_oid(HASH_SIGNATURE_OIDS[hash_name]), encode_null()]
+    )
+
+
+#: SPKI and key-identifier memos. Universe builds sign thousands of
+#: leaves against a small pool of subject keys, so both encodings repeat
+#: heavily; keys are the (modulus, exponent) value pair, never object
+#: identity.
+_SPKI_CACHE: dict[tuple[int, int], bytes] = {}
+_KEY_ID_CACHE: dict[tuple[int, int], bytes] = {}
+
+
+def _spki_der(public_key: RsaPublicKey) -> bytes:
+    """The SubjectPublicKeyInfo SEQUENCE for an RSA public key."""
+    cache_key = (public_key.modulus, public_key.exponent)
+    cached = _SPKI_CACHE.get(cache_key)
+    if cached is None:
+        cached = _SPKI_CACHE[cache_key] = encode_sequence(
+            [
+                encode_sequence([encode_oid(RSA_ENCRYPTION), encode_null()]),
+                encode_bit_string(public_key.to_der()),
+            ]
+        )
+    return cached
+
+
+@lru_cache(maxsize=512)
+def _time_der(moment: datetime.datetime) -> bytes:
+    """Memoized RFC 5280 Time encoding (validity windows repeat)."""
+    return encode_x509_time(moment)
+
+
 def _key_identifier(public_key: RsaPublicKey) -> bytes:
     """RFC 5280 method-1 key id: SHA-1 of the public key bytes."""
-    return hashlib.sha1(public_key.to_der()).digest()
+    if not fastlane_enabled():
+        return hashlib.sha1(public_key.to_der()).digest()
+    cache_key = (public_key.modulus, public_key.exponent)
+    cached = _KEY_ID_CACHE.get(cache_key)
+    if cached is None:
+        cached = _KEY_ID_CACHE[cache_key] = hashlib.sha1(
+            public_key.to_der()
+        ).digest()
+    return cached
+
+
+#: Extension DER memo. A leaf's keyUsage/extKeyUsage/SKI/AKI TLVs repeat
+#: across the whole universe (only subjectAltName varies per host);
+#: Extension is a frozen value type, so it keys its own encoding.
+_EXTENSION_DER_CACHE: dict[Extension, bytes] = {}
+
+
+def _extension_der(extension: Extension) -> bytes:
+    """Memoized Extension SEQUENCE encoding."""
+    cached = _EXTENSION_DER_CACHE.get(extension)
+    if cached is None:
+        cached = _EXTENSION_DER_CACHE[extension] = extension.to_der()
+    return cached
 
 
 class CertificateBuilder:
@@ -187,23 +262,65 @@ class CertificateBuilder:
 
         tbs = self._encode_tbs(issuer, extensions)
         signature = pkcs1_sign(issuer_private_key, self._hash_name, tbs)
-        algorithm = encode_sequence(
-            [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
+        if fastlane_enabled():
+            algorithm = _algorithm_identifier_der(self._hash_name)
+        else:
+            algorithm = encode_sequence(
+                [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
+            )
+        encoded = encode_sequence(
+            [tbs, algorithm, encode_bit_string(signature)]
         )
-        encoded = encode_sequence([tbs, algorithm, encode_bit_string(signature)])
-        return Certificate.from_der(encoded)
+        if not fastlane_enabled() or (
+            self._not_before.microsecond
+            or self._not_before.tzinfo is not None
+            or self._not_after.microsecond
+            or self._not_after.tzinfo is not None
+        ):
+            # The Time encoding drops sub-second precision and converts
+            # to UTC, so the parsed datetimes differ from the builder's
+            # inputs; only the parse path yields the canonical values.
+            return Certificate.from_der(encoded)
+        return Certificate(
+            encoded=encoded,
+            tbs_encoded=tbs,
+            version=self._version,
+            serial_number=self._serial_number,
+            signature_algorithm=HASH_SIGNATURE_OIDS[self._hash_name],
+            issuer=issuer,
+            subject=self._subject,
+            not_before=self._not_before,
+            not_after=self._not_after,
+            public_key=self._public_key,
+            extensions=tuple(extensions) if self._version == 3 else (),
+            signature=signature,
+        )
 
     def _encode_tbs(self, issuer: Name, extensions: list[Extension]) -> bytes:
         """Encode the TBSCertificate SEQUENCE."""
-        algorithm = encode_sequence(
-            [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
-        )
-        spki = encode_sequence(
-            [
-                encode_sequence([encode_oid(RSA_ENCRYPTION), encode_null()]),
-                encode_bit_string(self._public_key.to_der()),
-            ]
-        )
+        fast = fastlane_enabled()
+        if fast:
+            algorithm = _algorithm_identifier_der(self._hash_name)
+            validity = encode_sequence(
+                [_time_der(self._not_before), _time_der(self._not_after)]
+            )
+            spki = _spki_der(self._public_key)
+        else:
+            algorithm = encode_sequence(
+                [encode_oid(HASH_SIGNATURE_OIDS[self._hash_name]), encode_null()]
+            )
+            validity = encode_sequence(
+                [
+                    encode_x509_time(self._not_before),
+                    encode_x509_time(self._not_after),
+                ]
+            )
+            spki = encode_sequence(
+                [
+                    encode_sequence([encode_oid(RSA_ENCRYPTION), encode_null()]),
+                    encode_bit_string(self._public_key.to_der()),
+                ]
+            )
         parts = []
         if self._version == 3:
             parts.append(encode_explicit(0, encode_integer(2)))
@@ -212,19 +329,17 @@ class CertificateBuilder:
                 encode_integer(self._serial_number),
                 algorithm,
                 issuer.to_der(),
-                encode_sequence(
-                    [
-                        encode_x509_time(self._not_before),
-                        encode_x509_time(self._not_after),
-                    ]
-                ),
+                validity,
                 self._subject.to_der(),
                 spki,
             ]
         )
         if self._version == 3 and extensions:
+            encoder = _extension_der if fast else Extension.to_der
             parts.append(
-                encode_explicit(3, encode_sequence(ext.to_der() for ext in extensions))
+                encode_explicit(
+                    3, encode_sequence(encoder(ext) for ext in extensions)
+                )
             )
         return encode_sequence(parts)
 

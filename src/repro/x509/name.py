@@ -25,6 +25,7 @@ from repro.asn1 import (
 from repro.asn1.encoder import is_printable
 from repro.asn1.objects import DN_SHORT_NAMES, PRINTABLE_ONLY_ATTRS, dn_attribute_oid
 from repro.asn1.tags import UniversalTag
+from repro.crypto.fastlane import fastlane_enabled
 
 #: Display order used by OpenSSL-style one-line output.
 _DISPLAY_ORDER = ("C", "ST", "L", "O", "OU", "CN", "emailAddress")
@@ -94,10 +95,11 @@ class Name:
         Name.build(CN="Example Root CA", O="Example Inc", C="US")
     """
 
-    __slots__ = ("rdns",)
+    __slots__ = ("rdns", "_der")
 
     def __init__(self, rdns: Iterable[RelativeDistinguishedName]):
         self.rdns = tuple(rdns)
+        self._der: bytes | None = None
 
     @classmethod
     def build(cls, **attributes: str) -> "Name":
@@ -117,8 +119,19 @@ class Name:
         return cls(rdns)
 
     def to_der(self) -> bytes:
-        """Encode as a DER RDNSequence."""
-        return encode_sequence(rdn.to_der() for rdn in self.rdns)
+        """Encode as a DER RDNSequence.
+
+        Issuer names repeat across every certificate a CA signs, so the
+        encoding is cached on the instance when the crypto fast lane is
+        on (the cache is never shared between instances: normalized
+        equality makes distinct Names compare equal).
+        """
+        if not fastlane_enabled():
+            return encode_sequence(rdn.to_der() for rdn in self.rdns)
+        der = getattr(self, "_der", None)
+        if der is None:
+            der = self._der = encode_sequence(rdn.to_der() for rdn in self.rdns)
+        return der
 
     @classmethod
     def from_der(cls, data: bytes) -> "Name":

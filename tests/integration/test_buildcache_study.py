@@ -1,0 +1,101 @@
+"""Acceptance tests for the build-artifact cache in the study pipeline.
+
+A study run with a warm build cache must render the byte-identical
+report a cold run renders — the cache can only ever cost or save time.
+Corrupt entries are quarantined and rebuilt; fault-injection runs
+bypass the cache entirely (they must exercise the real ingest path).
+"""
+
+import pytest
+
+from repro.analysis import StudyConfig, render_study_report, run_study
+from repro.buildcache import MAGIC, BuildCache
+
+SCALE = dict(population_scale=0.1, notary_scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("buildcache")
+
+
+@pytest.fixture(scope="module")
+def cold(cache_dir):
+    return run_study(StudyConfig(build_cache_dir=str(cache_dir), **SCALE))
+
+
+class TestColdWarmIdentity:
+    def test_cold_run_populates_the_cache(self, cold, cache_dir):
+        assert cold.fastpath is not None
+        assert cold.fastpath.build_cache == "miss"
+        assert list(cache_dir.glob("universe-*.bin"))
+
+    def test_warm_run_is_byte_identical(self, cold, cache_dir):
+        warm = run_study(StudyConfig(build_cache_dir=str(cache_dir), **SCALE))
+        assert warm.fastpath is not None
+        assert warm.fastpath.build_cache == "hit"
+        assert render_study_report(warm) == render_study_report(cold)
+
+    def test_uncached_run_is_byte_identical(self, cold):
+        plain = run_study(StudyConfig(**SCALE))
+        assert plain.fastpath is not None
+        assert plain.fastpath.build_cache == "off"
+        assert render_study_report(plain) == render_study_report(cold)
+
+    def test_different_seed_misses(self, cold, cache_dir):
+        other = run_study(
+            StudyConfig(
+                seed="a-different-universe",
+                build_cache_dir=str(cache_dir),
+                **SCALE,
+            )
+        )
+        assert other.fastpath is not None
+        assert other.fastpath.build_cache == "miss"
+        assert render_study_report(other) != render_study_report(cold)
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_rebuilds_identically(self, cold, cache_dir):
+        # address exactly the cold run's entry (other tests add more)
+        entry = BuildCache(cache_dir).path_for(
+            "universe",
+            {
+                "seed": "tangled-mass",
+                "population_scale": SCALE["population_scale"],
+                "notary_scale": SCALE["notary_scale"],
+                "key_bits": 512,
+            },
+        )
+        assert entry.exists()
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(MAGIC) + 5])
+        rebuilt = run_study(StudyConfig(build_cache_dir=str(cache_dir), **SCALE))
+        assert rebuilt.fastpath is not None
+        assert rebuilt.fastpath.build_cache == "miss"
+        assert render_study_report(rebuilt) == render_study_report(cold)
+        # the entry was re-published and is loadable again
+        assert entry.exists() and entry.read_bytes() != blob[: len(MAGIC) + 5]
+
+
+class TestFaultRunsBypassTheCache:
+    def test_fault_injection_disables_caching(self, cache_dir):
+        faulty = run_study(
+            StudyConfig(
+                build_cache_dir=str(cache_dir), fault_rate=0.05, **SCALE
+            )
+        )
+        assert faulty.fastpath is not None
+        assert faulty.fastpath.build_cache == "off"
+
+
+class TestWorkerCountIdentity:
+    def test_parallel_cold_build_matches_serial(self, cold, tmp_path):
+        parallel = run_study(
+            StudyConfig(
+                workers=2, build_cache_dir=str(tmp_path / "pc"), **SCALE
+            )
+        )
+        assert parallel.fastpath is not None
+        assert parallel.fastpath.build_cache == "miss"
+        assert render_study_report(parallel) == render_study_report(cold)

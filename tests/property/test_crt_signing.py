@@ -1,0 +1,87 @@
+"""Property tests for CRT-accelerated RSA signing.
+
+The CRT lane is a pure acceleration: for any message and any key, the
+signature must equal the CRT-free ``pow(m, d, n)`` bit for bit, whether
+the fast lane is on, off, or the key simply never carried CRT
+parameters (legacy 3-field DER). The private-key DER codec must also
+round-trip the CRT fields losslessly.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_keypair, sign, verify
+from repro.crypto.fastlane import fastlane_disabled
+from repro.crypto.rsa import RsaPrivateKey
+
+KEYPAIR = generate_keypair(DeterministicRandom("crt-fixture"))
+PRIVATE = KEYPAIR.private
+#: The same key with its CRT parameters stripped: forced textbook lane.
+CRT_FREE = dataclasses.replace(
+    PRIVATE,
+    prime_p=0,
+    prime_q=0,
+    exponent_dp=0,
+    exponent_dq=0,
+    coefficient_qinv=0,
+)
+
+
+def test_fixture_keys_disagree_only_on_crt_fields():
+    assert PRIVATE.has_crt
+    assert not CRT_FREE.has_crt
+    assert (PRIVATE.modulus, PRIVATE.private_exponent) == (
+        CRT_FREE.modulus,
+        CRT_FREE.private_exponent,
+    )
+
+
+@given(st.integers(0, 2**600))
+@settings(max_examples=100, deadline=None)
+def test_crt_matches_textbook_signature(message):
+    message %= PRIVATE.modulus
+    assert PRIVATE.raw_sign(message) == CRT_FREE.raw_sign(message)
+    assert PRIVATE.raw_sign(message) == pow(
+        message, PRIVATE.private_exponent, PRIVATE.modulus
+    )
+
+
+@given(st.integers(0, 2**600))
+@settings(max_examples=60, deadline=None)
+def test_fastlane_off_matches_fastlane_on(message):
+    message %= PRIVATE.modulus
+    fast = PRIVATE.raw_sign(message)
+    with fastlane_disabled():
+        assert PRIVATE.raw_sign(message) == fast
+
+
+@given(st.binary(max_size=512))
+@settings(max_examples=60, deadline=None)
+def test_crt_signatures_verify(data):
+    signature = sign(PRIVATE, "sha256", data)
+    verify(KEYPAIR.public, "sha256", data, signature)
+    assert signature == sign(CRT_FREE, "sha256", data)
+
+
+class TestPrivateKeyDer:
+    def test_crt_key_roundtrips_all_fields(self):
+        decoded = RsaPrivateKey.from_der(PRIVATE.to_der())
+        assert decoded == PRIVATE
+        assert decoded.has_crt
+
+    def test_crt_free_key_roundtrips_as_legacy(self):
+        decoded = RsaPrivateKey.from_der(CRT_FREE.to_der())
+        assert decoded == CRT_FREE
+        assert not decoded.has_crt
+
+    def test_legacy_encoding_is_shorter(self):
+        # 3-INTEGER legacy vs 9-field RFC 8017: both must parse, and the
+        # CRT form is strictly larger (it carries five more INTEGERs).
+        assert len(CRT_FREE.to_der()) < len(PRIVATE.to_der())
+
+    def test_decoded_crt_key_signs_identically(self):
+        decoded = RsaPrivateKey.from_der(PRIVATE.to_der())
+        message = 0xDEADBEEF % PRIVATE.modulus
+        assert decoded.raw_sign(message) == PRIVATE.raw_sign(message)

@@ -1,0 +1,122 @@
+"""Unit tests for the persistent build-artifact cache."""
+
+import pickle
+
+import pytest
+
+import repro.buildcache as buildcache_module
+from repro.buildcache import MAGIC, BuildCache, generator_fingerprint
+from repro.faults.quarantine import ErrorCategory
+
+PARAMS = {"seed": "cache-test", "scale": 0.5}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return BuildCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, cache):
+        value = {"leaves": [b"cert-1", b"cert-2"], "count": 2}
+        cache.put("universe", PARAMS, value)
+        assert cache.get("universe", PARAMS) == value
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_absent_entry_is_a_miss(self, cache):
+        assert cache.get("universe", PARAMS) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_put_is_atomic_no_temp_litter(self, cache):
+        cache.put("universe", PARAMS, [1, 2, 3])
+        leftovers = [p.name for p in cache.root.iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+
+
+class TestKeying:
+    """Every build input must land in a distinct cache slot."""
+
+    def test_seed_discriminates(self, cache):
+        assert cache.path_for("universe", PARAMS) != cache.path_for(
+            "universe", {**PARAMS, "seed": "other"}
+        )
+
+    def test_scale_discriminates(self, cache):
+        assert cache.path_for("universe", PARAMS) != cache.path_for(
+            "universe", {**PARAMS, "scale": 1.0}
+        )
+
+    def test_kind_discriminates(self, cache):
+        assert cache.path_for("universe", PARAMS) != cache.path_for(
+            "bench-notary", PARAMS
+        )
+
+    def test_cache_schema_discriminates(self, cache, monkeypatch):
+        before = cache.cache_key("universe", PARAMS)
+        monkeypatch.setattr(buildcache_module, "CACHE_SCHEMA", 2)
+        assert cache.cache_key("universe", PARAMS) != before
+
+    def test_generator_fingerprint_discriminates(self, cache, monkeypatch):
+        before = cache.cache_key("universe", PARAMS)
+        monkeypatch.setattr(
+            buildcache_module, "generator_fingerprint", lambda: "0" * 64
+        )
+        assert cache.cache_key("universe", PARAMS) != before
+
+    def test_fingerprint_is_a_stable_digest(self):
+        assert generator_fingerprint() == generator_fingerprint()
+        assert len(generator_fingerprint()) == 64
+
+
+class TestCorruption:
+    """Bad entries are quarantined, deleted, and reported as misses."""
+
+    def assert_quarantined(self, cache, path, survivors=1):
+        assert cache.get("universe", PARAMS) is None
+        assert not path.exists(), "corrupt entry must be deleted"
+        records = list(cache.quarantine)
+        assert len(records) == survivors
+        assert records[-1].category is ErrorCategory.CACHE_CORRUPTION
+        assert records[-1].where == f"buildcache:{path.name}"
+
+    def test_truncated_entry(self, cache):
+        path = cache.put("universe", PARAMS, list(range(100)))
+        path.write_bytes(path.read_bytes()[: len(MAGIC) + 10])
+        self.assert_quarantined(cache, path)
+        # the rebuild-and-republish cycle works on the same slot
+        cache.put("universe", PARAMS, list(range(100)))
+        assert cache.get("universe", PARAMS) == list(range(100))
+
+    def test_bad_magic(self, cache):
+        path = cache.put("universe", PARAMS, "artifact")
+        path.write_bytes(b"XXXX" + path.read_bytes()[4:])
+        self.assert_quarantined(cache, path)
+
+    def test_bitflip_in_payload(self, cache):
+        path = cache.put("universe", PARAMS, "artifact")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        self.assert_quarantined(cache, path)
+
+    def test_valid_envelope_undecodable_payload(self, cache):
+        import hashlib
+
+        path = cache.put("universe", PARAMS, "artifact")
+        body = b"not a pickle at all"
+        path.write_bytes(MAGIC + hashlib.sha256(body).digest() + body)
+        self.assert_quarantined(cache, path)
+
+    def test_corruption_never_raises(self, cache):
+        path = cache.put("universe", PARAMS, "artifact")
+        path.write_bytes(b"")
+        assert cache.get("universe", PARAMS) is None  # no exception
+
+    def test_payload_digest_guards_the_pickle(self, cache):
+        # swapping the body for a *different valid pickle* without
+        # re-digesting must still be caught.
+        path = cache.put("universe", PARAMS, "honest artifact")
+        blob = path.read_bytes()
+        forged = pickle.dumps("forged artifact")
+        path.write_bytes(blob[: len(MAGIC) + 32] + forged)
+        self.assert_quarantined(cache, path)

@@ -1,0 +1,136 @@
+"""The builder's fast lane: memoized encodings and direct construction.
+
+With the fast lane on, :meth:`CertificateBuilder.sign` constructs the
+:class:`Certificate` straight from the builder's own fields instead of
+re-parsing the DER it just wrote. Every attribute must match what the
+parser would have produced, and the emitted bytes must be identical to
+the legacy (fast lane off) encoding.
+"""
+
+import datetime
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.crypto.fastlane import fastlane_disabled
+from repro.x509 import Certificate
+from repro.x509.builder import CertificateBuilder, make_root_certificate
+from repro.x509.name import Name
+
+ROOT_KEY = generate_keypair(DeterministicRandom("builder-root"))
+LEAF_KEY = generate_keypair(DeterministicRandom("builder-leaf"))
+
+FIELDS = (
+    "version",
+    "serial_number",
+    "signature_algorithm",
+    "not_before",
+    "not_after",
+    "public_key",
+    "signature",
+    "encoded",
+    "tbs_encoded",
+)
+
+
+def leaf_builder(**overrides):
+    builder = (
+        CertificateBuilder()
+        .subject(Name.build(CN="www.example.test", O="Example"))
+        .issuer(Name.build(CN="Example Root", O="Example", C="US"))
+        .public_key(LEAF_KEY.public)
+        .serial_number(4242)
+        .validity(
+            overrides.get("not_before", datetime.datetime(2013, 1, 1)),
+            overrides.get("not_after", datetime.datetime(2015, 1, 1)),
+        )
+        .tls_server("www.example.test")
+    )
+    if "version" in overrides:
+        builder.version(overrides["version"])
+    return builder
+
+
+def assert_matches_parsed(certificate: Certificate):
+    parsed = Certificate.from_der(certificate.encoded)
+    for field in FIELDS:
+        assert getattr(certificate, field) == getattr(parsed, field), field
+    assert certificate.subject == parsed.subject
+    assert certificate.issuer == parsed.issuer
+    assert len(certificate.extensions) == len(parsed.extensions)
+    for built, reparsed in zip(certificate.extensions, parsed.extensions):
+        assert (built.oid, built.critical, built.value) == (
+            reparsed.oid,
+            reparsed.critical,
+            reparsed.value,
+        )
+
+
+class TestDirectConstructionEquivalence:
+    def test_root_certificate(self):
+        root = make_root_certificate(
+            ROOT_KEY, Name.build(CN="Example Root", O="Example", C="US")
+        )
+        assert_matches_parsed(root)
+
+    def test_tls_leaf(self):
+        leaf = leaf_builder().sign(
+            ROOT_KEY.private, issuer_public_key=ROOT_KEY.public
+        )
+        assert_matches_parsed(leaf)
+
+    def test_v1_certificate_has_no_extensions(self):
+        v1 = leaf_builder(version=1).sign(ROOT_KEY.private)
+        assert v1.version == 1
+        assert v1.extensions == ()
+        assert_matches_parsed(v1)
+
+    @pytest.mark.parametrize(
+        ("not_before", "not_after"),
+        [
+            (
+                datetime.datetime(2013, 1, 1, microsecond=500),
+                datetime.datetime(2015, 1, 1),
+            ),
+            (
+                datetime.datetime(2013, 1, 1, tzinfo=datetime.timezone.utc),
+                datetime.datetime(2015, 1, 1, tzinfo=datetime.timezone.utc),
+            ),
+        ],
+        ids=["subsecond", "tz-aware"],
+    )
+    def test_normalizing_datetimes_take_the_parse_path(self, not_before, not_after):
+        # the Time encoding normalizes these inputs, so the builder must
+        # fall back to parsing; attributes then mirror the DER exactly.
+        leaf = leaf_builder(not_before=not_before, not_after=not_after).sign(
+            ROOT_KEY.private
+        )
+        assert leaf.not_before == Certificate.from_der(leaf.encoded).not_before
+        assert leaf.not_before.tzinfo is None
+        assert leaf.not_before.microsecond == 0
+
+
+class TestLaneByteIdentity:
+    def test_leaf_bytes_identical_across_lanes(self):
+        fast = leaf_builder().sign(
+            ROOT_KEY.private, issuer_public_key=ROOT_KEY.public
+        )
+        with fastlane_disabled():
+            legacy = leaf_builder().sign(
+                ROOT_KEY.private, issuer_public_key=ROOT_KEY.public
+            )
+        assert fast.encoded == legacy.encoded
+
+    def test_root_bytes_identical_across_lanes(self):
+        subject = Name.build(CN="Example Root", O="Example", C="US")
+        fast = make_root_certificate(ROOT_KEY, subject)
+        with fastlane_disabled():
+            legacy = make_root_certificate(ROOT_KEY, subject)
+        assert fast.encoded == legacy.encoded
+
+    def test_name_der_cache_matches_fresh_encoding(self):
+        name = Name.build(CN="Cache Me", O="Example")
+        cached_twice = (name.to_der(), name.to_der())
+        with fastlane_disabled():
+            fresh = name.to_der()
+        assert cached_twice == (fresh, fresh)

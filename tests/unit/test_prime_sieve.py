@@ -1,0 +1,94 @@
+"""Regression lock for the sieved prime-generation fast path.
+
+``generate_prime`` with the fast lane on must return *exactly* the same
+prime, from exactly the same RNG stream position, as the legacy
+trial-division loop — for every seed and bit size. The residue sieve is
+a pure pre-filter: it may only discard candidates Miller-Rabin would
+have rejected anyway.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.crypto.fastlane import fastlane_disabled, fastlane_enabled
+from repro.crypto.primes import (
+    _SIEVE_CHUNKS,
+    _WINDOW,
+    _window_candidates,
+    generate_prime,
+    is_probable_prime,
+)
+
+SEEDS = [1, 7, 2024, 0xC0FFEE, "tangled-mass"]
+BIT_SIZES = [24, 48, 128, 256]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("bits", BIT_SIZES)
+def test_sieved_prime_matches_legacy_prime(seed, bits):
+    fast_rng, legacy_rng = random.Random(seed), random.Random(seed)
+    fast = generate_prime(bits, fast_rng)
+    with fastlane_disabled():
+        legacy = generate_prime(bits, legacy_rng)
+    assert fast == legacy
+    # Both lanes must also leave the RNG in the same state, or the next
+    # prime of the keypair would diverge.
+    assert fast_rng.getstate() == legacy_rng.getstate()
+
+
+@pytest.mark.parametrize("seed", ["alpha", "beta"])
+def test_sieved_keypair_matches_legacy_keypair(seed):
+    fast = generate_keypair(DeterministicRandom(seed))
+    with fastlane_disabled():
+        legacy = generate_keypair(DeterministicRandom(seed))
+    # Identical primes -> identical modulus, exponents, CRT fields.
+    assert fast.private == legacy.private
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_window_survivors_match_trial_division(seed):
+    rng = random.Random(seed)
+    bits = 64
+    base = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+    survivors = _window_candidates(base, bits)
+    sieve_primes = [p for _, chunk in _SIEVE_CHUNKS for p in chunk]
+    expected = [
+        candidate
+        for k in range(_WINDOW)
+        if (candidate := base + 2 * k).bit_length() == bits
+        and all(candidate % p or candidate == p for p in sieve_primes)
+    ]
+    assert survivors == expected
+
+
+def test_window_never_discards_a_prime():
+    rng = random.Random(99)
+    for _ in range(4):
+        bits = 48
+        base = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        survivors = set(_window_candidates(base, bits))
+        for k in range(_WINDOW):
+            candidate = base + 2 * k
+            if candidate.bit_length() == bits and is_probable_prime(candidate):
+                assert candidate in survivors
+
+
+def test_tiny_bit_sizes_keep_sieve_primes_eligible():
+    # A 13-bit request can land on a window containing actual sieve
+    # primes; the sieve must not strike a candidate for being equal to
+    # the very prime that divides it.
+    for seed in range(6):
+        fast_rng, legacy_rng = random.Random(seed), random.Random(seed)
+        fast = generate_prime(13, fast_rng)
+        with fastlane_disabled():
+            legacy = generate_prime(13, legacy_rng)
+        assert fast == legacy
+
+
+def test_fastlane_toggle_restores():
+    assert fastlane_enabled()
+    with fastlane_disabled():
+        assert not fastlane_enabled()
+    assert fastlane_enabled()
