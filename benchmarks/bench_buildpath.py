@@ -37,6 +37,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs
 from repro.buildcache import BuildCache
 from repro.crypto.fastlane import fastlane_disabled
 from repro.notary import build_notary
@@ -66,20 +67,24 @@ def bench_scale(scale: float, workers: int, cache_dir: str) -> dict:
         legacy_seconds = time.perf_counter() - legacy_start
 
     # fast cold: CRT + sieve + memoized builder + parallel plan build.
+    # The phase runs in its own telemetry capture window so the record
+    # can carry the executor fan-out and build-cache counters.
     executor = ParallelExecutor(workers=workers)
     generator = TlsTrafficGenerator(
         CertificateFactory(seed=SEED), catalog, scale=scale
     )
-    fast_start = time.perf_counter()
-    generator.warm(executor)
-    keygen_seconds = time.perf_counter() - fast_start
-    signing_start = time.perf_counter()
-    fast = build_notary(generator=generator, executor=executor)
-    signing_seconds = time.perf_counter() - signing_start
-    serialization_start = time.perf_counter()
-    cache.put("buildpath-notary", params, fast)
-    serialization_seconds = time.perf_counter() - serialization_start
-    fast_seconds = time.perf_counter() - fast_start
+    with obs.capture() as (registry, _tracer):
+        fast_start = time.perf_counter()
+        generator.warm(executor)
+        keygen_seconds = time.perf_counter() - fast_start
+        signing_start = time.perf_counter()
+        fast = build_notary(generator=generator, executor=executor)
+        signing_seconds = time.perf_counter() - signing_start
+        serialization_start = time.perf_counter()
+        cache.put("buildpath-notary", params, fast)
+        serialization_seconds = time.perf_counter() - serialization_start
+        fast_seconds = time.perf_counter() - fast_start
+    fast_counters = registry.to_dict()["counters"]
 
     # warm: load the persisted universe back.
     warm_start = time.perf_counter()
@@ -107,6 +112,7 @@ def bench_scale(scale: float, workers: int, cache_dir: str) -> dict:
         # it is the warm path's one-time investment, not build work.
         "speedup_cold": round(legacy_seconds / cold_build_seconds, 2),
         "speedup_warm": round(cold_build_seconds / warm_seconds, 2),
+        "fast_counters": fast_counters,
     }
 
 

@@ -36,6 +36,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs
 from repro.analysis.figures import figure3_ecdf, store_categories
 from repro.analysis.tables import table3_validated_counts
 from repro.buildcache import BuildCache
@@ -128,17 +129,25 @@ def bench_scale(
         serial_result = _workload(stores, categories, notary)
         serial_seconds = time.perf_counter() - serial_start
 
+    # The cached phase reports the run's *delta* via ``since()`` — a
+    # fresh absolute snapshot here would silently fold in whatever the
+    # process had already accumulated (the old harness bug).
     _cold_start(notary)
+    cache_baseline = default_verification_cache().stats()
     cached_start = time.perf_counter()
     cached_result = _workload(stores, categories, notary)
     cached_seconds = time.perf_counter() - cached_start
-    cache_stats = default_verification_cache().stats()
+    cache_stats = default_verification_cache().stats().since(cache_baseline)
 
+    # The parallel phase runs in its own telemetry capture window so
+    # the record can carry the executor's fan-out counters.
     _cold_start(notary)
     executor = ParallelExecutor(workers=workers)
-    parallel_start = time.perf_counter()
-    parallel_result = _workload(stores, categories, notary, executor=executor)
-    parallel_seconds = time.perf_counter() - parallel_start
+    with obs.capture() as (registry, _tracer):
+        parallel_start = time.perf_counter()
+        parallel_result = _workload(stores, categories, notary, executor=executor)
+        parallel_seconds = time.perf_counter() - parallel_start
+    parallel_counters = registry.to_dict()["counters"]
 
     assert cached_result == serial_result, "cached phase changed the results"
     assert parallel_result == serial_result, "parallel phase changed the results"
@@ -155,6 +164,7 @@ def bench_scale(
         "speedup_parallel": round(serial_seconds / parallel_seconds, 2),
         "cache": cache_stats.to_dict(),
         "notary_indexes": notary.fastpath_index_sizes(),
+        "parallel_counters": parallel_counters,
     }
 
 

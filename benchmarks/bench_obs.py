@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Telemetry overhead benchmark: instrumented vs. zero-instrumentation.
+
+Times a full study run twice — once with the observability layer
+recording normally (spans, counters, histograms) and once inside
+:func:`repro.obs.disabled`, where every helper is a no-op — and reports
+the relative overhead the telemetry spine adds. Both runs must render
+the byte-identical study report (report neutrality is the layer's
+design invariant), and the instrumented run's trace/metrics exports
+must pass the :mod:`repro.obs.schema` validators; the harness asserts
+both before reporting a single number.
+
+Runs are interleaved (plain, instrumented, plain, …) and each
+configuration keeps its best time, which damps machine noise without
+hiding a systematic slowdown. The process-wide verification cache is
+cleared before every run so neither configuration inherits the other's
+warm entries. Results land in ``BENCH_obs.json``. Run standalone::
+
+    python benchmarks/bench_obs.py --scale 0.1 --notary-scale 0.1
+
+``--max-overhead R`` exits non-zero when the relative overhead exceeds
+R (CI uses 0.05: telemetry must stay within 5% of a plain run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs
+from repro.analysis.report import render_study_report
+from repro.analysis.study import StudyConfig, run_study
+from repro.crypto.cache import default_verification_cache
+from repro.obs.schema import validate_metrics, validate_trace
+
+
+def _timed_run(config: StudyConfig, instrumented: bool) -> tuple[float, object]:
+    """One cold study run; returns ``(seconds, result)``."""
+    default_verification_cache().clear()
+    guard = obs.disabled() if not instrumented else None
+    start = time.perf_counter()
+    if guard is not None:
+        with guard:
+            result = run_study(config)
+    else:
+        result = run_study(config)
+    return time.perf_counter() - start, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="population scale of the timed study")
+    parser.add_argument("--notary-scale", type=float, default=0.1,
+                        help="notary traffic scale of the timed study")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the timed study")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="interleaved repeats per configuration "
+                        "(best time wins)")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output JSON path")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="also write the instrumented run's trace here")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="also write the instrumented run's metrics here")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit 1 if (instrumented - plain) / plain "
+                        "exceeds RATIO")
+    args = parser.parse_args(argv)
+
+    config = StudyConfig(
+        population_scale=args.scale,
+        notary_scale=args.notary_scale,
+        workers=args.workers,
+    )
+
+    plain_seconds = []
+    instrumented_seconds = []
+    plain_report = instrumented_report = None
+    telemetry = None
+    for repeat in range(max(args.repeats, 1)):
+        print(f"repeat {repeat + 1}/{max(args.repeats, 1)}: plain ...")
+        seconds, result = _timed_run(config, instrumented=False)
+        plain_seconds.append(seconds)
+        plain_report = render_study_report(result)
+        print(f"  plain        {seconds:.3f}s")
+        print(f"repeat {repeat + 1}/{max(args.repeats, 1)}: instrumented ...")
+        seconds, result = _timed_run(config, instrumented=True)
+        instrumented_seconds.append(seconds)
+        instrumented_report = render_study_report(result)
+        telemetry = result.telemetry
+        print(f"  instrumented {seconds:.3f}s")
+
+    assert instrumented_report == plain_report, (
+        "telemetry changed the study report"
+    )
+    assert telemetry is not None, "instrumented run captured no telemetry"
+    validate_trace(telemetry.trace)
+    validate_metrics(telemetry.metrics)
+    if args.trace_out:
+        telemetry.write_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+
+    best_plain = min(plain_seconds)
+    best_instrumented = min(instrumented_seconds)
+    overhead = (best_instrumented - best_plain) / best_plain
+    span_count = len(telemetry.trace["spans"])
+    counter_count = len(telemetry.metrics["counters"])
+
+    payload = {
+        "benchmark": "obs",
+        "workload": "run_study (full pipeline)",
+        "scale": args.scale,
+        "notary_scale": args.notary_scale,
+        "workers": args.workers,
+        "repeats": max(args.repeats, 1),
+        "plain_s": round(best_plain, 3),
+        "instrumented_s": round(best_instrumented, 3),
+        "overhead": round(overhead, 4),
+        "report_identical": True,
+        "trace_root_spans": span_count,
+        "metrics_counters": counter_count,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"plain={best_plain:.3f}s instrumented={best_instrumented:.3f}s "
+        f"overhead={overhead:+.2%}"
+    )
+    print(f"wrote {out}")
+
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(
+            f"FAIL: telemetry overhead {overhead:.2%} exceeds "
+            f"{args.max_overhead:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

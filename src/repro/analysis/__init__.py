@@ -26,7 +26,11 @@ from repro.analysis.rooted import RootedDeviceAnalysis
 from repro.analysis.interception import InterceptionFinding, detect_interception
 from repro.analysis.figures import figure1_scatter, figure2_matrix, figure3_ecdf
 from repro.analysis import tables
-from repro.analysis.report import render_fastpath, render_study_report
+from repro.analysis.report import (
+    render_fastpath,
+    render_study_report,
+    render_telemetry,
+)
 from repro.analysis.study import FastPathStats, StudyConfig, StudyResult, run_study
 from repro.analysis.evolution import classify_additions, store_changelog
 from repro.analysis.stats import (
@@ -58,6 +62,7 @@ __all__ = [
     "tables",
     "render_fastpath",
     "render_study_report",
+    "render_telemetry",
     "FastPathStats",
     "StudyConfig",
     "StudyResult",

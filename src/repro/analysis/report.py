@@ -201,11 +201,15 @@ def render_ingest_health(result: StudyResult) -> str:
 def render_fastpath(result: StudyResult) -> str:
     """Fast-path statistics of one run (cache hits, memo sizes).
 
-    Deliberately *not* part of :func:`render_study_report`: the default
-    report must be byte-identical across worker counts and fast-path
-    modes, while these counters legitimately differ (a parallel run
-    accumulates hits in forked children the parent never sees). Shown
-    on demand via ``repro study --perf``.
+    A thin view over the observability layer: ``run_study`` publishes
+    these exact numbers into the run's metrics registry (as the
+    ``crypto.verify_cache.*`` and ``notary.index.*`` gauges of the
+    ``--metrics`` export), and this renderer formats the same deltas
+    for humans. Deliberately *not* part of :func:`render_study_report`:
+    the default report must be byte-identical across worker counts and
+    fast-path modes, while these counters legitimately differ (a
+    parallel run accumulates hits in forked children the parent never
+    sees). Shown on demand via ``repro study --perf``.
     """
     out = StringIO()
     _rule(out, "Fast path: verification cache and Notary indexes")
@@ -220,10 +224,67 @@ def render_fastpath(result: StudyResult) -> str:
     out.write(
         f"  verification cache: {cache.hits:,} hits / "
         f"{cache.misses:,} misses ({cache.hit_rate:.1%} hit rate), "
-        f"{cache.entries:,} entries\n"
+        f"{cache.entries:,} entries ({cache.entries_delta:+,} this run)\n"
     )
     for name, size in sorted(stats.notary_indexes.items()):
         out.write(f"  notary {name:<18} {size:>7,} memo(s)\n")
+    return out.getvalue()
+
+
+def _render_span(out: StringIO, span: dict, depth: int) -> None:
+    """One line of the telemetry span tree, recursing into children."""
+    extras = []
+    attributes = span["attributes"]
+    if "cache_hits" in attributes or "cache_misses" in attributes:
+        extras.append(
+            f"cache {attributes.get('cache_hits', 0):,}h/"
+            f"{attributes.get('cache_misses', 0):,}m"
+        )
+    if span["dropped_events"]:
+        extras.append(f"{span['dropped_events']:,} events dropped")
+    suffix = f"  [{', '.join(extras)}]" if extras else ""
+    width = max(36 - 2 * depth, len(span["name"]))
+    out.write(
+        f"    {'  ' * depth}{span['name']:<{width}} "
+        f"{span['duration_s']:>9.3f}s{suffix}\n"
+    )
+    for child in span["children"]:
+        _render_span(out, child, depth + 1)
+
+
+def render_telemetry(result: StudyResult) -> str:
+    """The run's pipeline telemetry: span tree, counters, histograms.
+
+    Wall-clock durations differ run to run, so this section is never
+    part of the default report; shown on demand via
+    ``repro study --telemetry`` (the machine-readable twins are the
+    ``--trace`` / ``--metrics`` JSON exports).
+    """
+    out = StringIO()
+    _rule(out, "Pipeline telemetry")
+    telemetry = result.telemetry
+    if telemetry is None:
+        out.write("  (telemetry not captured)\n")
+        return out.getvalue()
+    out.write("  span tree (wall seconds):\n")
+    for span in telemetry.trace["spans"]:
+        _render_span(out, span, 0)
+    counters = telemetry.metrics["counters"]
+    if counters:
+        out.write("  counters:\n")
+        for name, value in counters.items():
+            out.write(f"    {name:<44} {value:>10,}\n")
+    histograms = telemetry.metrics["histograms"]
+    if histograms:
+        out.write("  histograms:\n")
+        for name, histogram in histograms.items():
+            maximum = histogram["max"]
+            out.write(
+                f"    {name:<44} n={histogram['count']:,} "
+                f"sum={histogram['sum']:.3f}s"
+                + (f" max={maximum:.3f}s" if maximum is not None else "")
+                + "\n"
+            )
     return out.getvalue()
 
 

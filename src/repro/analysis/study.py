@@ -7,9 +7,10 @@ population → Netalyzr collection → Notary → analyses — and returns a
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis import tables as tables_mod
 from repro.analysis.classify import PresenceClassifier
 from repro.analysis.figures import (
@@ -37,6 +38,7 @@ from repro.faults.quarantine import IngestHealth, Quarantine
 from repro.netalyzr.collector import collect_dataset
 from repro.netalyzr.dataset import NetalyzrDataset
 from repro.notary.database import NotaryDatabase, build_notary
+from repro.obs import TelemetrySnapshot
 from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
@@ -133,6 +135,10 @@ class StudyResult:
     # fast-path bookkeeping (not part of the rendered report)
     fastpath: FastPathStats | None = None
 
+    # the run's exported telemetry (metrics dump + trace tree); captured
+    # by ``run_study`` on every run, never consulted by report rendering.
+    telemetry: TelemetrySnapshot | None = None
+
     @property
     def ingest_health(self) -> IngestHealth:
         """The dataset's ingest counters (§4.1 corpus side)."""
@@ -146,13 +152,36 @@ class StudyResult:
         return combined
 
 
+@contextmanager
+def _phase(name: str, cache, **attributes):
+    """A study-phase trace span that records verification-cache deltas.
+
+    Every phase span carries the cache hit/miss/entry movement its body
+    caused — the per-phase view of the fast path the old ``CacheStats``
+    islands could never give.
+    """
+    before = cache.stats()
+    with obs.span(name, **attributes) as span:
+        try:
+            yield span
+        finally:
+            delta = cache.stats().since(before)
+            span.set("cache_hits", delta.hits)
+            span.set("cache_misses", delta.misses)
+            span.set("cache_entries_delta", delta.entries_delta)
+
+
 def run_study(config: StudyConfig | None = None) -> StudyResult:
     """Run the full reproduction pipeline.
 
     The report-bearing output is byte-identical for any ``workers``
-    count, with the fast path on or off, and whether the universe was
-    built cold or loaded from a warm build cache; only the wall-clock
-    time and the :class:`FastPathStats` bookkeeping differ.
+    count, with the fast path on or off, with telemetry exported or
+    discarded, and whether the universe was built cold or loaded from a
+    warm build cache; only the wall-clock time and the
+    :class:`FastPathStats` / :class:`~repro.obs.TelemetrySnapshot`
+    bookkeeping differ. Telemetry is captured in a fresh
+    :func:`repro.obs.capture` window, so one run's spans and counters
+    never bleed into the next run's export.
     """
     config = config or StudyConfig()
     guard = nullcontext() if config.fastpath else fastpath_disabled()
@@ -171,75 +200,122 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
         "key_bits": config.key_bits,
     }
 
-    with guard:
-        catalog = default_catalog()
+    with obs.capture() as (registry, tracer):
+        with guard, obs.span(
+            "study",
+            seed=config.seed,
+            workers=config.workers,
+            fastpath=config.fastpath,
+            fault_rate=config.fault_rate,
+            population_scale=config.population_scale,
+            notary_scale=config.notary_scale,
+        ):
+            catalog = default_catalog()
 
-        injector: FaultInjector | None = None
-        if config.fault_rate > 0:
-            injector = FaultInjector(
-                rate=config.fault_rate, seed=config.fault_seed or config.seed
-            )
-
-        universe = (
-            build_cache.get("universe", build_params) if build_cache else None
-        )
-        if isinstance(universe, dict) and universe.keys() >= {
-            "factory", "stores", "population", "dataset", "notary"
-        }:
-            build_cache_state = "hit"
-            factory = universe["factory"]
-            stores = universe["stores"]
-            population = universe["population"]
-            dataset = universe["dataset"]
-            notary = universe["notary"]
-        else:
-            factory = CertificateFactory(seed=config.seed, key_bits=config.key_bits)
-            stores = build_platform_stores(factory, catalog)
-            population = PopulationGenerator(
-                PopulationConfig(seed=config.seed, scale=config.population_scale),
-                factory,
-                catalog,
-            ).generate(executor=executor)
-            dataset = collect_dataset(
-                population, factory, catalog, injector=injector, executor=executor
-            )
-            notary = build_notary(
-                factory,
-                catalog,
-                scale=config.notary_scale,
-                injector=injector,
-                executor=executor,
-            )
-            if build_cache is not None:
-                build_cache_state = "miss"
-                build_cache.put(
-                    "universe",
-                    build_params,
-                    {
-                        "factory": factory,
-                        "stores": stores,
-                        "population": population,
-                        "dataset": dataset,
-                        "notary": notary,
-                    },
+            injector: FaultInjector | None = None
+            if config.fault_rate > 0:
+                injector = FaultInjector(
+                    rate=config.fault_rate, seed=config.fault_seed or config.seed
                 )
 
-        result = StudyResult(
-            config=config,
-            stores=stores,
-            population=population,
-            dataset=dataset,
-            notary=notary,
-            diffs=[],
-            fault_injector=injector,
+            with _phase("study.build", cache, workers=config.workers) as build_span:
+                universe = (
+                    build_cache.get("universe", build_params)
+                    if build_cache
+                    else None
+                )
+                if isinstance(universe, dict) and universe.keys() >= {
+                    "factory", "stores", "population", "dataset", "notary"
+                }:
+                    build_cache_state = "hit"
+                    factory = universe["factory"]
+                    stores = universe["stores"]
+                    population = universe["population"]
+                    dataset = universe["dataset"]
+                    notary = universe["notary"]
+                else:
+                    with _phase("study.build.stores", cache):
+                        factory = CertificateFactory(
+                            seed=config.seed, key_bits=config.key_bits
+                        )
+                        stores = build_platform_stores(factory, catalog)
+                    with _phase("study.build.population", cache):
+                        population = PopulationGenerator(
+                            PopulationConfig(
+                                seed=config.seed, scale=config.population_scale
+                            ),
+                            factory,
+                            catalog,
+                        ).generate(executor=executor)
+                    with _phase("study.collect", cache) as collect_span:
+                        dataset = collect_dataset(
+                            population,
+                            factory,
+                            catalog,
+                            injector=injector,
+                            executor=executor,
+                        )
+                        collect_span.set("sessions", dataset.session_count)
+                        collect_span.set("quarantined", len(dataset.quarantine))
+                    with _phase("study.build_notary", cache) as notary_span:
+                        notary = build_notary(
+                            factory,
+                            catalog,
+                            scale=config.notary_scale,
+                            injector=injector,
+                            executor=executor,
+                        )
+                        notary_span.set("leaves", notary.total_certificates)
+                        notary_span.set("quarantined", len(notary.quarantine))
+                    if build_cache is not None:
+                        build_cache_state = "miss"
+                        with obs.span("study.build.cache_put"):
+                            build_cache.put(
+                                "universe",
+                                build_params,
+                                {
+                                    "factory": factory,
+                                    "stores": stores,
+                                    "population": population,
+                                    "dataset": dataset,
+                                    "notary": notary,
+                                },
+                            )
+                build_span.set("build_cache", build_cache_state)
+
+            result = StudyResult(
+                config=config,
+                stores=stores,
+                population=population,
+                dataset=dataset,
+                notary=notary,
+                diffs=[],
+                fault_injector=injector,
+            )
+            analyze(result, catalog, executor=executor)
+
+        # Publish the run's fast-path summary into the metrics registry:
+        # the ``--perf`` view and the ``--metrics`` export now read the
+        # same numbers from the same spine.
+        cache_delta = cache.stats().since(baseline)
+        cache_delta.publish(registry)
+        for name, size in notary.fastpath_index_sizes().items():
+            registry.gauge(f"notary.index.{name}").set(size)
+        registry.gauge("study.workers").set(config.workers)
+        registry.gauge("study.fastpath_enabled").set(int(config.fastpath))
+        registry.gauge("study.quarantine.total").set(
+            len(result.combined_quarantine())
         )
-        analyze(result, catalog, executor=executor)
+
     result.fastpath = FastPathStats(
         workers=config.workers,
         enabled=config.fastpath,
-        cache=cache.stats().since(baseline),
+        cache=cache_delta,
         notary_indexes=notary.fastpath_index_sizes(),
         build_cache=build_cache_state,
+    )
+    result.telemetry = TelemetrySnapshot(
+        metrics=registry.to_dict(), trace=tracer.to_dict()
     )
     return result
 
@@ -254,49 +330,63 @@ def analyze(
     stores, dataset, notary = result.stores, result.dataset, result.notary
     if executor is None:
         executor = ParallelExecutor()
+    cache = default_verification_cache()
 
-    differ = SessionDiffer(stores.aosp)
-    result.diffs = differ.diff_all(dataset, executor=executor)
-    classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+    with _phase("study.analyze", cache, workers=executor.workers):
+        with _phase("study.analyze.diff_all", cache) as diff_span:
+            differ = SessionDiffer(stores.aosp)
+            result.diffs = differ.diff_all(dataset, executor=executor)
+            diff_span.set("diffs", len(result.diffs))
+        classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
 
-    # headline scalars
-    result.extended_fraction = extended_fraction(result.diffs)
-    result.missing_cert_handsets = handsets_missing_certificates(result.diffs)
-    result.unique_certificates = len(dataset.unique_certificates())
-    result.estimated_devices = dataset.estimated_devices()
+        # headline scalars
+        with _phase("study.analyze.headline", cache):
+            result.extended_fraction = extended_fraction(result.diffs)
+            result.missing_cert_handsets = handsets_missing_certificates(
+                result.diffs
+            )
+            result.unique_certificates = len(dataset.unique_certificates())
+            result.estimated_devices = dataset.estimated_devices()
 
-    # the deduplicated extras from non-rooted sessions (the §5 universe)
-    extras: dict[tuple[int, bytes], object] = {}
-    for diff in result.diffs:
-        if diff.session.rooted:
-            continue
-        for certificate in diff.additional:
-            extras.setdefault(identity_key(certificate), certificate)
-    extra_certificates = list(extras.values())
+        # the deduplicated extras from non-rooted sessions (the §5 universe)
+        extras: dict[tuple[int, bytes], object] = {}
+        for diff in result.diffs:
+            if diff.session.rooted:
+                continue
+            for certificate in diff.additional:
+                extras.setdefault(identity_key(certificate), certificate)
+        extra_certificates = list(extras.values())
 
-    categories = store_categories(
-        stores.aosp, stores.mozilla, stores.ios7, extra_certificates
-    )
+        categories = store_categories(
+            stores.aosp, stores.mozilla, stores.ios7, extra_certificates
+        )
 
-    # tables
-    result.table1 = tables_mod.table1_store_sizes(stores)
-    result.table2 = tables_mod.table2_top_devices(dataset)
-    result.table3 = tables_mod.table3_validated_counts(stores, notary)
-    result.table4 = tables_mod.table4_category_offsets(
-        categories, notary, executor=executor
-    )
-    result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
-    result.table5 = tables_mod.table5_rooted_cas(result.rooted)
-    result.interceptions = detect_interception(dataset.sessions, classifier)
-    result.table6 = tables_mod.table6_interception_domains(result.interceptions)
+        # tables
+        with _phase("study.analyze.tables", cache):
+            result.table1 = tables_mod.table1_store_sizes(stores)
+            result.table2 = tables_mod.table2_top_devices(dataset)
+            result.table3 = tables_mod.table3_validated_counts(stores, notary)
+            result.table4 = tables_mod.table4_category_offsets(
+                categories, notary, executor=executor
+            )
+            result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
+            result.table5 = tables_mod.table5_rooted_cas(result.rooted)
+            result.interceptions = detect_interception(
+                dataset.sessions, classifier
+            )
+            result.table6 = tables_mod.table6_interception_domains(
+                result.interceptions
+            )
 
-    # figures
-    result.figure1 = figure1_scatter(result.diffs)
-    result.figure2 = figure2_matrix(result.diffs, classifier)
-    result.figure3 = figure3_ecdf(categories, notary, executor=executor)
+        # figures
+        with _phase("study.analyze.figures", cache):
+            result.figure1 = figure1_scatter(result.diffs)
+            result.figure2 = figure2_matrix(result.diffs, classifier)
+            result.figure3 = figure3_ecdf(categories, notary, executor=executor)
 
-    # §5.2 geography
-    from repro.analysis.geography import certificate_footprints, detect_roaming
+        # §5.2 geography
+        from repro.analysis.geography import certificate_footprints, detect_roaming
 
-    result.footprints = certificate_footprints(result.diffs)
-    result.roaming = detect_roaming(result.diffs, catalog)
+        with _phase("study.analyze.geography", cache):
+            result.footprints = certificate_footprints(result.diffs)
+            result.roaming = detect_roaming(result.diffs, catalog)

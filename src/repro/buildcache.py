@@ -29,6 +29,7 @@ import pathlib
 import pickle
 from functools import lru_cache
 
+from repro import obs
 from repro.faults.quarantine import ErrorCategory, Quarantine
 
 #: Leading magic of every cache entry (name + format revision).
@@ -117,6 +118,8 @@ class BuildCache:
             blob = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
+            obs.counter_inc("buildcache.misses")
+            obs.event("buildcache.get", kind=kind, outcome="miss")
             return None
         except OSError as exc:
             self._corrupt(path, f"unreadable cache entry: {exc}", None)
@@ -135,11 +138,18 @@ class BuildCache:
             self._corrupt(path, f"undecodable payload: {exc}", blob)
             return None
         self.hits += 1
+        obs.counter_inc("buildcache.hits")
+        obs.event(
+            "buildcache.get", kind=kind, outcome="hit", bytes=len(blob)
+        )
         return value
 
     def _corrupt(self, path: pathlib.Path, detail: str, blob: bytes | None) -> None:
         """Quarantine + delete a bad entry; the caller rebuilds."""
         self.misses += 1
+        obs.counter_inc("buildcache.misses")
+        obs.counter_inc("buildcache.corruption")
+        obs.event("buildcache.corrupt", entry=path.name, detail=detail[:120])
         self.quarantine.add(
             ErrorCategory.CACHE_CORRUPTION,
             f"buildcache:{path.name}",
@@ -168,4 +178,6 @@ class BuildCache:
                 tmp.unlink()
             except OSError:
                 pass
+        obs.counter_inc("buildcache.puts")
+        obs.event("buildcache.put", kind=kind, bytes=len(blob))
         return path

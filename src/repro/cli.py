@@ -217,6 +217,18 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     else:
         print(render_study_report(result))
+    # Telemetry exports go to their own files and the notices to stderr,
+    # so stdout stays byte-identical with or without these flags.
+    if args.trace and result.telemetry is not None:
+        result.telemetry.write_trace(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics and result.telemetry is not None:
+        result.telemetry.write_metrics(args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    if args.telemetry:
+        from repro.analysis.report import render_telemetry
+
+        print(render_telemetry(result))
     if args.perf:
         from repro.analysis.report import render_fastpath
 
@@ -339,6 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--perf", action="store_true",
         help="append fast-path statistics (cache hit rates, memo sizes)",
+    )
+    study.add_argument(
+        "--trace", metavar="FILE",
+        help="write the run's trace-span tree to FILE as JSON "
+        "(the report itself is byte-identical either way)",
+    )
+    study.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the run's metrics registry (counters, gauges, "
+        "histograms) to FILE as JSON",
+    )
+    study.add_argument(
+        "--telemetry", action="store_true",
+        help="append the pipeline-telemetry section "
+        "(span tree, counters, histograms)",
     )
     study.add_argument(
         "--build-cache", metavar="DIR",

@@ -33,11 +33,20 @@ from repro.crypto.pkcs1 import SignatureError, verify as pkcs1_verify
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one :class:`VerificationCache`."""
+    """Hit/miss counters of one :class:`VerificationCache`.
+
+    ``entries`` is always the *absolute* store size at snapshot time —
+    it never rolls backwards, so a delta snapshot keeps it as-is for
+    context. ``entries_delta`` is the growth relative to the snapshot's
+    baseline: the whole store for a fresh :meth:`VerificationCache.
+    stats` snapshot (its implicit baseline is the empty cache), and the
+    baseline-relative growth for a :meth:`since` delta.
+    """
 
     hits: int = 0
     misses: int = 0
     entries: int = 0
+    entries_delta: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,11 +59,17 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def since(self, baseline: "CacheStats") -> "CacheStats":
-        """The delta accumulated after *baseline* was snapshotted."""
+        """The delta accumulated after *baseline* was snapshotted.
+
+        ``hits``/``misses``/``entries_delta`` are deltas; ``entries``
+        stays the absolute store size of the later snapshot (see the
+        class docstring for the asymmetry).
+        """
         return CacheStats(
             hits=self.hits - baseline.hits,
             misses=self.misses - baseline.misses,
             entries=self.entries,
+            entries_delta=self.entries - baseline.entries,
         )
 
     def to_dict(self) -> dict:
@@ -63,8 +78,23 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "entries": self.entries,
+            "entries_delta": self.entries_delta,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    def publish(self, registry=None, prefix: str = "crypto.verify_cache") -> None:
+        """Export this snapshot as gauges into a metrics registry.
+
+        Part of the unified observability spine: the same numbers the
+        ``--perf`` view prints become queryable ``--metrics`` gauges.
+        """
+        from repro.obs import default_registry
+
+        registry = registry if registry is not None else default_registry()
+        registry.gauge(f"{prefix}.hits").set(self.hits)
+        registry.gauge(f"{prefix}.misses").set(self.misses)
+        registry.gauge(f"{prefix}.entries").set(self.entries)
+        registry.gauge(f"{prefix}.entries_delta").set(self.entries_delta)
 
 
 def _raw_verify(certificate, issuer_key) -> bool:
@@ -133,9 +163,12 @@ class VerificationCache:
         return len(self._store)
 
     def stats(self) -> CacheStats:
-        """Snapshot of the current counters."""
+        """Snapshot of the current counters (baseline: the empty cache)."""
         return CacheStats(
-            hits=self.hits, misses=self.misses, entries=len(self._store)
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self._store),
+            entries_delta=len(self._store),
         )
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.faults.quarantine import (
     FingerprintMismatchError,
     Quarantine,
@@ -92,7 +93,10 @@ def ingest_certificate(
     built on.
     """
     try:
-        return resolve_certificate(upload)
+        certificate = resolve_certificate(upload)
     except ValueError as exc:
         quarantine.quarantine_error(exc, where, payload=upload.raw)
+        obs.counter_inc("faults.ingest.rejected")
         return None
+    obs.counter_inc("faults.ingest.accepted")
+    return certificate

@@ -15,6 +15,8 @@ import enum
 from collections import Counter
 from dataclasses import dataclass, field, fields
 
+from repro import obs
+
 #: Longest excerpt of an offending payload kept in a quarantine record.
 EXCERPT_BYTES = 48
 
@@ -151,6 +153,10 @@ class Quarantine:
             excerpt=excerpt(payload) if payload is not None else "",
         )
         self.records.append(record)
+        # Observability spine: per-category counters plus a bounded
+        # trace event on whatever pipeline span is currently open.
+        obs.counter_inc(f"faults.quarantine.{category.value}")
+        obs.event("quarantine", category=category.value, where=where)
         return record
 
     def quarantine_error(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.android.device import AndroidDevice
 from repro.android.population import Population
 from repro.faults.injector import FaultInjector
@@ -170,58 +171,66 @@ def collect_dataset(
     ``dataset.quarantine`` and collection itself never raises.
     """
     client = NetalyzrClient(factory, catalog, probe_domains=probe_domains)
-    if executor is not None and executor.parallel and probe_domains:
-        # Pre-generate the probe-target server keys (and any missing CA
-        # keys) in parallel; identical keys, just sooner.
-        client.factory.warm(
-            (endpoint.issuer_ca for endpoint in PROBE_TARGETS), executor
-        )
-        client._traffic.warm_server_keys(
-            [endpoint.host for endpoint in PROBE_TARGETS], executor
-        )
-    dataset = NetalyzrDataset()
-    session_id = 0
-    probed_firmwares: set[tuple[str, str, str, int]] = set()
-    for record in population.records:
-        device = record.device
-        for _ in range(record.session_count):
-            session_id += 1
-            must_probe = probe_domains and (
-                probe_stock_devices
-                or device.proxy is not None
-                or bool(device.apps)
+    with obs.span(
+        "netalyzr.collect",
+        workers=0 if executor is None else executor.workers,
+        faults=injector is not None,
+    ) as span:
+        if executor is not None and executor.parallel and probe_domains:
+            # Pre-generate the probe-target server keys (and any missing CA
+            # keys) in parallel; identical keys, just sooner.
+            client.factory.warm(
+                (endpoint.issuer_ca for endpoint in PROBE_TARGETS), executor
             )
-            if probe_domains and not must_probe:
-                firmware_key = (
-                    device.spec.manufacturer,
-                    device.spec.os_version,
-                    device.spec.operator,
-                    len(device.store),
+            client._traffic.warm_server_keys(
+                [endpoint.host for endpoint in PROBE_TARGETS], executor
+            )
+        dataset = NetalyzrDataset()
+        session_id = 0
+        probed_firmwares: set[tuple[str, str, str, int]] = set()
+        for record in population.records:
+            device = record.device
+            for _ in range(record.session_count):
+                session_id += 1
+                must_probe = probe_domains and (
+                    probe_stock_devices
+                    or device.proxy is not None
+                    or bool(device.apps)
                 )
-                if firmware_key not in probed_firmwares:
-                    probed_firmwares.add(firmware_key)
-                    must_probe = True
-            client.probe_domains = must_probe
-            session = client.run_session(
-                device,
-                session_id,
-                injector=injector,
-                retry_policy=retry_policy,
-                quarantine=dataset.quarantine,
-                health=dataset.health,
-            )
-            if injector is None:
-                dataset.add(session)
-                continue
-            upload = SessionUpload.of(session)
-            upload = SessionUpload(
-                session=upload.session,
-                roots=tuple(
-                    injector.corrupt_roots(session_id, list(upload.roots))
-                ),
-            )
-            dataset.ingest(upload)
-            if injector.should_duplicate(session_id):
+                if probe_domains and not must_probe:
+                    firmware_key = (
+                        device.spec.manufacturer,
+                        device.spec.os_version,
+                        device.spec.operator,
+                        len(device.store),
+                    )
+                    if firmware_key not in probed_firmwares:
+                        probed_firmwares.add(firmware_key)
+                        must_probe = True
+                client.probe_domains = must_probe
+                session = client.run_session(
+                    device,
+                    session_id,
+                    injector=injector,
+                    retry_policy=retry_policy,
+                    quarantine=dataset.quarantine,
+                    health=dataset.health,
+                )
+                if injector is None:
+                    dataset.add(session)
+                    continue
+                upload = SessionUpload.of(session)
+                upload = SessionUpload(
+                    session=upload.session,
+                    roots=tuple(
+                        injector.corrupt_roots(session_id, list(upload.roots))
+                    ),
+                )
                 dataset.ingest(upload)
-    client.probe_domains = probe_domains
+                if injector.should_duplicate(session_id):
+                    dataset.ingest(upload)
+        client.probe_domains = probe_domains
+        span.set("sessions", dataset.session_count)
+        span.set("quarantined", len(dataset.quarantine))
+        span.set("dropped_probes", dataset.health.dropped_probes)
     return dataset

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.crypto.cache import fastpath_enabled
 from repro.faults.ingest import CertificateUpload, ingest_certificate
 from repro.faults.injector import FaultInjector
@@ -159,6 +160,7 @@ class NotaryDatabase:
 
     def _invalidate_subjects(self, subjects: set[object]) -> None:
         """Drop the memoized leaf sets and counts anchored at *subjects*."""
+        dropped = 0
         for subject in subjects:
             anchor_keys = self._anchors_by_subject.pop(subject, None)
             if not anchor_keys:
@@ -167,6 +169,9 @@ class NotaryDatabase:
                 self._under_cache.pop(anchor_key, None)
                 self._count_cache.pop((anchor_key, False), None)
                 self._count_cache.pop((anchor_key, True), None)
+                dropped += 1
+        if dropped:
+            obs.counter_inc("notary.index_invalidations", dropped)
 
     def reset_fastpath(self) -> None:
         """Drop every derived index (the benchmark's cold-start lever)."""
@@ -251,6 +256,7 @@ class NotaryDatabase:
             self._anchors_by_subject.setdefault(anchor_key[3], set()).add(
                 anchor_key
             )
+            obs.counter_inc("notary.index_builds")
         return cached
 
     def _leaves_under(self, anchor: Certificate):
@@ -358,6 +364,13 @@ def build_notary(
         generator = TlsTrafficGenerator(factory, catalog, scale=scale)
     notary = NotaryDatabase()
     profiles = list(catalog.all_profiles())
+    build_span = obs.span(
+        "notary.build",
+        scale=getattr(generator, "scale", 0.0),
+        profiles=len(profiles),
+        workers=0 if executor is None else executor.workers,
+        faults=injector is not None,
+    )
 
     def profile_leaves():
         if executor is None:
@@ -376,18 +389,21 @@ def build_notary(
             yield profile, leaves[cursor : cursor + len(group)]
             cursor += len(group)
 
-    for profile, profile_leaf_set in profile_leaves():
-        root = factory.root_certificate(profile)
-        for leaf in profile_leaf_set:
-            if injector is not None:
-                where = f"notary:{leaf.host}"
-                corrupted = injector.corrupt_leaf(where, leaf.certificate)
-                if corrupted is not None:
-                    notary.ingest_leaf(
-                        leaf, chain_roots=(root,), payload=corrupted, where=where
-                    )
-                    continue
-            notary.observe_leaf(leaf, chain_roots=(root,))
-    for store in register_stores:
-        notary.register_store(store)
+    with build_span as span:
+        for profile, profile_leaf_set in profile_leaves():
+            root = factory.root_certificate(profile)
+            for leaf in profile_leaf_set:
+                if injector is not None:
+                    where = f"notary:{leaf.host}"
+                    corrupted = injector.corrupt_leaf(where, leaf.certificate)
+                    if corrupted is not None:
+                        notary.ingest_leaf(
+                            leaf, chain_roots=(root,), payload=corrupted, where=where
+                        )
+                        continue
+                notary.observe_leaf(leaf, chain_roots=(root,))
+        for store in register_stores:
+            notary.register_store(store)
+        span.set("leaves", notary.total_certificates)
+        span.set("quarantined", len(notary.quarantine))
     return notary

@@ -1,0 +1,204 @@
+"""``repro.obs`` — the unified observability layer.
+
+One zero-dependency spine for everything the engine used to measure in
+ad-hoc islands: a process-wide :class:`~repro.obs.metrics.MetricsRegistry`
+(counters, gauges, monotonic-clock histograms with fixed buckets) and a
+hierarchical :class:`~repro.obs.trace.Tracer` whose spans record wall
+time, worker counts, cache hit/miss deltas and fault/quarantine events.
+Both export deterministic-schema JSON (``--trace FILE`` /
+``--metrics FILE``) validated by :mod:`repro.obs.schema`.
+
+Instrumented code calls the module-level helpers (:func:`counter_inc`,
+:func:`span`, :func:`event`, …), which route to the *current* defaults.
+Two context managers scope them:
+
+* :func:`capture` installs a fresh registry + tracer for one pipeline
+  run and hands them back, so a study's telemetry never bleeds into the
+  next run's (``run_study`` wraps itself in one);
+* :func:`disabled` turns every helper into a no-op — the honest
+  zero-instrumentation baseline the ``obs-smoke`` overhead gate and the
+  benchmarks compare against.
+
+**Report neutrality is the design invariant**: nothing in this package
+is ever consulted by report rendering, so study reports are
+byte-identical with telemetry on or off, at any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.schema import SchemaError, validate_metrics, validate_trace
+from repro.obs.trace import MAX_EVENTS_PER_SPAN, TRACE_SCHEMA, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "TelemetrySnapshot",
+    "SchemaError",
+    "validate_metrics",
+    "validate_trace",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "DEFAULT_BUCKETS",
+    "MAX_EVENTS_PER_SPAN",
+    "default_registry",
+    "default_tracer",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "span",
+    "event",
+    "current_span",
+    "capture",
+    "disabled",
+    "enabled",
+    "write_json",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+_ENABLED = True
+
+
+class _NullSpan(Span):
+    """The span handed out while observability is disabled: records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__("<disabled>")
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def default_registry() -> MetricsRegistry:
+    """The currently installed process-wide metrics registry."""
+    return _REGISTRY
+
+
+def default_tracer() -> Tracer:
+    """The currently installed process-wide tracer."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    """Whether the observability helpers are currently recording."""
+    return _ENABLED
+
+
+def counter_inc(name: str, amount: int = 1) -> None:
+    """Increment a counter in the current registry."""
+    if _ENABLED:
+        _REGISTRY.counter(name).inc(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge in the current registry."""
+    if _ENABLED:
+        _REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation in the current registry."""
+    if _ENABLED:
+        _REGISTRY.histogram(name).observe(value)
+
+
+def span(name: str, **attributes: object):
+    """Open a trace span on the current tracer (no-op span when disabled)."""
+    if not _ENABLED:
+        return _null_span_context()
+    return _TRACER.span(name, **attributes)
+
+
+@contextmanager
+def _null_span_context():
+    yield _NULL_SPAN
+
+
+def event(name: str, **attributes: object) -> None:
+    """Record an event on the current span (dropped outside spans)."""
+    if _ENABLED:
+        _TRACER.event(name, **attributes)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or None."""
+    return _TRACER.current()
+
+
+@contextmanager
+def capture():
+    """Install a fresh registry + tracer for the ``with`` body.
+
+    Yields the ``(registry, tracer)`` pair so the caller can export
+    exactly the telemetry its own run produced; the previous defaults
+    are restored afterwards. Nesting is allowed — the inner window
+    simply shadows the outer one for its duration.
+    """
+    global _REGISTRY, _TRACER
+    previous = (_REGISTRY, _TRACER)
+    registry, tracer = MetricsRegistry(), Tracer()
+    _REGISTRY, _TRACER = registry, tracer
+    try:
+        yield registry, tracer
+    finally:
+        _REGISTRY, _TRACER = previous
+
+
+@contextmanager
+def disabled():
+    """Run the body with every observability helper a no-op.
+
+    The benchmarks and the CI overhead gate use this as the honest
+    zero-instrumentation baseline.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def write_json(payload: dict, path: str | os.PathLike) -> None:
+    """Serialize one telemetry export deterministically to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One run's exported telemetry: a metrics dump plus a trace tree."""
+
+    metrics: dict
+    trace: dict
+
+    def write_metrics(self, path: str | os.PathLike) -> None:
+        write_json(self.metrics, path)
+
+    def write_trace(self, path: str | os.PathLike) -> None:
+        write_json(self.trace, path)

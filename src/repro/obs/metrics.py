@@ -1,0 +1,155 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The study engine's perf data used to live in ad-hoc islands —
+``CacheStats`` counters here, ``--perf`` prints there, bench JSON
+elsewhere. This registry is the one spine they all publish into: a
+flat, name-keyed set of counters (monotonically increasing event
+counts), gauges (last-written values) and histograms (monotonic-clock
+durations bucketed into *fixed* boundaries, so two runs always produce
+structurally identical output).
+
+Everything is stdlib-only and cheap enough for hot paths: recording a
+counter is one dict lookup plus an integer add. Metrics recorded inside
+forked worker processes land in the child's copy-on-write copy of the
+registry and are deliberately lost — the parent's registry reflects
+parent-side work only, which keeps the export deterministic in shape
+at any worker count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Metrics export schema revision (bump on incompatible shape changes).
+METRICS_SCHEMA = 1
+
+#: Fixed histogram bucket boundaries, in seconds. Chosen to straddle the
+#: engine's observed range: sub-millisecond chunk maps up to minute-long
+#: full-scale universe builds. Fixed boundaries make every export
+#: structurally identical, which the JSON schema check relies on.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Observations bucketed into fixed, ascending boundaries.
+
+    Bucket *i* counts observations ``<= boundaries[i]``; the final
+    overflow bucket counts everything larger. ``sum``/``min``/``max``
+    ride along so averages and outliers survive the bucketing.
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "count", "minimum", "maximum")
+
+    def __init__(self, boundaries: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError(f"boundaries must be ascending, got {boundaries!r}")
+        self.boundaries = tuple(float(edge) for edge in boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def to_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.minimum, 6) if self.minimum is not None else None,
+            "max": round(self.maximum, 6) if self.maximum is not None else None,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges and histograms with one JSON export.
+
+    Instruments are created on first use; asking for the same name
+    twice returns the same object. Counters, gauges and histograms live
+    in separate namespaces. The export sorts every name so two
+    registries holding the same instruments serialize identically.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(boundaries)
+        return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh capture windows)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def to_dict(self) -> dict:
+        """Deterministic-schema JSON export of every instrument."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }

@@ -1,0 +1,141 @@
+"""Structural JSON-schema checks for telemetry exports.
+
+The CI ``obs-smoke`` job and the integration tests validate every
+``--trace``/``--metrics`` file against these checks before trusting it.
+Zero-dependency by design: instead of a jsonschema engine, each
+validator walks the payload and raises :class:`SchemaError` naming the
+first path that deviates from the documented shape.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.trace import TRACE_SCHEMA
+
+#: Attribute values allowed in spans, events and metric exports.
+_SCALAR = (str, int, float, bool, type(None))
+
+_SPAN_KEYS = {
+    "name", "duration_s", "attributes", "events", "dropped_events", "children",
+}
+_HISTOGRAM_KEYS = {"boundaries", "counts", "count", "sum", "min", "max"}
+
+
+class SchemaError(ValueError):
+    """A telemetry payload deviates from its documented schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise SchemaError(f"{path}: {message}")
+
+
+def _require_mapping(payload: object, path: str, keys: set[str]) -> dict:
+    if not isinstance(payload, dict):
+        _fail(path, f"expected object, got {type(payload).__name__}")
+    if set(payload) != keys:
+        _fail(path, f"expected keys {sorted(keys)}, got {sorted(payload)}")
+    return payload
+
+
+def _require_scalars(payload: dict, path: str) -> None:
+    for key, value in payload.items():
+        if not isinstance(key, str):
+            _fail(path, f"non-string key {key!r}")
+        if isinstance(value, bool):
+            continue
+        if not isinstance(value, _SCALAR):
+            _fail(f"{path}.{key}", f"non-scalar value {type(value).__name__}")
+
+
+def _validate_span(payload: object, path: str) -> None:
+    span = _require_mapping(payload, path, _SPAN_KEYS)
+    if not isinstance(span["name"], str) or not span["name"]:
+        _fail(f"{path}.name", "expected non-empty string")
+    if not isinstance(span["duration_s"], (int, float)) or span["duration_s"] < 0:
+        _fail(f"{path}.duration_s", f"expected non-negative number, got {span['duration_s']!r}")
+    if not isinstance(span["attributes"], dict):
+        _fail(f"{path}.attributes", "expected object")
+    _require_scalars(span["attributes"], f"{path}.attributes")
+    if not isinstance(span["dropped_events"], int) or span["dropped_events"] < 0:
+        _fail(f"{path}.dropped_events", "expected non-negative integer")
+    if not isinstance(span["events"], list):
+        _fail(f"{path}.events", "expected array")
+    for index, event in enumerate(span["events"]):
+        event_path = f"{path}.events[{index}]"
+        record = _require_mapping(event, event_path, {"name", "attributes"})
+        if not isinstance(record["name"], str) or not record["name"]:
+            _fail(f"{event_path}.name", "expected non-empty string")
+        if not isinstance(record["attributes"], dict):
+            _fail(f"{event_path}.attributes", "expected object")
+        _require_scalars(record["attributes"], f"{event_path}.attributes")
+    if not isinstance(span["children"], list):
+        _fail(f"{path}.children", "expected array")
+    for index, child in enumerate(span["children"]):
+        _validate_span(child, f"{path}.children[{index}]")
+
+
+def validate_trace(payload: object) -> None:
+    """Raise :class:`SchemaError` unless *payload* is a valid trace tree."""
+    root = _require_mapping(payload, "$", {"schema", "spans"})
+    if root["schema"] != TRACE_SCHEMA:
+        _fail("$.schema", f"expected {TRACE_SCHEMA}, got {root['schema']!r}")
+    if not isinstance(root["spans"], list):
+        _fail("$.spans", "expected array")
+    for index, span in enumerate(root["spans"]):
+        _validate_span(span, f"$.spans[{index}]")
+
+
+def _validate_histogram(payload: object, path: str) -> None:
+    histogram = _require_mapping(payload, path, _HISTOGRAM_KEYS)
+    boundaries = histogram["boundaries"]
+    counts = histogram["counts"]
+    if not isinstance(boundaries, list) or not all(
+        isinstance(edge, (int, float)) and not isinstance(edge, bool)
+        for edge in boundaries
+    ):
+        _fail(f"{path}.boundaries", "expected array of numbers")
+    if boundaries != sorted(boundaries):
+        _fail(f"{path}.boundaries", "expected ascending boundaries")
+    if not isinstance(counts, list) or not all(
+        isinstance(count, int) and not isinstance(count, bool) and count >= 0
+        for count in counts
+    ):
+        _fail(f"{path}.counts", "expected array of non-negative integers")
+    if len(counts) != len(boundaries) + 1:
+        _fail(
+            f"{path}.counts",
+            f"expected {len(boundaries) + 1} buckets, got {len(counts)}",
+        )
+    if not isinstance(histogram["count"], int) or histogram["count"] != sum(counts):
+        _fail(f"{path}.count", "expected count == sum(counts)")
+    if not isinstance(histogram["sum"], (int, float)):
+        _fail(f"{path}.sum", "expected number")
+    for bound in ("min", "max"):
+        value = histogram[bound]
+        if value is not None and not isinstance(value, (int, float)):
+            _fail(f"{path}.{bound}", "expected number or null")
+        if histogram["count"] == 0 and value is not None:
+            _fail(f"{path}.{bound}", "expected null for an empty histogram")
+
+
+def validate_metrics(payload: object) -> None:
+    """Raise :class:`SchemaError` unless *payload* is a valid metrics dump."""
+    root = _require_mapping(
+        payload, "$", {"schema", "counters", "gauges", "histograms"}
+    )
+    if root["schema"] != METRICS_SCHEMA:
+        _fail("$.schema", f"expected {METRICS_SCHEMA}, got {root['schema']!r}")
+    if not isinstance(root["counters"], dict):
+        _fail("$.counters", "expected object")
+    for name, value in root["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            _fail(f"$.counters.{name}", f"expected non-negative integer, got {value!r}")
+    if not isinstance(root["gauges"], dict):
+        _fail("$.gauges", "expected object")
+    for name, value in root["gauges"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(f"$.gauges.{name}", f"expected number, got {value!r}")
+    if not isinstance(root["histograms"], dict):
+        _fail("$.histograms", "expected object")
+    for name, histogram in root["histograms"].items():
+        _validate_histogram(histogram, f"$.histograms.{name}")

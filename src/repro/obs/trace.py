@@ -1,0 +1,124 @@
+"""Hierarchical trace spans over the study pipeline.
+
+A span covers one named unit of work (``study.build_notary``,
+``analyze.diff_all``) and records its monotonic wall time, a flat
+attribute dict (worker count, cache hit/miss deltas, quarantine
+counts), bounded point-in-time events (a quarantined record, one
+executor fan-out) and its child spans. The tracer keeps a stack of
+open spans, so nesting falls out of lexical ``with`` structure.
+
+Exports are **deterministic in schema**: every span serializes the same
+six keys, attributes and events sort by name, and durations round to
+microseconds. The *values* (durations, fallback modes) legitimately
+vary run to run — the byte-identity contract covers the study report,
+never the trace, which is why telemetry lives entirely outside report
+rendering.
+
+Spans opened inside forked worker processes exist only in the child's
+copy of the tracer and are dropped with it; the exported tree is the
+parent's view of the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+#: Trace export schema revision (bump on incompatible shape changes).
+TRACE_SCHEMA = 1
+
+#: Events kept per span before further ones are counted but dropped —
+#: a fault-injection sweep can quarantine thousands of records and the
+#: trace must stay readable, not become a second corpus.
+MAX_EVENTS_PER_SPAN = 256
+
+
+class Span:
+    """One named, timed unit of work in the trace tree."""
+
+    __slots__ = (
+        "name", "attributes", "events", "dropped_events", "children",
+        "duration_s", "_started",
+    )
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.attributes: dict = dict(attributes or {})
+        self.events: list[dict] = []
+        self.dropped_events = 0
+        self.children: list["Span"] = []
+        self.duration_s = 0.0
+        self._started = 0.0
+
+    def set(self, key: str, value: object) -> None:
+        """Set one attribute (scalar values only; keeps exports JSON-safe)."""
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        """Append a bounded point-in-time event to this span."""
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            {
+                "name": name,
+                "attributes": {key: attributes[key] for key in sorted(attributes)},
+            }
+        )
+
+    def to_dict(self) -> dict:
+        """Deterministic-schema JSON form of this span (and its subtree)."""
+        return {
+            "name": self.name,
+            "duration_s": round(self.duration_s, 6),
+            "attributes": {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            },
+            "events": list(self.events),
+            "dropped_events": self.dropped_events,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Builds the span tree for one capture window."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        """Open a child span of the current span for the ``with`` body."""
+        span = Span(name, attributes)
+        parent = self.current()
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+        span._started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_s = time.perf_counter() - span._started
+            self._stack.pop()
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Record an event on the current span (dropped outside spans)."""
+        span = self.current()
+        if span is not None:
+            span.add_event(name, **attributes)
+
+    def reset(self) -> None:
+        """Drop every recorded span (tests and fresh capture windows)."""
+        self.roots.clear()
+        self._stack.clear()
+
+    def to_dict(self) -> dict:
+        """Deterministic-schema JSON export of the whole trace tree."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [span.to_dict() for span in self.roots],
+        }

@@ -12,35 +12,81 @@ executor runs such maps across worker processes while guaranteeing the
   order, so the flattened output is index-ordered regardless of which
   worker finished first.
 * **Serial fallback** — with ``workers <= 1``, with too few items to be
-  worth a fork, or on any platform/sandbox where forking fails, the
-  same chunk functions run inline in the parent. Both paths execute
-  identical code over identical chunks, which is the determinism
-  argument: parallelism changes *where* a chunk runs, never *what* it
-  computes or in which order it is merged.
+  worth a fork, on any platform/sandbox where forking fails, or inside
+  an already-running map (re-entrant use), the same chunk functions run
+  inline in the parent. Both paths execute identical code over
+  identical chunks, which is the determinism argument: parallelism
+  changes *where* a chunk runs, never *what* it computes or in which
+  order it is merged.
+
+* **Payload exceptions propagate** — an exception raised by the chunk
+  function itself (a bug, a genuine ``OSError`` from user code) is
+  captured in the worker and re-raised in the parent. Only *pool
+  infrastructure* failures (fork refused, a worker killed, fd
+  exhaustion) trigger the silent serial fallback; payload errors are
+  never masked by a double-executing re-run.
 
 Workers are forked (never spawned): the payload — typically a Notary
 database or a session corpus, megabytes of certificates — is installed
 in a module global in the parent and inherited by the children through
 copy-on-write memory, so only the small per-chunk index ranges and the
 plain result lists cross the process boundary.
+
+Every map records telemetry through :mod:`repro.obs`: a per-mode
+counter (``parallel.maps_serial`` / ``_forked`` / ``_fallback``), the
+chunk count, a ``parallel.map_seconds`` histogram, a reason counter for
+every serial decision, and one ``parallel.map`` trace event on the
+current span.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
+
 #: Payload shared with forked workers via copy-on-write inheritance.
 _PAYLOAD: object = None
 
+#: Depth of currently executing maps in this process. Non-zero while a
+#: map runs (in the parent *and*, via ``_run_chunk``, in each worker),
+#: so a chunk function that itself calls :meth:`ParallelExecutor.
+#: map_chunked` is detected and its inner map runs serially instead of
+#: clobbering the module-global payload swap with a nested fork.
+_ACTIVE_MAPS: int = 0
 
-def _run_chunk(fn: Callable, chunk: range) -> list:
-    """Worker entry point: apply *fn* to the inherited payload."""
-    return fn(_PAYLOAD, chunk)
+
+class _PoolFailure(Exception):
+    """Pool infrastructure broke (not the chunk function); carry why."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _run_chunk(fn: Callable, chunk: range) -> tuple[str, object]:
+    """Worker entry point: apply *fn* to the inherited payload.
+
+    The chunk function's own exceptions are returned as ``("err", exc)``
+    instead of raised, so the parent can tell a payload failure (re-raise
+    it) from pool breakage (fall back to the serial path). The nesting
+    counter is held for the duration so re-entrant maps inside the
+    worker run serially.
+    """
+    global _ACTIVE_MAPS
+    _ACTIVE_MAPS += 1
+    try:
+        return "ok", fn(_PAYLOAD, chunk)
+    except Exception as exc:
+        return "err", exc
+    finally:
+        _ACTIVE_MAPS -= 1
 
 
 def chunk_ranges(count: int, chunk_size: int) -> list[range]:
@@ -64,6 +110,28 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _record_map(
+    fn: Callable, workers: int, chunks: Sequence[range],
+    mode: str, reason: str, elapsed: float,
+) -> None:
+    """Publish one map's bookkeeping to the observability layer."""
+    obs.counter_inc("parallel.maps")
+    obs.counter_inc(f"parallel.maps_{mode}")
+    obs.counter_inc("parallel.chunks", len(chunks))
+    if reason:
+        obs.counter_inc(f"parallel.serial_reason.{reason}")
+    obs.observe("parallel.map_seconds", elapsed)
+    obs.event(
+        "parallel.map",
+        fn=getattr(fn, "__qualname__", repr(fn)),
+        mode=mode,
+        reason=reason,
+        workers=workers,
+        chunks=len(chunks),
+        items=chunks[-1].stop if chunks else 0,
+    )
+
+
 @dataclass(frozen=True)
 class ParallelExecutor:
     """Maps chunk functions over an index range, possibly in parallel.
@@ -85,6 +153,20 @@ class ParallelExecutor:
         """Whether this executor may actually fork."""
         return self.workers > 1
 
+    def _serial_reason(self, nested: bool, count: int, chunks: int) -> str:
+        """Why this map must run serially, or "" to allow forking."""
+        if nested:
+            return "nested-map"
+        if not self.parallel:
+            return "single-worker"
+        if count < self.min_items:
+            return "below-min-items"
+        if chunks < 2:
+            return "single-chunk"
+        if not _fork_available():
+            return "fork-unavailable"
+        return ""
+
     def map_chunked(
         self, fn: Callable[[object, range], list], payload: object, count: int
     ) -> list:
@@ -93,7 +175,9 @@ class ParallelExecutor:
         *fn* must be a module-level function returning one result per
         index, in index order. The flattened, index-ordered list is
         returned. The result is byte-for-byte identical at any worker
-        count.
+        count. Exceptions raised by *fn* propagate (from the first
+        failing chunk in index order); only pool-infrastructure
+        failures degrade to the serial path.
         """
         if count <= 0:
             return []
@@ -101,32 +185,64 @@ class ParallelExecutor:
             1, -(-count // (self.workers * self.chunks_per_worker))
         )
         chunks = chunk_ranges(count, chunk_size)
-        if (
-            not self.parallel
-            or count < self.min_items
-            or len(chunks) < 2
-            or not _fork_available()
-        ):
+        global _ACTIVE_MAPS
+        reason = self._serial_reason(_ACTIVE_MAPS > 0, count, len(chunks))
+        mode = "serial" if reason else "forked"
+        started = time.perf_counter()
+        _ACTIVE_MAPS += 1
+        try:
+            if mode == "forked":
+                try:
+                    return self._forked(fn, payload, chunks)
+                except _PoolFailure as failure:
+                    # Sandboxes that forbid fork, fd exhaustion, killed
+                    # workers: degrade to the serial path, which
+                    # computes the same result.
+                    mode, reason = "fallback", failure.reason
             return self._serial(fn, payload, chunks)
+        finally:
+            _ACTIVE_MAPS -= 1
+            _record_map(
+                fn, self.workers, chunks, mode, reason,
+                time.perf_counter() - started,
+            )
+
+    def _forked(
+        self, fn: Callable[[object, range], list], payload: object,
+        chunks: Sequence[range],
+    ) -> list:
+        """Fan the chunks over a fork pool; raise :class:`_PoolFailure`
+        on infrastructure breakage, re-raise payload exceptions as-is."""
         global _PAYLOAD
         previous = _PAYLOAD
         _PAYLOAD = payload
+        outcomes: list[tuple[str, object]] = []
         try:
             context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunks)), mp_context=context
-            ) as pool:
-                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-                merged: list = []
-                for future in futures:
-                    merged.extend(future.result())
-                return merged
-        except (OSError, PermissionError, BrokenProcessPool):
-            # Sandboxes that forbid fork, fd exhaustion, killed workers:
-            # degrade to the serial path, which computes the same result.
-            return self._serial(fn, payload, chunks)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks)),
+                    mp_context=context,
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+                    ]
+                    for future in futures:
+                        outcomes.append(future.result())
+            except (OSError, PermissionError, BrokenProcessPool) as exc:
+                # ``_run_chunk`` returns the chunk function's exceptions
+                # as values, so anything raised *here* is pool
+                # infrastructure: fork refused, a worker killed, a
+                # broken result pipe — never fn's own error.
+                raise _PoolFailure(type(exc).__name__) from exc
         finally:
             _PAYLOAD = previous
+        merged: list = []
+        for status, value in outcomes:
+            if status == "err":
+                raise value  # the chunk function's own exception
+            merged.extend(value)
+        return merged
 
     @staticmethod
     def _serial(

@@ -1,0 +1,134 @@
+"""Report neutrality of the observability layer, end to end via the CLI.
+
+The contract under test: ``repro study`` prints a byte-identical report
+whether telemetry is exported or not, at any worker count, with fault
+injection on or off — and the exported ``--trace``/``--metrics`` files
+always pass the schema validators.
+"""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate_metrics, validate_trace
+
+#: Small but non-trivial universe: every pipeline stage still runs.
+SCALE_ARGS = ["--scale", "0.05", "--notary-scale", "0.05"]
+
+
+def _run_study_cli(extra_args):
+    """Run ``repro study`` in-process; returns ``(stdout, stderr)``."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(["study", *SCALE_ARGS, *extra_args])
+    assert code == 0
+    return out.getvalue(), err.getvalue()
+
+
+@pytest.fixture(scope="module")
+def cli_runs(tmp_path_factory):
+    """One CLI study run per flag combination, shared across the tests."""
+    exports = tmp_path_factory.mktemp("telemetry")
+    runs = {}
+
+    runs["plain_w1"] = _run_study_cli(["--workers", "1"])
+    runs["traced_w1"] = _run_study_cli([
+        "--workers", "1",
+        "--trace", str(exports / "w1-trace.json"),
+        "--metrics", str(exports / "w1-metrics.json"),
+    ])
+    runs["traced_w4"] = _run_study_cli([
+        "--workers", "4",
+        "--trace", str(exports / "w4-trace.json"),
+        "--metrics", str(exports / "w4-metrics.json"),
+    ])
+    runs["fault_plain"] = _run_study_cli(["--workers", "1", "--fault-rate", "0.05"])
+    runs["fault_traced"] = _run_study_cli([
+        "--workers", "1", "--fault-rate", "0.05",
+        "--trace", str(exports / "fault-trace.json"),
+        "--metrics", str(exports / "fault-metrics.json"),
+    ])
+    runs["exports"] = exports
+    return runs
+
+
+class TestReportNeutrality:
+    def test_trace_flags_leave_stdout_identical(self, cli_runs):
+        assert cli_runs["traced_w1"][0] == cli_runs["plain_w1"][0]
+
+    def test_worker_count_leaves_stdout_identical(self, cli_runs):
+        assert cli_runs["traced_w4"][0] == cli_runs["plain_w1"][0]
+
+    def test_fault_run_stdout_identical_with_and_without_flags(self, cli_runs):
+        assert cli_runs["fault_traced"][0] == cli_runs["fault_plain"][0]
+
+    def test_export_notices_go_to_stderr_only(self, cli_runs):
+        stdout, stderr = cli_runs["traced_w1"]
+        assert "wrote trace to" in stderr
+        assert "wrote metrics to" in stderr
+        assert "wrote trace to" not in stdout
+        assert "wrote metrics to" not in stdout
+        assert cli_runs["plain_w1"][1] == ""
+
+
+class TestExportedTelemetry:
+    @pytest.mark.parametrize("prefix", ["w1", "w4", "fault"])
+    def test_exports_pass_schema_validation(self, cli_runs, prefix):
+        exports = cli_runs["exports"]
+        trace = json.loads((exports / f"{prefix}-trace.json").read_text())
+        metrics = json.loads((exports / f"{prefix}-metrics.json").read_text())
+        validate_trace(trace)
+        validate_metrics(metrics)
+
+    def test_trace_has_the_study_phase_tree(self, cli_runs):
+        trace = json.loads(
+            (cli_runs["exports"] / "w1-trace.json").read_text()
+        )
+        assert [span["name"] for span in trace["spans"]] == ["study"]
+        phases = [child["name"] for child in trace["spans"][0]["children"]]
+        assert phases == ["study.build", "study.analyze"]
+        build = trace["spans"][0]["children"][0]
+        assert "cache_hits" in build["attributes"]
+        assert "cache_misses" in build["attributes"]
+
+    def test_metrics_carry_the_fastpath_gauges(self, cli_runs):
+        metrics = json.loads(
+            (cli_runs["exports"] / "w1-metrics.json").read_text()
+        )
+        gauges = metrics["gauges"]
+        for name in (
+            "crypto.verify_cache.hits",
+            "crypto.verify_cache.entries_delta",
+            "study.workers",
+            "study.quarantine.total",
+        ):
+            assert name in gauges
+        assert metrics["counters"]["parallel.maps"] > 0
+
+    def test_worker_count_is_telemetry_visible(self, cli_runs):
+        exports = cli_runs["exports"]
+        w1 = json.loads((exports / "w1-metrics.json").read_text())
+        w4 = json.loads((exports / "w4-metrics.json").read_text())
+        assert w1["gauges"]["study.workers"] == 1
+        assert w4["gauges"]["study.workers"] == 4
+
+    def test_fault_run_records_quarantine_telemetry(self, cli_runs):
+        metrics = json.loads(
+            (cli_runs["exports"] / "fault-metrics.json").read_text()
+        )
+        quarantined = metrics["gauges"]["study.quarantine.total"]
+        fault_counters = {
+            name: value
+            for name, value in metrics["counters"].items()
+            if name.startswith("faults.")
+        }
+        # the injector touched the corpus: whatever was quarantined must
+        # be visible through the per-category counters too
+        if quarantined:
+            assert sum(
+                value for name, value in fault_counters.items()
+                if name.startswith("faults.quarantine.")
+            ) >= quarantined

@@ -1,0 +1,239 @@
+"""The unified observability layer: metrics, spans, schema, scoping."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MAX_EVENTS_PER_SPAN,
+    Histogram,
+    MetricsRegistry,
+    SchemaError,
+    TelemetrySnapshot,
+    Tracer,
+    validate_metrics,
+    validate_trace,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.to_dict()["counters"] == {"x": 5}
+
+    def test_gauge_is_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(7.5)
+        assert registry.to_dict()["gauges"] == {"g": 7.5}
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("a") is registry.gauge("a")
+        assert registry.histogram("a") is registry.histogram("a")
+
+    def test_export_sorts_names(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.counter(name).inc()
+        assert list(registry.to_dict()["counters"]) == ["alpha", "mid", "zeta"]
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(0.5)
+        registry.reset()
+        exported = registry.to_dict()
+        assert exported["counters"] == {}
+        assert exported["gauges"] == {}
+        assert exported["histograms"] == {}
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram(boundaries=(0.1, 1.0))
+        histogram.observe(0.05)   # <= 0.1
+        histogram.observe(0.1)    # boundary lands in its own bucket
+        histogram.observe(0.5)    # <= 1.0
+        histogram.observe(5.0)    # overflow
+        assert histogram.counts == [2, 1, 1]
+
+    def test_summary_statistics(self):
+        histogram = Histogram()
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        exported = histogram.to_dict()
+        assert exported["count"] == 3
+        assert exported["sum"] == pytest.approx(1.2)
+        assert exported["min"] == pytest.approx(0.2)
+        assert exported["max"] == pytest.approx(0.6)
+
+    def test_empty_histogram_exports_null_extremes(self):
+        exported = Histogram().to_dict()
+        assert exported["count"] == 0
+        assert exported["min"] is None and exported["max"] is None
+        assert len(exported["counts"]) == len(DEFAULT_BUCKETS) + 1
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 0.1))
+
+
+class TestTracer:
+    def test_nesting_follows_with_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        exported = tracer.to_dict()
+        assert [span["name"] for span in exported["spans"]] == ["outer"]
+        children = exported["spans"][0]["children"]
+        assert [span["name"] for span in children] == ["inner", "sibling"]
+
+    def test_span_records_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", workers=4) as span:
+            span.set("items", 10)
+        exported = tracer.to_dict()["spans"][0]
+        assert exported["duration_s"] >= 0
+        assert exported["attributes"] == {"items": 10, "workers": 4}
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("hit", key="value")
+        inner = tracer.to_dict()["spans"][0]["children"][0]
+        assert inner["events"] == [
+            {"name": "hit", "attributes": {"key": "value"}}
+        ]
+
+    def test_events_outside_spans_are_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.to_dict()["spans"] == []
+
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer()
+        with tracer.span("busy"):
+            for index in range(MAX_EVENTS_PER_SPAN + 10):
+                tracer.event("e", index=index)
+        exported = tracer.to_dict()["spans"][0]
+        assert len(exported["events"]) == MAX_EVENTS_PER_SPAN
+        assert exported["dropped_events"] == 10
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.current() is None
+        assert tracer.to_dict()["spans"][0]["name"] == "doomed"
+
+
+class TestModuleHelpers:
+    def test_capture_scopes_a_fresh_window(self):
+        obs.counter_inc("outside")
+        with obs.capture() as (registry, tracer):
+            obs.counter_inc("inside")
+            with obs.span("s"):
+                obs.event("e")
+        exported = registry.to_dict()
+        assert exported["counters"] == {"inside": 1}
+        assert "outside" not in exported["counters"]
+        assert tracer.to_dict()["spans"][0]["name"] == "s"
+        # the window closed: new increments no longer land in it
+        obs.counter_inc("inside")
+        assert registry.to_dict()["counters"] == {"inside": 1}
+
+    def test_capture_nests(self):
+        with obs.capture() as (outer, _):
+            obs.counter_inc("outer-count")
+            with obs.capture() as (inner, _):
+                obs.counter_inc("inner-count")
+            obs.counter_inc("outer-count")
+        assert outer.to_dict()["counters"] == {"outer-count": 2}
+        assert inner.to_dict()["counters"] == {"inner-count": 1}
+
+    def test_disabled_makes_helpers_noop(self):
+        with obs.capture() as (registry, tracer):
+            with obs.disabled():
+                assert not obs.enabled()
+                obs.counter_inc("never")
+                obs.gauge_set("never", 1)
+                obs.observe("never", 0.1)
+                with obs.span("never") as span:
+                    span.set("still", "noop")
+                    obs.event("never")
+            assert obs.enabled()
+        exported = registry.to_dict()
+        assert exported["counters"] == {}
+        assert exported["gauges"] == {}
+        assert exported["histograms"] == {}
+        assert tracer.to_dict()["spans"] == []
+
+    def test_snapshot_writes_validated_json(self, tmp_path):
+        with obs.capture() as (registry, tracer):
+            obs.counter_inc("c")
+            obs.observe("h", 0.3)
+            with obs.span("root", workers=2):
+                obs.event("tick")
+        snapshot = TelemetrySnapshot(
+            metrics=registry.to_dict(), trace=tracer.to_dict()
+        )
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        snapshot.write_metrics(metrics_path)
+        snapshot.write_trace(trace_path)
+        validate_metrics(json.loads(metrics_path.read_text()))
+        validate_trace(json.loads(trace_path.read_text()))
+
+
+class TestSchemaValidation:
+    def _valid_pair(self):
+        with obs.capture() as (registry, tracer):
+            obs.counter_inc("c")
+            obs.observe("h", 0.3)
+            with obs.span("root"):
+                pass
+        return registry.to_dict(), tracer.to_dict()
+
+    def test_accepts_real_exports(self):
+        metrics, trace = self._valid_pair()
+        validate_metrics(metrics)
+        validate_trace(trace)
+
+    def test_rejects_missing_span_key(self):
+        _, trace = self._valid_pair()
+        del trace["spans"][0]["duration_s"]
+        with pytest.raises(SchemaError):
+            validate_trace(trace)
+
+    def test_rejects_unknown_span_key(self):
+        _, trace = self._valid_pair()
+        trace["spans"][0]["surprise"] = 1
+        with pytest.raises(SchemaError):
+            validate_trace(trace)
+
+    def test_rejects_histogram_count_mismatch(self):
+        metrics, _ = self._valid_pair()
+        metrics["histograms"]["h"]["count"] = 99
+        with pytest.raises(SchemaError):
+            validate_metrics(metrics)
+
+    def test_rejects_wrong_schema_revision(self):
+        metrics, trace = self._valid_pair()
+        metrics["schema"] = 99
+        trace["schema"] = 99
+        with pytest.raises(SchemaError):
+            validate_metrics(metrics)
+        with pytest.raises(SchemaError):
+            validate_trace(trace)

@@ -1,7 +1,11 @@
 """The deterministic process-pool executor."""
 
+import multiprocessing
+import os
+
 import pytest
 
+from repro import obs
 from repro.parallel import ParallelExecutor, chunk_ranges, resolve_workers
 
 
@@ -11,6 +15,36 @@ def _square_chunk(payload, chunk):
 
 def _tag_chunk(payload, chunk):
     return [(index, payload[index]) for index in chunk]
+
+
+def _logged_failing_chunk(payload, chunk):
+    """Log each invocation, then raise for indices past the limit."""
+    path, limit = payload
+    with open(path, "a") as handle:
+        handle.write(f"{chunk.start}-{chunk.stop}\n")
+    for index in chunk:
+        if index >= limit:
+            raise PermissionError(f"payload denied at index {index}")
+    return list(chunk)
+
+
+def _payload_oserror_chunk(payload, chunk):
+    raise OSError("payload oserror, not pool infrastructure")
+
+
+def _die_in_worker_chunk(payload, chunk):
+    # Kill the worker process outright — from the parent's side this is
+    # indistinguishable from any other pool-infrastructure breakage.
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return [payload[index] * 2 for index in chunk]
+
+
+def _nested_map_chunk(payload, chunk):
+    inner = ParallelExecutor(workers=4, min_items=1).map_chunked(
+        _square_chunk, payload, len(payload)
+    )
+    return [inner[index] for index in chunk]
 
 
 class TestChunkRanges:
@@ -93,3 +127,125 @@ class TestMapChunked:
                 _square_chunk, list(range(count)), count
             )
             assert parallel == serial == [value ** 2 for value in range(count)]
+
+
+class TestPayloadExceptions:
+    """Chunk-function failures propagate; they never mask as pool breakage.
+
+    The regression: payload ``OSError``/``PermissionError`` used to be
+    caught by the pool-failure handler and silently re-run serially —
+    double-executing side effects and swallowing the error.
+    """
+
+    def test_payload_permission_error_propagates_parallel(self, tmp_path):
+        log = tmp_path / "invocations.log"
+        executor = ParallelExecutor(workers=4, min_items=1)
+        with pytest.raises(PermissionError, match="payload denied"):
+            executor.map_chunked(_logged_failing_chunk, (str(log), 20), 40)
+
+    def test_payload_oserror_propagates_parallel(self):
+        executor = ParallelExecutor(workers=2, min_items=1)
+        with pytest.raises(OSError, match="payload oserror"):
+            executor.map_chunked(_payload_oserror_chunk, None, 16)
+
+    def test_no_chunk_double_execution_on_failure(self, tmp_path):
+        log = tmp_path / "invocations.log"
+        executor = ParallelExecutor(workers=4, min_items=1)
+        with pytest.raises(PermissionError):
+            executor.map_chunked(_logged_failing_chunk, (str(log), 20), 40)
+        lines = log.read_text().splitlines()
+        # every chunk ran at most once: a silent serial re-run would
+        # duplicate the chunks that had already executed in the pool.
+        assert len(lines) == len(set(lines))
+        chunk_size = max(1, -(-40 // (4 * executor.chunks_per_worker)))
+        assert len(lines) <= len(chunk_ranges(40, chunk_size))
+
+    def test_payload_error_propagates_serial(self, tmp_path):
+        log = tmp_path / "invocations.log"
+        executor = ParallelExecutor(workers=1)
+        with pytest.raises(PermissionError, match="payload denied"):
+            executor.map_chunked(_logged_failing_chunk, (str(log), 0), 10)
+        lines = log.read_text().splitlines()
+        assert len(lines) == len(set(lines))
+
+    def test_pool_breakage_still_falls_back_to_serial(self):
+        payload = list(range(32))
+        executor = ParallelExecutor(workers=2, min_items=1)
+        with obs.capture() as (registry, _):
+            result = executor.map_chunked(_die_in_worker_chunk, payload, 32)
+        assert result == [value * 2 for value in payload]
+        counters = registry.to_dict()["counters"]
+        assert counters["parallel.maps_fallback"] == 1
+        assert counters["parallel.serial_reason.BrokenProcessPool"] == 1
+
+
+class TestNestedMaps:
+    """Re-entrant map_chunked runs the inner map serially, correctly.
+
+    The regression: a chunk function that itself called ``map_chunked``
+    clobbered the module-global payload slot with a nested fork.
+    """
+
+    def test_nested_map_inside_serial_outer(self):
+        payload = list(range(12))
+        with obs.capture() as (registry, _):
+            result = ParallelExecutor(workers=1).map_chunked(
+                _nested_map_chunk, payload, len(payload)
+            )
+        assert result == [value ** 2 for value in payload]
+        counters = registry.to_dict()["counters"]
+        # every inner map detected the running outer map and went serial
+        assert counters["parallel.serial_reason.nested-map"] >= 1
+        assert "parallel.maps_forked" not in counters
+
+    def test_nested_map_inside_parallel_outer(self):
+        payload = list(range(24))
+        result = ParallelExecutor(workers=2, min_items=1).map_chunked(
+            _nested_map_chunk, payload, len(payload)
+        )
+        assert result == [value ** 2 for value in payload]
+
+    def test_payload_global_intact_after_nested_maps(self):
+        from repro.parallel import executor as executor_mod
+
+        sentinel = object()
+        executor_mod._PAYLOAD = sentinel
+        try:
+            ParallelExecutor(workers=1).map_chunked(
+                _nested_map_chunk, list(range(12)), 12
+            )
+            assert executor_mod._PAYLOAD is sentinel
+        finally:
+            executor_mod._PAYLOAD = None
+
+
+class TestMapTelemetry:
+    def test_forked_map_records_counters_and_histogram(self):
+        payload = list(range(64))
+        with obs.capture() as (registry, _):
+            ParallelExecutor(workers=2, min_items=1).map_chunked(
+                _square_chunk, payload, len(payload)
+            )
+        exported = registry.to_dict()
+        assert exported["counters"]["parallel.maps"] == 1
+        assert exported["counters"]["parallel.maps_forked"] == 1
+        assert exported["counters"]["parallel.chunks"] >= 2
+        assert exported["histograms"]["parallel.map_seconds"]["count"] == 1
+
+    def test_serial_map_records_reason(self):
+        with obs.capture() as (registry, _):
+            ParallelExecutor(workers=1).map_chunked(_square_chunk, [1, 2], 2)
+        counters = registry.to_dict()["counters"]
+        assert counters["parallel.maps_serial"] == 1
+        assert counters["parallel.serial_reason.single-worker"] == 1
+
+    def test_map_event_lands_on_current_span(self):
+        with obs.capture() as (_, tracer):
+            with obs.span("query"):
+                ParallelExecutor(workers=1).map_chunked(
+                    _square_chunk, [1, 2, 3], 3
+                )
+        span = tracer.to_dict()["spans"][0]
+        events = [event for event in span["events"] if event["name"] == "parallel.map"]
+        assert len(events) == 1
+        assert events[0]["attributes"]["mode"] == "serial"
