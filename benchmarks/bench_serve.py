@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Serve benchmark: a threaded stdlib load generator over a real server.
+
+Builds a reduced-scale study, serves it with :class:`repro.serve.StudyServer`
+on an ephemeral port, and hammers it with ``http.client`` connections on
+plain threads — no third-party load tool, same constraint as the server
+itself. Three phases:
+
+* **cold** — the response LRU is cleared before every round, so every
+  request pays the full render (canonical JSON serialization);
+* **warm** — the cache is primed once and every request is an LRU hit;
+* **shed** — the admission semaphore is saturated deterministically
+  (the benchmark holds every slot itself) and one probe request must
+  come back ``503`` with a ``Retry-After`` header.
+
+Each timed phase reports throughput and p50/p95/p99 latency; results
+land in ``BENCH_serve.json``. Run standalone::
+
+    python benchmarks/bench_serve.py --requests 2000 --clients 4
+
+``--fail-below R`` exits non-zero when warm throughput drops below R
+requests/second (CI uses 500 per the serve acceptance bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import StudyConfig, run_study
+from repro.serve import ServeApp, SnapshotHolder, StudySnapshot, StudyServer
+
+SEED = "bench-serve"
+
+#: The endpoint mix each client cycles through (tables dominate, as
+#: they would for a notebook polling the API).
+ENDPOINTS = [
+    "/v1/tables/1",
+    "/v1/tables/2",
+    "/v1/tables/3",
+    "/v1/tables/4",
+    "/v1/tables/5",
+    "/v1/tables/6",
+    "/v1/figures/1",
+    "/v1/figures/2",
+    "/v1/figures/3",
+    "/v1/roots",
+    "/v1/health",
+]
+
+
+class _Client(threading.Thread):
+    """One load-generator thread with a persistent keep-alive connection."""
+
+    def __init__(self, host: str, port: int, requests: int, offset: int):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.requests = requests
+        self.offset = offset
+        self.latencies: list[float] = []
+        self.errors = 0
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            for i in range(self.requests):
+                path = ENDPOINTS[(self.offset + i) % len(ENDPOINTS)]
+                started = time.perf_counter()
+                try:
+                    connection.request("GET", path)
+                    response = connection.getresponse()
+                    body = response.read()
+                    if response.status != 200 or not body:
+                        self.errors += 1
+                except (http.client.HTTPException, OSError):
+                    self.errors += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=30
+                    )
+                    continue
+                self.latencies.append(time.perf_counter() - started)
+        finally:
+            connection.close()
+
+
+def _run_load(server: StudyServer, clients: int, requests_per_client: int) -> dict:
+    """One timed round; returns throughput + latency percentiles."""
+    threads = [
+        _Client(server.host, server.port, requests_per_client, offset)
+        for offset in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(x for thread in threads for x in thread.latencies)
+    errors = sum(thread.errors for thread in threads)
+    if not latencies:
+        raise RuntimeError("load round produced no successful requests")
+
+    def percentile(fraction: float) -> float:
+        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+    return {
+        "requests": len(latencies),
+        "errors": errors,
+        "seconds": round(elapsed, 3),
+        "throughput_rps": round(len(latencies) / elapsed, 1),
+        "latency_ms": {
+            "p50": round(statistics.median(latencies) * 1e3, 3),
+            "p95": round(percentile(0.95) * 1e3, 3),
+            "p99": round(percentile(0.99) * 1e3, 3),
+            "max": round(latencies[-1] * 1e3, 3),
+        },
+    }
+
+
+def _check_shedding(app: ServeApp, server: StudyServer) -> dict:
+    """Deterministic saturation: hold every admission slot, probe once."""
+    held = 0
+    while app._slots.acquire(blocking=False):  # noqa: SLF001 (own app)
+        held += 1
+    try:
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        connection.request("GET", "/v1/health")
+        response = connection.getresponse()
+        body = response.read()
+        retry_after = response.getheader("Retry-After")
+        connection.close()
+    finally:
+        for _ in range(held):
+            app._slots.release()
+    record = {
+        "held_slots": held,
+        "status": response.status,
+        "retry_after": retry_after,
+    }
+    assert response.status == 503, f"saturated probe got {response.status}"
+    assert retry_after, "503 without Retry-After"
+    assert b"error" in body, "503 without a JSON error body"
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=2000,
+        help="total requests per timed round (split across clients)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="load-generator threads"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="population scale of the served study",
+    )
+    parser.add_argument("--notary-scale", type=float, default=0.2)
+    parser.add_argument(
+        "--cold-rounds", type=int, default=5,
+        help="cache-cleared rounds over the endpoint mix for the cold number",
+    )
+    parser.add_argument(
+        "--build-cache", metavar="DIR", default="",
+        help="persistent build cache for the study build",
+    )
+    parser.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    parser.add_argument(
+        "--fail-below", type=float, default=None, metavar="RPS",
+        help="exit 1 if warm-cache throughput is below RPS requests/second",
+    )
+    args = parser.parse_args(argv)
+    per_client = max(1, args.requests // args.clients)
+
+    print(f"building study (scale={args.scale}, notary={args.notary_scale}) ...")
+    build_start = time.perf_counter()
+    result = run_study(
+        StudyConfig(
+            seed=SEED,
+            population_scale=args.scale,
+            notary_scale=args.notary_scale,
+            build_cache_dir=args.build_cache,
+        )
+    )
+    snapshot = StudySnapshot.from_result(result, generation=0)
+    build_seconds = time.perf_counter() - build_start
+
+    app = ServeApp(SnapshotHolder(snapshot), capacity=args.clients * 2 + 8)
+    server = StudyServer(app, port=0).start()
+    try:
+        # cold: every round starts with an empty LRU, so each of the
+        # distinct endpoints pays one full render per round.
+        cold_start = time.perf_counter()
+        cold_requests = 0
+        for _ in range(args.cold_rounds):
+            app.cache.clear()
+            round_stats = _run_load(server, 1, len(ENDPOINTS))
+            cold_requests += round_stats["requests"]
+        cold_seconds = time.perf_counter() - cold_start
+        cold = {
+            "requests": cold_requests,
+            "seconds": round(cold_seconds, 3),
+            "throughput_rps": round(cold_requests / cold_seconds, 1),
+        }
+        print(f"  cold : {cold['throughput_rps']:>8} req/s ({cold_requests} requests)")
+
+        # warm: prime once, then the timed multi-client round is all hits.
+        app.cache.clear()
+        _run_load(server, 1, len(ENDPOINTS))
+        warm = _run_load(server, args.clients, per_client)
+        print(
+            f"  warm : {warm['throughput_rps']:>8} req/s "
+            f"p50={warm['latency_ms']['p50']}ms p99={warm['latency_ms']['p99']}ms"
+        )
+
+        shed = _check_shedding(app, server)
+        print(
+            f"  shed : 503 with Retry-After={shed['retry_after']} "
+            f"(held {shed['held_slots']} slots)"
+        )
+
+        hits = app.cache.hits
+        misses = app.cache.misses
+    finally:
+        server.stop()
+
+    payload = {
+        "benchmark": "serve",
+        "seed": SEED,
+        "scale": args.scale,
+        "clients": args.clients,
+        "study_build_s": round(build_seconds, 3),
+        "snapshot_meta": snapshot.meta,
+        "cold_cache": cold,
+        "warm_cache": warm,
+        "warm_over_cold": round(
+            warm["throughput_rps"] / cold["throughput_rps"], 2
+        ),
+        "cache": {"hits": hits, "misses": misses},
+        "shedding": shed,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.fail_below is not None and warm["throughput_rps"] < args.fail_below:
+        print(
+            f"FAIL: warm throughput {warm['throughput_rps']} req/s "
+            f"< {args.fail_below}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,4 @@
+"""Reproduction of "A Tangled Mass: The Android Root Certificate Stores"."""
+
+#: Package version, surfaced by ``repro --version`` and ``GET /v1/health``.
+__version__ = "1.1.0"

@@ -27,9 +27,13 @@ from repro.analysis.interception import InterceptionFinding, detect_interception
 from repro.analysis.figures import figure1_scatter, figure2_matrix, figure3_ecdf
 from repro.analysis import tables
 from repro.analysis.report import (
+    STUDY_JSON_SCHEMA,
     render_fastpath,
+    render_report_from_json,
     render_study_report,
     render_telemetry,
+    to_json,
+    to_json_bytes,
 )
 from repro.analysis.study import FastPathStats, StudyConfig, StudyResult, run_study
 from repro.analysis.evolution import classify_additions, store_changelog
@@ -60,9 +64,13 @@ __all__ = [
     "figure2_matrix",
     "figure3_ecdf",
     "tables",
+    "STUDY_JSON_SCHEMA",
     "render_fastpath",
+    "render_report_from_json",
     "render_study_report",
     "render_telemetry",
+    "to_json",
+    "to_json_bytes",
     "FastPathStats",
     "StudyConfig",
     "StudyResult",

@@ -1,11 +1,31 @@
-"""Plain-text rendering of the study's tables and figures."""
+"""Structured export and plain-text rendering of the study's results.
+
+One representation drives everything: :func:`to_json` turns a completed
+:class:`~repro.analysis.study.StudyResult` into a stable, schema-versioned
+JSON document, and every text renderer in this module derives its output
+from that document — never from the result object directly. The
+``repro serve`` endpoints and the ``repro study --json`` export serialize
+the same document, so the HTTP API, the JSON file and the text report can
+never drift apart (the integration suite parity-tests all three).
+
+Serialization is canonical (:func:`to_json_bytes`: sorted keys, 2-space
+indent, trailing newline), so the same study config always produces the
+same bytes — the property the server's ETags and the build-cache
+byte-identity checks rely on.
+"""
 
 from __future__ import annotations
 
+import json
 from io import StringIO
 
 from repro.analysis.study import StudyResult
+from repro.faults.quarantine import IngestHealth
 from repro.rootstore.catalog import StorePresence
+
+#: Schema revision of the ``to_json`` document. Bump on any change that
+#: is not purely additive.
+STUDY_JSON_SCHEMA = 1
 
 _PRESENCE_LABELS = {
     StorePresence.MOZILLA_AND_IOS7: "Mozilla and iOS7",
@@ -15,163 +35,517 @@ _PRESENCE_LABELS = {
     StorePresence.NOT_RECORDED: "Not recorded by Notary",
 }
 
+#: The same labels keyed by the serialized enum value, for renderers
+#: that consume the JSON document (possibly after a round trip).
+_PRESENCE_LABELS_BY_VALUE = {
+    presence.value: label for presence, label in _PRESENCE_LABELS.items()
+}
+
+
+# ---------------------------------------------------------------------------
+# the structured export
+# ---------------------------------------------------------------------------
+
+
+def _quarantine_json(quarantine) -> dict:
+    """Total + per-category counts of one quarantine, sorted by category."""
+    return {
+        "total": len(quarantine),
+        "categories": [
+            [category.value, count]
+            for category, count in sorted(
+                quarantine.counts().items(), key=lambda item: item[0].value
+            )
+        ],
+    }
+
+
+def _json_config(result: StudyResult) -> dict:
+    """The config knobs that determine the study's output.
+
+    ``workers``/``fastpath``/``build_cache_dir`` are deliberately
+    excluded: they change wall-clock time, never the results, and the
+    export must be byte-identical across them.
+    """
+    config = result.config
+    return {
+        "seed": config.seed,
+        "population_scale": config.population_scale,
+        "notary_scale": config.notary_scale,
+        "key_bits": config.key_bits,
+        "fault_rate": config.fault_rate,
+        "fault_seed": config.fault_seed,
+    }
+
+
+def _json_headline(result: StudyResult) -> dict:
+    rooted = result.rooted
+    return {
+        "sessions": result.dataset.session_count,
+        "estimated_devices": result.estimated_devices,
+        "distinct_models": result.dataset.distinct_models(),
+        "unique_certificates": result.unique_certificates,
+        "extended_fraction": result.extended_fraction,
+        "missing_cert_handsets": result.missing_cert_handsets,
+        "rooted": {
+            "session_fraction": rooted.rooted_session_fraction,
+            "exclusive_of_rooted": rooted.exclusive_session_fraction_of_rooted,
+            "exclusive_of_all": rooted.exclusive_session_fraction_of_all,
+        },
+    }
+
+
+def _json_table1(result: StudyResult) -> list:
+    return [[name, size] for name, size in result.table1]
+
+
+def _json_table2(result: StudyResult) -> dict:
+    return {
+        "devices": [[name, count] for name, count in result.table2.top_devices],
+        "manufacturers": [
+            [name, count] for name, count in result.table2.top_manufacturers
+        ],
+    }
+
+
+def _json_table3(result: StudyResult) -> list:
+    return [[name, count] for name, count in result.table3]
+
+
+def _json_table4(result: StudyResult) -> list:
+    return [
+        {
+            "category": row.category,
+            "total_roots": row.total_roots,
+            "fraction_validating_nothing": row.fraction_validating_nothing,
+        }
+        for row in result.table4
+    ]
+
+
+def _json_table5(result: StudyResult) -> list:
+    return [[label, devices] for label, devices in result.table5]
+
+
+def _json_table6(result: StudyResult) -> dict | None:
+    if result.table6 is None:
+        return None
+    return {
+        "interceptor": result.table6.interceptor,
+        "intercepted": list(result.table6.intercepted),
+        "whitelisted": list(result.table6.whitelisted),
+    }
+
+
+def _json_figure1(result: StudyResult) -> dict:
+    return {
+        "extended_fraction": result.extended_fraction,
+        "missing_cert_handsets": result.missing_cert_handsets,
+        "points": [
+            {
+                "manufacturer": point.manufacturer,
+                "os_version": point.os_version,
+                "aosp_count": point.aosp_count,
+                "additional_count": point.additional_count,
+                "session_count": point.session_count,
+            }
+            for point in result.figure1
+        ],
+    }
+
+
+def _json_figure2(result: StudyResult) -> dict:
+    figure = result.figure2
+    return {
+        "class_fractions": [
+            [presence.value, fraction]
+            for presence, fraction in figure.class_fractions.items()
+        ],
+        "min_group_sessions": figure.min_group_sessions,
+        "cells": [
+            {
+                "group": cell.group,
+                "group_kind": cell.group_kind,
+                "cert_label": cell.cert_label,
+                "cert_short_id": cell.cert_short_id,
+                "frequency": cell.frequency,
+                "presence": cell.presence.value,
+            }
+            for cell in figure.cells
+        ],
+    }
+
+
+def _json_figure3(result: StudyResult) -> list:
+    return [
+        {
+            "label": series.label,
+            "root_count": series.root_count,
+            "zero_fraction": series.zero_fraction,
+            "points": [[count, fraction] for count, fraction in series.points],
+        }
+        for series in result.figure3
+    ]
+
+
+def _json_geography(result: StudyResult) -> dict:
+    return {
+        "footprints": [
+            {
+                "label": footprint.label,
+                "countries": sorted(footprint.countries),
+                "country_spread": footprint.country_spread,
+                "session_count": footprint.session_count,
+            }
+            for footprint in result.footprints
+        ],
+        "roaming": [
+            {
+                "cert_label": finding.cert_label,
+                "issuing_operator": finding.issuing_operator,
+                "attached_operator": finding.attached_operator,
+                "session_count": finding.session_count,
+            }
+            for finding in result.roaming
+        ],
+    }
+
+
+def _json_ingest(result: StudyResult) -> dict:
+    return {
+        "health": result.ingest_health.to_dict(),
+        "dataset_quarantine": _quarantine_json(result.dataset.quarantine),
+        "notary": {
+            "leaves_accepted": result.notary.total_certificates,
+            "quarantine": _quarantine_json(result.notary.quarantine),
+        },
+    }
+
+
+def to_json(result: StudyResult) -> dict:
+    """The study's stable structured export (schema
+    :data:`STUDY_JSON_SCHEMA`).
+
+    Contains only plain JSON types, preserves every ordering the text
+    renderers depend on (lists, never order-sensitive dicts), and is
+    byte-identical — via :func:`to_json_bytes` — across worker counts,
+    fast-path modes and build-cache states.
+    """
+    return {
+        "schema": STUDY_JSON_SCHEMA,
+        "config": _json_config(result),
+        "headline": _json_headline(result),
+        "tables": {
+            "1": _json_table1(result),
+            "2": _json_table2(result),
+            "3": _json_table3(result),
+            "4": _json_table4(result),
+            "5": _json_table5(result),
+            "6": _json_table6(result),
+        },
+        "figures": {
+            "1": _json_figure1(result),
+            "2": _json_figure2(result),
+            "3": _json_figure3(result),
+        },
+        "geography": _json_geography(result),
+        "ingest": _json_ingest(result),
+    }
+
+
+def to_json_bytes(payload: object) -> bytes:
+    """Canonical serialization of a JSON payload (or sub-payload).
+
+    Sorted keys, two-space indent, one trailing newline: the same
+    payload always produces the same bytes, so file exports diff
+    cleanly and the server's ETags are deterministic.
+    """
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# text renderers (all consume the JSON document, never the result)
+# ---------------------------------------------------------------------------
+
 
 def _rule(out: StringIO, title: str) -> None:
     out.write(f"\n{title}\n{'-' * len(title)}\n")
 
 
-def render_table1(result: StudyResult) -> str:
-    """Table 1 as text."""
+def _render_table1(section: list) -> str:
     out = StringIO()
     _rule(out, "Table 1: Number of certificates in different root stores")
-    for name, size in result.table1:
+    for name, size in section:
         out.write(f"  {name:<12} {size:>4}\n")
     return out.getvalue()
 
 
-def render_table2(result: StudyResult) -> str:
-    """Table 2 as text."""
+def _render_table2(section: dict) -> str:
     out = StringIO()
     _rule(out, "Table 2: Top 5 mobile devices and manufacturers")
     out.write("  Devices:\n")
-    for name, count in result.table2.top_devices:
+    for name, count in section["devices"]:
         out.write(f"    {name:<28} {count:>6,}\n")
     out.write("  Manufacturers:\n")
-    for name, count in result.table2.top_manufacturers:
+    for name, count in section["manufacturers"]:
         out.write(f"    {name:<28} {count:>6,}\n")
     return out.getvalue()
 
 
-def render_table3(result: StudyResult) -> str:
-    """Table 3 as text."""
+def _render_table3(section: list) -> str:
     out = StringIO()
     _rule(out, "Table 3: Number of certificates validated by each root store")
-    for name, count in result.table3:
+    for name, count in section:
         out.write(f"  {name:<12} {count:>8,}\n")
     return out.getvalue()
 
 
-def render_table4(result: StudyResult) -> str:
-    """Table 4 as text."""
+def _render_table4(section: list) -> str:
     out = StringIO()
     _rule(out, "Table 4: Root certificates per category / % validating nothing")
-    for row in result.table4:
+    for row in section:
         out.write(
-            f"  {row.category:<44} {row.total_roots:>4} "
-            f"{row.fraction_validating_nothing:>6.0%}\n"
+            f"  {row['category']:<44} {row['total_roots']:>4} "
+            f"{row['fraction_validating_nothing']:>6.0%}\n"
         )
     return out.getvalue()
 
 
-def render_table5(result: StudyResult) -> str:
-    """Table 5 as text."""
+def _render_table5(section: list) -> str:
     out = StringIO()
     _rule(out, "Table 5: CAs found exclusively on rooted devices")
-    for label, devices in result.table5:
+    for label, devices in section:
         out.write(f"  {label:<36} {devices:>4} devices\n")
     return out.getvalue()
 
 
-def render_table6(result: StudyResult) -> str:
-    """Table 6 as text."""
+def _render_table6(section: dict | None) -> str:
     out = StringIO()
     _rule(out, "Table 6: Domains intercepted / whitelisted by the HTTPS proxy")
-    if result.table6 is None:
+    if section is None:
         out.write("  (no interception observed)\n")
         return out.getvalue()
-    out.write(f"  Interceptor: {result.table6.interceptor}\n")
+    out.write(f"  Interceptor: {section['interceptor']}\n")
     out.write("  Intercepted:\n")
-    for domain in result.table6.intercepted:
+    for domain in section["intercepted"]:
         out.write(f"    {domain}\n")
     out.write("  Whitelisted:\n")
-    for domain in result.table6.whitelisted:
+    for domain in section["whitelisted"]:
         out.write(f"    {domain}\n")
     return out.getvalue()
 
 
-def render_figure1(result: StudyResult, max_rows: int = 12) -> str:
-    """Figure 1's headline aggregates as text."""
+def _render_figure1(section: dict, max_rows: int = 12) -> str:
     out = StringIO()
     _rule(out, "Figure 1: AOSP vs additional certificates (aggregates)")
-    out.write(f"  sessions with extended stores: {result.extended_fraction:.0%}\n")
-    out.write(f"  handsets missing AOSP certs:   {result.missing_cert_handsets}\n")
-    heavy = [p for p in result.figure1 if p.additional_count > 40]
-    heavy_sessions = sum(p.session_count for p in heavy)
-    total_sessions = sum(p.session_count for p in result.figure1)
+    out.write(
+        f"  sessions with extended stores: {section['extended_fraction']:.0%}\n"
+    )
+    out.write(
+        f"  handsets missing AOSP certs:   {section['missing_cert_handsets']}\n"
+    )
+    points = section["points"]
+    heavy = [p for p in points if p["additional_count"] > 40]
+    heavy_sessions = sum(p["session_count"] for p in heavy)
+    total_sessions = sum(p["session_count"] for p in points)
     out.write(
         f"  sessions with >40 additions:   {heavy_sessions} "
         f"({heavy_sessions / total_sessions:.1%})\n"
     )
     biggest = sorted(
-        result.figure1, key=lambda p: p.additional_count, reverse=True
+        points, key=lambda p: p["additional_count"], reverse=True
     )[:max_rows]
     out.write("  largest extensions (manufacturer/version -> +certs):\n")
     for point in biggest:
         out.write(
-            f"    {point.manufacturer} {point.os_version}: "
-            f"{point.aosp_count} AOSP + {point.additional_count} extra "
-            f"({point.session_count} sessions)\n"
+            f"    {point['manufacturer']} {point['os_version']}: "
+            f"{point['aosp_count']} AOSP + {point['additional_count']} extra "
+            f"({point['session_count']} sessions)\n"
         )
     return out.getvalue()
 
 
-def render_figure2(result: StudyResult, max_rows: int = 20) -> str:
-    """Figure 2's class mix and densest rows as text."""
+def _render_figure2(section: dict, max_rows: int = 20) -> str:
     out = StringIO()
     _rule(out, "Figure 2: additional certificates by manufacturer/operator")
     out.write("  presence classes over distinct additional certs:\n")
-    for presence, fraction in result.figure2.class_fractions.items():
-        out.write(f"    {_PRESENCE_LABELS[presence]:<24} {fraction:>6.1%}\n")
-    groups = result.figure2.groups()
+    for presence_value, fraction in section["class_fractions"]:
+        out.write(
+            f"    {_PRESENCE_LABELS_BY_VALUE[presence_value]:<24} {fraction:>6.1%}\n"
+        )
+    cells = section["cells"]
+    groups = sorted({cell["group"] for cell in cells})
     out.write(f"  groups with >=10 modified sessions: {len(groups)}\n")
     for group in groups[:max_rows]:
-        cells = result.figure2.cells_for_group(group)
-        top = sorted(cells, key=lambda c: c.frequency, reverse=True)[:3]
+        group_cells = [cell for cell in cells if cell["group"] == group]
+        top = sorted(group_cells, key=lambda c: c["frequency"], reverse=True)[:3]
         rendered = ", ".join(
-            f"{cell.cert_label} ({cell.frequency:.0%})" for cell in top
+            f"{cell['cert_label']} ({cell['frequency']:.0%})" for cell in top
         )
-        out.write(f"    {group:<18} {len(cells):>3} certs; top: {rendered}\n")
+        out.write(f"    {group:<18} {len(group_cells):>3} certs; top: {rendered}\n")
     return out.getvalue()
 
 
-def render_figure3(result: StudyResult) -> str:
-    """Figure 3's per-category offsets and maxima as text."""
+def _render_figure3(section: list) -> str:
     out = StringIO()
     _rule(out, "Figure 3: ECDF of per-root validation counts")
     out.write(
         f"  {'category':<44} {'roots':>5} {'0-frac':>7} {'max':>7}\n"
     )
-    for series in result.figure3:
-        maximum = series.points[-1][0] if series.points else 0
+    for series in section:
+        maximum = series["points"][-1][0] if series["points"] else 0
         out.write(
-            f"  {series.label:<44} {series.root_count:>5} "
-            f"{series.zero_fraction:>6.0%} {maximum:>7,}\n"
+            f"  {series['label']:<44} {series['root_count']:>5} "
+            f"{series['zero_fraction']:>6.0%} {maximum:>7,}\n"
         )
     return out.getvalue()
 
 
-def render_geography(result: StudyResult, max_rows: int = 6) -> str:
-    """§5.2's additional observations as text."""
+def _render_geography(section: dict, max_rows: int = 6) -> str:
     out = StringIO()
     _rule(out, "Additional observations (§5.2): geography and roaming")
     widest = sorted(
-        result.footprints, key=lambda f: -f.country_spread
+        section["footprints"], key=lambda f: -f["country_spread"]
     )[:max_rows]
     out.write("  widest country spread:\n")
     for footprint in widest:
         out.write(
-            f"    {footprint.label:<40} {footprint.country_spread} countries, "
-            f"{footprint.session_count} sessions\n"
+            f"    {footprint['label']:<40} {footprint['country_spread']} countries, "
+            f"{footprint['session_count']} sessions\n"
         )
-    if result.roaming:
+    if section["roaming"]:
         out.write("  operator roots on foreign networks (roaming users):\n")
-        for finding in result.roaming[:max_rows]:
+        for finding in section["roaming"][:max_rows]:
             out.write(
-                f"    {finding.cert_label:<40} issued for "
-                f"{finding.issuing_operator}, seen on {finding.attached_operator} "
-                f"({finding.session_count} sessions)\n"
+                f"    {finding['cert_label']:<40} issued for "
+                f"{finding['issuing_operator']}, seen on "
+                f"{finding['attached_operator']} "
+                f"({finding['session_count']} sessions)\n"
             )
     return out.getvalue()
+
+
+def _render_ingest(section: dict) -> str:
+    out = StringIO()
+    _rule(out, "Ingest health")
+    out.write(IngestHealth.from_dict(section["health"]).render())
+    dataset_quarantine = section["dataset_quarantine"]
+    if dataset_quarantine["total"]:
+        out.write(
+            f"\n  quarantined records    {dataset_quarantine['total']:>7,}"
+        )
+        for category, count in dataset_quarantine["categories"]:
+            out.write(f"\n    {category:<22} {count:>5,}")
+    out.write("\n")
+    notary = section["notary"]
+    notary_quarantined = notary["quarantine"]["total"]
+    out.write(
+        f"  notary leaves accepted {notary['leaves_accepted']:>7,}"
+        f"  (quarantined {notary_quarantined:,})\n"
+    )
+    if notary_quarantined:
+        for category, count in notary["quarantine"]["categories"]:
+            out.write(f"    {category:<22} {count:>5,}\n")
+    return out.getvalue()
+
+
+def _render_headline(document: dict) -> str:
+    headline = document["headline"]
+    rooted = headline["rooted"]
+    out = StringIO()
+    out.write("A Tangled Mass: reproduction study report\n")
+    out.write("==========================================\n")
+    out.write(
+        f"sessions={headline['sessions']:,} "
+        f"devices>={headline['estimated_devices']:,} "
+        f"models={headline['distinct_models']} "
+        f"unique certs={headline['unique_certificates']}\n"
+    )
+    out.write(
+        f"rooted sessions={rooted['session_fraction']:.0%} "
+        f"rooted-exclusive={rooted['exclusive_of_rooted']:.1%}"
+        f" of rooted "
+        f"({rooted['exclusive_of_all']:.1%} of all)\n"
+    )
+    return out.getvalue()
+
+
+def render_report_from_json(document: dict) -> str:
+    """The full study report, rendered from a :func:`to_json` document.
+
+    Accepts the document either freshly built or after a JSON round
+    trip — both render byte-identically.
+    """
+    tables, figures = document["tables"], document["figures"]
+    out = StringIO()
+    out.write(_render_headline(document))
+    out.write(_render_table1(tables["1"]))
+    out.write(_render_table2(tables["2"]))
+    out.write(_render_table3(tables["3"]))
+    out.write(_render_table4(tables["4"]))
+    out.write(_render_table5(tables["5"]))
+    out.write(_render_table6(tables["6"]))
+    out.write(_render_figure1(figures["1"]))
+    out.write(_render_figure2(figures["2"]))
+    out.write(_render_figure3(figures["3"]))
+    out.write(_render_geography(document["geography"]))
+    out.write(_render_ingest(document["ingest"]))
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# StudyResult-facing wrappers (the public per-section renderers)
+# ---------------------------------------------------------------------------
+
+
+def render_table1(result: StudyResult) -> str:
+    """Table 1 as text."""
+    return _render_table1(_json_table1(result))
+
+
+def render_table2(result: StudyResult) -> str:
+    """Table 2 as text."""
+    return _render_table2(_json_table2(result))
+
+
+def render_table3(result: StudyResult) -> str:
+    """Table 3 as text."""
+    return _render_table3(_json_table3(result))
+
+
+def render_table4(result: StudyResult) -> str:
+    """Table 4 as text."""
+    return _render_table4(_json_table4(result))
+
+
+def render_table5(result: StudyResult) -> str:
+    """Table 5 as text."""
+    return _render_table5(_json_table5(result))
+
+
+def render_table6(result: StudyResult) -> str:
+    """Table 6 as text."""
+    return _render_table6(_json_table6(result))
+
+
+def render_figure1(result: StudyResult, max_rows: int = 12) -> str:
+    """Figure 1's headline aggregates as text."""
+    return _render_figure1(_json_figure1(result), max_rows)
+
+
+def render_figure2(result: StudyResult, max_rows: int = 20) -> str:
+    """Figure 2's class mix and densest rows as text."""
+    return _render_figure2(_json_figure2(result), max_rows)
+
+
+def render_figure3(result: StudyResult) -> str:
+    """Figure 3's per-category offsets and maxima as text."""
+    return _render_figure3(_json_figure3(result))
+
+
+def render_geography(result: StudyResult, max_rows: int = 6) -> str:
+    """§5.2's additional observations as text."""
+    return _render_geography(_json_geography(result), max_rows)
 
 
 def render_ingest_health(result: StudyResult) -> str:
@@ -180,22 +554,17 @@ def render_ingest_health(result: StudyResult) -> str:
     Rendered deterministically so a seeded fault-injection run
     reproduces the section byte for byte.
     """
-    out = StringIO()
-    _rule(out, "Ingest health")
-    out.write(result.ingest_health.render(result.dataset.quarantine))
-    out.write("\n")
-    notary_quarantined = len(result.notary.quarantine)
-    out.write(
-        f"  notary leaves accepted {result.notary.total_certificates:>7,}"
-        f"  (quarantined {notary_quarantined:,})\n"
-    )
-    if notary_quarantined:
-        for category, count in sorted(
-            result.notary.quarantine.counts().items(),
-            key=lambda item: item[0].value,
-        ):
-            out.write(f"    {category.value:<22} {count:>5,}\n")
-    return out.getvalue()
+    return _render_ingest(_json_ingest(result))
+
+
+def render_study_report(result: StudyResult) -> str:
+    """The full study report."""
+    return render_report_from_json(to_json(result))
+
+
+# ---------------------------------------------------------------------------
+# fast-path / telemetry views (bookkeeping, not part of the stable export)
+# ---------------------------------------------------------------------------
 
 
 def render_fastpath(result: StudyResult) -> str:
@@ -285,38 +654,4 @@ def render_telemetry(result: StudyResult) -> str:
                 + (f" max={maximum:.3f}s" if maximum is not None else "")
                 + "\n"
             )
-    return out.getvalue()
-
-
-def render_study_report(result: StudyResult) -> str:
-    """The full study report."""
-    out = StringIO()
-    out.write("A Tangled Mass: reproduction study report\n")
-    out.write("==========================================\n")
-    out.write(
-        f"sessions={result.dataset.session_count:,} "
-        f"devices>={result.estimated_devices:,} "
-        f"models={result.dataset.distinct_models()} "
-        f"unique certs={result.unique_certificates}\n"
-    )
-    out.write(
-        f"rooted sessions={result.rooted.rooted_session_fraction:.0%} "
-        f"rooted-exclusive={result.rooted.exclusive_session_fraction_of_rooted:.1%}"
-        f" of rooted "
-        f"({result.rooted.exclusive_session_fraction_of_all:.1%} of all)\n"
-    )
-    for renderer in (
-        render_table1,
-        render_table2,
-        render_table3,
-        render_table4,
-        render_table5,
-        render_table6,
-        render_figure1,
-        render_figure2,
-        render_figure3,
-        render_geography,
-        render_ingest_health,
-    ):
-        out.write(renderer(result))
     return out.getvalue()

@@ -8,7 +8,8 @@ Commands:
 * ``collect``     — generate a population, run Netalyzr over it, save
   the dataset to JSON;
 * ``analyze``     — run the analysis pipeline over a saved dataset;
-* ``study``       — run the full reproduction study and print the report.
+* ``study``       — run the full reproduction study and print the report;
+* ``serve``       — run the study once, then serve it as an HTTP/JSON API.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.analysis import StudyConfig, render_study_report, run_study
 from repro.analysis.classify import PresenceClassifier
 from repro.audit import Severity, StoreAuditor
@@ -217,8 +219,15 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     else:
         print(render_study_report(result))
-    # Telemetry exports go to their own files and the notices to stderr,
-    # so stdout stays byte-identical with or without these flags.
+    # File exports go to their own paths and the notices to stderr, so
+    # stdout stays byte-identical with or without these flags.
+    if args.json:
+        import pathlib
+
+        from repro.analysis.report import to_json, to_json_bytes
+
+        pathlib.Path(args.json).write_bytes(to_json_bytes(to_json(result)))
+        print(f"wrote structured export to {args.json}", file=sys.stderr)
     if args.trace and result.telemetry is not None:
         result.telemetry.write_trace(args.trace)
         print(f"wrote trace to {args.trace}", file=sys.stderr)
@@ -234,6 +243,27 @@ def cmd_study(args: argparse.Namespace) -> int:
 
         print(render_fastpath(result))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the study once (warm from the build cache when configured),
+    then serve it as the HTTP/JSON query API until SIGTERM/SIGINT."""
+    from repro.serve import ServeConfig, run_server
+
+    return run_server(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            backlog=args.backlog,
+            cache_capacity=args.cache_size,
+            seed=args.seed,
+            population_scale=args.scale,
+            notary_scale=args.notary_scale,
+            build_cache_dir="" if args.no_build_cache else (args.build_cache or ""),
+            build_workers=args.build_workers,
+        )
+    )
 
 
 def cmd_fleet_audit(args: argparse.Namespace) -> int:
@@ -257,6 +287,9 @@ def cmd_fleet_audit(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     parser.add_argument("--seed", default="tangled-mass", help="PKI universe seed")
     parser.add_argument(
         "--universe",
@@ -368,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(span tree, counters, histograms)",
     )
     study.add_argument(
+        "--json", metavar="FILE",
+        help="also write the structured JSON export (the schema the "
+        "serve API speaks) to FILE; stdout is unchanged",
+    )
+    study.add_argument(
         "--build-cache", metavar="DIR",
         help="persistent build-artifact cache directory; a warm entry "
         "skips the whole universe build (report is identical either way)",
@@ -378,6 +416,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_options(study)
     study.set_defaults(func=cmd_study)
+
+    serve = commands.add_parser("serve", help=cmd_serve.__doc__)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument(
+        "--workers", type=int, default=8,
+        help="max requests served concurrently; beyond workers+backlog "
+        "the server sheds load with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--backlog", type=int, default=16,
+        help="admitted-but-waiting headroom on top of --workers",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU response-cache entries",
+    )
+    serve.add_argument("--scale", type=float, default=0.25,
+                       help="population scale of the served study")
+    serve.add_argument("--notary-scale", type=float, default=0.5)
+    serve.add_argument(
+        "--build-cache", metavar="DIR",
+        help="persistent build-artifact cache; a warm entry makes both "
+        "startup and POST /admin/reload near-instant",
+    )
+    serve.add_argument(
+        "--no-build-cache", action="store_true",
+        help="ignore --build-cache and always build cold",
+    )
+    serve.add_argument(
+        "--build-workers", type=int, default=1,
+        help="worker processes for the study (re)build itself",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     fleet = commands.add_parser("fleet-audit", help=cmd_fleet_audit.__doc__)
     fleet.add_argument("--scale", type=float, default=0.1)

@@ -1,0 +1,33 @@
+"""``repro.serve`` — the zero-dependency study query service.
+
+Puts a completed :class:`~repro.analysis.study.StudyResult` online as an
+HTTP/JSON API built entirely on the stdlib (``http.server`` /
+``socketserver``; no third-party runtime dependencies):
+
+* :mod:`repro.serve.snapshot` — the immutable, fully precomputed view of
+  one study a request thread reads (atomically swappable);
+* :mod:`repro.serve.cache` — the LRU response cache with deterministic
+  ETags;
+* :mod:`repro.serve.app` — the transport-free router + handler registry
+  (unit-testable without sockets), including admission-control
+  backpressure;
+* :mod:`repro.serve.server` — the threaded HTTP shim, graceful
+  SIGTERM drain and the ``repro serve`` entry point.
+"""
+
+from repro.serve.app import Request, Response, ServeApp
+from repro.serve.cache import ResponseCache
+from repro.serve.snapshot import SnapshotHolder, StudySnapshot
+from repro.serve.server import ServeConfig, StudyServer, run_server
+
+__all__ = [
+    "Request",
+    "Response",
+    "ServeApp",
+    "ResponseCache",
+    "SnapshotHolder",
+    "StudySnapshot",
+    "ServeConfig",
+    "StudyServer",
+    "run_server",
+]

@@ -1,0 +1,283 @@
+"""The transport-free request handler: router, ETags, backpressure.
+
+``ServeApp.handle`` maps one parsed request to one response without ever
+touching a socket, which is what makes the whole service unit-testable
+in-process. The HTTP shim in :mod:`repro.serve.server` (and nothing
+else) deals with bytes on the wire.
+
+Design points:
+
+* **Routing** is a registry of ``(method, compiled pattern, handler)``
+  rows; handlers receive the match groups and the *snapshot the request
+  started with* — one `holder.get()` per request, so an admin reload
+  mid-request can never mix two studies in one response.
+* **Determinism**: every body is rendered with the canonical serializer
+  (:func:`repro.analysis.report.to_json_bytes`), so the same query
+  against the same snapshot always yields the same bytes, and the ETag
+  is simply a hash of those bytes. ``If-None-Match`` revalidation
+  returns 304 with an empty body.
+* **LRU**: rendered (body, ETag) pairs are cached per
+  ``(generation, path)``; the cache cannot go stale because a reload
+  changes the generation.
+* **Backpressure**: a non-blocking admission semaphore bounds in-flight
+  requests at ``capacity``; a saturated service answers 503 with a
+  ``Retry-After`` hint instead of queueing unboundedly.
+* **Telemetry**: per-request latency lands in a
+  :class:`repro.obs.MetricsRegistry` histogram, per-status and
+  per-endpoint counters alongside it, and each request runs under a
+  thread-local :class:`repro.obs.Tracer` span (the tracer's span stack
+  is per-thread state, so request threads must not share one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import __version__
+from repro.analysis.report import to_json_bytes
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve.cache import ResponseCache
+from repro.serve.snapshot import SnapshotHolder, StudySnapshot
+
+#: Content type of every response body.
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: ``Retry-After`` seconds advertised when shedding load.
+RETRY_AFTER_SECONDS = 1
+
+#: Per-request trace spans kept for inspection (bounded ring).
+MAX_RECENT_SPANS = 64
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request, transport-independent."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str) -> str | None:
+        return self.headers.get(name.lower())
+
+
+@dataclass(frozen=True)
+class Response:
+    """One response the transport layer writes out verbatim."""
+
+    status: int
+    body: bytes = b""
+    headers: tuple[tuple[str, str], ...] = ()
+    content_type: str = JSON_CONTENT_TYPE
+
+
+def make_etag(body: bytes, generation: int) -> str:
+    """The deterministic ETag of one rendered body.
+
+    A strong validator: same snapshot generation + same bytes → same
+    tag, on any worker and across restarts of the same study config.
+    """
+    digest = hashlib.sha256(body).hexdigest()[:32]
+    return f'"g{generation}-{digest}"'
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return to_json_bytes({"error": {"status": status, "message": message}})
+
+
+#: Handler signature: (snapshot, match) → payload object, or a Response
+#: for non-JSON/non-cacheable outcomes, or None for "not found".
+Handler = Callable[[StudySnapshot, re.Match], object]
+
+
+class ServeApp:
+    """Router + handler registry over an atomically swappable snapshot."""
+
+    def __init__(
+        self,
+        holder: SnapshotHolder,
+        *,
+        registry: MetricsRegistry | None = None,
+        cache_capacity: int = 256,
+        capacity: int = 64,
+        reloader: Callable[[], StudySnapshot] | None = None,
+    ):
+        self.holder = holder
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = ResponseCache(cache_capacity)
+        self.capacity = capacity
+        self.reloader = reloader
+        self.recent_spans: deque[dict] = deque(maxlen=MAX_RECENT_SPANS)
+        self._slots = threading.BoundedSemaphore(capacity)
+        self._reload_lock = threading.Lock()
+        self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
+        self._register_routes()
+
+    # -- route table -------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        route = self._add_route
+        route("GET", r"/v1/health", "health", self._handle_health)
+        route("GET", r"/v1/metrics", "metrics", self._handle_metrics)
+        route("GET", r"/v1/tables/(?P<number>[1-6])", "table", self._handle_table)
+        route("GET", r"/v1/figures/(?P<number>[1-3])", "figure", self._handle_figure)
+        route("GET", r"/v1/roots", "roots", self._handle_roots)
+        route(
+            "GET",
+            r"/v1/roots/(?P<fingerprint>[0-9a-f]{64})",
+            "root",
+            self._handle_root,
+        )
+        route(
+            "GET",
+            r"/v1/sessions/(?P<session_id>[^/]+)/diff",
+            "session_diff",
+            self._handle_session_diff,
+        )
+        route("POST", r"/admin/reload", "reload", self._handle_reload)
+
+    def _add_route(self, method: str, pattern: str, name: str, handler: Handler) -> None:
+        self._routes.append((method, re.compile(pattern + r"\Z"), name, handler))
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _handle_health(self, snapshot: StudySnapshot, match: re.Match) -> Response:
+        payload = {
+            "status": "ok",
+            "version": __version__,
+            "snapshot": snapshot.meta,
+        }
+        # Health must answer even when every cache line is cold and must
+        # reflect the live generation, so it bypasses ETag/LRU handling.
+        return Response(200, to_json_bytes(payload))
+
+    def _handle_metrics(self, snapshot: StudySnapshot, match: re.Match) -> Response:
+        self._publish_gauges(snapshot)
+        return Response(
+            200,
+            to_json_bytes(self.registry.to_dict()),
+            headers=(("Cache-Control", "no-store"),),
+        )
+
+    def _handle_table(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.table_payload(match.group("number"))
+
+    def _handle_figure(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.figure_payload(match.group("number"))
+
+    def _handle_roots(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.roots_payload()
+
+    def _handle_root(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.root_payload(match.group("fingerprint"))
+
+    def _handle_session_diff(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.session_diff_payload(match.group("session_id"))
+
+    def _handle_reload(self, snapshot: StudySnapshot, match: re.Match) -> Response:
+        if self.reloader is None:
+            return Response(501, _error_body(501, "no reloader configured"))
+        # One reload at a time; the swap itself is atomic in the holder.
+        with self._reload_lock:
+            fresh = self.reloader()
+            self.holder.swap(fresh)
+        self.registry.counter("serve.reloads").inc()
+        return Response(
+            200,
+            to_json_bytes(
+                {"status": "reloaded", "generation": fresh.generation}
+            ),
+        )
+
+    # -- request entry point -----------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Map one request to one response (admission-controlled)."""
+        if not self._slots.acquire(blocking=False):
+            self.registry.counter("serve.shed").inc()
+            self.registry.counter("serve.status.503").inc()
+            return Response(
+                503,
+                _error_body(503, "server saturated, retry shortly"),
+                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
+        try:
+            return self._handle_admitted(request)
+        finally:
+            self._slots.release()
+
+    def _handle_admitted(self, request: Request) -> Response:
+        tracer = Tracer()
+        with tracer.span(
+            "serve.request", method=request.method, path=request.path
+        ) as span:
+            started = time.perf_counter()
+            response = self._dispatch(request, span)
+            elapsed = time.perf_counter() - started
+            span.set("status", response.status)
+            self.registry.counter("serve.requests").inc()
+            self.registry.counter(f"serve.status.{response.status}").inc()
+            self.registry.histogram("serve.request_seconds").observe(elapsed)
+        self.recent_spans.append(tracer.to_dict()["spans"][0])
+        return response
+
+    def _dispatch(self, request: Request, span) -> Response:
+        path_matched = False
+        # HEAD routes like GET; the transport omits the body.
+        effective_method = "GET" if request.method == "HEAD" else request.method
+        for method, pattern, name, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if method != effective_method:
+                continue
+            span.set("endpoint", name)
+            self.registry.counter(f"serve.endpoint.{name}").inc()
+            snapshot = self.holder.get()
+            outcome = handler(snapshot, match)
+            if isinstance(outcome, Response):
+                return outcome
+            if outcome is None:
+                return Response(
+                    404, _error_body(404, f"no resource at {request.path}")
+                )
+            return self._render_cached(request, snapshot, outcome)
+        if path_matched:
+            return Response(
+                405, _error_body(405, f"method {request.method} not allowed")
+            )
+        return Response(404, _error_body(404, f"no route for {request.path}"))
+
+    def _render_cached(
+        self, request: Request, snapshot: StudySnapshot, payload: object
+    ) -> Response:
+        key = (snapshot.generation, request.path)
+        entry = self.cache.get(key)
+        if entry is None:
+            body = to_json_bytes(payload)
+            entry = (body, make_etag(body, snapshot.generation), JSON_CONTENT_TYPE)
+            self.cache.put(key, entry)
+            self.registry.counter("serve.cache.misses").inc()
+        else:
+            self.registry.counter("serve.cache.hits").inc()
+        body, etag, content_type = entry
+        if request.header("if-none-match") == etag:
+            return Response(304, b"", headers=(("ETag", etag),))
+        return Response(
+            200, body, headers=(("ETag", etag),), content_type=content_type
+        )
+
+    # -- metrics glue ------------------------------------------------------------
+
+    def _publish_gauges(self, snapshot: StudySnapshot) -> None:
+        """Refresh the gauges ``/v1/metrics`` reports alongside counters."""
+        self.registry.gauge("serve.snapshot.generation").set(snapshot.generation)
+        self.registry.gauge("serve.cache.entries").set(len(self.cache))
+        self.registry.gauge("serve.capacity").set(self.capacity)

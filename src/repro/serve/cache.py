@@ -1,0 +1,62 @@
+"""Thread-safe LRU cache for rendered responses.
+
+Response bodies are deterministic functions of (snapshot generation,
+path) — the snapshot is immutable and the serializer canonical — so the
+service can cache rendered bytes plus their ETags and serve repeat
+queries without re-serializing anything. Capacity-bounded with
+least-recently-used eviction; hit/miss counts are published into the
+server's metrics registry so the ``/v1/metrics`` endpoint can prove a
+request was served from cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: Cached value: (body bytes, ETag, content type).
+CachedResponse = tuple[bytes, str, str]
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU keyed by (generation, path)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[object, CachedResponse] = OrderedDict()
+
+    def get(self, key: object) -> CachedResponse | None:
+        """The cached response, refreshed as most recently used."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: object, value: CachedResponse) -> None:
+        """Insert (or refresh) one rendered response."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the benchmark's cold-cache lever)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,246 @@
+"""The stdlib HTTP shim and the ``repro serve`` entry point.
+
+:class:`StudyServer` glues a :class:`~repro.serve.app.ServeApp` onto a
+``ThreadingHTTPServer`` (one thread per connection, daemonized so a
+dying server never wedges the process). All routing, caching and
+backpressure live in the transport-free app; this module only moves
+bytes and handles lifecycle:
+
+* ``start()`` serves on a background thread (tests and the benchmark
+  bind port 0 and read the assigned port back);
+* ``run_forever()`` serves on the calling thread and installs
+  SIGTERM/SIGINT handlers that *drain gracefully* — stop accepting,
+  finish in-flight requests, then return — so an orchestrator's stop
+  signal never truncates a response mid-body.
+
+``run_server`` is the CLI's ``repro serve``: it runs the study (warm
+from the persistent build cache when one is configured), snapshots it,
+and serves until signalled.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__, obs
+from repro.serve.app import Request, ServeApp
+
+#: How long ``run_forever`` waits for in-flight requests after a signal.
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+
+class _AppRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests to ``ServeApp.handle`` calls."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as two writes; without TCP_NODELAY, Nagle
+    # plus delayed ACK stalls every keep-alive response ~40ms.
+    disable_nagle_algorithm = True
+
+    #: set per server class in StudyServer (class attribute injection).
+    app: ServeApp = None  # type: ignore[assignment]
+
+    def _dispatch(self, method: str) -> None:
+        headers = {key.lower(): value for key, value in self.headers.items()}
+        # Any request body is drained so keep-alive framing stays intact
+        # (the API itself takes no bodies).
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            self.rfile.read(length)
+        response = self.app.handle(
+            Request(method=method, path=self.path.split("?", 1)[0], headers=headers)
+        )
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        if response.body and method != "HEAD":
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route per-request lines into telemetry, not stderr."""
+        obs.counter_inc("serve.http.log_lines")
+
+
+class StudyServer:
+    """A threaded HTTP server bound to one :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        handler = type(
+            "BoundAppRequestHandler", (_AppRequestHandler,), {"app": app}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        return self._httpd.server_address[1]
+
+    # -- background mode (tests, benchmark) --------------------------------------
+
+    def start(self) -> "StudyServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, join the serving thread, close the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=DRAIN_TIMEOUT_SECONDS)
+            self._thread = None
+        self._httpd.server_close()
+
+    # -- foreground mode (the CLI) -----------------------------------------------
+
+    def run_forever(self) -> int:
+        """Serve on the calling thread until SIGTERM/SIGINT; drain; return 0.
+
+        The signal handler only flips an event and asks the serve loop
+        to stop — actual teardown happens back on this thread, so the
+        handler stays async-signal-safe. In-flight requests run on
+        daemon threads; the drain loop waits for the app's admission
+        slots to all free up (bounded by :data:`DRAIN_TIMEOUT_SECONDS`)
+        before closing the socket.
+        """
+        stop_requested = threading.Event()
+
+        def request_stop(signum: int, frame: object) -> None:
+            stop_requested.set()
+            # shutdown() must not run on the serving thread; hand it off.
+            threading.Thread(target=self._httpd.shutdown, daemon=True).start()
+
+        previous = {
+            sig: signal.signal(sig, request_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self._drain()
+            self._httpd.server_close()
+        return 0
+
+    def _drain(self) -> None:
+        """Wait (bounded) until no request holds an admission slot."""
+        deadline = threading.Event()
+        slots = self.app._slots
+        waited = 0.0
+        step = 0.02
+        while waited < DRAIN_TIMEOUT_SECONDS:
+            # All capacity back in the semaphore == nothing in flight.
+            if slots._value == self.app.capacity:  # noqa: SLF001 (own app)
+                return
+            deadline.wait(step)
+            waited += step
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one ``repro serve`` invocation."""
+
+    host: str = "127.0.0.1"
+    port: int = 8008
+    #: admission capacity: max requests in flight before shedding.
+    workers: int = 8
+    #: extra admitted-but-waiting headroom on top of ``workers``.
+    backlog: int = 16
+    #: LRU response-cache entries.
+    cache_capacity: int = 256
+    seed: str = "tangled-mass"
+    population_scale: float = 0.25
+    notary_scale: float = 0.5
+    build_cache_dir: str = ""
+    #: analysis worker processes for the (re)build itself.
+    build_workers: int = 1
+
+
+def _load_snapshot(config: ServeConfig, generation: int):
+    """Run (or warm-load) the study and snapshot it."""
+    from repro.analysis.study import StudyConfig, run_study
+    from repro.serve.snapshot import StudySnapshot
+
+    result = run_study(
+        StudyConfig(
+            seed=config.seed,
+            population_scale=config.population_scale,
+            notary_scale=config.notary_scale,
+            workers=config.build_workers,
+            build_cache_dir=config.build_cache_dir,
+        )
+    )
+    return StudySnapshot.from_result(result, generation=generation)
+
+
+def build_app(config: ServeConfig) -> ServeApp:
+    """Load the study once and assemble the fully wired app."""
+    from repro.serve.snapshot import SnapshotHolder
+
+    holder = SnapshotHolder(_load_snapshot(config, generation=0))
+    generation_lock = threading.Lock()
+    generations = {"next": 1}
+
+    def reloader():
+        with generation_lock:
+            generation = generations["next"]
+            generations["next"] += 1
+        return _load_snapshot(config, generation)
+
+    return ServeApp(
+        holder,
+        cache_capacity=config.cache_capacity,
+        capacity=config.workers + config.backlog,
+        reloader=reloader,
+    )
+
+
+def run_server(config: ServeConfig) -> int:
+    """The ``repro serve`` command body: build, announce, serve, drain."""
+    import sys
+
+    app = build_app(config)
+    server = StudyServer(app, host=config.host, port=config.port)
+    snapshot = app.holder.get()
+    print(
+        f"repro-serve {__version__}: study seed={config.seed!r} "
+        f"sessions={snapshot.meta.get('sessions', 0):,} "
+        f"roots={snapshot.meta.get('roots', 0)}",
+        file=sys.stderr,
+    )
+    print(
+        f"serving on http://{server.host}:{server.port}/v1/health "
+        f"(capacity={app.capacity}, cache={app.cache.capacity})",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+    return server.run_forever()

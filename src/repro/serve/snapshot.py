@@ -1,0 +1,217 @@
+"""Immutable study snapshots — what every request thread reads.
+
+A :class:`StudySnapshot` is built *once* from a completed
+:class:`~repro.analysis.study.StudyResult` (typically loaded warm from
+the build cache) and never mutated afterwards: the structured export,
+the per-root index (store membership + leaf-validation counts pulled
+through the Notary's memoized fast path) and the per-session diff
+payloads are all precomputed at construction, so serving a request is a
+dict lookup, never an analysis.
+
+The :class:`SnapshotHolder` owns the one mutable cell in the service: a
+reference that ``POST /admin/reload`` swaps atomically under a lock.
+Request threads grab the current snapshot once at entry and use that
+object for the whole request, so a reload mid-request can never produce
+a torn read — the old snapshot stays alive until its last reader drops
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.analysis.report import to_json
+from repro.analysis.study import StudyResult
+
+#: Stable order in which store membership is reported.
+STORE_ORDER: tuple[str, ...] = (
+    "aosp-4.1",
+    "aosp-4.2",
+    "aosp-4.3",
+    "aosp-4.4",
+    "mozilla",
+    "ios7",
+)
+
+
+def root_fingerprint(certificate) -> str:
+    """The API's root identifier: SHA-256 over the paper's identity key.
+
+    Hashes the RSA modulus and the signature octets — the same
+    (modulus, signature) identity §4.1 uses — so re-issued but
+    equivalent certificates keep distinct fingerprints while the
+    identifier stays stable across runs of the same seed.
+    """
+    modulus = certificate.public_key.modulus
+    blob = (
+        modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
+        + certificate.signature
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _cert_label(certificate) -> str:
+    return certificate.subject.common_name or str(certificate.subject)
+
+
+def _build_root_index(result: StudyResult) -> dict[str, dict]:
+    """fingerprint → root payload, over every official-store root."""
+    stores = result.stores
+    catalog = [(f"aosp-{version}", store) for version, store in sorted(stores.aosp.items())]
+    catalog += [("mozilla", stores.mozilla), ("ios7", stores.ios7)]
+    index: dict[str, dict] = {}
+    examples: dict[str, object] = {}
+    for store_name, store in catalog:
+        for certificate in store.certificates(include_disabled=True):
+            fingerprint = root_fingerprint(certificate)
+            record = index.get(fingerprint)
+            if record is None:
+                record = index[fingerprint] = {
+                    "fingerprint": fingerprint,
+                    "subject": str(certificate.subject),
+                    "label": _cert_label(certificate),
+                    "stores": [],
+                }
+                examples[fingerprint] = certificate
+            if store_name not in record["stores"]:
+                record["stores"].append(store_name)
+    # Leaf-validation counts ride the Notary's memoized fast path; at
+    # snapshot-build time this warms exactly the per-root count memos
+    # the PR 2 index keeps, so a reload costs one pass, requests zero.
+    for fingerprint, certificate in examples.items():
+        record = index[fingerprint]
+        record["validated_current"] = result.notary.validated_by_root(certificate)
+        record["validated_total"] = result.notary.validated_by_root(
+            certificate, include_expired=True
+        )
+        record["seen_in_traffic"] = result.notary.seen_in_traffic(certificate)
+    return index
+
+
+def _build_session_index(result: StudyResult) -> dict[str, dict]:
+    """session id → diff payload, for ``/v1/sessions/{id}/diff``."""
+    index: dict[str, dict] = {}
+    for diff in result.diffs:
+        session = diff.session
+        index[str(session.session_id)] = {
+            "session_id": session.session_id,
+            "manufacturer": session.manufacturer,
+            "model": session.model,
+            "os_version": session.os_version,
+            "operator": session.operator,
+            "country": session.country,
+            "rooted": session.rooted,
+            "degraded": session.degraded,
+            "store_size": session.store_size,
+            "aosp_count": diff.aosp_count,
+            "additional_count": diff.additional_count,
+            "missing_count": diff.missing_count,
+            "additional": [
+                {
+                    "fingerprint": root_fingerprint(certificate),
+                    "label": _cert_label(certificate),
+                }
+                for certificate in diff.additional
+            ],
+        }
+    return index
+
+
+class StudySnapshot:
+    """One fully precomputed, never-mutated view of a study.
+
+    ``export`` is the :func:`repro.analysis.report.to_json` document;
+    ``roots`` and ``sessions`` are the service-side lookup indexes;
+    ``meta`` is the summary surfaced by ``/v1/health``. The
+    ``generation`` counter distinguishes snapshots across reloads (it
+    namespaces the response cache and shows up in every ETag).
+    """
+
+    __slots__ = ("export", "roots", "root_order", "sessions", "meta", "generation")
+
+    def __init__(
+        self,
+        export: dict,
+        *,
+        roots: dict[str, dict] | None = None,
+        sessions: dict[str, dict] | None = None,
+        meta: dict | None = None,
+        generation: int = 0,
+    ):
+        self.export = export
+        self.roots = roots or {}
+        self.root_order = sorted(self.roots)
+        self.sessions = sessions or {}
+        self.meta = meta or {}
+        self.generation = generation
+
+    @classmethod
+    def from_result(cls, result: StudyResult, *, generation: int = 0) -> "StudySnapshot":
+        """Precompute every payload the service can be asked for."""
+        export = to_json(result)
+        roots = _build_root_index(result)
+        sessions = _build_session_index(result)
+        meta = {
+            "seed": result.config.seed,
+            "population_scale": result.config.population_scale,
+            "notary_scale": result.config.notary_scale,
+            "sessions": result.dataset.session_count,
+            "diffed_sessions": len(sessions),
+            "roots": len(roots),
+            "generation": generation,
+        }
+        return cls(
+            export, roots=roots, sessions=sessions, meta=meta, generation=generation
+        )
+
+    # -- endpoint payloads -------------------------------------------------------
+
+    def table_payload(self, number: str) -> object | None:
+        """The Table *number* section of the export, or None."""
+        return self.export.get("tables", {}).get(number)
+
+    def figure_payload(self, number: str) -> object | None:
+        """The Figure *number* section of the export, or None."""
+        return self.export.get("figures", {}).get(number)
+
+    def roots_payload(self) -> dict:
+        """The ``/v1/roots`` listing (fingerprint-ordered, summary form)."""
+        return {
+            "count": len(self.root_order),
+            "roots": [
+                {
+                    "fingerprint": fingerprint,
+                    "label": self.roots[fingerprint]["label"],
+                    "stores": self.roots[fingerprint]["stores"],
+                }
+                for fingerprint in self.root_order
+            ],
+        }
+
+    def root_payload(self, fingerprint: str) -> dict | None:
+        """The full record of one root, or None when unknown."""
+        return self.roots.get(fingerprint)
+
+    def session_diff_payload(self, session_id: str) -> dict | None:
+        """The diff of one session, or None when unknown."""
+        return self.sessions.get(session_id)
+
+
+class SnapshotHolder:
+    """The atomically swappable reference to the current snapshot."""
+
+    def __init__(self, snapshot: StudySnapshot):
+        self._lock = threading.Lock()
+        self._snapshot = snapshot
+
+    def get(self) -> StudySnapshot:
+        """The current snapshot (request threads call this once)."""
+        with self._lock:
+            return self._snapshot
+
+    def swap(self, snapshot: StudySnapshot) -> StudySnapshot:
+        """Install *snapshot* and return the one it replaced."""
+        with self._lock:
+            previous, self._snapshot = self._snapshot, snapshot
+            return previous

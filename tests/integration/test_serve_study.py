@@ -1,0 +1,160 @@
+"""End-to-end serve tests against a real (reduced-scale) study.
+
+These prove the ISSUE's parity criteria on real data: the JSON export
+is the single representation (text report renders from it byte-for-
+byte), the HTTP endpoints serve exactly the export's sections, bodies
+are byte-identical across repeated requests and across independently
+built apps, and the LRU/metrics plumbing is visible over a real socket.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro import __version__
+from repro.analysis.report import (
+    render_report_from_json,
+    render_study_report,
+    to_json,
+    to_json_bytes,
+)
+from repro.serve import Request, ServeApp, SnapshotHolder, StudySnapshot, StudyServer
+
+
+@pytest.fixture(scope="module")
+def snapshot(study):
+    return StudySnapshot.from_result(study, generation=0)
+
+
+@pytest.fixture()
+def app(snapshot):
+    return ServeApp(SnapshotHolder(snapshot))
+
+
+class TestJsonExportParity:
+    def test_text_report_renders_from_json_export(self, study):
+        document = json.loads(to_json_bytes(to_json(study)))
+        assert render_report_from_json(document) == render_study_report(study)
+
+    def test_export_round_trips_canonically(self, study):
+        body = to_json_bytes(to_json(study))
+        assert to_json_bytes(json.loads(body)) == body
+
+    def test_table_endpoints_serve_the_export_sections(self, app, study):
+        export = to_json(study)
+        for n in range(1, 7):
+            response = app.handle(Request("GET", f"/v1/tables/{n}"))
+            assert response.status == 200
+            assert response.body == to_json_bytes(export["tables"][str(n)])
+        for n in range(1, 4):
+            response = app.handle(Request("GET", f"/v1/figures/{n}"))
+            assert response.body == to_json_bytes(export["figures"][str(n)])
+
+    def test_bodies_identical_across_independent_apps(self, snapshot, study):
+        # Two apps over independently built snapshots of the same study:
+        # same bytes, same ETags (the determinism criterion).
+        other = ServeApp(SnapshotHolder(StudySnapshot.from_result(study, generation=0)))
+        mine = ServeApp(SnapshotHolder(snapshot))
+        for path in ("/v1/tables/2", "/v1/figures/3", "/v1/roots"):
+            a = mine.handle(Request("GET", path))
+            b = other.handle(Request("GET", path))
+            assert a.body == b.body
+            assert dict(a.headers)["ETag"] == dict(b.headers)["ETag"]
+
+
+class TestRootAndSessionEndpoints:
+    def test_roots_listing_covers_all_store_roots(self, app, study):
+        listing = json.loads(app.handle(Request("GET", "/v1/roots")).body)
+        assert listing["count"] == len(listing["roots"]) > 0
+        fingerprints = [root["fingerprint"] for root in listing["roots"]]
+        assert fingerprints == sorted(fingerprints)
+
+    def test_root_detail_has_stores_and_validation_counts(self, app):
+        listing = json.loads(app.handle(Request("GET", "/v1/roots")).body)
+        aosp_root = next(
+            root
+            for root in listing["roots"]
+            if any(store.startswith("aosp-") for store in root["stores"])
+        )
+        detail = json.loads(
+            app.handle(
+                Request("GET", f"/v1/roots/{aosp_root['fingerprint']}")
+            ).body
+        )
+        assert detail["fingerprint"] == aosp_root["fingerprint"]
+        assert detail["validated_total"] >= detail["validated_current"] >= 0
+        assert isinstance(detail["seen_in_traffic"], bool)
+
+    def test_session_diff_matches_study_diffs(self, app, study):
+        diff = study.diffs[0]
+        payload = json.loads(
+            app.handle(
+                Request("GET", f"/v1/sessions/{diff.session.session_id}/diff")
+            ).body
+        )
+        assert payload["session_id"] == diff.session.session_id
+        assert payload["additional_count"] == len(diff.additional)
+        assert payload["missing_count"] == diff.missing_count
+
+
+class TestOverHttp:
+    @pytest.fixture()
+    def server(self, app):
+        server = StudyServer(app, port=0).start()
+        yield server
+        server.stop()
+
+    def request(self, server, method, path, headers=None):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request(method, path, headers=headers or {})
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    def test_health_and_every_table_over_the_wire(self, server, app, study):
+        status, _, body = self.request(server, "GET", "/v1/health")
+        assert status == 200
+        health = json.loads(body)
+        assert health["version"] == __version__
+        assert health["snapshot"]["sessions"] == len(study.dataset.sessions)
+
+        export = to_json(study)
+        for n in range(1, 7):
+            status, headers, body = self.request(server, "GET", f"/v1/tables/{n}")
+            assert status == 200
+            assert body == to_json_bytes(export["tables"][str(n)])
+            assert headers["ETag"].startswith('"g0-')
+
+    def test_etag_revalidation_over_the_wire(self, server):
+        _, headers, first = self.request(server, "GET", "/v1/figures/1")
+        status, headers2, body = self.request(
+            server, "GET", "/v1/figures/1", {"If-None-Match": headers["ETag"]}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers2["ETag"] == headers["ETag"]
+
+    def test_repeated_requests_are_byte_identical_and_cached(self, server, app):
+        bodies = {
+            self.request(server, "GET", "/v1/tables/4")[2] for _ in range(5)
+        }
+        assert len(bodies) == 1
+        metrics = json.loads(self.request(server, "GET", "/v1/metrics")[2])
+        assert metrics["counters"]["serve.cache.hits"] >= 4
+        # the metrics request renders before its own counter bump, so it
+        # sees the 5 table requests but not itself.
+        assert metrics["counters"]["serve.requests"] >= 5
+
+    def test_query_strings_are_ignored_for_routing(self, server):
+        status, _, body = self.request(server, "GET", "/v1/health?probe=1")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_head_requests_send_headers_only(self, server):
+        status, headers, body = self.request(server, "HEAD", "/v1/tables/1")
+        assert status == 200
+        assert body == b""
+        assert int(headers["Content-Length"]) > 0

@@ -1,0 +1,76 @@
+"""CLI error-path and flag coverage: exit codes, not happy paths."""
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+
+class TestArgparseRejections:
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_missing_file_argument_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dump-store"])  # store + output both missing
+        assert excinfo.value.code == 2
+        assert "arguments are required" in capsys.readouterr().err
+
+    def test_diff_store_requires_both_paths(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff-store", "only-one.pem"])
+        assert excinfo.value.code == 2
+
+    def test_bad_fault_rate_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--fault-rate", "1.5"])
+        assert excinfo.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--fault-rate", "lots"])
+        assert excinfo.value.code == 2
+
+    def test_serve_rejects_non_integer_port(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "eighty"])
+        assert excinfo.value.code == 2
+
+
+class TestVersionFlag:
+    def test_version_exits_0_and_prints_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_wins_over_missing_subcommand(self):
+        # argparse handles --version before the required-subcommand check.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestRuntimeErrors:
+    def test_analyze_missing_dataset_returns_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["analyze", str(missing)]) == 1
+        assert "cannot load dataset" in capsys.readouterr().err
+
+    def test_analyze_corrupt_dataset_strict_returns_1(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{ this is not json")
+        assert main(["analyze", "--strict", str(corrupt)]) == 1
+        assert "cannot load dataset" in capsys.readouterr().err
+
+    def test_show_cert_unreadable_path_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["show-cert", str(tmp_path / "absent.pem")])

@@ -1,0 +1,253 @@
+"""Unit tests for the serve subsystem's transport-free core.
+
+Everything here runs against a hand-built snapshot — no study, no
+sockets — which is exactly what the app/cache/snapshot split is for.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import __version__
+from repro.analysis.report import to_json_bytes
+from repro.obs.schema import validate_metrics
+from repro.serve import Request, ResponseCache, ServeApp, SnapshotHolder, StudySnapshot
+
+FINGERPRINT = "ab" * 32
+
+
+def make_snapshot(generation: int = 0, marker: str = "v0") -> StudySnapshot:
+    export = {
+        "schema": 1,
+        "tables": {str(n): [["row", n, marker]] for n in range(1, 7)},
+        "figures": {str(n): {"figure": n, "marker": marker} for n in range(1, 4)},
+    }
+    roots = {
+        FINGERPRINT: {
+            "fingerprint": FINGERPRINT,
+            "subject": "CN=Unit Root",
+            "label": "Unit Root",
+            "stores": ["aosp-4.4", "mozilla"],
+            "validated_current": 7,
+            "validated_total": 9,
+            "seen_in_traffic": True,
+        }
+    }
+    sessions = {"41": {"session_id": 41, "aosp_count": 3, "additional": []}}
+    return StudySnapshot(
+        export,
+        roots=roots,
+        sessions=sessions,
+        meta={"generation": generation, "marker": marker},
+        generation=generation,
+    )
+
+
+@pytest.fixture
+def app():
+    return ServeApp(SnapshotHolder(make_snapshot()), capacity=3)
+
+
+class TestRouting:
+    def test_tables_and_figures_resolve(self, app):
+        for n in range(1, 7):
+            response = app.handle(Request("GET", f"/v1/tables/{n}"))
+            assert response.status == 200
+            assert json.loads(response.body) == [["row", n, "v0"]]
+        for n in range(1, 4):
+            assert app.handle(Request("GET", f"/v1/figures/{n}")).status == 200
+
+    def test_out_of_range_numbers_are_404(self, app):
+        assert app.handle(Request("GET", "/v1/tables/0")).status == 404
+        assert app.handle(Request("GET", "/v1/tables/7")).status == 404
+        assert app.handle(Request("GET", "/v1/figures/4")).status == 404
+
+    def test_unknown_route_is_404_with_json_error(self, app):
+        response = app.handle(Request("GET", "/v2/nope"))
+        assert response.status == 404
+        assert "error" in json.loads(response.body)
+
+    def test_wrong_method_is_405(self, app):
+        assert app.handle(Request("POST", "/v1/tables/1")).status == 405
+        assert app.handle(Request("GET", "/admin/reload")).status == 405
+
+    def test_head_routes_like_get(self, app):
+        head = app.handle(Request("HEAD", "/v1/tables/1"))
+        get = app.handle(Request("GET", "/v1/tables/1"))
+        assert head.status == 200
+        # same body/ETag as GET; the transport drops the body for HEAD.
+        assert head.body == get.body
+        assert dict(head.headers)["ETag"] == dict(get.headers)["ETag"]
+
+    def test_roots_listing_and_detail(self, app):
+        listing = json.loads(app.handle(Request("GET", "/v1/roots")).body)
+        assert listing["count"] == 1
+        assert listing["roots"][0]["fingerprint"] == FINGERPRINT
+        detail = json.loads(
+            app.handle(Request("GET", f"/v1/roots/{FINGERPRINT}")).body
+        )
+        assert detail["validated_current"] == 7
+        assert detail["stores"] == ["aosp-4.4", "mozilla"]
+        missing = app.handle(Request("GET", f"/v1/roots/{'00' * 32}"))
+        assert missing.status == 404
+
+    def test_session_diff_lookup(self, app):
+        hit = app.handle(Request("GET", "/v1/sessions/41/diff"))
+        assert json.loads(hit.body)["aosp_count"] == 3
+        assert app.handle(Request("GET", "/v1/sessions/999/diff")).status == 404
+
+    def test_health_reports_version_and_meta(self, app):
+        payload = json.loads(app.handle(Request("GET", "/v1/health")).body)
+        assert payload["status"] == "ok"
+        assert payload["version"] == __version__
+        assert payload["snapshot"]["marker"] == "v0"
+
+
+class TestEtagAndCache:
+    def test_bodies_are_byte_identical_and_canonical(self, app):
+        first = app.handle(Request("GET", "/v1/tables/2"))
+        second = app.handle(Request("GET", "/v1/tables/2"))
+        assert first.body == second.body
+        assert first.body == to_json_bytes([["row", 2, "v0"]])
+
+    def test_etag_revalidation_returns_304(self, app):
+        first = app.handle(Request("GET", "/v1/figures/1"))
+        etag = dict(first.headers)["ETag"]
+        revalidated = app.handle(
+            Request("GET", "/v1/figures/1", {"if-none-match": etag})
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        assert dict(revalidated.headers)["ETag"] == etag
+
+    def test_stale_etag_gets_full_body(self, app):
+        response = app.handle(
+            Request("GET", "/v1/figures/1", {"if-none-match": '"stale"'})
+        )
+        assert response.status == 200
+        assert response.body
+
+    def test_repeat_requests_hit_the_lru(self, app):
+        app.handle(Request("GET", "/v1/tables/1"))
+        app.handle(Request("GET", "/v1/tables/1"))
+        app.handle(Request("GET", "/v1/tables/1"))
+        metrics = json.loads(app.handle(Request("GET", "/v1/metrics")).body)
+        assert metrics["counters"]["serve.cache.hits"] == 2
+        assert metrics["counters"]["serve.cache.misses"] == 1
+
+    def test_metrics_export_matches_obs_schema(self, app):
+        app.handle(Request("GET", "/v1/tables/1"))
+        validate_metrics(json.loads(app.handle(Request("GET", "/v1/metrics")).body))
+
+    def test_request_latency_histogram_records(self, app):
+        app.handle(Request("GET", "/v1/tables/1"))
+        metrics = json.loads(app.handle(Request("GET", "/v1/metrics")).body)
+        assert metrics["histograms"]["serve.request_seconds"]["count"] >= 1
+
+    def test_request_spans_are_recorded(self, app):
+        app.handle(Request("GET", "/v1/tables/4"))
+        span = app.recent_spans[-1]
+        assert span["name"] == "serve.request"
+        assert span["attributes"]["path"] == "/v1/tables/4"
+        assert span["attributes"]["status"] == 200
+
+
+class TestBackpressure:
+    def test_saturated_app_sheds_with_retry_after(self, app):
+        for _ in range(app.capacity):
+            assert app._slots.acquire(blocking=False)
+        try:
+            response = app.handle(Request("GET", "/v1/health"))
+        finally:
+            for _ in range(app.capacity):
+                app._slots.release()
+        assert response.status == 503
+        assert dict(response.headers)["Retry-After"] == "1"
+        assert "error" in json.loads(response.body)
+
+    def test_shedding_is_counted_and_recovers(self, app):
+        for _ in range(app.capacity):
+            app._slots.acquire(blocking=False)
+        app.handle(Request("GET", "/v1/health"))
+        for _ in range(app.capacity):
+            app._slots.release()
+        assert app.handle(Request("GET", "/v1/health")).status == 200
+        metrics = json.loads(app.handle(Request("GET", "/v1/metrics")).body)
+        assert metrics["counters"]["serve.shed"] == 1
+
+
+class TestReload:
+    def test_reload_without_reloader_is_501(self, app):
+        assert app.handle(Request("POST", "/admin/reload")).status == 501
+
+    def test_reload_swaps_snapshot_atomically(self):
+        generations = iter(range(1, 10))
+
+        def reloader():
+            generation = next(generations)
+            return make_snapshot(generation, marker=f"v{generation}")
+
+        app = ServeApp(SnapshotHolder(make_snapshot()), reloader=reloader)
+        before = app.handle(Request("GET", "/v1/tables/1")).body
+        reload_response = app.handle(Request("POST", "/admin/reload"))
+        assert reload_response.status == 200
+        assert json.loads(reload_response.body)["generation"] == 1
+        after = app.handle(Request("GET", "/v1/tables/1"))
+        assert json.loads(after.body) == [["row", 1, "v1"]]
+        assert after.body != before
+        # new generation → new ETag namespace, old cache lines unused
+        assert dict(after.headers)["ETag"].startswith('"g1-')
+
+    def test_concurrent_readers_never_see_a_torn_snapshot(self):
+        holder = SnapshotHolder(make_snapshot(0, marker="g0"))
+        app = ServeApp(holder, capacity=16)
+        failures = []
+
+        def reader():
+            for _ in range(200):
+                payload = json.loads(
+                    app.handle(Request("GET", "/v1/health")).body
+                )
+                meta = payload["snapshot"]
+                if meta["marker"] != f"g{meta['generation']}":
+                    failures.append(meta)
+
+        def swapper():
+            for generation in range(1, 50):
+                holder.swap(make_snapshot(generation, marker=f"g{generation}"))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=swapper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestResponseCache:
+    def test_lru_eviction_order(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("a", (b"a", "ea", "t"))
+        cache.put("b", (b"b", "eb", "t"))
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", (b"c", "ec", "t"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_counters_and_clear(self):
+        cache = ResponseCache(capacity=4)
+        assert cache.get("missing") is None
+        cache.put("k", (b"v", "e", "t"))
+        assert cache.get("k") == (b"v", "e", "t")
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=0)
