@@ -230,8 +230,9 @@ def main(argv: list[str] | None = None) -> int:
             f"(held {shed['held_slots']} slots)"
         )
 
-        hits = app.cache.hits
-        misses = app.cache.misses
+        # One locked snapshot; covers the era since the last clear()
+        # (the warm prime + the timed warm round).
+        cache_stats = app.cache.stats()
     finally:
         server.stop()
 
@@ -247,7 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_over_cold": round(
             warm["throughput_rps"] / cold["throughput_rps"], 2
         ),
-        "cache": {"hits": hits, "misses": misses},
+        "cache": cache_stats,
         "shedding": shed,
     }
     out = Path(args.out)

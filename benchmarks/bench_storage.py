@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Storage benchmark: build a large notary universe under a hard RSS gate.
+
+The point of the disk backend is a memory bound: peak RSS must grow
+far slower than the notary scale does, because certificates and leaf
+records live in sharded segment files behind bounded caches instead of
+in process memory. This benchmark proves it the only way that counts —
+by building the universe at the target scale inside a *child process*
+and reading that child's own ``ru_maxrss`` (the parent's high-water
+mark would be contaminated by its own build machinery):
+
+* **disk** — build at ``--scale`` with the storage backend; peak RSS
+  must come in under ``--rss-ceiling-mb`` or the benchmark exits 1.
+* **memory probe** — build in-memory at two small probe scales, fit
+  the (empirically very linear) RSS-vs-scale line through them, and
+  project it to the target scale. If the projection clears the ceiling
+  the in-memory build runs for real at the target scale; otherwise it
+  is *gated out* — recorded as infeasible under the ceiling, which at
+  scale 16 it decisively is (~84 MB of RSS per unit of scale).
+* **cross-check** — a disk-backed build at the probe scale must report
+  the exact same certificate/session counts as the in-memory probe
+  (the byte-identity story, spot-checked from the bench).
+
+Results land in ``BENCH_storage.json``. Run standalone::
+
+    python benchmarks/bench_storage.py --scale 16
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SEED = "bench-storage"
+
+#: Default hard ceiling, in MB, for the disk-backed build's peak RSS.
+#: Deliberately far below what an in-memory build needs at scale >= 4.
+DEFAULT_RSS_CEILING_MB = 512
+
+
+def _child(scale: float, storage_dir: str) -> int:
+    """Build one notary in this process and report our own peak RSS."""
+    import resource
+
+    from repro.notary.database import build_notary
+    from repro.rootstore.factory import CertificateFactory
+    from repro.storage.backend import DiskBackend
+
+    backend = DiskBackend(storage_dir) if storage_dir else None
+    factory = CertificateFactory(seed=SEED)
+    started = time.perf_counter()
+    notary = build_notary(factory, scale=scale, backend=backend)
+    build_seconds = time.perf_counter() - started
+
+    # Touch the read path too: summary statistics walk the compact
+    # arrays, and a per-root count rehydrates records from the shards.
+    checks = {
+        "total_certificates": notary.total_certificates,
+        "current_certificates": notary.current_certificates,
+        "total_sessions": notary.total_sessions,
+    }
+    if backend is not None:
+        backend.flush()
+
+    maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(
+        json.dumps(
+            {
+                "mode": "disk" if storage_dir else "memory",
+                "scale": scale,
+                "build_s": round(build_seconds, 3),
+                "peak_rss_mb": round(maxrss_kb / 1024, 1),
+                "checks": checks,
+                "storage": backend.stats() if backend else {},
+            }
+        )
+    )
+    return 0
+
+
+def _run_child(scale: float, storage_dir: str) -> dict:
+    """One measured build in a fresh interpreter; returns its report."""
+    command = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--child", "--scale", str(scale),
+    ]
+    if storage_dir:
+        command += ["--storage", storage_dir]
+    completed = subprocess.run(
+        command, check=True, capture_output=True, text=True
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=16.0,
+        help="notary scale of the gated disk-backed build",
+    )
+    parser.add_argument(
+        "--probe-scale", type=float, default=1.0,
+        help="larger of the two in-memory probe scales the RSS "
+        "projection line is fitted through (the other is half of it)",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=DEFAULT_RSS_CEILING_MB,
+        help="hard peak-RSS gate for the disk-backed build",
+    )
+    parser.add_argument("--out", default="BENCH_storage.json", help="output JSON path")
+    parser.add_argument(
+        "--storage", default="",
+        help=argparse.SUPPRESS,  # child-mode plumbing
+    )
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return _child(args.scale, args.storage)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as workdir:
+        print(f"disk-backed build at scale {args.scale} ...")
+        disk = _run_child(args.scale, str(Path(workdir) / "target"))
+        print(
+            f"  disk  : {disk['peak_rss_mb']:>7} MB peak RSS, "
+            f"{disk['build_s']}s, {disk['checks']['total_certificates']:,} leaves"
+        )
+
+        half_scale = args.probe_scale / 2
+        print(f"in-memory probes at scales {half_scale} and {args.probe_scale} ...")
+        half_probe = _run_child(half_scale, "")
+        probe = _run_child(args.probe_scale, "")
+        # Fit rss(scale) = base + slope * scale through the two probes;
+        # a naive single-point ratio would charge the interpreter/factory
+        # baseline to every unit of scale and overstate the projection.
+        slope = (probe["peak_rss_mb"] - half_probe["peak_rss_mb"]) / (
+            args.probe_scale - half_scale
+        )
+        base = probe["peak_rss_mb"] - slope * args.probe_scale
+        projected_mb = round(base + slope * args.scale, 1)
+        print(
+            f"  probe : {half_probe['peak_rss_mb']} / {probe['peak_rss_mb']} MB "
+            f"peak RSS -> ~{projected_mb} MB projected at scale {args.scale} "
+            f"({round(slope, 1)} MB per unit of scale)"
+        )
+
+        memory = None
+        gated_out = projected_mb > args.rss_ceiling_mb
+        if gated_out:
+            print(
+                f"  memory: GATED OUT (projected {projected_mb} MB > "
+                f"ceiling {args.rss_ceiling_mb} MB)"
+            )
+        else:
+            print(f"in-memory build at scale {args.scale} ...")
+            memory = _run_child(args.scale, "")
+            print(f"  memory: {memory['peak_rss_mb']:>7} MB peak RSS")
+
+        print(f"disk-backed cross-check at probe scale {args.probe_scale} ...")
+        disk_probe = _run_child(
+            args.probe_scale, str(Path(workdir) / "probe")
+        )
+        checks_match = disk_probe["checks"] == probe["checks"]
+        print(f"  check : disk == memory at probe scale: {checks_match}")
+
+    under_ceiling = disk["peak_rss_mb"] <= args.rss_ceiling_mb
+    payload = {
+        "benchmark": "storage",
+        "seed": SEED,
+        "scale": args.scale,
+        "rss_ceiling_mb": args.rss_ceiling_mb,
+        "disk": disk,
+        "memory_probes": [half_probe, probe],
+        "memory_mb_per_scale": round(slope, 2),
+        "memory_projected_mb": projected_mb,
+        "memory_gated_out": gated_out,
+        "memory": memory,
+        "probe_checks_match": checks_match,
+        "disk_under_ceiling": under_ceiling,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = []
+    if not under_ceiling:
+        failures.append(
+            f"disk-backed peak RSS {disk['peak_rss_mb']} MB "
+            f"exceeds the {args.rss_ceiling_mb} MB ceiling"
+        )
+    if not checks_match:
+        failures.append("disk and in-memory probe builds disagree")
+    if memory is not None and memory["checks"] != disk["checks"]:
+        failures.append("disk and in-memory target builds disagree")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

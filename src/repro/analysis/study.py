@@ -43,6 +43,7 @@ from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.vendors import PlatformStores, build_platform_stores
+from repro.storage.backend import DiskBackend
 from repro.x509.fingerprint import identity_key
 
 
@@ -69,8 +70,17 @@ class StudyConfig:
     #: directory of the persistent build-artifact cache; empty disables
     #: caching. A warm hit skips the whole universe build (the report is
     #: byte-identical either way). Ignored when fault injection is on —
-    #: fault runs must exercise the real ingest path.
+    #: fault runs must exercise the real ingest path — and when
+    #: ``storage_dir`` is set (the storage backend is its own
+    #: persistence; pickling a disk-backed notary would be wrong).
     build_cache_dir: str = ""
+    #: directory of the sharded persistent storage backend; empty keeps
+    #: everything in memory (seed behavior). When set, certificates and
+    #: observed leaves live on disk behind bounded caches and the run's
+    #: peak memory grows ~4x slower as ``notary_scale`` does (only the
+    #: compact per-leaf index stays resident). The report is
+    #: byte-identical either way.
+    storage_dir: str = ""
 
 
 @dataclass(frozen=True)
@@ -189,9 +199,13 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
     baseline = cache.stats()
     executor = ParallelExecutor(workers=config.workers)
 
+    backend: DiskBackend | None = None
+    if config.storage_dir:
+        backend = DiskBackend(config.storage_dir)
+
     build_cache: BuildCache | None = None
     build_cache_state = "off"
-    if config.build_cache_dir and config.fault_rate == 0:
+    if config.build_cache_dir and config.fault_rate == 0 and backend is None:
         build_cache = BuildCache(config.build_cache_dir)
     build_params = {
         "seed": config.seed,
@@ -254,6 +268,7 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                             catalog,
                             injector=injector,
                             executor=executor,
+                            backend=backend,
                         )
                         collect_span.set("sessions", dataset.session_count)
                         collect_span.set("quarantined", len(dataset.quarantine))
@@ -264,9 +279,14 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                             scale=config.notary_scale,
                             injector=injector,
                             executor=executor,
+                            backend=backend,
                         )
                         notary_span.set("leaves", notary.total_certificates)
                         notary_span.set("quarantined", len(notary.quarantine))
+                    if backend is not None:
+                        # Visibility barrier: every record the analyses
+                        # will read back is committed before queries run.
+                        backend.flush()
                     if build_cache is not None:
                         build_cache_state = "miss"
                         with obs.span("study.build.cache_put"):
@@ -306,6 +326,9 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
         registry.gauge("study.quarantine.total").set(
             len(result.combined_quarantine())
         )
+        if backend is not None:
+            for name, value in backend.stats().items():
+                registry.gauge(f"storage.{name}").set(value)
 
     result.fastpath = FastPathStats(
         workers=config.workers,

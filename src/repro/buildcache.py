@@ -11,10 +11,12 @@ content-addresses serialized build artifacts by exactly those inputs:
   that participates in building, so any code change — a new encoder, a
   different catalog — invalidates every cached universe automatically.
 
-Entries are written atomically (temp file + ``os.replace``) and carry a
-SHA-256 digest of the payload. A truncated, bit-flipped, or otherwise
-unreadable entry is *never* trusted: it is dead-lettered into the
-cache's :class:`~repro.faults.quarantine.Quarantine` (category
+Entries are written atomically (temp file + ``os.replace``) and carry
+the engine-wide MAGIC + SHA-256 integrity envelope
+(:mod:`repro.storage.envelope` — the same discipline the certificate
+segments use). A truncated, bit-flipped, or otherwise unreadable entry
+is *never* trusted: it is dead-lettered into the cache's
+:class:`~repro.faults.quarantine.Quarantine` (category
 ``cache-corruption``), deleted, and reported as a miss so the caller
 simply rebuilds — corruption can cost time, never correctness.
 """
@@ -31,6 +33,7 @@ from functools import lru_cache
 
 from repro import obs
 from repro.faults.quarantine import ErrorCategory, Quarantine
+from repro.storage.envelope import EnvelopeError, atomic_write, read_envelope, write_envelope
 
 #: Leading magic of every cache entry (name + format revision).
 MAGIC = b"RPBC0001"
@@ -124,13 +127,10 @@ class BuildCache:
         except OSError as exc:
             self._corrupt(path, f"unreadable cache entry: {exc}", None)
             return None
-        prefix = len(MAGIC) + 32
-        if len(blob) < prefix or not blob.startswith(MAGIC):
-            self._corrupt(path, "bad magic or truncated header", blob)
-            return None
-        digest, body = blob[len(MAGIC) : prefix], blob[prefix:]
-        if hashlib.sha256(body).digest() != digest:
-            self._corrupt(path, "payload digest mismatch", blob)
+        try:
+            body = read_envelope(MAGIC, blob)
+        except EnvelopeError as exc:
+            self._corrupt(path, f"{exc.reason}: {exc.detail}", blob)
             return None
         try:
             value = pickle.loads(body)
@@ -166,18 +166,9 @@ class BuildCache:
     def put(self, kind: str, params: dict, value: object) -> pathlib.Path:
         """Serialize and atomically publish one artifact."""
         path = self.path_for(kind, params)
-        self.root.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = MAGIC + hashlib.sha256(body).digest() + body
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
-        finally:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+        blob = write_envelope(MAGIC, body)
+        atomic_write(path, blob)
         obs.counter_inc("buildcache.puts")
         obs.event("buildcache.put", kind=kind, bytes=len(blob))
         return path

@@ -13,6 +13,7 @@ from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
 from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
+from repro.storage.backend import StorageBackend
 from repro.tlssim.endpoints import PROBE_TARGETS, Endpoint
 from repro.tlssim.handshake import TlsClient, TlsServer, TransientProbeError
 from repro.tlssim.pinning import PinStore
@@ -155,6 +156,7 @@ def collect_dataset(
     injector: FaultInjector | None = None,
     retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     executor: ParallelExecutor | None = None,
+    backend: StorageBackend | None = None,
 ) -> NetalyzrDataset:
     """Run the client over every planned session of a population.
 
@@ -185,7 +187,7 @@ def collect_dataset(
             client._traffic.warm_server_keys(
                 [endpoint.host for endpoint in PROBE_TARGETS], executor
             )
-        dataset = NetalyzrDataset()
+        dataset = NetalyzrDataset(backend=backend)
         session_id = 0
         probed_firmwares: set[tuple[str, str, str, int]] = set()
         for record in population.records:

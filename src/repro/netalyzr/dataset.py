@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from repro.faults.ingest import CertificateUpload, ingest_certificate
 from repro.faults.quarantine import ErrorCategory, IngestHealth, Quarantine
 from repro.netalyzr.session import MeasurementSession
+from repro.storage.backend import StorageBackend
 from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import identity_key
 
@@ -52,9 +53,20 @@ class NetalyzrDataset:
     quarantine: Quarantine = field(default_factory=Quarantine)
     health: IngestHealth = field(default_factory=IngestHealth)
     _seen_ids: set[int] = field(default_factory=set, repr=False)
+    #: persistent storage backend; None keeps identity semantics.
+    backend: StorageBackend | None = None
 
     def add(self, session: MeasurementSession) -> None:
         """Append one trusted session."""
+        if self.backend is not None:
+            # Content-address the session's root certificates: the DER
+            # is persisted once and every session carrying that root
+            # shares the one canonical parsed instance (equality is by
+            # encoded bytes, so every statistic is unchanged).
+            session.root_certificates = tuple(
+                self.backend.intern_certificate(certificate)
+                for certificate in session.root_certificates
+            )
         self._seen_ids.add(session.session_id)
         self.health.accepted_sessions += 1
         self.health.accepted_certificates += session.store_size

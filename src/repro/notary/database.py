@@ -36,6 +36,8 @@ from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.store import RootStore
+from repro.storage.backend import StorageBackend
+from repro.storage.leafstore import ShardedLeafList, shard_key_for
 from repro.tlssim.traffic import (
     ObservedLeaf,
     TlsTrafficGenerator,
@@ -90,13 +92,30 @@ class NotaryDatabase:
     _anchors_by_subject: dict[object, set[AnchorKey]] = field(default_factory=dict)
     #: dead-letter list of observations that failed validation.
     quarantine: Quarantine = field(default_factory=Quarantine)
+    #: persistent storage backend; None keeps the in-memory leaf list.
+    backend: StorageBackend | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and not self.leaves:
+            self.leaves = self.backend.leaf_sequence()
 
     # -- ingestion ---------------------------------------------------------------
 
     def observe_leaf(self, leaf: ObservedLeaf, chain_roots: tuple[Certificate, ...] = ()) -> None:
         """Record one leaf (and any chain certificates seen with it)."""
         index = len(self.leaves)
-        self.leaves.append(leaf)
+        if isinstance(self.leaves, ShardedLeafList):
+            # Disk-backed: shard the record by the anchoring root's
+            # fingerprint, so per-root queries read one shard file.
+            self.leaves.append(
+                leaf,
+                shard_key=shard_key_for(
+                    chain_roots[0] if chain_roots else None,
+                    leaf.certificate.issuer.normalized(),
+                ),
+            )
+        else:
+            self.leaves.append(leaf)
         leaf_key = identity_key(leaf.certificate)
         self._leaf_identity.append(leaf_key)
         self._observed.add(leaf_key)
@@ -200,6 +219,20 @@ class NotaryDatabase:
 
     # -- validation queries ----------------------------------------------------------
 
+    def _leaf_expired(self, index: int) -> bool:
+        """Expiry flag of one leaf, without rehydrating a disk record."""
+        leaves = self.leaves
+        if isinstance(leaves, ShardedLeafList):
+            return leaves.expired_at(index)
+        return leaves[index].expired
+
+    def _leaf_sessions(self, index: int) -> int:
+        """Session count of one leaf, without rehydrating a disk record."""
+        leaves = self.leaves
+        if isinstance(leaves, ShardedLeafList):
+            return leaves.session_count_at(index)
+        return leaves[index].session_count
+
     @property
     def total_certificates(self) -> int:
         """All recorded leaf certificates (the paper's 1.9 M analogue)."""
@@ -208,18 +241,24 @@ class NotaryDatabase:
     @property
     def current_certificates(self) -> int:
         """Non-expired leaves (the paper's ~1 M analogue)."""
-        return sum(1 for leaf in self.leaves if not leaf.expired)
+        return sum(
+            1 for index in range(len(self.leaves)) if not self._leaf_expired(index)
+        )
 
     @property
     def total_sessions(self) -> int:
         """Total observed TLS sessions (the paper's 66 B analogue)."""
-        return sum(leaf.session_count for leaf in self.leaves)
+        return sum(
+            self._leaf_sessions(index) for index in range(len(self.leaves))
+        )
 
     @property
     def current_sessions(self) -> int:
         """Sessions carried by non-expired leaves."""
         return sum(
-            leaf.session_count for leaf in self.leaves if not leaf.expired
+            self._leaf_sessions(index)
+            for index in range(len(self.leaves))
+            if not self._leaf_expired(index)
         )
 
     def _iter_leaf_indices_under(self, anchor: Certificate):
@@ -278,7 +317,7 @@ class NotaryDatabase:
         count = sum(
             1
             for index in self._leaf_indices_under(root)
-            if include_expired or not self.leaves[index].expired
+            if include_expired or not self._leaf_expired(index)
         )
         if use_cache:
             self._count_cache[count_key] = count
@@ -296,7 +335,7 @@ class NotaryDatabase:
         count = 0
         for root in store.certificates():
             for index in self._leaf_indices_under(root):
-                if self.leaves[index].expired and not include_expired:
+                if not include_expired and self._leaf_expired(index):
                     continue
                 leaf_key = self._leaf_identity[index]
                 if leaf_key in seen:
@@ -316,15 +355,21 @@ class NotaryDatabase:
         total = 0
         for root in store.certificates():
             for index in self._leaf_indices_under(root):
-                leaf = self.leaves[index]
-                if leaf.expired:
+                if self._leaf_expired(index):
                     continue
                 leaf_key = self._leaf_identity[index]
                 if leaf_key in seen:
                     continue
                 seen.add(leaf_key)
-                total += leaf.session_count
+                total += self._leaf_sessions(index)
         return total
+
+
+#: Most leaf plans materialized (and thus parsed leaves held) in RAM at
+#: once on the parallel build path. Bounds build memory independently of
+#: scale; each window is one deterministic fan-out, so the ingest order
+#: — and therefore the database — is unchanged at any window size.
+MATERIALIZE_WINDOW = 4096
 
 
 def build_notary(
@@ -336,6 +381,7 @@ def build_notary(
     injector: FaultInjector | None = None,
     executor: ParallelExecutor | None = None,
     generator: TlsTrafficGenerator | None = None,
+    backend: StorageBackend | None = None,
 ) -> NotaryDatabase:
     """Generate the calibrated traffic population and ingest it.
 
@@ -355,6 +401,11 @@ def build_notary(
 
     ``generator`` substitutes a pre-built (typically pre-warmed)
     traffic generator; its scale overrides the ``scale`` argument.
+
+    With a storage ``backend``, leaves stream straight into the
+    backend's sharded store as they are ingested; the parallel path
+    then materializes in bounded windows (:data:`MATERIALIZE_WINDOW`)
+    instead of all at once, so peak memory stays flat as scale grows.
     """
     if generator is not None:
         factory, catalog = generator.factory, generator.catalog
@@ -362,7 +413,7 @@ def build_notary(
         factory = factory or CertificateFactory()
         catalog = catalog or default_catalog()
         generator = TlsTrafficGenerator(factory, catalog, scale=scale)
-    notary = NotaryDatabase()
+    notary = NotaryDatabase(backend=backend)
     profiles = list(catalog.all_profiles())
     build_span = obs.span(
         "notary.build",
@@ -372,22 +423,35 @@ def build_notary(
         faults=injector is not None,
     )
 
+    def drain_window(window):
+        plans = [plan for _, group in window for plan in group]
+        leaves = materialize_plans(generator, plans, executor)
+        cursor = 0
+        for profile, group in window:
+            yield profile, leaves[cursor : cursor + len(group)]
+            cursor += len(group)
+
     def profile_leaves():
         if executor is None:
             for profile in profiles:
                 yield profile, generator.leaves_for_profile(profile)
             return
         generator.warm(executor)
-        plan_groups = [
-            list(generator.plans_for_profile(profile)) for profile in profiles
-        ]
-        leaves = materialize_plans(
-            generator, [plan for group in plan_groups for plan in group], executor
-        )
-        cursor = 0
-        for profile, group in zip(profiles, plan_groups):
-            yield profile, leaves[cursor : cursor + len(group)]
-            cursor += len(group)
+        # Materialize in bounded windows: each window is its own
+        # deterministic fan-out over the executor, and consumed leaves
+        # are dropped before the next window is built, so peak memory
+        # is O(window), not O(universe).
+        window: list[tuple[object, list]] = []
+        pending = 0
+        for profile in profiles:
+            group = list(generator.plans_for_profile(profile))
+            window.append((profile, group))
+            pending += len(group)
+            if pending >= MATERIALIZE_WINDOW:
+                yield from drain_window(window)
+                window, pending = [], 0
+        if window:
+            yield from drain_window(window)
 
     with build_span as span:
         for profile, profile_leaf_set in profile_leaves():

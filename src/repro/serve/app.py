@@ -264,9 +264,6 @@ class ServeApp:
             body = to_json_bytes(payload)
             entry = (body, make_etag(body, snapshot.generation), JSON_CONTENT_TYPE)
             self.cache.put(key, entry)
-            self.registry.counter("serve.cache.misses").inc()
-        else:
-            self.registry.counter("serve.cache.hits").inc()
         body, etag, content_type = entry
         if request.header("if-none-match") == etag:
             return Response(304, b"", headers=(("ETag", etag),))
@@ -277,7 +274,18 @@ class ServeApp:
     # -- metrics glue ------------------------------------------------------------
 
     def _publish_gauges(self, snapshot: StudySnapshot) -> None:
-        """Refresh the gauges ``/v1/metrics`` reports alongside counters."""
+        """Refresh the cache/capacity numbers ``/v1/metrics`` reports.
+
+        The cache numbers come from one locked
+        :meth:`~repro.serve.cache.ResponseCache.stats` snapshot — the
+        cache is the single bookkeeper. Per-request registry increments
+        here would race it (``Counter.inc`` is a plain read-modify-write)
+        and drift from the cache's own locked counts.
+        """
         self.registry.gauge("serve.snapshot.generation").set(snapshot.generation)
-        self.registry.gauge("serve.cache.entries").set(len(self.cache))
+        stats = self.cache.stats()
+        self.registry.counter("serve.cache.hits").value = stats["hits"]
+        self.registry.counter("serve.cache.misses").value = stats["misses"]
+        self.registry.counter("serve.cache.evictions").value = stats["evictions"]
+        self.registry.gauge("serve.cache.entries").set(stats["entries"])
         self.registry.gauge("serve.capacity").set(self.capacity)

@@ -4,9 +4,15 @@ Response bodies are deterministic functions of (snapshot generation,
 path) — the snapshot is immutable and the serializer canonical — so the
 service can cache rendered bytes plus their ETags and serve repeat
 queries without re-serializing anything. Capacity-bounded with
-least-recently-used eviction; hit/miss counts are published into the
-server's metrics registry so the ``/v1/metrics`` endpoint can prove a
-request was served from cache.
+least-recently-used eviction.
+
+Bookkeeping is read through :meth:`ResponseCache.stats`, which takes
+the cache lock and returns one mutually consistent snapshot of
+hits/misses/evictions/entries — the ``/v1/metrics`` endpoint and the
+serve benchmark both go through it. Reading the counter attributes
+directly races concurrent requests: each number is updated under the
+lock, but three separate attribute reads can interleave with a mutation
+and describe three different moments.
 """
 
 from __future__ import annotations
@@ -53,9 +59,35 @@ class ResponseCache:
                 self.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (the benchmark's cold-cache lever)."""
+        """Drop every entry (the benchmark's cold-cache lever).
+
+        The counters reset with the entries, so a post-clear
+        :meth:`stats` snapshot describes only the new, cold era — a
+        cleared cache reporting the old era's hits alongside zero
+        entries was exactly the reconciliation bug this fixes.
+        """
         with self._lock:
             self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """One mutually consistent snapshot of the cache bookkeeping.
+
+        Taken under the cache lock, so ``hits + misses`` equals the
+        lookups and ``entries`` matches the population *at the same
+        instant* — guarantees unlocked attribute reads cannot make.
+        Counters cover the era since construction or the last
+        :meth:`clear`.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }
 
     def __len__(self) -> int:
         with self._lock:

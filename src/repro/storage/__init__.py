@@ -1,0 +1,54 @@
+"""``repro.storage`` — sharded, persistent, memory-bounded storage.
+
+The reproduction's default data plane holds everything in process
+memory: every observed leaf certificate lives as a parsed
+:class:`~repro.x509.certificate.Certificate` inside
+:class:`~repro.notary.database.NotaryDatabase`, which is why build
+memory grows linearly with ``notary_scale``. This package provides the
+on-disk alternative the ROADMAP names: a content-addressed certificate
+store (DER keyed by SHA-256 in append-only, integrity-checked segments)
+plus per-root leaf-set shards keyed by root fingerprint, behind a
+:class:`StorageBackend` protocol the Notary and dataset accept.
+
+Layering (bottom up):
+
+* :mod:`repro.storage.envelope` — the MAGIC + SHA-256 integrity
+  envelope shared with :mod:`repro.buildcache` (atomic publish,
+  corruption detection that classifies *why* bytes are bad);
+* :mod:`repro.storage.segment` — append-only segment logs with
+  per-record envelopes and truncate-to-last-good crash recovery;
+* :mod:`repro.storage.certstore` — the content-addressed DER store
+  with a bounded parsed-certificate LRU;
+* :mod:`repro.storage.leafstore` — observed-leaf records sharded by
+  root fingerprint, so parallel workers read disjoint shard files;
+* :mod:`repro.storage.backend` — the :class:`StorageBackend` protocol
+  with the default :class:`InMemoryBackend` and the opt-in
+  :class:`DiskBackend` (``StudyConfig.storage_dir`` / ``--storage``).
+
+The design invariant mirrors the rest of the engine: **the storage
+backend never changes any reported number**. Reports are byte-identical
+between backends at any worker count; only the resident-set size and
+the wall-clock profile differ.
+"""
+
+from __future__ import annotations
+
+from repro.storage.backend import DiskBackend, InMemoryBackend, StorageBackend
+from repro.storage.certstore import CertStore
+from repro.storage.envelope import EnvelopeError, read_envelope, write_envelope
+from repro.storage.leafstore import LeafShardStore, ShardedLeafList, shard_key_for
+from repro.storage.segment import SegmentLog
+
+__all__ = [
+    "CertStore",
+    "DiskBackend",
+    "EnvelopeError",
+    "InMemoryBackend",
+    "LeafShardStore",
+    "SegmentLog",
+    "ShardedLeafList",
+    "StorageBackend",
+    "read_envelope",
+    "shard_key_for",
+    "write_envelope",
+]

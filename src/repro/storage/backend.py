@@ -1,0 +1,129 @@
+"""The :class:`StorageBackend` protocol and its two implementations.
+
+The Notary and the Netalyzr dataset don't know about segments or
+shards; they ask a backend for two things:
+
+* :meth:`~StorageBackend.leaf_sequence` — the container behind
+  ``NotaryDatabase.leaves`` (a plain list in memory, a
+  :class:`~repro.storage.leafstore.ShardedLeafList` on disk);
+* :meth:`~StorageBackend.intern_certificate` — content-addressed
+  deduplication for session root certificates (identity in memory; on
+  disk the DER is persisted and the one canonical parsed instance is
+  shared by every session that carries that root).
+
+``InMemoryBackend`` is the default everywhere and is byte-for-byte the
+pre-storage behavior. ``DiskBackend`` is opted into via
+``StudyConfig.storage_dir`` / ``repro study --storage DIR``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Protocol, runtime_checkable
+
+from repro import obs
+from repro.faults.quarantine import Quarantine
+from repro.storage.certstore import CertStore
+from repro.storage.leafstore import LeafShardStore, ShardedLeafList
+from repro.x509.certificate import Certificate
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the Notary/dataset need from a storage implementation."""
+
+    def leaf_sequence(self):  # -> MutableSequence[ObservedLeaf]-alike
+        """A fresh, empty container for observed leaves."""
+
+    def intern_certificate(self, certificate: Certificate) -> Certificate:
+        """The canonical shared instance of one certificate."""
+
+    def flush(self) -> None:
+        """Durability/visibility barrier (call before forking readers)."""
+
+    def stats(self) -> dict[str, int]:
+        """Size bookkeeping for telemetry."""
+
+
+class InMemoryBackend:
+    """The default: everything stays in process memory (seed behavior)."""
+
+    def leaf_sequence(self) -> list:
+        return []
+
+    def intern_certificate(self, certificate: Certificate) -> Certificate:
+        return certificate
+
+    def flush(self) -> None:
+        return None
+
+    def stats(self) -> dict[str, int]:
+        return {}
+
+
+class DiskBackend:
+    """Content-addressed certificates + per-root leaf shards on disk.
+
+    Layout under ``root``::
+
+        certs/certs-00000.seg ...   content-addressed DER segments
+        shards/shard-<fp>.seg ...   per-root observed-leaf records
+
+    One backend instance may serve both the Notary and the dataset of a
+    run: the certificate store is shared (a root certificate observed
+    in traffic *and* carried by sessions is stored once), the leaf
+    shards belong to the Notary side.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        quarantine: Quarantine | None = None,
+        parse_cache: int | None = None,
+        leaf_cache: int | None = None,
+    ):
+        self.root = pathlib.Path(root)
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        kwargs = {} if parse_cache is None else {"parse_cache": parse_cache}
+        self.certs = CertStore(
+            self.root / "certs", quarantine=self.quarantine, **kwargs
+        )
+        self.shards = LeafShardStore(
+            self.root / "shards", self.certs, quarantine=self.quarantine
+        )
+        self.leaf_cache = leaf_cache
+        #: canonical parsed instance per address, for session interning.
+        #: Strong references on purpose: the working set is the few
+        #: hundred distinct *root* certificates sessions carry, and
+        #: analyses compare them by identity-derived keys all over.
+        self._interned: dict[bytes, Certificate] = {}
+        obs.event("storage.backend_open", root=str(self.root))
+
+    def leaf_sequence(self) -> ShardedLeafList:
+        kwargs = {} if self.leaf_cache is None else {"leaf_cache": self.leaf_cache}
+        return ShardedLeafList(self.shards, **kwargs)
+
+    def intern_certificate(self, certificate: Certificate) -> Certificate:
+        address = self.certs.add(certificate.encoded)
+        canonical = self._interned.get(address)
+        if canonical is None:
+            canonical = self._interned[address] = certificate
+        return canonical
+
+    def flush(self) -> None:
+        self.shards.flush()
+        obs.counter_inc("storage.backend_flushes")
+
+    def close(self) -> None:
+        self.shards.close()
+        self.certs.close()
+
+    def stats(self) -> dict[str, int]:
+        merged = {f"certs_{k}": v for k, v in self.certs.stats().items()}
+        merged.update(
+            {f"shards_{k}": v for k, v in self.shards.stats().items()}
+        )
+        merged["interned_certificates"] = len(self._interned)
+        return merged

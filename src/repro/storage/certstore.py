@@ -1,0 +1,183 @@
+"""The content-addressed certificate store: DER keyed by SHA-256.
+
+Certificates are stored exactly once, as raw DER, in rolled append-only
+:class:`~repro.storage.segment.SegmentLog` files; the in-memory state
+is only the address book (SHA-256 → segment/offset/length) plus a
+bounded LRU of parsed :class:`~repro.x509.certificate.Certificate`
+objects. That inversion is the whole memory story: the parsed object —
+names, extensions, key material, several KB each — becomes a cache line
+that can be evicted, while the durable truth lives on disk.
+
+Content addressing doubles as deduplication (a root certificate shared
+by thousands of sessions is one record) and as end-to-end integrity:
+the address *is* the digest, so a record that decodes to different
+bytes than its key is detected twice over (segment envelope + address
+check) before a parse is ever attempted.
+
+On open, every segment is rescanned: intact records rebuild the address
+book, torn or corrupt tails are quarantined and truncated away (see
+:mod:`repro.storage.segment`). A missing certificate after recovery
+reads as absence — the caller rebuilds, mirroring
+:mod:`repro.buildcache`'s corruption-costs-time-never-correctness rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+from collections import OrderedDict
+
+from repro import obs
+from repro.faults.quarantine import ErrorCategory, Quarantine
+from repro.storage.segment import SEGMENT_MAGIC, SegmentCorruption, SegmentLog
+from repro.x509.certificate import Certificate
+
+#: Roll to a new segment once the current one commits this many bytes.
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
+#: Parsed-certificate LRU entries (the RAM bound for hot certificates).
+DEFAULT_PARSE_CACHE = 4096
+
+
+class CertStore:
+    """Content-addressed DER records across rolled segment files."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        quarantine: Quarantine | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        parse_cache: int = DEFAULT_PARSE_CACHE,
+    ):
+        self.root = pathlib.Path(root)
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.segment_bytes = segment_bytes
+        self.parse_cache = parse_cache
+        #: SHA-256 digest → (segment index, offset, length).
+        self._index: dict[bytes, tuple[int, int, int]] = {}
+        self._segments: list[SegmentLog] = []
+        self._parsed: OrderedDict[bytes, Certificate] = OrderedDict()
+        self._recover()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _segment_path(self, index: int) -> pathlib.Path:
+        return self.root / f"certs-{index:05d}.seg"
+
+    def _recover(self) -> None:
+        """Rebuild the address book from whatever segments survive."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        paths = sorted(self.root.glob("certs-*.seg"))
+        for path in paths:
+            log, damage = SegmentLog.open(path)
+            for corruption in damage:
+                self._quarantine(path.name, corruption)
+            segment_index = len(self._segments)
+            self._segments.append(log)
+            for offset, body in log.scan():
+                self._index[hashlib.sha256(body).digest()] = (
+                    segment_index, offset, len(body),
+                )
+        if not self._segments:
+            self._segments.append(SegmentLog.create(self._segment_path(0)))
+        obs.event(
+            "storage.certstore_open",
+            segments=len(self._segments),
+            certificates=len(self._index),
+        )
+
+    def _quarantine(self, where: str, corruption: SegmentCorruption) -> None:
+        obs.counter_inc("storage.corruption")
+        self.quarantine.add(
+            ErrorCategory.CACHE_CORRUPTION,
+            f"certstore:{where}",
+            f"{corruption.reason}: {corruption.detail}",
+        )
+
+    # -- write -------------------------------------------------------------------
+
+    def add(self, der: bytes) -> bytes:
+        """Store one DER blob; return its SHA-256 address (idempotent)."""
+        digest = hashlib.sha256(der).digest()
+        if digest in self._index:
+            return digest
+        tail = self._segments[-1]
+        if (
+            tail.size + len(der) > self.segment_bytes
+            and tail.size > len(SEGMENT_MAGIC)  # never roll an empty tail
+        ):
+            tail.flush()
+            tail = SegmentLog.create(self._segment_path(len(self._segments)))
+            self._segments.append(tail)
+        offset, length = tail.append(der)
+        self._index[digest] = (len(self._segments) - 1, offset, length)
+        return digest
+
+    def add_certificate(self, certificate: Certificate) -> bytes:
+        """Store a parsed certificate's DER and prime the parse cache."""
+        digest = self.add(certificate.encoded)
+        self._cache_parsed(digest, certificate)
+        return digest
+
+    # -- read --------------------------------------------------------------------
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def der(self, digest: bytes) -> bytes:
+        """The stored DER at one address; raises KeyError when absent."""
+        segment_index, offset, length = self._index[digest]
+        body = self._segments[segment_index].read(offset, length)
+        if hashlib.sha256(body).digest() != digest:
+            # The segment envelope already verified these bytes, so this
+            # is an address-book bug, not disk damage — fail loudly.
+            raise SegmentCorruption(
+                "address-mismatch", f"record does not match its address"
+            )
+        return body
+
+    def certificate(self, digest: bytes) -> Certificate:
+        """The parsed certificate at one address (LRU-cached)."""
+        cached = self._parsed.get(digest)
+        if cached is not None:
+            self._parsed.move_to_end(digest)
+            obs.counter_inc("storage.parse_hits")
+            return cached
+        certificate = Certificate.from_der(self.der(digest))
+        obs.counter_inc("storage.parses")
+        self._cache_parsed(digest, certificate)
+        return certificate
+
+    def _cache_parsed(self, digest: bytes, certificate: Certificate) -> None:
+        if self.parse_cache <= 0:
+            return
+        self._parsed[digest] = certificate
+        self._parsed.move_to_end(digest)
+        while len(self._parsed) > self.parse_cache:
+            self._parsed.popitem(last=False)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Barrier: every stored record is readable (e.g. post-fork)."""
+        for segment in self._segments:
+            segment.flush()
+        obs.counter_inc("storage.certstore_flushes")
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+
+    def stats(self) -> dict[str, int]:
+        """Size bookkeeping for telemetry and the benchmark."""
+        return {
+            "certificates": len(self._index),
+            "segments": len(self._segments),
+            "bytes": sum(segment.size for segment in self._segments),
+            "parse_cache_entries": len(self._parsed),
+        }

@@ -1,0 +1,79 @@
+"""The MAGIC + SHA-256 integrity envelope shared by every on-disk artifact.
+
+One discipline for all persistent bytes in the engine (the build cache,
+the certificate segments, the leaf shards): a payload is published as
+
+    MAGIC (8 bytes) || SHA-256(payload) (32 bytes) || payload
+
+written to a temp file and :func:`os.replace`'d into place, so a
+concurrent or interrupted writer can never expose a partial artifact
+under its final name. Readers verify the digest before trusting a
+single payload byte; anything torn, bit-flipped, or foreign reads as an
+:class:`EnvelopeError` whose ``reason`` says *where* the bytes went bad
+(the crash-injection tests assert on these reasons).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+
+#: MAGIC length || digest length — the fixed envelope prefix size.
+HEADER_LEN = 8 + 32
+
+
+class EnvelopeError(ValueError):
+    """The bytes under an envelope cannot be trusted.
+
+    ``reason`` is a stable machine-readable slug: ``empty``,
+    ``bad-magic``, ``truncated-header`` (cut inside the MAGIC or the
+    SHA-256 trailer) or ``digest-mismatch`` (payload bytes damaged).
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+def write_envelope(magic: bytes, body: bytes) -> bytes:
+    """Wrap *body* in its integrity envelope."""
+    if len(magic) != 8:
+        raise ValueError(f"magic must be 8 bytes, got {len(magic)}")
+    return magic + hashlib.sha256(body).digest() + body
+
+
+def read_envelope(magic: bytes, blob: bytes) -> bytes:
+    """Unwrap and verify one envelope; raise :class:`EnvelopeError`."""
+    if not blob:
+        raise EnvelopeError("empty", "zero-length artifact")
+    if len(blob) < len(magic):
+        if magic.startswith(blob):
+            # A correct MAGIC prefix cut short: torn write, not garbage.
+            raise EnvelopeError("truncated-header", "artifact cut inside magic")
+        raise EnvelopeError("bad-magic", "unrecognized artifact magic")
+    if not blob.startswith(magic):
+        raise EnvelopeError("bad-magic", "unrecognized artifact magic")
+    if len(blob) < HEADER_LEN:
+        raise EnvelopeError(
+            "truncated-header", "artifact cut inside the SHA-256 trailer"
+        )
+    digest, body = blob[len(magic) : HEADER_LEN], blob[HEADER_LEN:]
+    if hashlib.sha256(body).digest() != digest:
+        raise EnvelopeError("digest-mismatch", "payload digest mismatch")
+    return body
+
+
+def atomic_write(path: pathlib.Path, blob: bytes) -> None:
+    """Publish *blob* at *path* atomically (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+    finally:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,260 @@
+"""Observed-leaf records sharded by root fingerprint.
+
+The Notary's hot analyses are *per root*: "how many leaves does this
+anchor validate" walks exactly the leaves issued under one root. The
+leaf store therefore shards its records by the fingerprint of the root
+that anchored the observation — one append-only segment per root — so
+
+* a :class:`~repro.parallel.executor.ParallelExecutor` worker computing
+  counts for its chunk of roots touches only its own shard files
+  (disjoint I/O, no cross-worker contention), and
+* a streaming future (CT-log-scale universes) can ingest and expire
+  shards independently.
+
+What stays in RAM per leaf is a fixed-size locator row (shard id,
+offset, length) plus the two fields every summary statistic needs
+(``expired``, ``session_count``) in compact typed arrays — tens of
+bytes instead of the several-KB parsed leaf. The certificates
+themselves live in the shared :class:`~repro.storage.certstore.
+CertStore`; a leaf record is just the address book entry tying them to
+the observation metadata.
+
+``ShardedLeafList`` exposes the whole thing as a list-equivalent
+sequence (``len`` / index / iterate / ``bool``), which is what lets
+:class:`~repro.notary.database.NotaryDatabase` swap it in for its
+``leaves`` list without changing a single query result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+from array import array
+from collections import OrderedDict
+
+from repro import obs
+from repro.faults.quarantine import ErrorCategory, Quarantine
+from repro.storage.certstore import CertStore
+from repro.storage.segment import SegmentLog
+from repro.tlssim.traffic import ObservedLeaf
+from repro.x509.certificate import Certificate
+
+#: Open shard segment handles kept at once (LRU; ~457 catalog roots
+#: would otherwise pin two descriptors each for the whole build).
+DEFAULT_OPEN_SHARDS = 128
+
+#: Rehydrated-ObservedLeaf LRU entries.
+DEFAULT_LEAF_CACHE = 2048
+
+
+def shard_key_for(root: Certificate | None, issuer_subject: object) -> str:
+    """The shard a leaf observation belongs to.
+
+    Keyed by the anchoring root's identity fingerprint (modulus +
+    signature, the paper's §4.1 identity) when the chain carried one;
+    leaves observed without a root fall back to a digest of their
+    issuer subject, which groups them exactly as the Notary's
+    ``_by_issuer`` index does.
+    """
+    if root is not None:
+        modulus = root.public_key.modulus
+        blob = (
+            modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
+            + root.signature
+        )
+        return hashlib.sha256(blob).hexdigest()[:40]
+    return hashlib.sha256(repr(issuer_subject).encode()).hexdigest()[:40]
+
+
+class LeafShardStore:
+    """Per-root segment files holding serialized leaf records."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        certs: CertStore,
+        *,
+        quarantine: Quarantine | None = None,
+        open_shards: int = DEFAULT_OPEN_SHARDS,
+    ):
+        self.root = pathlib.Path(root)
+        self.certs = certs
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.open_shards = open_shards
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: shard key → shard id (dense ints; the locator rows store ids).
+        self._shard_ids: dict[str, int] = {}
+        self._shard_keys: list[str] = []
+        #: shard id → open segment (bounded LRU; evicted ones reopen).
+        self._open: OrderedDict[int, SegmentLog] = OrderedDict()
+
+    def _shard_path(self, key: str) -> pathlib.Path:
+        return self.root / f"shard-{key}.seg"
+
+    def shard_id(self, key: str) -> int:
+        identifier = self._shard_ids.get(key)
+        if identifier is None:
+            identifier = len(self._shard_keys)
+            self._shard_ids[key] = identifier
+            self._shard_keys.append(key)
+        return identifier
+
+    def _segment(self, shard_id: int) -> SegmentLog:
+        segment = self._open.get(shard_id)
+        if segment is None:
+            path = self._shard_path(self._shard_keys[shard_id])
+            segment, damage = SegmentLog.open(path)
+            for corruption in damage:
+                obs.counter_inc("storage.corruption")
+                self.quarantine.add(
+                    # Same dead-letter category as the build cache: a
+                    # damaged record is rebuilt, never trusted.
+                    ErrorCategory.CACHE_CORRUPTION,
+                    f"leafshard:{path.name}",
+                    f"{corruption.reason}: {corruption.detail}",
+                )
+            self._open[shard_id] = segment
+            while len(self._open) > self.open_shards:
+                _, evicted = self._open.popitem(last=False)
+                evicted.close()
+        else:
+            self._open.move_to_end(shard_id)
+        return segment
+
+    # -- records -----------------------------------------------------------------
+
+    def append(self, shard_key: str, leaf: ObservedLeaf) -> tuple[int, int, int]:
+        """Persist one leaf; return its ``(shard id, offset, length)``.
+
+        The certificate and any intermediates go to the content-
+        addressed store; the shard record carries their addresses plus
+        the observation metadata.
+        """
+        cert_address = self.certs.add(leaf.certificate.encoded)
+        intermediate_addresses = tuple(
+            self.certs.add_certificate(intermediate)
+            for intermediate in leaf.intermediates
+        )
+        record = pickle.dumps(
+            (
+                cert_address,
+                leaf.issuer_name,
+                leaf.expired,
+                leaf.session_count,
+                intermediate_addresses,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        shard = self.shard_id(shard_key)
+        offset, length = self._segment(shard).append(record)
+        return shard, offset, length
+
+    def load(self, shard_id: int, offset: int, length: int) -> ObservedLeaf:
+        """Rehydrate one leaf record."""
+        body = self._segment(shard_id).read(offset, length)
+        (
+            cert_address,
+            issuer_name,
+            expired,
+            session_count,
+            intermediate_addresses,
+        ) = pickle.loads(body)
+        return ObservedLeaf(
+            certificate=self.certs.certificate(cert_address),
+            issuer_name=issuer_name,
+            expired=expired,
+            session_count=session_count,
+            intermediates=tuple(
+                self.certs.certificate(address)
+                for address in intermediate_addresses
+            ),
+        )
+
+    def flush(self) -> None:
+        for segment in self._open.values():
+            segment.flush()
+        self.certs.flush()
+
+    def close(self) -> None:
+        for segment in self._open.values():
+            segment.close()
+        self._open.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"shards": len(self._shard_keys), "open_shards": len(self._open)}
+
+
+class ShardedLeafList:
+    """A list-equivalent view over disk-resident observed leaves.
+
+    Supports exactly the operations ``NotaryDatabase`` and the report
+    layer use on the in-memory list — ``append`` (with an optional
+    shard hint), ``len``, indexing, iteration, truthiness — plus the
+    compact accessors (:meth:`expired_at`, :meth:`session_count_at`)
+    that answer summary statistics straight from RAM.
+    """
+
+    def __init__(self, store: LeafShardStore, *, leaf_cache: int = DEFAULT_LEAF_CACHE):
+        self._store = store
+        self.leaf_cache = leaf_cache
+        self._shards = array("i")
+        self._offsets = array("q")
+        self._lengths = array("i")
+        self._expired = array("b")
+        self._session_counts = array("q")
+        self._hot: OrderedDict[int, ObservedLeaf] = OrderedDict()
+
+    # -- writes ------------------------------------------------------------------
+
+    def append(self, leaf: ObservedLeaf, *, shard_key: str | None = None) -> None:
+        """Persist and index one leaf (in observation order)."""
+        if shard_key is None:
+            shard_key = shard_key_for(None, leaf.certificate.issuer.normalized())
+        shard, offset, length = self._store.append(shard_key, leaf)
+        self._shards.append(shard)
+        self._offsets.append(offset)
+        self._lengths.append(length)
+        self._expired.append(1 if leaf.expired else 0)
+        self._session_counts.append(leaf.session_count)
+
+    # -- compact accessors --------------------------------------------------------
+
+    def expired_at(self, index: int) -> bool:
+        return bool(self._expired[index])
+
+    def session_count_at(self, index: int) -> int:
+        return self._session_counts[index]
+
+    # -- sequence protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __bool__(self) -> bool:
+        return len(self._shards) > 0
+
+    def __getitem__(self, index: int) -> ObservedLeaf:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self._shards):
+            raise IndexError(index)
+        hot = self._hot.get(index)
+        if hot is not None:
+            self._hot.move_to_end(index)
+            return hot
+        leaf = self._store.load(
+            self._shards[index], self._offsets[index], self._lengths[index]
+        )
+        if self.leaf_cache > 0:
+            self._hot[index] = leaf
+            while len(self._hot) > self.leaf_cache:
+                self._hot.popitem(last=False)
+        return leaf
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]

@@ -1,0 +1,60 @@
+"""Acceptance tests for the persistent storage backend (ISSUE criteria).
+
+The disk backend is a pure representation change: the rendered study
+report must be byte-identical between the in-memory and on-disk
+backends, at any worker count, while the run's storage actually lands
+on disk in sharded, integrity-enveloped segment files.
+"""
+
+from repro.analysis import StudyConfig, render_study_report, run_study
+
+SCALE = dict(population_scale=0.15, notary_scale=0.2)
+
+
+class TestByteIdenticalReports:
+    def test_disk_backend_matches_in_memory(self, study, tmp_path_factory):
+        storage = tmp_path_factory.mktemp("storage")
+        disk = run_study(StudyConfig(storage_dir=str(storage), **SCALE))
+        assert render_study_report(disk) == render_study_report(study)
+
+    def test_disk_backend_parallel_matches_in_memory_serial(
+        self, study, tmp_path_factory
+    ):
+        storage = tmp_path_factory.mktemp("storage-parallel")
+        disk = run_study(
+            StudyConfig(storage_dir=str(storage), workers=4, **SCALE)
+        )
+        assert render_study_report(disk) == render_study_report(study)
+
+
+class TestStorageRunShape:
+    def test_universe_lands_in_sharded_segments(self, tmp_path_factory):
+        storage = tmp_path_factory.mktemp("storage-shape")
+        result = run_study(
+            StudyConfig(
+                population_scale=0.05, notary_scale=0.1, storage_dir=str(storage)
+            )
+        )
+        cert_segments = list((storage / "certs").glob("certs-*.seg"))
+        shard_segments = list((storage / "shards").glob("shard-*.seg"))
+        assert cert_segments, "content-addressed cert segments missing"
+        # per-root sharding: many shard files, not one blob
+        assert len(shard_segments) > 50
+        gauges = result.telemetry.metrics["gauges"]
+        assert gauges["storage.certs_certificates"] > 0
+        assert gauges["storage.shards_shards"] == len(shard_segments)
+        assert gauges["storage.interned_certificates"] > 0
+
+    def test_storage_disables_build_cache(self, tmp_path_factory):
+        storage = tmp_path_factory.mktemp("storage-bc")
+        cache_dir = tmp_path_factory.mktemp("build-cache")
+        result = run_study(
+            StudyConfig(
+                population_scale=0.05,
+                notary_scale=0.05,
+                storage_dir=str(storage),
+                build_cache_dir=str(cache_dir),
+            )
+        )
+        assert result.fastpath.build_cache == "off"
+        assert list(cache_dir.iterdir()) == []

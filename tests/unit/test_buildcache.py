@@ -112,6 +112,34 @@ class TestCorruption:
         path.write_bytes(b"")
         assert cache.get("universe", PARAMS) is None  # no exception
 
+    def test_crash_torn_inside_magic(self, cache):
+        # A crash after 4 bytes of an 8-byte MAGIC: the envelope is cut
+        # mid-preamble. Must read as a quarantined miss, then rebuild.
+        path = cache.put("universe", PARAMS, list(range(50)))
+        path.write_bytes(path.read_bytes()[:4])
+        self.assert_quarantined(cache, path)
+        cache.put("universe", PARAMS, list(range(50)))
+        assert cache.get("universe", PARAMS) == list(range(50))
+
+    def test_crash_torn_inside_sha256_trailer(self, cache):
+        # A crash partway through the 32-byte digest: full MAGIC present
+        # but the integrity header itself is incomplete.
+        path = cache.put("universe", PARAMS, list(range(50)))
+        path.write_bytes(path.read_bytes()[: len(MAGIC) + 17])
+        self.assert_quarantined(cache, path)
+        cache.put("universe", PARAMS, list(range(50)))
+        assert cache.get("universe", PARAMS) == list(range(50))
+
+    def test_crash_zero_length_file(self, cache):
+        # A crash between open and first write leaves an empty file
+        # under the published name (can't happen via atomic_write, but
+        # backups/copies can produce it).
+        path = cache.put("universe", PARAMS, list(range(50)))
+        path.write_bytes(b"")
+        self.assert_quarantined(cache, path)
+        cache.put("universe", PARAMS, list(range(50)))
+        assert cache.get("universe", PARAMS) == list(range(50))
+
     def test_payload_digest_guards_the_pickle(self, cache):
         # swapping the body for a *different valid pickle* without
         # re-digesting must still be caught.

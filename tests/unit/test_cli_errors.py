@@ -74,3 +74,7 @@ class TestRuntimeErrors:
     def test_show_cert_unreadable_path_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             main(["show-cert", str(tmp_path / "absent.pem")])
+
+    def test_study_uncreatable_storage_dir_returns_1(self, capsys):
+        assert main(["study", "--storage", "/proc/nope/storage"]) == 1
+        assert "cannot open storage" in capsys.readouterr().err

@@ -105,6 +105,60 @@ class TestMapChunked:
     def test_empty_map(self):
         assert ParallelExecutor(workers=4).map_chunked(_square_chunk, [], 0) == []
 
+    def test_zero_items_never_touch_the_pool(self, monkeypatch):
+        """Regression: a zero-item map must return [] before any pool
+        machinery runs — no fork, no chunking, no telemetry."""
+        from repro.parallel import executor as executor_mod
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor constructed for 0 items")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", bomb)
+        executor = ParallelExecutor(workers=4, min_items=0)
+        with obs.capture() as (registry, _):
+            assert executor.map_chunked(_square_chunk, [], 0) == []
+            assert executor.map_chunked(_square_chunk, [], -3) == []
+        assert "parallel.maps" not in registry.to_dict()["counters"]
+
+    def test_fewer_chunks_than_workers_spawns_no_idle_workers(self, monkeypatch):
+        """Regression: the pool must be sized to the chunk count, not
+        the configured worker count — idle forked workers cost real
+        memory (each inherits the CoW payload)."""
+        from repro.parallel import executor as executor_mod
+
+        seen_max_workers = []
+
+        class _RecordingFuture:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+        class _RecordingPool:
+            def __init__(self, max_workers, mp_context=None):
+                seen_max_workers.append(max_workers)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                return _RecordingFuture(fn(*args))
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _RecordingPool)
+        monkeypatch.setattr(executor_mod, "_fork_available", lambda: True)
+        # 8 workers x 1 chunk-per-worker over 24 items -> 3-item chunks,
+        # 8 chunks... force fewer chunks than workers instead:
+        executor = ParallelExecutor(workers=8, min_items=1, chunks_per_worker=1)
+        payload = list(range(9))
+        result = executor.map_chunked(_square_chunk, payload, len(payload))
+        assert result == [value ** 2 for value in payload]
+        # chunk_size = ceil(9 / 8) = 2 -> 5 chunks < 8 workers
+        assert seen_max_workers == [5]
+
     def test_payload_global_restored_after_map(self):
         from repro.parallel import executor as executor_mod
 

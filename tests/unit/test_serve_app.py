@@ -248,6 +248,108 @@ class TestResponseCache:
         assert len(cache) == 0
         assert cache.get("k") is None
 
+    def test_clear_reconciles_stats(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("a", (b"a", "ea", "t"))
+        cache.put("b", (b"b", "eb", "t"))
+        cache.put("c", (b"c", "ec", "t"))  # evicts a
+        cache.get("b")
+        cache.get("nope")
+        cache.clear()
+        # A cleared cache starts a fresh era: zero entries alongside the
+        # old era's hit/miss/eviction counts was the reconciliation bug.
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }
+
+    def test_stats_snapshot_stays_consistent_under_hammer(self):
+        """Threaded hammer: stats() must never expose a torn snapshot.
+
+        Workers replay the app's get-then-put-on-miss pattern over a key
+        space larger than capacity (forcing evictions) while a checker
+        reads stats() continuously. In any atomic snapshot every
+        resident or evicted entry was preceded by a counted miss, so
+        ``entries + evictions <= misses`` must hold — interleaved
+        unlocked attribute reads violate it readily.
+        """
+        capacity = 8
+        cache = ResponseCache(capacity=capacity)
+        lookups_per_worker = 3000
+        workers = 4
+        stop = threading.Event()
+        violations = []
+
+        def worker(offset: int) -> None:
+            for i in range(lookups_per_worker):
+                key = (offset + i) % (capacity * 4)
+                if cache.get(key) is None:
+                    cache.put(key, (b"body", f"etag-{key}", "t"))
+
+        def checker() -> None:
+            while not stop.is_set():
+                stats = cache.stats()
+                if stats["entries"] > capacity:
+                    violations.append(("overfull", stats))
+                if stats["entries"] + stats["evictions"] > stats["misses"]:
+                    violations.append(("unaccounted-entries", stats))
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,))
+            for offset in range(workers)
+        ]
+        observer = threading.Thread(target=checker)
+        observer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        observer.join()
+        assert not violations
+        final = cache.stats()
+        assert final["hits"] + final["misses"] == workers * lookups_per_worker
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             ResponseCache(capacity=0)
+
+
+class TestSnapshotSwapRace:
+    def test_inflight_request_never_served_next_generations_entry(self):
+        """A request that read generation N must get N's body and ETag.
+
+        Readers hammer a cached endpoint while a swapper advances the
+        snapshot generation; every response's ETag generation must match
+        the generation baked into its body, and the ETag digest must be
+        the digest of those exact bytes — i.e. no response ever pairs
+        generation N's body with a cache entry or ETag from N+1.
+        """
+        import hashlib
+
+        holder = SnapshotHolder(make_snapshot(0, marker="g0"))
+        app = ServeApp(holder, capacity=16)
+        failures = []
+
+        def reader():
+            for _ in range(300):
+                response = app.handle(Request("GET", "/v1/tables/1"))
+                etag = dict(response.headers)["ETag"]
+                marker = json.loads(response.body)[0][2]  # "g<generation>"
+                etag_generation = etag[2 : etag.index("-")]
+                if f"g{etag_generation}" != marker:
+                    failures.append((etag, marker))
+                digest = hashlib.sha256(response.body).hexdigest()[:32]
+                if not etag.endswith(f'-{digest}"'):
+                    failures.append(("etag-body-mismatch", etag, marker))
+
+        def swapper():
+            for generation in range(1, 80):
+                holder.swap(make_snapshot(generation, marker=f"g{generation}"))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=swapper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures

@@ -1,0 +1,370 @@
+"""Unit tests for the sharded persistent storage backend.
+
+Covers the envelope helpers, the append-only segment logs (including
+the three crash-truncation cases the buildcache suite also pins), the
+content-addressed certificate store, the per-root leaf shards, and the
+backend protocol the Notary/dataset program against.
+"""
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.faults.quarantine import ErrorCategory, Quarantine
+from repro.storage import (
+    CertStore,
+    DiskBackend,
+    EnvelopeError,
+    InMemoryBackend,
+    LeafShardStore,
+    SegmentLog,
+    ShardedLeafList,
+    StorageBackend,
+    read_envelope,
+    shard_key_for,
+    write_envelope,
+)
+from repro.storage.envelope import atomic_write
+from repro.storage.segment import SEGMENT_MAGIC, SegmentCorruption
+
+MAGIC = b"TEST0001"
+
+
+@pytest.fixture(scope="module")
+def leaves(traffic, catalog):
+    """A real mixed current/expired leaf set from one catalog profile."""
+    profile = next(
+        p for p in catalog.core if p.current_leaves >= 20 and p.expired_leaves >= 2
+    )
+    return list(traffic.leaves_for_profile(profile))
+
+
+@pytest.fixture(scope="module")
+def root_cert(traffic, catalog, factory):
+    profile = next(p for p in catalog.core if p.current_leaves >= 20)
+    return factory.root_certificate(profile)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        blob = write_envelope(MAGIC, b"payload bytes")
+        assert read_envelope(MAGIC, blob) == b"payload bytes"
+
+    def test_empty_blob(self):
+        with pytest.raises(EnvelopeError) as excinfo:
+            read_envelope(MAGIC, b"")
+        assert excinfo.value.reason == "empty"
+
+    def test_torn_inside_magic(self):
+        blob = write_envelope(MAGIC, b"payload")
+        with pytest.raises(EnvelopeError) as excinfo:
+            read_envelope(MAGIC, blob[:4])
+        assert excinfo.value.reason == "truncated-header"
+
+    def test_torn_inside_digest_trailer(self):
+        blob = write_envelope(MAGIC, b"payload")
+        with pytest.raises(EnvelopeError) as excinfo:
+            read_envelope(MAGIC, blob[: len(MAGIC) + 17])
+        assert excinfo.value.reason == "truncated-header"
+
+    def test_wrong_magic(self):
+        blob = write_envelope(MAGIC, b"payload")
+        with pytest.raises(EnvelopeError) as excinfo:
+            read_envelope(b"XXXX9999", blob)
+        assert excinfo.value.reason == "bad-magic"
+
+    def test_bitflip_fails_digest(self):
+        blob = bytearray(write_envelope(MAGIC, b"payload"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(EnvelopeError) as excinfo:
+            read_envelope(MAGIC, bytes(blob))
+        assert excinfo.value.reason == "digest-mismatch"
+
+    def test_atomic_write_leaves_no_temp_litter(self, tmp_path):
+        target = tmp_path / "sub" / "entry.bin"
+        atomic_write(target, b"published")
+        assert target.read_bytes() == b"published"
+        assert [p.name for p in target.parent.iterdir()] == ["entry.bin"]
+
+
+class TestSegmentLog:
+    def test_append_read_round_trip(self, tmp_path):
+        log = SegmentLog.create(tmp_path / "a.seg")
+        locators = [log.append(body) for body in (b"one", b"two" * 100, b"")]
+        for (offset, length), body in zip(locators, (b"one", b"two" * 100, b"")):
+            assert log.read(offset, length) == body
+        log.close()
+
+    def test_reopen_recovers_all_records(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        bodies = [f"record-{i}".encode() for i in range(10)]
+        locators = [log.append(body) for body in bodies]
+        log.close()
+        reopened, damage = SegmentLog.open(path)
+        assert damage == []
+        assert [body for _, body in reopened.scan()] == bodies
+        for (offset, length), body in zip(locators, bodies):
+            assert reopened.read(offset, length) == body
+
+    def test_crash_torn_inside_magic(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        log.append(b"doomed")
+        log.close()
+        path.write_bytes(path.read_bytes()[:4])
+        reopened, damage = SegmentLog.open(path)
+        assert [d.reason for d in damage] == ["truncated-header"]
+        # the file is rebuilt to a fresh, usable segment
+        assert path.read_bytes() == SEGMENT_MAGIC
+        offset, length = reopened.append(b"fresh")
+        assert reopened.read(offset, length) == b"fresh"
+
+    def test_crash_torn_inside_record_digest(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        keep_offset, keep_length = log.append(b"survivor")
+        log.append(b"torn away")
+        log.close()
+        blob = path.read_bytes()
+        # cut inside the second record's 32-byte digest trailer
+        cut = len(SEGMENT_MAGIC) + 4 + 32 + len(b"survivor") + 4 + 15
+        path.write_bytes(blob[:cut])
+        reopened, damage = SegmentLog.open(path)
+        assert [d.reason for d in damage] == ["truncated-record"]
+        # truncated back to the last intact boundary: survivor readable,
+        # the torn tail gone, appends land cleanly after it
+        assert reopened.read(keep_offset, keep_length) == b"survivor"
+        assert [body for _, body in reopened.scan()] == [b"survivor"]
+        offset, length = reopened.append(b"after crash")
+        assert reopened.read(offset, length) == b"after crash"
+
+    def test_crash_zero_length_file(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        log.append(b"doomed")
+        log.close()
+        path.write_bytes(b"")
+        reopened, damage = SegmentLog.open(path)
+        assert [d.reason for d in damage] == ["truncated-header"]
+        assert path.read_bytes() == SEGMENT_MAGIC
+        offset, length = reopened.append(b"fresh")
+        assert reopened.read(offset, length) == b"fresh"
+
+    def test_crash_torn_record_body(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        log.append(b"x" * 1000)
+        log.close()
+        path.write_bytes(path.read_bytes()[:-100])
+        reopened, damage = SegmentLog.open(path)
+        assert [d.reason for d in damage] == ["truncated-record"]
+        assert list(reopened.scan()) == []
+
+    def test_bitflip_mid_file_detected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        log = SegmentLog.create(path)
+        offset, length = log.append(b"flip me")
+        log.close()
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        reopened, damage = SegmentLog.open(path)
+        assert [d.reason for d in damage] == ["digest-mismatch"]
+        with pytest.raises(SegmentCorruption):
+            reopened.read(offset, length)
+
+    def test_open_never_raises_on_garbage(self, tmp_path):
+        path = tmp_path / "a.seg"
+        path.write_bytes(b"\x00" * 200)
+        _, damage = SegmentLog.open(path)
+        assert damage  # reported, not raised
+
+
+class TestCertStore:
+    def test_content_addressing_dedupes(self, tmp_path, root_cert):
+        store = CertStore(tmp_path / "certs")
+        first = store.add(root_cert.encoded)
+        second = store.add(root_cert.encoded)
+        assert first == second == hashlib.sha256(root_cert.encoded).digest()
+        assert len(store) == 1
+
+    def test_round_trip_and_parse(self, tmp_path, root_cert):
+        store = CertStore(tmp_path / "certs")
+        digest = store.add(root_cert.encoded)
+        assert store.der(digest) == root_cert.encoded
+        assert store.certificate(digest) == root_cert
+
+    def test_survives_reopen(self, tmp_path, leaves):
+        store = CertStore(tmp_path / "certs")
+        digests = [store.add(leaf.certificate.encoded) for leaf in leaves]
+        store.close()
+        reopened = CertStore(tmp_path / "certs")
+        assert len(reopened) == len(set(digests))
+        for digest, leaf in zip(digests, leaves):
+            assert reopened.certificate(digest) == leaf.certificate
+
+    def test_segments_roll_at_size_bound(self, tmp_path, leaves):
+        store = CertStore(tmp_path / "certs", segment_bytes=2048)
+        for leaf in leaves:
+            store.add(leaf.certificate.encoded)
+        stats = store.stats()
+        assert stats["segments"] > 1
+        # every certificate still readable across the rolled segments
+        for leaf in leaves:
+            digest = hashlib.sha256(leaf.certificate.encoded).digest()
+            assert store.der(digest) == leaf.certificate.encoded
+
+    def test_parse_cache_is_bounded(self, tmp_path, leaves):
+        store = CertStore(tmp_path / "certs", parse_cache=4)
+        for leaf in leaves:
+            store.add_certificate(leaf.certificate)
+        assert store.stats()["parse_cache_entries"] <= 4
+
+    def test_torn_tail_quarantined_on_reopen(self, tmp_path, root_cert):
+        quarantine = Quarantine()
+        store = CertStore(tmp_path / "certs")
+        store.add(root_cert.encoded)
+        store.close()
+        segment = next((tmp_path / "certs").glob("certs-*.seg"))
+        segment.write_bytes(segment.read_bytes()[:-5])
+        reopened = CertStore(tmp_path / "certs", quarantine=quarantine)
+        records = list(quarantine)
+        assert len(records) == 1
+        assert records[0].category is ErrorCategory.CACHE_CORRUPTION
+        assert records[0].where.startswith("certstore:")
+        # the damaged record reads as absence; re-adding rebuilds it
+        assert len(reopened) == 0
+        digest = reopened.add(root_cert.encoded)
+        assert reopened.certificate(digest) == root_cert
+
+
+class TestLeafShards:
+    def test_sharded_list_matches_plain_list(self, tmp_path, leaves, root_cert):
+        certs = CertStore(tmp_path / "certs")
+        shards = LeafShardStore(tmp_path / "shards", certs)
+        sequence = ShardedLeafList(shards)
+        key = shard_key_for(root_cert, None)
+        for leaf in leaves:
+            sequence.append(leaf, shard_key=key)
+        assert len(sequence) == len(leaves)
+        assert bool(sequence)
+        assert list(sequence) == leaves
+        assert sequence[0] == leaves[0]
+        assert sequence[-1] == leaves[-1]
+        assert sequence[2:5] == leaves[2:5]
+        with pytest.raises(IndexError):
+            sequence[len(leaves)]
+
+    def test_compact_accessors_match_records(self, tmp_path, leaves):
+        certs = CertStore(tmp_path / "certs")
+        sequence = ShardedLeafList(LeafShardStore(tmp_path / "shards", certs))
+        for leaf in leaves:
+            sequence.append(leaf)
+        for index, leaf in enumerate(leaves):
+            assert sequence.expired_at(index) == leaf.expired
+            assert sequence.session_count_at(index) == leaf.session_count
+
+    def test_rehydration_cache_is_bounded(self, tmp_path, leaves):
+        certs = CertStore(tmp_path / "certs")
+        sequence = ShardedLeafList(
+            LeafShardStore(tmp_path / "shards", certs), leaf_cache=4
+        )
+        for leaf in leaves:
+            sequence.append(leaf)
+        for index in range(len(leaves)):
+            sequence[index]
+        assert len(sequence._hot) <= 4
+
+    def test_shard_key_groups_by_root_identity(self, root_cert, leaves):
+        by_root = shard_key_for(root_cert, None)
+        assert by_root == shard_key_for(root_cert, "ignored-when-root-given")
+        fallback = shard_key_for(None, leaves[0].issuer_name)
+        assert fallback != by_root
+        assert len(by_root) == len(fallback) == 40
+
+    def test_distinct_keys_get_distinct_shard_files(self, tmp_path, leaves):
+        certs = CertStore(tmp_path / "certs")
+        shards = LeafShardStore(tmp_path / "shards", certs)
+        sequence = ShardedLeafList(shards)
+        sequence.append(leaves[0], shard_key="aa" * 20)
+        sequence.append(leaves[1], shard_key="bb" * 20)
+        files = sorted(p.name for p in (tmp_path / "shards").glob("shard-*.seg"))
+        assert files == [f"shard-{'aa' * 20}.seg", f"shard-{'bb' * 20}.seg"]
+
+    def test_open_shard_handles_are_bounded(self, tmp_path, leaves):
+        certs = CertStore(tmp_path / "certs")
+        shards = LeafShardStore(tmp_path / "shards", certs, open_shards=2)
+        sequence = ShardedLeafList(shards, leaf_cache=0)
+        for index, leaf in enumerate(leaves[:8]):
+            sequence.append(leaf, shard_key=f"{index:02d}" * 20)
+        assert shards.stats()["open_shards"] <= 2
+        # evicted shards reopen transparently on read
+        assert list(sequence) == leaves[:8]
+
+    def test_torn_shard_tail_quarantined(self, tmp_path, leaves):
+        quarantine = Quarantine()
+        certs = CertStore(tmp_path / "certs")
+        shards = LeafShardStore(
+            tmp_path / "shards", certs, quarantine=quarantine
+        )
+        sequence = ShardedLeafList(shards)
+        for leaf in leaves[:3]:
+            sequence.append(leaf, shard_key="cc" * 20)
+        shards.close()
+        shard_file = next((tmp_path / "shards").glob("shard-*.seg"))
+        shard_file.write_bytes(shard_file.read_bytes()[:-7])
+        # reopening the shard (first read after close) reports damage
+        sequence[0]
+        records = list(quarantine)
+        assert len(records) == 1
+        assert records[0].where.startswith("leafshard:")
+
+
+class TestBackends:
+    def test_protocol_membership(self, tmp_path):
+        assert isinstance(InMemoryBackend(), StorageBackend)
+        assert isinstance(DiskBackend(tmp_path / "store"), StorageBackend)
+
+    def test_in_memory_backend_is_identity(self, root_cert):
+        backend = InMemoryBackend()
+        assert backend.leaf_sequence() == []
+        assert backend.intern_certificate(root_cert) is root_cert
+        assert backend.stats() == {}
+
+    def test_disk_backend_interns_to_canonical_instance(
+        self, tmp_path, root_cert
+    ):
+        backend = DiskBackend(tmp_path / "store")
+        from repro.x509.certificate import Certificate
+
+        clone = Certificate.from_der(root_cert.encoded)
+        assert clone is not root_cert
+        first = backend.intern_certificate(root_cert)
+        second = backend.intern_certificate(clone)
+        assert first is second is root_cert
+
+    def test_disk_backend_stats_cover_both_stores(self, tmp_path, leaves):
+        backend = DiskBackend(tmp_path / "store")
+        sequence = backend.leaf_sequence()
+        for leaf in leaves[:5]:
+            sequence.append(leaf)
+        backend.intern_certificate(leaves[0].certificate)
+        backend.flush()
+        stats = backend.stats()
+        assert stats["certs_certificates"] >= 5
+        assert stats["shards_shards"] >= 1
+        assert stats["interned_certificates"] == 1
+
+    def test_leaf_record_pickles_are_addresses_not_certs(self, tmp_path, leaves):
+        """The shard record must stay small: certificate *addresses*,
+        never embedded DER/parsed certificates."""
+        backend = DiskBackend(tmp_path / "store")
+        sequence = backend.leaf_sequence()
+        sequence.append(leaves[0])
+        shard_file = next((tmp_path / "store" / "shards").glob("shard-*.seg"))
+        record = next(iter(backend.shards._segment(0).scan()))[1]
+        payload = pickle.loads(record)
+        assert payload[0] == hashlib.sha256(leaves[0].certificate.encoded).digest()
+        assert len(record) < 200
