@@ -1,25 +1,38 @@
 #!/usr/bin/env python
-"""Serve benchmark: a threaded stdlib load generator over a real server.
+"""Serve benchmark: transports × worker counts under a pipelined load.
 
-Builds a reduced-scale study, serves it with :class:`repro.serve.StudyServer`
-on an ephemeral port, and hammers it with ``http.client`` connections on
-plain threads — no third-party load tool, same constraint as the server
-itself. Three phases:
+Builds a reduced-scale study once, snapshots it, then measures each
+requested *mode* — ``transport:processes`` — by forking a real
+:class:`repro.serve.Supervisor` fleet (one process is just a fleet of
+one) and hammering it over real sockets. The load generator is raw
+``socket`` + HTTP/1.1 keep-alive with pipelining: each client writes a
+batch of GETs in one syscall and reads the batch back, which is what it
+takes for a pure-python client to keep a five-figure-req/s server busy.
+No third-party load tool — same zero-dependency constraint as the
+server.
 
-* **cold** — the response LRU is cleared before every round, so every
-  request pays the full render (canonical JSON serialization);
-* **warm** — the cache is primed once and every request is an LRU hit;
-* **shed** — the admission semaphore is saturated deterministically
-  (the benchmark holds every slot itself) and one probe request must
-  come back ``503`` with a ``Retry-After`` header.
+Per mode:
 
-Each timed phase reports throughput and p50/p95/p99 latency; results
-land in ``BENCH_serve.json``. Run standalone::
+* **cold** — a fresh fleet's first pass over the endpoint mix (every
+  body pays its full canonical-JSON render);
+* **warm** — timed pipelined rounds against hot response LRUs, with
+  per-request latency accumulated into a log-spaced histogram
+  (p50/p95/p99 are read from the histogram, not a sorted list);
+* **per-worker** — ``/v1/metrics`` sampled over fresh connections
+  until every worker pid has answered, so the JSON records how the
+  kernel spread the load across the fleet;
+* **parity** — every mode must serve byte-identical ETags for the
+  same endpoints (same snapshot ⇒ same bytes, on any transport at any
+  worker count), and the fleet must exit 0 on SIGTERM.
 
-    python benchmarks/bench_serve.py --requests 2000 --clients 4
+The deterministic 503 shedding check runs in-process, same as before.
+Results land in ``BENCH_serve.json`` as one section per mode. Run::
 
-``--fail-below R`` exits non-zero when warm throughput drops below R
-requests/second (CI uses 500 per the serve acceptance bar).
+    python benchmarks/bench_serve.py --modes threaded:1,evloop:1,evloop:4
+
+``--fail-below MODE=RPS[,MODE=RPS...]`` gates warm throughput per
+mode; ``--min-evloop-ratio R`` additionally requires the best evloop
+mode to beat ``threaded:1`` by a factor of R on the same run.
 """
 
 from __future__ import annotations
@@ -27,7 +40,9 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
-import statistics
+import os
+import signal
+import socket
 import sys
 import threading
 import time
@@ -36,7 +51,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import StudyConfig, run_study
-from repro.serve import ServeApp, SnapshotHolder, StudySnapshot, StudyServer
+from repro.serve import ServeApp, SnapshotHolder, StudySnapshot, Supervisor
 
 SEED = "bench-serve"
 
@@ -56,111 +71,347 @@ ENDPOINTS = [
     "/v1/health",
 ]
 
+#: Log-spaced latency histogram boundaries: 50µs … ~52s, factor 1.25.
+LATENCY_BUCKETS = tuple(50e-6 * (1.25 ** i) for i in range(62))
 
-class _Client(threading.Thread):
-    """One load-generator thread with a persistent keep-alive connection."""
 
-    def __init__(self, host: str, port: int, requests: int, offset: int):
+class LatencyHistogram:
+    """Fixed log-spaced buckets; percentiles read off the upper edges."""
+
+    def __init__(self):
+        self.counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self.total = 0
+
+    def observe(self, seconds: float, weight: int = 1) -> None:
+        lo, hi = 0, len(LATENCY_BUCKETS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= LATENCY_BUCKETS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += weight
+        self.total += weight
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+
+    def percentile(self, fraction: float) -> float:
+        """The upper bucket edge at *fraction* (conservative)."""
+        if self.total == 0:
+            return 0.0
+        threshold = fraction * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= threshold:
+                return LATENCY_BUCKETS[min(i, len(LATENCY_BUCKETS) - 1)]
+        return LATENCY_BUCKETS[-1]
+
+    def summary_ms(self) -> dict:
+        return {
+            "p50": round(self.percentile(0.50) * 1e3, 3),
+            "p95": round(self.percentile(0.95) * 1e3, 3),
+            "p99": round(self.percentile(0.99) * 1e3, 3),
+        }
+
+
+def _count_responses(buffer: bytes) -> tuple[int, int]:
+    """(complete responses, bytes consumed) off the front of *buffer*."""
+    responses = 0
+    offset = 0
+    while True:
+        head_end = buffer.find(b"\r\n\r\n", offset)
+        if head_end < 0:
+            return responses, offset
+        head = buffer[offset:head_end]
+        marker = head.lower().find(b"content-length:")
+        length = 0
+        if marker >= 0:
+            line_end = head.find(b"\r\n", marker)
+            if line_end < 0:
+                line_end = len(head)
+            length = int(head[marker + 15 : line_end])
+        end = head_end + 4 + length
+        if len(buffer) < end:
+            return responses, offset
+        responses += 1
+        offset = end
+
+
+class _PipelinedClient(threading.Thread):
+    """One keep-alive connection writing batches of pipelined GETs."""
+
+    def __init__(self, host: str, port: int, batch_paths: list[str], batches: int):
         super().__init__(daemon=True)
         self.host, self.port = host, port
-        self.requests = requests
-        self.offset = offset
-        self.latencies: list[float] = []
+        self.batch_paths = batch_paths
+        self.batches = batches
+        self.request_bytes = b"".join(
+            f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode("ascii")
+            for path in batch_paths
+        )
+        self.histogram = LatencyHistogram()
+        self.ok = 0
         self.errors = 0
+        self.expected = 0  # exact response bytes per batch, learned priming
+
+    def _read_batch(self, sock: socket.socket, count: int) -> bytes:
+        """Read exactly *count* responses (the priming / slow path)."""
+        received = bytearray()
+        while True:
+            responses, _ = _count_responses(bytes(received))
+            if responses >= count:
+                return bytes(received)
+            chunk = sock.recv(1 << 20)
+            if not chunk:
+                raise ConnectionError("server closed mid-batch")
+            received += chunk
+
+    def prime(self, sock: socket.socket) -> bytes:
+        """One un-timed batch: warms this connection's worker, learns sizes."""
+        sock.sendall(self.request_bytes)
+        body = self._read_batch(sock, len(self.batch_paths))
+        self.expected = len(body)
+        return body
 
     def run(self) -> None:
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        pipe = len(self.batch_paths)
         try:
-            for i in range(self.requests):
-                path = ENDPOINTS[(self.offset + i) % len(ENDPOINTS)]
+            sock = socket.create_connection((self.host, self.port), timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.prime(sock)
+            self.prime(sock)  # second pass: everything cached now
+            buffer = bytearray(self.expected)
+            view = memoryview(buffer)
+            for _ in range(self.batches):
                 started = time.perf_counter()
-                try:
-                    connection.request("GET", path)
-                    response = connection.getresponse()
-                    body = response.read()
-                    if response.status != 200 or not body:
-                        self.errors += 1
-                except (http.client.HTTPException, OSError):
-                    self.errors += 1
-                    connection.close()
-                    connection = http.client.HTTPConnection(
-                        self.host, self.port, timeout=30
-                    )
-                    continue
-                self.latencies.append(time.perf_counter() - started)
+                sock.sendall(self.request_bytes)
+                need = self.expected
+                while need:
+                    received = sock.recv_into(view[self.expected - need :], need)
+                    if not received:
+                        raise ConnectionError("server closed mid-batch")
+                    need -= received
+                elapsed = time.perf_counter() - started
+                good = buffer.count(b"HTTP/1.1 200")
+                self.ok += good
+                self.errors += pipe - good
+                # every request in the batch experienced the batch RTT.
+                self.histogram.observe(elapsed / 1.0, weight=pipe)
+            sock.close()
+        except OSError as error:
+            print(f"client error: {error}", file=sys.stderr)
+            self.errors += pipe * self.batches
+
+
+def _http_get(host: str, port: int, path: str) -> tuple[int, dict, bytes]:
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def _fork_fleet(app_seed_snapshot, transport: str, processes: int, capacity: int):
+    """Fork a supervisor fleet over a fresh app; returns (pid, port)."""
+    app = ServeApp(SnapshotHolder(app_seed_snapshot), capacity=capacity)
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(read_fd)
+        status = 1
+        try:
+            supervisor = Supervisor(
+                app,
+                processes=processes,
+                transport=transport,
+                notify_fd=write_fd,
+            )
+            status = supervisor.run_forever()
         finally:
-            connection.close()
+            os._exit(status)
+    os.close(write_fd)
+    line = b""
+    while not line.endswith(b"\n"):
+        chunk = os.read(read_fd, 64)
+        if not chunk:
+            raise RuntimeError("supervisor died before reporting its port")
+        line += chunk
+    os.close(read_fd)
+    return pid, int(line.split()[1])
 
 
-def _run_load(server: StudyServer, clients: int, requests_per_client: int) -> dict:
-    """One timed round; returns throughput + latency percentiles."""
-    threads = [
-        _Client(server.host, server.port, requests_per_client, offset)
-        for offset in range(clients)
-    ]
-    started = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - started
+def _sample_workers(host: str, port: int, processes: int) -> list[dict]:
+    """Sample /v1/metrics over fresh connections until every pid answered."""
+    seen: dict[int, dict] = {}
+    for _ in range(processes * 16):
+        if len(seen) == processes:
+            break
+        status, _, body = _http_get(host, port, "/v1/metrics")
+        if status != 200:
+            continue
+        metrics = json.loads(body)
+        pid = int(metrics["gauges"].get("serve.worker.pid", 0))
+        seen[pid] = {
+            "pid": pid,
+            "index": int(metrics["gauges"].get("serve.worker.index", 0)),
+            "requests": metrics["counters"].get("serve.requests", 0),
+            "cache_hits": metrics["counters"].get("serve.cache.hits", 0),
+        }
+    return [seen[pid] for pid in sorted(seen)]
 
-    latencies = sorted(x for thread in threads for x in thread.latencies)
-    errors = sum(thread.errors for thread in threads)
-    if not latencies:
-        raise RuntimeError("load round produced no successful requests")
 
-    def percentile(fraction: float) -> float:
-        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+def _run_mode(
+    snapshot: StudySnapshot,
+    transport: str,
+    processes: int,
+    *,
+    clients: int,
+    pipeline: int,
+    requests: int,
+) -> dict:
+    """Fork, measure cold + warm + per-worker, drain; one JSON section."""
+    effective_clients = max(clients, processes)
+    capacity = effective_clients * pipeline + 16
+    pid, port = _fork_fleet(snapshot, transport, processes, capacity)
+    host = "127.0.0.1"
+    try:
+        # cold: a fresh fleet's first pass over the endpoint mix.
+        etags: dict[str, str] = {}
+        cold_started = time.perf_counter()
+        for path in ENDPOINTS:
+            status, headers, body = _http_get(host, port, path)
+            assert status == 200, f"{transport}:{processes} {path} -> {status}"
+            assert body, f"{transport}:{processes} {path} served empty body"
+            if "ETag" in headers:
+                etags[path] = headers["ETag"]
+        cold_seconds = time.perf_counter() - cold_started
+        cold = {
+            "requests": len(ENDPOINTS),
+            "seconds": round(cold_seconds, 4),
+            "throughput_rps": round(len(ENDPOINTS) / cold_seconds, 1),
+        }
 
+        # warm: timed pipelined rounds split across clients.
+        batch_paths = [ENDPOINTS[i % len(ENDPOINTS)] for i in range(pipeline)]
+        per_client = max(1, requests // (effective_clients * pipeline))
+        workers = [
+            _PipelinedClient(host, port, batch_paths, per_client)
+            for _ in range(effective_clients)
+        ]
+        warm_started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        warm_seconds = time.perf_counter() - warm_started
+        histogram = LatencyHistogram()
+        ok = errors = 0
+        for worker in workers:
+            histogram.merge(worker.histogram)
+            ok += worker.ok
+            errors += worker.errors
+        if ok == 0:
+            raise RuntimeError(f"{transport}:{processes}: warm round all-errors")
+        warm = {
+            "requests": ok,
+            "errors": errors,
+            "seconds": round(warm_seconds, 3),
+            "clients": effective_clients,
+            "pipeline": pipeline,
+            "throughput_rps": round(ok / warm_seconds, 1),
+            "latency_ms": histogram.summary_ms(),
+        }
+
+        per_worker = _sample_workers(host, port, processes)
+    finally:
+        os.kill(pid, signal.SIGTERM)
+        _, status = os.waitpid(pid, 0)
+    exit_code = os.waitstatus_to_exitcode(status)
+    assert exit_code == 0, f"{transport}:{processes} fleet drained with {exit_code}"
     return {
-        "requests": len(latencies),
-        "errors": errors,
-        "seconds": round(elapsed, 3),
-        "throughput_rps": round(len(latencies) / elapsed, 1),
-        "latency_ms": {
-            "p50": round(statistics.median(latencies) * 1e3, 3),
-            "p95": round(percentile(0.95) * 1e3, 3),
-            "p99": round(percentile(0.99) * 1e3, 3),
-            "max": round(latencies[-1] * 1e3, 3),
-        },
+        "transport": transport,
+        "processes": processes,
+        "cold": cold,
+        "warm": warm,
+        "per_worker": per_worker,
+        "drain_exit_code": exit_code,
+        "etags": etags,
     }
 
 
-def _check_shedding(app: ServeApp, server: StudyServer) -> dict:
-    """Deterministic saturation: hold every admission slot, probe once."""
+def _check_shedding(snapshot: StudySnapshot) -> dict:
+    """Deterministic saturation, in-process: hold every slot, probe once."""
+    from repro.serve import Request
+
+    app = ServeApp(SnapshotHolder(snapshot), capacity=4)
     held = 0
     while app._slots.acquire(blocking=False):  # noqa: SLF001 (own app)
         held += 1
     try:
-        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
-        connection.request("GET", "/v1/health")
-        response = connection.getresponse()
-        body = response.read()
-        retry_after = response.getheader("Retry-After")
-        connection.close()
+        response = app.handle(Request("GET", "/v1/health"))
     finally:
         for _ in range(held):
             app._slots.release()
     record = {
         "held_slots": held,
         "status": response.status,
-        "retry_after": retry_after,
+        "retry_after": dict(response.headers).get("Retry-After"),
     }
     assert response.status == 503, f"saturated probe got {response.status}"
-    assert retry_after, "503 without Retry-After"
-    assert b"error" in body, "503 without a JSON error body"
+    assert record["retry_after"], "503 without Retry-After"
+    assert b"error" in response.body, "503 without a JSON error body"
     return record
+
+
+def _parse_modes(text: str) -> list[tuple[str, int]]:
+    modes = []
+    for token in text.split(","):
+        transport, _, count = token.strip().partition(":")
+        modes.append((transport, int(count or 1)))
+    return modes
+
+
+def _parse_gates(text: str | None) -> dict[str, float]:
+    if not text:
+        return {}
+    gates = {}
+    for token in text.split(","):
+        mode, _, rps = token.strip().partition("=")
+        gates[mode] = float(rps)
+    return gates
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--requests", type=int, default=2000,
-        help="total requests per timed round (split across clients)",
+        "--modes", default="threaded:1,evloop:1,evloop:4",
+        help="comma-separated transport:processes modes to measure",
     )
     parser.add_argument(
-        "--clients", type=int, default=4, help="load-generator threads"
+        "--transport", default=None, choices=("threaded", "evloop"),
+        help="measure a single transport (overrides --modes)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker count for --transport",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=30000,
+        help="target warm requests per mode (split across clients)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=2,
+        help="load-generator threads (raised to the worker count if lower)",
+    )
+    parser.add_argument(
+        "--pipeline", type=int, default=16,
+        help="pipelined requests per batch on each connection",
     )
     parser.add_argument(
         "--scale", type=float, default=0.05,
@@ -168,23 +419,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--notary-scale", type=float, default=0.2)
     parser.add_argument(
-        "--cold-rounds", type=int, default=5,
-        help="cache-cleared rounds over the endpoint mix for the cold number",
-    )
-    parser.add_argument(
         "--build-cache", metavar="DIR", default="",
         help="persistent build cache for the study build",
     )
     parser.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
     parser.add_argument(
-        "--fail-below", type=float, default=None, metavar="RPS",
-        help="exit 1 if warm-cache throughput is below RPS requests/second",
+        "--fail-below", default=None, metavar="MODE=RPS,...",
+        help="per-mode warm throughput gates, e.g. threaded:1=500,evloop:4=10000",
+    )
+    parser.add_argument(
+        "--min-evloop-ratio", type=float, default=None, metavar="R",
+        help="fail unless best evloop warm ≥ R × threaded:1 warm",
     )
     args = parser.parse_args(argv)
-    per_client = max(1, args.requests // args.clients)
+    if args.transport is not None:
+        modes = [(args.transport, args.processes)]
+    else:
+        modes = _parse_modes(args.modes)
+    gates = _parse_gates(args.fail_below)
 
     print(f"building study (scale={args.scale}, notary={args.notary_scale}) ...")
-    build_start = time.perf_counter()
+    build_started = time.perf_counter()
     result = run_study(
         StudyConfig(
             seed=SEED,
@@ -194,75 +449,87 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     snapshot = StudySnapshot.from_result(result, generation=0)
-    build_seconds = time.perf_counter() - build_start
+    build_seconds = time.perf_counter() - build_started
 
-    app = ServeApp(SnapshotHolder(snapshot), capacity=args.clients * 2 + 8)
-    server = StudyServer(app, port=0).start()
-    try:
-        # cold: every round starts with an empty LRU, so each of the
-        # distinct endpoints pays one full render per round.
-        cold_start = time.perf_counter()
-        cold_requests = 0
-        for _ in range(args.cold_rounds):
-            app.cache.clear()
-            round_stats = _run_load(server, 1, len(ENDPOINTS))
-            cold_requests += round_stats["requests"]
-        cold_seconds = time.perf_counter() - cold_start
-        cold = {
-            "requests": cold_requests,
-            "seconds": round(cold_seconds, 3),
-            "throughput_rps": round(cold_requests / cold_seconds, 1),
-        }
-        print(f"  cold : {cold['throughput_rps']:>8} req/s ({cold_requests} requests)")
-
-        # warm: prime once, then the timed multi-client round is all hits.
-        app.cache.clear()
-        _run_load(server, 1, len(ENDPOINTS))
-        warm = _run_load(server, args.clients, per_client)
+    sections: dict[str, dict] = {}
+    for transport, processes in modes:
+        key = f"{transport}:{processes}"
+        print(f"mode {key}: forking fleet ...")
+        sections[key] = _run_mode(
+            snapshot,
+            transport,
+            processes,
+            clients=args.clients,
+            pipeline=args.pipeline,
+            requests=args.requests,
+        )
+        warm = sections[key]["warm"]
         print(
-            f"  warm : {warm['throughput_rps']:>8} req/s "
-            f"p50={warm['latency_ms']['p50']}ms p99={warm['latency_ms']['p99']}ms"
+            f"  {key:>12}: cold {sections[key]['cold']['throughput_rps']:>8} "
+            f"warm {warm['throughput_rps']:>9} req/s "
+            f"p50={warm['latency_ms']['p50']}ms p99={warm['latency_ms']['p99']}ms "
+            f"({len(sections[key]['per_worker'])} worker(s))"
         )
 
-        shed = _check_shedding(app, server)
-        print(
-            f"  shed : 503 with Retry-After={shed['retry_after']} "
-            f"(held {shed['held_slots']} slots)"
-        )
+    # parity: identical endpoints must carry identical ETags everywhere.
+    reference_key = next(iter(sections))
+    reference = sections[reference_key]["etags"]
+    parity = all(section["etags"] == reference for section in sections.values())
+    assert parity, "ETag mismatch across modes — transports serve different bytes"
+    print(f"  parity: ETags identical across {len(sections)} mode(s)")
 
-        # One locked snapshot; covers the era since the last clear()
-        # (the warm prime + the timed warm round).
-        cache_stats = app.cache.stats()
-    finally:
-        server.stop()
+    shed = _check_shedding(snapshot)
+    print(f"  shed : 503 with Retry-After={shed['retry_after']}")
 
     payload = {
         "benchmark": "serve",
         "seed": SEED,
         "scale": args.scale,
-        "clients": args.clients,
+        "pipeline": args.pipeline,
         "study_build_s": round(build_seconds, 3),
         "snapshot_meta": snapshot.meta,
-        "cold_cache": cold,
-        "warm_cache": warm,
-        "warm_over_cold": round(
-            warm["throughput_rps"] / cold["throughput_rps"], 2
-        ),
-        "cache": cache_stats,
+        "modes": sections,
+        "etag_parity": parity,
         "shedding": shed,
     }
+    if "threaded:1" in sections:
+        threaded_warm = sections["threaded:1"]["warm"]["throughput_rps"]
+        evloop_best = max(
+            (
+                section["warm"]["throughput_rps"]
+                for key, section in sections.items()
+                if key.startswith("evloop:")
+            ),
+            default=None,
+        )
+        if evloop_best is not None:
+            payload["evloop_over_threaded"] = round(evloop_best / threaded_warm, 2)
+
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
 
-    if args.fail_below is not None and warm["throughput_rps"] < args.fail_below:
-        print(
-            f"FAIL: warm throughput {warm['throughput_rps']} req/s "
-            f"< {args.fail_below}",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    failed = False
+    for mode, floor in gates.items():
+        if mode not in sections:
+            print(f"FAIL: gated mode {mode} was not measured", file=sys.stderr)
+            failed = True
+            continue
+        measured = sections[mode]["warm"]["throughput_rps"]
+        if measured < floor:
+            print(
+                f"FAIL: {mode} warm {measured} req/s < {floor}", file=sys.stderr
+            )
+            failed = True
+    if args.min_evloop_ratio is not None:
+        ratio = payload.get("evloop_over_threaded")
+        if ratio is None or ratio < args.min_evloop_ratio:
+            print(
+                f"FAIL: evloop/threaded ratio {ratio} < {args.min_evloop_ratio}",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -271,6 +271,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             notary_scale=args.notary_scale,
             build_cache_dir="" if args.no_build_cache else (args.build_cache or ""),
             build_workers=args.build_workers,
+            transport=args.transport,
+            processes=args.processes,
         )
     )
 
@@ -436,6 +438,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser("serve", help=cmd_serve.__doc__)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument(
+        "--transport", choices=("threaded", "evloop"), default="threaded",
+        help="HTTP transport: 'threaded' (one thread per connection) or "
+        "'evloop' (single-threaded selectors event loop — the "
+        "read-heavy fast lane)",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=1,
+        help="serving processes; > 1 forks SO_REUSEPORT workers after "
+        "the study snapshot is built (pages shared copy-on-write), with "
+        "crash restarts and a coordinated SIGTERM drain",
+    )
     serve.add_argument(
         "--workers", type=int, default=8,
         help="max requests served concurrently; beyond workers+backlog "

@@ -11,14 +11,31 @@ HTTP/JSON API built entirely on the stdlib (``http.server`` /
 * :mod:`repro.serve.app` — the transport-free router + handler registry
   (unit-testable without sockets), including admission-control
   backpressure;
-* :mod:`repro.serve.server` — the threaded HTTP shim, graceful
-  SIGTERM drain and the ``repro serve`` entry point.
+* :mod:`repro.serve.transport` — the named-transport registry and the
+  (optionally ``SO_REUSEPORT``) listener plumbing;
+* :mod:`repro.serve.server` — the threaded transport, graceful
+  SIGTERM drain and the ``repro serve`` entry point;
+* :mod:`repro.serve.eventloop` — the single-threaded selectors-based
+  transport (keep-alive, pipelining, vectored writes) for the
+  read-heavy fast path;
+* :mod:`repro.serve.supervisor` — fork-based multi-process workers
+  sharing the immutable snapshot copy-on-write, with SIGCHLD restarts
+  and a coordinated SIGTERM drain.
 """
 
 from repro.serve.app import Request, Response, ServeApp
 from repro.serve.cache import ResponseCache
+from repro.serve.eventloop import EventLoopServer
 from repro.serve.snapshot import SnapshotHolder, StudySnapshot
 from repro.serve.server import ServeConfig, StudyServer, run_server
+from repro.serve.supervisor import Supervisor
+from repro.serve.transport import (
+    TRANSPORT_NAMES,
+    ReusePortUnavailable,
+    SO_REUSEPORT_AVAILABLE,
+    bind_listener,
+    create_server,
+)
 
 __all__ = [
     "Request",
@@ -29,5 +46,12 @@ __all__ = [
     "StudySnapshot",
     "ServeConfig",
     "StudyServer",
+    "EventLoopServer",
+    "Supervisor",
+    "TRANSPORT_NAMES",
+    "ReusePortUnavailable",
+    "SO_REUSEPORT_AVAILABLE",
+    "bind_listener",
+    "create_server",
     "run_server",
 ]

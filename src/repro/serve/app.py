@@ -57,11 +57,20 @@ MAX_RECENT_SPANS = 64
 
 @dataclass(frozen=True)
 class Request:
-    """One parsed request, transport-independent."""
+    """One parsed request, transport-independent.
+
+    ``path`` never contains a query string — transports split the
+    request target and hand the raw (still percent-encoded) query
+    through ``query``. No current route consumes it, but it rides along
+    so future endpoints can paginate without a transport change; the
+    response cache keys on ``path`` alone, so a query can never fork
+    the ETag of a query-blind route.
+    """
 
     method: str
     path: str
     headers: dict[str, str] = field(default_factory=dict)
+    query: str = ""
 
     def header(self, name: str) -> str | None:
         return self.headers.get(name.lower())
@@ -115,6 +124,8 @@ class ServeApp:
         self.reloader = reloader
         self.recent_spans: deque[dict] = deque(maxlen=MAX_RECENT_SPANS)
         self._slots = threading.BoundedSemaphore(capacity)
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
         self._reload_lock = threading.Lock()
         self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
         self._register_routes()
@@ -207,10 +218,60 @@ class ServeApp:
                 _error_body(503, "server saturated, retry shortly"),
                 headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
             )
+        with self._in_flight_lock:
+            self._in_flight += 1
         try:
             return self._handle_admitted(request)
         finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
             self._slots.release()
+
+    def handle_fast(self, request: Request) -> Response:
+        """The event loop's read-only fast lane.
+
+        A cache hit on a GET/HEAD route is answered straight from the
+        LRU — counters and the latency histogram still record, but no
+        trace span is allocated, which is most of ``handle``'s
+        per-request overhead once every body is cached. Anything that
+        misses the cache (or isn't a plain read) falls back to the full
+        admission-controlled path, so semantics never fork: same
+        bodies, same ETags, same shed behaviour under saturation.
+        """
+        if request.method in ("GET", "HEAD"):
+            started = time.perf_counter()
+            entry = self.cache.get((self.holder.get().generation, request.path))
+            if entry is not None:
+                body, etag, content_type = entry
+                if request.headers.get("if-none-match") == etag:
+                    response = Response(304, b"", headers=(("ETag", etag),))
+                else:
+                    response = Response(
+                        200, body, headers=(("ETag", etag),), content_type=content_type
+                    )
+                self.registry.counter("serve.requests").inc()
+                self.registry.counter(f"serve.status.{response.status}").inc()
+                self.registry.histogram("serve.request_seconds").observe(
+                    time.perf_counter() - started
+                )
+                return response
+        return self.handle(request)
+
+    # -- drain API ---------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """How many admitted requests are currently being handled.
+
+        A lock-consistent snapshot of the app's own counter — transports
+        drain against this instead of groping the admission semaphore's
+        private ``_value``.
+        """
+        with self._in_flight_lock:
+            return self._in_flight
+
+    def idle(self) -> bool:
+        """True when no admitted request is in flight."""
+        return self.in_flight() == 0
 
     def _handle_admitted(self, request: Request) -> Response:
         tracer = Tracer()
@@ -289,3 +350,4 @@ class ServeApp:
         self.registry.counter("serve.cache.evictions").value = stats["evictions"]
         self.registry.gauge("serve.cache.entries").set(stats["entries"])
         self.registry.gauge("serve.capacity").set(self.capacity)
+        self.registry.gauge("serve.in_flight").set(self.in_flight())

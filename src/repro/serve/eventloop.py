@@ -1,0 +1,577 @@
+"""The selectors-based event-loop transport — the read-heavy fast lane.
+
+One thread, one ``selectors`` loop, every socket non-blocking. The
+threaded transport pays a thread (and its scheduling) per connection;
+this one pays a dict entry. For the service's dominant workload —
+small, cached, immutable JSON bodies behind ETags — that is the
+difference between ~3.6k req/s and five figures:
+
+* **Framing** is incremental and pipelined-safe: each connection owns a
+  read buffer, and every complete request found in it is dispatched in
+  arrival order, so a client may write N requests back-to-back and read
+  N responses (HTTP/1.1 pipelining). Oversized header blocks (431),
+  malformed requests (400) and chunked bodies (501) are answered and
+  the connection closed, never left to poison the framing.
+* **Dispatch** happens directly on the loop for GET/HEAD via
+  :meth:`~repro.serve.app.ServeApp.handle_fast` — a cached body is one
+  LRU hit away, no thread handoff. POST (``/admin/reload`` — a full
+  study rebuild) is handed to a worker thread so a reload *never*
+  stalls reads; the connection is merely blocked from parsing further
+  pipelined requests until its response is ready, preserving response
+  order.
+* **Writes** are vectored: header block and body go out in one
+  ``sendmsg`` call when the socket is writable, and only the unsent
+  remainder is buffered (write interest is registered solely while a
+  buffer is non-empty).
+* **Idle timeouts** close connections that have neither sent nor
+  received anything for ``idle_timeout`` seconds, so keep-alive can't
+  leak sockets.
+* **Drain**: SIGTERM/SIGINT (or :meth:`stop`) closes the listener,
+  finishes every dispatched request, flushes every write buffer and
+  waits (bounded) for in-flight offloaded reloads, then returns — the
+  same never-truncate-a-body protocol as the threaded transport.
+
+Saturation telemetry goes through the app's registry: loop lag (time
+the loop spends processing one batch of events — the latency every
+other ready socket is paying), accept burst size (how deep the accept
+queue got between wakeups), live connection count and offload depth.
+Shed counts come from the app's admission control, as everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from collections import deque
+
+from repro import __version__
+from repro.serve.app import Request, Response, ServeApp, _error_body
+from repro.serve.transport import bind_listener
+
+#: Connections silent for this long (seconds) are closed. The CLI's
+#: keep-alive clients reconnect transparently.
+IDLE_TIMEOUT_SECONDS = 60.0
+
+#: Bound on the drain wait after a stop request (matches the threaded
+#: transport's drain bound).
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+#: A request's header block must fit in this many bytes.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Largest request body the loop will drain (the API takes none; this
+#: only bounds abuse).
+MAX_BODY_BYTES = 1 << 20
+
+#: recv() chunk size.
+RECV_SIZE = 65536
+
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Content Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+_SERVER_HEADER = f"Server: repro-serve/{__version__}\r\n".encode("ascii")
+
+#: status → precomputed status line + Server header.
+_STATUS_PREFIX = {
+    status: f"HTTP/1.1 {status} {reason}\r\n".encode("ascii") + _SERVER_HEADER
+    for status, reason in _REASONS.items()
+}
+
+
+class BadRequest(Exception):
+    """A request the framing layer rejects (the connection then closes)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def parse_request(buffer) -> tuple[Request, bool, int] | None:
+    """Parse one HTTP/1.x request off the front of *buffer*.
+
+    Returns ``(request, keep_alive, bytes_consumed)`` when a complete
+    request (headers + declared body) is present, ``None`` when more
+    bytes are needed, and raises :class:`BadRequest` for requests that
+    can never become valid. The body, if any, is consumed and
+    discarded — no route takes one.
+    """
+    head_end = buffer.find(b"\r\n\r\n")
+    if head_end < 0:
+        if len(buffer) > MAX_HEADER_BYTES:
+            raise BadRequest(431, "request header block too large")
+        return None
+    if head_end > MAX_HEADER_BYTES:
+        raise BadRequest(431, "request header block too large")
+    head = bytes(buffer[:head_end]).decode("latin-1")
+    lines = head.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise BadRequest(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise BadRequest(505, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or name.rstrip() != name:
+            raise BadRequest(400, f"malformed header line {line!r}")
+        headers[name.lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise BadRequest(501, "transfer-encoding bodies are not supported")
+    try:
+        length = int(headers.get("content-length") or 0)
+    except ValueError:
+        raise BadRequest(400, "malformed content-length")
+    if length < 0:
+        raise BadRequest(400, "negative content-length")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(413, "request body too large")
+    consumed = head_end + 4 + length
+    if len(buffer) < consumed:
+        return None
+    path, _, query = target.partition("?")
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    request = Request(method=method, path=path, headers=headers, query=query)
+    return request, keep_alive, consumed
+
+
+def encode_response_head(
+    response: Response, *, body_length: int, keep_alive: bool
+) -> bytes:
+    """The status line + header block (through the blank line) as bytes."""
+    prefix = _STATUS_PREFIX.get(response.status)
+    if prefix is None:
+        prefix = (
+            f"HTTP/1.1 {response.status} Unknown\r\n".encode("ascii")
+            + _SERVER_HEADER
+        )
+    parts = [
+        prefix,
+        b"Content-Type: ",
+        response.content_type.encode("latin-1"),
+        b"\r\nContent-Length: ",
+        str(body_length).encode("ascii"),
+        b"\r\n",
+    ]
+    for name, value in response.headers:
+        parts.append(f"{name}: {value}\r\n".encode("latin-1"))
+    parts.append(
+        b"Connection: keep-alive\r\n\r\n" if keep_alive else b"Connection: close\r\n\r\n"
+    )
+    return b"".join(parts)
+
+
+class _Connection:
+    """Per-socket state: buffers, liveness, and framing position."""
+
+    __slots__ = (
+        "sock",
+        "rbuf",
+        "wbuf",
+        "last_activity",
+        "close_after_flush",
+        "blocked",
+        "closed",
+        "want_write",
+    )
+
+    def __init__(self, sock: socket.socket, now: float):
+        self.sock = sock
+        self.rbuf = bytearray()
+        self.wbuf = bytearray()
+        self.last_activity = now
+        #: flush the write buffer, then close (Connection: close, errors).
+        self.close_after_flush = False
+        #: a request from this connection is off-loop (reload in a
+        #: worker thread); no further pipelined parsing until it answers.
+        self.blocked = False
+        self.closed = False
+        self.want_write = False
+
+
+class EventLoopServer:
+    """Single-threaded non-blocking HTTP server over one ServeApp."""
+
+    def __init__(
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sock: socket.socket | None = None,
+        *,
+        idle_timeout: float = IDLE_TIMEOUT_SECONDS,
+    ):
+        self.app = app
+        self.idle_timeout = idle_timeout
+        self._listener = sock if sock is not None else bind_listener(host, port)
+        self._listener.setblocking(False)
+        self._conns: dict[int, _Connection] = {}
+        self._completed: deque = deque()
+        self._completed_lock = threading.Lock()
+        self._offloads = 0
+        self._stop_requested = False
+        self._thread: threading.Thread | None = None
+        self._wakeup_r, self._wakeup_w = os.pipe()
+        os.set_blocking(self._wakeup_r, False)
+        os.set_blocking(self._wakeup_w, False)
+        self._pipe_open = True
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._listener.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "EventLoopServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="repro-evloop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Request a drain and join the serving thread.
+
+        Safe on a never-started server: the loop owns FD teardown only
+        once it runs, so here we release the listener and wakeup pipe
+        ourselves when no serve thread ever existed.
+        """
+        self._stop_requested = True
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=DRAIN_TIMEOUT_SECONDS + 5.0)
+            self._thread = None
+        elif self._pipe_open:
+            self._pipe_open = False
+            self._listener.close()
+            os.close(self._wakeup_r)
+            os.close(self._wakeup_w)
+
+    def run_forever(self) -> int:
+        """Serve on the calling thread until SIGTERM/SIGINT; drain; 0."""
+
+        def request_stop(signum: int, frame: object) -> None:
+            self._stop_requested = True
+            self._wake()
+
+        previous = {
+            sig: signal.signal(sig, request_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            self._serve_loop()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        return 0
+
+    def _wake(self) -> None:
+        if not self._pipe_open:
+            return
+        try:
+            os.write(self._wakeup_w, b"\x00")
+        except (BlockingIOError, OSError):
+            pass
+
+    # -- the loop ----------------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        registry = self.app.registry
+        lag = registry.histogram("serve.loop.lag_seconds")
+        selector = selectors.DefaultSelector()
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        selector.register(self._wakeup_r, selectors.EVENT_READ, "wakeup")
+        self._selector = selector
+        listener_open = True
+        sweep_step = min(1.0, max(0.05, self.idle_timeout / 4.0))
+        next_sweep = time.monotonic() + sweep_step
+        drain_deadline: float | None = None
+        try:
+            while True:
+                timeout = 0.05 if self._stop_requested else min(
+                    1.0, max(0.01, next_sweep - time.monotonic())
+                )
+                events = selector.select(timeout)
+                woke = time.perf_counter()
+                for key, _mask in events:
+                    if key.data is None:
+                        self._accept_burst(selector, registry)
+                    elif key.data == "wakeup":
+                        self._drain_wakeups(selector)
+                    else:
+                        self._service_connection(selector, key.data, _mask)
+                if events:
+                    registry.counter("serve.loop.wakeups").inc()
+                    lag.observe(time.perf_counter() - woke)
+                now = time.monotonic()
+                if self._stop_requested:
+                    if listener_open:
+                        selector.unregister(self._listener)
+                        self._listener.close()
+                        listener_open = False
+                        drain_deadline = now + DRAIN_TIMEOUT_SECONDS
+                    self._drain_step(selector)
+                    if (not self._conns and self._offloads == 0) or (
+                        drain_deadline is not None and now >= drain_deadline
+                    ):
+                        break
+                elif now >= next_sweep:
+                    self._sweep_idle(selector, now)
+                    next_sweep = now + sweep_step
+                    registry.gauge("serve.loop.connections").set(len(self._conns))
+        finally:
+            for conn in list(self._conns.values()):
+                self._close(selector, conn)
+            if listener_open:
+                selector.unregister(self._listener)
+                self._listener.close()
+            selector.unregister(self._wakeup_r)
+            selector.close()
+            self._pipe_open = False
+            os.close(self._wakeup_r)
+            os.close(self._wakeup_w)
+
+    def _accept_burst(self, selector, registry) -> None:
+        """Accept everything queued; the burst size proxies queue depth."""
+        burst = 0
+        now = time.monotonic()
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                break
+            burst += 1
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(sock, now)
+            self._conns[sock.fileno()] = conn
+            selector.register(sock, selectors.EVENT_READ, conn)
+        if burst:
+            registry.counter("serve.loop.accepts").inc(burst)
+            gauge = registry.gauge("serve.loop.accept_burst")
+            if burst > gauge.value:
+                gauge.set(burst)
+
+    def _service_connection(self, selector, conn: _Connection, mask: int) -> None:
+        if conn.closed:
+            return
+        if mask & selectors.EVENT_WRITE:
+            self._flush(selector, conn)
+        if conn.closed or not (mask & selectors.EVENT_READ):
+            return
+        try:
+            chunk = conn.sock.recv(RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(selector, conn)
+            return
+        if not chunk:
+            self._close(selector, conn)
+            return
+        conn.last_activity = time.monotonic()
+        conn.rbuf += chunk
+        self._process_buffer(selector, conn)
+
+    def _process_buffer(self, selector, conn: _Connection) -> None:
+        """Dispatch every complete request buffered on *conn*, in order."""
+        while not conn.blocked and not conn.closed and not conn.close_after_flush:
+            try:
+                parsed = parse_request(conn.rbuf)
+            except BadRequest as error:
+                self.app.registry.counter("serve.loop.bad_requests").inc()
+                response = Response(
+                    error.status, _error_body(error.status, error.message)
+                )
+                conn.rbuf.clear()
+                self._queue_response(
+                    selector, conn, "GET", response, keep_alive=False
+                )
+                return
+            if parsed is None:
+                return
+            request, keep_alive, consumed = parsed
+            del conn.rbuf[:consumed]
+            if request.method in ("GET", "HEAD"):
+                response = self.app.handle_fast(request)
+                self._queue_response(
+                    selector, conn, request.method, response, keep_alive
+                )
+            else:
+                self._offload(conn, request, keep_alive)
+
+    # -- off-loop requests (POST /admin/reload) ----------------------------------
+
+    def _offload(self, conn: _Connection, request: Request, keep_alive: bool) -> None:
+        """Run a mutating request on a worker thread; the loop keeps reading.
+
+        The owning connection stops parsing further pipelined requests
+        until the response lands (response order), but every *other*
+        connection is served meanwhile — a reload rebuilds a whole
+        study and must never stall reads.
+        """
+        conn.blocked = True
+        self._offloads += 1
+        self.app.registry.counter("serve.loop.offloads").inc()
+
+        def work() -> None:
+            try:
+                response = self.app.handle(request)
+            except Exception:  # never kill the loop's bookkeeping silently
+                response = Response(500, _error_body(500, "internal error"))
+                self.app.registry.counter("serve.loop.offload_errors").inc()
+            with self._completed_lock:
+                self._completed.append((conn, request, response, keep_alive))
+            self._wake()
+
+        threading.Thread(target=work, name="evloop-offload", daemon=True).start()
+
+    def _drain_wakeups(self, selector) -> None:
+        try:
+            while os.read(self._wakeup_r, 4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        while True:
+            with self._completed_lock:
+                if not self._completed:
+                    break
+                conn, request, response, keep_alive = self._completed.popleft()
+            self._offloads -= 1
+            if conn.closed:
+                continue
+            conn.blocked = False
+            self._queue_response(selector, conn, request.method, response, keep_alive)
+            if not conn.closed:
+                self._process_buffer(selector, conn)
+
+    # -- writing -----------------------------------------------------------------
+
+    def _queue_response(
+        self,
+        selector,
+        conn: _Connection,
+        method: str,
+        response: Response,
+        keep_alive: bool,
+    ) -> None:
+        body = response.body
+        head = encode_response_head(
+            response, body_length=len(body), keep_alive=keep_alive
+        )
+        if method == "HEAD" or response.status == 304:
+            body = b""
+        if not keep_alive:
+            conn.close_after_flush = True
+        if conn.wbuf:
+            conn.wbuf += head
+            conn.wbuf += body
+            return
+        total = len(head) + len(body)
+        try:
+            if body:
+                sent = conn.sock.sendmsg((head, body))
+            else:
+                sent = conn.sock.send(head)
+        except (BlockingIOError, InterruptedError):
+            sent = 0
+        except OSError:
+            self._close(selector, conn)
+            return
+        if sent < total:
+            remainder = head + body if sent == 0 else (head + body)[sent:]
+            conn.wbuf += remainder
+            self._set_write_interest(selector, conn, True)
+        elif conn.close_after_flush:
+            self._close(selector, conn)
+
+    def _flush(self, selector, conn: _Connection) -> None:
+        while conn.wbuf:
+            try:
+                sent = conn.sock.send(conn.wbuf)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close(selector, conn)
+                return
+            if sent == 0:
+                return
+            del conn.wbuf[:sent]
+            conn.last_activity = time.monotonic()
+        self._set_write_interest(selector, conn, False)
+        if conn.close_after_flush:
+            self._close(selector, conn)
+
+    def _set_write_interest(self, selector, conn: _Connection, want: bool) -> None:
+        if conn.want_write == want or conn.closed:
+            return
+        conn.want_write = want
+        events = selectors.EVENT_READ | (selectors.EVENT_WRITE if want else 0)
+        selector.modify(conn.sock, events, conn)
+
+    # -- teardown ----------------------------------------------------------------
+
+    def _close(self, selector, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.pop(conn.sock.fileno(), None)
+        try:
+            selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _sweep_idle(self, selector, now: float) -> None:
+        cutoff = now - self.idle_timeout
+        stale = [
+            conn
+            for conn in self._conns.values()
+            if conn.last_activity < cutoff and not conn.blocked
+        ]
+        for conn in stale:
+            self._close(selector, conn)
+        if stale:
+            self.app.registry.counter("serve.loop.idle_closed").inc(len(stale))
+
+    def _drain_step(self, selector) -> None:
+        """One drain pass: close every connection with nothing left to say.
+
+        A connection survives the pass only while it still owes bytes
+        (non-empty write buffer) or has a request off-loop; anything
+        else — including half-parsed pipelined input that will never
+        complete because the listener is gone — closes now.
+        """
+        for conn in list(self._conns.values()):
+            if not conn.wbuf and not conn.blocked:
+                self._close(selector, conn)

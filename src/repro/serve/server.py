@@ -15,12 +15,16 @@ bytes and handles lifecycle:
 
 ``run_server`` is the CLI's ``repro serve``: it runs the study (warm
 from the persistent build cache when one is configured), snapshots it,
-and serves until signalled.
+and serves until signalled — through whichever transport
+``--transport`` named (see :mod:`repro.serve.transport`) and, with
+``--processes N > 1``, behind the forking
+:class:`~repro.serve.supervisor.Supervisor`.
 """
 
 from __future__ import annotations
 
 import signal
+import socket
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -51,8 +55,9 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
         length = int(headers.get("content-length", 0) or 0)
         if length:
             self.rfile.read(length)
+        path, _, query = self.path.partition("?")
         response = self.app.handle(
-            Request(method=method, path=self.path.split("?", 1)[0], headers=headers)
+            Request(method=method, path=path, headers=headers, query=query)
         )
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
@@ -77,15 +82,51 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
         obs.counter_inc("serve.http.log_lines")
 
 
+class _SharedSocketHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that can adopt a pre-bound listening socket.
+
+    The supervisor's workers may share one inherited non-blocking
+    listener across processes; an accept another worker already won
+    then raises ``BlockingIOError`` (swallowed by socketserver's
+    ``_handle_request_noblock``), and a connection accepted from a
+    non-blocking listener must be re-blocked before the handler's
+    ``rfile``/``wfile`` can use it.
+    """
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        request.setblocking(True)
+        return request, client_address
+
+
 class StudyServer:
     """A threaded HTTP server bound to one :class:`ServeApp`."""
 
-    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sock: socket.socket | None = None,
+    ):
         self.app = app
         handler = type(
             "BoundAppRequestHandler", (_AppRequestHandler,), {"app": app}
         )
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        if sock is None:
+            self._httpd = _SharedSocketHTTPServer((host, port), handler)
+        else:
+            # Adopt an already-bound, already-listening socket (the
+            # supervisor's inherited-listener fallback): skip
+            # bind/activate and fill in what server_bind would have.
+            address = sock.getsockname()
+            self._httpd = _SharedSocketHTTPServer(
+                address[:2], handler, bind_and_activate=False
+            )
+            self._httpd.socket = sock
+            self._httpd.server_address = address[:2]
+            self._httpd.server_name = address[0]
+            self._httpd.server_port = address[1]
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
 
@@ -112,9 +153,13 @@ class StudyServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting, join the serving thread, close the socket."""
-        self._httpd.shutdown()
+        """Stop accepting, join the serving thread, close the socket.
+
+        Safe on a never-started server too (``shutdown()`` would block
+        forever waiting for a serve loop that isn't running).
+        """
         if self._thread is not None:
+            self._httpd.shutdown()
             self._thread.join(timeout=DRAIN_TIMEOUT_SECONDS)
             self._thread = None
         self._httpd.server_close()
@@ -152,16 +197,14 @@ class StudyServer:
         return 0
 
     def _drain(self) -> None:
-        """Wait (bounded) until no request holds an admission slot."""
-        deadline = threading.Event()
-        slots = self.app._slots
+        """Wait (bounded) until the app reports no request in flight."""
+        pause = threading.Event()
         waited = 0.0
         step = 0.02
         while waited < DRAIN_TIMEOUT_SECONDS:
-            # All capacity back in the semaphore == nothing in flight.
-            if slots._value == self.app.capacity:  # noqa: SLF001 (own app)
+            if self.app.idle():
                 return
-            deadline.wait(step)
+            pause.wait(step)
             waited += step
 
 
@@ -183,6 +226,12 @@ class ServeConfig:
     build_cache_dir: str = ""
     #: analysis worker processes for the (re)build itself.
     build_workers: int = 1
+    #: serve transport: "threaded" (thread per connection) or "evloop"
+    #: (single-threaded selectors event loop).
+    transport: str = "threaded"
+    #: serving processes; > 1 forks a SO_REUSEPORT worker fleet after
+    #: the snapshot is built (copy-on-write shared study pages).
+    processes: int = 1
 
 
 def _load_snapshot(config: ServeConfig, generation: int):
@@ -229,7 +278,6 @@ def run_server(config: ServeConfig) -> int:
     import sys
 
     app = build_app(config)
-    server = StudyServer(app, host=config.host, port=config.port)
     snapshot = app.holder.get()
     print(
         f"repro-serve {__version__}: study seed={config.seed!r} "
@@ -237,10 +285,34 @@ def run_server(config: ServeConfig) -> int:
         f"roots={snapshot.meta.get('roots', 0)}",
         file=sys.stderr,
     )
-    print(
-        f"serving on http://{server.host}:{server.port}/v1/health "
-        f"(capacity={app.capacity}, cache={app.cache.capacity})",
-        file=sys.stderr,
-    )
     sys.stderr.flush()
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"serving on http://{host}:{port}/v1/health "
+            f"(transport={config.transport}, processes={config.processes}, "
+            f"capacity={app.capacity}, cache={app.cache.capacity})",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
+    if config.processes > 1:
+        from repro.serve.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            app,
+            host=config.host,
+            port=config.port,
+            processes=config.processes,
+            transport=config.transport,
+            ready=announce,
+        )
+        return supervisor.run_forever()
+
+    from repro.serve.transport import create_server
+
+    server = create_server(
+        config.transport, app, host=config.host, port=config.port
+    )
+    announce(server.host, server.port)
     return server.run_forever()

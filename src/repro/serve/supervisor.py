@@ -1,0 +1,322 @@
+"""Multi-process serving: fork workers after the snapshot is built.
+
+The study snapshot is immutable and big; the serve transports are
+single-process. This module multiplies them: the parent builds the
+:class:`~repro.serve.app.ServeApp` (snapshot, routes, caches) *once*,
+then ``os.fork()``s N workers — every page of the snapshot is shared
+copy-on-write, so worker number is decoupled from memory. Each worker
+runs its own transport instance (event loop by default) with its own
+per-process, generation-keyed response LRU.
+
+Two listening arrangements, best first:
+
+* **SO_REUSEPORT** (Linux, BSDs): every worker binds its *own*
+  listening socket on the same address and the kernel load-balances
+  new connections across them — no accept contention, no thundering
+  herd. The parent briefly binds a reservation socket first so port 0
+  resolves to one concrete port every worker can bind, and closes it
+  once every worker has reported its own socket bound.
+* **Inherited listener** (fallback anywhere the option is missing):
+  the parent binds once and workers accept from the shared inherited
+  socket. Correct, just noisier under load.
+
+Lifecycle, all in the parent:
+
+* **SIGCHLD-driven restarts**: a worker that dies unexpectedly is
+  replaced, with exponential backoff per worker slot so a crash loop
+  can't fork-bomb the host.
+* **Coordinated drain**: SIGTERM/SIGINT forwards SIGTERM to every
+  worker; each drains in-flight requests via its transport's own
+  protocol and exits 0; the parent reaps them all (bounded wait,
+  SIGKILL stragglers) and exits 0 iff the whole fleet drained cleanly.
+
+Workers label their telemetry (``serve.worker.index`` /
+``serve.worker.pid`` gauges) so ``/v1/metrics`` identifies which
+worker answered — counters are naturally per-process after the fork.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import sys
+import time
+
+from repro.serve.app import ServeApp
+from repro.serve.transport import (
+    ReusePortUnavailable,
+    SO_REUSEPORT_AVAILABLE,
+    bind_listener,
+    create_server,
+)
+
+#: Bounded wait for the fleet to drain after a stop signal.
+DRAIN_TIMEOUT_SECONDS = 15.0
+
+#: Restart backoff: base * 2^(restarts-1), capped.
+BACKOFF_BASE_SECONDS = 0.1
+BACKOFF_CAP_SECONDS = 5.0
+
+#: How long the parent waits for every worker to report its listener
+#: bound before closing the port reservation.
+BIND_SYNC_TIMEOUT_SECONDS = 30.0
+
+
+class Supervisor:
+    """Fork-based worker fleet over one prebuilt ServeApp."""
+
+    def __init__(
+        self,
+        app: ServeApp,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processes: int = 2,
+        transport: str = "evloop",
+        reuse_port: bool | None = None,
+        notify_fd: int | None = None,
+        ready=None,
+        drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
+    ):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.app = app
+        self.host = host
+        self.requested_port = port
+        self.processes = processes
+        self.transport = transport
+        #: None = auto-detect; False forces the inherited-listener path.
+        self.reuse_port = reuse_port
+        self.notify_fd = notify_fd
+        self.ready = ready
+        self.drain_timeout = drain_timeout
+        self.port: int | None = None
+        self._workers: dict[int, int] = {}  # pid → worker index
+        self._restarts: dict[int, int] = {}  # worker index → restart count
+        self._shared_listener = None
+        self._reservation = None
+        self._stop_requested = False
+        self._drain_failed = False
+        self._sync_w: int | None = None
+
+    # -- the parent --------------------------------------------------------------
+
+    def run_forever(self) -> int:
+        """Bind, fork the fleet, babysit it until signalled; reap; exit."""
+        using_reuse_port = self._decide_reuse_port()
+        if using_reuse_port:
+            self._reservation = bind_listener(
+                self.host, self.requested_port, reuse_port=True
+            )
+            self.port = self._reservation.getsockname()[1]
+        else:
+            self._shared_listener = bind_listener(self.host, self.requested_port)
+            self._shared_listener.setblocking(False)
+            self.port = self._shared_listener.getsockname()[1]
+        self.app.registry.gauge("serve.supervisor.processes").set(self.processes)
+
+        sync_r, sync_w = os.pipe()
+        self._sync_w = sync_w
+        previous = {
+            sig: signal.signal(sig, self._request_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            for index in range(self.processes):
+                self._spawn(index, using_reuse_port)
+            os.close(sync_w)
+            self._sync_w = None
+            self._await_worker_binds(sync_r)
+            if self._reservation is not None:
+                # Every worker holds its own SO_REUSEPORT socket now;
+                # the reservation would otherwise black-hole its share
+                # of new connections into a queue nobody accepts from.
+                self._reservation.close()
+                self._reservation = None
+            self._announce(using_reuse_port)
+            self._babysit(using_reuse_port)
+        finally:
+            os.close(sync_r)
+            if self._sync_w is not None:
+                os.close(self._sync_w)
+            if self._reservation is not None:
+                self._reservation.close()
+                self._reservation = None
+            if self._shared_listener is not None:
+                self._shared_listener.close()
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        return 1 if self._drain_failed else 0
+
+    def _decide_reuse_port(self) -> bool:
+        if self.reuse_port is False:
+            return False
+        try:
+            probe = bind_listener(self.host, 0, reuse_port=True)
+        except ReusePortUnavailable:
+            if self.reuse_port is True:
+                raise
+            return False
+        probe.close()
+        return SO_REUSEPORT_AVAILABLE
+
+    def _request_stop(self, signum: int, frame: object) -> None:
+        self._stop_requested = True
+        for pid in list(self._workers):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    def _spawn(self, index: int, using_reuse_port: bool) -> None:
+        if self._stop_requested:
+            return
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                status = self._worker_main(index, using_reuse_port)
+            except BaseException:  # noqa: BLE001 — a worker never re-enters the parent
+                import traceback
+
+                traceback.print_exc()
+            finally:
+                os._exit(status)
+        self._workers[pid] = index
+
+    def _await_worker_binds(self, sync_r: int) -> None:
+        """Block until every worker wrote its bound-byte (bounded)."""
+        pending = self.processes
+        deadline = time.monotonic() + BIND_SYNC_TIMEOUT_SECONDS
+        while pending > 0 and time.monotonic() < deadline:
+            readable, _, _ = select.select([sync_r], [], [], 0.2)
+            if not readable:
+                if self._stop_requested:
+                    return
+                continue
+            data = os.read(sync_r, pending)
+            if not data:  # every write end closed — workers are gone
+                return
+            pending -= len(data)
+
+    def _announce(self, using_reuse_port: bool) -> None:
+        mode = "SO_REUSEPORT" if using_reuse_port else "shared inherited listener"
+        if self.notify_fd is not None:
+            os.write(self.notify_fd, f"PORT {self.port}\n".encode("ascii"))
+            os.close(self.notify_fd)
+            self.notify_fd = None
+        if self.ready is not None:
+            self.ready(self.host, self.port)
+        print(
+            f"repro-serve supervisor: {self.processes} x {self.transport} "
+            f"worker(s) on {self.host}:{self.port} via {mode}",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
+    def _babysit(self, using_reuse_port: bool) -> None:
+        """Reap exits; restart crashes with backoff; drain on stop."""
+        while self._workers:
+            if self._stop_requested:
+                self._reap_draining()
+                return
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except ChildProcessError:
+                self._workers.clear()
+                return
+            except InterruptedError:
+                continue
+            index = self._workers.pop(pid, None)
+            if index is None:
+                continue
+            code = self._exit_code(status)
+            if self._stop_requested:
+                if code != 0:
+                    self._drain_failed = True
+                continue
+            # Unexpected death: restart the slot with exponential backoff.
+            self._restarts[index] = self._restarts.get(index, 0) + 1
+            self.app.registry.counter("serve.supervisor.restarts").inc()
+            delay = min(
+                BACKOFF_CAP_SECONDS,
+                BACKOFF_BASE_SECONDS * (2 ** (self._restarts[index] - 1)),
+            )
+            print(
+                f"repro-serve supervisor: worker {index} (pid {pid}) exited "
+                f"{code}; restarting in {delay:.2f}s",
+                file=sys.stderr,
+            )
+            self._sleep_interruptibly(delay)
+            self._spawn(index, using_reuse_port)
+
+    def _reap_draining(self) -> None:
+        """Collect the fleet after a stop signal; SIGKILL past deadline."""
+        for pid in list(self._workers):  # spawned-after-signal stragglers
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + self.drain_timeout
+        while self._workers and time.monotonic() < deadline:
+            try:
+                pid, status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                self._workers.clear()
+                return
+            if pid == 0:
+                time.sleep(0.02)
+                continue
+            if self._workers.pop(pid, None) is not None:
+                if self._exit_code(status) != 0:
+                    self._drain_failed = True
+        for pid in list(self._workers):
+            self._drain_failed = True
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+            self._workers.pop(pid, None)
+
+    def _sleep_interruptibly(self, delay: float) -> None:
+        deadline = time.monotonic() + delay
+        while not self._stop_requested and time.monotonic() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+
+    @staticmethod
+    def _exit_code(status: int) -> int:
+        if os.WIFEXITED(status):
+            return os.WEXITSTATUS(status)
+        if os.WIFSIGNALED(status):
+            return 128 + os.WTERMSIG(status)
+        return 1
+
+    # -- the workers -------------------------------------------------------------
+
+    def _worker_main(self, index: int, using_reuse_port: bool) -> int:
+        """Runs in the forked child; never returns to the parent's code."""
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+        if using_reuse_port:
+            # Close the inherited copy of the parent's reservation
+            # socket first — a listening FD nobody accepts from would
+            # black-hole its kernel-balanced share of connections —
+            # then bind this worker's own load-balanced listener.
+            if self._reservation is not None:
+                self._reservation.close()
+                self._reservation = None
+            listener = bind_listener(self.host, self.port, reuse_port=True)
+        else:
+            listener = self._shared_listener
+        if self._sync_w is not None:
+            os.write(self._sync_w, b"B")
+            os.close(self._sync_w)
+            self._sync_w = None
+        self.app.registry.gauge("serve.worker.index").set(index)
+        self.app.registry.gauge("serve.worker.pid").set(os.getpid())
+        server = create_server(
+            self.transport, self.app, host=self.host, port=self.port, sock=listener
+        )
+        return server.run_forever()

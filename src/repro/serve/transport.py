@@ -1,0 +1,105 @@
+"""Transport registry and listener plumbing for the serve layer.
+
+PR 5 hard-wired :class:`~repro.serve.server.StudyServer` (one thread
+per connection) as *the* server. This module makes the transport a
+named, swappable choice behind one constructor shape so the CLI, the
+supervisor and the benchmark all build servers the same way::
+
+    server = create_server("evloop", app, host=..., port=...)
+
+Every transport exposes the same lifecycle: ``host``/``port``
+properties, ``start()``/``stop()`` for background serving (tests and
+the benchmark), and ``run_forever()`` — serve on the calling thread
+until SIGTERM/SIGINT, drain in-flight work, return an exit code.
+
+The listener helpers also live here because multi-process serving is
+a *binding* question: :func:`bind_listener` can bind with
+``SO_REUSEPORT`` (several processes each own a listening socket on the
+same address; the kernel load-balances new connections across them) and
+raises :class:`ReusePortUnavailable` where the platform lacks the
+option, which is the supervisor's cue to fall back to one shared
+inherited listener.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.serve.app import ServeApp
+
+#: Listen backlog for every transport: deep enough that a multi-client
+#: burst queues in the kernel instead of getting connection-refused.
+LISTEN_BACKLOG = 512
+
+#: Whether this platform exposes SO_REUSEPORT at all (Linux >= 3.9 and
+#: the BSDs do; the constant is missing elsewhere).
+SO_REUSEPORT_AVAILABLE = hasattr(socket, "SO_REUSEPORT")
+
+
+class ReusePortUnavailable(OSError):
+    """Raised when a SO_REUSEPORT bind is requested but unsupported."""
+
+
+def bind_listener(
+    host: str, port: int, *, reuse_port: bool = False
+) -> socket.socket:
+    """Create, bind and activate one TCP listening socket.
+
+    With ``reuse_port`` the socket is bound with ``SO_REUSEPORT`` so
+    other sockets (in other processes) can bind the same address and
+    share the accept load. Raises :class:`ReusePortUnavailable` if the
+    platform has no such option or the kernel rejects it.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            if not SO_REUSEPORT_AVAILABLE:
+                raise ReusePortUnavailable("socket.SO_REUSEPORT not defined")
+            try:
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            except OSError as error:
+                raise ReusePortUnavailable(str(error)) from error
+        listener.bind((host, port))
+        listener.listen(LISTEN_BACKLOG)
+    except BaseException:
+        listener.close()
+        raise
+    return listener
+
+
+def transports() -> dict[str, Callable]:
+    """name → server class, imported lazily to dodge module cycles."""
+    from repro.serve.eventloop import EventLoopServer
+    from repro.serve.server import StudyServer
+
+    return {"threaded": StudyServer, "evloop": EventLoopServer}
+
+
+#: The transport names the CLI accepts.
+TRANSPORT_NAMES: tuple[str, ...] = ("threaded", "evloop")
+
+
+def create_server(
+    transport: str,
+    app: "ServeApp",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    sock: socket.socket | None = None,
+):
+    """Instantiate the named transport over *app*.
+
+    ``sock`` hands the server an already-bound, already-listening
+    socket (the supervisor's inherited-listener fallback); otherwise
+    the transport binds ``host:port`` itself.
+    """
+    registry = transports()
+    try:
+        factory = registry[transport]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown transport {transport!r} (known: {known})")
+    return factory(app, host=host, port=port, sock=sock)

@@ -1,0 +1,264 @@
+"""Multi-process serving over a real study: fleets, drains, fallbacks.
+
+Every test forks a real :class:`~repro.serve.Supervisor` (the bench and
+the CLI use the same entry point) over the shared reduced-scale study,
+talks to it over loopback HTTP, and reaps it — asserting the two
+properties the ISSUE cares most about:
+
+* a coordinated SIGTERM **never truncates a response body** and the
+  fleet exits 0, even when the signal lands mid-burst;
+* worker fleets behave the same whether the kernel balances them via
+  ``SO_REUSEPORT`` or they accept from one shared inherited listener
+  (the fallback path, forced here via ``reuse_port=False``).
+"""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeApp, SnapshotHolder, StudySnapshot, Supervisor
+
+DRAIN_EXIT_DEADLINE = 30.0
+
+
+@pytest.fixture(scope="module")
+def snapshot(study):
+    return StudySnapshot.from_result(study, generation=0)
+
+
+def _fork_fleet(snapshot, *, transport, processes, reuse_port=None):
+    """Fork a supervisor fleet; returns (pid, port)."""
+    app = ServeApp(SnapshotHolder(snapshot), capacity=64)
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # the supervisor: never returns into pytest
+        os.close(read_fd)
+        status = 1
+        try:
+            status = Supervisor(
+                app,
+                processes=processes,
+                transport=transport,
+                reuse_port=reuse_port,
+                notify_fd=write_fd,
+            ).run_forever()
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    line = b""
+    while not line.endswith(b"\n"):
+        chunk = os.read(read_fd, 64)
+        if not chunk:
+            raise RuntimeError("supervisor died before announcing its port")
+        line += chunk
+    os.close(read_fd)
+    return pid, int(line.split()[1])
+
+
+def _reap(pid: int) -> int:
+    """waitpid with a deadline (the fleet must not wedge the suite)."""
+    deadline = time.monotonic() + DRAIN_EXIT_DEADLINE
+    while time.monotonic() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.05)
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    raise AssertionError("supervisor did not exit within the drain deadline")
+
+
+def _get(port: int, path: str, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def _worker_pids(port: int, want: int, attempts: int = 80) -> set[int]:
+    """Fresh connections until /v1/metrics has shown *want* worker pids."""
+    pids: set[int] = set()
+    for _ in range(attempts):
+        if len(pids) >= want:
+            break
+        try:
+            status, _, body = _get(port, "/v1/metrics")
+        except (OSError, http.client.HTTPException):
+            # a connection balanced onto a just-killed worker resets;
+            # the supervisor is restarting it — keep sampling.
+            time.sleep(0.05)
+            continue
+        if status == 200:
+            pids.add(int(json.loads(body)["gauges"].get("serve.worker.pid", 0)))
+    return pids
+
+
+class _BurstClient(threading.Thread):
+    """Keep-alive GET loop that records any truncated response.
+
+    A connection error *between* requests is the expected drain
+    behaviour; a short read inside a response body is the bug the
+    drain protocol exists to prevent.
+    """
+
+    def __init__(self, port: int, path: str, expected_body: bytes):
+        super().__init__(daemon=True)
+        self.port = port
+        self.path = path
+        self.expected_body = expected_body
+        self.completed = 0
+        self.truncated: list[str] = []
+
+    def run(self) -> None:
+        while True:
+            try:
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", self.port, timeout=10
+                )
+                try:
+                    while True:
+                        connection.request("GET", self.path)
+                        response = connection.getresponse()
+                        body = response.read()
+                        declared = int(response.getheader("Content-Length", -1))
+                        if len(body) != declared or body != self.expected_body:
+                            self.truncated.append(
+                                f"{len(body)} bytes of {declared}"
+                            )
+                            return
+                        self.completed += 1
+                finally:
+                    connection.close()
+            except (OSError, http.client.HTTPException):
+                # refused => the fleet is gone: a clean drain boundary.
+                try:
+                    probe = http.client.HTTPConnection(
+                        "127.0.0.1", self.port, timeout=0.5
+                    )
+                    probe.request("GET", "/v1/health")
+                    probe.getresponse().read()
+                    probe.close()
+                except (OSError, http.client.HTTPException):
+                    return
+
+
+@pytest.mark.parametrize(
+    ("transport", "processes"),
+    [("threaded", 1), ("evloop", 1), ("evloop", 2)],
+)
+class TestFleetServes:
+    def test_sweep_etags_and_drain(self, snapshot, study, transport, processes):
+        from repro.analysis.report import to_json, to_json_bytes
+
+        export = to_json(study)
+        pid, port = _fork_fleet(
+            snapshot, transport=transport, processes=processes
+        )
+        try:
+            status, headers, body = _get(port, "/v1/tables/1")
+            assert status == 200
+            assert body == to_json_bytes(export["tables"]["1"])
+            etag = headers["ETag"]
+            status, _, revalidated = _get(
+                port, "/v1/tables/1", headers={"If-None-Match": etag}
+            )
+            assert status == 304 and revalidated == b""
+            for path in ("/v1/roots", "/v1/figures/2", "/v1/health"):
+                status, _, body = _get(port, path)
+                assert status == 200 and body, path
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
+
+
+class TestReusePortFleet:
+    def test_two_workers_both_answer(self, snapshot):
+        pid, port = _fork_fleet(snapshot, transport="evloop", processes=2)
+        try:
+            pids = _worker_pids(port, want=2)
+            assert len(pids) == 2, f"kernel never balanced to both: {pids}"
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
+
+    def test_crashed_worker_is_replaced(self, snapshot):
+        pid, port = _fork_fleet(snapshot, transport="evloop", processes=2)
+        try:
+            victims = _worker_pids(port, want=2)
+            assert victims
+            os.kill(sorted(victims)[0], signal.SIGKILL)
+            # backoff is 0.1s for the first restart; then the fleet
+            # must again answer from two live workers.
+            deadline = time.monotonic() + 15
+            replaced = set()
+            while time.monotonic() < deadline and len(replaced) < 2:
+                replaced = _worker_pids(port, want=2, attempts=10)
+            assert len(replaced) == 2
+            assert replaced != victims
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
+
+
+class TestInheritedListenerFallback:
+    def test_forced_fallback_serves_and_drains(self, snapshot):
+        pid, port = _fork_fleet(
+            snapshot, transport="evloop", processes=2, reuse_port=False
+        )
+        try:
+            for _ in range(8):
+                status, _, body = _get(port, "/v1/tables/3")
+                assert status == 200 and body
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
+
+    def test_threaded_transport_on_shared_listener(self, snapshot):
+        pid, port = _fork_fleet(
+            snapshot, transport="threaded", processes=2, reuse_port=False
+        )
+        try:
+            status, headers, body = _get(port, "/v1/roots")
+            assert status == 200 and body
+            assert "ETag" in headers
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
+
+
+@pytest.mark.parametrize(
+    ("transport", "processes"),
+    [("threaded", 1), ("evloop", 1), ("evloop", 2)],
+)
+class TestDrainMidBurst:
+    def test_sigterm_mid_burst_never_truncates(
+        self, snapshot, transport, processes
+    ):
+        pid, port = _fork_fleet(
+            snapshot, transport=transport, processes=processes
+        )
+        _, _, expected = _get(port, "/v1/tables/1")
+        clients = [
+            _BurstClient(port, "/v1/tables/1", expected) for _ in range(4)
+        ]
+        for client in clients:
+            client.start()
+        # let the burst get going, then pull the rug.
+        time.sleep(0.5)
+        os.kill(pid, signal.SIGTERM)
+        exit_code = _reap(pid)
+        for client in clients:
+            client.join(timeout=15)
+        truncations = [t for client in clients for t in client.truncated]
+        completed = sum(client.completed for client in clients)
+        assert exit_code == 0, f"fleet exited {exit_code}"
+        assert not truncations, truncations
+        assert completed > 0, "burst never completed a single request"

@@ -353,3 +353,88 @@ class TestSnapshotSwapRace:
         for thread in threads:
             thread.join()
         assert not failures
+
+
+class TestInFlightAccounting:
+    """The public drain API both transports' drain loops poll."""
+
+    def test_starts_idle(self, app):
+        assert app.in_flight() == 0
+        assert app.idle() is True
+
+    def test_in_flight_visible_during_a_request(self):
+        gate = threading.Event()
+        observed = []
+
+        def slow_reloader():
+            gate.wait(timeout=10)
+            return make_snapshot(1, marker="v1")
+
+        app = ServeApp(SnapshotHolder(make_snapshot()), reloader=slow_reloader)
+        worker = threading.Thread(
+            target=lambda: observed.append(
+                app.handle(Request("POST", "/admin/reload"))
+            )
+        )
+        worker.start()
+        deadline = threading.Event()
+        waited = 0.0
+        while app.in_flight() == 0 and waited < 5.0:
+            deadline.wait(0.01)
+            waited += 0.01
+        assert app.in_flight() == 1
+        assert app.idle() is False
+        gate.set()
+        worker.join(timeout=10)
+        assert observed and observed[0].status == 200
+        assert app.in_flight() == 0
+        assert app.idle() is True
+
+    def test_counter_recovers_after_shed(self, app):
+        for _ in range(app.capacity):
+            app._slots.acquire(blocking=False)
+        assert app.handle(Request("GET", "/v1/health")).status == 503
+        for _ in range(app.capacity):
+            app._slots.release()
+        assert app.in_flight() == 0 and app.idle()
+
+    def test_fast_lane_counts_too_on_cache_miss(self, app):
+        # handle_fast falls through to handle() on a cold cache; either
+        # way the request must not leak in-flight accounting.
+        assert app.handle_fast(Request("GET", "/v1/tables/1")).status == 200
+        assert app.handle_fast(Request("GET", "/v1/tables/1")).status == 200
+        assert app.in_flight() == 0
+
+
+class TestQueryString:
+    """Satellite: the raw query rides on Request without forking ETags."""
+
+    def test_query_defaults_empty(self):
+        assert Request("GET", "/v1/health").query == ""
+
+    def test_existing_routes_ignore_query_etag_stably(self, app):
+        plain = app.handle(Request("GET", "/v1/tables/1"))
+        with_query = app.handle(
+            Request("GET", "/v1/tables/1", query="limit=5&pretty=1")
+        )
+        assert plain.status == with_query.status == 200
+        assert plain.body == with_query.body
+        assert dict(plain.headers)["ETag"] == dict(with_query.headers)["ETag"]
+
+    def test_fast_lane_cache_key_ignores_query(self, app):
+        primed = app.handle_fast(Request("GET", "/v1/roots"))
+        etag = dict(primed.headers)["ETag"]
+        hit = app.handle_fast(
+            Request(
+                "GET",
+                "/v1/roots",
+                headers={"if-none-match": etag},
+                query="page=2",
+            )
+        )
+        assert hit.status == 304
+
+    def test_query_never_leaks_into_routing(self, app):
+        # "?…" split upstream by every transport; a path that still
+        # carries one must 404, not silently match a route.
+        assert app.handle(Request("GET", "/v1/health?x=1")).status == 404

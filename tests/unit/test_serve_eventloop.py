@@ -1,0 +1,348 @@
+"""Unit tests for the event-loop transport: framing, registry, live loop.
+
+The framing functions (``parse_request`` / ``encode_response_head``)
+are pure and tested byte-by-byte; the live-loop tests start a real
+:class:`EventLoopServer` on a loopback port over the hand-built
+snapshot from ``test_serve_app`` — no study build, still real sockets,
+keep-alive and pipelining.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.serve import (
+    EventLoopServer,
+    Request,
+    Response,
+    ServeApp,
+    SnapshotHolder,
+    StudyServer,
+    TRANSPORT_NAMES,
+    bind_listener,
+    create_server,
+)
+from repro.serve.eventloop import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    BadRequest,
+    encode_response_head,
+    parse_request,
+)
+
+from tests.unit.test_serve_app import make_snapshot
+
+GET_HEALTH = b"GET /v1/health HTTP/1.1\r\nHost: t\r\n\r\n"
+
+
+class TestParseRequest:
+    def test_complete_get(self):
+        parsed = parse_request(bytearray(GET_HEALTH))
+        assert parsed is not None
+        request, keep_alive, consumed = parsed
+        assert request.method == "GET"
+        assert request.path == "/v1/health"
+        assert request.headers["host"] == "t"
+        assert keep_alive is True
+        assert consumed == len(GET_HEALTH)
+
+    def test_incremental_feed_until_complete(self):
+        buffer = bytearray()
+        for offset in range(len(GET_HEALTH) - 1):
+            buffer.append(GET_HEALTH[offset])
+            assert parse_request(buffer) is None, f"complete at byte {offset}?"
+        buffer.append(GET_HEALTH[-1])
+        assert parse_request(buffer) is not None
+
+    def test_pipelined_requests_consume_in_order(self):
+        second = b"GET /v1/roots HTTP/1.1\r\n\r\n"
+        buffer = bytearray(GET_HEALTH + second)
+        request, _, consumed = parse_request(buffer)
+        assert request.path == "/v1/health"
+        del buffer[:consumed]
+        request, _, consumed = parse_request(buffer)
+        assert request.path == "/v1/roots"
+        assert consumed == len(second)
+        del buffer[:consumed]
+        assert parse_request(buffer) is None
+
+    def test_query_string_split_from_path(self):
+        raw = b"GET /v1/roots?limit=5&offset=2 HTTP/1.1\r\n\r\n"
+        request, _, _ = parse_request(bytearray(raw))
+        assert request.path == "/v1/roots"
+        assert request.query == "limit=5&offset=2"
+
+    def test_body_counted_into_consumed(self):
+        raw = b"POST /admin/reload HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        parsed = parse_request(bytearray(raw[:-1]))
+        assert parsed is None  # body incomplete
+        request, _, consumed = parse_request(bytearray(raw))
+        assert request.method == "POST"
+        assert consumed == len(raw)
+
+    @pytest.mark.parametrize(
+        ("version", "connection", "expected"),
+        [
+            ("HTTP/1.1", None, True),
+            ("HTTP/1.1", "close", False),
+            ("HTTP/1.1", "Close", False),
+            ("HTTP/1.0", None, False),
+            ("HTTP/1.0", "keep-alive", True),
+        ],
+    )
+    def test_keep_alive_negotiation(self, version, connection, expected):
+        raw = f"GET / {version}\r\n"
+        if connection is not None:
+            raw += f"Connection: {connection}\r\n"
+        _, keep_alive, _ = parse_request(bytearray(raw.encode() + b"\r\n"))
+        assert keep_alive is expected
+
+    @pytest.mark.parametrize(
+        ("raw", "status"),
+        [
+            (b"GARBAGE\r\n\r\n", 400),
+            (b"GET /too many parts HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\n badname: x\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n",
+                413,
+            ),
+        ],
+    )
+    def test_rejections(self, raw, status):
+        with pytest.raises(BadRequest) as excinfo:
+            parse_request(bytearray(raw))
+        assert excinfo.value.status == status
+
+    def test_oversized_header_block_with_no_terminator(self):
+        with pytest.raises(BadRequest) as excinfo:
+            parse_request(bytearray(b"X" * (MAX_HEADER_BYTES + 1)))
+        assert excinfo.value.status == 431
+
+    def test_oversized_header_block_with_terminator(self):
+        raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"y" * MAX_HEADER_BYTES + b"\r\n\r\n"
+        with pytest.raises(BadRequest) as excinfo:
+            parse_request(bytearray(raw))
+        assert excinfo.value.status == 431
+
+
+class TestEncodeResponseHead:
+    def test_basic_head(self):
+        head = encode_response_head(
+            Response(200, b"{}", headers=(("ETag", '"g0-ab"'),)),
+            body_length=2,
+            keep_alive=True,
+        )
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2\r\n" in head
+        assert b'ETag: "g0-ab"\r\n' in head
+        assert b"Connection: keep-alive\r\n" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_close_variant_and_unknown_status(self):
+        head = encode_response_head(
+            Response(299, b""), body_length=0, keep_alive=False
+        )
+        assert head.startswith(b"HTTP/1.1 299 ")
+        assert b"Connection: close\r\n" in head
+
+
+class TestTransportRegistry:
+    def test_known_names(self):
+        assert TRANSPORT_NAMES == ("threaded", "evloop")
+
+    def test_unknown_transport_raises(self):
+        app = ServeApp(SnapshotHolder(make_snapshot()))
+        with pytest.raises(ValueError, match="unknown transport"):
+            create_server("gevent", app)
+
+    def test_registry_builds_each_transport(self):
+        app = ServeApp(SnapshotHolder(make_snapshot()))
+        threaded = create_server("threaded", app)
+        assert isinstance(threaded, StudyServer)
+        threaded.stop()
+        evloop = create_server("evloop", app)
+        assert isinstance(evloop, EventLoopServer)
+        evloop.stop()
+
+    def test_bind_listener_resolves_port_zero(self):
+        listener = bind_listener("127.0.0.1", 0)
+        try:
+            assert listener.getsockname()[1] > 0
+        finally:
+            listener.close()
+
+
+def _recv_response(
+    sock: socket.socket, leftover: bytearray | None = None
+) -> tuple[bytes, bytes]:
+    """Read exactly one response (head, body) off a keep-alive socket.
+
+    Pass the same ``leftover`` bytearray across calls when responses
+    are pipelined — bytes past the parsed response stay in it.
+    """
+    received = leftover if leftover is not None else bytearray()
+    while b"\r\n\r\n" not in received:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("closed before headers completed")
+        received += chunk
+    head_end = received.index(b"\r\n\r\n")
+    head = bytes(received[:head_end])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.lower() == b"content-length":
+            length = int(value)
+    while len(received) < head_end + 4 + length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("closed mid-body")
+        received += chunk
+    body = bytes(received[head_end + 4 : head_end + 4 + length])
+    del received[: head_end + 4 + length]
+    return head, body
+
+
+@pytest.fixture
+def evloop_server():
+    app = ServeApp(SnapshotHolder(make_snapshot()), capacity=8)
+    server = EventLoopServer(app, idle_timeout=5.0).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(evloop_server):
+    sock = socket.create_connection(
+        (evloop_server.host, evloop_server.port), timeout=10
+    )
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    yield sock
+    sock.close()
+
+
+class TestEventLoopLive:
+    def test_keep_alive_get_twice(self, client):
+        for _ in range(2):
+            client.sendall(GET_HEALTH)
+            head, body = _recv_response(client)
+            assert head.startswith(b"HTTP/1.1 200 OK")
+            assert b'"status": "ok"' in body or b"ok" in body
+
+    def test_pipelined_batch_comes_back_in_order(self, client):
+        paths = ["/v1/tables/1", "/v1/roots", "/v1/tables/2"]
+        client.sendall(
+            b"".join(
+                f"GET {p} HTTP/1.1\r\nHost: t\r\n\r\n".encode() for p in paths
+            )
+        )
+        leftover = bytearray()
+        bodies = [_recv_response(client, leftover)[1] for _ in paths]
+        assert bodies[0] != bodies[1] != bodies[2]
+        assert b'"row"' in bodies[0] and b"1" in bodies[0]
+        assert b'"row"' in bodies[2] and b"2" in bodies[2]
+
+    def test_etag_304_round_trip(self, client):
+        client.sendall(b"GET /v1/tables/1 HTTP/1.1\r\nHost: t\r\n\r\n")
+        head, body = _recv_response(client)
+        etag = next(
+            line.partition(b":")[2].strip()
+            for line in head.split(b"\r\n")
+            if line.lower().startswith(b"etag:")
+        )
+        client.sendall(
+            b"GET /v1/tables/1 HTTP/1.1\r\nHost: t\r\nIf-None-Match: "
+            + etag
+            + b"\r\n\r\n"
+        )
+        head, body = _recv_response(client)
+        assert head.startswith(b"HTTP/1.1 304")
+        assert body == b""
+
+    def test_head_has_length_but_no_body(self, client):
+        # HEAD advertises the GET body's length but sends no bytes: the
+        # very next response must start right after the header block.
+        client.sendall(
+            b"HEAD /v1/tables/1 HTTP/1.1\r\nHost: t\r\n\r\n" + GET_HEALTH
+        )
+        leftover = bytearray()
+        while b"\r\n\r\n" not in leftover:
+            leftover += client.recv(65536)
+        head_end = leftover.index(b"\r\n\r\n")
+        head = bytes(leftover[:head_end])
+        assert head.startswith(b"HTTP/1.1 200")
+        assert b"Content-Length: 0" not in head  # advertises the GET size
+        del leftover[: head_end + 4]
+        head, body = _recv_response(client, leftover)
+        assert head.startswith(b"HTTP/1.1 200")
+        assert body
+
+    def test_bad_request_answered_then_closed(self, client):
+        client.sendall(b"NONSENSE\r\n\r\n")
+        head, body = _recv_response(client)
+        assert head.startswith(b"HTTP/1.1 400")
+        assert b"error" in body
+        assert b"Connection: close" in head
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if client.recv(1024) == b"":
+                return
+        raise AssertionError("connection not closed after 400")
+
+    def test_http10_connection_closes_after_response(self, client):
+        client.sendall(b"GET /v1/health HTTP/1.0\r\n\r\n")
+        head, _ = _recv_response(client)
+        assert b"Connection: close" in head
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if client.recv(1024) == b"":
+                return
+        raise AssertionError("HTTP/1.0 connection left open")
+
+
+def _count_length(head: bytes) -> int:
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            return int(line.partition(b":")[2])
+    return -1
+
+
+class TestEventLoopParityWithThreaded:
+    def test_same_bytes_and_etags_as_threaded(self):
+        """Both transports serve identical bodies and ETags (satellite b)."""
+        snapshot = make_snapshot()
+        evloop_app = ServeApp(SnapshotHolder(snapshot))
+        threaded_app = ServeApp(SnapshotHolder(snapshot))
+        evloop = EventLoopServer(evloop_app).start()
+        threaded = StudyServer(threaded_app).start()
+        try:
+            for path in ("/v1/tables/3", "/v1/figures/2", "/v1/roots"):
+                raw = f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+                results = []
+                for server in (evloop, threaded):
+                    sock = socket.create_connection(
+                        (server.host, server.port), timeout=10
+                    )
+                    try:
+                        sock.sendall(raw)
+                        head, body = _recv_response(sock)
+                    finally:
+                        sock.close()
+                    etag = [
+                        line
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"etag:")
+                    ]
+                    results.append((etag, body))
+                assert results[0] == results[1], path
+        finally:
+            evloop.stop()
+            threaded.stop()
