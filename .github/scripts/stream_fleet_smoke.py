@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI smoke for live-ingest fleet serving.
+
+Boots ``repro stream`` in fleet mode (two event-loop workers), watches
+``/v1/health`` while the stream drains, and asserts the properties the
+live engine promises:
+
+* generations advance while ingestion runs (the warming generation-0
+  placeholder is replaced by real republishes);
+* once the stream is exhausted, *every* worker serves the same final
+  generation and the same ``/v1/tables/1`` ETag — the broadcast path
+  moved the whole fleet, not just one worker;
+* SIGTERM drains the fleet with exit 0 and the final report on stdout.
+"""
+
+import http.client
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+
+SCALE = "0.05"
+EXPECTED_SESSIONS = 815  # deterministic at --scale 0.05, seed tangled-mass
+
+
+def sample(port: int):
+    """One keep-alive connection → (worker pid, generation, table-1 ETag).
+
+    Same connection for all three requests, so one worker answers them
+    all — the only way to pair a pid with what that worker serves.
+    """
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", "/v1/metrics")
+        pid = int(
+            json.loads(connection.getresponse().read())["gauges"][
+                "serve.worker.pid"
+            ]
+        )
+        connection.request("GET", "/v1/health")
+        health = json.loads(connection.getresponse().read())
+        connection.request("GET", "/v1/tables/1")
+        response = connection.getresponse()
+        response.read()
+        return pid, health["snapshot"], response.getheader("ETag")
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "stream",
+            "--scale", SCALE, "--notary-scale", SCALE,
+            "--port", "0", "--processes", "2",
+            "--transport", "evloop", "--cadence", "1.0",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    port = None
+    deadline = time.time() + 180
+    while time.time() < deadline and port is None:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"http://127\.0\.0\.1:(\d+)/", line)
+        if match:
+            port = int(match.group(1))
+    assert port, "fleet never announced its port"
+    print(f"fleet up on port {port}")
+
+    generations = set()
+    deadline = time.time() + 300
+    while time.time() < deadline:
+        try:
+            _, snapshot, _ = sample(port)
+        except (OSError, http.client.HTTPException):
+            time.sleep(0.3)
+            continue
+        generations.add(snapshot["generation"])
+        if snapshot["sessions"] == EXPECTED_SESSIONS:
+            break
+        time.sleep(0.5)
+    else:
+        raise AssertionError(f"stream never drained; saw {sorted(generations)}")
+    assert len(generations) > 1, f"generation never advanced: {generations}"
+    print(f"generations seen while draining: {sorted(generations)}")
+
+    # every worker must now serve the same generation and the same bytes
+    per_worker = {}
+    deadline = time.time() + 60
+    final = max(generations)
+    while time.time() < deadline and (
+        len(per_worker) < 2
+        or {g for g, _ in per_worker.values()} != {final}
+    ):
+        try:
+            pid, snapshot, etag = sample(port)
+        except (OSError, http.client.HTTPException):
+            time.sleep(0.2)
+            continue
+        per_worker[pid] = (snapshot["generation"], etag)
+        final = max(final, snapshot["generation"])
+    assert len(per_worker) == 2, f"only sampled workers {per_worker}"
+    assert {g for g, _ in per_worker.values()} == {final}, (
+        f"fleet split across generations: {per_worker}"
+    )
+    assert len({etag for _, etag in per_worker.values()}) == 1, (
+        f"ETags diverged across workers: {per_worker}"
+    )
+    print(f"both workers at generation {final} with identical ETags")
+
+    proc.send_signal(signal.SIGTERM)
+    stdout, stderr = proc.communicate(timeout=60)
+    print(stderr.splitlines()[-1] if stderr.splitlines() else "")
+    assert proc.returncode == 0, f"fleet exited {proc.returncode}"
+    assert "reproduction study report" in stdout, "final report missing"
+    print("fleet drained with exit 0 and printed the final report")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Stream benchmark: ingest a million-session live study under an RSS
+gate, with a measured snapshot-freshness bound.
+
+The live engine's promise is that a study can *keep running*: sessions
+arrive continuously, indexes update incrementally, and republished
+snapshots stay fresh — without the resident set growing past what the
+incremental indexes (plus the diff list the aggregation tail reads)
+actually need. This benchmark proves all three claims at once, the same
+way ``bench_storage.py`` does — the measured run happens inside a child
+process that reports its *own* ``ru_maxrss``:
+
+* **probes** — two small runs fit the (linear) RSS-vs-sessions line and
+  project it to the target, so a regression shows up as a slope change
+  even when the target run itself still fits;
+* **target** — one gated run that must ingest ``--min-sessions``
+  sessions (default 1,000,000), stay under ``--rss-ceiling-mb`` peak
+  RSS, and republish on cadence with a p99 freshness no worse than
+  ``--freshness-p99-ceiling-s`` (freshness: how long the oldest
+  unpublished ingest waited for a snapshot containing it).
+
+Results land in ``BENCH_stream.json``. Run standalone::
+
+    python benchmarks/bench_stream.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SEED = "bench-stream"
+
+#: Population scale that clears one million sessions (~16,100/unit).
+DEFAULT_SCALE = 63.0
+
+#: Hard ceiling for the target run's peak RSS. An in-memory *batch*
+#: build at this scale would hold every session, upload and leaf record
+#: resident at once; the stream engine's incremental indexes must not.
+DEFAULT_RSS_CEILING_MB = 4096
+
+#: p99 bound on snapshot staleness at the default cadence.
+DEFAULT_FRESHNESS_CEILING_S = 900.0
+
+
+def _child(args) -> int:
+    """Run one live study in this process and report our own peak RSS."""
+    import resource
+
+    from repro.stream import Republisher, StreamConfig, StreamEngine
+
+    config = StreamConfig(
+        seed=SEED,
+        population_scale=args.scale,
+        notary_scale=args.notary_scale,
+        workers=args.workers,
+        storage_dir=args.storage,
+        index_sessions=False,  # a million rendered payloads is a cache, not an index
+    )
+    started = time.perf_counter()
+    engine = StreamEngine(config)
+    built = time.perf_counter()
+    republisher = Republisher(engine, every_sessions=args.cadence_sessions)
+    while not engine.exhausted:
+        if engine.pump(4096):
+            republisher.note_ingest()
+            republisher.maybe_publish()
+    if republisher.pending_events:
+        republisher.publish()
+    finished = time.perf_counter()
+
+    ingest_seconds = finished - built
+    maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(
+        json.dumps(
+            {
+                "scale": args.scale,
+                "sessions": engine.ingested_sessions,
+                "leaves": engine.ingested_leaves,
+                "generations": republisher.generation,
+                "build_s": round(built - started, 1),
+                "ingest_s": round(ingest_seconds, 1),
+                "sessions_per_s": round(
+                    engine.ingested_sessions / ingest_seconds, 1
+                ),
+                "freshness": republisher.freshness(),
+                "peak_rss_mb": round(maxrss_kb / 1024, 1),
+            }
+        )
+    )
+    return 0
+
+
+def _run_child(args, scale: float, cadence_sessions: int) -> dict:
+    """One measured run in a fresh interpreter; returns its report."""
+    command = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--child", "--scale", str(scale),
+        "--notary-scale", str(args.notary_scale),
+        "--cadence-sessions", str(cadence_sessions),
+        "--workers", str(args.workers),
+    ]
+    if args.storage:
+        command += ["--storage", args.storage]
+    completed = subprocess.run(
+        command, check=True, capture_output=True, text=True
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="population scale of the gated target run",
+    )
+    parser.add_argument(
+        "--notary-scale", type=float, default=2.0,
+        help="notary traffic scale (leaf events interleaved with sessions)",
+    )
+    parser.add_argument(
+        "--min-sessions", type=int, default=1_000_000,
+        help="the target run must ingest at least this many sessions",
+    )
+    parser.add_argument(
+        "--cadence-sessions", type=int, default=200_000,
+        help="republish every N ingested sessions during the target run",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=DEFAULT_RSS_CEILING_MB,
+        help="hard peak-RSS gate for the target run",
+    )
+    parser.add_argument(
+        "--freshness-p99-ceiling-s", type=float,
+        default=DEFAULT_FRESHNESS_CEILING_S,
+        help="hard gate on the target run's p99 snapshot freshness",
+    )
+    parser.add_argument(
+        "--probe-scale", type=float, default=2.0,
+        help="larger of the two probe scales the RSS line is fitted through",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="executor workers")
+    parser.add_argument("--out", default="BENCH_stream.json", help="output JSON path")
+    parser.add_argument("--storage", default="", help=argparse.SUPPRESS)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return _child(args)
+
+    half_scale = args.probe_scale / 2
+    print(f"probe runs at scales {half_scale} and {args.probe_scale} ...")
+    # probes republish on a proportionally scaled cadence so their
+    # snapshot builds exercise the same code the target's do.
+    half_probe = _run_child(
+        args, half_scale, max(1, int(args.cadence_sessions * half_scale / args.scale))
+    )
+    probe = _run_child(
+        args, args.probe_scale,
+        max(1, int(args.cadence_sessions * args.probe_scale / args.scale)),
+    )
+    slope_mb_per_session = (
+        probe["peak_rss_mb"] - half_probe["peak_rss_mb"]
+    ) / (probe["sessions"] - half_probe["sessions"])
+    base_mb = probe["peak_rss_mb"] - slope_mb_per_session * probe["sessions"]
+    sessions_per_scale = probe["sessions"] / args.probe_scale
+    projected_sessions = int(sessions_per_scale * args.scale)
+    projected_mb = round(base_mb + slope_mb_per_session * projected_sessions, 1)
+    print(
+        f"  probes: {half_probe['peak_rss_mb']} / {probe['peak_rss_mb']} MB peak RSS "
+        f"-> ~{round(slope_mb_per_session * 1024, 2)} KB/session, "
+        f"~{projected_mb} MB projected at ~{projected_sessions:,} sessions"
+    )
+
+    print(
+        f"target run at scale {args.scale} "
+        f"(~{projected_sessions:,} sessions, cadence {args.cadence_sessions:,}) ..."
+    )
+    target = _run_child(args, args.scale, args.cadence_sessions)
+    print(
+        f"  target: {target['sessions']:,} sessions + {target['leaves']:,} leaves "
+        f"in {target['ingest_s']}s ({target['sessions_per_s']}/s), "
+        f"{target['generations']} generations, "
+        f"{target['peak_rss_mb']} MB peak RSS, freshness {target['freshness']}"
+    )
+
+    enough_sessions = target["sessions"] >= args.min_sessions
+    under_ceiling = target["peak_rss_mb"] <= args.rss_ceiling_mb
+    p99 = target["freshness"].get("p99_s")
+    fresh_enough = p99 is not None and p99 <= args.freshness_p99_ceiling_s
+
+    payload = {
+        "benchmark": "stream",
+        "seed": SEED,
+        "scale": args.scale,
+        "min_sessions": args.min_sessions,
+        "rss_ceiling_mb": args.rss_ceiling_mb,
+        "freshness_p99_ceiling_s": args.freshness_p99_ceiling_s,
+        "probes": [half_probe, probe],
+        "rss_kb_per_session": round(slope_mb_per_session * 1024, 3),
+        "rss_projected_mb": projected_mb,
+        "target": target,
+        "enough_sessions": enough_sessions,
+        "under_rss_ceiling": under_ceiling,
+        "under_freshness_ceiling": fresh_enough,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = []
+    if not enough_sessions:
+        failures.append(
+            f"target ingested {target['sessions']:,} sessions "
+            f"< required {args.min_sessions:,}"
+        )
+    if not under_ceiling:
+        failures.append(
+            f"target peak RSS {target['peak_rss_mb']} MB "
+            f"exceeds the {args.rss_ceiling_mb} MB ceiling"
+        )
+    if not fresh_enough:
+        failures.append(
+            f"target p99 freshness {p99}s exceeds "
+            f"the {args.freshness_p99_ceiling_s}s bound"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

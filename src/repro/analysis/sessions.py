@@ -30,7 +30,7 @@ from repro.x509.certificate import Certificate
 from repro.x509.fingerprint import equivalence_key, identity_key
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionDiff:
     """A session's store relative to its reference AOSP distribution."""
 

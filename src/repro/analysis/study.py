@@ -350,7 +350,7 @@ def analyze(
     executor: ParallelExecutor | None = None,
 ) -> None:
     """Run every analysis stage over an assembled StudyResult in place."""
-    stores, dataset, notary = result.stores, result.dataset, result.notary
+    stores, dataset = result.stores, result.dataset
     if executor is None:
         executor = ParallelExecutor()
     cache = default_verification_cache()
@@ -360,56 +360,90 @@ def analyze(
             differ = SessionDiffer(stores.aosp)
             result.diffs = differ.diff_all(dataset, executor=executor)
             diff_span.set("diffs", len(result.diffs))
-        classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+        _analyze_tail(result, catalog, executor, cache)
 
-        # headline scalars
-        with _phase("study.analyze.headline", cache):
-            result.extended_fraction = extended_fraction(result.diffs)
-            result.missing_cert_handsets = handsets_missing_certificates(
-                result.diffs
-            )
-            result.unique_certificates = len(dataset.unique_certificates())
-            result.estimated_devices = dataset.estimated_devices()
 
-        # the deduplicated extras from non-rooted sessions (the §5 universe)
-        extras: dict[tuple[int, bytes], object] = {}
-        for diff in result.diffs:
-            if diff.session.rooted:
-                continue
-            for certificate in diff.additional:
-                extras.setdefault(identity_key(certificate), certificate)
-        extra_certificates = list(extras.values())
+def analyze_from_diffs(
+    result: StudyResult,
+    catalog: CaCatalog | None = None,
+    *,
+    executor: ParallelExecutor | None = None,
+) -> None:
+    """Run every post-diff analysis stage over a StudyResult in place.
 
-        categories = store_categories(
-            stores.aosp, stores.mozilla, stores.ios7, extra_certificates
+    The stream engine's republish path: per-session diffs are computed
+    incrementally at ingest time, so ``result.diffs`` arrives already
+    populated and only the aggregations need (re)computing. Producing
+    the same ``result.diffs`` a batch :func:`analyze` would have built
+    yields the same report bytes.
+    """
+    if executor is None:
+        executor = ParallelExecutor()
+    cache = default_verification_cache()
+    with _phase(
+        "study.analyze", cache, workers=executor.workers, incremental=True
+    ):
+        _analyze_tail(result, catalog, executor, cache)
+
+
+def _analyze_tail(
+    result: StudyResult,
+    catalog: CaCatalog | None,
+    executor: ParallelExecutor,
+    cache,
+) -> None:
+    """Every analysis stage downstream of the per-session diffs."""
+    stores, dataset, notary = result.stores, result.dataset, result.notary
+    classifier = PresenceClassifier(stores.mozilla, stores.ios7, notary)
+
+    # headline scalars
+    with _phase("study.analyze.headline", cache):
+        result.extended_fraction = extended_fraction(result.diffs)
+        result.missing_cert_handsets = handsets_missing_certificates(
+            result.diffs
+        )
+        result.unique_certificates = len(dataset.unique_certificates())
+        result.estimated_devices = dataset.estimated_devices()
+
+    # the deduplicated extras from non-rooted sessions (the §5 universe)
+    extras: dict[tuple[int, bytes], object] = {}
+    for diff in result.diffs:
+        if diff.session.rooted:
+            continue
+        for certificate in diff.additional:
+            extras.setdefault(identity_key(certificate), certificate)
+    extra_certificates = list(extras.values())
+
+    categories = store_categories(
+        stores.aosp, stores.mozilla, stores.ios7, extra_certificates
+    )
+
+    # tables
+    with _phase("study.analyze.tables", cache):
+        result.table1 = tables_mod.table1_store_sizes(stores)
+        result.table2 = tables_mod.table2_top_devices(dataset)
+        result.table3 = tables_mod.table3_validated_counts(stores, notary)
+        result.table4 = tables_mod.table4_category_offsets(
+            categories, notary, executor=executor
+        )
+        result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
+        result.table5 = tables_mod.table5_rooted_cas(result.rooted)
+        result.interceptions = detect_interception(
+            dataset.sessions, classifier
+        )
+        result.table6 = tables_mod.table6_interception_domains(
+            result.interceptions
         )
 
-        # tables
-        with _phase("study.analyze.tables", cache):
-            result.table1 = tables_mod.table1_store_sizes(stores)
-            result.table2 = tables_mod.table2_top_devices(dataset)
-            result.table3 = tables_mod.table3_validated_counts(stores, notary)
-            result.table4 = tables_mod.table4_category_offsets(
-                categories, notary, executor=executor
-            )
-            result.rooted = RootedDeviceAnalysis.run(result.diffs, notary)
-            result.table5 = tables_mod.table5_rooted_cas(result.rooted)
-            result.interceptions = detect_interception(
-                dataset.sessions, classifier
-            )
-            result.table6 = tables_mod.table6_interception_domains(
-                result.interceptions
-            )
+    # figures
+    with _phase("study.analyze.figures", cache):
+        result.figure1 = figure1_scatter(result.diffs)
+        result.figure2 = figure2_matrix(result.diffs, classifier)
+        result.figure3 = figure3_ecdf(categories, notary, executor=executor)
 
-        # figures
-        with _phase("study.analyze.figures", cache):
-            result.figure1 = figure1_scatter(result.diffs)
-            result.figure2 = figure2_matrix(result.diffs, classifier)
-            result.figure3 = figure3_ecdf(categories, notary, executor=executor)
+    # §5.2 geography
+    from repro.analysis.geography import certificate_footprints, detect_roaming
 
-        # §5.2 geography
-        from repro.analysis.geography import certificate_footprints, detect_roaming
-
-        with _phase("study.analyze.geography", cache):
-            result.footprints = certificate_footprints(result.diffs)
-            result.roaming = detect_roaming(result.diffs, catalog)
+    with _phase("study.analyze.geography", cache):
+        result.footprints = certificate_footprints(result.diffs)
+        result.roaming = detect_roaming(result.diffs, catalog)

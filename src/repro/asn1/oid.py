@@ -12,7 +12,7 @@ class ObjectIdentifier:
     registries (see :mod:`repro.asn1.objects`).
     """
 
-    __slots__ = ("_arcs",)
+    __slots__ = ("_arcs", "_dotted")
 
     def __init__(self, dotted_or_arcs: str | Iterable[int]):
         if isinstance(dotted_or_arcs, str):
@@ -40,8 +40,15 @@ class ObjectIdentifier:
 
     @property
     def dotted(self) -> str:
-        """Dotted-decimal form, e.g. ``"2.5.4.3"``."""
-        return ".".join(str(arc) for arc in self._arcs)
+        """Dotted-decimal form, e.g. ``"2.5.4.3"``.
+
+        Cached: name normalization renders the same few registry OIDs
+        millions of times across a study.
+        """
+        dotted = getattr(self, "_dotted", None)
+        if dotted is None:
+            dotted = self._dotted = ".".join(str(arc) for arc in self._arcs)
+        return dotted
 
     def encode_value(self) -> bytes:
         """DER content octets (without tag/length) for this OID."""

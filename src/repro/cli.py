@@ -9,6 +9,8 @@ Commands:
   the dataset to JSON;
 * ``analyze``     — run the analysis pipeline over a saved dataset;
 * ``study``       — run the full reproduction study and print the report;
+* ``stream``      — run the study live (continuous ingestion, cadence
+  republish), optionally serving the growing study while it fills;
 * ``serve``       — run the study once, then serve it as an HTTP/JSON API.
 """
 
@@ -254,6 +256,132 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the study live: ingest the session/leaf event stream
+    continuously, republishing snapshots on a cadence; with --port the
+    growing study is served by a worker fleet while it fills. Once the
+    stream runs dry the final report (byte-identical to `repro study`
+    at the same scales) is printed to stdout."""
+    import pathlib
+
+    from repro.parallel import resolve_workers
+    from repro.stream import (
+        Republisher,
+        StreamConfig,
+        StreamEngine,
+        drain,
+        placeholder_snapshot,
+    )
+
+    if args.storage:
+        try:
+            pathlib.Path(args.storage).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(f"error: cannot open storage {args.storage}: {exc}", file=sys.stderr)
+            return 1
+    config = StreamConfig(
+        seed=args.seed,
+        population_scale=args.scale,
+        notary_scale=args.notary_scale,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        workers=resolve_workers(args.workers),
+        storage_dir=args.storage or "",
+        index_sessions=not args.no_session_index,
+    )
+    engine = StreamEngine(config)
+    print(
+        f"repro-stream {__version__}: {engine.total_sessions:,} sessions "
+        f"planned (seed={config.seed!r}, scale={config.population_scale}, "
+        f"notary-scale={config.notary_scale})",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+
+    def finish(republisher: Republisher) -> None:
+        result = engine.result()
+        print(render_study_report(result))
+        sys.stdout.flush()
+        if args.json:
+            from repro.analysis.report import to_json, to_json_bytes
+
+            pathlib.Path(args.json).write_bytes(to_json_bytes(to_json(result)))
+            print(f"wrote structured export to {args.json}", file=sys.stderr)
+        print(
+            f"repro-stream: ingested {engine.ingested_sessions:,} sessions "
+            f"+ {engine.ingested_leaves:,} leaves across "
+            f"{republisher.generation} generation(s); "
+            f"freshness {republisher.freshness()}",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
+    if args.port is None:
+        republisher = Republisher(
+            engine,
+            every_sessions=args.cadence_sessions,
+            every_seconds=args.cadence,
+        )
+        drain(engine, republisher, batch=args.batch)
+        finish(republisher)
+        return 0
+
+    from repro.serve.app import ServeApp
+    from repro.serve.snapshot import SnapshotHolder
+    from repro.serve.supervisor import Supervisor
+
+    holder = SnapshotHolder(placeholder_snapshot(config))
+    app = ServeApp(
+        holder,
+        cache_capacity=args.cache_size,
+        capacity=args.capacity + args.backlog,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"streaming on http://{host}:{port}/v1/health "
+            f"(transport={args.transport}, processes={args.processes}, "
+            f"cadence={args.cadence}s/{args.cadence_sessions} sessions)",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
+    supervisor = Supervisor(
+        app,
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        transport=args.transport,
+        ready=announce,
+        tick_interval=0.02,
+    )
+    republisher = Republisher(
+        engine,
+        supervisor.broadcast_snapshot,
+        every_sessions=args.cadence_sessions,
+        every_seconds=args.cadence,
+    )
+    # A worker-forwarded POST /admin/reload forces the next generation
+    # out immediately; the supervisor broadcasts whatever this returns.
+    app.reloader = republisher.build
+    finished = {"reported": False}
+
+    def tick() -> None:
+        if finished["reported"]:
+            return
+        if engine.pump(args.batch):
+            republisher.note_ingest()
+            republisher.maybe_publish()
+        if engine.exhausted:
+            if republisher.pending_events:
+                republisher.publish()
+            finish(republisher)
+            finished["reported"] = True
+
+    supervisor.tick = tick
+    return supervisor.run_forever()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the study once (warm from the build cache when configured),
     then serve it as the HTTP/JSON query API until SIGTERM/SIGINT."""
@@ -434,6 +562,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_options(study)
     study.set_defaults(func=cmd_study)
+
+    stream = commands.add_parser("stream", help=cmd_stream.__doc__)
+    stream.add_argument("--scale", type=float, default=0.25,
+                        help="population scale of the streamed study")
+    stream.add_argument("--notary-scale", type=float, default=0.5)
+    add_workers_option(stream)
+    add_fault_options(stream)
+    stream.add_argument(
+        "--storage", metavar="DIR",
+        help="sharded persistent storage backend directory (bounded "
+        "resident memory; report identical either way)",
+    )
+    stream.add_argument(
+        "--batch", type=int, default=256,
+        help="ingest events consumed per engine pump",
+    )
+    stream.add_argument(
+        "--cadence", type=float, default=2.0,
+        help="republish a snapshot at most every SECONDS (0 disables "
+        "the wall-clock cadence)",
+    )
+    stream.add_argument(
+        "--cadence-sessions", type=int, default=0,
+        help="republish every N ingested sessions (0 disables)",
+    )
+    stream.add_argument(
+        "--no-session-index", action="store_true",
+        help="skip the per-session diff index (million-session corpora: "
+        "/v1/sessions/{id}/diff 404s, snapshot builds stay O(tables))",
+    )
+    stream.add_argument(
+        "--json", metavar="FILE",
+        help="write the final structured JSON export to FILE",
+    )
+    stream.add_argument(
+        "--port", type=int, default=None,
+        help="serve the growing study on this port while it fills "
+        "(omit for a headless ingest-to-report run)",
+    )
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument(
+        "--transport", choices=("threaded", "evloop"), default="evloop",
+    )
+    stream.add_argument(
+        "--processes", type=int, default=1,
+        help="serving worker processes; every republish is broadcast "
+        "to the whole fleet at once",
+    )
+    stream.add_argument(
+        "--capacity", type=int, default=8,
+        help="max requests served concurrently per worker",
+    )
+    stream.add_argument("--backlog", type=int, default=16)
+    stream.add_argument("--cache-size", type=int, default=256,
+                        help="LRU response-cache entries")
+    stream.set_defaults(func=cmd_stream)
 
     serve = commands.add_parser("serve", help=cmd_serve.__doc__)
     serve.add_argument("--host", default="127.0.0.1")

@@ -146,6 +146,82 @@ class NetalyzrClient:
         )
 
 
+def ingest_sessions(
+    population: Population,
+    client: NetalyzrClient,
+    dataset: NetalyzrDataset,
+    *,
+    probe_stock_devices: bool = False,
+    injector: FaultInjector | None = None,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+):
+    """Run and ingest the population's planned sessions one at a time.
+
+    The generator behind both collection modes: each step executes one
+    client session and lands its upload in *dataset* (through the
+    resilient ingest path when an ``injector`` is active), then yields
+    the session id. :func:`collect_dataset` drains it in one go; the
+    stream engine (:mod:`repro.stream`) pulls it incrementally, so
+    sessions arrive continuously instead of as one batch. Consuming the
+    whole generator leaves ``dataset`` byte-for-byte identical to a
+    batch collection.
+
+    ``client.probe_domains`` is treated as the run-wide probing switch;
+    it is toggled per session (the probe-dedup logic below) and
+    restored when the generator finishes or is closed.
+    """
+    probe_domains = client.probe_domains
+    session_id = 0
+    probed_firmwares: set[tuple[str, str, str, int]] = set()
+    try:
+        for record in population.records:
+            device = record.device
+            for _ in range(record.session_count):
+                session_id += 1
+                must_probe = probe_domains and (
+                    probe_stock_devices
+                    or device.proxy is not None
+                    or bool(device.apps)
+                )
+                if probe_domains and not must_probe:
+                    firmware_key = (
+                        device.spec.manufacturer,
+                        device.spec.os_version,
+                        device.spec.operator,
+                        len(device.store),
+                    )
+                    if firmware_key not in probed_firmwares:
+                        probed_firmwares.add(firmware_key)
+                        must_probe = True
+                client.probe_domains = must_probe
+                session = client.run_session(
+                    device,
+                    session_id,
+                    injector=injector,
+                    retry_policy=retry_policy,
+                    quarantine=dataset.quarantine,
+                    health=dataset.health,
+                )
+                if injector is None:
+                    dataset.add(session)
+                else:
+                    upload = SessionUpload.of(session)
+                    upload = SessionUpload(
+                        session=upload.session,
+                        roots=tuple(
+                            injector.corrupt_roots(
+                                session_id, list(upload.roots)
+                            )
+                        ),
+                    )
+                    dataset.ingest(upload)
+                    if injector.should_duplicate(session_id):
+                        dataset.ingest(upload)
+                yield session_id
+    finally:
+        client.probe_domains = probe_domains
+
+
 def collect_dataset(
     population: Population,
     factory: CertificateFactory | None = None,
@@ -188,50 +264,15 @@ def collect_dataset(
                 [endpoint.host for endpoint in PROBE_TARGETS], executor
             )
         dataset = NetalyzrDataset(backend=backend)
-        session_id = 0
-        probed_firmwares: set[tuple[str, str, str, int]] = set()
-        for record in population.records:
-            device = record.device
-            for _ in range(record.session_count):
-                session_id += 1
-                must_probe = probe_domains and (
-                    probe_stock_devices
-                    or device.proxy is not None
-                    or bool(device.apps)
-                )
-                if probe_domains and not must_probe:
-                    firmware_key = (
-                        device.spec.manufacturer,
-                        device.spec.os_version,
-                        device.spec.operator,
-                        len(device.store),
-                    )
-                    if firmware_key not in probed_firmwares:
-                        probed_firmwares.add(firmware_key)
-                        must_probe = True
-                client.probe_domains = must_probe
-                session = client.run_session(
-                    device,
-                    session_id,
-                    injector=injector,
-                    retry_policy=retry_policy,
-                    quarantine=dataset.quarantine,
-                    health=dataset.health,
-                )
-                if injector is None:
-                    dataset.add(session)
-                    continue
-                upload = SessionUpload.of(session)
-                upload = SessionUpload(
-                    session=upload.session,
-                    roots=tuple(
-                        injector.corrupt_roots(session_id, list(upload.roots))
-                    ),
-                )
-                dataset.ingest(upload)
-                if injector.should_duplicate(session_id):
-                    dataset.ingest(upload)
-        client.probe_domains = probe_domains
+        for _ in ingest_sessions(
+            population,
+            client,
+            dataset,
+            probe_stock_devices=probe_stock_devices,
+            injector=injector,
+            retry_policy=retry_policy,
+        ):
+            pass
         span.set("sessions", dataset.session_count)
         span.set("quarantined", len(dataset.quarantine))
         span.set("dropped_probes", dataset.health.dropped_probes)

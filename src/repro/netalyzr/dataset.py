@@ -55,6 +55,34 @@ class NetalyzrDataset:
     _seen_ids: set[int] = field(default_factory=set, repr=False)
     #: persistent storage backend; None keeps identity semantics.
     backend: StorageBackend | None = None
+    #: store-tuple intern table: identical certificate tuples collapse to
+    #: one object, so a million sessions of one firmware share one tuple
+    #: instead of carrying a million 60-pointer copies. Keyed by the
+    #: member certificates' ids (the members are kept alive by the
+    #: interned value, so ids cannot be recycled under us).
+    _store_intern: dict[tuple[int, ...], tuple[Certificate, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    #: incremental summary state, maintained by :meth:`add` so the
+    #: accessors below stay O(1) however large the corpus grows — the
+    #: stream engine republishes them once per snapshot cadence, where
+    #: the old full-corpus scans would be O(n) per publish.
+    _unique_certs: dict[tuple[int, bytes], Certificate] = field(
+        default_factory=dict, repr=False
+    )
+    _device_tuples: set = field(default_factory=set, repr=False)
+    _models: set[tuple[str, str]] = field(default_factory=set, repr=False)
+    _by_manufacturer: Counter = field(default_factory=Counter, repr=False)
+    _by_model: Counter = field(default_factory=Counter, repr=False)
+    _total_observations: int = 0
+
+    def __getstate__(self) -> dict:
+        # The intern table keys on object ids, which do not survive a
+        # round-trip through pickle (the build cache); drop it so a
+        # loaded dataset can never hit a stale id.
+        state = self.__dict__.copy()
+        state["_store_intern"] = {}
+        return state
 
     def add(self, session: MeasurementSession) -> None:
         """Append one trusted session."""
@@ -67,9 +95,29 @@ class NetalyzrDataset:
                 self.backend.intern_certificate(certificate)
                 for certificate in session.root_certificates
             )
+        certificates = session.root_certificates
+        intern_key = tuple(map(id, certificates))
+        interned = self._store_intern.get(intern_key)
+        if interned is None:
+            self._store_intern[intern_key] = certificates
+            # First sighting of this exact store tuple: fold its members
+            # into the unique-certificate index. A repeat tuple can't
+            # contribute anything new, so repeats skip the scan entirely
+            # — same dict, same insertion order as a full-corpus walk.
+            for certificate in certificates:
+                self._unique_certs.setdefault(
+                    identity_key(certificate), certificate
+                )
+        else:
+            session.root_certificates = interned
         self._seen_ids.add(session.session_id)
         self.health.accepted_sessions += 1
         self.health.accepted_certificates += session.store_size
+        self._total_observations += session.store_size
+        self._device_tuples.add(session.device_tuple)
+        self._models.add((session.manufacturer, session.model))
+        self._by_manufacturer[session.manufacturer] += 1
+        self._by_model[(session.manufacturer, session.model)] += 1
         self.sessions.append(session)
 
     def ingest(self, upload: SessionUpload) -> MeasurementSession | None:
@@ -119,37 +167,31 @@ class NetalyzrDataset:
     @property
     def total_certificate_observations(self) -> int:
         """Total (session, root cert) observations (the paper's 2.3 M)."""
-        return sum(session.store_size for session in self.sessions)
+        return self._total_observations
 
     def unique_certificates(self) -> list[Certificate]:
         """Distinct root certificates by signature identity (the
-        paper's 314)."""
-        seen: dict[tuple[int, bytes], Certificate] = {}
-        for session in self.sessions:
-            for certificate in session.root_certificates:
-                seen.setdefault(identity_key(certificate), certificate)
-        return list(seen.values())
+        paper's 314), in first-observed order."""
+        return list(self._unique_certs.values())
 
     def estimated_devices(self) -> int:
         """Lower-bound handset count from distinct device tuples (the
         paper's >= 3,835)."""
-        return len({session.device_tuple for session in self.sessions})
+        return len(self._device_tuples)
 
     def distinct_models(self) -> int:
         """Distinct (manufacturer, model) pairs (the paper's 435)."""
-        return len({(s.manufacturer, s.model) for s in self.sessions})
+        return len(self._models)
 
     # -- slicing -----------------------------------------------------------------------
 
     def sessions_by_manufacturer(self) -> Counter:
         """Session counts per manufacturer (Table 2, right)."""
-        return Counter(session.manufacturer for session in self.sessions)
+        return Counter(self._by_manufacturer)
 
     def sessions_by_model(self) -> Counter:
         """Session counts per (manufacturer, model) (Table 2, left)."""
-        return Counter(
-            (session.manufacturer, session.model) for session in self.sessions
-        )
+        return Counter(self._by_model)
 
     def rooted_sessions(self) -> list[MeasurementSession]:
         """Sessions on rooted handsets (§6's 24%)."""

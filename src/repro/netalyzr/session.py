@@ -16,7 +16,7 @@ from repro.x509.certificate import Certificate
 from repro.x509.chain import ValidationResult
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceTuple:
     """The privacy-preserving proxy for device identity (§4.1)."""
 
@@ -36,7 +36,7 @@ class DeviceTuple:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DomainProbe:
     """The observed trust chain for one popular-domain connection."""
 
@@ -54,7 +54,7 @@ class DomainProbe:
         return str(self.chain[-1].subject)
 
 
-@dataclass
+@dataclass(slots=True)
 class MeasurementSession:
     """Everything one Netalyzr execution uploads."""
 

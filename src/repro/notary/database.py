@@ -422,6 +422,44 @@ def build_notary(
         workers=0 if executor is None else executor.workers,
         faults=injector is not None,
     )
+    with build_span as span:
+        for _ in ingest_leaves(
+            notary,
+            generator,
+            profiles,
+            factory,
+            injector=injector,
+            executor=executor,
+        ):
+            pass
+        for store in register_stores:
+            notary.register_store(store)
+        span.set("leaves", notary.total_certificates)
+        span.set("quarantined", len(notary.quarantine))
+    return notary
+
+
+def ingest_leaves(
+    notary: NotaryDatabase,
+    generator: TlsTrafficGenerator,
+    profiles: list,
+    factory: CertificateFactory,
+    *,
+    injector: FaultInjector | None = None,
+    executor: ParallelExecutor | None = None,
+):
+    """Materialize and ingest the traffic universe one leaf at a time.
+
+    The generator behind :func:`build_notary` and the stream engine's
+    live tap: each step lands one leaf observation in *notary* (through
+    the dead-lettering ingest path when a fault ``injector`` is active)
+    and yields it. Materialization still happens in bounded windows of
+    :data:`MATERIALIZE_WINDOW` plans when an ``executor`` is present —
+    the fan-out is per window, but consumption stays per leaf — so peak
+    memory is O(window) however the consumer paces itself. Draining the
+    whole generator leaves the database byte-identical to a batch build
+    at any worker count or pacing.
+    """
 
     def drain_window(window):
         plans = [plan for _, group in window for plan in group]
@@ -453,21 +491,17 @@ def build_notary(
         if window:
             yield from drain_window(window)
 
-    with build_span as span:
-        for profile, profile_leaf_set in profile_leaves():
-            root = factory.root_certificate(profile)
-            for leaf in profile_leaf_set:
-                if injector is not None:
-                    where = f"notary:{leaf.host}"
-                    corrupted = injector.corrupt_leaf(where, leaf.certificate)
-                    if corrupted is not None:
-                        notary.ingest_leaf(
-                            leaf, chain_roots=(root,), payload=corrupted, where=where
-                        )
-                        continue
-                notary.observe_leaf(leaf, chain_roots=(root,))
-        for store in register_stores:
-            notary.register_store(store)
-        span.set("leaves", notary.total_certificates)
-        span.set("quarantined", len(notary.quarantine))
-    return notary
+    for profile, profile_leaf_set in profile_leaves():
+        root = factory.root_certificate(profile)
+        for leaf in profile_leaf_set:
+            if injector is not None:
+                where = f"notary:{leaf.host}"
+                corrupted = injector.corrupt_leaf(where, leaf.certificate)
+                if corrupted is not None:
+                    notary.ingest_leaf(
+                        leaf, chain_roots=(root,), payload=corrupted, where=where
+                    )
+                    yield leaf
+                    continue
+            notary.observe_leaf(leaf, chain_roots=(root,))
+            yield leaf

@@ -20,12 +20,16 @@ HTTP/JSON API built entirely on the stdlib (``http.server`` /
   read-heavy fast path;
 * :mod:`repro.serve.supervisor` — fork-based multi-process workers
   sharing the immutable snapshot copy-on-write, with SIGCHLD restarts
-  and a coordinated SIGTERM drain.
+  (decaying backoff) and a coordinated SIGTERM drain;
+* :mod:`repro.serve.fleet` — the supervisor↔worker control protocol
+  that broadcasts fresh snapshots (admin reloads, stream republish)
+  to every worker at once.
 """
 
 from repro.serve.app import Request, Response, ServeApp
 from repro.serve.cache import ResponseCache
 from repro.serve.eventloop import EventLoopServer
+from repro.serve.fleet import WorkerChannel
 from repro.serve.snapshot import SnapshotHolder, StudySnapshot
 from repro.serve.server import ServeConfig, StudyServer, run_server
 from repro.serve.supervisor import Supervisor
@@ -48,6 +52,7 @@ __all__ = [
     "StudyServer",
     "EventLoopServer",
     "Supervisor",
+    "WorkerChannel",
     "TRANSPORT_NAMES",
     "ReusePortUnavailable",
     "SO_REUSEPORT_AVAILABLE",

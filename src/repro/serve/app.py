@@ -195,8 +195,29 @@ class ServeApp:
         if self.reloader is None:
             return Response(501, _error_body(501, "no reloader configured"))
         # One reload at a time; the swap itself is atomic in the holder.
+        # A rebuild that raises must not escape handle() — the threaded
+        # transport would drop the connection and the evloop would lose
+        # its offload thread — and must leave the current snapshot (and
+        # therefore every ETag and cache line) untouched.
         with self._reload_lock:
-            fresh = self.reloader()
+            try:
+                fresh = self.reloader()
+            except Exception as error:
+                self.registry.counter("serve.reload_failures").inc()
+                current = self.holder.get()
+                return Response(
+                    500,
+                    to_json_bytes(
+                        {
+                            "error": {
+                                "status": 500,
+                                "kind": "reload_failed",
+                                "message": f"{type(error).__name__}: {error}",
+                                "generation": current.generation,
+                            }
+                        }
+                    ),
+                )
             self.holder.swap(fresh)
         self.registry.counter("serve.reloads").inc()
         return Response(

@@ -1,0 +1,178 @@
+"""The supervisor↔worker control plane: framed snapshot broadcast.
+
+A forked worker fleet shares the study snapshot copy-on-write, but a
+*new* snapshot (an admin reload, or the stream engine's republish
+cadence) exists only in whichever process built it. This module moves
+snapshots across the fork boundary so one reload refreshes the whole
+fleet — the ROADMAP gap where ``POST /admin/reload`` only used to
+refresh the worker that happened to receive it.
+
+Each worker keeps one end of a ``socketpair`` created before its fork;
+the supervisor keeps the other. Every message is one frame::
+
+    kind (1 byte) + big-endian u32 payload length + payload
+
+* ``R`` (worker → supervisor, empty): *reload request*. The supervisor
+  runs the app's reloader once and broadcasts the result to every
+  worker — including the requester, whose request is thereby answered.
+* ``S`` (supervisor → worker): a pickled :class:`StudySnapshot`. The
+  worker's receiver thread swaps it into the holder; the generation
+  counter already namespaces ETags and the response LRU, so the swap
+  is safe mid-traffic by construction.
+* ``E`` (supervisor → worker): a UTF-8 error message — the rebuild
+  failed; the requester surfaces it as a typed 500 and the old
+  snapshot stays live everywhere.
+
+The worker side (:class:`WorkerChannel`) runs a daemon receiver thread
+and exposes :meth:`WorkerChannel.request_reload`, which the supervisor
+installs as the worker's ``app.reloader`` — so the app's existing
+reload handler (lock, swap, failure typing) works unchanged in fleet
+mode; it just acquires its fresh snapshot from the parent instead of
+rebuilding locally.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+MSG_RELOAD_REQUEST = b"R"
+MSG_SNAPSHOT = b"S"
+MSG_ERROR = b"E"
+
+#: Frame header: kind byte + u32 payload length.
+_HEADER = struct.Struct(">cI")
+
+#: How long a worker's reload proxy waits for the broadcast before
+#: giving up (the app then answers a typed 500; a broadcast that lands
+#: later still swaps in harmlessly).
+RELOAD_TIMEOUT_SECONDS = 600.0
+
+#: Bounded sendall so one wedged worker can never hang the supervisor's
+#: control loop; a worker that stops draining its channel is treated as
+#: dead (its SIGCHLD restart delivers the current snapshot via fork).
+CHANNEL_SEND_TIMEOUT_SECONDS = 30.0
+
+
+def control_socketpair() -> tuple[socket.socket, socket.socket]:
+    """(supervisor side, worker side), made before the worker forks."""
+    parent_sock, child_sock = socket.socketpair()
+    parent_sock.settimeout(CHANNEL_SEND_TIMEOUT_SECONDS)
+    return parent_sock, child_sock
+
+
+def send_frame(sock: socket.socket, kind: bytes, payload: bytes = b"") -> None:
+    sock.sendall(_HEADER.pack(kind, len(payload)) + payload)
+
+
+def snapshot_frame(snapshot) -> bytes:
+    """One serialized ``S`` frame, built once per broadcast."""
+    payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MSG_SNAPSHOT, len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly *count* bytes, or None on EOF (clean or mid-frame)."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[bytes, bytes] | None:
+    """One (kind, payload) frame, or None on EOF."""
+    header = recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    kind, length = _HEADER.unpack(header)
+    payload = recv_exact(sock, length) if length else b""
+    if length and payload is None:
+        return None
+    return kind, payload
+
+
+class WorkerChannel:
+    """Worker side of the control socket: receive broadcasts, request reloads."""
+
+    def __init__(self, sock: socket.socket, holder):
+        self.sock = sock
+        self.holder = holder
+        self._cond = threading.Condition()
+        self._error: str | None = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._recv_loop, name="repro-fleet-channel", daemon=True
+        )
+
+    def start(self) -> "WorkerChannel":
+        self._thread.start()
+        return self
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                frame = recv_frame(self.sock)
+            except OSError:
+                frame = None
+            if frame is None:
+                break
+            kind, payload = frame
+            if kind == MSG_SNAPSHOT:
+                snapshot = pickle.loads(payload)
+                self.holder.swap(snapshot)
+                with self._cond:
+                    self._cond.notify_all()
+            elif kind == MSG_ERROR:
+                with self._cond:
+                    self._error = payload.decode("utf-8", "replace")
+                    self._cond.notify_all()
+        # EOF: the supervisor is gone. Keep serving the last snapshot;
+        # pending reload waiters fail fast instead of timing out.
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def request_reload(self, timeout: float = RELOAD_TIMEOUT_SECONDS):
+        """Ask the supervisor to rebuild; return the fresh snapshot.
+
+        Installed as the worker's ``app.reloader``: raises on rebuild
+        failure / supervisor loss / timeout, which the app's reload
+        handler converts into its typed 500.
+        """
+        start_generation = self.holder.get().generation
+        with self._cond:
+            self._error = None
+            if self._closed:
+                raise RuntimeError("supervisor control channel closed")
+        try:
+            send_frame(self.sock, MSG_RELOAD_REQUEST)
+        except OSError as error:
+            raise RuntimeError(
+                f"supervisor control channel closed ({error})"
+            ) from error
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                current = self.holder.get()
+                if current.generation != start_generation:
+                    return current
+                if self._error is not None:
+                    message = self._error
+                    self._error = None
+                    raise RuntimeError(f"fleet reload failed: {message}")
+                if self._closed:
+                    raise RuntimeError("supervisor control channel closed")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no snapshot broadcast within {timeout:.0f}s"
+                    )
+                self._cond.wait(remaining)

@@ -89,33 +89,43 @@ def _build_root_index(result: StudyResult) -> dict[str, dict]:
     return index
 
 
+def session_diff_payload(diff) -> dict:
+    """The ``/v1/sessions/{id}/diff`` payload of one session diff.
+
+    Pure per-diff rendering, shared by the batch index build below and
+    the stream engine's incremental index (which renders each diff once
+    at ingest time instead of re-walking the corpus per republish).
+    """
+    session = diff.session
+    return {
+        "session_id": session.session_id,
+        "manufacturer": session.manufacturer,
+        "model": session.model,
+        "os_version": session.os_version,
+        "operator": session.operator,
+        "country": session.country,
+        "rooted": session.rooted,
+        "degraded": session.degraded,
+        "store_size": session.store_size,
+        "aosp_count": diff.aosp_count,
+        "additional_count": diff.additional_count,
+        "missing_count": diff.missing_count,
+        "additional": [
+            {
+                "fingerprint": root_fingerprint(certificate),
+                "label": _cert_label(certificate),
+            }
+            for certificate in diff.additional
+        ],
+    }
+
+
 def _build_session_index(result: StudyResult) -> dict[str, dict]:
     """session id → diff payload, for ``/v1/sessions/{id}/diff``."""
-    index: dict[str, dict] = {}
-    for diff in result.diffs:
-        session = diff.session
-        index[str(session.session_id)] = {
-            "session_id": session.session_id,
-            "manufacturer": session.manufacturer,
-            "model": session.model,
-            "os_version": session.os_version,
-            "operator": session.operator,
-            "country": session.country,
-            "rooted": session.rooted,
-            "degraded": session.degraded,
-            "store_size": session.store_size,
-            "aosp_count": diff.aosp_count,
-            "additional_count": diff.additional_count,
-            "missing_count": diff.missing_count,
-            "additional": [
-                {
-                    "fingerprint": root_fingerprint(certificate),
-                    "label": _cert_label(certificate),
-                }
-                for certificate in diff.additional
-            ],
-        }
-    return index
+    return {
+        str(diff.session.session_id): session_diff_payload(diff)
+        for diff in result.diffs
+    }
 
 
 class StudySnapshot:
@@ -147,17 +157,36 @@ class StudySnapshot:
         self.generation = generation
 
     @classmethod
-    def from_result(cls, result: StudyResult, *, generation: int = 0) -> "StudySnapshot":
-        """Precompute every payload the service can be asked for."""
+    def from_result(
+        cls,
+        result: StudyResult,
+        *,
+        generation: int = 0,
+        index_sessions: bool = True,
+        session_index: dict[str, dict] | None = None,
+    ) -> "StudySnapshot":
+        """Precompute every payload the service can be asked for.
+
+        ``session_index`` substitutes a prebuilt per-session index (the
+        stream engine maintains one incrementally); ``index_sessions=
+        False`` skips the per-session index entirely — million-session
+        live corpora trade ``/v1/sessions/{id}/diff`` (404) for a
+        snapshot build that is O(tables), not O(sessions).
+        """
         export = to_json(result)
         roots = _build_root_index(result)
-        sessions = _build_session_index(result)
+        if session_index is not None:
+            sessions = session_index
+        elif index_sessions:
+            sessions = _build_session_index(result)
+        else:
+            sessions = {}
         meta = {
             "seed": result.config.seed,
             "population_scale": result.config.population_scale,
             "notary_scale": result.config.notary_scale,
             "sessions": result.dataset.session_count,
-            "diffed_sessions": len(sessions),
+            "diffed_sessions": len(result.diffs),
             "roots": len(roots),
             "generation": generation,
         }

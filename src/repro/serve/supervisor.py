@@ -20,11 +20,26 @@ Two listening arrangements, best first:
   the parent binds once and workers accept from the shared inherited
   socket. Correct, just noisier under load.
 
-Lifecycle, all in the parent:
+Lifecycle, all in the parent's select-driven control loop:
 
 * **SIGCHLD-driven restarts**: a worker that dies unexpectedly is
   replaced, with exponential backoff per worker slot so a crash loop
-  can't fork-bomb the host.
+  can't fork-bomb the host. The backoff *decays*: a worker that ran
+  healthily for :data:`HEALTHY_UPTIME_SECONDS` resets its slot's
+  count, so a worker that crashes once a day restarts in
+  :data:`BACKOFF_BASE_SECONDS` forever instead of creeping up to the
+  cap. Restart delays are scheduled due-times, never blocking sleeps —
+  the control loop keeps serving reload requests while a slot waits.
+* **Fleet-wide snapshot broadcast** (:mod:`repro.serve.fleet`): every
+  worker holds a control socketpair to the parent. A worker receiving
+  ``POST /admin/reload`` forwards it here; the parent rebuilds once
+  and broadcasts the fresh snapshot to the whole fleet, so one reload
+  can never leave workers serving mixed generations. The stream
+  engine's republish cadence pushes through the same
+  :meth:`Supervisor.broadcast_snapshot` path via the ``tick`` hook.
+  The rebuild runs synchronously in the control loop (restarts and
+  further requests queue behind it) — deliberate: a fleet mid-reload
+  has exactly one study build in flight, never N.
 * **Coordinated drain**: SIGTERM/SIGINT forwards SIGTERM to every
   worker; each drains in-flight requests via its transport's own
   protocol and exits 0; the parent reaps them all (bounded wait,
@@ -42,7 +57,9 @@ import select
 import signal
 import sys
 import time
+from typing import Callable
 
+from repro.serve import fleet
 from repro.serve.app import ServeApp
 from repro.serve.transport import (
     ReusePortUnavailable,
@@ -58,9 +75,32 @@ DRAIN_TIMEOUT_SECONDS = 15.0
 BACKOFF_BASE_SECONDS = 0.1
 BACKOFF_CAP_SECONDS = 5.0
 
+#: A worker that survived this long is considered healthy: its slot's
+#: restart count resets, so the next crash backs off from the base
+#: again instead of wherever an old crash loop left the counter.
+HEALTHY_UPTIME_SECONDS = 30.0
+
 #: How long the parent waits for every worker to report its listener
 #: bound before closing the port reservation.
 BIND_SYNC_TIMEOUT_SECONDS = 30.0
+
+
+def next_restart_count(previous: int, uptime: float, *, healthy_after: float = HEALTHY_UPTIME_SECONDS) -> int:
+    """The slot's restart count after a worker death at *uptime* seconds.
+
+    A healthy run decays the history to zero before counting the new
+    death, so backoff only compounds across *rapid* crash loops.
+    """
+    if uptime >= healthy_after:
+        return 1
+    return previous + 1
+
+
+def backoff_delay(restarts: int) -> float:
+    """Exponential restart delay for the given consecutive-crash count."""
+    return min(
+        BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2 ** (max(restarts, 1) - 1))
+    )
 
 
 class Supervisor:
@@ -78,6 +118,8 @@ class Supervisor:
         notify_fd: int | None = None,
         ready=None,
         drain_timeout: float = DRAIN_TIMEOUT_SECONDS,
+        tick: Callable[[], None] | None = None,
+        tick_interval: float = 0.5,
     ):
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -91,14 +133,24 @@ class Supervisor:
         self.notify_fd = notify_fd
         self.ready = ready
         self.drain_timeout = drain_timeout
+        #: Called from the control loop roughly every ``tick_interval``
+        #: seconds — the stream engine pumps ingestion here, in the
+        #: parent, and republishes via :meth:`broadcast_snapshot`.
+        self.tick = tick
+        self.tick_interval = tick_interval
         self.port: int | None = None
         self._workers: dict[int, int] = {}  # pid → worker index
         self._restarts: dict[int, int] = {}  # worker index → restart count
+        self._spawned_at: dict[int, float] = {}  # pid → monotonic spawn time
+        self._pending_restarts: dict[int, float] = {}  # index → due time
+        self._channels: dict[int, object] = {}  # pid → control socket
+        self._channel = None  # the worker's own end, set post-fork
         self._shared_listener = None
         self._reservation = None
         self._stop_requested = False
         self._drain_failed = False
         self._sync_w: int | None = None
+        self._wake_w: int | None = None
 
     # -- the parent --------------------------------------------------------------
 
@@ -163,19 +215,41 @@ class Supervisor:
 
     def _request_stop(self, signum: int, frame: object) -> None:
         self._stop_requested = True
+        self._poke()
         for pid in list(self._workers):
             try:
                 os.kill(pid, signal.SIGTERM)
             except ProcessLookupError:
                 pass
 
+    def _on_sigchld(self, signum: int, frame: object) -> None:
+        self._poke()
+
+    def _poke(self) -> None:
+        """Wake the control loop's select (async-signal-safe)."""
+        wake = self._wake_w
+        if wake is not None:
+            try:
+                os.write(wake, b"w")
+            except OSError:
+                pass
+
     def _spawn(self, index: int, using_reuse_port: bool) -> None:
         if self._stop_requested:
             return
+        parent_sock, child_sock = fleet.control_socketpair()
         pid = os.fork()
         if pid == 0:
             status = 1
             try:
+                parent_sock.close()
+                # Inherited copies of *other* workers' parent-side
+                # channel sockets: close them so a worker's death
+                # actually EOFs its channel in the parent.
+                for sock in self._channels.values():
+                    sock.close()
+                self._channels = {}
+                self._channel = child_sock
                 status = self._worker_main(index, using_reuse_port)
             except BaseException:  # noqa: BLE001 — a worker never re-enters the parent
                 import traceback
@@ -183,7 +257,10 @@ class Supervisor:
                 traceback.print_exc()
             finally:
                 os._exit(status)
+        child_sock.close()
         self._workers[pid] = index
+        self._channels[pid] = parent_sock
+        self._spawned_at[pid] = time.monotonic()
 
     def _await_worker_binds(self, sync_r: int) -> None:
         """Block until every worker wrote its bound-byte (bounded)."""
@@ -215,20 +292,77 @@ class Supervisor:
         )
         sys.stderr.flush()
 
+    # -- the control loop --------------------------------------------------------
+
     def _babysit(self, using_reuse_port: bool) -> None:
-        """Reap exits; restart crashes with backoff; drain on stop."""
-        while self._workers:
+        """Reap exits, serve reload requests, run due restarts and ticks."""
+        wake_r, wake_w = os.pipe()
+        os.set_blocking(wake_r, False)
+        os.set_blocking(wake_w, False)
+        self._wake_w = wake_w
+        previous_chld = signal.signal(signal.SIGCHLD, self._on_sigchld)
+        try:
+            while self._workers or self._pending_restarts:
+                if self._stop_requested:
+                    self._reap_draining()
+                    return
+                channels = list(self._channels.items())
+                watch = [wake_r] + [sock for _, sock in channels]
+                try:
+                    readable, _, _ = select.select(
+                        watch, [], [], self._loop_timeout()
+                    )
+                except OSError:
+                    readable = []
+                if wake_r in readable:
+                    self._drain_wake(wake_r)
+                self._reap_exits()
+                for pid, sock in channels:
+                    if sock in readable and pid in self._channels:
+                        self._handle_channel(pid, sock)
+                self._spawn_due_restarts(using_reuse_port)
+                if self.tick is not None and not self._stop_requested:
+                    self.tick()
             if self._stop_requested:
                 self._reap_draining()
-                return
+        finally:
+            signal.signal(signal.SIGCHLD, previous_chld)
+            self._wake_w = None
+            os.close(wake_r)
+            os.close(wake_w)
+
+    def _loop_timeout(self) -> float:
+        """Sleep until the next due restart or tick, with a heartbeat."""
+        candidates = [1.0]  # heartbeat: never trust a wakeup you can re-earn
+        if self._pending_restarts:
+            now = time.monotonic()
+            candidates.append(
+                max(0.0, min(self._pending_restarts.values()) - now)
+            )
+        if self.tick is not None:
+            candidates.append(self.tick_interval)
+        return min(candidates)
+
+    @staticmethod
+    def _drain_wake(wake_r: int) -> None:
+        try:
+            while os.read(wake_r, 512):
+                pass
+        except OSError:
+            pass
+
+    def _reap_exits(self) -> None:
+        """Collect every dead worker; schedule its slot's restart."""
+        while True:
             try:
-                pid, status = os.waitpid(-1, 0)
+                pid, status = os.waitpid(-1, os.WNOHANG)
             except ChildProcessError:
-                self._workers.clear()
                 return
-            except InterruptedError:
-                continue
+            if pid == 0:
+                return
             index = self._workers.pop(pid, None)
+            spawned = self._spawned_at.pop(pid, None)
+            self._close_channel(pid)
             if index is None:
                 continue
             code = self._exit_code(status)
@@ -236,20 +370,96 @@ class Supervisor:
                 if code != 0:
                     self._drain_failed = True
                 continue
-            # Unexpected death: restart the slot with exponential backoff.
-            self._restarts[index] = self._restarts.get(index, 0) + 1
-            self.app.registry.counter("serve.supervisor.restarts").inc()
-            delay = min(
-                BACKOFF_CAP_SECONDS,
-                BACKOFF_BASE_SECONDS * (2 ** (self._restarts[index] - 1)),
+            # Unexpected death: restart the slot with exponential
+            # backoff, decayed if the worker had a healthy run.
+            uptime = (
+                time.monotonic() - spawned if spawned is not None else 0.0
             )
+            self._restarts[index] = next_restart_count(
+                self._restarts.get(index, 0), uptime
+            )
+            self.app.registry.counter("serve.supervisor.restarts").inc()
+            delay = backoff_delay(self._restarts[index])
             print(
                 f"repro-serve supervisor: worker {index} (pid {pid}) exited "
                 f"{code}; restarting in {delay:.2f}s",
                 file=sys.stderr,
             )
-            self._sleep_interruptibly(delay)
+            self._pending_restarts[index] = time.monotonic() + delay
+
+    def _spawn_due_restarts(self, using_reuse_port: bool) -> None:
+        if not self._pending_restarts or self._stop_requested:
+            return
+        now = time.monotonic()
+        due = [
+            index
+            for index, due_at in self._pending_restarts.items()
+            if due_at <= now
+        ]
+        for index in due:
+            del self._pending_restarts[index]
             self._spawn(index, using_reuse_port)
+
+    def _handle_channel(self, pid: int, sock) -> None:
+        """One readable control socket: a reload request, or EOF."""
+        try:
+            frame = fleet.recv_frame(sock)
+        except OSError:
+            frame = None
+        if frame is None:
+            self._close_channel(pid)
+            return
+        kind, _ = frame
+        if kind == fleet.MSG_RELOAD_REQUEST:
+            self._serve_reload(sock)
+
+    def _serve_reload(self, sock) -> None:
+        """Rebuild once; broadcast to all, or report failure to the asker."""
+        if self.app.reloader is None:
+            self._send_error(sock, "no reloader configured")
+            return
+        try:
+            fresh = self.app.reloader()
+        except Exception as error:  # noqa: BLE001 — typed back to the worker
+            self.app.registry.counter("serve.supervisor.reload_failures").inc()
+            self._send_error(sock, f"{type(error).__name__}: {error}")
+            return
+        self.broadcast_snapshot(fresh)
+
+    @staticmethod
+    def _send_error(sock, message: str) -> None:
+        try:
+            fleet.send_frame(sock, fleet.MSG_ERROR, message.encode("utf-8"))
+        except OSError:
+            pass
+
+    def broadcast_snapshot(self, snapshot) -> int:
+        """Install *snapshot* fleet-wide; returns workers reached.
+
+        The parent's holder is swapped first, so a worker respawned
+        after this broadcast forks with the fresh study already in
+        place. A channel that errors mid-send belongs to a dead or
+        wedged worker — its SIGCHLD restart is the recovery path.
+        """
+        self.app.holder.swap(snapshot)
+        frame = fleet.snapshot_frame(snapshot)
+        delivered = 0
+        for pid in list(self._channels):
+            try:
+                self._channels[pid].sendall(frame)
+                delivered += 1
+            except OSError:
+                self._close_channel(pid)
+        self.app.registry.counter("serve.supervisor.broadcasts").inc()
+        return delivered
+
+    def _close_channel(self, pid: int) -> None:
+        sock = self._channels.pop(pid, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def _reap_draining(self) -> None:
         """Collect the fleet after a stop signal; SIGKILL past deadline."""
@@ -269,6 +479,7 @@ class Supervisor:
                 time.sleep(0.02)
                 continue
             if self._workers.pop(pid, None) is not None:
+                self._close_channel(pid)
                 if self._exit_code(status) != 0:
                     self._drain_failed = True
         for pid in list(self._workers):
@@ -279,11 +490,7 @@ class Supervisor:
             except (ProcessLookupError, ChildProcessError):
                 pass
             self._workers.pop(pid, None)
-
-    def _sleep_interruptibly(self, delay: float) -> None:
-        deadline = time.monotonic() + delay
-        while not self._stop_requested and time.monotonic() < deadline:
-            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+            self._close_channel(pid)
 
     @staticmethod
     def _exit_code(status: int) -> int:
@@ -299,6 +506,7 @@ class Supervisor:
         """Runs in the forked child; never returns to the parent's code."""
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
         signal.signal(signal.SIGINT, signal.SIG_DFL)
+        signal.signal(signal.SIGCHLD, signal.SIG_DFL)
         if using_reuse_port:
             # Close the inherited copy of the parent's reservation
             # socket first — a listening FD nobody accepts from would
@@ -314,6 +522,14 @@ class Supervisor:
             os.write(self._sync_w, b"B")
             os.close(self._sync_w)
             self._sync_w = None
+        if self._channel is not None:
+            # Reloads become fleet-wide: the worker's reloader forwards
+            # to the parent, which rebuilds once and broadcasts; the
+            # receiver thread swaps broadcasts in even when this worker
+            # never asked (another worker's reload, or the stream
+            # engine's republish cadence).
+            channel = fleet.WorkerChannel(self._channel, self.app.holder).start()
+            self.app.reloader = channel.request_reload
         self.app.registry.gauge("serve.worker.index").set(index)
         self.app.registry.gauge("serve.worker.pid").set(os.getpid())
         server = create_server(

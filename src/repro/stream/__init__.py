@@ -1,0 +1,28 @@
+"""``repro.stream`` — the live study engine.
+
+The batch pipeline (:func:`repro.analysis.study.run_study`) builds the
+whole universe, then analyzes it once. This package runs the same
+pipeline *continuously*: sessions and Notary leaf observations arrive
+as an interleaved event stream (the exact generators the batch builders
+drain), the dataset and notary maintain their indexes incrementally on
+ingest, and a :class:`Republisher` rebuilds a
+:class:`~repro.serve.snapshot.StudySnapshot` on a configurable cadence
+and pushes it to the serve layer — in fleet mode through
+:meth:`repro.serve.supervisor.Supervisor.broadcast_snapshot`, so every
+worker flips to the new generation together.
+
+Determinism is preserved end to end: a streamed study's final report is
+byte-identical to the batch-built report over the same session set, at
+any pacing, cadence or worker count.
+"""
+
+from repro.stream.engine import StreamConfig, StreamEngine, placeholder_snapshot
+from repro.stream.republish import Republisher, drain
+
+__all__ = [
+    "StreamConfig",
+    "StreamEngine",
+    "Republisher",
+    "drain",
+    "placeholder_snapshot",
+]

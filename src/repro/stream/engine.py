@@ -1,0 +1,279 @@
+"""The stream engine: continuous ingestion over incremental indexes.
+
+:class:`StreamEngine` owns the same substrates a batch study builds —
+population, dataset, notary, per-session diffs — but consumes the
+session and leaf event generators (:func:`~repro.netalyzr.collector.
+ingest_sessions`, :func:`~repro.notary.database.ingest_leaves`)
+incrementally, a bounded batch per :meth:`StreamEngine.pump` call. Per
+ingested session the engine immediately computes the session's store
+diff (the expensive per-record analysis) and renders its API payload;
+the dataset's summary counters and the notary's per-subject validation
+memos update incrementally on their own (the PR 2 invalidation and
+PR 6 sharding paths). A :meth:`StreamEngine.snapshot` call therefore
+only reruns the cheap aggregation tail
+(:func:`~repro.analysis.study.analyze_from_diffs`) — tables and
+figures update as deltas of already-diffed state, never as a
+from-scratch recomputation of the per-session work.
+
+The two event streams interleave one-for-one until the shorter
+exhausts; ordering cannot change any output — the dataset and notary
+share no state, and every generated artifact derives from per-name RNG
+streams, not from generation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.analysis.errors import AnalysisError
+from repro.analysis.report import STUDY_JSON_SCHEMA
+from repro.analysis.sessions import SessionDiff, SessionDiffer
+from repro.analysis.study import StudyConfig, StudyResult, analyze_from_diffs
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.faults.injector import FaultInjector
+from repro.faults.quarantine import ErrorCategory
+from repro.netalyzr.collector import NetalyzrClient, ingest_sessions
+from repro.netalyzr.dataset import NetalyzrDataset
+from repro.notary.database import NotaryDatabase, ingest_leaves
+from repro.parallel.executor import ParallelExecutor
+from repro.rootstore.catalog import default_catalog
+from repro.rootstore.factory import CertificateFactory
+from repro.rootstore.vendors import build_platform_stores
+from repro.serve.snapshot import StudySnapshot, session_diff_payload
+from repro.storage.backend import DiskBackend
+from repro.tlssim.endpoints import PROBE_TARGETS
+from repro.tlssim.traffic import TlsTrafficGenerator
+
+#: Default events consumed per :meth:`StreamEngine.pump` call.
+DEFAULT_BATCH = 256
+
+
+@dataclass
+class StreamConfig:
+    """Knobs for one live study run (the streaming subset of
+    :class:`~repro.analysis.study.StudyConfig`)."""
+
+    seed: str = "tangled-mass"
+    population_scale: float = 1.0
+    notary_scale: float = 1.0
+    key_bits: int = 512
+    fault_rate: float = 0.0
+    fault_seed: str = ""
+    workers: int = 1
+    storage_dir: str = ""
+    #: maintain the per-session diff index served at
+    #: ``/v1/sessions/{id}/diff``. Costs one rendered payload per
+    #: session held resident; million-session live corpora turn it off
+    #: and that endpoint 404s.
+    index_sessions: bool = True
+
+    def study_config(self) -> StudyConfig:
+        """The equivalent batch configuration (drives the report's
+        config section, which must match a batch run's bytes)."""
+        return StudyConfig(
+            seed=self.seed,
+            population_scale=self.population_scale,
+            notary_scale=self.notary_scale,
+            key_bits=self.key_bits,
+            fault_rate=self.fault_rate,
+            fault_seed=self.fault_seed,
+            workers=self.workers,
+            storage_dir=self.storage_dir,
+        )
+
+
+def placeholder_snapshot(config: StreamConfig) -> StudySnapshot:
+    """Generation-0 snapshot served while the stream is still warming.
+
+    The fleet forks with this in place; the first republish broadcast
+    replaces it everywhere. Table/figure/root lookups 404 against it,
+    ``/v1/health`` reports ``warming: true``.
+    """
+    export = {"schema": STUDY_JSON_SCHEMA, "tables": {}, "figures": {}}
+    meta = {
+        "seed": config.seed,
+        "population_scale": config.population_scale,
+        "notary_scale": config.notary_scale,
+        "sessions": 0,
+        "diffed_sessions": 0,
+        "roots": 0,
+        "generation": 0,
+        "warming": True,
+    }
+    return StudySnapshot(export, meta=meta, generation=0)
+
+
+class StreamEngine:
+    """Continuous-ingestion study state with incremental indexes."""
+
+    def __init__(self, config: StreamConfig | None = None):
+        self.config = config or StreamConfig()
+        cfg = self.config
+        self._executor = ParallelExecutor(workers=cfg.workers)
+        self._backend = (
+            DiskBackend(cfg.storage_dir) if cfg.storage_dir else None
+        )
+        self._catalog = default_catalog()
+        self._injector: FaultInjector | None = None
+        if cfg.fault_rate > 0:
+            self._injector = FaultInjector(
+                rate=cfg.fault_rate, seed=cfg.fault_seed or cfg.seed
+            )
+        with obs.span(
+            "stream.build",
+            seed=cfg.seed,
+            population_scale=cfg.population_scale,
+            notary_scale=cfg.notary_scale,
+            workers=cfg.workers,
+        ):
+            self._factory = CertificateFactory(
+                seed=cfg.seed, key_bits=cfg.key_bits
+            )
+            self._stores = build_platform_stores(self._factory, self._catalog)
+            self._population = PopulationGenerator(
+                PopulationConfig(seed=cfg.seed, scale=cfg.population_scale),
+                self._factory,
+                self._catalog,
+            ).generate(executor=self._executor)
+
+        self.dataset = NetalyzrDataset(backend=self._backend)
+        self.notary = NotaryDatabase(backend=self._backend)
+        self._differ = SessionDiffer(self._stores.aosp)
+        self.diffs: list[SessionDiff] = []
+        self._session_index: dict[str, dict] = {}
+        self._diff_cursor = 0
+
+        client = NetalyzrClient(self._factory, self._catalog)
+        if self._executor.parallel:
+            # Same warm-up the batch collector runs: identical keys,
+            # generated sooner and in parallel.
+            client.factory.warm(
+                (endpoint.issuer_ca for endpoint in PROBE_TARGETS),
+                self._executor,
+            )
+            client._traffic.warm_server_keys(
+                [endpoint.host for endpoint in PROBE_TARGETS], self._executor
+            )
+        generator = TlsTrafficGenerator(
+            self._factory, self._catalog, scale=cfg.notary_scale
+        )
+        #: planned session total (the stream's finite horizon).
+        self.total_sessions = sum(
+            record.session_count for record in self._population.records
+        )
+        self.ingested_sessions = 0
+        self.ingested_leaves = 0
+        self.exhausted = False
+        self._events = self._merge(
+            ingest_sessions(
+                self._population, client, self.dataset, injector=self._injector
+            ),
+            ingest_leaves(
+                self.notary,
+                generator,
+                list(self._catalog.all_profiles()),
+                self._factory,
+                injector=self._injector,
+                executor=self._executor,
+            ),
+        )
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _merge(self, sessions, leaves):
+        """Alternate the two event streams; drain whichever outlives."""
+        streams = [sessions, leaves]
+        while streams:
+            for stream in list(streams):
+                try:
+                    next(stream)
+                except StopIteration:
+                    streams.remove(stream)
+                    continue
+                if stream is sessions:
+                    self.ingested_sessions += 1
+                    self._diff_new_sessions()
+                else:
+                    self.ingested_leaves += 1
+                yield stream
+
+    def _diff_new_sessions(self) -> None:
+        """Diff (and index) every dataset session not yet diffed.
+
+        Mirrors ``SessionDiffer.diff_all`` exactly — same quarantine
+        category, location and message for an undiffable session — just
+        one session at a time, so the final diff list and quarantine
+        counts match a batch analysis byte for byte.
+        """
+        sessions = self.dataset.sessions
+        while self._diff_cursor < len(sessions):
+            session = sessions[self._diff_cursor]
+            self._diff_cursor += 1
+            try:
+                parts = self._differ._diff_parts(session)
+            except AnalysisError as exc:
+                self.dataset.quarantine.add(
+                    ErrorCategory.MALFORMED_RECORD,
+                    f"session:{session.session_id}/diff",
+                    str(exc),
+                )
+                continue
+            diff = self._differ._assemble(session, parts)
+            self.diffs.append(diff)
+            if self.config.index_sessions:
+                self._session_index[str(session.session_id)] = (
+                    session_diff_payload(diff)
+                )
+
+    def pump(self, max_events: int = DEFAULT_BATCH) -> int:
+        """Ingest up to *max_events* events; returns the count consumed.
+
+        Returns less than *max_events* only when the stream ran dry
+        (:attr:`exhausted` flips true).
+        """
+        if self.exhausted:
+            return 0
+        consumed = 0
+        while consumed < max_events:
+            if next(self._events, None) is None:
+                self.exhausted = True
+                break
+            consumed += 1
+        return consumed
+
+    # -- publication -------------------------------------------------------------
+
+    def result(self) -> StudyResult:
+        """The study over everything ingested so far.
+
+        Reruns only the aggregation tail: the per-session diffs are
+        already computed, the notary's validation memos are already
+        warm for every untouched anchor.
+        """
+        if self._backend is not None:
+            self._backend.flush()
+        result = StudyResult(
+            config=self.config.study_config(),
+            stores=self._stores,
+            population=self._population,
+            dataset=self.dataset,
+            notary=self.notary,
+            diffs=list(self.diffs),
+            fault_injector=self._injector,
+        )
+        analyze_from_diffs(result, self._catalog, executor=self._executor)
+        return result
+
+    def snapshot(self, generation: int) -> StudySnapshot:
+        """A serveable snapshot of everything ingested so far."""
+        result = self.result()
+        session_index = (
+            dict(self._session_index) if self.config.index_sessions else None
+        )
+        return StudySnapshot.from_result(
+            result,
+            generation=generation,
+            index_sessions=self.config.index_sessions,
+            session_index=session_index,
+        )

@@ -1,0 +1,151 @@
+"""Cadence-driven snapshot republication for the live study engine.
+
+The :class:`Republisher` sits between a :class:`~repro.stream.engine.
+StreamEngine` and a snapshot sink (in fleet mode,
+:meth:`repro.serve.supervisor.Supervisor.broadcast_snapshot`; in tests,
+a plain holder swap). It decides *when* a fresh
+:class:`~repro.serve.snapshot.StudySnapshot` is worth building — every
+N ingested sessions, every T seconds, or both — stamps each build with
+a monotonically increasing generation, and tracks snapshot freshness:
+how stale the oldest unpublished ingest was by the time a snapshot
+containing it finished building. The p99 of those samples is the
+freshness bound ``BENCH_stream.json`` gates on.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.stream.engine import StreamEngine
+
+
+class Republisher:
+    """Rebuild-and-push policy over a stream engine."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        sink=None,
+        *,
+        every_sessions: int = 0,
+        every_seconds: float = 0.0,
+        clock=time.monotonic,
+    ):
+        self.engine = engine
+        #: called with each freshly built snapshot; None builds only.
+        self.sink = sink
+        self.every_sessions = every_sessions
+        self.every_seconds = every_seconds
+        self._clock = clock
+        self.generation = 0
+        self.last_snapshot = None
+        self.freshness_samples: list[float] = []
+        self._published_sessions = 0
+        self._published_events = 0
+        self._last_publish_at = clock()
+        self._oldest_pending: float | None = None
+
+    # -- cadence -----------------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Events ingested since the last build."""
+        ingested = self.engine.ingested_sessions + self.engine.ingested_leaves
+        return ingested - self._published_events
+
+    def note_ingest(self) -> None:
+        """Record that new events landed; starts the freshness clock."""
+        if self._oldest_pending is None and self.pending_events:
+            self._oldest_pending = self._clock()
+
+    def due(self) -> bool:
+        """True when the configured cadence calls for a republish.
+
+        Never due before the first session diff exists (the analysis
+        tail needs at least one) or when nothing new was ingested.
+        """
+        if not self.pending_events or not self.engine.diffs:
+            return False
+        if self.every_sessions and (
+            self.engine.ingested_sessions - self._published_sessions
+            >= self.every_sessions
+        ):
+            return True
+        if self.every_seconds and (
+            self._clock() - self._last_publish_at >= self.every_seconds
+        ):
+            return True
+        return False
+
+    def maybe_publish(self):
+        """Publish if due; returns the snapshot or None."""
+        if self.due():
+            return self.publish()
+        return None
+
+    # -- building ----------------------------------------------------------------
+
+    def build(self):
+        """Build the next-generation snapshot (no push).
+
+        This is the parent-side ``app.reloader`` in stream fleets: a
+        worker-forwarded ``POST /admin/reload`` forces a fresh build
+        and the supervisor broadcasts the returned snapshot itself.
+        """
+        self.generation += 1
+        snapshot = self.engine.snapshot(self.generation)
+        now = self._clock()
+        if self._oldest_pending is not None:
+            # Freshness: the oldest unpublished ingest waited this long
+            # for a snapshot containing it to finish building. (The
+            # sink's own push time is the transport's, not ours.)
+            self.freshness_samples.append(now - self._oldest_pending)
+            self._oldest_pending = None
+        self._last_publish_at = now
+        self._published_sessions = self.engine.ingested_sessions
+        self._published_events = (
+            self.engine.ingested_sessions + self.engine.ingested_leaves
+        )
+        self.last_snapshot = snapshot
+        return snapshot
+
+    def publish(self):
+        """Build the next-generation snapshot and push it to the sink."""
+        snapshot = self.build()
+        if self.sink is not None:
+            self.sink(snapshot)
+        return snapshot
+
+    # -- reporting ---------------------------------------------------------------
+
+    def freshness(self) -> dict:
+        """Summary of the freshness samples collected so far."""
+        samples = sorted(self.freshness_samples)
+        if not samples:
+            return {"publishes": 0}
+
+        def quantile(fraction: float) -> float:
+            index = min(
+                len(samples) - 1, max(0, math.ceil(fraction * len(samples)) - 1)
+            )
+            return samples[index]
+
+        return {
+            "publishes": len(samples),
+            "p50_s": round(quantile(0.50), 3),
+            "p99_s": round(quantile(0.99), 3),
+            "max_s": round(samples[-1], 3),
+        }
+
+
+def drain(engine: StreamEngine, republisher: Republisher, *, batch: int = 256):
+    """Pump *engine* dry on *republisher*'s cadence; returns the final
+    snapshot (every ingested event published exactly once)."""
+    while not engine.exhausted:
+        if engine.pump(batch):
+            republisher.note_ingest()
+            republisher.maybe_publish()
+    if republisher.pending_events:
+        return republisher.publish()
+    return republisher.last_snapshot

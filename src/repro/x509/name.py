@@ -95,11 +95,12 @@ class Name:
         Name.build(CN="Example Root CA", O="Example Inc", C="US")
     """
 
-    __slots__ = ("rdns", "_der")
+    __slots__ = ("rdns", "_der", "_normalized")
 
     def __init__(self, rdns: Iterable[RelativeDistinguishedName]):
         self.rdns = tuple(rdns)
         self._der: bytes | None = None
+        self._normalized: tuple[tuple[str, str], ...] | None = None
 
     @classmethod
     def build(cls, **attributes: str) -> "Name":
@@ -198,13 +199,20 @@ class Name:
 
         Attributes sorted by (OID, casefolded value) with whitespace
         collapsed — the normalization §4.1 performs manually.
+
+        Cached on the instance: chain building compares the same store
+        subjects against every candidate issuer, and ``rdns`` never
+        changes after construction.
         """
-        return tuple(
-            sorted(
-                (attr.oid.dotted, " ".join(attr.value.split()).casefold())
-                for attr in self.attributes()
+        normalized = getattr(self, "_normalized", None)
+        if normalized is None:
+            normalized = self._normalized = tuple(
+                sorted(
+                    (attr.oid.dotted, " ".join(attr.value.split()).casefold())
+                    for attr in self.attributes()
+                )
             )
-        )
+        return normalized
 
     # -- dunder ------------------------------------------------------------------
 

@@ -31,9 +31,9 @@ def snapshot(study):
     return StudySnapshot.from_result(study, generation=0)
 
 
-def _fork_fleet(snapshot, *, transport, processes, reuse_port=None):
+def _fork_fleet(snapshot, *, transport, processes, reuse_port=None, reloader=None):
     """Fork a supervisor fleet; returns (pid, port)."""
-    app = ServeApp(SnapshotHolder(snapshot), capacity=64)
+    app = ServeApp(SnapshotHolder(snapshot), capacity=64, reloader=reloader)
     read_fd, write_fd = os.pipe()
     pid = os.fork()
     if pid == 0:  # the supervisor: never returns into pytest
@@ -99,6 +99,90 @@ def _worker_pids(port: int, want: int, attempts: int = 80) -> set[int]:
         if status == 200:
             pids.add(int(json.loads(body)["gauges"].get("serve.worker.pid", 0)))
     return pids
+
+
+def _post(port: int, path: str):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("POST", path)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def _sample_worker(port: int):
+    """One keep-alive connection → (pid, health generation, table-1 ETag).
+
+    All three requests ride the same connection, so they are answered by
+    the same worker — the only way to pair a pid with the generation and
+    ETag that worker is actually serving.
+    """
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", "/v1/metrics")
+        response = connection.getresponse()
+        pid = int(json.loads(response.read())["gauges"]["serve.worker.pid"])
+        connection.request("GET", "/v1/health")
+        response = connection.getresponse()
+        generation = json.loads(response.read())["snapshot"]["generation"]
+        connection.request("GET", "/v1/tables/1")
+        response = connection.getresponse()
+        response.read()
+        return pid, generation, response.getheader("ETag")
+    finally:
+        connection.close()
+
+
+class TestFleetReloadConsistency:
+    """One ``POST /admin/reload`` must move the *whole* fleet.
+
+    Regression for the pre-broadcast behaviour where a reload swapped
+    only the worker that happened to answer the POST, leaving the rest
+    of the fleet serving the old generation (and old ETags) forever.
+    """
+
+    def test_one_reload_updates_every_worker(self, snapshot, study):
+        fresh = StudySnapshot.from_result(study, generation=1)
+        pid, port = _fork_fleet(
+            snapshot,
+            transport="evloop",
+            processes=2,
+            reloader=lambda: fresh,
+        )
+        try:
+            assert len(_worker_pids(port, want=2)) == 2
+            status, _, body = _post(port, "/admin/reload")
+            assert status == 200
+            assert json.loads(body)["generation"] == 1
+
+            # The broadcast lands asynchronously (a receiver thread per
+            # worker); poll fresh connections until both workers have
+            # been observed at the new generation.
+            per_worker: dict[int, tuple[int, str]] = {}
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                try:
+                    worker, generation, etag = _sample_worker(port)
+                except (OSError, http.client.HTTPException):
+                    time.sleep(0.05)
+                    continue
+                per_worker[worker] = (generation, etag)
+                if len(per_worker) >= 2 and all(
+                    generation == 1 for generation, _ in per_worker.values()
+                ):
+                    break
+                time.sleep(0.05)
+
+            assert len(per_worker) == 2, f"only sampled {per_worker}"
+            generations = {g for g, _ in per_worker.values()}
+            assert generations == {1}, f"fleet split across {per_worker}"
+            etags = {etag for _, etag in per_worker.values()}
+            assert len(etags) == 1, f"ETags diverged across workers: {etags}"
+            assert "g1-" in etags.pop()
+        finally:
+            os.kill(pid, signal.SIGTERM)
+        assert _reap(pid) == 0
 
 
 class _BurstClient(threading.Thread):

@@ -199,6 +199,46 @@ class TestReload:
         # new generation → new ETag namespace, old cache lines unused
         assert dict(after.headers)["ETag"].startswith('"g1-')
 
+    def test_failed_reload_returns_typed_500_and_keeps_snapshot(self):
+        def exploding_reloader():
+            raise RuntimeError("rebuild blew up")
+
+        app = ServeApp(
+            SnapshotHolder(make_snapshot(3, marker="v3")),
+            reloader=exploding_reloader,
+        )
+        before = app.handle(Request("GET", "/v1/tables/1"))
+        response = app.handle(Request("POST", "/admin/reload"))
+        assert response.status == 500
+        error = json.loads(response.body)["error"]
+        assert error["kind"] == "reload_failed"
+        assert "RuntimeError" in error["message"]
+        # the old snapshot and generation survive untouched
+        assert error["generation"] == 3
+        after = app.handle(Request("GET", "/v1/tables/1"))
+        assert after.body == before.body
+        assert dict(after.headers)["ETag"] == dict(before.headers)["ETag"]
+        metrics = json.loads(app.handle(Request("GET", "/v1/metrics")).body)
+        assert metrics["counters"]["serve.reload_failures"] == 1
+        assert "serve.reloads" not in metrics["counters"]
+
+    def test_reload_recovers_after_a_failure(self):
+        calls = {"n": 0}
+
+        def flaky_reloader():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("transient")
+            return make_snapshot(1, marker="v1")
+
+        app = ServeApp(SnapshotHolder(make_snapshot()), reloader=flaky_reloader)
+        assert app.handle(Request("POST", "/admin/reload")).status == 500
+        ok = app.handle(Request("POST", "/admin/reload"))
+        assert ok.status == 200
+        assert json.loads(ok.body)["generation"] == 1
+        body = app.handle(Request("GET", "/v1/tables/1")).body
+        assert json.loads(body) == [["row", 1, "v1"]]
+
     def test_concurrent_readers_never_see_a_torn_snapshot(self):
         holder = SnapshotHolder(make_snapshot(0, marker="g0"))
         app = ServeApp(holder, capacity=16)

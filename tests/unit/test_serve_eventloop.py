@@ -7,7 +7,9 @@ snapshot from ``test_serve_app`` — no study build, still real sockets,
 keep-alive and pipelining.
 """
 
+import json
 import socket
+import threading
 import time
 
 import pytest
@@ -306,6 +308,65 @@ class TestEventLoopLive:
             if client.recv(1024) == b"":
                 return
         raise AssertionError("HTTP/1.0 connection left open")
+
+
+class TestOffloadedReloadFailure:
+    """Satellite: a reloader that raises mid-pipeline must not poison
+    the connection — the app's typed 500 comes back in order, pipelined
+    requests behind it still answer, and every later request keeps
+    serving the old snapshot."""
+
+    def test_failure_preserves_order_and_old_snapshot(self):
+        gate = threading.Event()
+
+        def exploding_reloader():
+            gate.wait(timeout=10)
+            raise RuntimeError("rebuild blew up mid-pipeline")
+
+        app = ServeApp(
+            SnapshotHolder(make_snapshot(2, marker="v2")),
+            reloader=exploding_reloader,
+        )
+        server = EventLoopServer(app, idle_timeout=5.0).start()
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            # Pipeline the reload and a GET behind it on one connection.
+            sock.sendall(
+                b"POST /admin/reload HTTP/1.1\r\nHost: t\r\n\r\n"
+                b"GET /v1/tables/1 HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            # The reload is gated off-loop; other connections are live.
+            other = socket.create_connection(
+                (server.host, server.port), timeout=10
+            )
+            try:
+                other.sendall(GET_HEALTH)
+                head, _ = _recv_response(other)
+                assert head.startswith(b"HTTP/1.1 200")
+            finally:
+                other.close()
+            gate.set()
+            leftover = bytearray()
+            head, body = _recv_response(sock, leftover)
+            assert head.startswith(b"HTTP/1.1 500")
+            error = json.loads(body)["error"]
+            assert error["kind"] == "reload_failed"
+            assert error["generation"] == 2
+            # The pipelined GET answers next, from the old snapshot.
+            head, body = _recv_response(sock, leftover)
+            assert head.startswith(b"HTTP/1.1 200")
+            assert json.loads(body) == [["row", 1, "v2"]]
+            # A later request on the same connection: still generation 2.
+            sock.sendall(GET_HEALTH)
+            head, body = _recv_response(sock, leftover)
+            assert json.loads(body)["snapshot"]["marker"] == "v2"
+        finally:
+            sock.close()
+            server.stop()
+        counters = app.registry.to_dict()["counters"]
+        assert counters["serve.reload_failures"] == 1
+        # the typed 500 means nothing escaped into the offload guard
+        assert "serve.loop.offload_errors" not in counters
 
 
 def _count_length(head: bytes) -> int:

@@ -1,0 +1,181 @@
+"""Unit tests for the fleet control protocol and restart backoff policy.
+
+Everything here runs in-process: the framed channel is exercised over a
+plain ``socketpair`` (one end played by the test standing in for the
+supervisor), and the backoff/decay arithmetic is tested through the
+pure helpers the supervisor's control loop calls — no forks, no
+sockets bound.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import SnapshotHolder, StudySnapshot
+from repro.serve.fleet import (
+    MSG_ERROR,
+    MSG_RELOAD_REQUEST,
+    MSG_SNAPSHOT,
+    WorkerChannel,
+    recv_frame,
+    send_frame,
+    snapshot_frame,
+)
+from repro.serve.supervisor import (
+    BACKOFF_BASE_SECONDS,
+    BACKOFF_CAP_SECONDS,
+    HEALTHY_UPTIME_SECONDS,
+    backoff_delay,
+    next_restart_count,
+)
+
+
+def make_snapshot(generation: int = 0, marker: str = "v0") -> StudySnapshot:
+    return StudySnapshot(
+        {"tables": {"1": [["row", 1, marker]]}},
+        meta={"generation": generation, "marker": marker},
+        generation=generation,
+    )
+
+
+class TestBackoffDecay:
+    def test_rapid_crashes_compound(self):
+        count = 0
+        for _ in range(5):
+            count = next_restart_count(count, uptime=0.5)
+        assert count == 5
+        assert backoff_delay(count) == BACKOFF_BASE_SECONDS * 16
+
+    def test_healthy_uptime_resets_the_slot(self):
+        count = 7  # a worker deep into a historic crash loop
+        count = next_restart_count(count, uptime=HEALTHY_UPTIME_SECONDS + 1)
+        assert count == 1
+        assert backoff_delay(count) == BACKOFF_BASE_SECONDS
+
+    def test_boundary_uptime_counts_as_healthy(self):
+        assert next_restart_count(9, uptime=HEALTHY_UPTIME_SECONDS) == 1
+
+    def test_just_short_of_healthy_still_compounds(self):
+        assert next_restart_count(3, uptime=HEALTHY_UPTIME_SECONDS - 0.01) == 4
+
+    def test_daily_crasher_never_creeps_toward_the_cap(self):
+        # The original bug: _restarts[index] only ever incremented, so a
+        # worker crashing once a day pinned at max backoff forever.
+        count = 0
+        for _ in range(365):
+            count = next_restart_count(count, uptime=86400.0)
+            assert backoff_delay(count) == BACKOFF_BASE_SECONDS
+
+    def test_delay_caps(self):
+        assert backoff_delay(50) == BACKOFF_CAP_SECONDS
+
+    def test_delay_is_sane_for_degenerate_counts(self):
+        assert backoff_delay(0) == BACKOFF_BASE_SECONDS
+        assert backoff_delay(1) == BACKOFF_BASE_SECONDS
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, MSG_ERROR, b"boom")
+            assert recv_frame(right) == (MSG_ERROR, b"boom")
+            send_frame(right, MSG_RELOAD_REQUEST)
+            assert recv_frame(left) == (MSG_RELOAD_REQUEST, b"")
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_snapshot_frame_carries_the_snapshot(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(snapshot_frame(make_snapshot(3, marker="v3")))
+            kind, payload = recv_frame(right)
+            assert kind == MSG_SNAPSHOT
+            import pickle
+
+            snapshot = pickle.loads(payload)
+            assert snapshot.generation == 3
+            assert snapshot.meta["marker"] == "v3"
+        finally:
+            left.close()
+            right.close()
+
+
+@pytest.fixture
+def channel_pair():
+    """(supervisor-side socket, started WorkerChannel, holder)."""
+    supervisor_sock, worker_sock = socket.socketpair()
+    holder = SnapshotHolder(make_snapshot(0, marker="v0"))
+    channel = WorkerChannel(worker_sock, holder).start()
+    yield supervisor_sock, channel, holder
+    supervisor_sock.close()
+    worker_sock.close()
+
+
+class TestWorkerChannel:
+    def test_broadcast_swaps_the_holder(self, channel_pair):
+        supervisor_sock, channel, holder = channel_pair
+        supervisor_sock.sendall(snapshot_frame(make_snapshot(1, marker="v1")))
+        deadline = time.monotonic() + 5
+        while holder.get().generation == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert holder.get().generation == 1
+        assert holder.get().meta["marker"] == "v1"
+
+    def test_request_reload_waits_for_the_broadcast(self, channel_pair):
+        supervisor_sock, channel, holder = channel_pair
+
+        def play_supervisor():
+            assert recv_frame(supervisor_sock) == (MSG_RELOAD_REQUEST, b"")
+            supervisor_sock.sendall(
+                snapshot_frame(make_snapshot(2, marker="v2"))
+            )
+
+        actor = threading.Thread(target=play_supervisor, daemon=True)
+        actor.start()
+        fresh = channel.request_reload(timeout=10)
+        actor.join(timeout=5)
+        assert fresh.generation == 2
+        assert holder.get() is fresh
+
+    def test_error_frame_raises_in_the_requester(self, channel_pair):
+        supervisor_sock, channel, holder = channel_pair
+
+        def play_supervisor():
+            assert recv_frame(supervisor_sock) == (MSG_RELOAD_REQUEST, b"")
+            send_frame(supervisor_sock, MSG_ERROR, b"RuntimeError: rebuild blew up")
+
+        actor = threading.Thread(target=play_supervisor, daemon=True)
+        actor.start()
+        with pytest.raises(RuntimeError, match="rebuild blew up"):
+            channel.request_reload(timeout=10)
+        actor.join(timeout=5)
+        # the old snapshot stays live
+        assert holder.get().generation == 0
+
+    def test_timeout_raises_and_late_broadcast_still_lands(self, channel_pair):
+        supervisor_sock, channel, holder = channel_pair
+        with pytest.raises(TimeoutError):
+            channel.request_reload(timeout=0.1)
+        supervisor_sock.sendall(snapshot_frame(make_snapshot(5, marker="v5")))
+        deadline = time.monotonic() + 5
+        while holder.get().generation == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert holder.get().generation == 5
+
+    def test_supervisor_eof_fails_fast(self, channel_pair):
+        supervisor_sock, channel, holder = channel_pair
+        supervisor_sock.close()
+        with pytest.raises(RuntimeError, match="channel closed"):
+            channel.request_reload(timeout=10)

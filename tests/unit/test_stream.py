@@ -1,0 +1,191 @@
+"""Unit tests for the live study engine: cadence, pump bookkeeping,
+warming snapshot shape.
+
+The expensive end-to-end properties (byte-identity with a batch study,
+fleet broadcast) live in ``tests/integration``; here the Republisher is
+driven against a stub engine with a fake clock so every cadence branch
+is exercised in microseconds.
+"""
+
+import pytest
+
+from repro.analysis.report import STUDY_JSON_SCHEMA
+from repro.stream import Republisher, StreamConfig, StreamEngine, placeholder_snapshot
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubEngine:
+    """Just the attributes the Republisher reads, plus a snapshot stub."""
+
+    def __init__(self):
+        self.ingested_sessions = 0
+        self.ingested_leaves = 0
+        self.diffs = []
+        self.exhausted = False
+        self.snapshots_built = 0
+
+    def snapshot(self, generation: int):
+        self.snapshots_built += 1
+        return {"generation": generation}
+
+
+class TestRepublisherCadence:
+    def test_not_due_without_events(self):
+        republisher = Republisher(StubEngine(), every_sessions=1, clock=FakeClock())
+        assert not republisher.due()
+        assert republisher.maybe_publish() is None
+
+    def test_not_due_before_first_diff(self):
+        # extended_fraction (and friends) raise on an empty diff list, so
+        # a publish before the first session diff exists must be held.
+        engine = StubEngine()
+        engine.ingested_sessions = 5
+        republisher = Republisher(engine, every_sessions=1, clock=FakeClock())
+        assert not republisher.due()
+        engine.diffs.append(object())
+        assert republisher.due()
+
+    def test_session_cadence(self):
+        engine = StubEngine()
+        engine.diffs.append(object())
+        republisher = Republisher(engine, every_sessions=10, clock=FakeClock())
+        engine.ingested_sessions = 9
+        assert not republisher.due()
+        engine.ingested_sessions = 10
+        assert republisher.due()
+        snapshot = republisher.maybe_publish()
+        assert snapshot == {"generation": 1}
+        # cadence resets: not due again until ten *more* sessions.
+        engine.ingested_sessions = 19
+        assert not republisher.due()
+        engine.ingested_sessions = 20
+        assert republisher.due()
+
+    def test_seconds_cadence(self):
+        clock = FakeClock()
+        engine = StubEngine()
+        engine.diffs.append(object())
+        engine.ingested_sessions = 1
+        republisher = Republisher(engine, every_seconds=2.0, clock=clock)
+        assert not republisher.due()
+        clock.advance(1.9)
+        assert not republisher.due()
+        clock.advance(0.2)
+        assert republisher.due()
+        republisher.publish()
+        engine.ingested_sessions = 2
+        assert not republisher.due()  # timer restarted at publish
+
+    def test_sink_receives_each_publish(self):
+        pushed = []
+        engine = StubEngine()
+        engine.diffs.append(object())
+        republisher = Republisher(
+            engine, pushed.append, every_sessions=1, clock=FakeClock()
+        )
+        engine.ingested_sessions = 1
+        republisher.maybe_publish()
+        engine.ingested_sessions = 2
+        republisher.maybe_publish()
+        assert [s["generation"] for s in pushed] == [1, 2]
+        assert republisher.last_snapshot == {"generation": 2}
+
+    def test_build_does_not_push(self):
+        pushed = []
+        engine = StubEngine()
+        republisher = Republisher(engine, pushed.append, clock=FakeClock())
+        snapshot = republisher.build()
+        assert snapshot == {"generation": 1}
+        assert pushed == []  # the fleet reload path broadcasts itself
+
+
+class TestFreshness:
+    def test_samples_span_oldest_pending_ingest(self):
+        clock = FakeClock()
+        engine = StubEngine()
+        engine.diffs.append(object())
+        republisher = Republisher(engine, every_sessions=1, clock=clock)
+        engine.ingested_sessions = 1
+        republisher.note_ingest()  # freshness clock starts here
+        clock.advance(0.5)
+        republisher.note_ingest()  # later events don't restart it
+        clock.advance(0.5)
+        republisher.publish()
+        summary = republisher.freshness()
+        assert summary["publishes"] == 1
+        assert summary["p50_s"] == summary["p99_s"] == summary["max_s"] == 1.0
+
+    def test_quantiles_over_many_publishes(self):
+        clock = FakeClock()
+        engine = StubEngine()
+        engine.diffs.append(object())
+        republisher = Republisher(engine, every_sessions=1, clock=clock)
+        for i, staleness in enumerate([0.1, 0.2, 0.3, 0.4, 1.0], start=1):
+            engine.ingested_sessions = i
+            republisher.note_ingest()
+            clock.advance(staleness)
+            republisher.publish()
+        summary = republisher.freshness()
+        assert summary["publishes"] == 5
+        assert summary["p50_s"] == pytest.approx(0.3)
+        assert summary["p99_s"] == pytest.approx(1.0)
+        assert summary["max_s"] == pytest.approx(1.0)
+
+    def test_empty_summary(self):
+        republisher = Republisher(StubEngine(), clock=FakeClock())
+        assert republisher.freshness() == {"publishes": 0}
+
+
+class TestPlaceholderSnapshot:
+    def test_shape(self):
+        config = StreamConfig(population_scale=0.25, notary_scale=0.5)
+        snapshot = placeholder_snapshot(config)
+        assert snapshot.generation == 0
+        assert snapshot.meta["warming"] is True
+        assert snapshot.meta["sessions"] == 0
+        assert snapshot.meta["population_scale"] == 0.25
+        assert snapshot.export["schema"] == STUDY_JSON_SCHEMA
+        assert snapshot.export["tables"] == {}
+        assert snapshot.export["figures"] == {}
+
+
+class TestEnginePump:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return StreamEngine(
+            StreamConfig(population_scale=0.01, notary_scale=0.02)
+        )
+
+    def test_pump_counts_and_exhaustion(self, engine):
+        consumed = engine.pump(16)
+        assert consumed == 16
+        assert engine.ingested_sessions + engine.ingested_leaves == 16
+        assert engine.ingested_sessions > 0
+        assert not engine.exhausted
+        # every ingested session was diffed on arrival (no faults here)
+        assert len(engine.diffs) == engine.ingested_sessions
+
+        total = consumed
+        while not engine.exhausted:
+            total += engine.pump(512)
+        assert engine.ingested_sessions == engine.total_sessions
+        assert engine.ingested_sessions + engine.ingested_leaves == total
+        assert engine.pump(16) == 0  # drained streams stay drained
+
+    def test_snapshot_over_ingested_state(self, engine):
+        snapshot = engine.snapshot(3)
+        assert snapshot.generation == 3
+        assert snapshot.meta["sessions"] == engine.ingested_sessions
+        assert snapshot.meta["diffed_sessions"] == len(engine.diffs)
+        assert "warming" not in snapshot.meta
+        assert snapshot.sessions  # index_sessions defaults on
