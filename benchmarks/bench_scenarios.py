@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Scenario benchmark: injected-campaign throughput + detection quality.
+
+The scenario engine's promise is twofold: injecting abuse campaigns
+must not change *how* the pipeline runs (same bytes from the batch
+study at any worker count and from the live stream engine), and the
+attribution pass must actually find what was injected (ground-truth
+precision/recall over the malicious campaigns, with the benign
+enterprise-proxy control group left unaccused).
+
+Three measured runs happen in child processes (fresh interpreters, so
+each reports honest wall-clock): a batch study at ``--workers 1``, the
+same at ``--workers 4``, and a headless stream run. Each child prints
+the SHA-256 of its structured JSON export plus the attribution score;
+the parent gates on:
+
+* all three export digests identical (determinism across execution
+  modes and worker counts);
+* precision and recall >= ``--quality-floor`` (default 0.9);
+* batch sessions/s >= ``--min-sessions-per-s``.
+
+Results land in ``BENCH_scenarios.json``. Run standalone::
+
+    python benchmarks/bench_scenarios.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SEED = "bench-scenarios"
+SCENARIO_SEED = "bench-scenarios/campaigns"
+
+DEFAULT_SCALE = 0.5
+DEFAULT_NOTARY_SCALE = 0.5
+DEFAULT_QUALITY_FLOOR = 0.9
+DEFAULT_MIN_SESSIONS_PER_S = 50.0
+
+
+def _child(args) -> int:
+    """One measured run in this process; prints a JSON report line."""
+    from repro.analysis.report import to_json, to_json_bytes
+    from repro.scenarios import default_scenarios
+
+    started = time.perf_counter()
+    if args.mode == "stream":
+        from repro.stream import StreamConfig, StreamEngine
+
+        engine = StreamEngine(
+            StreamConfig(
+                seed=SEED,
+                population_scale=args.scale,
+                notary_scale=args.notary_scale,
+                workers=args.workers,
+                scenarios=default_scenarios(),
+                scenario_seed=SCENARIO_SEED,
+            )
+        )
+        while not engine.exhausted:
+            engine.pump(4096)
+        result = engine.result()
+    else:
+        from repro.analysis.study import StudyConfig, run_study
+
+        result = run_study(
+            StudyConfig(
+                seed=SEED,
+                population_scale=args.scale,
+                notary_scale=args.notary_scale,
+                workers=args.workers,
+                scenarios=default_scenarios(),
+                scenario_seed=SCENARIO_SEED,
+            )
+        )
+    elapsed = time.perf_counter() - started
+
+    export = to_json_bytes(to_json(result))
+    score = to_json(result)["scenarios"]["score"]
+    print(
+        json.dumps(
+            {
+                "mode": args.mode,
+                "workers": args.workers,
+                "sessions": result.dataset.session_count,
+                "elapsed_s": round(elapsed, 1),
+                "sessions_per_s": round(
+                    result.dataset.session_count / elapsed, 1
+                ),
+                "export_sha256": hashlib.sha256(export).hexdigest(),
+                "export_bytes": len(export),
+                "score": score,
+            }
+        )
+    )
+    return 0
+
+
+def _run_child(args, mode: str, workers: int) -> dict:
+    """One measured run in a fresh interpreter; returns its report."""
+    command = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--child", "--mode", mode,
+        "--scale", str(args.scale),
+        "--notary-scale", str(args.notary_scale),
+        "--workers", str(workers),
+    ]
+    completed = subprocess.run(
+        command, check=True, capture_output=True, text=True
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="population scale of each measured run",
+    )
+    parser.add_argument(
+        "--notary-scale", type=float, default=DEFAULT_NOTARY_SCALE,
+    )
+    parser.add_argument(
+        "--quality-floor", type=float, default=DEFAULT_QUALITY_FLOOR,
+        help="hard gate on attribution precision AND recall",
+    )
+    parser.add_argument(
+        "--min-sessions-per-s", type=float, default=DEFAULT_MIN_SESSIONS_PER_S,
+        help="hard gate on the 1-worker batch run's session throughput",
+    )
+    parser.add_argument("--out", default="BENCH_scenarios.json", help="output JSON path")
+    parser.add_argument("--mode", choices=("batch", "stream"), default="batch",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--workers", type=int, default=1, help=argparse.SUPPRESS)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return _child(args)
+
+    print(f"batch run (workers=1, scale={args.scale}) ...")
+    batch1 = _run_child(args, "batch", 1)
+    print(
+        f"  {batch1['sessions']:,} sessions in {batch1['elapsed_s']}s "
+        f"({batch1['sessions_per_s']}/s), export {batch1['export_sha256'][:16]}"
+    )
+    print("batch run (workers=4) ...")
+    batch4 = _run_child(args, "batch", 4)
+    print(f"  export {batch4['export_sha256'][:16]}")
+    print("stream run (workers=1) ...")
+    stream = _run_child(args, "stream", 1)
+    print(f"  export {stream['export_sha256'][:16]}")
+
+    digests = {batch1["export_sha256"], batch4["export_sha256"], stream["export_sha256"]}
+    deterministic = len(digests) == 1
+    score = batch1["score"]
+    precision = score["precision"]
+    recall = score["recall"]
+    quality_ok = (
+        precision >= args.quality_floor and recall >= args.quality_floor
+    )
+    fast_enough = batch1["sessions_per_s"] >= args.min_sessions_per_s
+
+    payload = {
+        "benchmark": "scenarios",
+        "seed": SEED,
+        "scenario_seed": SCENARIO_SEED,
+        "scale": args.scale,
+        "quality_floor": args.quality_floor,
+        "min_sessions_per_s": args.min_sessions_per_s,
+        "runs": {"batch_w1": batch1, "batch_w4": batch4, "stream": stream},
+        "score": score,
+        "deterministic": deterministic,
+        "quality_ok": quality_ok,
+        "fast_enough": fast_enough,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = []
+    if not deterministic:
+        failures.append(
+            "export digests diverge across batch-w1/batch-w4/stream: "
+            + ", ".join(sorted(digests))
+        )
+    if not quality_ok:
+        failures.append(
+            f"attribution precision {precision}/recall {recall} "
+            f"below the {args.quality_floor} floor"
+        )
+    if not fast_enough:
+        failures.append(
+            f"batch throughput {batch1['sessions_per_s']}/s "
+            f"below the {args.min_sessions_per_s}/s floor"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

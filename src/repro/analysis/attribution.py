@@ -1,0 +1,313 @@
+"""Interception attribution: from detection to actors and campaigns.
+
+:func:`detect_interception` (Table 6) answers *whether* a session is
+behind an on-path proxy. This pass answers the follow-up questions the
+scenario engine makes testable: *which* sessions were intercepted, by
+which campaign (actors keyed by the certificate identity of the roots
+they mint), whether the interceptor was authorized (its root provisioned
+into the device's own store — the enterprise-egress case) or on-path
+malware, what pinning saved, and what a pin-bypassing whitelist
+defeated. CA-injection campaigns — actors that plant an anchor instead
+of sitting on path — are recovered from the rooted population's store
+diffs.
+
+Campaign identity is the SHA-256 of ``kind|organization``; the roots
+behind a campaign are keyed with :func:`repro.x509.fingerprint.
+api_fingerprint`, the same stable identifier the serve API uses, so
+``/v1/interceptions/{campaign}`` and the attribution export agree
+byte-for-byte. Leaf certificates are deliberately never keyed — forged
+leaves are regenerated per proxy instance and are not stable across
+processes.
+
+When a :class:`~repro.scenarios.engine.ScenarioFleet` ground truth is
+available, :func:`score_attribution` grades the pass: recall over the
+injected malicious campaigns, precision against the benign control
+group. Organic background abuse (the population's own CRAZY HOUSE and
+Table 5 anchors) is excluded from scoring — the ground truth is silent
+about it, and flagging it is correct behaviour, not a false positive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.interception import subject_organization
+from repro.netalyzr.session import MeasurementSession
+from repro.rootstore.catalog import StorePresence
+from repro.tlssim.endpoints import PROBE_TARGETS
+from repro.x509.fingerprint import api_fingerprint
+
+#: Attributed campaign kinds.
+KIND_ON_PATH = "on-path-proxy"
+KIND_AUTHORIZED = "authorized-proxy"
+KIND_CA_INJECTION = "ca-injection"
+
+#: ``host:port`` endpoints whose apps pin (the probes pinning defends).
+PINNED_HOSTPORTS: frozenset[str] = frozenset(
+    e.hostport for e in PROBE_TARGETS if e.pinned
+)
+
+
+def campaign_id(kind: str, organization: str) -> str:
+    """Stable campaign identifier: SHA-256 of ``kind|organization``."""
+    return hashlib.sha256(f"{kind}|{organization}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class AttributedCampaign:
+    """One actor recovered from the corpus."""
+
+    campaign_id: str
+    organization: str
+    kind: str
+    root_fingerprints: tuple[str, ...]
+    session_ids: tuple[int, ...]
+    intercepted_domains: tuple[str, ...]
+    relayed_domains: tuple[str, ...]
+    #: pinned probes the campaign's sessions made that were *not*
+    #: successfully compromised: relayed untouched (the proxy's
+    #: whitelist — pinning forced its hand) or intercepted but failing
+    #: the pin check (the app refused the forged chain).
+    pinning_saved: int
+    #: pinned probes intercepted *and* passing the pin check — an
+    #: app-side pin-bypass whitelist defeated the pin.
+    whitelist_defeated: int
+
+    def to_dict(self) -> dict:
+        """The campaign as plain JSON data."""
+        return {
+            "campaign_id": self.campaign_id,
+            "organization": self.organization,
+            "kind": self.kind,
+            "root_fingerprints": list(self.root_fingerprints),
+            "session_count": len(self.session_ids),
+            "session_ids": list(self.session_ids),
+            "intercepted_domains": list(self.intercepted_domains),
+            "relayed_domains": list(self.relayed_domains),
+            "pinning_saved": self.pinning_saved,
+            "whitelist_defeated": self.whitelist_defeated,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Every campaign recovered from one corpus."""
+
+    campaigns: tuple[AttributedCampaign, ...]
+
+    def __post_init__(self):
+        self.by_id = {c.campaign_id: c for c in self.campaigns}
+
+    def of_kind(self, kind: str) -> tuple[AttributedCampaign, ...]:
+        """Campaigns of one kind, report order preserved."""
+        return tuple(c for c in self.campaigns if c.kind == kind)
+
+    @property
+    def intercepted_session_ids(self) -> tuple[int, ...]:
+        """All sessions attributed to an on-path or authorized proxy."""
+        ids: set[int] = set()
+        for campaign in self.campaigns:
+            if campaign.kind != KIND_CA_INJECTION:
+                ids.update(campaign.session_ids)
+        return tuple(sorted(ids))
+
+    def to_json(self) -> dict:
+        """The report as plain JSON data (deterministic ordering)."""
+        return {
+            "campaign_count": len(self.campaigns),
+            "intercepted_sessions": len(self.intercepted_session_ids),
+            "kinds": {
+                kind: len(self.of_kind(kind))
+                for kind in (KIND_ON_PATH, KIND_AUTHORIZED, KIND_CA_INJECTION)
+            },
+            "campaigns": [c.to_dict() for c in self.campaigns],
+        }
+
+
+class _CampaignBuilder:
+    """Mutable accumulator for one (kind, organization) actor."""
+
+    def __init__(self, kind: str, organization: str):
+        self.kind = kind
+        self.organization = organization
+        self.root_fingerprints: set[str] = set()
+        self.session_ids: set[int] = set()
+        self.intercepted: set[str] = set()
+        self.relayed: set[str] = set()
+        self.pinning_saved = 0
+        self.whitelist_defeated = 0
+
+    def build(self) -> AttributedCampaign:
+        return AttributedCampaign(
+            campaign_id=campaign_id(self.kind, self.organization),
+            organization=self.organization,
+            kind=self.kind,
+            root_fingerprints=tuple(sorted(self.root_fingerprints)),
+            session_ids=tuple(sorted(self.session_ids)),
+            intercepted_domains=tuple(sorted(self.intercepted)),
+            relayed_domains=tuple(sorted(self.relayed)),
+            pinning_saved=self.pinning_saved,
+            whitelist_defeated=self.whitelist_defeated,
+        )
+
+
+def attribute_interceptions(
+    sessions: list[MeasurementSession],
+    diffs,
+    classifier: PresenceClassifier,
+) -> AttributionReport:
+    """Recover interception and CA-injection campaigns from a corpus.
+
+    A probe is intercepted when its chain root is
+    :data:`StorePresence.NOT_RECORDED` (the Table 6 detection rule); the
+    interceptor is *authorized* when that root is also present in the
+    session's own collected store (the user or their IT provisioned it —
+    the enterprise-proxy case), on-path malware otherwise. CA-injection
+    actors are read off the rooted population's store diffs: additional
+    NOT_RECORDED anchors grouped by organization, excluding roots
+    already attributed to a proxy campaign (an authorized proxy's
+    provisioned root is not a second actor).
+    """
+    builders: dict[tuple[str, str], _CampaignBuilder] = {}
+
+    def builder(kind: str, organization: str) -> _CampaignBuilder:
+        key = (kind, organization)
+        if key not in builders:
+            builders[key] = _CampaignBuilder(kind, organization)
+        return builders[key]
+
+    for session in sessions:
+        if not session.probes:
+            continue
+        own_roots: set[str] | None = None
+        hits: dict[tuple[str, str], _CampaignBuilder] = {}
+        clean_pinned_saved = 0
+        relayed: set[str] = set()
+        for probe in session.probes:
+            if not probe.chain:
+                continue
+            root = probe.chain[-1]
+            if classifier.classify(root).presence is not StorePresence.NOT_RECORDED:
+                relayed.add(probe.hostport)
+                if probe.hostport in PINNED_HOSTPORTS:
+                    clean_pinned_saved += 1
+                continue
+            if own_roots is None:
+                own_roots = {
+                    api_fingerprint(c) for c in session.root_certificates
+                }
+            fingerprint = api_fingerprint(root)
+            kind = KIND_AUTHORIZED if fingerprint in own_roots else KIND_ON_PATH
+            actor = builder(kind, subject_organization(str(root.subject)))
+            hits[(kind, actor.organization)] = actor
+            actor.root_fingerprints.add(fingerprint)
+            actor.session_ids.add(session.session_id)
+            actor.intercepted.add(probe.hostport)
+            if probe.hostport in PINNED_HOSTPORTS:
+                if probe.pin_ok:
+                    actor.whitelist_defeated += 1
+                else:
+                    actor.pinning_saved += 1
+        # Untouched probes (and the pinned ones among them) belong to
+        # the session's interceptor(s): they are what the proxy let
+        # through.
+        for actor in hits.values():
+            actor.relayed.update(relayed)
+            actor.pinning_saved += clean_pinned_saved
+    proxy_fingerprints = {
+        fingerprint
+        for accumulator in builders.values()
+        for fingerprint in accumulator.root_fingerprints
+    }
+    for diff in diffs:
+        session = diff.session
+        if not session.rooted or session.degraded:
+            continue
+        for certificate in diff.additional:
+            if classifier.classify(certificate).presence is not StorePresence.NOT_RECORDED:
+                continue
+            fingerprint = api_fingerprint(certificate)
+            if fingerprint in proxy_fingerprints:
+                continue
+            actor = builder(
+                KIND_CA_INJECTION, subject_organization(str(certificate.subject))
+            )
+            actor.root_fingerprints.add(fingerprint)
+            actor.session_ids.add(session.session_id)
+    campaigns = tuple(
+        builders[key].build() for key in sorted(builders, key=lambda k: (k[0], k[1]))
+    )
+    return AttributionReport(campaigns=campaigns)
+
+
+@dataclass(frozen=True)
+class AttributionScore:
+    """Precision/recall of attribution against scenario ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); vacuously 1.0 with nothing attributed."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); vacuously 1.0 with no truth campaigns."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    def to_dict(self) -> dict:
+        """The score as plain JSON data."""
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+def score_attribution(report: AttributionReport, fleet) -> AttributionScore:
+    """Grade *report* against a scenario fleet's ground truth.
+
+    A malicious truth campaign (interception-proxy or ca-injection —
+    the families that mint anchors) counts recovered when some
+    malicious attributed campaign shares a root fingerprint with it;
+    unrecovered ones are false negatives. A malicious attributed
+    campaign claiming a *benign* truth campaign's root (the enterprise
+    control group flagged as malware) is a false positive. Attributed
+    campaigns touching no truth fingerprint at all are the population's
+    organic abuse and are not scored.
+    """
+    malicious_kinds = (KIND_ON_PATH, KIND_CA_INJECTION)
+    attributed = [c for c in report.campaigns if c.kind in malicious_kinds]
+    attributed_fingerprints = {
+        fingerprint for c in attributed for fingerprint in c.root_fingerprints
+    }
+    truth = [c for c in fleet.malicious if c.root_fingerprints]
+    recovered = sum(
+        1
+        for campaign in truth
+        if attributed_fingerprints & set(campaign.root_fingerprints)
+    )
+    benign_fingerprints = {
+        fingerprint
+        for campaign in fleet.benign
+        for fingerprint in campaign.root_fingerprints
+    }
+    false_positives = sum(
+        1
+        for c in attributed
+        if benign_fingerprints & set(c.root_fingerprints)
+    )
+    return AttributionScore(
+        true_positives=recovered,
+        false_positives=false_positives,
+        false_negatives=len(truth) - recovered,
+    )

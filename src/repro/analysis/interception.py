@@ -17,6 +17,19 @@ from repro.netalyzr.session import MeasurementSession
 from repro.rootstore.catalog import StorePresence
 
 
+def subject_organization(subject: str) -> str:
+    """The O= component of a rendered subject, else the whole subject.
+
+    The actor-identity heuristic both the Table 6 reproduction and the
+    attribution pass (:mod:`repro.analysis.attribution`) key on.
+    """
+    for part in subject.split(","):
+        part = part.strip()
+        if part.startswith("O="):
+            return part[2:]
+    return subject
+
+
 @dataclass
 class InterceptionFinding:
     """One session observed behind an interception proxy."""
@@ -29,10 +42,7 @@ class InterceptionFinding:
     @property
     def interceptor_organization(self) -> str:
         """The O= component of the forged root subject, if present."""
-        for part in self.interceptor_subject.split(","):
-            if part.startswith("O="):
-                return part[2:]
-        return self.interceptor_subject
+        return subject_organization(self.interceptor_subject)
 
 
 def detect_interception(

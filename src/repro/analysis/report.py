@@ -222,6 +222,35 @@ def _json_ingest(result: StudyResult) -> dict:
     }
 
 
+def _json_scenarios(result: StudyResult) -> dict | None:
+    """The abuse-scenario section: ground truth, attribution, audit.
+
+    None on scenario-free runs — the key is omitted entirely so the
+    stock export (and every ETag derived from it) stays byte-identical
+    to a pre-scenario build.
+    """
+    fleet = result.scenarios
+    if fleet is None:
+        return None
+    from repro.analysis.attribution import score_attribution
+
+    section: dict = {
+        "fleet": fleet.to_json(),
+        "attribution": (
+            result.attribution.to_json() if result.attribution is not None else None
+        ),
+        "score": (
+            score_attribution(result.attribution, fleet).to_dict()
+            if result.attribution is not None
+            else None
+        ),
+        "fleet_audit": (
+            result.fleet_audit.to_dict() if result.fleet_audit is not None else None
+        ),
+    }
+    return section
+
+
 def to_json(result: StudyResult) -> dict:
     """The study's stable structured export (schema
     :data:`STUDY_JSON_SCHEMA`).
@@ -231,7 +260,7 @@ def to_json(result: StudyResult) -> dict:
     byte-identical — via :func:`to_json_bytes` — across worker counts,
     fast-path modes and build-cache states.
     """
-    return {
+    document = {
         "schema": STUDY_JSON_SCHEMA,
         "config": _json_config(result),
         "headline": _json_headline(result),
@@ -251,6 +280,10 @@ def to_json(result: StudyResult) -> dict:
         "geography": _json_geography(result),
         "ingest": _json_ingest(result),
     }
+    scenarios = _json_scenarios(result)
+    if scenarios is not None:
+        document["scenarios"] = scenarios
+    return document
 
 
 def to_json_bytes(payload: object) -> bytes:
@@ -449,6 +482,55 @@ def _render_ingest(section: dict) -> str:
     return out.getvalue()
 
 
+def _render_scenarios(section: dict) -> str:
+    out = StringIO()
+    _rule(out, "Abuse scenarios: injected campaigns, attribution, audit")
+    fleet = section["fleet"]
+    out.write(f"  scenario seed: {fleet['seed']}\n")
+    out.write("  injected campaigns (ground truth):\n")
+    for campaign in fleet["campaigns"]:
+        tag = "benign" if campaign["benign"] else "malicious"
+        out.write(
+            f"    {campaign['name']:<16} {campaign['family']:<19} {tag:<9} "
+            f"{campaign['device_count']:>4} devices / "
+            f"{campaign['session_count']:>5} sessions\n"
+        )
+    attribution = section["attribution"]
+    if attribution is not None:
+        out.write(
+            f"  attribution: {attribution['campaign_count']} campaigns over "
+            f"{attribution['intercepted_sessions']} intercepted sessions\n"
+        )
+        for campaign in attribution["campaigns"]:
+            out.write(
+                f"    [{campaign['kind']:<16}] {campaign['organization']:<28} "
+                f"{campaign['session_count']:>5} sessions, "
+                f"pin saved {campaign['pinning_saved']}, "
+                f"whitelist defeated {campaign['whitelist_defeated']}\n"
+            )
+    score = section["score"]
+    if score is not None:
+        out.write(
+            f"  scoring vs ground truth: precision {score['precision']:.2f}, "
+            f"recall {score['recall']:.2f} "
+            f"(tp={score['true_positives']} fp={score['false_positives']} "
+            f"fn={score['false_negatives']})\n"
+        )
+    audit = section["fleet_audit"]
+    if audit is not None:
+        out.write(
+            f"  fleet audit: {audit['device_count']} devices, "
+            f"critical fraction {audit['critical_fraction']:.1%}\n"
+        )
+        by_severity = audit["devices_by_max_severity"]
+        # Fixed severity order: the document's dict ordering differs
+        # between a fresh export and a JSON round trip.
+        for severity in ("CRITICAL", "HIGH", "MEDIUM", "LOW", "INFO"):
+            if severity in by_severity:
+                out.write(f"    {severity:<8} {by_severity[severity]:>5}\n")
+    return out.getvalue()
+
+
 def _render_headline(document: dict) -> str:
     headline = document["headline"]
     rooted = headline["rooted"]
@@ -490,6 +572,8 @@ def render_report_from_json(document: dict) -> str:
     out.write(_render_figure3(figures["3"]))
     out.write(_render_geography(document["geography"]))
     out.write(_render_ingest(document["ingest"]))
+    if "scenarios" in document:
+        out.write(_render_scenarios(document["scenarios"]))
     return out.getvalue()
 
 

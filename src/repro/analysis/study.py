@@ -43,6 +43,7 @@ from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import CaCatalog, default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.vendors import PlatformStores, build_platform_stores
+from repro.scenarios.engine import apply_scenarios
 from repro.storage.backend import DiskBackend
 from repro.x509.fingerprint import identity_key
 
@@ -81,6 +82,14 @@ class StudyConfig:
     #: compact per-leaf index stays resident). The report is
     #: byte-identical either way.
     storage_dir: str = ""
+    #: abuse campaigns injected into the generated population
+    #: (:class:`repro.scenarios.ScenarioSpec` tuple); empty runs the
+    #: stock paper universe, byte-identical to a pre-scenario build.
+    #: Scenario runs bypass the build cache — the cache key would
+    #: otherwise have to hash the full spec set.
+    scenarios: tuple = ()
+    #: seed of the scenario engine's RNG streams; defaults to ``seed``.
+    scenario_seed: str = ""
 
 
 @dataclass(frozen=True)
@@ -138,6 +147,15 @@ class StudyResult:
     interceptions: list[InterceptionFinding] = field(default_factory=list)
     footprints: list = field(default_factory=list)
     roaming: list = field(default_factory=list)
+    #: the interception-attribution pass (always runs; empty-campaign
+    #: reports render nothing, so the scenario-free export is unchanged).
+    attribution: object = None
+    #: scenario ground truth (a ScenarioFleet) when campaigns were
+    #: injected; None on stock runs.
+    scenarios: object = None
+    #: per-OS-version fleet audit of the scenario population (a
+    #: FleetSummary); only computed on scenario runs.
+    fleet_audit: object = None
 
     # fault injection / ingest health
     fault_injector: FaultInjector | None = None
@@ -205,7 +223,12 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
 
     build_cache: BuildCache | None = None
     build_cache_state = "off"
-    if config.build_cache_dir and config.fault_rate == 0 and backend is None:
+    if (
+        config.build_cache_dir
+        and config.fault_rate == 0
+        and backend is None
+        and not config.scenarios
+    ):
         build_cache = BuildCache(config.build_cache_dir)
     build_params = {
         "seed": config.seed,
@@ -232,6 +255,7 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                     rate=config.fault_rate, seed=config.fault_seed or config.seed
                 )
 
+            scenario_fleet = None
             with _phase("study.build", cache, workers=config.workers) as build_span:
                 universe = (
                     build_cache.get("universe", build_params)
@@ -261,6 +285,11 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                             factory,
                             catalog,
                         ).generate(executor=executor)
+                        scenario_fleet = apply_scenarios(
+                            population,
+                            tuple(config.scenarios),
+                            config.scenario_seed or config.seed,
+                        )
                     with _phase("study.collect", cache) as collect_span:
                         dataset = collect_dataset(
                             population,
@@ -311,6 +340,7 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                 notary=notary,
                 diffs=[],
                 fault_injector=injector,
+                scenarios=scenario_fleet,
             )
             analyze(result, catalog, executor=executor)
 
@@ -447,3 +477,22 @@ def _analyze_tail(
     with _phase("study.analyze.geography", cache):
         result.footprints = certificate_footprints(result.diffs)
         result.roaming = detect_roaming(result.diffs, catalog)
+
+    # interception attribution (always cheap; only *exported* on
+    # scenario runs, so the stock report stays byte-identical) plus the
+    # scenario fleet's store audit.
+    from repro.analysis.attribution import attribute_interceptions
+
+    with _phase("study.analyze.attribution", cache):
+        result.attribution = attribute_interceptions(
+            dataset.sessions, result.diffs, classifier
+        )
+    if result.scenarios is not None:
+        # Function-level import: repro.audit imports from this package.
+        from repro.audit import audit_population, build_fleet_auditors
+
+        with _phase("study.analyze.fleet_audit", cache):
+            auditors = build_fleet_auditors(
+                stores, classifier=classifier, notary=notary
+            )
+            result.fleet_audit = audit_population(result.population, auditors)

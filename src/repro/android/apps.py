@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.android.device import AndroidDevice
 from repro.tlssim.proxy import InterceptionProxy
+from repro.tlssim.trustmanager import TrustProfile
 from repro.x509.certificate import Certificate
 
 #: Android permission strings used by the modeled apps.
@@ -104,3 +105,23 @@ class VpnInterceptorApp(App):
         'masking malicious intentions' discussion)."""
         benign = {PERM_INTERNET, PERM_VPN, PERM_NETWORK_SETTINGS}
         return self.permissions - frozenset(benign)
+
+
+@dataclass
+class VulnerableTrustApp(App):
+    """An app shipping a broken TrustManager/HostnameVerifier.
+
+    The "Danger is My Middle Name" population: the app needs no special
+    permission and touches neither the store nor the network path — it
+    just accepts chains the platform would reject. Installing it sets
+    the device's app-level :class:`~repro.tlssim.trustmanager.
+    TrustProfile`, which the Netalyzr client applies on every probe.
+    """
+
+    name: str = "WeakTrust"
+    requires_root: bool = False
+    profile: TrustProfile | None = None
+
+    def on_install(self, device: AndroidDevice) -> None:
+        """Route the device's TLS verdicts through the broken profile."""
+        device.trust_profile = self.profile

@@ -55,6 +55,9 @@ class AndroidDevice:
         self._store_shared = shared_store
         self.apps: list["App"] = []
         self.proxy: "InterceptionProxy | None" = None
+        #: App-level validation override (a vulnerable TrustManager,
+        #: :mod:`repro.tlssim.trustmanager`); None = the platform default.
+        self.trust_profile = None
         #: WiFi SSID / cellular network currently attached (session context).
         self.wifi_ssid: str | None = None
         self.public_ip: str = "0.0.0.0"

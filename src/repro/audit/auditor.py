@@ -23,6 +23,8 @@ class Severity(enum.IntEnum):
     INFO = 0
     LOW = 1
     MEDIUM = 2
+    #: Alias for MEDIUM — the conventional name fleet dashboards use.
+    WARNING = 2
     HIGH = 3
     CRITICAL = 4
 

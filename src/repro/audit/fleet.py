@@ -32,6 +32,29 @@ class FleetSummary:
             return 0.0
         return self.devices_by_max_severity[Severity.CRITICAL] / self.device_count
 
+    def to_dict(self) -> dict:
+        """The summary as plain JSON data (deterministic ordering)."""
+        return {
+            "device_count": self.device_count,
+            "devices_by_max_severity": {
+                severity.name: self.devices_by_max_severity[severity]
+                for severity in sorted(Severity, reverse=True)
+                if self.devices_by_max_severity.get(severity)
+            },
+            "findings_by_rule": {
+                rule: count
+                for rule, count in sorted(self.findings_by_rule.items())
+            },
+            "findings_by_manufacturer": {
+                manufacturer: count
+                for manufacturer, count in sorted(
+                    self.findings_by_manufacturer.items()
+                )
+            },
+            "critical_device_ids": sorted(self.critical_device_ids),
+            "critical_fraction": self.critical_fraction,
+        }
+
     def render(self) -> str:
         """Human-readable fleet summary."""
         lines = [

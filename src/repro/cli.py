@@ -139,6 +139,20 @@ def _fault_injector(args: argparse.Namespace):
     )
 
 
+def _scenario_specs(args: argparse.Namespace):
+    """The --scenarios spec tuple, or None after printing an error."""
+    path = getattr(args, "scenarios", None)
+    if not path:
+        return ()
+    from repro.scenarios import ScenarioError, load_specs
+
+    try:
+        return load_specs(path)
+    except (ScenarioError, OSError) as exc:
+        print(f"error: cannot load scenarios {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def _print_ingest_health(dataset) -> None:
     """One ingest-health block for collect/analyze output."""
     print("ingest health:")
@@ -207,6 +221,9 @@ def cmd_study(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"error: cannot open storage {args.storage}: {exc}", file=sys.stderr)
             return 1
+    scenarios = _scenario_specs(args)
+    if scenarios is None:
+        return 1
     result = run_study(
         StudyConfig(
             seed=args.seed,
@@ -218,6 +235,8 @@ def cmd_study(args: argparse.Namespace) -> int:
             fastpath=not args.no_fastpath,
             build_cache_dir=build_cache_dir,
             storage_dir=args.storage or "",
+            scenarios=scenarios,
+            scenario_seed=args.scenario_seed,
         )
     )
     if args.html:
@@ -279,6 +298,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"error: cannot open storage {args.storage}: {exc}", file=sys.stderr)
             return 1
+    scenarios = _scenario_specs(args)
+    if scenarios is None:
+        return 1
     config = StreamConfig(
         seed=args.seed,
         population_scale=args.scale,
@@ -287,6 +309,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         workers=resolve_workers(args.workers),
         storage_dir=args.storage or "",
+        scenarios=scenarios,
+        scenario_seed=args.scenario_seed,
         index_sessions=not args.no_session_index,
     )
     engine = StreamEngine(config)
@@ -387,6 +411,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     then serve it as the HTTP/JSON query API until SIGTERM/SIGINT."""
     from repro.serve import ServeConfig, run_server
 
+    scenarios = _scenario_specs(args)
+    if scenarios is None:
+        return 1
     return run_server(
         ServeConfig(
             host=args.host,
@@ -401,6 +428,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             build_workers=args.build_workers,
             transport=args.transport,
             processes=args.processes,
+            scenarios=scenarios,
+            scenario_seed=args.scenario_seed,
         )
     )
 
@@ -494,6 +523,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="fault-injection RNG seed (defaults to --seed)",
         )
 
+    def add_scenario_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenarios", metavar="SPEC.json",
+            help="inject the abuse campaigns described by this scenario "
+            "spec file into the generated population (omit for the stock "
+            "paper universe; the report gains an 'Abuse scenarios' "
+            "section with attribution + ground-truth scoring)",
+        )
+        sub.add_argument(
+            "--scenario-seed", default="",
+            help="scenario RNG seed (defaults to --seed); same seed, "
+            "same campaigns, byte for byte, at any worker count",
+        )
+
     collect = commands.add_parser("collect", help=cmd_collect.__doc__)
     collect.add_argument("output", help="dataset output path (.json)")
     collect.add_argument("--scale", type=float, default=0.1)
@@ -561,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         "identical either way; disables --build-cache)",
     )
     add_fault_options(study)
+    add_scenario_options(study)
     study.set_defaults(func=cmd_study)
 
     stream = commands.add_parser("stream", help=cmd_stream.__doc__)
@@ -569,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--notary-scale", type=float, default=0.5)
     add_workers_option(stream)
     add_fault_options(stream)
+    add_scenario_options(stream)
     stream.add_argument(
         "--storage", metavar="DIR",
         help="sharded persistent storage backend directory (bounded "
@@ -663,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--build-workers", type=int, default=1,
         help="worker processes for the study (re)build itself",
     )
+    add_scenario_options(serve)
     serve.set_defaults(func=cmd_serve)
 
     fleet = commands.add_parser("fleet-audit", help=cmd_fleet_audit.__doc__)

@@ -84,7 +84,12 @@ class NetalyzrClient:
         probes: list[DomainProbe] = []
         if self.probe_domains:
             client = TlsClient(
-                device.store, pins=self._pin_store(), proxy=device.proxy
+                device.store,
+                pins=self._pin_store(),
+                proxy=device.proxy,
+                # getattr: devices unpickled from a pre-profile build
+                # cache lack the attribute.
+                trust_profile=getattr(device, "trust_profile", None),
             )
             for endpoint in PROBE_TARGETS:
                 server = self._server_for(endpoint)

@@ -1,0 +1,33 @@
+"""Deterministic abuse-campaign injection (the scenario engine).
+
+See :mod:`repro.scenarios.spec` for the declarative campaign model and
+:mod:`repro.scenarios.engine` for how campaigns mutate a population.
+"""
+
+from repro.scenarios.engine import (
+    CampaignTruth,
+    ScenarioEngine,
+    ScenarioFleet,
+    apply_scenarios,
+)
+from repro.scenarios.spec import (
+    FAMILIES,
+    ScenarioError,
+    ScenarioSpec,
+    default_scenarios,
+    load_specs,
+    parse_specs,
+)
+
+__all__ = [
+    "FAMILIES",
+    "CampaignTruth",
+    "ScenarioEngine",
+    "ScenarioError",
+    "ScenarioFleet",
+    "ScenarioSpec",
+    "apply_scenarios",
+    "default_scenarios",
+    "load_specs",
+    "parse_specs",
+]

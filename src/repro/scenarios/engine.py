@@ -1,0 +1,303 @@
+"""The scenario engine: deterministic campaign injection.
+
+:class:`ScenarioEngine` takes a tuple of validated
+:class:`~repro.scenarios.spec.ScenarioSpec` and mutates a generated
+population in place — installing interception proxies, injecting CAs on
+rooted handsets, shipping vulnerable trust managers, provisioning the
+benign enterprise control group. It never adds, removes or reorders
+device records, so session ids (assigned in record order by
+:func:`repro.netalyzr.collector.ingest_sessions`) are untouched and the
+batch and stream collection paths see the identical population.
+
+Everything is driven by per-campaign derived RNG streams
+(``derive_random(seed, "scenario", name)``), so two applications of the
+same specs to the same population are byte-identical — including the
+campaign PKIs, which are minted from their own derived streams.
+
+The engine returns a :class:`ScenarioFleet`: the ground truth
+(which devices, which sessions, which root fingerprints, benign or not)
+that the attribution pass is scored against.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.android.apps import FreedomLikeApp, VpnInterceptorApp, VulnerableTrustApp
+from repro.android.population import Population
+from repro.crypto.rng import derive_random
+from repro.crypto.rsa import generate_keypair
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+from repro.tlssim.endpoints import PROBE_TARGETS
+from repro.tlssim.proxy import InterceptionProxy
+from repro.tlssim.trustmanager import TRUST_PROFILES
+from repro.x509.builder import CertificateBuilder
+from repro.x509.fingerprint import api_fingerprint
+from repro.x509.name import Name
+
+#: Campaign PKI validity window (the study's 2013/14 epoch, matching the
+#: interception proxy's own certificates).
+_NOT_BEFORE = datetime.datetime(2013, 6, 1)
+_NOT_AFTER = datetime.datetime(2016, 6, 1)
+
+
+def pinned_hostports() -> frozenset[str]:
+    """The ``host:port`` whitelist of a pinning-aware proxy.
+
+    A careful interceptor whitelists exactly the endpoints whose apps
+    pin (§7: pinning forces the proxy's hand) — unlike the stock
+    Reality Mine whitelist, which also spares special-protocol hosts.
+    """
+    return frozenset(e.hostport for e in PROBE_TARGETS if e.pinned)
+
+
+@dataclass(frozen=True)
+class CampaignTruth:
+    """Ground truth of one applied campaign."""
+
+    spec: ScenarioSpec
+    #: devices the campaign touched, in population-record order.
+    device_ids: tuple[str, ...]
+    #: the planned session ids those devices produce (1-based, the same
+    #: ids :func:`ingest_sessions` assigns in both collection modes).
+    session_ids: tuple[int, ...]
+    #: fingerprints of every anchor the campaign minted (proxy roots or
+    #: injected CAs; empty for vulnerable-app campaigns).
+    root_fingerprints: tuple[str, ...]
+    #: True for the authorized enterprise control group.
+    benign: bool
+
+    def to_dict(self) -> dict:
+        """The truth record as plain JSON data."""
+        return {
+            "name": self.spec.name,
+            "family": self.spec.family,
+            "benign": self.benign,
+            "operator": self.spec.operator_name,
+            "device_count": len(self.device_ids),
+            "session_count": len(self.session_ids),
+            "device_ids": list(self.device_ids),
+            "session_ids": list(self.session_ids),
+            "root_fingerprints": list(self.root_fingerprints),
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioFleet:
+    """The applied campaign set plus its full ground truth."""
+
+    seed: str
+    campaigns: tuple[CampaignTruth, ...]
+
+    @property
+    def malicious(self) -> tuple[CampaignTruth, ...]:
+        """Campaigns attribution is expected to flag."""
+        return tuple(c for c in self.campaigns if not c.benign)
+
+    @property
+    def benign(self) -> tuple[CampaignTruth, ...]:
+        """The authorized control group."""
+        return tuple(c for c in self.campaigns if c.benign)
+
+    def campaign_for_fingerprint(self, fingerprint: str) -> CampaignTruth | None:
+        """The campaign that minted *fingerprint*, if any."""
+        for campaign in self.campaigns:
+            if fingerprint in campaign.root_fingerprints:
+                return campaign
+        return None
+
+    def to_json(self) -> dict:
+        """The fleet as plain JSON data (spec order preserved)."""
+        return {
+            "seed": self.seed,
+            "campaigns": [campaign.to_dict() for campaign in self.campaigns],
+        }
+
+
+class ScenarioEngine:
+    """Applies a spec set to a population, deterministically."""
+
+    def __init__(self, specs: tuple[ScenarioSpec, ...], seed: str):
+        for spec in specs:
+            spec.validate()
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ScenarioError("scenario names must be unique")
+        self.specs = tuple(specs)
+        self.seed = seed
+
+    # -- campaign PKI ------------------------------------------------------------
+
+    def _mint_ca(self, spec: ScenarioSpec):
+        """The campaign's injected anchor (ca-injection family)."""
+        keypair = generate_keypair(
+            derive_random(self.seed, "scenario", spec.name, "ca")
+        )
+        return (
+            CertificateBuilder()
+            .subject(
+                Name.build(
+                    CN=spec.ca_name or f"{spec.name} CA",
+                    O=spec.operator_name,
+                )
+            )
+            .public_key(keypair.public)
+            .serial_number(1)
+            .validity(_NOT_BEFORE, _NOT_AFTER)
+            .ca(True)
+            .self_sign(keypair.private)
+        )
+
+    def _make_proxy(self, spec: ScenarioSpec, device_id: str = "") -> InterceptionProxy:
+        """One campaign proxy; per-device mode gets its own PKI stream."""
+        seed = f"{self.seed}/{spec.name}"
+        if device_id:
+            seed = f"{seed}/{device_id}"
+        whitelist = pinned_hostports() if spec.whitelist == "pinned" else frozenset()
+        return InterceptionProxy(
+            operator_name=spec.operator_name,
+            proxy_host=spec.proxy_host or f"relay.{spec.name}.example",
+            whitelist=whitelist,
+            seed=seed,
+        )
+
+    # -- selection ---------------------------------------------------------------
+
+    @staticmethod
+    def _infect_count(spec: ScenarioSpec, eligible: int) -> int:
+        if eligible == 0:
+            return 0
+        return min(eligible, max(1, round(spec.penetration * eligible)))
+
+    # -- application -------------------------------------------------------------
+
+    def apply(self, population: Population) -> ScenarioFleet:
+        """Mutate *population* in place; return the ground truth.
+
+        Campaigns are applied in spec order, each drawing from its own
+        derived RNG stream. Proxy campaigns (malicious and benign) claim
+        devices exclusively among themselves; ca-injection campaigns
+        likewise. Vulnerable-app campaigns deliberately *overlay*
+        maliciously proxied devices when any exist — a broken
+        TrustManager only becomes observable when something is on path
+        to exploit it.
+        """
+        proxy_claimed: set[str] = set()
+        ca_claimed: set[str] = set()
+        scenario_proxied: list = []  # devices infected by interception campaigns
+        campaigns: list[CampaignTruth] = []
+        picks: dict[str, list] = {}
+        for spec in self.specs:
+            rng = derive_random(self.seed, "scenario", spec.name)
+            if spec.family in ("interception-proxy", "benign-proxy"):
+                candidates = [
+                    r.device
+                    for r in population.records
+                    if r.device.proxy is None
+                    and r.device.device_id not in proxy_claimed
+                ]
+            elif spec.family == "ca-injection":
+                candidates = [
+                    r.device
+                    for r in population.records
+                    if r.device.rooted and r.device.device_id not in ca_claimed
+                ]
+            else:  # vulnerable-app
+                overlay = [
+                    d for d in scenario_proxied if d.trust_profile is None
+                ]
+                candidates = overlay or [
+                    r.device
+                    for r in population.records
+                    if r.device.proxy is None
+                    and r.device.trust_profile is None
+                    and r.device.device_id not in proxy_claimed
+                ]
+            chosen = rng.sample(candidates, self._infect_count(spec, len(candidates)))
+            # Restore record order: rng.sample permutes, and truth
+            # tuples should read in population order.
+            order = {r.device.device_id: i for i, r in enumerate(population.records)}
+            chosen.sort(key=lambda device: order[device.device_id])
+            picks[spec.name] = chosen
+            fingerprints: list[str] = []
+            if spec.family == "interception-proxy":
+                shared = (
+                    self._make_proxy(spec) if spec.regeneration == "shared" else None
+                )
+                for device in chosen:
+                    proxy = shared if shared is not None else self._make_proxy(
+                        spec, device.device_id
+                    )
+                    device.install_app(VpnInterceptorApp(name=spec.name, proxy=proxy))
+                    proxy_claimed.add(device.device_id)
+                    scenario_proxied.append(device)
+                    fingerprint = api_fingerprint(proxy.root_certificate)
+                    if fingerprint not in fingerprints:
+                        fingerprints.append(fingerprint)
+            elif spec.family == "benign-proxy":
+                proxy = self._make_proxy(spec)
+                for device in chosen:
+                    # The authorized path: IT provisions the egress
+                    # root into the device store, then routes traffic.
+                    device.user_add_certificate(proxy.root_certificate)
+                    device.proxy = proxy
+                    proxy_claimed.add(device.device_id)
+                fingerprints.append(api_fingerprint(proxy.root_certificate))
+            elif spec.family == "ca-injection":
+                ca = self._mint_ca(spec)
+                for device in chosen:
+                    device.install_app(
+                        FreedomLikeApp(name=spec.name, ca_certificate=ca)
+                    )
+                    ca_claimed.add(device.device_id)
+                fingerprints.append(api_fingerprint(ca))
+            else:  # vulnerable-app
+                profile = TRUST_PROFILES[spec.profile]
+                for device in chosen:
+                    device.install_app(
+                        VulnerableTrustApp(name=spec.name, profile=profile)
+                    )
+            campaigns.append((spec, fingerprints))
+        session_ids = _plan_session_ids(population)
+        truth = [
+            CampaignTruth(
+                spec=spec,
+                device_ids=tuple(d.device_id for d in picks[spec.name]),
+                session_ids=tuple(
+                    sid for d in picks[spec.name] for sid in session_ids[d.device_id]
+                ),
+                root_fingerprints=tuple(sorted(fingerprints)),
+                benign=spec.family == "benign-proxy",
+            )
+            for spec, fingerprints in campaigns
+        ]
+        return ScenarioFleet(seed=self.seed, campaigns=tuple(truth))
+
+
+def _plan_session_ids(population: Population) -> dict[str, tuple[int, ...]]:
+    """device id → the session ids :func:`ingest_sessions` will assign.
+
+    Replays the collector's id plan (record order, 1-based, one id per
+    planned session) without running anything.
+    """
+    plan: dict[str, tuple[int, ...]] = {}
+    session_id = 0
+    for record in population.records:
+        ids = tuple(range(session_id + 1, session_id + 1 + record.session_count))
+        session_id += record.session_count
+        plan[record.device.device_id] = plan.get(record.device.device_id, ()) + ids
+    return plan
+
+
+def apply_scenarios(
+    population: Population, specs: tuple[ScenarioSpec, ...], seed: str
+) -> ScenarioFleet | None:
+    """Convenience wrapper both collection modes share.
+
+    Returns None (and leaves the population untouched) when *specs* is
+    empty, so callers can pass their configured tuple unconditionally.
+    """
+    if not specs:
+        return None
+    return ScenarioEngine(specs, seed).apply(population)

@@ -1,0 +1,234 @@
+"""Scenario specifications: the declarative side of the abuse engine.
+
+A :class:`ScenarioSpec` declares one campaign — who the actor is, which
+family of abuse it runs, and how far it penetrates the eligible device
+population. Specs are plain data: loading a spec file touches no RNG and
+mints no keys, so validation errors surface before any expensive work.
+
+Four families are modeled (§5-§7 of the paper plus the
+"Danger is My Middle Name" taxonomy):
+
+=====================  ======================================================
+Family                 Behaviour
+=====================  ======================================================
+``interception-proxy`` on-path HTTPS proxy re-signing traffic
+                       (Reality Mine-style), with configurable certificate
+                       regeneration and pinning-whitelist behaviour
+``ca-injection``       Freedom-style root-requiring app installing the
+                       campaign's CA into rooted devices' system stores
+``vulnerable-app``     broken TrustManager/HostnameVerifier profiles;
+                       no store or path change, just bad validation
+``benign-proxy``       an enterprise egress proxy whose root *is*
+                       provisioned into the device store — the
+                       false-positive control group
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.tlssim.trustmanager import TRUST_PROFILES
+
+#: The scenario families the engine implements.
+FAMILIES: tuple[str, ...] = (
+    "interception-proxy",
+    "ca-injection",
+    "vulnerable-app",
+    "benign-proxy",
+)
+
+#: Proxy certificate regeneration modes: one shared PKI per campaign,
+#: or a fresh root per infected device (same operator branding).
+REGENERATION_MODES: tuple[str, ...] = ("shared", "per-device")
+
+#: Proxy whitelist behaviours: "pinned" whitelists the pinned probe
+#: targets (the Reality Mine posture — pinning forces the proxy's
+#: hand), "none" intercepts everything in scope (pin checks then fail
+#: unless a vulnerable app bypasses them).
+WHITELIST_MODES: tuple[str, ...] = ("pinned", "none")
+
+
+class ScenarioError(ValueError):
+    """A scenario spec (or spec file) is invalid."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declared abuse campaign."""
+
+    name: str
+    family: str
+    #: fraction of the family's *eligible* devices the campaign infects
+    #: (at least one device as long as any is eligible).
+    penetration: float = 0.01
+    #: proxy families: the O= branding of minted certificates.
+    operator: str = ""
+    #: proxy families: the relay host (cosmetic, mirrors §7's
+    #: v-us-49.analyzeme.me.uk).
+    proxy_host: str = ""
+    #: interception-proxy only: certificate regeneration mode.
+    regeneration: str = "shared"
+    #: interception-proxy only: whitelist behaviour.
+    whitelist: str = "pinned"
+    #: ca-injection only: CN of the injected anchor (defaults derived
+    #: from the campaign name).
+    ca_name: str = ""
+    #: vulnerable-app only: a TRUST_PROFILES key.
+    profile: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` on any invalid field."""
+        if not self.name:
+            raise ScenarioError("scenario needs a non-empty name")
+        if self.family not in FAMILIES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: unknown family {self.family!r} "
+                f"(expected one of {', '.join(FAMILIES)})"
+            )
+        if not 0.0 < self.penetration <= 1.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: penetration must be in (0, 1], "
+                f"got {self.penetration}"
+            )
+        if self.regeneration not in REGENERATION_MODES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: unknown regeneration mode "
+                f"{self.regeneration!r}"
+            )
+        if self.whitelist not in WHITELIST_MODES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: unknown whitelist mode "
+                f"{self.whitelist!r}"
+            )
+        if self.family == "vulnerable-app":
+            if self.profile not in TRUST_PROFILES:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: unknown trust profile "
+                    f"{self.profile!r} (expected one of "
+                    f"{', '.join(sorted(TRUST_PROFILES))})"
+                )
+        elif self.profile:
+            raise ScenarioError(
+                f"scenario {self.name!r}: 'profile' only applies to the "
+                "vulnerable-app family"
+            )
+
+    @property
+    def operator_name(self) -> str:
+        """The actor branding minted certificates carry."""
+        return self.operator or self.name
+
+    def to_dict(self) -> dict:
+        """The spec as plain JSON data (stable key set)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "penetration": self.penetration,
+            "operator": self.operator,
+            "proxy_host": self.proxy_host,
+            "regeneration": self.regeneration,
+            "whitelist": self.whitelist,
+            "ca_name": self.ca_name,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Build and validate one spec from plain JSON data."""
+        if not isinstance(data, dict):
+            raise ScenarioError(f"scenario entry must be an object, got {data!r}")
+        unknown = set(data) - {
+            "name", "family", "penetration", "operator", "proxy_host",
+            "regeneration", "whitelist", "ca_name", "profile",
+        }
+        if unknown:
+            raise ScenarioError(
+                f"scenario {data.get('name', '?')!r}: "
+                f"unknown field(s) {', '.join(sorted(unknown))}"
+            )
+        try:
+            spec = cls(**data)
+        except TypeError as exc:
+            raise ScenarioError(f"invalid scenario entry: {exc}") from None
+        spec.validate()
+        return spec
+
+
+def parse_specs(document: object) -> tuple[ScenarioSpec, ...]:
+    """Parse a spec document: ``{"scenarios": [...]}`` or a bare list."""
+    if isinstance(document, dict):
+        document = document.get("scenarios")
+    if not isinstance(document, list):
+        raise ScenarioError(
+            'spec document must be {"scenarios": [...]} or a JSON list'
+        )
+    specs = tuple(ScenarioSpec.from_dict(entry) for entry in document)
+    names = [spec.name for spec in specs]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ScenarioError(
+            f"duplicate scenario name(s): {', '.join(sorted(duplicates))}"
+        )
+    return specs
+
+
+def load_specs(path: str) -> tuple[ScenarioSpec, ...]:
+    """Load and validate a JSON spec file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: not valid JSON ({exc})") from None
+    return parse_specs(document)
+
+
+def default_scenarios() -> tuple[ScenarioSpec, ...]:
+    """The stock campaign set (all four families, five campaigns).
+
+    The set the benchmark, the docs quick start and the CI smoke job
+    share: two interception proxies (one shared-PKI with a pinning
+    whitelist, one per-device regenerating with no whitelist), a
+    Freedom-style CA injection, a pin-bypassing vulnerable app, and the
+    benign enterprise control group.
+    """
+    return (
+        ScenarioSpec(
+            name="dataviper",
+            family="interception-proxy",
+            penetration=0.04,
+            operator="DataViper Analytics",
+            proxy_host="relay.dataviper.example",
+            regeneration="shared",
+            whitelist="pinned",
+        ),
+        ScenarioSpec(
+            name="nosy-carrier",
+            family="interception-proxy",
+            penetration=0.02,
+            operator="Nosy Carrier Inc",
+            proxy_host="mitm.nosy-carrier.example",
+            regeneration="per-device",
+            whitelist="none",
+        ),
+        ScenarioSpec(
+            name="liberty-shadow",
+            family="ca-injection",
+            penetration=0.25,
+            ca_name="LIBERTY SHADOW CA",
+        ),
+        ScenarioSpec(
+            name="weak-wallet",
+            family="vulnerable-app",
+            penetration=0.08,
+            profile="pin-but-whitelist",
+        ),
+        ScenarioSpec(
+            name="initech-egress",
+            family="benign-proxy",
+            penetration=0.02,
+            operator="Initech Corporate Proxy",
+            proxy_host="egress.initech.example",
+        ),
+    )

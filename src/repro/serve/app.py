@@ -151,6 +151,16 @@ class ServeApp:
             "session_diff",
             self._handle_session_diff,
         )
+        route(
+            "GET", r"/v1/interceptions", "interceptions", self._handle_interceptions
+        )
+        route(
+            "GET",
+            r"/v1/interceptions/(?P<campaign>[0-9a-f]{64})",
+            "interception",
+            self._handle_interception,
+        )
+        route("GET", r"/v1/scenarios", "scenarios", self._handle_scenarios)
         route("POST", r"/admin/reload", "reload", self._handle_reload)
 
     def _add_route(self, method: str, pattern: str, name: str, handler: Handler) -> None:
@@ -190,6 +200,15 @@ class ServeApp:
 
     def _handle_session_diff(self, snapshot: StudySnapshot, match: re.Match) -> object:
         return snapshot.session_diff_payload(match.group("session_id"))
+
+    def _handle_interceptions(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.interceptions_payload()
+
+    def _handle_interception(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.interception_payload(match.group("campaign"))
+
+    def _handle_scenarios(self, snapshot: StudySnapshot, match: re.Match) -> object:
+        return snapshot.scenarios_payload()
 
     def _handle_reload(self, snapshot: StudySnapshot, match: re.Match) -> Response:
         if self.reloader is None:

@@ -232,6 +232,11 @@ class ServeConfig:
     #: serving processes; > 1 forks a SO_REUSEPORT worker fleet after
     #: the snapshot is built (copy-on-write shared study pages).
     processes: int = 1
+    #: abuse campaigns injected into the served study (a
+    #: :class:`repro.scenarios.ScenarioSpec` tuple); empty serves the
+    #: stock paper universe.
+    scenarios: tuple = ()
+    scenario_seed: str = ""
 
 
 def _load_snapshot(config: ServeConfig, generation: int):
@@ -246,6 +251,8 @@ def _load_snapshot(config: ServeConfig, generation: int):
             notary_scale=config.notary_scale,
             workers=config.build_workers,
             build_cache_dir=config.build_cache_dir,
+            scenarios=tuple(config.scenarios),
+            scenario_seed=config.scenario_seed,
         )
     )
     return StudySnapshot.from_result(result, generation=generation)

@@ -18,11 +18,11 @@ it.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 
 from repro.analysis.report import to_json
 from repro.analysis.study import StudyResult
+from repro.x509.fingerprint import api_fingerprint
 
 #: Stable order in which store membership is reported.
 STORE_ORDER: tuple[str, ...] = (
@@ -35,20 +35,10 @@ STORE_ORDER: tuple[str, ...] = (
 )
 
 
-def root_fingerprint(certificate) -> str:
-    """The API's root identifier: SHA-256 over the paper's identity key.
-
-    Hashes the RSA modulus and the signature octets — the same
-    (modulus, signature) identity §4.1 uses — so re-issued but
-    equivalent certificates keep distinct fingerprints while the
-    identifier stays stable across runs of the same seed.
-    """
-    modulus = certificate.public_key.modulus
-    blob = (
-        modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
-        + certificate.signature
-    )
-    return hashlib.sha256(blob).hexdigest()
+#: The API's root identifier: SHA-256 over the paper's (modulus,
+#: signature) identity key. Shared with the attribution analysis, which
+#: keys campaigns on the same fingerprints this API serves.
+root_fingerprint = api_fingerprint
 
 
 def _cert_label(certificate) -> str:
@@ -138,7 +128,16 @@ class StudySnapshot:
     namespaces the response cache and shows up in every ETag).
     """
 
-    __slots__ = ("export", "roots", "root_order", "sessions", "meta", "generation")
+    __slots__ = (
+        "export",
+        "roots",
+        "root_order",
+        "sessions",
+        "meta",
+        "generation",
+        "interceptions",
+        "interception_order",
+    )
 
     def __init__(
         self,
@@ -148,6 +147,8 @@ class StudySnapshot:
         sessions: dict[str, dict] | None = None,
         meta: dict | None = None,
         generation: int = 0,
+        interceptions: dict[str, dict] | None = None,
+        interception_order: list[str] | None = None,
     ):
         self.export = export
         self.roots = roots or {}
@@ -155,6 +156,10 @@ class StudySnapshot:
         self.sessions = sessions or {}
         self.meta = meta or {}
         self.generation = generation
+        #: campaign id → attributed-campaign payload (the attribution
+        #: pass runs on every study, so these serve on stock runs too).
+        self.interceptions = interceptions or {}
+        self.interception_order = interception_order or sorted(self.interceptions)
 
     @classmethod
     def from_result(
@@ -175,6 +180,12 @@ class StudySnapshot:
         """
         export = to_json(result)
         roots = _build_root_index(result)
+        interceptions: dict[str, dict] = {}
+        interception_order: list[str] = []
+        if result.attribution is not None:
+            for campaign in result.attribution.campaigns:
+                interceptions[campaign.campaign_id] = campaign.to_dict()
+                interception_order.append(campaign.campaign_id)
         if session_index is not None:
             sessions = session_index
         elif index_sessions:
@@ -191,7 +202,13 @@ class StudySnapshot:
             "generation": generation,
         }
         return cls(
-            export, roots=roots, sessions=sessions, meta=meta, generation=generation
+            export,
+            roots=roots,
+            sessions=sessions,
+            meta=meta,
+            generation=generation,
+            interceptions=interceptions,
+            interception_order=interception_order,
         )
 
     # -- endpoint payloads -------------------------------------------------------
@@ -225,6 +242,38 @@ class StudySnapshot:
     def session_diff_payload(self, session_id: str) -> dict | None:
         """The diff of one session, or None when unknown."""
         return self.sessions.get(session_id)
+
+    def interceptions_payload(self) -> dict:
+        """The ``/v1/interceptions`` listing (attribution order)."""
+        return {
+            "count": len(self.interception_order),
+            "campaigns": [
+                {
+                    "campaign_id": campaign_id,
+                    "organization": self.interceptions[campaign_id]["organization"],
+                    "kind": self.interceptions[campaign_id]["kind"],
+                    "session_count": self.interceptions[campaign_id][
+                        "session_count"
+                    ],
+                }
+                for campaign_id in self.interception_order
+            ],
+        }
+
+    def interception_payload(self, campaign_id: str) -> dict | None:
+        """One attributed campaign in full, or None when unknown."""
+        return self.interceptions.get(campaign_id)
+
+    def scenarios_payload(self) -> dict:
+        """The ``/v1/scenarios`` payload: ground truth + scoring.
+
+        Stock (scenario-free) studies serve ``{"enabled": false}`` — the
+        endpoint exists either way, only its content differs.
+        """
+        section = self.export.get("scenarios")
+        if section is None:
+            return {"enabled": False}
+        return {"enabled": True, **section}
 
 
 class SnapshotHolder:

@@ -40,6 +40,7 @@ from repro.parallel.executor import ParallelExecutor
 from repro.rootstore.catalog import default_catalog
 from repro.rootstore.factory import CertificateFactory
 from repro.rootstore.vendors import build_platform_stores
+from repro.scenarios.engine import apply_scenarios
 from repro.serve.snapshot import StudySnapshot, session_diff_payload
 from repro.storage.backend import DiskBackend
 from repro.tlssim.endpoints import PROBE_TARGETS
@@ -62,6 +63,12 @@ class StreamConfig:
     fault_seed: str = ""
     workers: int = 1
     storage_dir: str = ""
+    #: abuse campaigns injected into the generated population (a
+    #: :class:`repro.scenarios.ScenarioSpec` tuple); applied before the
+    #: first event, so stream and batch collections see the identical
+    #: population.
+    scenarios: tuple = ()
+    scenario_seed: str = ""
     #: maintain the per-session diff index served at
     #: ``/v1/sessions/{id}/diff``. Costs one rendered payload per
     #: session held resident; million-session live corpora turn it off
@@ -80,6 +87,8 @@ class StreamConfig:
             fault_seed=self.fault_seed,
             workers=self.workers,
             storage_dir=self.storage_dir,
+            scenarios=self.scenarios,
+            scenario_seed=self.scenario_seed,
         )
 
 
@@ -136,6 +145,14 @@ class StreamEngine:
                 self._factory,
                 self._catalog,
             ).generate(executor=self._executor)
+            # Campaigns mutate the population before the first event:
+            # the stream then ingests the same devices (and therefore
+            # the same bytes) a batch scenario study would.
+            self._scenario_fleet = apply_scenarios(
+                self._population,
+                tuple(cfg.scenarios),
+                cfg.scenario_seed or cfg.seed,
+            )
 
         self.dataset = NetalyzrDataset(backend=self._backend)
         self.notary = NotaryDatabase(backend=self._backend)
@@ -261,6 +278,7 @@ class StreamEngine:
             notary=self.notary,
             diffs=list(self.diffs),
             fault_injector=self._injector,
+            scenarios=self._scenario_fleet,
         )
         analyze_from_diffs(result, self._catalog, executor=self._executor)
         return result

@@ -20,6 +20,7 @@ from repro.tlssim.handshake import (
     TransientProbeError,
 )
 from repro.tlssim.proxy import InterceptionProxy
+from repro.tlssim.trustmanager import TRUST_PROFILES, TrustProfile
 
 __all__ = [
     "Endpoint",
@@ -35,4 +36,6 @@ __all__ = [
     "TlsServer",
     "TransientProbeError",
     "InterceptionProxy",
+    "TrustProfile",
+    "TRUST_PROFILES",
 ]

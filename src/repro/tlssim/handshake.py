@@ -15,6 +15,7 @@ from repro.rootstore.factory import STUDY_NOW
 from repro.rootstore.store import RootStore
 from repro.tlssim.pinning import PinStore
 from repro.tlssim.traffic import ServerIdentity
+from repro.tlssim.trustmanager import TrustProfile
 from repro.x509.certificate import Certificate
 from repro.x509.chain import ChainVerifier, ValidationResult
 
@@ -71,6 +72,10 @@ class TlsClient:
 
     ``proxy`` models the network path: if set, every connection is
     offered to the proxy first, which may substitute its own chain.
+    ``trust_profile`` models a broken app-level TrustManager
+    (:mod:`repro.tlssim.trustmanager`): the platform verdicts are
+    computed as usual, then overridden by the profile — exactly how a
+    vulnerable app layers over the platform APIs.
     """
 
     def __init__(
@@ -79,11 +84,13 @@ class TlsClient:
         *,
         pins: PinStore | None = None,
         proxy=None,
+        trust_profile: TrustProfile | None = None,
         at: datetime.datetime = STUDY_NOW,
     ):
         self.store = store
         self.pins = pins or PinStore()
         self.proxy = proxy
+        self.trust_profile = trust_profile
         self.at = at
 
     def connect(
@@ -104,6 +111,10 @@ class TlsClient:
         verifier = ChainVerifier(self.store.certificates(), at=self.at)
         validation = verifier.validate(list(chain), hostname=server.host)
         pin_ok = self.pins.check(server.host, chain)
+        if self.trust_profile is not None:
+            validation, pin_ok = self.trust_profile.apply(
+                validation, pin_ok, server.host
+            )
         return HandshakeResult(
             host=server.host,
             port=server.port,

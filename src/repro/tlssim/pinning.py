@@ -10,8 +10,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.x509.certificate import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tlssim.traffic import TlsTrafficGenerator
 
 
 def spki_pin(certificate: Certificate) -> str:
@@ -43,7 +47,7 @@ class PinStore:
         return any(spki_pin(certificate) in accepted for certificate in chain)
 
 
-def default_pin_store(traffic) -> PinStore:
+def default_pin_store(traffic: TlsTrafficGenerator) -> PinStore:
     """Build the pin store for the pinned probe targets.
 
     Pins each pinned endpoint's legitimate issuing root, mirroring how

@@ -1,0 +1,91 @@
+"""Vulnerable app trust managers ("Danger is My Middle Name" profiles).
+
+Real Android apps frequently replace the platform ``TrustManager`` /
+``HostnameVerifier`` with broken implementations. A
+:class:`TrustProfile` models one such app-level validation policy as a
+pure override applied *after* the platform verdicts are computed: the
+platform still records what a correct client would have concluded, the
+profile only changes what the app *accepts*. Three canonical broken
+profiles ship here:
+
+* ``accept-all`` — a TrustManager whose ``checkServerTrusted`` body is
+  empty: every chain is accepted, valid or not;
+* ``hostname-skip`` — chain validation is intact but the hostname
+  verifier always returns true, so a valid-for-anything certificate is
+  accepted for any host;
+* ``pin-but-whitelist`` — the app ships pinning code but routes every
+  host through a bypass whitelist, so the pin check never actually
+  rejects (the anti-pattern the scenario engine's no-whitelist proxies
+  exploit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x509.chain import ValidationFailure, ValidationResult
+
+#: Wildcard entry accepted in :attr:`TrustProfile.pin_bypass_hosts`.
+PIN_BYPASS_ANY = "*"
+
+
+@dataclass(frozen=True)
+class TrustProfile:
+    """One app-level validation policy, applied over platform verdicts."""
+
+    name: str
+    #: empty checkServerTrusted: every chain is accepted.
+    accept_all_chains: bool = False
+    #: ALLOW_ALL_HOSTNAME_VERIFIER: hostname mismatches are forgiven.
+    skip_hostname_verification: bool = False
+    #: hosts whose pin failures are waved through (``*`` = every host).
+    pin_bypass_hosts: frozenset[str] = frozenset()
+
+    def bypasses_pin(self, host: str) -> bool:
+        """True when a failed pin check is ignored for this host."""
+        return (
+            PIN_BYPASS_ANY in self.pin_bypass_hosts
+            or host.lower() in self.pin_bypass_hosts
+        )
+
+    def apply(
+        self, validation: ValidationResult, pin_ok: bool, host: str
+    ) -> tuple[ValidationResult, bool]:
+        """The app's verdicts given the platform's.
+
+        Returns a (validation, pin_ok) pair; untouched inputs are
+        returned as-is so a correct profile is a no-op.
+        """
+        if not validation.trusted:
+            if self.accept_all_chains:
+                validation = ValidationResult(
+                    trusted=True,
+                    path=validation.path,
+                    anchor=validation.anchor,
+                    detail="accepted by permissive trust manager",
+                )
+            elif (
+                self.skip_hostname_verification
+                and validation.failure is ValidationFailure.HOSTNAME_MISMATCH
+            ):
+                validation = ValidationResult(
+                    trusted=True,
+                    path=validation.path,
+                    anchor=validation.anchor,
+                    detail="hostname verification skipped",
+                )
+        if not pin_ok and self.bypasses_pin(host):
+            pin_ok = True
+        return validation, pin_ok
+
+
+#: The named profiles the scenario engine can install.
+TRUST_PROFILES: dict[str, TrustProfile] = {
+    "accept-all": TrustProfile(name="accept-all", accept_all_chains=True),
+    "hostname-skip": TrustProfile(
+        name="hostname-skip", skip_hostname_verification=True
+    ),
+    "pin-but-whitelist": TrustProfile(
+        name="pin-but-whitelist", pin_bypass_hosts=frozenset({PIN_BYPASS_ANY})
+    ),
+}

@@ -66,6 +66,23 @@ def fingerprint(certificate: Certificate, hash_name: str = "sha256") -> str:
     return hashlib.new(hash_name, certificate.encoded).hexdigest()
 
 
+def api_fingerprint(certificate: Certificate) -> str:
+    """SHA-256 over the paper's (modulus, signature) identity key.
+
+    The stable per-root identifier the serve API and the attribution
+    analysis share: re-issued but equivalent certificates keep distinct
+    fingerprints while the identifier stays stable across runs of the
+    same seed (it hashes key material, never the process-local DER
+    cache). ``CertificateIdentity.short`` is its first 8 hex chars.
+    """
+    modulus = certificate.public_key.modulus
+    blob = (
+        modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
+        + certificate.signature
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
 def subject_hash(certificate: Certificate) -> str:
     """A stable 32-bit hash of the subject name, rendered as 8 hex chars.
 

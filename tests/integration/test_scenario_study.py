@@ -1,0 +1,175 @@
+"""Scenario studies: batch == stream, attribution finds the campaigns.
+
+The acceptance bar for the abuse-scenario engine: with a fixed scenario
+seed the campaign injection is part of the deterministic universe — the
+batch pipeline at any worker count and the live stream engine must
+produce byte-identical reports and JSON exports — and the attribution
+pass scored against the injected ground truth must clear the quality
+floor while leaving the benign control group unaccused. Without
+``--scenarios`` nothing changes: the export carries no scenarios
+section and matches a stock study byte for byte.
+"""
+
+import pytest
+
+from repro.analysis import StudyConfig, run_study
+from repro.analysis.report import render_study_report, to_json, to_json_bytes
+from repro.scenarios import default_scenarios
+from repro.stream import StreamConfig, StreamEngine
+
+SCALES = dict(population_scale=0.15, notary_scale=0.2)
+SCENARIO_SEED = "scenario-study-tests"
+
+QUALITY_FLOOR = 0.9
+
+
+@pytest.fixture(scope="module")
+def scenario_study():
+    return run_study(
+        StudyConfig(
+            **SCALES,
+            scenarios=default_scenarios(),
+            scenario_seed=SCENARIO_SEED,
+        )
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [4])
+    def test_batch_workers_do_not_change_bytes(self, scenario_study, workers):
+        parallel = run_study(
+            StudyConfig(
+                **SCALES,
+                workers=workers,
+                scenarios=default_scenarios(),
+                scenario_seed=SCENARIO_SEED,
+            )
+        )
+        assert to_json_bytes(to_json(parallel)) == to_json_bytes(
+            to_json(scenario_study)
+        )
+        assert render_study_report(parallel) == render_study_report(
+            scenario_study
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_stream_matches_batch(self, scenario_study, workers):
+        engine = StreamEngine(
+            StreamConfig(
+                **SCALES,
+                workers=workers,
+                scenarios=default_scenarios(),
+                scenario_seed=SCENARIO_SEED,
+            )
+        )
+        while not engine.exhausted:
+            engine.pump(512)
+        result = engine.result()
+        assert to_json_bytes(to_json(result)) == to_json_bytes(
+            to_json(scenario_study)
+        )
+        assert render_study_report(result) == render_study_report(
+            scenario_study
+        )
+
+    def test_scenarios_off_export_is_untouched(self, study):
+        # `study` is the shared stock fixture: no scenarios configured.
+        document = to_json(study)
+        assert "scenarios" not in document
+        assert study.scenarios is None
+        assert study.fleet_audit is None
+        assert "Abuse scenarios" not in render_study_report(study)
+
+
+class TestAttributionQuality:
+    def test_score_clears_the_floor(self, scenario_study):
+        score = to_json(scenario_study)["scenarios"]["score"]
+        assert score["precision"] >= QUALITY_FLOOR
+        assert score["recall"] >= QUALITY_FLOOR
+        assert score["false_positives"] == 0
+
+    def test_every_malicious_campaign_recovered(self, scenario_study):
+        fleet = scenario_study.scenarios
+        attributed = {
+            fingerprint
+            for campaign in scenario_study.attribution.campaigns
+            if campaign.kind in ("on-path-proxy", "ca-injection")
+            for fingerprint in campaign.root_fingerprints
+        }
+        for truth in fleet.malicious:
+            if truth.root_fingerprints:
+                assert set(truth.root_fingerprints) & attributed
+
+    def test_control_group_attributed_as_authorized(self, scenario_study):
+        fleet = scenario_study.scenarios
+        (benign,) = fleet.benign
+        authorized = {
+            fingerprint
+            for campaign in scenario_study.attribution.campaigns
+            if campaign.kind == "authorized-proxy"
+            for fingerprint in campaign.root_fingerprints
+        }
+        assert set(benign.root_fingerprints) <= authorized
+
+    def test_whitelist_defeats_and_pin_saves_observed(self, scenario_study):
+        # the no-whitelist proxy hits pinned endpoints: pins save the
+        # stock devices, the pin-bypassing vulnerable app gets defeated.
+        campaigns = scenario_study.attribution.campaigns
+        assert sum(c.pinning_saved for c in campaigns) > 0
+        assert sum(c.whitelist_defeated for c in campaigns) > 0
+
+    def test_fleet_audit_flags_injected_anchor(self, scenario_study):
+        fleet_audit = scenario_study.fleet_audit
+        assert fleet_audit is not None
+        assert fleet_audit.findings_by_rule["app-installed-root"] >= 1
+        injection = next(
+            campaign
+            for campaign in scenario_study.scenarios.campaigns
+            if campaign.spec.family == "ca-injection"
+        )
+        critical = set(fleet_audit.critical_device_ids)
+        assert set(injection.device_ids) <= critical
+
+
+class TestRenderRoundTrip:
+    def test_report_renders_scenario_section(self, scenario_study):
+        text = render_study_report(scenario_study)
+        assert "Abuse scenarios" in text
+        assert "precision" in text
+
+    def test_render_from_json_round_trips(self, scenario_study):
+        import json
+
+        from repro.analysis.report import render_report_from_json
+
+        document = json.loads(to_json_bytes(to_json(scenario_study)))
+        assert render_report_from_json(document) == render_study_report(
+            scenario_study
+        )
+
+
+class TestServedScenarioEndpoints:
+    @pytest.fixture(scope="class")
+    def snapshot(self, scenario_study):
+        from repro.serve.snapshot import StudySnapshot
+
+        return StudySnapshot.from_result(scenario_study)
+
+    def test_interceptions_payload(self, snapshot, scenario_study):
+        payload = snapshot.interceptions_payload()
+        assert payload["count"] == len(scenario_study.attribution.campaigns)
+        first = payload["campaigns"][0]
+        detail = snapshot.interception_payload(first["campaign_id"])
+        assert detail["organization"] == first["organization"]
+        assert snapshot.interception_payload("00" * 32) is None
+
+    def test_scenarios_payload_enabled(self, snapshot):
+        payload = snapshot.scenarios_payload()
+        assert payload["enabled"] is True
+        assert payload["score"]["precision"] >= QUALITY_FLOOR
+
+    def test_stock_snapshot_scenarios_disabled(self, study):
+        from repro.serve.snapshot import StudySnapshot
+
+        payload = StudySnapshot.from_result(study).scenarios_payload()
+        assert payload == {"enabled": False}

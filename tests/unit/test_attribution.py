@@ -1,0 +1,285 @@
+"""Unit tests for interception attribution and its ground-truth scoring."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.attribution import (
+    KIND_AUTHORIZED,
+    KIND_CA_INJECTION,
+    KIND_ON_PATH,
+    AttributionScore,
+    attribute_interceptions,
+    campaign_id,
+    score_attribution,
+)
+from repro.analysis.classify import PresenceClassifier
+from repro.analysis.interception import detect_interception, subject_organization
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.engine import CampaignTruth, ScenarioFleet
+from repro.netalyzr.session import DeviceTuple, DomainProbe, MeasurementSession
+from repro.tlssim import InterceptionProxy
+from repro.x509.fingerprint import api_fingerprint
+
+TUPLE = DeviceTuple(network="TestNet", public_ip="10.0.0.1", model="m", os_version="4.4")
+
+
+@pytest.fixture(scope="module")
+def classifier(platform_stores, notary):
+    return PresenceClassifier(platform_stores.mozilla, platform_stores.ios7, notary)
+
+
+@pytest.fixture(scope="module")
+def proxy():
+    return InterceptionProxy(operator_name="Evil Org", seed="attrib-proxy")
+
+
+@pytest.fixture(scope="module")
+def clean_chain(traffic):
+    return traffic.server_identity("www.yahoo.com", "VeriSign Class 3 Root").chain
+
+
+def make_session(session_id, probes, *, roots=(), rooted=False, degraded=False):
+    return MeasurementSession(
+        session_id=session_id,
+        device_tuple=TUPLE,
+        manufacturer="test",
+        model="m",
+        os_version="4.4",
+        operator="TestNet",
+        country="us",
+        rooted=rooted,
+        root_certificates=tuple(roots),
+        probes=tuple(probes),
+        degraded=degraded,
+    )
+
+
+def probe(hostport, chain, pin_ok=True):
+    return DomainProbe(
+        hostport=hostport, chain=tuple(chain), validation=None, pin_ok=pin_ok
+    )
+
+
+class TestAttribution:
+    def test_campaign_id_is_stable(self):
+        left = campaign_id(KIND_ON_PATH, "Evil Org")
+        assert left == campaign_id(KIND_ON_PATH, "Evil Org")
+        assert left != campaign_id(KIND_AUTHORIZED, "Evil Org")
+        assert len(left) == 64
+
+    def test_no_probes_no_campaigns(self, classifier):
+        report = attribute_interceptions(
+            [make_session(1, [])], [], classifier
+        )
+        assert report.campaigns == ()
+        assert report.intercepted_session_ids == ()
+
+    def test_clean_corpus_attributes_nothing(self, classifier, clean_chain):
+        sessions = [make_session(1, [probe("www.yahoo.com:443", clean_chain)])]
+        report = attribute_interceptions(sessions, [], classifier)
+        assert report.campaigns == ()
+
+    def test_on_path_vs_authorized(self, classifier, proxy):
+        forged = proxy.forged_chain("www.hsbc.com")
+        on_path = make_session(1, [probe("www.hsbc.com:443", forged)])
+        authorized = make_session(
+            2,
+            [probe("www.hsbc.com:443", forged)],
+            roots=(proxy.root_certificate,),
+        )
+        report = attribute_interceptions([on_path, authorized], [], classifier)
+        kinds = {c.kind: c for c in report.campaigns}
+        assert set(kinds) == {KIND_ON_PATH, KIND_AUTHORIZED}
+        assert kinds[KIND_ON_PATH].session_ids == (1,)
+        assert kinds[KIND_AUTHORIZED].session_ids == (2,)
+        assert kinds[KIND_ON_PATH].organization == "Evil Org"
+        fingerprint = api_fingerprint(proxy.root_certificate)
+        assert kinds[KIND_ON_PATH].root_fingerprints == (fingerprint,)
+        assert report.intercepted_session_ids == (1, 2)
+
+    def test_pinning_saved_and_whitelist_defeated(self, classifier, proxy):
+        forged = proxy.forged_chain("www.google.com")
+        saved = make_session(
+            1, [probe("www.google.com:443", forged, pin_ok=False)]
+        )
+        defeated = make_session(
+            2, [probe("www.google.com:443", forged, pin_ok=True)]
+        )
+        report = attribute_interceptions([saved, defeated], [], classifier)
+        (campaign,) = report.campaigns
+        assert campaign.pinning_saved == 1
+        assert campaign.whitelist_defeated == 1
+
+    def test_relayed_probes_credited_to_the_interceptor(
+        self, classifier, proxy, clean_chain, traffic
+    ):
+        pinned_clean = traffic.server_identity(
+            "www.facebook.com", "GlobalSign Root CA"
+        ).chain
+        session = make_session(
+            1,
+            [
+                probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com")),
+                probe("www.yahoo.com:443", clean_chain),
+                probe("www.facebook.com:443", pinned_clean),
+            ],
+        )
+        report = attribute_interceptions([session], [], classifier)
+        (campaign,) = report.campaigns
+        assert campaign.intercepted_domains == ("www.hsbc.com:443",)
+        assert campaign.relayed_domains == (
+            "www.facebook.com:443",
+            "www.yahoo.com:443",
+        )
+        # the pinned probe the proxy relayed untouched: pinning saved it.
+        assert campaign.pinning_saved == 1
+
+    def test_ca_injection_from_rooted_diffs(self, classifier):
+        injector = InterceptionProxy(operator_name="Shadow Org", seed="shadow")
+        anchor = injector.root_certificate
+        rooted = make_session(1, [], rooted=True)
+        unrooted = make_session(2, [], rooted=False)
+        degraded = make_session(3, [], rooted=True, degraded=True)
+        diffs = [
+            SimpleNamespace(session=session, additional=[anchor])
+            for session in (rooted, unrooted, degraded)
+        ]
+        report = attribute_interceptions([], diffs, classifier)
+        (campaign,) = report.campaigns
+        assert campaign.kind == KIND_CA_INJECTION
+        assert campaign.organization == "Shadow Org"
+        # only the rooted, non-degraded session counts as evidence.
+        assert campaign.session_ids == (1,)
+        assert report.intercepted_session_ids == ()
+
+    def test_proxy_roots_not_double_counted_as_injection(
+        self, classifier, proxy
+    ):
+        session = make_session(
+            1,
+            [probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com"))],
+            rooted=True,
+        )
+        diffs = [
+            SimpleNamespace(session=session, additional=[proxy.root_certificate])
+        ]
+        report = attribute_interceptions([session], diffs, classifier)
+        assert {c.kind for c in report.campaigns} == {KIND_ON_PATH}
+
+    def test_report_json_shape(self, classifier, proxy):
+        session = make_session(
+            7, [probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com"))]
+        )
+        document = attribute_interceptions([session], [], classifier).to_json()
+        assert document["campaign_count"] == 1
+        assert document["intercepted_sessions"] == 1
+        assert document["kinds"][KIND_ON_PATH] == 1
+        assert document["campaigns"][0]["session_count"] == 1
+
+
+def _fleet(*campaigns):
+    return ScenarioFleet(seed="score", campaigns=tuple(campaigns))
+
+
+def _campaign(name, family, fingerprints, benign=False):
+    return CampaignTruth(
+        spec=ScenarioSpec(name=name, family=family),
+        device_ids=("d",),
+        session_ids=(1,),
+        root_fingerprints=tuple(fingerprints),
+        benign=benign,
+    )
+
+
+class TestScoring:
+    def test_recovered_campaign_is_a_true_positive(self, classifier, proxy):
+        session = make_session(
+            1, [probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com"))]
+        )
+        report = attribute_interceptions([session], [], classifier)
+        fingerprint = api_fingerprint(proxy.root_certificate)
+        fleet = _fleet(
+            _campaign("evil", "interception-proxy", [fingerprint]),
+            _campaign("missed", "ca-injection", ["11" * 32]),
+        )
+        score = score_attribution(report, fleet)
+        assert score.true_positives == 1
+        assert score.false_negatives == 1
+        assert score.false_positives == 0
+        assert score.precision == 1.0
+        assert score.recall == 0.5
+
+    def test_accused_control_group_is_a_false_positive(
+        self, classifier, proxy
+    ):
+        # the benign proxy's root attributed as on-path (no session had
+        # it provisioned): precision must pay for it.
+        session = make_session(
+            1, [probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com"))]
+        )
+        report = attribute_interceptions([session], [], classifier)
+        fingerprint = api_fingerprint(proxy.root_certificate)
+        fleet = _fleet(
+            _campaign("corp", "benign-proxy", [fingerprint], benign=True)
+        )
+        score = score_attribution(report, fleet)
+        assert score.false_positives == 1
+        assert score.precision == 0.0
+
+    def test_vacuous_score_is_perfect(self):
+        score = AttributionScore(0, 0, 0)
+        assert score.precision == 1.0 and score.recall == 1.0
+        document = score.to_dict()
+        assert document["true_positives"] == 0
+        assert document["precision"] == 1.0
+
+
+class TestDetectInterceptionEdgeCases:
+    def test_subject_organization_fallback(self):
+        assert subject_organization("CN=Root,O=Acme Corp") == "Acme Corp"
+        assert subject_organization("CN=Only Name") == "CN=Only Name"
+
+    def test_empty_corpus(self, classifier):
+        assert detect_interception([], classifier) == []
+
+    def test_probe_free_and_clean_sessions_skipped(
+        self, classifier, clean_chain
+    ):
+        sessions = [
+            make_session(1, []),
+            make_session(2, [probe("www.yahoo.com:443", clean_chain)]),
+        ]
+        assert detect_interception(sessions, classifier) == []
+
+    def test_empty_chains_skipped(self, classifier):
+        session = make_session(1, [probe("www.yahoo.com:443", ())])
+        assert detect_interception([session], classifier) == []
+
+    def test_all_rooted_population_with_clean_probes(
+        self, classifier, clean_chain
+    ):
+        sessions = [
+            make_session(i, [probe("www.yahoo.com:443", clean_chain)], rooted=True)
+            for i in range(1, 4)
+        ]
+        assert detect_interception(sessions, classifier) == []
+
+    def test_duplicate_root_fingerprints_group_into_one_finding(
+        self, classifier, proxy
+    ):
+        # one proxy forges two domains: same root, one finding, both
+        # domains listed (sorted), identity extracted from the subject.
+        session = make_session(
+            1,
+            [
+                probe("www.hsbc.com:443", proxy.forged_chain("www.hsbc.com")),
+                probe("mail.yahoo.com:443", proxy.forged_chain("mail.yahoo.com")),
+            ],
+        )
+        (finding,) = detect_interception([session], classifier)
+        assert finding.intercepted_domains == [
+            "mail.yahoo.com:443",
+            "www.hsbc.com:443",
+        ]
+        assert finding.interceptor_organization == "Evil Org"

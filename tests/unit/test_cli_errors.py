@@ -78,3 +78,29 @@ class TestRuntimeErrors:
     def test_study_uncreatable_storage_dir_returns_1(self, capsys):
         assert main(["study", "--storage", "/proc/nope/storage"]) == 1
         assert "cannot open storage" in capsys.readouterr().err
+
+    def test_study_missing_scenario_file_returns_1(self, tmp_path, capsys):
+        missing = tmp_path / "absent.json"
+        assert main(["study", "--scenarios", str(missing)]) == 1
+        assert "cannot load scenarios" in capsys.readouterr().err
+
+    def test_study_invalid_scenario_spec_returns_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"scenarios": [{"name": "x", "family": "nonsense"}]}')
+        assert main(["study", "--scenarios", str(bad)]) == 1
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_stream_invalid_scenario_spec_returns_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[not json")
+        assert main(["stream", "--scenarios", str(bad)]) == 1
+        assert "cannot load scenarios" in capsys.readouterr().err
+
+    def test_serve_invalid_scenario_spec_returns_1(self, tmp_path, capsys):
+        bad = tmp_path / "dupes.json"
+        bad.write_text(
+            '[{"name": "twin", "family": "ca-injection"},'
+            ' {"name": "twin", "family": "ca-injection"}]'
+        )
+        assert main(["serve", "--scenarios", str(bad)]) == 1
+        assert "duplicate scenario name" in capsys.readouterr().err

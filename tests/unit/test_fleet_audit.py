@@ -63,3 +63,66 @@ class TestFleetAudit:
         auditors = build_fleet_auditors(platform_stores, policy=lax)
         summary = audit_population(population, auditors)
         assert summary.devices_by_max_severity[Severity.INFO] == summary.device_count
+
+    def test_to_dict_shape(self, summary):
+        document = summary.to_dict()
+        assert document["device_count"] == summary.device_count
+        assert (
+            sum(document["devices_by_max_severity"].values())
+            == summary.device_count
+        )
+        assert document["critical_fraction"] == summary.critical_fraction
+        assert document["findings_by_rule"]["expired-anchor"] == summary.device_count
+        assert set(document["devices_by_max_severity"]) <= {
+            severity.name for severity in Severity
+        }
+
+
+class TestScenarioFleetAudit:
+    """A population with scenario-injected CAs audits as compromised."""
+
+    @pytest.fixture(scope="class")
+    def injected(self, factory, catalog, platform_stores, notary):
+        from repro.android.population import PopulationConfig, PopulationGenerator
+        from repro.scenarios import ScenarioSpec, apply_scenarios
+
+        population = PopulationGenerator(
+            PopulationConfig(seed="fleet-scenario-tests", scale=0.05),
+            factory,
+            catalog,
+        ).generate()
+        fleet = apply_scenarios(
+            population,
+            (
+                ScenarioSpec(
+                    name="shadow-ca",
+                    family="ca-injection",
+                    penetration=0.5,
+                    ca_name="SHADOW INJECTED CA",
+                ),
+            ),
+            "fleet-audit-scenario",
+        )
+        classifier = PresenceClassifier(
+            platform_stores.mozilla, platform_stores.ios7, notary
+        )
+        auditors = build_fleet_auditors(platform_stores, classifier=classifier)
+        return fleet, audit_population(population, auditors)
+
+    def test_injected_anchor_flagged_at_least_warning(self, injected):
+        fleet, summary = injected
+        (campaign,) = fleet.campaigns
+        assert campaign.device_ids
+        critical = set(summary.critical_device_ids)
+        for device_id in campaign.device_ids:
+            # Freedom-style injection rides the app: root path, which the
+            # per-device audit flags at CRITICAL (>= WARNING).
+            assert device_id in critical
+        assert Severity.CRITICAL >= Severity.WARNING
+
+    def test_injection_shows_in_rule_and_render(self, injected):
+        _, summary = injected
+        assert summary.findings_by_rule["app-installed-root"] >= 1
+        text = summary.render()
+        assert "Fleet audit" in text
+        assert "app-installed-root" in text

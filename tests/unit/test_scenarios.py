@@ -1,0 +1,222 @@
+"""Unit tests for the scenario spec layer and the campaign engine."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.android.population import PopulationConfig, PopulationGenerator
+from repro.scenarios import (
+    FAMILIES,
+    ScenarioEngine,
+    ScenarioError,
+    ScenarioSpec,
+    apply_scenarios,
+    default_scenarios,
+    load_specs,
+    parse_specs,
+)
+from repro.x509.fingerprint import api_fingerprint
+
+EXAMPLE_SPEC = Path(__file__).parents[2] / "examples" / "scenarios.json"
+
+
+class TestScenarioSpec:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown family"):
+            ScenarioSpec(name="x", family="sideload").validate()
+
+    def test_penetration_bounds(self):
+        for bad in (0.0, -0.2, 1.5):
+            with pytest.raises(ScenarioError, match="penetration"):
+                ScenarioSpec(
+                    name="x", family="ca-injection", penetration=bad
+                ).validate()
+        ScenarioSpec(name="x", family="ca-injection", penetration=1.0).validate()
+
+    def test_unknown_modes_rejected(self):
+        with pytest.raises(ScenarioError, match="regeneration"):
+            ScenarioSpec(
+                name="x", family="interception-proxy", regeneration="hourly"
+            ).validate()
+        with pytest.raises(ScenarioError, match="whitelist"):
+            ScenarioSpec(
+                name="x", family="interception-proxy", whitelist="banks"
+            ).validate()
+
+    def test_profile_only_for_vulnerable_app(self):
+        with pytest.raises(ScenarioError, match="profile"):
+            ScenarioSpec(
+                name="x", family="interception-proxy", profile="accept-all"
+            ).validate()
+        with pytest.raises(ScenarioError, match="trust profile"):
+            ScenarioSpec(
+                name="x", family="vulnerable-app", profile="made-up"
+            ).validate()
+
+    def test_round_trip(self):
+        for spec in default_scenarios():
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="unknown field"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "family": "ca-injection", "budget": 9}
+            )
+
+    def test_parse_rejects_duplicate_names(self):
+        entry = {"name": "twin", "family": "ca-injection"}
+        with pytest.raises(ScenarioError, match="duplicate"):
+            parse_specs([entry, dict(entry)])
+
+    def test_parse_accepts_bare_list_and_wrapper(self):
+        entry = {"name": "solo", "family": "ca-injection"}
+        assert parse_specs([entry]) == parse_specs({"scenarios": [entry]})
+        with pytest.raises(ScenarioError, match="scenarios"):
+            parse_specs({"campaigns": []})
+
+    def test_load_specs_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            load_specs(str(path))
+
+    def test_example_file_is_the_default_set(self):
+        assert load_specs(str(EXAMPLE_SPEC)) == default_scenarios()
+
+    def test_default_set_covers_every_family(self):
+        families = {spec.family for spec in default_scenarios()}
+        assert families == set(FAMILIES)
+
+
+@pytest.fixture
+def population(factory, catalog):
+    """A fresh small population (the engine mutates it in place)."""
+    return PopulationGenerator(
+        PopulationConfig(seed="scenario-tests", scale=0.05), factory, catalog
+    ).generate()
+
+
+def _truth(fleet, name):
+    return next(c for c in fleet.campaigns if c.spec.name == name)
+
+
+def _devices(population, device_ids):
+    wanted = set(device_ids)
+    return [
+        r.device for r in population.records if r.device.device_id in wanted
+    ]
+
+
+class TestScenarioEngine:
+    def test_duplicate_names_rejected(self):
+        spec = ScenarioSpec(name="twin", family="ca-injection")
+        with pytest.raises(ScenarioError, match="unique"):
+            ScenarioEngine((spec, spec), seed="s")
+
+    def test_apply_is_deterministic(self, factory, catalog):
+        def run():
+            population = PopulationGenerator(
+                PopulationConfig(seed="scenario-tests", scale=0.05),
+                factory,
+                catalog,
+            ).generate()
+            return ScenarioEngine(default_scenarios(), seed="det").apply(
+                population
+            )
+
+        assert run().to_json() == run().to_json()
+
+    def test_records_never_reordered(self, population):
+        before = [
+            (r.device.device_id, r.session_count) for r in population.records
+        ]
+        apply_scenarios(population, default_scenarios(), "order")
+        after = [
+            (r.device.device_id, r.session_count) for r in population.records
+        ]
+        assert after == before
+
+    def test_empty_specs_are_a_no_op(self, population):
+        apps_before = sum(len(r.device.apps) for r in population.records)
+        assert apply_scenarios(population, (), "noop") is None
+        assert sum(len(r.device.apps) for r in population.records) == apps_before
+
+    def test_interception_proxy_campaign(self, population):
+        fleet = apply_scenarios(population, default_scenarios(), "proxy")
+        truth = _truth(fleet, "dataviper")
+        assert truth.device_ids and not truth.benign
+        # shared regeneration: the whole campaign runs one PKI.
+        assert len(truth.root_fingerprints) == 1
+        for device in _devices(population, truth.device_ids):
+            assert device.proxy is not None
+            assert "dataviper" in device.app_names
+            fingerprint = api_fingerprint(device.proxy.root_certificate)
+            assert fingerprint == truth.root_fingerprints[0]
+
+    def test_per_device_regeneration_mints_distinct_roots(self, population):
+        spec = ScenarioSpec(
+            name="hydra",
+            family="interception-proxy",
+            penetration=0.05,
+            regeneration="per-device",
+        )
+        fleet = apply_scenarios(population, (spec,), "hydra-seed")
+        truth = _truth(fleet, "hydra")
+        assert len(truth.device_ids) >= 2
+        assert len(truth.root_fingerprints) == len(truth.device_ids)
+
+    def test_ca_injection_targets_rooted_devices(self, population):
+        fleet = apply_scenarios(population, default_scenarios(), "inject")
+        truth = _truth(fleet, "liberty-shadow")
+        assert len(truth.root_fingerprints) == 1
+        for device in _devices(population, truth.device_ids):
+            assert device.rooted
+            assert "liberty-shadow" in device.app_names
+            store_prints = {
+                api_fingerprint(c) for c in device.store.certificates()
+            }
+            assert truth.root_fingerprints[0] in store_prints
+
+    def test_benign_proxy_is_authorized(self, population):
+        fleet = apply_scenarios(population, default_scenarios(), "benign")
+        truth = _truth(fleet, "initech-egress")
+        assert truth.benign
+        assert truth in fleet.benign and truth not in fleet.malicious
+        for device in _devices(population, truth.device_ids):
+            assert device.proxy is not None
+            store_prints = {
+                api_fingerprint(c) for c in device.store.certificates()
+            }
+            # the defining trait: the proxy root is provisioned into the
+            # device's own store before traffic is routed through it.
+            assert truth.root_fingerprints[0] in store_prints
+
+    def test_vulnerable_app_overlays_proxied_devices(self, population):
+        fleet = apply_scenarios(population, default_scenarios(), "overlay")
+        weak = _truth(fleet, "weak-wallet")
+        proxied = set(_truth(fleet, "dataviper").device_ids) | set(
+            _truth(fleet, "nosy-carrier").device_ids
+        )
+        assert weak.device_ids
+        assert set(weak.device_ids) <= proxied
+        assert weak.root_fingerprints == ()  # mints nothing
+        for device in _devices(population, weak.device_ids):
+            assert device.trust_profile is not None
+            assert device.trust_profile.bypasses_pin("www.google.com")
+
+    def test_session_ids_match_the_collector_plan(self, population, factory):
+        from repro.netalyzr import collect_dataset
+
+        fleet = apply_scenarios(population, default_scenarios(), "plan")
+        truth = _truth(fleet, "dataviper")
+        dataset = collect_dataset(population, factory)
+        by_id = {session.session_id: session for session in dataset.sessions}
+        for session_id in truth.session_ids:
+            assert "dataviper" in by_id[session_id].app_names
+
+    def test_campaign_for_fingerprint(self, population):
+        fleet = apply_scenarios(population, default_scenarios(), "lookup")
+        truth = _truth(fleet, "liberty-shadow")
+        found = fleet.campaign_for_fingerprint(truth.root_fingerprints[0])
+        assert found is truth
+        assert fleet.campaign_for_fingerprint("00" * 32) is None

@@ -17,12 +17,19 @@ from repro.serve import Request, ResponseCache, ServeApp, SnapshotHolder, StudyS
 FINGERPRINT = "ab" * 32
 
 
-def make_snapshot(generation: int = 0, marker: str = "v0") -> StudySnapshot:
+CAMPAIGN_ID = "cd" * 32
+
+
+def make_snapshot(
+    generation: int = 0, marker: str = "v0", scenarios: dict | None = None
+) -> StudySnapshot:
     export = {
         "schema": 1,
         "tables": {str(n): [["row", n, marker]] for n in range(1, 7)},
         "figures": {str(n): {"figure": n, "marker": marker} for n in range(1, 4)},
     }
+    if scenarios is not None:
+        export["scenarios"] = scenarios
     roots = {
         FINGERPRINT: {
             "fingerprint": FINGERPRINT,
@@ -35,12 +42,27 @@ def make_snapshot(generation: int = 0, marker: str = "v0") -> StudySnapshot:
         }
     }
     sessions = {"41": {"session_id": 41, "aosp_count": 3, "additional": []}}
+    interceptions = {
+        CAMPAIGN_ID: {
+            "campaign_id": CAMPAIGN_ID,
+            "organization": "Evil Org",
+            "kind": "on-path-proxy",
+            "session_count": 2,
+            "session_ids": [3, 9],
+            "root_fingerprints": [FINGERPRINT],
+            "intercepted_domains": ["www.hsbc.com:443"],
+            "relayed_domains": [],
+            "pinning_saved": 1,
+            "whitelist_defeated": 0,
+        }
+    }
     return StudySnapshot(
         export,
         roots=roots,
         sessions=sessions,
         meta={"generation": generation, "marker": marker},
         generation=generation,
+        interceptions=interceptions,
     )
 
 
@@ -478,3 +500,60 @@ class TestQueryString:
         # "?…" split upstream by every transport; a path that still
         # carries one must 404, not silently match a route.
         assert app.handle(Request("GET", "/v1/health?x=1")).status == 404
+
+
+class TestInterceptionEndpoints:
+    def test_listing_is_summary_form(self, app):
+        listing = json.loads(app.handle(Request("GET", "/v1/interceptions")).body)
+        assert listing["count"] == 1
+        (campaign,) = listing["campaigns"]
+        assert campaign == {
+            "campaign_id": CAMPAIGN_ID,
+            "organization": "Evil Org",
+            "kind": "on-path-proxy",
+            "session_count": 2,
+        }
+
+    def test_campaign_detail(self, app):
+        detail = json.loads(
+            app.handle(Request("GET", f"/v1/interceptions/{CAMPAIGN_ID}")).body
+        )
+        assert detail["session_ids"] == [3, 9]
+        assert detail["pinning_saved"] == 1
+
+    def test_unknown_campaign_is_404(self, app):
+        assert (
+            app.handle(Request("GET", f"/v1/interceptions/{'0' * 64}")).status
+            == 404
+        )
+        # non-hex / wrong-length ids never match the route at all
+        assert app.handle(Request("GET", "/v1/interceptions/zzz")).status == 404
+
+    def test_scenarios_disabled_on_stock_snapshot(self, app):
+        payload = json.loads(app.handle(Request("GET", "/v1/scenarios")).body)
+        assert payload == {"enabled": False}
+
+    def test_scenarios_enabled_payload(self):
+        section = {"fleet": {"seed": "s", "campaigns": []}, "score": None}
+        app = ServeApp(
+            SnapshotHolder(make_snapshot(scenarios=section)), capacity=3
+        )
+        payload = json.loads(app.handle(Request("GET", "/v1/scenarios")).body)
+        assert payload["enabled"] is True
+        assert payload["fleet"] == {"seed": "s", "campaigns": []}
+
+    def test_etag_revalidation(self, app):
+        first = app.handle(Request("GET", "/v1/interceptions"))
+        etag = dict(first.headers)["ETag"]
+        revalidated = app.handle(
+            Request("GET", "/v1/interceptions", {"if-none-match": etag})
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+
+    def test_fast_lane_serves_interceptions(self, app):
+        slow = app.handle(Request("GET", "/v1/interceptions"))
+        fast = app.handle_fast(Request("GET", "/v1/interceptions"))
+        assert fast.status == 200
+        assert fast.body == slow.body
+        assert dict(fast.headers)["ETag"] == dict(slow.headers)["ETag"]

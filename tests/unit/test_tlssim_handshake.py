@@ -71,6 +71,29 @@ class TestPinning:
     def test_unpinned_host_always_passes(self):
         assert PinStore().check("anything.example", ())
 
+    def test_pinned_host_rejects_empty_chain(self, identity):
+        pins = PinStore()
+        pins.pin("www.yahoo.com", identity.chain[-1])
+        assert not pins.check("www.yahoo.com", ())
+        # hostname matching is case-insensitive both ways
+        assert not pins.check("WWW.YAHOO.COM", ())
+        assert pins.check("other.example", ())
+
+    def test_default_pin_store_covers_pinned_targets(self, traffic_module):
+        from repro.tlssim.endpoints import PROBE_TARGETS
+        from repro.tlssim.pinning import default_pin_store
+
+        store = default_pin_store(traffic_module)
+        for endpoint in PROBE_TARGETS:
+            if not endpoint.pinned:
+                continue
+            assert store.is_pinned(endpoint.host)
+            identity = traffic_module.server_identity(
+                endpoint.host, endpoint.issuer_ca
+            )
+            assert store.check(endpoint.host, identity.chain)
+        assert not store.is_pinned("www.yahoo.com")
+
     def test_spki_pin_tracks_key_not_bytes(self, traffic_module):
         a = traffic_module.server_identity("www.chase.com", "Entrust Root CA")
         root = a.chain[-1]
@@ -134,3 +157,32 @@ class TestInterceptionProxy:
             ("www.hsbc.com", 443, True),
             ("www.facebook.com", 443, False),
         ]
+
+    def test_whitelisted_relay_returns_upstream_untouched(
+        self, proxy, traffic_module
+    ):
+        """A whitelisted relay is pass-through: the exact upstream chain
+        object, not a re-signed copy of it."""
+        upstream = traffic_module.server_identity(
+            "www.twitter.com", "VeriSign Class 3 Root"
+        ).chain
+        chain, intercepted = proxy.relay("www.twitter.com", 443, upstream)
+        assert not intercepted
+        assert chain is upstream
+
+    def test_same_seed_regenerates_identical_pki(self):
+        a = InterceptionProxy(seed="campaign-7")
+        b = InterceptionProxy(seed="campaign-7")
+        c = InterceptionProxy(seed="campaign-8")
+        assert a.root_certificate == b.root_certificate
+        assert a.root_certificate != c.root_certificate
+        assert a.forged_chain("mail.yahoo.com") == b.forged_chain("mail.yahoo.com")
+
+    def test_intermediate_shared_across_hosts(self, proxy):
+        """One signing intermediate serves every forged leaf — only the
+        leaf differs between hosts."""
+        chain_a = proxy.forged_chain("a.example")
+        chain_b = proxy.forged_chain("b.example")
+        assert chain_a[1] is chain_b[1]
+        assert chain_a[2] is chain_b[2]
+        assert chain_a[0] != chain_b[0]
